@@ -1,0 +1,139 @@
+//! The Table 3 catalogue: interface classes of popular web-service APIs.
+//!
+//! Table 3 of the paper surveys ten commercial services and classifies
+//! the interfaces they offer clients into *Simple CRUD* (last-writer-wins
+//! resource objects, no concurrency control) and *Versioned* (immutable
+//! linear version histories). The partial-repair argument of §5 is that
+//! Simple-CRUD APIs already tolerate the hypothetical concurrent repair
+//! client, while Versioned APIs need the branching extension of §5.2.
+//!
+//! This module encodes the table as data and maps each interface class
+//! onto the implementation in this crate that reproduces its semantics —
+//! [`crate::objstore`] for Simple CRUD and [`crate::vkv`] for Versioned
+//! (with branches).
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiEntry {
+    /// Service name as printed in the paper.
+    pub service: &'static str,
+    /// Offers a simple CRUD interface.
+    pub simple_crud: bool,
+    /// Offers a versioning API.
+    pub versioned: bool,
+    /// The paper's one-line description.
+    pub description: &'static str,
+}
+
+/// The ten services of Table 3.
+pub fn table3() -> Vec<ApiEntry> {
+    vec![
+        ApiEntry {
+            service: "Amazon S3",
+            simple_crud: true,
+            versioned: true,
+            description: "Simple file storage",
+        },
+        ApiEntry {
+            service: "Google Docs",
+            simple_crud: true,
+            versioned: true,
+            description: "Office applications",
+        },
+        ApiEntry {
+            service: "Google Drive",
+            simple_crud: true,
+            versioned: true,
+            description: "File hosting",
+        },
+        ApiEntry {
+            service: "Dropbox",
+            simple_crud: true,
+            versioned: true,
+            description: "File hosting",
+        },
+        ApiEntry {
+            service: "Github",
+            simple_crud: true,
+            versioned: true,
+            description: "Project hosting",
+        },
+        ApiEntry {
+            service: "Facebook",
+            simple_crud: true,
+            versioned: false,
+            description: "Social networking",
+        },
+        ApiEntry {
+            service: "Twitter",
+            simple_crud: true,
+            versioned: false,
+            description: "Social microblogging",
+        },
+        ApiEntry {
+            service: "Flickr",
+            simple_crud: true,
+            versioned: false,
+            description: "Photo sharing",
+        },
+        ApiEntry {
+            service: "Salesforce",
+            simple_crud: true,
+            versioned: false,
+            description: "Web-based CRM",
+        },
+        ApiEntry {
+            service: "Heroku",
+            simple_crud: true,
+            versioned: false,
+            description: "Cloud apps platform",
+        },
+    ]
+}
+
+/// The interface class a service's repair story depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterfaceClass {
+    /// Last-writer-wins resources; partial repair is indistinguishable
+    /// from a concurrent writer with no API change (§5.1).
+    SimpleCrud,
+    /// Immutable version histories; partial repair requires the
+    /// branching extension of §5.2.
+    Versioned,
+}
+
+impl InterfaceClass {
+    /// The crate module implementing this interface class.
+    pub fn reproduced_by(self) -> &'static str {
+        match self {
+            InterfaceClass::SimpleCrud => "aire_apps::objstore (PUT/GET, last-writer-wins)",
+            InterfaceClass::Versioned => "aire_apps::vkv (immutable versions + branches)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_the_paper() {
+        let t = table3();
+        assert_eq!(t.len(), 10);
+        // Every surveyed service offers Simple CRUD.
+        assert!(t.iter().all(|e| e.simple_crud));
+        // Exactly half also offer a versioning API.
+        assert_eq!(t.iter().filter(|e| e.versioned).count(), 5);
+        // Spot checks.
+        assert!(t.iter().any(|e| e.service == "Amazon S3" && e.versioned));
+        assert!(t.iter().any(|e| e.service == "Facebook" && !e.versioned));
+    }
+
+    #[test]
+    fn classes_map_to_implementations() {
+        assert!(InterfaceClass::SimpleCrud
+            .reproduced_by()
+            .contains("objstore"));
+        assert!(InterfaceClass::Versioned.reproduced_by().contains("vkv"));
+    }
+}

@@ -1,0 +1,792 @@
+//! The paper's §1 motivating example: "a small company that relies on a
+//! customer management web service (such as Salesforce) and an employee
+//! management web service (such as Workday) to conduct business, and uses
+//! a centralized access control web service to manage permissions across
+//! all of its services."
+//!
+//! Three services:
+//!
+//! * [`AccessCtl`] — the centralized access-control service. It stores
+//!   the master copy of every grant and *pushes* each grant to the target
+//!   service's `/perm_sync` endpoint ("The servers of these web services
+//!   interact with each other on the company's behalf, to synchronize
+//!   permissions"). Its vulnerability is a legacy bulk-import endpoint
+//!   that skips the administrator check when the request claims to come
+//!   from a pre-auth migration — "a bug in the access control service"
+//!   the attacker exploits to "give herself write access to the employee
+//!   management service".
+//! * [`Hrm`] — the Workday-like employee-management service: employees
+//!   with titles and salaries, guarded by the pushed permissions. Every
+//!   employee change is synchronized to the CRM's rep directory (".. .
+//!   update customer records, and so on"), which is how the attacker's
+//!   "unauthorized changes to employee data ... corrupt other services".
+//! * [`Crm`] — the Salesforce-like customer-management service: customer
+//!   accounts owned by sales reps, plus the rep directory mirrored from
+//!   HRM.
+//!
+//! Service-to-service calls authenticate with bearer tokens provisioned
+//! by the administrator (`peer_tokens` on the caller, `tokens` on the
+//! callee). All three services use the same-principal repair policy
+//! (§4, §7.3) *strengthened with token freshness*: a bearer credential
+//! must still be valid in the callee's `tokens` table at repair time,
+//! which is what drives the §7.2 expired-credential experiment.
+
+use aire_http::{HttpRequest, HttpResponse, Status, Url};
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+use crate::policy;
+
+//////// Shared helpers. ////////
+
+/// Repair access control for all three services (§4, §7.2): the
+/// same-principal rule, *and* — when the credential is a bearer token —
+/// the token must be valid in this service's `tokens` table *now*
+/// ("credential freshness is a property of the present, not of
+/// history"). This is what makes the expired-token partial-repair
+/// experiment work on the company services too.
+fn authorize_with_fresh_token(az: &AuthorizeCtx<'_>) -> bool {
+    if !policy::same_principal(az) {
+        return false;
+    }
+    if policy::is_admin(az.credentials) {
+        return true;
+    }
+    let bearer = az
+        .repaired_request
+        .and_then(|r| policy::bearer(&r.headers))
+        .or_else(|| policy::bearer(az.credentials));
+    match bearer {
+        Some(token) => az
+            .db_now
+            .scan("tokens", &Filter::all().eq("token", token))
+            .iter()
+            .any(|(_, row)| row.get("valid").as_bool() == Some(true)),
+        // Cookie/anonymous cases already decided by same_principal.
+        None => true,
+    }
+}
+
+fn token_principal(ctx: &mut Ctx<'_>) -> Result<Option<String>, WebError> {
+    let Some(token) = policy::bearer(&ctx.req.headers).map(|t| t.to_string()) else {
+        return Ok(None);
+    };
+    let hit = ctx.find(
+        "tokens",
+        &Filter::all().eq("token", token.as_str()).eq("valid", true),
+    )?;
+    Ok(hit.map(|(_, row)| row.str_of("principal").to_string()))
+}
+
+/// Resolves the caller and checks it holds `want` ("write" or "admin")
+/// in the local `perms` table. The administrator header bypasses, as the
+/// paper's administrator operates out of band.
+fn require_perm(ctx: &mut Ctx<'_>, want_admin: bool) -> Result<String, WebError> {
+    if ctx.req.headers.get(policy::ADMIN_HEADER) == Some(policy::ADMIN_SECRET) {
+        return Ok("admin".to_string());
+    }
+    let principal = token_principal(ctx)?.ok_or_else(|| {
+        WebError::Status(Status::UNAUTHORIZED, "missing or invalid token".to_string())
+    })?;
+    let hit = ctx.find("perms", &Filter::all().eq("principal", principal.as_str()))?;
+    let perm = hit.map(|(_, row)| row.str_of("perm").to_string());
+    let allowed = match perm.as_deref() {
+        Some("admin") => true,
+        Some("write") => !want_admin,
+        _ => false,
+    };
+    if allowed {
+        Ok(principal)
+    } else {
+        Err(WebError::Status(
+            Status::FORBIDDEN,
+            format!("permission denied for {principal}"),
+        ))
+    }
+}
+
+/// Upserts `(principal, perm)` into the local `perms` table; an empty
+/// perm revokes.
+fn write_perm(ctx: &mut Ctx<'_>, principal: &str, perm: &str) -> Result<(), WebError> {
+    let existing = ctx.find("perms", &Filter::all().eq("principal", principal))?;
+    if perm.is_empty() {
+        if let Some((id, _)) = existing {
+            ctx.delete("perms", id)?;
+        }
+        return Ok(());
+    }
+    let row = jv!({"principal": principal, "perm": perm});
+    match existing {
+        Some((id, _)) => ctx.update("perms", id, row)?,
+        None => {
+            ctx.insert("perms", row)?;
+        }
+    }
+    Ok(())
+}
+
+/// `POST /token {token, principal, valid}` — administrator provisioning
+/// of caller identities (users and peer services).
+fn h_token(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    if ctx.req.headers.get(policy::ADMIN_HEADER) != Some(policy::ADMIN_SECRET) {
+        return Err(WebError::Status(
+            Status::FORBIDDEN,
+            "admin only".to_string(),
+        ));
+    }
+    let token = ctx.body_str("token")?.to_string();
+    let principal = ctx.body_str("principal")?.to_string();
+    let valid = ctx.req.body.get("valid").as_bool().unwrap_or(true);
+    let row = jv!({"token": token.clone(), "principal": principal, "valid": valid});
+    if let Some((id, _)) = ctx.find("tokens", &Filter::all().eq("token", token.as_str()))? {
+        ctx.update("tokens", id, row)?;
+    } else {
+        ctx.insert("tokens", row)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+/// `POST /perm_sync {principal, perm}` — the push endpoint the access
+/// control service calls. Requires admin permission (held by the
+/// accessctl service's peer token).
+fn h_perm_sync(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, true)?;
+    let principal = ctx.body_str("principal")?.to_string();
+    let perm = ctx.req.body.str_of("perm").to_string();
+    write_perm(ctx, &principal, &perm)?;
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn h_list_perms(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("perms", &Filter::all())?;
+    let list: Vec<Jv> = rows.into_iter().map(|(_, r)| r).collect();
+    Ok(HttpResponse::ok(Jv::List(list)))
+}
+
+fn schema_tokens() -> Schema {
+    Schema::new(
+        "tokens",
+        vec![
+            FieldDef::new("token", FieldKind::Str),
+            FieldDef::new("principal", FieldKind::Str),
+            FieldDef::new("valid", FieldKind::Bool),
+        ],
+    )
+}
+
+fn schema_perms() -> Schema {
+    Schema::new(
+        "perms",
+        vec![
+            FieldDef::new("principal", FieldKind::Str),
+            FieldDef::new("perm", FieldKind::Str),
+        ],
+    )
+}
+
+//////// The centralized access-control service. ////////
+
+/// The access-control service: master grants plus push distribution.
+pub struct AccessCtl;
+
+/// Looks up the peer token accessctl uses to authenticate to `service`.
+fn peer_token(ctx: &mut Ctx<'_>, service: &str) -> Result<Option<String>, WebError> {
+    let hit = ctx.find("peer_tokens", &Filter::all().eq("service", service))?;
+    Ok(hit.map(|(_, row)| row.str_of("token").to_string()))
+}
+
+/// Upserts the master grant row and pushes it to the target service.
+fn apply_grant(
+    ctx: &mut Ctx<'_>,
+    principal: &str,
+    service: &str,
+    perm: &str,
+) -> Result<bool, WebError> {
+    let row = jv!({"principal": principal, "service": service, "perm": perm});
+    let existing = ctx.find(
+        "grants",
+        &Filter::all()
+            .eq("principal", principal)
+            .eq("service", service),
+    )?;
+    match existing {
+        Some((id, _)) if perm.is_empty() => ctx.delete("grants", id)?,
+        Some((id, _)) => ctx.update("grants", id, row)?,
+        None if perm.is_empty() => {}
+        None => {
+            ctx.insert("grants", row)?;
+        }
+    }
+    // Push the change to the managed service.
+    let Some(token) = peer_token(ctx, service)? else {
+        return Ok(false);
+    };
+    let push = HttpRequest::post(
+        Url::service(service, "/perm_sync"),
+        jv!({"principal": principal, "perm": perm}),
+    )
+    .with_header("Authorization", format!("Bearer {token}"));
+    let resp = ctx.call(push);
+    Ok(resp.status.is_success())
+}
+
+/// `POST /grant {principal, service, perm}` — the proper, admin-checked
+/// grant path.
+fn h_grant(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, true)?;
+    let principal = ctx.body_str("principal")?.to_string();
+    let service = ctx.body_str("service")?.to_string();
+    let perm = ctx.req.body.str_of("perm").to_string();
+    let pushed = apply_grant(ctx, &principal, &service, &perm)?;
+    Ok(HttpResponse::ok(jv!({"ok": true, "pushed": pushed})))
+}
+
+/// `POST /bulk_import {legacy, grants: [{principal, service, perm}]}` —
+/// the vulnerability: a migration endpoint that skips the administrator
+/// check when `legacy` is true ("an attacker exploits a bug in the access
+/// control service", §1).
+fn h_bulk_import(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let legacy = ctx.req.body.get("legacy").as_bool().unwrap_or(false);
+    if !legacy {
+        // The intended path is properly guarded...
+        require_perm(ctx, true)?;
+    }
+    // ...but the legacy branch trusts the caller entirely: the bug.
+    let grants: Vec<Jv> = ctx
+        .req
+        .body
+        .get("grants")
+        .as_list()
+        .map(|l| l.to_vec())
+        .unwrap_or_default();
+    let mut applied = 0;
+    for g in grants {
+        let principal = g.str_of("principal").to_string();
+        let service = g.str_of("service").to_string();
+        let perm = g.str_of("perm").to_string();
+        if principal.is_empty() || service.is_empty() {
+            continue;
+        }
+        apply_grant(ctx, &principal, &service, &perm)?;
+        applied += 1;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true, "applied": applied})))
+}
+
+/// `POST /peer {service, token}` — administrator provisioning of the
+/// tokens accessctl presents to managed services.
+fn h_peer(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    if ctx.req.headers.get(policy::ADMIN_HEADER) != Some(policy::ADMIN_SECRET) {
+        return Err(WebError::Status(
+            Status::FORBIDDEN,
+            "admin only".to_string(),
+        ));
+    }
+    let service = ctx.body_str("service")?.to_string();
+    let token = ctx.body_str("token")?.to_string();
+    let row = jv!({"service": service.clone(), "token": token});
+    if let Some((id, _)) = ctx.find("peer_tokens", &Filter::all().eq("service", service.as_str()))?
+    {
+        ctx.update("peer_tokens", id, row)?;
+    } else {
+        ctx.insert("peer_tokens", row)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn h_grants(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("grants", &Filter::all())?;
+    let list: Vec<Jv> = rows.into_iter().map(|(_, r)| r).collect();
+    Ok(HttpResponse::ok(Jv::List(list)))
+}
+
+impl App for AccessCtl {
+    fn name(&self) -> &str {
+        "accessctl"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![
+            schema_tokens(),
+            schema_perms(),
+            Schema::new(
+                "grants",
+                vec![
+                    FieldDef::new("principal", FieldKind::Str),
+                    FieldDef::new("service", FieldKind::Str),
+                    FieldDef::new("perm", FieldKind::Str),
+                ],
+            ),
+            Schema::new(
+                "peer_tokens",
+                vec![
+                    FieldDef::new("service", FieldKind::Str),
+                    FieldDef::new("token", FieldKind::Str),
+                ],
+            ),
+        ]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/token", h_token)
+            .post("/peer", h_peer)
+            .post("/grant", h_grant)
+            .post("/bulk_import", h_bulk_import)
+            .get("/grants", h_grants)
+            .get("/perms", h_list_perms)
+    }
+
+    fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
+        authorize_with_fresh_token(az)
+    }
+}
+
+//////// The employee-management service (Workday-like). ////////
+
+/// The HRM service: employees guarded by pushed permissions, with every
+/// change mirrored to the CRM's rep directory.
+pub struct Hrm;
+
+/// Mirrors one employee record to the CRM.
+fn sync_employee_to_crm(ctx: &mut Ctx<'_>, employee: &Jv) -> Result<bool, WebError> {
+    let Some((_, peer)) = ctx.find("peer_tokens", &Filter::all().eq("service", "crm"))? else {
+        return Ok(false);
+    };
+    let token = peer.str_of("token").to_string();
+    let push = HttpRequest::post(
+        Url::service("crm", "/rep_sync"),
+        jv!({
+            "name": employee.str_of("name"),
+            "title": employee.str_of("title"),
+        }),
+    )
+    .with_header("Authorization", format!("Bearer {token}"));
+    let resp = ctx.call(push);
+    Ok(resp.status.is_success())
+}
+
+/// `POST /employee {name, title, salary}` — creates or updates an
+/// employee (requires write permission) and mirrors the record to CRM.
+fn h_employee(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, false)?;
+    let name = ctx.body_str("name")?.to_string();
+    let title = ctx.req.body.str_of("title").to_string();
+    let salary = ctx.req.body.get("salary").as_int().unwrap_or(0);
+    let row = jv!({"name": name.clone(), "title": title, "salary": salary});
+    if let Some((id, _)) = ctx.find("employees", &Filter::all().eq("name", name.as_str()))? {
+        ctx.update("employees", id, row.clone())?;
+    } else {
+        ctx.insert("employees", row.clone())?;
+    }
+    let synced = sync_employee_to_crm(ctx, &row)?;
+    Ok(HttpResponse::ok(jv!({"ok": true, "synced": synced})))
+}
+
+/// `POST /set_salary {name, salary}` — the write the attacker abuses.
+fn h_set_salary(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, false)?;
+    let name = ctx.body_str("name")?.to_string();
+    let salary = ctx.req.body.get("salary").as_int().unwrap_or(0);
+    let Some((id, mut row)) = ctx.find("employees", &Filter::all().eq("name", name.as_str()))?
+    else {
+        return Err(WebError::Status(
+            Status::NOT_FOUND,
+            format!("no employee {name}"),
+        ));
+    };
+    row.set("salary", Jv::i(salary));
+    ctx.update("employees", id, row.clone())?;
+    let synced = sync_employee_to_crm(ctx, &row)?;
+    Ok(HttpResponse::ok(jv!({"ok": true, "synced": synced})))
+}
+
+fn h_employees(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("employees", &Filter::all())?;
+    let list: Vec<Jv> = rows.into_iter().map(|(_, r)| r).collect();
+    Ok(HttpResponse::ok(Jv::List(list)))
+}
+
+impl App for Hrm {
+    fn name(&self) -> &str {
+        "hrm"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![
+            schema_tokens(),
+            schema_perms(),
+            Schema::new(
+                "employees",
+                vec![
+                    FieldDef::new("name", FieldKind::Str),
+                    FieldDef::new("title", FieldKind::Str),
+                    FieldDef::new("salary", FieldKind::Int),
+                ],
+            ),
+            Schema::new(
+                "peer_tokens",
+                vec![
+                    FieldDef::new("service", FieldKind::Str),
+                    FieldDef::new("token", FieldKind::Str),
+                ],
+            ),
+        ]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/token", h_token)
+            .post("/peer", h_peer)
+            .post("/perm_sync", h_perm_sync)
+            .post("/employee", h_employee)
+            .post("/set_salary", h_set_salary)
+            .get("/employees", h_employees)
+            .get("/perms", h_list_perms)
+    }
+
+    fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
+        authorize_with_fresh_token(az)
+    }
+}
+
+//////// The customer-management service (Salesforce-like). ////////
+
+/// The CRM service: customer accounts plus the rep directory mirrored
+/// from HRM.
+pub struct Crm;
+
+/// `POST /rep_sync {name, title}` — the push endpoint HRM calls.
+fn h_rep_sync(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, true)?;
+    let name = ctx.body_str("name")?.to_string();
+    let title = ctx.req.body.str_of("title").to_string();
+    let row = jv!({"name": name.clone(), "title": title});
+    if let Some((id, _)) = ctx.find("reps", &Filter::all().eq("name", name.as_str()))? {
+        ctx.update("reps", id, row)?;
+    } else {
+        ctx.insert("reps", row)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+/// `POST /customer {name, rep, status}` — creates or updates a customer
+/// account (requires write permission).
+fn h_customer(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, false)?;
+    let name = ctx.body_str("name")?.to_string();
+    let rep = ctx.req.body.str_of("rep").to_string();
+    let status = ctx.req.body.str_of("status").to_string();
+    let row = jv!({"name": name.clone(), "rep": rep, "status": status});
+    if let Some((id, _)) = ctx.find("customers", &Filter::all().eq("name", name.as_str()))? {
+        ctx.update("customers", id, row)?;
+    } else {
+        ctx.insert("customers", row)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn h_customers(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("customers", &Filter::all())?;
+    let list: Vec<Jv> = rows.into_iter().map(|(_, r)| r).collect();
+    Ok(HttpResponse::ok(Jv::List(list)))
+}
+
+fn h_reps(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("reps", &Filter::all())?;
+    let list: Vec<Jv> = rows.into_iter().map(|(_, r)| r).collect();
+    Ok(HttpResponse::ok(Jv::List(list)))
+}
+
+impl App for Crm {
+    fn name(&self) -> &str {
+        "crm"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![
+            schema_tokens(),
+            schema_perms(),
+            Schema::new(
+                "customers",
+                vec![
+                    FieldDef::new("name", FieldKind::Str),
+                    FieldDef::new("rep", FieldKind::Str),
+                    FieldDef::new("status", FieldKind::Str),
+                ],
+            ),
+            Schema::new(
+                "reps",
+                vec![
+                    FieldDef::new("name", FieldKind::Str),
+                    FieldDef::new("title", FieldKind::Str),
+                ],
+            ),
+        ]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/token", h_token)
+            .post("/perm_sync", h_perm_sync)
+            .post("/rep_sync", h_rep_sync)
+            .post("/customer", h_customer)
+            .get("/customers", h_customers)
+            .get("/reps", h_reps)
+            .get("/perms", h_list_perms)
+    }
+
+    fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
+        authorize_with_fresh_token(az)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use aire_core::World;
+    use aire_http::Method;
+
+    use super::*;
+    use crate::policy::{ADMIN_HEADER, ADMIN_SECRET};
+
+    fn admin_post(host: &str, path: &str, body: Jv) -> HttpRequest {
+        HttpRequest::post(Url::service(host, path), body).with_header(ADMIN_HEADER, ADMIN_SECRET)
+    }
+
+    fn bearer_post(host: &str, path: &str, body: Jv, token: &str) -> HttpRequest {
+        HttpRequest::post(Url::service(host, path), body)
+            .with_header("Authorization", format!("Bearer {token}"))
+    }
+
+    fn get(host: &str, path: &str) -> HttpRequest {
+        HttpRequest::new(Method::Get, Url::service(host, path))
+    }
+
+    fn setup() -> World {
+        let mut world = World::new();
+        world.add_service(Rc::new(AccessCtl));
+        world.add_service(Rc::new(Hrm));
+        world.add_service(Rc::new(Crm));
+        // Peer identities: accessctl → hrm/crm, hrm → crm.
+        for (svc, peer, token) in [
+            ("hrm", "accessctl", "acl-svc-token"),
+            ("crm", "accessctl", "acl-svc-token"),
+            ("crm", "hrm", "hrm-svc-token"),
+        ] {
+            world
+                .deliver(&admin_post(
+                    svc,
+                    "/token",
+                    jv!({"token": token, "principal": peer}),
+                ))
+                .unwrap();
+            // Peer services act with admin permission on their targets.
+            world
+                .deliver(&admin_post(
+                    svc,
+                    "/perm_sync",
+                    jv!({"principal": peer, "perm": "admin"}),
+                ))
+                .unwrap();
+        }
+        for (svc, token) in [("hrm", "acl-svc-token"), ("crm", "acl-svc-token")] {
+            world
+                .deliver(&admin_post(
+                    "accessctl",
+                    "/peer",
+                    jv!({"service": svc, "token": token}),
+                ))
+                .unwrap();
+        }
+        let peer_resp = world
+            .deliver(&admin_post(
+                "hrm",
+                "/peer",
+                jv!({"service": "crm", "token": "hrm-svc-token"}),
+            ))
+            .unwrap();
+        assert_eq!(peer_resp.status, Status::OK);
+        // User alice with a token on both business services.
+        for svc in ["hrm", "crm"] {
+            world
+                .deliver(&admin_post(
+                    svc,
+                    "/token",
+                    jv!({"token": "alice-token", "principal": "alice"}),
+                ))
+                .unwrap();
+        }
+        // Attacker token (mallory is a known low-privilege user).
+        world
+            .deliver(&admin_post(
+                "hrm",
+                "/token",
+                jv!({"token": "mallory-token", "principal": "mallory"}),
+            ))
+            .unwrap();
+        world
+    }
+
+    #[test]
+    fn grant_pushes_permission_to_target() {
+        let world = setup();
+        let resp = world
+            .deliver(&admin_post(
+                "accessctl",
+                "/grant",
+                jv!({"principal": "alice", "service": "hrm", "perm": "write"}),
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body.get("pushed").as_bool(), Some(true));
+        // The permission is live on hrm: alice can add an employee.
+        let resp = world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": "bob", "title": "rep", "salary": 90000}),
+                "alice-token",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+    }
+
+    #[test]
+    fn writes_require_permission() {
+        let world = setup();
+        // mallory has a token but no permission.
+        let resp = world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": "x", "title": "t", "salary": 1}),
+                "mallory-token",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+        // No token at all.
+        let resp = world
+            .deliver(&HttpRequest::post(
+                Url::service("hrm", "/employee"),
+                jv!({"name": "x", "title": "t", "salary": 1}),
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn bulk_import_legacy_skips_the_admin_check() {
+        let world = setup();
+        // The bug: no credentials, yet the grant lands and is pushed.
+        let resp = world
+            .deliver(&HttpRequest::post(
+                Url::service("accessctl", "/bulk_import"),
+                jv!({"legacy": true, "grants": [
+                    {"principal": "mallory", "service": "hrm", "perm": "write"}
+                ]}),
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body.get("applied").as_int(), Some(1));
+        // mallory can now write employee data.
+        let resp = world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": "bob", "title": "rep", "salary": 1}),
+                "mallory-token",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        // The non-legacy path stays guarded.
+        let resp = world
+            .deliver(&HttpRequest::post(
+                Url::service("accessctl", "/bulk_import"),
+                jv!({"grants": [
+                    {"principal": "mallory", "service": "crm", "perm": "write"}
+                ]}),
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn employee_changes_mirror_to_crm() {
+        let world = setup();
+        world
+            .deliver(&admin_post(
+                "accessctl",
+                "/grant",
+                jv!({"principal": "alice", "service": "hrm", "perm": "write"}),
+            ))
+            .unwrap();
+        let added = world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": "bob", "title": "account exec", "salary": 90000}),
+                "alice-token",
+            ))
+            .unwrap();
+        assert_eq!(added.body.get("synced").as_bool(), Some(true));
+        let reps = world.deliver(&get("crm", "/reps")).unwrap();
+        let reps = reps.body.as_list().unwrap();
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].str_of("name"), "bob");
+        assert_eq!(reps[0].str_of("title"), "account exec");
+        // Salary is private to HRM: it is not mirrored.
+        assert!(reps[0].get("salary").is_null());
+    }
+
+    #[test]
+    fn revoking_a_grant_removes_the_remote_permission() {
+        let world = setup();
+        world
+            .deliver(&admin_post(
+                "accessctl",
+                "/grant",
+                jv!({"principal": "alice", "service": "hrm", "perm": "write"}),
+            ))
+            .unwrap();
+        world
+            .deliver(&admin_post(
+                "accessctl",
+                "/grant",
+                jv!({"principal": "alice", "service": "hrm", "perm": ""}),
+            ))
+            .unwrap();
+        let resp = world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": "x", "title": "t", "salary": 1}),
+                "alice-token",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn invalid_tokens_are_rejected() {
+        let world = setup();
+        world
+            .deliver(&admin_post(
+                "hrm",
+                "/token",
+                jv!({"token": "alice-token", "principal": "alice", "valid": false}),
+            ))
+            .unwrap();
+        let resp = world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": "x", "title": "t", "salary": 1}),
+                "alice-token",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+    }
+}

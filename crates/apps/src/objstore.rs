@@ -1,0 +1,115 @@
+//! An S3-like object store (Figure 2's service).
+//!
+//! "Amazon S3, a popular web service offering a data storage interface,
+//! supports ... a simple PUT/GET interface that provides last-writer-wins
+//! semantics in the face of concurrency" (§5.1). This is that interface;
+//! the Figure 2 scenario and the partial-repair contract tests run
+//! against it.
+
+use aire_http::{HttpResponse, Status};
+use aire_types::jv;
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+use crate::policy;
+
+/// The object-store application.
+pub struct ObjStore;
+
+/// `POST /put {key, value}` — last-writer-wins write.
+fn h_put(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.body_str("key")?.to_string();
+    let value = ctx.req.body.get("value").clone();
+    if let Some((id, _)) = ctx.find("objects", &Filter::all().eq("key", key.as_str()))? {
+        ctx.update("objects", id, jv!({"key": key, "value": value}))?;
+    } else {
+        ctx.insert("objects", jv!({"key": key, "value": value}))?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+/// `GET /get?key=` — read the current value.
+fn h_get(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.query("key").unwrap_or("").to_string();
+    match ctx.find("objects", &Filter::all().eq("key", key.as_str()))? {
+        Some((_, row)) => Ok(HttpResponse::ok(jv!({"value": row.get("value").clone()}))),
+        None => Ok(HttpResponse::error(Status::NOT_FOUND, "no such object")),
+    }
+}
+
+/// `POST /delete {key}` — remove an object.
+fn h_delete(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.body_str("key")?.to_string();
+    match ctx.find("objects", &Filter::all().eq("key", key.as_str()))? {
+        Some((id, _)) => {
+            ctx.delete("objects", id)?;
+            Ok(HttpResponse::ok(jv!({"ok": true})))
+        }
+        None => Ok(HttpResponse::error(Status::NOT_FOUND, "no such object")),
+    }
+}
+
+impl App for ObjStore {
+    fn name(&self) -> &str {
+        "objstore"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "objects",
+            vec![
+                FieldDef::new("key", FieldKind::Str),
+                FieldDef::new("value", FieldKind::Any),
+            ],
+        )
+        .with_unique("key")]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/put", h_put)
+            .get("/get", h_get)
+            .post("/delete", h_delete)
+    }
+
+    fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
+        policy::same_principal(az)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use aire_core::World;
+    use aire_http::{HttpRequest, Method, Url};
+
+    use super::*;
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let mut world = World::new();
+        world.add_service(Rc::new(ObjStore));
+        let put = |v: &str| {
+            HttpRequest::post(
+                Url::service("objstore", "/put"),
+                jv!({"key": "x", "value": v}),
+            )
+        };
+        world.deliver(&put("a")).unwrap();
+        world.deliver(&put("b")).unwrap();
+        let get = HttpRequest::new(
+            Method::Get,
+            Url::service("objstore", "/get").with_query("key", "x"),
+        );
+        let resp = world.deliver(&get).unwrap();
+        assert_eq!(resp.body.str_of("value"), "b");
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("objstore", "/delete"),
+                jv!({"key": "x"}),
+            ))
+            .unwrap();
+        assert_eq!(world.deliver(&get).unwrap().status, Status::NOT_FOUND);
+    }
+}

@@ -1,0 +1,118 @@
+//! A minimal Aire-enabled client service.
+//!
+//! Figure 2's "client A" is a client that *runs Aire*: it receives
+//! `replace_response` messages for the reads it performed. Browsers
+//! cannot do that (no notifier URL); this observer service can, because
+//! its reads happen inside its own handler, which the controller tags
+//! with full Aire plumbing. The scenario drivers use it wherever the
+//! paper needs a repair-aware client.
+
+use aire_http::{HttpRequest, HttpResponse, Method, Url};
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+use crate::policy;
+
+/// The observer application. Watches one upstream object store.
+pub struct Observer;
+
+/// `POST /fetch {key}` — reads `key` from the upstream store and records
+/// the observed value.
+fn h_fetch(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.body_str("key")?.to_string();
+    let resp = ctx.call(HttpRequest::new(
+        Method::Get,
+        Url::service("objstore", "/get").with_query("key", &key),
+    ));
+    let value = if resp.status.is_success() {
+        resp.body.get("value").clone()
+    } else {
+        Jv::Null
+    };
+    let seq = ctx.now_millis();
+    ctx.insert(
+        "observations",
+        jv!({"key": key, "value": value.clone(), "seq": seq}),
+    )?;
+    Ok(HttpResponse::ok(jv!({"value": value})))
+}
+
+/// `GET /observations?key=` — every value this service ever observed for
+/// `key`, in observation order.
+fn h_observations(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.query("key").unwrap_or("").to_string();
+    let mut rows = ctx.scan("observations", &Filter::all().eq("key", key.as_str()))?;
+    rows.sort_by_key(|(_, r)| r.int_of("seq"));
+    let values: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("value").clone())
+        .collect();
+    Ok(HttpResponse::ok(jv!({"values": Jv::List(values)})))
+}
+
+impl App for Observer {
+    fn name(&self) -> &str {
+        "observer"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "observations",
+            vec![
+                FieldDef::new("key", FieldKind::Str),
+                FieldDef::new("value", FieldKind::Any),
+                FieldDef::new("seq", FieldKind::Int),
+            ],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/fetch", h_fetch)
+            .get("/observations", h_observations)
+    }
+
+    fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
+        policy::same_principal(az)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use aire_core::World;
+    use aire_types::jv;
+
+    use super::*;
+    use crate::objstore::ObjStore;
+
+    #[test]
+    fn fetch_records_observations() {
+        let mut world = World::new();
+        world.add_service(Rc::new(ObjStore));
+        world.add_service(Rc::new(Observer));
+
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("objstore", "/put"),
+                jv!({"key": "x", "value": "a"}),
+            ))
+            .unwrap();
+        let resp = world
+            .deliver(&HttpRequest::post(
+                Url::service("observer", "/fetch"),
+                jv!({"key": "x"}),
+            ))
+            .unwrap();
+        assert_eq!(resp.body.str_of("value"), "a");
+        let obs = world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("observer", "/observations").with_query("key", "x"),
+            ))
+            .unwrap();
+        assert_eq!(obs.body.get("values").as_list().unwrap().len(), 1);
+    }
+}

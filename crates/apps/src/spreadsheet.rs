@@ -1,0 +1,615 @@
+//! The spreadsheet service with trigger scripts (Figure 5, §7.1).
+//!
+//! The paper's authors wrote their own spreadsheet application (925 lines
+//! of Python) with "a simple scripting capability similar to Google Apps
+//! Script": a script attached to a range of cells executes when values in
+//! those cells change. Scripts are how the evaluation's ACL-distribution
+//! and data-synchronization attacks spread:
+//!
+//! * the **ACL directory** stores the master ACL as cells
+//!   (`row = target service, col = principal, value = permission`) and a
+//!   `push_acl` script distributes changes to the target services;
+//! * **sheet A** runs a `sync_cells` script that mirrors a cell range to
+//!   sheet B.
+//!
+//! Scripts authenticate to their targets with a bearer token "supplied by
+//! the user who created the script" (§7.2); targets validate tokens
+//! against their `service_tokens` table, and the repair access-control
+//! policy requires a *currently valid* token for the same principal —
+//! which is exactly what makes the expired-token partial-repair
+//! experiment of §7.2 work.
+
+use aire_http::{HttpRequest, HttpResponse, Status, Url};
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+use crate::policy;
+
+/// A spreadsheet service instance (the same code runs as the ACL
+/// directory and as sheets A and B, like the paper's setup).
+pub struct Spreadsheet {
+    name: String,
+}
+
+impl Spreadsheet {
+    /// Creates an instance named `name` (its hostname on the network).
+    pub fn new(name: impl Into<String>) -> Spreadsheet {
+        Spreadsheet { name: name.into() }
+    }
+}
+
+/// Marker header that suppresses script execution for cell writes that
+/// were themselves produced by a `sync_cells` script (loop guard).
+const SYNC_HEADER: &str = "X-Sync";
+
+fn principal_of(ctx: &mut Ctx<'_>) -> Result<Option<String>, WebError> {
+    let Some(token) = policy::bearer(&ctx.req.headers).map(|t| t.to_string()) else {
+        return Ok(None);
+    };
+    let hit = ctx.find(
+        "service_tokens",
+        &Filter::all().eq("token", token.as_str()).eq("valid", true),
+    )?;
+    Ok(hit.map(|(_, row)| row.str_of("principal").to_string()))
+}
+
+fn has_perm(
+    ctx: &mut Ctx<'_>,
+    principal: Option<&str>,
+    want_admin: bool,
+) -> Result<bool, WebError> {
+    // The world-writable misconfiguration: an ACL row for "*".
+    let mut principals: Vec<String> = vec!["*".to_string()];
+    if let Some(p) = principal {
+        principals.push(p.to_string());
+    }
+    for p in principals {
+        if let Some((_, row)) = ctx.find("acl", &Filter::all().eq("principal", p.as_str()))? {
+            let perm = row.str_of("perm");
+            if perm == "admin" || (!want_admin && perm == "write") {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn require_perm(ctx: &mut Ctx<'_>, want_admin: bool) -> Result<String, WebError> {
+    if ctx.req.headers.get(policy::ADMIN_HEADER) == Some(policy::ADMIN_SECRET) {
+        return Ok("admin".to_string());
+    }
+    let principal = principal_of(ctx)?;
+    if has_perm(ctx, principal.as_deref(), want_admin)? {
+        Ok(principal.unwrap_or_else(|| "*".to_string()))
+    } else {
+        Err(WebError::Status(
+            Status::FORBIDDEN,
+            format!("permission denied for {principal:?}"),
+        ))
+    }
+}
+
+/// `POST /token {token, principal, valid}` — registers or refreshes a
+/// bearer token (administrator setup; also how expired tokens are
+/// simulated and later renewed in the §7.2 experiments).
+fn h_token(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    if ctx.req.headers.get(policy::ADMIN_HEADER) != Some(policy::ADMIN_SECRET) {
+        return Err(WebError::Status(
+            Status::FORBIDDEN,
+            "admin only".to_string(),
+        ));
+    }
+    let token = ctx.body_str("token")?.to_string();
+    let principal = ctx.body_str("principal")?.to_string();
+    let valid = ctx.req.body.get("valid").as_bool().unwrap_or(true);
+    let row = jv!({"token": token.clone(), "principal": principal, "valid": valid});
+    if let Some((id, _)) = ctx.find("service_tokens", &Filter::all().eq("token", token.as_str()))? {
+        ctx.update("service_tokens", id, row)?;
+    } else {
+        ctx.insert("service_tokens", row)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+/// `POST /acl {principal, perm}` — edits this service's ACL (requires
+/// admin permission). The Figure 5 attacks start with a mistaken request
+/// here.
+fn h_acl(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, true)?;
+    write_acl(ctx)
+}
+
+/// `POST /acl_sync {principal, perm}` — the endpoint the directory's
+/// `push_acl` script calls on the managed sheets (requires admin
+/// permission via the script's bearer token).
+fn h_acl_sync(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, true)?;
+    write_acl(ctx)
+}
+
+fn write_acl(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let principal = ctx.body_str("principal")?.to_string();
+    let perm = ctx.body_str("perm")?.to_string();
+    if perm.is_empty() {
+        if let Some((id, _)) =
+            ctx.find("acl", &Filter::all().eq("principal", principal.as_str()))?
+        {
+            ctx.delete("acl", id)?;
+        }
+        return Ok(HttpResponse::ok(jv!({"ok": true, "removed": true})));
+    }
+    let row = jv!({"principal": principal.clone(), "perm": perm});
+    if let Some((id, _)) = ctx.find("acl", &Filter::all().eq("principal", principal.as_str()))? {
+        ctx.update("acl", id, row)?;
+    } else {
+        ctx.insert("acl", row)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+/// `POST /script {name, action, target, token, scope}` — attaches a
+/// trigger script (`action` is `push_acl` or `sync_cells`; `scope` is a
+/// row-prefix filter selecting the cells it watches).
+fn h_script(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, true)?;
+    let name = ctx.body_str("name")?.to_string();
+    let action = ctx.body_str("action")?.to_string();
+    let target = ctx.req.body.str_of("target").to_string();
+    let token = ctx.req.body.str_of("token").to_string();
+    let scope = ctx.req.body.str_of("scope").to_string();
+    if action != "push_acl" && action != "sync_cells" {
+        return Err(WebError::BadRequest(format!(
+            "unknown script action {action:?}"
+        )));
+    }
+    let id = ctx.insert(
+        "scripts",
+        jv!({"name": name, "action": action, "target": target, "token": token, "scope": scope}),
+    )?;
+    Ok(HttpResponse::ok(jv!({"script_id": id as i64})))
+}
+
+/// `POST /cell {row, col, value}` — writes a cell (requires write
+/// permission), then runs every script whose scope matches the cell.
+fn h_cell_write(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    require_perm(ctx, false)?;
+    let row = ctx.body_str("row")?.to_string();
+    let col = ctx.body_str("col")?.to_string();
+    let value = ctx.req.body.get("value").clone();
+
+    let cell = jv!({"row": row.clone(), "col": col.clone(), "value": value.clone()});
+    if let Some((id, _)) = ctx.find(
+        "cells",
+        &Filter::all()
+            .eq("row", row.as_str())
+            .eq("col", col.as_str()),
+    )? {
+        ctx.update("cells", id, cell)?;
+    } else {
+        ctx.insert("cells", cell)?;
+    }
+
+    // Run trigger scripts, unless this write came from a sync itself.
+    let mut triggered = 0;
+    if !ctx.req.headers.contains(SYNC_HEADER) {
+        let scripts = ctx.scan("scripts", &Filter::all())?;
+        for (_, script) in scripts {
+            let scope = script.str_of("scope");
+            if !scope.is_empty() && !row.starts_with(scope) {
+                continue;
+            }
+            let token = script.str_of("token").to_string();
+            match script.str_of("action") {
+                "push_acl" => {
+                    // Directory convention: row = target service,
+                    // col = principal, value = permission.
+                    let target = row.clone();
+                    ctx.call(
+                        HttpRequest::post(
+                            Url::service(&target, "/acl_sync"),
+                            jv!({"principal": col.clone(), "perm": value.as_str().unwrap_or("").to_string()}),
+                        )
+                        .with_header("Authorization", format!("Bearer {token}")),
+                    );
+                    triggered += 1;
+                }
+                "sync_cells" => {
+                    let target = script.str_of("target").to_string();
+                    ctx.call(
+                        HttpRequest::post(
+                            Url::service(&target, "/cell"),
+                            jv!({"row": row.clone(), "col": col.clone(), "value": value.clone()}),
+                        )
+                        .with_header("Authorization", format!("Bearer {token}"))
+                        .with_header(SYNC_HEADER, "1"),
+                    );
+                    triggered += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(HttpResponse::ok(
+        jv!({"ok": true, "scripts_run": triggered}),
+    ))
+}
+
+/// `GET /cell?row=&col=`.
+fn h_cell_read(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let row = ctx.query("row").unwrap_or("").to_string();
+    let col = ctx.query("col").unwrap_or("").to_string();
+    match ctx.find(
+        "cells",
+        &Filter::all()
+            .eq("row", row.as_str())
+            .eq("col", col.as_str()),
+    )? {
+        Some((_, cell)) => Ok(HttpResponse::ok(jv!({"value": cell.get("value").clone()}))),
+        None => Ok(HttpResponse::error(Status::NOT_FOUND, "empty cell")),
+    }
+}
+
+/// `GET /cells` — all cells.
+fn h_cells(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("cells", &Filter::all())?;
+    let cells: Vec<Jv> = rows.into_iter().map(|(_, c)| c).collect();
+    Ok(HttpResponse::ok(jv!({"cells": Jv::List(cells)})))
+}
+
+/// `GET /acl_list` — the current ACL (test observability).
+fn h_acl_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("acl", &Filter::all())?;
+    let entries: Vec<Jv> = rows.into_iter().map(|(_, r)| r).collect();
+    Ok(HttpResponse::ok(jv!({"acl": Jv::List(entries)})))
+}
+
+impl App for Spreadsheet {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![
+            Schema::new(
+                "cells",
+                vec![
+                    FieldDef::new("row", FieldKind::Str),
+                    FieldDef::new("col", FieldKind::Str),
+                    FieldDef::new("value", FieldKind::Any),
+                ],
+            )
+            .with_unique_together(&["row", "col"]),
+            Schema::new(
+                "acl",
+                vec![
+                    FieldDef::new("principal", FieldKind::Str),
+                    FieldDef::new("perm", FieldKind::Str),
+                ],
+            )
+            .with_unique("principal"),
+            Schema::new(
+                "service_tokens",
+                vec![
+                    FieldDef::new("token", FieldKind::Str),
+                    FieldDef::new("principal", FieldKind::Str),
+                    FieldDef::new("valid", FieldKind::Bool),
+                ],
+            )
+            .with_unique("token"),
+            Schema::new(
+                "scripts",
+                vec![
+                    FieldDef::new("name", FieldKind::Str),
+                    FieldDef::new("action", FieldKind::Str),
+                    FieldDef::new("target", FieldKind::Str),
+                    FieldDef::new("token", FieldKind::Str),
+                    FieldDef::new("scope", FieldKind::Str),
+                ],
+            )
+            .with_unique("name"),
+        ]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/token", h_token)
+            .post("/acl", h_acl)
+            .post("/acl_sync", h_acl_sync)
+            .post("/script", h_script)
+            .post("/cell", h_cell_write)
+            .get("/cell", h_cell_read)
+            .get("/cells", h_cells)
+            .get("/acl_list", h_acl_list)
+    }
+
+    /// The §7.2 policy: "allows repair of a past request only if the
+    /// repair message has a valid token for the same user on whose behalf
+    /// the request was originally issued" — token *validity* is checked
+    /// against the present state, principal identity against history.
+    fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
+        if policy::is_admin(az.credentials) {
+            return true;
+        }
+        if let Some(repaired) = az.repaired_request {
+            if repaired.headers.get(policy::ADMIN_HEADER) == Some(policy::ADMIN_SECRET) {
+                return true;
+            }
+        }
+        let offered_token = policy::bearer(az.credentials)
+            .map(|t| t.to_string())
+            .or_else(|| {
+                az.repaired_request
+                    .and_then(|r| policy::bearer(&r.headers).map(|t| t.to_string()))
+            });
+        let Some(offered_token) = offered_token else {
+            return false;
+        };
+        // The offered token must be valid *now*.
+        let offered_principal = az
+            .db_now
+            .scan(
+                "service_tokens",
+                &Filter::all()
+                    .eq("token", offered_token.as_str())
+                    .eq("valid", true),
+            )
+            .into_iter()
+            .next()
+            .map(|(_, row)| row.str_of("principal").to_string());
+        let Some(offered_principal) = offered_principal else {
+            return false;
+        };
+        // It must belong to the same principal as the original request's
+        // token (looked up regardless of current validity).
+        match az.original_request {
+            Some(original) => {
+                let Some(orig_token) = policy::bearer(&original.headers) else {
+                    // Original was issued by the out-of-band administrator.
+                    return false;
+                };
+                let orig_principal = az
+                    .db_now
+                    .scan("service_tokens", &Filter::all().eq("token", orig_token))
+                    .into_iter()
+                    .next()
+                    .map(|(_, row)| row.str_of("principal").to_string());
+                orig_principal.as_deref() == Some(offered_principal.as_str())
+            }
+            None => true, // `create` with a currently valid token.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use aire_core::World;
+    use aire_http::Method;
+
+    use super::*;
+
+    fn admin_post(host: &str, path: &str, body: Jv) -> HttpRequest {
+        HttpRequest::post(Url::service(host, path), body)
+            .with_header(policy::ADMIN_HEADER, policy::ADMIN_SECRET)
+    }
+
+    fn bearer_post(host: &str, path: &str, body: Jv, token: &str) -> HttpRequest {
+        HttpRequest::post(Url::service(host, path), body)
+            .with_header("Authorization", format!("Bearer {token}"))
+    }
+
+    fn setup_single() -> World {
+        let mut world = World::new();
+        world.add_service(Rc::new(Spreadsheet::new("sheet")));
+        // A user token with write permission.
+        world
+            .deliver(&admin_post(
+                "sheet",
+                "/token",
+                jv!({"token": "alice-tok", "principal": "alice", "valid": true}),
+            ))
+            .unwrap();
+        world
+            .deliver(&admin_post(
+                "sheet",
+                "/acl",
+                jv!({"principal": "alice", "perm": "write"}),
+            ))
+            .unwrap();
+        world
+    }
+
+    #[test]
+    fn acl_gates_cell_writes() {
+        let world = setup_single();
+        // Alice can write.
+        let resp = world
+            .deliver(&bearer_post(
+                "sheet",
+                "/cell",
+                jv!({"row": "r1", "col": "c1", "value": "10"}),
+                "alice-tok",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        // Mallory (no token row) cannot.
+        let resp = world
+            .deliver(&bearer_post(
+                "sheet",
+                "/cell",
+                jv!({"row": "r1", "col": "c1", "value": "99"}),
+                "mallory-tok",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+        // The cell holds alice's value.
+        let read = world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("sheet", "/cell")
+                    .with_query("row", "r1")
+                    .with_query("col", "c1"),
+            ))
+            .unwrap();
+        assert_eq!(read.body.str_of("value"), "10");
+    }
+
+    #[test]
+    fn invalid_tokens_are_rejected() {
+        let world = setup_single();
+        world
+            .deliver(&admin_post(
+                "sheet",
+                "/token",
+                jv!({"token": "alice-tok", "principal": "alice", "valid": false}),
+            ))
+            .unwrap();
+        let resp = world
+            .deliver(&bearer_post(
+                "sheet",
+                "/cell",
+                jv!({"row": "r", "col": "c", "value": "1"}),
+                "alice-tok",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn world_writable_acl_lets_anyone_write() {
+        let world = setup_single();
+        world
+            .deliver(&admin_post(
+                "sheet",
+                "/acl",
+                jv!({"principal": "*", "perm": "write"}),
+            ))
+            .unwrap();
+        // Even an unknown token works now.
+        let resp = world
+            .deliver(&bearer_post(
+                "sheet",
+                "/cell",
+                jv!({"row": "r", "col": "c", "value": "1"}),
+                "mallory-tok",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+    }
+
+    #[test]
+    fn push_acl_script_distributes() {
+        let mut world = World::new();
+        world.add_service(Rc::new(Spreadsheet::new("acl-dir")));
+        world.add_service(Rc::new(Spreadsheet::new("sheet-a")));
+        // The script's token is an admin on sheet-a.
+        world
+            .deliver(&admin_post(
+                "sheet-a",
+                "/token",
+                jv!({"token": "dir-script", "principal": "acl-admin", "valid": true}),
+            ))
+            .unwrap();
+        world
+            .deliver(&admin_post(
+                "sheet-a",
+                "/acl",
+                jv!({"principal": "acl-admin", "perm": "admin"}),
+            ))
+            .unwrap();
+        // Install the distribution script on the directory.
+        world
+            .deliver(&admin_post(
+                "acl-dir",
+                "/script",
+                jv!({"name": "distribute", "action": "push_acl", "target": "", "token": "dir-script", "scope": ""}),
+            ))
+            .unwrap();
+        // Admin writes the master ACL cell: sheet-a / bob → write.
+        let resp = world
+            .deliver(&admin_post(
+                "acl-dir",
+                "/cell",
+                jv!({"row": "sheet-a", "col": "bob", "value": "write"}),
+            ))
+            .unwrap();
+        assert_eq!(resp.body.int_of("scripts_run"), 1);
+        // sheet-a's ACL now contains bob.
+        let acl = world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("sheet-a", "/acl_list"),
+            ))
+            .unwrap();
+        let entries = acl.body.get("acl").as_list().unwrap().to_vec();
+        assert!(entries.iter().any(|e| e.str_of("principal") == "bob"));
+    }
+
+    #[test]
+    fn sync_script_mirrors_cells_without_looping() {
+        let mut world = World::new();
+        world.add_service(Rc::new(Spreadsheet::new("sheet-a")));
+        world.add_service(Rc::new(Spreadsheet::new("sheet-b")));
+        for sheet in ["sheet-a", "sheet-b"] {
+            world
+                .deliver(&admin_post(
+                    sheet,
+                    "/token",
+                    jv!({"token": "sync-tok", "principal": "syncer", "valid": true}),
+                ))
+                .unwrap();
+            world
+                .deliver(&admin_post(
+                    sheet,
+                    "/acl",
+                    jv!({"principal": "syncer", "perm": "write"}),
+                ))
+                .unwrap();
+        }
+        world
+            .deliver(&admin_post(
+                "sheet-a",
+                "/script",
+                jv!({"name": "mirror", "action": "sync_cells", "target": "sheet-b", "token": "sync-tok", "scope": "shared"}),
+            ))
+            .unwrap();
+        // A write in the shared range propagates.
+        world
+            .deliver(&bearer_post(
+                "sheet-a",
+                "/cell",
+                jv!({"row": "shared1", "col": "x", "value": "42"}),
+                "sync-tok",
+            ))
+            .unwrap();
+        let read = world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("sheet-b", "/cell")
+                    .with_query("row", "shared1")
+                    .with_query("col", "x"),
+            ))
+            .unwrap();
+        assert_eq!(read.body.str_of("value"), "42");
+        // A write outside the scope does not propagate.
+        world
+            .deliver(&bearer_post(
+                "sheet-a",
+                "/cell",
+                jv!({"row": "private1", "col": "x", "value": "7"}),
+                "sync-tok",
+            ))
+            .unwrap();
+        let read = world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("sheet-b", "/cell")
+                    .with_query("row", "private1")
+                    .with_query("col", "x"),
+            ))
+            .unwrap();
+        assert_eq!(read.status, Status::NOT_FOUND);
+    }
+}

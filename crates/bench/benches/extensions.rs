@@ -1,0 +1,266 @@
+//! Benches for the extension features beyond the paper's prototype:
+//!
+//! * `aggregation`: immediate per-message local repair vs. the §3.2
+//!   incoming queue applying a batch of repair messages in one engine
+//!   pass (fewer passes, less repeated rollback work).
+//! * `scaling`: Table 5's repair cost as the number of legitimate users
+//!   grows — repair time should scale with the *affected* request count,
+//!   not the log size (selective re-execution's whole point).
+//! * `persistence`: controller snapshot and restore cost on a populated
+//!   service, plus the snapshot's byte footprint (printed once).
+//! * `company`: the §1 motivating scenario end to end (attack + 3-domain
+//!   repair).
+
+use std::rc::Rc;
+
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::{ControllerConfig, RepairMode, World};
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_types::{jv, Jv, RequestId};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+use aire_workload::scenarios::askbot_attack::{self, AskbotWorkload};
+use aire_workload::scenarios::company::{self, CompanyWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+//////// A minimal notes service for the aggregation ablation. ////////
+
+struct Notes;
+
+fn notes_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn notes_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", notes_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+/// Builds a notes service with `bad` attack posts interleaved among
+/// legitimate posts and readers; returns the attack request ids.
+fn setup_notes(bad: usize) -> (World, Vec<RequestId>) {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let mut attacks = Vec::new();
+    for i in 0..bad {
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("notes", "/add"),
+                jv!({"text": format!("legit-{i}")}),
+            ))
+            .unwrap();
+        let resp = world
+            .deliver(&HttpRequest::post(
+                Url::service("notes", "/add"),
+                jv!({"text": format!("EVIL-{i}")}),
+            ))
+            .unwrap();
+        attacks.push(aire_http::aire::response_request_id(&resp).unwrap());
+        world
+            .deliver(&HttpRequest::get(Url::service("notes", "/list")))
+            .unwrap();
+    }
+    (world, attacks)
+}
+
+fn deliver_deletes(world: &World, attacks: &[RequestId]) {
+    for id in attacks {
+        let ack = world
+            .invoke_repair(
+                "notes",
+                RepairMessage::bare(RepairOp::Delete {
+                    request_id: id.clone(),
+                }),
+            )
+            .unwrap();
+        assert!(ack.status.is_success());
+    }
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    const BAD: usize = 8;
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+
+    group.bench_function("immediate_per_message", |b| {
+        b.iter_batched(
+            || setup_notes(BAD),
+            |(world, attacks)| {
+                deliver_deletes(&world, &attacks);
+                world
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("deferred_one_pass", |b| {
+        b.iter_batched(
+            || {
+                let (world, attacks) = setup_notes(BAD);
+                world.set_repair_mode_all(RepairMode::Deferred);
+                (world, attacks)
+            },
+            |(world, attacks)| {
+                deliver_deletes(&world, &attacks);
+                world.run_local_repairs();
+                world
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Counter comparison, printed once for the bench log.
+    let (world, attacks) = setup_notes(BAD);
+    deliver_deletes(&world, &attacks);
+    let immediate = world.controller("notes").stats();
+    let (world, attacks) = setup_notes(BAD);
+    world.set_repair_mode_all(RepairMode::Deferred);
+    deliver_deletes(&world, &attacks);
+    world.run_local_repairs();
+    let deferred = world.controller("notes").stats();
+    println!(
+        "ablation_aggregation: immediate passes={} repaired={} | deferred passes={} repaired={}",
+        immediate.repair_passes,
+        immediate.repaired_requests,
+        deferred.repair_passes,
+        deferred.repaired_requests,
+    );
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_users");
+    group.sample_size(10);
+    for users in [5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
+            let cfg = AskbotWorkload {
+                legit_users: users,
+                questions_per_user: 3,
+                oauth_signups: 2,
+            };
+            b.iter_batched(
+                || askbot_attack::setup(&cfg),
+                |s| {
+                    askbot_attack::repair(&s);
+                    s.world.pump();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The series behind the sweep, printed once: repaired fraction per N.
+    for users in [5usize, 10, 20, 40] {
+        let cfg = AskbotWorkload {
+            legit_users: users,
+            questions_per_user: 3,
+            oauth_signups: 2,
+        };
+        let s = askbot_attack::setup(&cfg);
+        askbot_attack::repair(&s);
+        s.world.pump();
+        let stats = s.world.controller("askbot").stats();
+        println!(
+            "scaling[users={users}]: repaired {}/{} requests ({:.1}%), local repair {:?}",
+            stats.repaired_requests,
+            stats.normal_requests,
+            100.0 * stats.repaired_request_fraction(),
+            stats.repair_wall,
+        );
+    }
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+
+    let build = || {
+        let (world, _) = setup_notes(32);
+        world
+    };
+    group.bench_function("snapshot", |b| {
+        let world = build();
+        b.iter(|| world.controller("notes").snapshot())
+    });
+    group.bench_function("restore", |b| {
+        let world = build();
+        let snap = world.controller("notes").snapshot();
+        b.iter_batched(
+            || snap.clone(),
+            |snap| {
+                let mut w = World::new();
+                w.add_service_restored(Rc::new(Notes), ControllerConfig::default(), &snap)
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    let world = build();
+    let snap = world.controller("notes").snapshot().encode();
+    let compressed = aire_types::compress::compressed_len(snap.as_bytes());
+    println!(
+        "persistence: snapshot {} bytes raw, {} compressed ({} actions)",
+        snap.len(),
+        compressed,
+        world.controller("notes").action_count(),
+    );
+}
+
+fn bench_company(c: &mut Criterion) {
+    let mut group = c.benchmark_group("company_intro");
+    group.sample_size(10);
+    group.bench_function("attack_and_repair", |b| {
+        b.iter_batched(
+            || company::setup(&CompanyWorkload::default()),
+            |s| {
+                let report = s.repair();
+                assert!(report.quiescent());
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregation,
+    bench_scaling,
+    bench_persistence,
+    bench_company
+);
+criterion_main!(benches);

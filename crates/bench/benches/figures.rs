@@ -1,0 +1,34 @@
+//! Figure benches: the Figure 2 partial-repair timeline and the Figure 3
+//! branching repair, measured end to end (setup + repair + verification).
+
+use aire_workload::scenarios::{fig2, fig3};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+
+    group.bench_function("fig2_s3_partial_repair", |b| {
+        b.iter(|| {
+            let s = fig2::setup();
+            fig2::repair_locally(&s);
+            assert_eq!(fig2::current_value(&s.world), "a");
+            s.world.pump();
+            assert_eq!(fig2::observations(&s.world), vec!["a"]);
+        })
+    });
+
+    group.bench_function("fig3_branching_repair", |b| {
+        b.iter(|| {
+            let s = fig3::setup();
+            fig3::repair(&s);
+            let (value, version, labels) = fig3::state(&s.world);
+            assert_eq!((value.as_str(), version.as_str()), ("d", "v6"));
+            assert_eq!(labels.len(), 6);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

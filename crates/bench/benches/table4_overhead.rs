@@ -1,0 +1,106 @@
+//! Table 4: Aire's normal-operation overhead.
+//!
+//! Measures Askbot request latency with and without Aire for the paper's
+//! read-heavy and write-heavy workloads. The paper reports 19% (read)
+//! and 30% (write) CPU overhead; the *ratio* between the `bare_*` and
+//! `aire_*` series here is the reproduced quantity.
+
+use std::rc::Rc;
+
+use aire_apps::Askbot;
+use aire_core::bare::BareService;
+use aire_core::World;
+use aire_http::{HttpRequest, Method, Url};
+use aire_net::Network;
+use aire_types::jv;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_aire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(20);
+
+    // With Aire.
+    {
+        let mut world = World::new();
+        world.add_service(Rc::new(Askbot));
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("askbot", "/register"),
+                jv!({"username": "u", "email": "u@x"}),
+            ))
+            .unwrap();
+        let login = world
+            .deliver(&HttpRequest::post(
+                Url::service("askbot", "/login"),
+                jv!({"username": "u"}),
+            ))
+            .unwrap();
+        let cookie = login.headers.get("set-cookie").unwrap().to_string();
+        let mut n = 0u64;
+        group.bench_function("aire_write", |b| {
+            b.iter(|| {
+                n += 1;
+                let req = HttpRequest::post(
+                    Url::service("askbot", "/questions/new"),
+                    jv!({"title": format!("q{n}"), "body": "lorem ipsum dolor sit amet"}),
+                )
+                .with_header("Cookie", cookie.clone());
+                world.deliver(&req).unwrap()
+            })
+        });
+        group.bench_function("aire_read", |b| {
+            b.iter(|| {
+                world
+                    .deliver(&HttpRequest::new(
+                        Method::Get,
+                        Url::service("askbot", "/questions"),
+                    ))
+                    .unwrap()
+            })
+        });
+    }
+
+    // Without Aire (bare host).
+    {
+        let net = Network::new();
+        let svc = BareService::new(Rc::new(Askbot), net.clone());
+        net.register("askbot", svc);
+        net.deliver(&HttpRequest::post(
+            Url::service("askbot", "/register"),
+            jv!({"username": "u", "email": "u@x"}),
+        ))
+        .unwrap();
+        let login = net
+            .deliver(&HttpRequest::post(
+                Url::service("askbot", "/login"),
+                jv!({"username": "u"}),
+            ))
+            .unwrap();
+        let cookie = login.headers.get("set-cookie").unwrap().to_string();
+        let mut n = 0u64;
+        group.bench_function("bare_write", |b| {
+            b.iter(|| {
+                n += 1;
+                let req = HttpRequest::post(
+                    Url::service("askbot", "/questions/new"),
+                    jv!({"title": format!("q{n}"), "body": "lorem ipsum dolor sit amet"}),
+                )
+                .with_header("Cookie", cookie.clone());
+                net.deliver(&req).unwrap()
+            })
+        });
+        group.bench_function("bare_read", |b| {
+            b.iter(|| {
+                net.deliver(&HttpRequest::new(
+                    Method::Get,
+                    Url::service("askbot", "/questions"),
+                ))
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aire);
+criterion_main!(benches);

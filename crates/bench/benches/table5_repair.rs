@@ -1,0 +1,41 @@
+//! Table 5: repair performance for the Figure 4 attack.
+//!
+//! Measures end-to-end recovery time (delete on the OAuth service +
+//! asynchronous propagation to quiescence) for the attacked three-service
+//! world. Selectivity (repaired/total requests) is checked inside the
+//! harness; the paper's headline — local repair re-executes only the
+//! requests affected by the attack — is what keeps this fast.
+
+use aire_bench::{bench_workload, run_attack_and_repair};
+use aire_workload::scenarios::askbot_attack;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+
+    group.bench_function("attack_setup", |b| {
+        b.iter(|| askbot_attack::setup(&bench_workload()))
+    });
+
+    group.bench_function("repair_end_to_end", |b| {
+        b.iter(|| run_attack_and_repair(&bench_workload()))
+    });
+
+    // Local repair only (no propagation): the oauth service's share.
+    group.bench_function("local_repair_oauth", |b| {
+        b.iter_batched(
+            || askbot_attack::setup(&bench_workload()),
+            |s| {
+                let ack = askbot_attack::repair(&s);
+                assert!(ack.status.is_success());
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,276 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p aire-bench --bin report
+//! ```
+//!
+//! Pass a table/figure name (`table4`, `fig3`, ...) to run one section;
+//! pass `--small` to shrink the Table 5 workload for quick runs.
+//! Extension sections beyond the paper: `intro` (the §1 company
+//! scenario), `aggregation` (§3.2's incoming queue), `scaling` (Table 5
+//! vs. user count), `leaks` (the §9 leak audit), and `persistence`
+//! (snapshot/restore).
+
+use std::env;
+
+use aire_core::RepairMode;
+use aire_workload::overhead::{self, Workload};
+use aire_workload::report as render;
+use aire_workload::scenarios::askbot_attack::{self, AskbotWorkload};
+use aire_workload::scenarios::company::{self, CompanyWorkload};
+use aire_workload::scenarios::{fig2, fig3, spreadsheet};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let sections: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| *s != "--small")
+        .collect();
+    let want = |name: &str| sections.is_empty() || sections.contains(&name);
+
+    println!("Aire reproduction report");
+    println!("========================\n");
+
+    if want("table1") {
+        println!("{}", render::render_table1());
+    }
+    if want("table2") {
+        println!("{}", render::render_table2());
+    }
+    if want("table3") {
+        println!("{}", render::render_table3());
+    }
+    if want("table4") {
+        let (requests, seed) = if small { (150, 20) } else { (600, 50) };
+        let results = vec![
+            overhead::measure(Workload::Reading, requests, seed),
+            overhead::measure(Workload::Writing, requests, seed),
+        ];
+        println!("{}", render::render_table4(&results));
+    }
+    if want("table5") || want("fig4") {
+        let cfg = if small {
+            AskbotWorkload {
+                legit_users: 20,
+                questions_per_user: 3,
+                oauth_signups: 3,
+            }
+        } else {
+            AskbotWorkload::default()
+        };
+        let s = askbot_attack::setup(&cfg);
+        println!(
+            "Figure 4 workload: {} askbot requests before repair",
+            s.world.controller("askbot").stats().normal_requests
+        );
+        let titles_before = askbot_attack::askbot_titles(&s.world).len();
+        let ack = askbot_attack::repair(&s);
+        assert!(ack.status.is_success());
+        let pump = s.world.pump();
+        let titles_after = askbot_attack::askbot_titles(&s.world).len();
+        println!(
+            "Figure 4 repair flow: delete(1) -> oauth local repair -> replace_response(4) \
+             -> askbot local repair -> delete(6) -> dpaste local repair"
+        );
+        println!(
+            "  questions visible: {titles_before} -> {titles_after} \
+             (attacker's question removed)"
+        );
+        println!(
+            "  repair messages delivered: {} (quiescent: {})\n",
+            pump.delivered,
+            pump.quiescent()
+        );
+        println!("{}", render::render_table5(&askbot_attack::metrics(&s)));
+    }
+    if want("fig2") {
+        let s = fig2::setup();
+        println!("Figure 2: S3-style partial repair");
+        println!(
+            "  t2: store={}, observer sees {:?}",
+            fig2::current_value(&s.world),
+            fig2::observations(&s.world)
+        );
+        fig2::repair_locally(&s);
+        println!(
+            "  after local repair (before propagation): store={}, observer sees {:?} \
+             -- valid: a concurrent client could have written it",
+            fig2::current_value(&s.world),
+            fig2::observations(&s.world)
+        );
+        s.world.pump();
+        println!(
+            "  after replace_response: store={}, observer sees {:?}\n",
+            fig2::current_value(&s.world),
+            fig2::observations(&s.world)
+        );
+    }
+    if want("fig3") {
+        let s = fig3::setup();
+        let (value, version, labels) = fig3::state(&s.world);
+        println!("Figure 3: branching versioned KV repair");
+        println!("  before: get(x)={value}@{version}, versions={labels:?}");
+        fig3::repair(&s);
+        let (value, version, labels) = fig3::state(&s.world);
+        println!("  after deleting put(x,b): get(x)={value}@{version}, versions={labels:?}");
+        println!("  (paper: current moves to the repaired branch v5/v6; old branch preserved)\n");
+    }
+    if want("fig5") {
+        for variant in [
+            spreadsheet::Variant::LaxPermissions,
+            spreadsheet::Variant::LaxDirectory,
+            spreadsheet::Variant::CorruptSync,
+        ] {
+            let s = spreadsheet::setup(variant);
+            let corrupted_a = spreadsheet::cell(&s.world, "sheet-a", "budget", "q1");
+            let corrupted_shared = spreadsheet::cell(&s.world, "sheet-b", "shared", "total");
+            spreadsheet::repair(&s);
+            spreadsheet::assert_recovered(&s);
+            println!(
+                "Figure 5 / {variant:?}: corrupt state ({corrupted_a:?} {corrupted_shared:?}) \
+                 fully recovered; attacker removed from all ACLs"
+            );
+        }
+        println!();
+    }
+    if want("partial") {
+        let cfg = AskbotWorkload {
+            legit_users: 10,
+            questions_per_user: 2,
+            oauth_signups: 2,
+        };
+        let s = askbot_attack::setup(&cfg);
+        s.world.set_online("dpaste", false);
+        askbot_attack::repair(&s);
+        let pending = s.world.pump();
+        println!(
+            "Partial repair (dpaste offline): pending={} delivered={}",
+            pending.pending, pending.delivered
+        );
+        println!(
+            "  askbot clean: {}",
+            !askbot_attack::askbot_titles(&s.world)
+                .iter()
+                .any(|t| t.contains("FREE BITCOIN"))
+        );
+        s.world.set_online("dpaste", true);
+        let after = s.world.pump();
+        println!(
+            "  dpaste back online: delivered={} quiescent={}\n",
+            after.delivered,
+            after.quiescent()
+        );
+    }
+    if want("intro") {
+        let s = company::setup(&CompanyWorkload::default());
+        let report = s.repair();
+        s.verify_recovered();
+        println!(
+            "Intro scenario (§1): accessctl -> hrm -> crm; \
+             {} repair messages, {} local passes, quiescent: {}",
+            report.pump.delivered,
+            report.local_passes,
+            report.quiescent()
+        );
+        for m in s.metrics() {
+            println!(
+                "  {:<10} repaired {:>3}/{:<4} requests, {} messages sent",
+                m.service, m.repaired_requests, m.total_requests, m.repair_messages_sent
+            );
+        }
+        println!();
+    }
+    if want("aggregation") {
+        let cfg = AskbotWorkload {
+            legit_users: 10,
+            questions_per_user: 2,
+            oauth_signups: 2,
+        };
+        let immediate = {
+            let s = askbot_attack::setup(&cfg);
+            askbot_attack::repair(&s);
+            s.world.settle();
+            s.world.controller("askbot").stats()
+        };
+        let deferred = {
+            let s = askbot_attack::setup(&cfg);
+            s.world.set_repair_mode_all(RepairMode::Deferred);
+            askbot_attack::repair(&s);
+            s.world.settle();
+            s.world.controller("askbot").stats()
+        };
+        println!(
+            "Incoming aggregation (§3.2): askbot passes {} -> {}, \
+             repaired requests {} -> {} (identical final state)",
+            immediate.repair_passes,
+            deferred.repair_passes,
+            immediate.repaired_requests,
+            deferred.repaired_requests
+        );
+        println!();
+    }
+    if want("scaling") {
+        println!("Repair scaling (Table 5 shape vs. workload size):");
+        for users in [10usize, 25, 50, 100] {
+            let cfg = AskbotWorkload {
+                legit_users: users,
+                questions_per_user: 3,
+                oauth_signups: 2,
+            };
+            let s = askbot_attack::setup(&cfg);
+            askbot_attack::repair(&s);
+            s.world.pump();
+            let stats = s.world.controller("askbot").stats();
+            println!(
+                "  users={users:<4} repaired {:>4}/{:<5} requests ({:>4.1}%), \
+                 local repair {:?}",
+                stats.repaired_requests,
+                stats.normal_requests,
+                100.0 * stats.repaired_request_fraction(),
+                stats.repair_wall
+            );
+        }
+        println!();
+    }
+    if want("leaks") {
+        // §9's leak-audit extension, on the Figure 4 scenario: which
+        // repaired requests read the attacker's question before repair?
+        let cfg = AskbotWorkload {
+            legit_users: 10,
+            questions_per_user: 2,
+            oauth_signups: 2,
+        };
+        let s = askbot_attack::setup(&cfg);
+        askbot_attack::repair(&s);
+        s.world.pump();
+        let leaks = s.world.controller("askbot").leak_audit(
+            "questions",
+            &aire_vdb::Filter::all().contains("title", "FREE BITCOIN"),
+        );
+        println!(
+            "Leak audit (§9): {} request(s) read the attacker's question during \
+             original execution but not after repair",
+            leaks.len()
+        );
+        println!();
+    }
+    if want("persistence") {
+        let cfg = AskbotWorkload {
+            legit_users: 10,
+            questions_per_user: 2,
+            oauth_signups: 2,
+        };
+        let s = askbot_attack::setup(&cfg);
+        let snap = s.world.controller("askbot").snapshot().encode();
+        let compressed = aire_types::compress::compressed_len(snap.as_bytes());
+        println!(
+            "Persistence: askbot snapshot {} bytes raw / {} compressed \
+             ({} actions); restore + repair verified by crates/core/tests/persistence.rs\n",
+            snap.len(),
+            compressed,
+            s.world.controller("askbot").action_count()
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Integration tests: an [`AireClient`] talking to real Aire controllers.
+//!
+//! These exercise the client-side half of the repair protocol end to end:
+//! server-initiated `replace_response` via the notifier token dance
+//! (§3.1), client-initiated `replace`/`delete` of its own past requests,
+//! offline clients (§7.2's partial repair, with the *client* as the
+//! unavailable party), and the derived-view replay that keeps client
+//! state consistent with the repaired conversation.
+
+use std::rc::Rc;
+
+use aire_client::{AireClient, ClientEvent};
+use aire_core::World;
+use aire_http::{Headers, HttpRequest, HttpResponse, Method, Url};
+use aire_http::Status;
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+//////// Fixture service. ////////
+
+struct Notes;
+
+fn notes_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text.clone()}))?;
+    // Echo the text so a replaced request observably changes its response.
+    Ok(HttpResponse::ok(jv!({"id": id as i64, "text": text})))
+}
+
+fn notes_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", notes_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+/// Fold: remember the body of the latest `/list` response.
+fn list_fold(view: &mut Jv, req: &HttpRequest, resp: &HttpResponse) {
+    if req.url.path == "/list" && resp.status.is_success() {
+        view.set("list", resp.body.clone());
+    }
+    if req.url.path == "/add" && resp.status.is_success() {
+        let n = view.get("adds").as_int().unwrap_or(0);
+        view.set("adds", Jv::i(n + 1));
+    }
+}
+
+fn view_texts(client: &AireClient) -> Vec<String> {
+    client
+        .view()
+        .get("list")
+        .as_list()
+        .map(|l| {
+            l.iter()
+                .map(|v| v.as_str().unwrap_or_default().to_string())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn admin_delete(world: &World, service: &str, resp: &HttpResponse) {
+    let id = aire_http::aire::response_request_id(resp).expect("tagged response");
+    let ack = world
+        .invoke_repair(
+            service,
+            aire_core::RepairMessage::bare(aire_core::RepairOp::Delete { request_id: id }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::OK);
+}
+
+//////// Tests. ////////
+
+#[test]
+fn server_repairs_a_client_response_through_the_token_dance() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let client = AireClient::register(world.net(), "cli", list_fold);
+
+    // An attacker (plain browser, no Aire plumbing) posts EVIL.
+    let attack = world
+        .deliver(&HttpRequest::post(
+            Url::service("notes", "/add"),
+            jv!({"text": "EVIL"}),
+        ))
+        .unwrap();
+    // The Aire client reads the list and caches it in its view.
+    client.post("notes", "/add", jv!({"text": "mine"})).unwrap();
+    client.get("notes", "/list").unwrap();
+    assert_eq!(view_texts(&client), vec!["EVIL", "mine"]);
+
+    // The administrator cancels the attack; the service re-executes the
+    // client's read, whose response changed, and queues replace_response.
+    admin_delete(&world, "notes", &attack);
+    assert_eq!(world.queued_messages(), 1);
+    // The client still holds the stale view — a valid partially repaired
+    // state (§5): a concurrent writer could have removed EVIL anyway.
+    assert_eq!(view_texts(&client), vec!["EVIL", "mine"]);
+
+    let report = world.pump();
+    assert!(report.quiescent(), "token dance should drain: {report:?}");
+
+    // The client's log and view now reflect the repaired response.
+    assert_eq!(view_texts(&client), vec!["mine"]);
+    let events = client.events();
+    assert_eq!(events.len(), 1);
+    match &events[0] {
+        ClientEvent::ResponseRepaired { old, new, .. } => {
+            assert!(old.body.encode().contains("EVIL"));
+            assert!(!new.body.encode().contains("EVIL"));
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    let repaired_call = client
+        .calls()
+        .into_iter()
+        .find(|c| c.repaired)
+        .expect("one call was repaired");
+    assert_eq!(repaired_call.request.url.path, "/list");
+}
+
+#[test]
+fn client_initiated_delete_cleans_both_sides() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let client = AireClient::register(world.net(), "cli", list_fold);
+
+    client.post("notes", "/add", jv!({"text": "oops"})).unwrap();
+    client.get("notes", "/list").unwrap();
+    assert_eq!(view_texts(&client), vec!["oops"]);
+    assert_eq!(client.view().get("adds").as_int(), Some(1));
+
+    // The user realizes the post was a mistake and undoes it.
+    let ack = client.repair_delete(0, Headers::new()).unwrap();
+    assert_eq!(ack.status, Status::OK);
+
+    // Server side: gone.
+    let listed = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("notes", "/list"),
+        ))
+        .unwrap();
+    assert_eq!(listed.body.as_list().map(|l| l.len()), Some(0));
+    // Client side: the tombstoned call no longer contributes to the view.
+    assert_eq!(client.view().get("adds").as_int(), None);
+    assert!(client.call_at(0).deleted);
+
+    // The client's own `/list` read is repaired too, once the service's
+    // queued replace_response is pumped.
+    world.pump();
+    assert_eq!(view_texts(&client), Vec::<String>::new());
+}
+
+#[test]
+fn client_initiated_replace_fixes_the_request_and_later_the_response() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let client = AireClient::register(world.net(), "cli", list_fold);
+
+    client.post("notes", "/add", jv!({"text": "tpyo"})).unwrap();
+    client.get("notes", "/list").unwrap();
+    assert_eq!(view_texts(&client), vec!["tpyo"]);
+
+    let fixed = HttpRequest::post(Url::service("notes", "/add"), jv!({"text": "typo-fixed"}));
+    let ack = client.repair_replace(0, fixed, Headers::new()).unwrap();
+    assert_eq!(ack.status, Status::OK);
+
+    // Server state is already repaired (local repair is immediate).
+    let listed = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("notes", "/list"),
+        ))
+        .unwrap();
+    assert_eq!(listed.body.as_list().unwrap()[0].as_str(), Some("typo-fixed"));
+
+    // The corrected responses (for the replaced request and the affected
+    // read) flow back asynchronously.
+    let report = world.pump();
+    assert!(report.quiescent());
+    assert_eq!(view_texts(&client), vec!["typo-fixed"]);
+    // The replaced call's response was rewritten through the fresh
+    // response id carried by the corrected request.
+    assert!(client.call_at(0).repaired);
+}
+
+#[test]
+fn offline_client_is_repaired_when_it_returns() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let client = AireClient::register(world.net(), "cli", list_fold);
+
+    let attack = world
+        .deliver(&HttpRequest::post(
+            Url::service("notes", "/add"),
+            jv!({"text": "EVIL"}),
+        ))
+        .unwrap();
+    client.get("notes", "/list").unwrap();
+    assert_eq!(view_texts(&client), vec!["EVIL"]);
+
+    // The client goes offline (laptop closed) before repair.
+    world.set_online("cli", false);
+    admin_delete(&world, "notes", &attack);
+    let report = world.pump();
+    assert!(!report.quiescent());
+    assert_eq!(report.pending, 1, "replace_response parked for the client");
+    assert_eq!(view_texts(&client), vec!["EVIL"], "still stale while away");
+
+    // Client comes back; the queued repair reaches it.
+    world.set_online("cli", true);
+    let report = world.pump();
+    assert!(report.quiescent());
+    assert_eq!(view_texts(&client), Vec::<String>::new());
+}
+
+#[test]
+fn two_clients_see_consistent_repair() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let alice = AireClient::register(world.net(), "alice", list_fold);
+    let bob = AireClient::register(world.net(), "bob", list_fold);
+
+    let attack = world
+        .deliver(&HttpRequest::post(
+            Url::service("notes", "/add"),
+            jv!({"text": "EVIL"}),
+        ))
+        .unwrap();
+    alice.post("notes", "/add", jv!({"text": "a"})).unwrap();
+    alice.get("notes", "/list").unwrap();
+    bob.get("notes", "/list").unwrap();
+    assert_eq!(view_texts(&alice), vec!["EVIL", "a"]);
+    assert_eq!(view_texts(&bob), vec!["EVIL", "a"]);
+
+    admin_delete(&world, "notes", &attack);
+    let report = world.pump();
+    assert!(report.quiescent());
+    assert_eq!(view_texts(&alice), vec!["a"]);
+    assert_eq!(view_texts(&bob), vec!["a"]);
+}
+
+#[test]
+fn client_repair_against_a_deferred_service() {
+    // A client-initiated delete against a service in deferred mode is
+    // acknowledged immediately (authorized + queued, §3.2) but takes
+    // effect only at the service's next aggregated pass; the client's
+    // replace_response then arrives through the normal pump.
+    use aire_core::RepairMode;
+
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+    let client = AireClient::register(world.net(), "cli", list_fold);
+
+    client.post("notes", "/add", jv!({"text": "oops"})).unwrap();
+    client.get("notes", "/list").unwrap();
+
+    notes.set_repair_mode(RepairMode::Deferred);
+    let ack = client.repair_delete(0, Headers::new()).unwrap();
+    assert_eq!(ack.status, Status::OK);
+    // Tombstoned client-side on the ack; the service still shows it.
+    assert!(client.call_at(0).deleted);
+    let listed = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("notes", "/list"),
+        ))
+        .unwrap();
+    assert_eq!(listed.body.as_list().map(|l| l.len()), Some(1));
+
+    // The aggregated pass applies the delete; the pump fixes the
+    // client's cached read.
+    notes.run_local_repair();
+    world.pump();
+    assert_eq!(view_texts(&client), Vec::<String>::new());
+}
+
+#[test]
+fn duplicate_replace_response_is_idempotent() {
+    // Replaying an unchanged response (e.g. a retried notifier call after
+    // a lost ack) must be a no-op for the client's view and events.
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let client = AireClient::register(world.net(), "cli", list_fold);
+
+    let attack = world
+        .deliver(&HttpRequest::post(
+            Url::service("notes", "/add"),
+            jv!({"text": "EVIL"}),
+        ))
+        .unwrap();
+    client.get("notes", "/list").unwrap();
+    admin_delete(&world, "notes", &attack);
+    world.pump();
+    let events_once = client.events().len();
+    let view_once = view_texts(&client);
+
+    // Pumping again delivers nothing new.
+    let report = world.pump();
+    assert_eq!(report.delivered, 0);
+    assert_eq!(client.events().len(), events_once);
+    assert_eq!(view_texts(&client), view_once);
+}

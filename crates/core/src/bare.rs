@@ -1,0 +1,302 @@
+//! Running an application *without* Aire: the Table 4 baseline.
+//!
+//! The paper measures Askbot's throughput "with and without Aire". The
+//! bare host runs the same [`App`] handlers against a plain (unversioned,
+//! unlogged) row store and makes outgoing calls without Aire headers —
+//! i.e. it pays none of Aire's versioning, logging, or tagging costs.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use aire_http::{HttpRequest, HttpResponse, Status};
+use aire_net::{Endpoint, Network};
+use aire_types::{DetRng, Jv};
+use aire_vdb::{Filter, RowKey, Schema, StoreError};
+use aire_web::{App, Ctx, Runtime};
+
+/// A plain, single-version row store.
+#[derive(Debug, Default)]
+struct PlainStore {
+    tables: BTreeMap<String, PlainTable>,
+}
+
+#[derive(Debug, Default)]
+struct PlainTable {
+    schema: Option<Schema>,
+    rows: BTreeMap<u64, Jv>,
+    next_id: u64,
+}
+
+impl PlainStore {
+    fn table_mut(&mut self, name: &str) -> Result<&mut PlainTable, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    fn table(&self, name: &str) -> Result<&PlainTable, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    fn check_unique(&self, name: &str, self_id: u64, data: &Jv) -> Result<(), StoreError> {
+        let t = self.table(name)?;
+        let Some(schema) = t.schema.as_ref() else {
+            return Ok(());
+        };
+        if schema.unique.is_empty() {
+            return Ok(());
+        }
+        let mine = schema.unique_tuples(data);
+        for (&id, row) in &t.rows {
+            if id == self_id {
+                continue;
+            }
+            let theirs = schema.unique_tuples(row);
+            for ((ci, m), (_, o)) in mine.iter().zip(theirs.iter()) {
+                if m == o {
+                    return Err(StoreError::UniqueViolation {
+                        key: RowKey::new(name, self_id),
+                        constraint: *ci,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct BareRuntime<'a> {
+    store: &'a mut PlainStore,
+    net: &'a Network,
+    rng: &'a mut DetRng,
+    clock_millis: &'a mut i64,
+}
+
+impl Runtime for BareRuntime<'_> {
+    fn db_get(&mut self, table: &str, id: u64) -> Result<Option<Jv>, StoreError> {
+        Ok(self.store.table(table)?.rows.get(&id).cloned())
+    }
+
+    fn db_scan(&mut self, table: &str, filter: &Filter) -> Result<Vec<(u64, Jv)>, StoreError> {
+        Ok(self
+            .store
+            .table(table)?
+            .rows
+            .iter()
+            .filter(|(_, row)| filter.matches(row))
+            .map(|(&id, row)| (id, row.clone()))
+            .collect())
+    }
+
+    fn db_insert(&mut self, table: &str, data: Jv) -> Result<u64, StoreError> {
+        if let Some(schema) = self.store.table(table)?.schema.as_ref() {
+            schema.validate(&data).map_err(StoreError::BadRow)?;
+        }
+        self.store.check_unique(table, 0, &data)?;
+        let t = self.store.table_mut(table)?;
+        t.next_id += 1;
+        let id = t.next_id;
+        t.rows.insert(id, data);
+        Ok(id)
+    }
+
+    fn db_update(&mut self, table: &str, id: u64, data: Jv) -> Result<(), StoreError> {
+        self.store.check_unique(table, id, &data)?;
+        let t = self.store.table_mut(table)?;
+        if !t.rows.contains_key(&id) {
+            return Err(StoreError::NoSuchRow(RowKey::new(table, id)));
+        }
+        t.rows.insert(id, data);
+        Ok(())
+    }
+
+    fn db_delete(&mut self, table: &str, id: u64) -> Result<(), StoreError> {
+        let t = self.store.table_mut(table)?;
+        t.rows
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NoSuchRow(RowKey::new(table, id)))
+    }
+
+    fn http_call(&mut self, req: HttpRequest) -> HttpResponse {
+        match self.net.deliver(&req) {
+            Ok(resp) => resp,
+            Err(e) => HttpResponse::error(Status::UNAVAILABLE, e.to_string()),
+        }
+    }
+
+    fn now_millis(&mut self) -> i64 {
+        *self.clock_millis += 1;
+        *self.clock_millis
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn emit_external(&mut self, _kind: &str, _payload: Jv) {}
+}
+
+struct BareInner {
+    store: PlainStore,
+    rng: DetRng,
+    clock_millis: i64,
+    requests: u64,
+    wall: Duration,
+}
+
+/// A service running without Aire.
+pub struct BareService {
+    app: Rc<dyn App>,
+    router: aire_web::Router,
+    net: Network,
+    inner: RefCell<BareInner>,
+}
+
+impl BareService {
+    /// Creates the bare host and initializes the app's tables.
+    pub fn new(app: Rc<dyn App>, net: Network) -> Rc<BareService> {
+        let mut store = PlainStore::default();
+        for schema in app.schemas() {
+            store.tables.insert(
+                schema.name.clone(),
+                PlainTable {
+                    schema: Some(schema),
+                    rows: BTreeMap::new(),
+                    next_id: 0,
+                },
+            );
+        }
+        let router = app.router();
+        Rc::new(BareService {
+            app,
+            router,
+            net,
+            inner: RefCell::new(BareInner {
+                store,
+                rng: DetRng::new(0xBA5E),
+                clock_millis: 1_700_000_000_000,
+                requests: 0,
+                wall: Duration::ZERO,
+            }),
+        })
+    }
+
+    /// Requests handled and total wall time (Table 4's baseline columns).
+    pub fn throughput_stats(&self) -> (u64, Duration) {
+        let inner = self.inner.borrow();
+        (inner.requests, inner.wall)
+    }
+
+    /// The application's name.
+    pub fn name(&self) -> String {
+        self.app.name().to_string()
+    }
+}
+
+impl Endpoint for BareService {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let start = Instant::now();
+        let Some((handler, params)) = self.router.dispatch(req.method, &req.url.path) else {
+            return HttpResponse::error(Status::NOT_FOUND, "no route");
+        };
+        let mut inner = self.inner.borrow_mut();
+        let BareInner {
+            store,
+            rng,
+            clock_millis,
+            ..
+        } = &mut *inner;
+        let mut rt = BareRuntime {
+            store,
+            net: &self.net,
+            rng,
+            clock_millis,
+        };
+        let mut ctx = Ctx::new(req, params, &mut rt);
+        let resp = match handler(&mut ctx) {
+            Ok(r) => r,
+            Err(e) => e.to_response(),
+        };
+        inner.requests += 1;
+        inner.wall += start.elapsed();
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::{Method, Url};
+    use aire_types::jv;
+    use aire_vdb::{FieldDef, FieldKind};
+    use aire_web::{Router, WebError};
+
+    use super::*;
+
+    struct Notes;
+
+    fn h_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+        let text = ctx.body_str("text")?.to_string();
+        let id = ctx.insert("notes", jv!({"text": text}))?;
+        Ok(HttpResponse::ok(jv!({"id": id as i64})))
+    }
+
+    fn h_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+        let rows = ctx.scan("notes", &Filter::all())?;
+        Ok(HttpResponse::ok(Jv::list(rows.into_iter().map(|(_, r)| r))))
+    }
+
+    impl App for Notes {
+        fn name(&self) -> &str {
+            "notes"
+        }
+
+        fn schemas(&self) -> Vec<Schema> {
+            vec![Schema::new(
+                "notes",
+                vec![FieldDef::new("text", FieldKind::Str)],
+            )]
+        }
+
+        fn router(&self) -> Router {
+            Router::new().post("/add", h_add).get("/list", h_list)
+        }
+    }
+
+    #[test]
+    fn bare_host_runs_the_app() {
+        let net = Network::new();
+        let svc = BareService::new(Rc::new(Notes), net.clone());
+        net.register("notes", svc.clone());
+
+        let add = HttpRequest::post(Url::service("notes", "/add"), jv!({"text": "hi"}));
+        let resp = net.deliver(&add).unwrap();
+        assert_eq!(resp.status, Status::OK);
+
+        let list = HttpRequest::new(Method::Get, Url::service("notes", "/list"));
+        let resp = net.deliver(&list).unwrap();
+        assert_eq!(resp.body.as_list().unwrap().len(), 1);
+
+        let (n, wall) = svc.throughput_stats();
+        assert_eq!(n, 2);
+        assert!(wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn bare_host_404s_unknown_routes() {
+        let net = Network::new();
+        let svc = BareService::new(Rc::new(Notes), net.clone());
+        net.register("notes", svc);
+        let resp = net
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("notes", "/nope"),
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+}

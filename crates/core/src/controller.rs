@@ -1,0 +1,1274 @@
+//! The per-service Aire repair controller (Figure 1).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use aire_http::aire::{self, RepairKind};
+use aire_http::{Headers, HttpRequest, HttpResponse, Status, Url};
+use aire_log::{ActionStatus, RepairLog};
+use aire_net::{Endpoint, Network};
+use aire_types::time::TimeSource;
+use aire_types::{
+    jv, AireError, AireResult, DetRng, Jv, LogicalTime, MsgId, RequestId, ResponseId, ServiceName,
+};
+use aire_vdb::{Filter, VersionedStore};
+use aire_web::{App, AuthorizeCtx, Ctx, DbSnapshot, RepairProblem, Router};
+
+use crate::incoming::{IncomingQueue, PendingSeed, RepairMode};
+use crate::protocol::{RepairMessage, RepairOp};
+use crate::queue::{OutgoingQueues, QueueKey, QueuedRepair};
+use crate::repair::{EngineState, RepairEngine};
+use crate::runtime::{build_record, RecordingRuntime, Trace};
+use crate::stats::ControllerStats;
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Seed for the service's recorded-entropy stream.
+    pub rng_seed: u64,
+    /// Starting value of the service's wall-clock-ish counter.
+    pub clock_base_millis: i64,
+    /// Ablation knob: when true, a changed row taints *every* later scan
+    /// of its table instead of only scans whose predicates match the old
+    /// or new value. Inflates the repaired-request count; the
+    /// `ablation_predicates` bench quantifies by how much.
+    pub coarse_scan_taint: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            rng_seed: 0xA17E,
+            clock_base_millis: 1_700_000_000_000,
+            coarse_scan_taint: false,
+        }
+    }
+}
+
+/// The mutable state of one Aire-enabled service.
+pub(crate) struct ServiceCore {
+    pub name: ServiceName,
+    pub store: VersionedStore,
+    pub log: RepairLog,
+    pub time: TimeSource,
+    pub next_request_seq: u64,
+    pub next_response_seq: u64,
+    pub clock_millis: i64,
+    pub rng: DetRng,
+    pub outgoing: OutgoingQueues,
+    /// Incoming repair seeds awaiting a deferred local-repair pass (§3.2).
+    pub incoming: IncomingQueue,
+    /// Whether repair messages are applied on receipt or aggregated.
+    pub mode: RepairMode,
+    /// Response-repair tokens awaiting pickup (§3.1's token dance).
+    pub tokens: BTreeMap<String, (ResponseId, HttpResponse)>,
+    pub next_token_seq: u64,
+    pub stats: ControllerStats,
+    pub admin_notices: Vec<Jv>,
+    pub notifications: Vec<RepairProblem>,
+}
+
+/// Outcome of attempting to send one queued repair message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Delivered and accepted.
+    Delivered,
+    /// Kept queued (offline / timeout / held for credentials).
+    Kept,
+    /// Permanently undeliverable; dropped and the application notified.
+    Dropped,
+}
+
+/// A read-only snapshot of the versioned store at a fixed time, handed to
+/// `authorize` (§4).
+struct SnapshotAt<'a> {
+    store: &'a VersionedStore,
+    at: LogicalTime,
+}
+
+impl DbSnapshot for SnapshotAt<'_> {
+    fn get(&self, table: &str, id: u64) -> Option<Jv> {
+        self.store.get(table, id, self.at).ok().flatten().cloned()
+    }
+
+    fn scan(&self, table: &str, filter: &Filter) -> Vec<(u64, Jv)> {
+        self.store
+            .scan(table, filter, self.at)
+            .map(|rows| rows.into_iter().map(|(id, v)| (id, v.clone())).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The Aire repair controller wrapping one application.
+pub struct Controller {
+    core: RefCell<ServiceCore>,
+    app: Rc<dyn App>,
+    router: Router,
+    net: Network,
+    config: ControllerConfig,
+}
+
+impl Controller {
+    /// Creates a controller for `app`, initializing its tables, and
+    /// returns it ready for registration on the network.
+    pub fn new(app: Rc<dyn App>, net: Network, config: ControllerConfig) -> Rc<Controller> {
+        let name = ServiceName::new(app.name());
+        let mut store = VersionedStore::new();
+        for schema in app.schemas() {
+            store
+                .create_table(schema)
+                .unwrap_or_else(|e| panic!("schema error in {name}: {e}"));
+        }
+        let router = app.router();
+        let config_copy = config.clone();
+        Rc::new(Controller {
+            config: config_copy,
+            core: RefCell::new(ServiceCore {
+                name,
+                store,
+                log: RepairLog::new(),
+                time: TimeSource::new(),
+                next_request_seq: 0,
+                next_response_seq: 0,
+                clock_millis: config.clock_base_millis,
+                rng: DetRng::new(config.rng_seed),
+                outgoing: OutgoingQueues::new(),
+                incoming: IncomingQueue::new(),
+                mode: RepairMode::Immediate,
+                tokens: BTreeMap::new(),
+                next_token_seq: 0,
+                stats: ControllerStats::default(),
+                admin_notices: Vec::new(),
+                notifications: Vec::new(),
+            }),
+            app,
+            router,
+            net,
+        })
+    }
+
+    /// The service's name.
+    pub fn name(&self) -> ServiceName {
+        self.core.borrow().name.clone()
+    }
+
+    /// Serializes the controller's entire durable state — versioned store,
+    /// repair log, outgoing and incoming queues, token table, sequence
+    /// allocators, recorded-entropy stream, and statistics — into one
+    /// [`Jv`] document. Together with the application code (which provides
+    /// schemas, routes, and policies), this is everything needed to
+    /// [`Controller::restore`] the service after a crash or migration.
+    pub fn snapshot(&self) -> Jv {
+        let core = self.core.borrow();
+        let mut m = Jv::map();
+        m.set("service", Jv::s(core.name.as_str()));
+        m.set("store", core.store.snapshot());
+        m.set("log", core.log.snapshot());
+        m.set("outgoing", core.outgoing.snapshot());
+        m.set("incoming", core.incoming.snapshot());
+        m.set(
+            "mode",
+            Jv::s(match core.mode {
+                RepairMode::Immediate => "immediate",
+                RepairMode::Deferred => "deferred",
+            }),
+        );
+        m.set("next_request_seq", Jv::i(core.next_request_seq as i64));
+        m.set("next_response_seq", Jv::i(core.next_response_seq as i64));
+        m.set("clock_millis", Jv::i(core.clock_millis));
+        // The RNG state uses all 64 bits; serialize as decimal text.
+        m.set("rng_state", Jv::s(core.rng.state().to_string()));
+        m.set("time_last", Jv::s(core.time.now().wire()));
+        m.set(
+            "tokens",
+            Jv::list(core.tokens.iter().map(|(token, (rid, resp))| {
+                let mut t = Jv::map();
+                t.set("token", Jv::s(token.clone()));
+                t.set("response_id", Jv::s(rid.wire()));
+                t.set("response", resp.to_jv());
+                t
+            })),
+        );
+        m.set("next_token_seq", Jv::i(core.next_token_seq as i64));
+        m.set("stats", core.stats.to_jv());
+        m.set("admin_notices", Jv::list(core.admin_notices.iter().cloned()));
+        m.set(
+            "notifications",
+            Jv::list(core.notifications.iter().map(|p| {
+                let mut n = Jv::map();
+                n.set("msg_id", Jv::i(p.msg_id.0 as i64));
+                n.set("kind", Jv::s(p.kind.as_str()));
+                n.set("target", Jv::s(p.target.clone()));
+                n.set("error", Jv::s(p.error.clone()));
+                n.set("retryable", Jv::Bool(p.retryable));
+                n
+            })),
+        );
+        m
+    }
+
+    /// Rebuilds a controller for `app` from a [`Controller::snapshot`].
+    /// The snapshot must have been taken from a controller hosting the
+    /// same application (names must match; schemas come from the app).
+    pub fn restore(
+        app: Rc<dyn App>,
+        net: Network,
+        config: ControllerConfig,
+        snap: &Jv,
+    ) -> Result<Rc<Controller>, String> {
+        let name = ServiceName::new(app.name());
+        if snap.str_of("service") != name.as_str() {
+            return Err(format!(
+                "snapshot is for {:?}, app is {:?}",
+                snap.str_of("service"),
+                name.as_str()
+            ));
+        }
+        let store = VersionedStore::restore(app.schemas(), snap.get("store"))?;
+        let log = RepairLog::restore(snap.get("log"))?;
+        let outgoing = OutgoingQueues::restore(snap.get("outgoing"))?;
+        let incoming = IncomingQueue::restore(snap.get("incoming"))?;
+        let mode = match snap.str_of("mode") {
+            "deferred" => RepairMode::Deferred,
+            _ => RepairMode::Immediate,
+        };
+        let rng_state: u64 = snap
+            .str_of("rng_state")
+            .parse()
+            .map_err(|_| "restore: bad rng_state".to_string())?;
+        let mut time = TimeSource::new();
+        time.observe(
+            LogicalTime::parse_wire(snap.str_of("time_last")).ok_or("restore: bad time_last")?,
+        );
+        let mut tokens = BTreeMap::new();
+        for t in snap.get("tokens").as_list().unwrap_or(&[]) {
+            let token = t.str_of("token").to_string();
+            let rid = ResponseId::parse(t.str_of("response_id")).ok_or("restore: bad token id")?;
+            let resp = HttpResponse::from_jv(t.get("response"))?;
+            tokens.insert(token, (rid, resp));
+        }
+        let mut notifications = Vec::new();
+        for n in snap.get("notifications").as_list().unwrap_or(&[]) {
+            notifications.push(RepairProblem {
+                msg_id: MsgId(n.get("msg_id").as_int().unwrap_or(0) as u64),
+                kind: aire::RepairKind::parse(n.str_of("kind"))
+                    .ok_or("restore: bad notification kind")?,
+                target: n.str_of("target").to_string(),
+                error: n.str_of("error").to_string(),
+                retryable: n.get("retryable").as_bool().unwrap_or(false),
+            });
+        }
+        let router = app.router();
+        Ok(Rc::new(Controller {
+            core: RefCell::new(ServiceCore {
+                name,
+                store,
+                log,
+                time,
+                next_request_seq: snap.get("next_request_seq").as_int().unwrap_or(0) as u64,
+                next_response_seq: snap.get("next_response_seq").as_int().unwrap_or(0) as u64,
+                clock_millis: snap.get("clock_millis").as_int().unwrap_or(0),
+                rng: DetRng::new(rng_state),
+                outgoing,
+                incoming,
+                mode,
+                tokens,
+                next_token_seq: snap.get("next_token_seq").as_int().unwrap_or(0) as u64,
+                stats: ControllerStats::from_jv(snap.get("stats")),
+                admin_notices: snap
+                    .get("admin_notices")
+                    .as_list()
+                    .map(|l| l.to_vec())
+                    .unwrap_or_default(),
+                notifications,
+            }),
+            app,
+            router,
+            net,
+            config,
+        }))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ControllerStats {
+        self.core.borrow().stats.clone()
+    }
+
+    /// Admin notices accumulated by repair (compensations, failures).
+    pub fn admin_notices(&self) -> Vec<Jv> {
+        self.core.borrow().admin_notices.clone()
+    }
+
+    /// Notifications delivered to the application (Table 2's `notify`).
+    pub fn notifications(&self) -> Vec<RepairProblem> {
+        self.core.borrow().notifications.clone()
+    }
+
+    /// Deterministic digest of current user-visible state (for the
+    /// clean-world convergence oracle).
+    pub fn state_digest(&self) -> String {
+        let core = self.core.borrow();
+        core.store.state_digest(LogicalTime::MAX)
+    }
+
+    /// Raw and compressed repair-log sizes plus store statistics
+    /// (Table 4's storage columns).
+    pub fn storage_footprint(&self) -> (usize, usize, aire_vdb::StoreStats) {
+        let core = self.core.borrow();
+        let (raw, compressed) = core.log.byte_sizes();
+        (raw, compressed, core.store.stats())
+    }
+
+    /// Number of recorded (live) actions.
+    pub fn action_count(&self) -> usize {
+        self.core.borrow().log.len()
+    }
+
+    /// Total database operations across the live log.
+    pub fn db_op_count(&self) -> usize {
+        self.core.borrow().log.db_op_count()
+    }
+
+    /// Pending outgoing repair messages.
+    pub fn queued_repairs(&self) -> Vec<QueuedRepair> {
+        self.core
+            .borrow()
+            .outgoing
+            .all()
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Switches between immediate local repair (the prototype's behaviour,
+    /// §9) and deferred aggregation of incoming repair messages (§3.2).
+    /// Pending seeds survive a switch back to immediate mode and run on
+    /// the next [`Controller::run_local_repair`].
+    pub fn set_repair_mode(&self, mode: RepairMode) {
+        self.core.borrow_mut().mode = mode;
+    }
+
+    /// The current repair mode.
+    pub fn repair_mode(&self) -> RepairMode {
+        self.core.borrow().mode
+    }
+
+    /// Number of incoming repair seeds waiting for a deferred pass.
+    pub fn pending_local_repairs(&self) -> usize {
+        self.core.borrow().incoming.len()
+    }
+
+    /// Applies every queued incoming repair seed in a single local-repair
+    /// pass (§3.2: "can apply the changes requested by multiple repair
+    /// operations as part of a single local repair"). Returns the number
+    /// of actions the pass processed; zero when nothing was pending.
+    pub fn run_local_repair(&self) -> usize {
+        let mut core = self.core.borrow_mut();
+        let seeds = core.incoming.drain();
+        if seeds.is_empty() {
+            return 0;
+        }
+        let ServiceCore {
+            name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            ..
+        } = &mut *core;
+        let state = EngineState {
+            service: name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            coarse_scan_taint: self.config.coarse_scan_taint,
+        };
+        let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
+        for seed in seeds {
+            match seed {
+                PendingSeed::Skip { time } => engine.schedule_skip(time),
+                PendingSeed::Replace { time, new_request } => {
+                    engine.schedule_reexec(time, Some(new_request))
+                }
+                PendingSeed::Create { time, id, request } => {
+                    engine.schedule_create(time, id, request)
+                }
+                PendingSeed::FixResponse { time } => engine.schedule_reexec(time, None),
+            }
+        }
+        engine.run()
+    }
+
+    /// Garbage-collects log and store history strictly before `horizon`
+    /// (§9).
+    pub fn gc(&self, horizon: LogicalTime) -> usize {
+        let mut core = self.core.borrow_mut();
+        core.store.gc(horizon);
+        core.log.gc(horizon)
+    }
+
+    /// Re-sends a held repair message with fresh credentials (Table 2's
+    /// `retry`). The message becomes sendable again; the next pump round
+    /// delivers it.
+    pub fn retry(&self, msg_id: MsgId, new_credentials: Headers) -> AireResult<()> {
+        let mut core = self.core.borrow_mut();
+        let Some(msg) = core.outgoing.get_mut(msg_id) else {
+            return Err(AireError::Protocol(format!("no queued message {msg_id}")));
+        };
+        for (k, v) in new_credentials.iter() {
+            msg.credentials.set(k, v);
+        }
+        msg.held = false;
+        msg.notified = false;
+        Ok(())
+    }
+
+    //////// Normal execution. ////////
+
+    fn execute_normal(&self, req: &HttpRequest) -> HttpResponse {
+        let started = Instant::now();
+        let mut core = self.core.borrow_mut();
+        let time = core.time.next();
+        core.next_request_seq += 1;
+        let request_id = RequestId::new(core.name.clone(), core.next_request_seq);
+
+        let dispatch = self.router.dispatch(req.method, &req.url.path);
+        let ServiceCore {
+            name,
+            store,
+            next_response_seq,
+            clock_millis,
+            rng,
+            ..
+        } = &mut *core;
+        let mut rt = RecordingRuntime {
+            service: name,
+            store,
+            net: &self.net,
+            time,
+            next_response_seq,
+            clock_millis,
+            rng,
+            trace: Trace::default(),
+        };
+        let mut response = match dispatch {
+            Some((handler, params)) => {
+                let mut ctx = Ctx::new(req, params, &mut rt);
+                match handler(&mut ctx) {
+                    Ok(resp) => resp,
+                    Err(e) => e.to_response(),
+                }
+            }
+            None => HttpResponse::error(Status::NOT_FOUND, "no route"),
+        };
+        let trace = rt.trace;
+        aire::tag_response(&mut response, &request_id);
+        core.stats.normal_db_ops += trace.db_ops.len() as u64;
+        let record = build_record(
+            request_id,
+            time,
+            req.clone(),
+            response.clone(),
+            trace,
+            false,
+        );
+        core.log.record(record);
+        core.stats.normal_requests += 1;
+        core.stats.normal_wall += started.elapsed();
+        response
+    }
+
+    //////// Incoming repair (carrier path + local seeding). ////////
+
+    /// Handles a decoded repair message (invoked both by the carrier path
+    /// and directly by administrators / tests). Runs authorization, seeds
+    /// the local repair engine, runs it to completion, and returns the
+    /// protocol-level acknowledgement.
+    pub fn receive_repair(&self, msg: RepairMessage) -> HttpResponse {
+        let mut core = self.core.borrow_mut();
+        match self.apply_repair_locked(&mut core, msg) {
+            Ok(ack) => ack,
+            Err(resp) => resp,
+        }
+    }
+
+    fn apply_repair_locked(
+        &self,
+        core: &mut ServiceCore,
+        msg: RepairMessage,
+    ) -> Result<HttpResponse, HttpResponse> {
+        let credentials = msg.credentials.clone();
+        // Resolve and authorize.
+        enum Seed {
+            Skip(LogicalTime, RequestId),
+            Replace(LogicalTime, RequestId, HttpRequest),
+            Create(LogicalTime, RequestId, HttpRequest),
+        }
+        let seed = match &msg.op {
+            RepairOp::Delete { request_id } => {
+                // The target may exist only as a queued create (the remote
+                // re-repaired before our deferred pass ran): cancelling the
+                // pending seed is the entire repair.
+                if let Some((time, pending)) = core
+                    .incoming
+                    .pending_create(request_id)
+                    .map(|(t, r)| (t, r.clone()))
+                {
+                    self.authorize(
+                        core,
+                        RepairKind::Delete,
+                        time,
+                        Some(&pending),
+                        None,
+                        None,
+                        None,
+                        &credentials,
+                    )?;
+                    core.incoming.cancel_create(request_id);
+                    core.stats.repair_messages_received += 1;
+                    let mut ack = HttpResponse::ok(jv!({"aire": "cancelled"}));
+                    aire::tag_response(&mut ack, request_id);
+                    return Ok(ack);
+                }
+                let record = self.lookup_action(core, request_id)?;
+                let (time, original) = (record.time, record.request.clone());
+                self.authorize(
+                    core,
+                    RepairKind::Delete,
+                    time,
+                    Some(&original),
+                    None,
+                    None,
+                    None,
+                    &credentials,
+                )?;
+                Seed::Skip(time, request_id.clone())
+            }
+            RepairOp::Replace {
+                request_id,
+                new_request,
+            } => {
+                // Likewise, a replace may correct a still-queued create.
+                if let Some((time, pending)) = core
+                    .incoming
+                    .pending_create(request_id)
+                    .map(|(t, r)| (t, r.clone()))
+                {
+                    self.authorize(
+                        core,
+                        RepairKind::Replace,
+                        time,
+                        Some(&pending),
+                        Some(new_request),
+                        None,
+                        None,
+                        &credentials,
+                    )?;
+                    core.incoming.replace_create(request_id, new_request.clone());
+                    core.stats.repair_messages_received += 1;
+                    let mut ack = HttpResponse::ok(jv!({"aire": "queued"}));
+                    aire::tag_response(&mut ack, request_id);
+                    return Ok(ack);
+                }
+                let record = self.lookup_action(core, request_id)?;
+                let (time, original) = (record.time, record.request.clone());
+                self.authorize(
+                    core,
+                    RepairKind::Replace,
+                    time,
+                    Some(&original),
+                    Some(new_request),
+                    None,
+                    None,
+                    &credentials,
+                )?;
+                Seed::Replace(time, request_id.clone(), new_request.clone())
+            }
+            RepairOp::Create {
+                request,
+                before_id,
+                after_id,
+            } => {
+                let (lo, hi) = core
+                    .log
+                    .splice_bounds(before_id.as_ref(), after_id.as_ref())
+                    .map_err(|e| {
+                        HttpResponse::error(Status::CONFLICT, format!("bad create position: {e}"))
+                    })?;
+                let hi = if hi == LogicalTime::MAX {
+                    core.time.now().next_tick()
+                } else {
+                    hi
+                };
+                let time = Self::splice_time(core, lo, hi).ok_or_else(|| {
+                    HttpResponse::error(
+                        Status::CONFLICT,
+                        format!("no splice point in ({lo}, {hi})"),
+                    )
+                })?;
+                self.authorize(
+                    core,
+                    RepairKind::Create,
+                    time,
+                    None,
+                    Some(request),
+                    None,
+                    None,
+                    &credentials,
+                )?;
+                core.next_request_seq += 1;
+                let id = RequestId::new(core.name.clone(), core.next_request_seq);
+                core.time.observe(time);
+                Seed::Create(time, id, request.clone())
+            }
+            RepairOp::ReplaceResponse {
+                response_id,
+                new_response,
+            } => {
+                return self
+                    .apply_replace_response_locked(core, response_id, new_response)
+                    .map_err(|e| error_response(&e));
+            }
+        };
+        core.stats.repair_messages_received += 1;
+
+        // Deferred mode: park the authorized seed on the incoming queue
+        // (§3.2) and acknowledge; run_local_repair applies it later.
+        if core.mode == RepairMode::Deferred {
+            let (acked_id, pending) = match seed {
+                Seed::Skip(time, id) => (id, PendingSeed::Skip { time }),
+                Seed::Replace(time, id, new_request) => {
+                    (id, PendingSeed::Replace { time, new_request })
+                }
+                Seed::Create(time, id, request) => (
+                    id.clone(),
+                    PendingSeed::Create { time, id, request },
+                ),
+            };
+            core.incoming.push(pending);
+            let mut ack = HttpResponse::ok(jv!({"aire": "queued"}));
+            aire::tag_response(&mut ack, &acked_id);
+            return Ok(ack);
+        }
+
+        // Seed and run local repair.
+        let ServiceCore {
+            name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            ..
+        } = &mut *core;
+        let state = EngineState {
+            service: name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            coarse_scan_taint: self.config.coarse_scan_taint,
+        };
+        let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
+        let acked_id = match seed {
+            Seed::Skip(time, id) => {
+                engine.schedule_skip(time);
+                id
+            }
+            Seed::Replace(time, id, new_request) => {
+                engine.schedule_reexec(time, Some(new_request));
+                id
+            }
+            Seed::Create(time, id, request) => {
+                engine.schedule_create(time, id.clone(), request);
+                id
+            }
+        };
+        engine.run();
+
+        let mut ack = HttpResponse::ok(jv!({"aire": "ok"}));
+        aire::tag_response(&mut ack, &acked_id);
+        Ok(ack)
+    }
+
+    /// Picks a splice time in the open interval `(lo, hi)` that collides
+    /// neither with an existing log record nor with a time reserved by a
+    /// queued create. `before_id`/`after_id` name the *requester's* past
+    /// requests (§3.1), so arbitrary other actions may sit between them.
+    fn splice_time(
+        core: &ServiceCore,
+        mut lo: LogicalTime,
+        hi: LogicalTime,
+    ) -> Option<LogicalTime> {
+        loop {
+            let t = LogicalTime::between(lo, hi)?;
+            if core.log.at(t).is_none() && !core.incoming.is_reserved(t) {
+                return Some(t);
+            }
+            // Bisect above the occupied point; strictly increasing, so the
+            // loop terminates when the interval exhausts.
+            lo = t;
+        }
+    }
+
+    fn lookup_action<'c>(
+        &self,
+        core: &'c ServiceCore,
+        request_id: &RequestId,
+    ) -> Result<&'c aire_log::ActionRecord, HttpResponse> {
+        if request_id.service != core.name {
+            return Err(HttpResponse::error(
+                Status::BAD_REQUEST,
+                format!("request {request_id} was not executed by {}", core.name),
+            ));
+        }
+        match core.log.by_request_id(request_id) {
+            Some(record) => Ok(record),
+            None if request_id.seq <= core.next_request_seq
+                && core.log.gc_horizon() > LogicalTime::ZERO =>
+            {
+                // The request existed but its history was collected (§9).
+                Err(HttpResponse::error(
+                    Status::GONE,
+                    format!("history for {request_id} was garbage collected"),
+                ))
+            }
+            None => Err(HttpResponse::error(
+                Status::NOT_FOUND,
+                format!("unknown request {request_id}"),
+            )),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn authorize(
+        &self,
+        core: &mut ServiceCore,
+        kind: RepairKind,
+        at: LogicalTime,
+        original_request: Option<&HttpRequest>,
+        repaired_request: Option<&HttpRequest>,
+        original_response: Option<&HttpResponse>,
+        repaired_response: Option<&HttpResponse>,
+        credentials: &Headers,
+    ) -> Result<(), HttpResponse> {
+        let snapshot = SnapshotAt {
+            store: &core.store,
+            at,
+        };
+        let now = SnapshotAt {
+            store: &core.store,
+            at: LogicalTime::MAX,
+        };
+        let az = AuthorizeCtx {
+            kind,
+            original_request,
+            repaired_request,
+            original_response,
+            repaired_response,
+            credentials,
+            db: &snapshot,
+            db_now: &now,
+        };
+        let allowed = if kind == RepairKind::ReplaceResponse {
+            self.app.authorize_replace_response(&az)
+        } else {
+            self.app.authorize_repair(&az)
+        };
+        if allowed {
+            Ok(())
+        } else {
+            core.stats.repair_messages_rejected += 1;
+            Err(HttpResponse::error(
+                Status::UNAUTHORIZED,
+                "repair not authorized",
+            ))
+        }
+    }
+
+    /// Applies an incoming `replace_response` (we are the client whose
+    /// past response is being corrected).
+    fn apply_replace_response_locked(
+        &self,
+        core: &mut ServiceCore,
+        response_id: &ResponseId,
+        new_response: &HttpResponse,
+    ) -> AireResult<HttpResponse> {
+        if response_id.service != core.name {
+            return Err(AireError::Protocol(format!(
+                "response {response_id} was not assigned by {}",
+                core.name
+            )));
+        }
+        let Some((time, call_pos)) = core.log.call_by_response_id(response_id) else {
+            return Err(AireError::UnknownResponse(response_id.clone()));
+        };
+        // Authorize (certificate validation already happened in the
+        // notifier flow; the app may layer more checks, §4).
+        {
+            let record = core.log.at(time).expect("call index points at a record");
+            let original_response = record.calls[call_pos].response.clone();
+            let no_creds = Headers::new();
+            self.authorize(
+                core,
+                RepairKind::ReplaceResponse,
+                time,
+                None,
+                None,
+                Some(&original_response),
+                Some(new_response),
+                &no_creds,
+            )
+            .map_err(|_| AireError::Unauthorized("replace_response rejected".into()))?;
+        }
+        core.stats.repair_messages_received += 1;
+
+        let record = core
+            .log
+            .at_mut(time)
+            .expect("call index points at a record");
+        let unchanged = record.calls[call_pos].response.canonical() == new_response.canonical();
+        record.calls[call_pos].response = new_response.clone();
+        if let Some(rid) = aire::response_request_id(new_response) {
+            record.calls[call_pos].remote_request_id = Some(rid);
+        }
+        let deleted = record.status == ActionStatus::Deleted;
+        if unchanged || deleted {
+            return Ok(HttpResponse::ok(jv!({"aire": "noop"})));
+        }
+        // Deferred mode: the corrected response is already recorded; the
+        // owning action's re-execution waits for the aggregated pass.
+        if core.mode == RepairMode::Deferred {
+            core.incoming.push(PendingSeed::FixResponse { time });
+            return Ok(HttpResponse::ok(jv!({"aire": "queued"})));
+        }
+        // Re-execute the owning action with the corrected response.
+        let ServiceCore {
+            name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            ..
+        } = &mut *core;
+        let state = EngineState {
+            service: name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            coarse_scan_taint: self.config.coarse_scan_taint,
+        };
+        let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
+        engine.schedule_reexec(time, None);
+        engine.run();
+        Ok(HttpResponse::ok(jv!({"aire": "ok"})))
+    }
+
+    //////// The notifier-URL / token dance (§3.1). ////////
+
+    fn handle_notify(&self, req: &HttpRequest) -> HttpResponse {
+        let token = req.body.str_of("token").to_string();
+        let server = req.body.str_of("server").to_string();
+        if token.is_empty() || server.is_empty() {
+            return HttpResponse::error(Status::BAD_REQUEST, "notify needs token + server");
+        }
+        // Authenticate the server by validating its certificate (§3.1) —
+        // the client dials the server back, so impersonating the notifier
+        // sender buys an attacker nothing unless the certificate matches.
+        match self.net.certificate_of(&server) {
+            Some(cert) if cert.valid_for(&server) => {}
+            _ => {
+                return HttpResponse::error(
+                    Status::UNAUTHORIZED,
+                    format!("certificate validation failed for {server}"),
+                )
+            }
+        }
+        // Fetch the actual replace_response payload from the server.
+        let fetch = HttpRequest::get(
+            Url::service(&server, "/aire/fetch_repair").with_query("token", &token),
+        );
+        let fetched = match self.net.deliver(&fetch) {
+            Ok(resp) if resp.status == Status::OK => resp,
+            Ok(resp) => {
+                return HttpResponse::error(
+                    Status::BAD_REQUEST,
+                    format!("fetch_repair failed: {}", resp.status),
+                )
+            }
+            Err(e) => return error_response(&e),
+        };
+        let Some(response_id) = ResponseId::parse(fetched.body.str_of("response_id")) else {
+            return HttpResponse::error(Status::BAD_REQUEST, "bad response_id in repair");
+        };
+        let new_response = match HttpResponse::from_jv(fetched.body.get("new_response")) {
+            Ok(r) => r,
+            Err(e) => return HttpResponse::error(Status::BAD_REQUEST, e),
+        };
+        let mut core = self.core.borrow_mut();
+        match self.apply_replace_response_locked(&mut core, &response_id, &new_response) {
+            Ok(ack) => ack,
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn handle_fetch_repair(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(token) = req.url.q("token") else {
+            return HttpResponse::error(Status::BAD_REQUEST, "missing token");
+        };
+        let mut core = self.core.borrow_mut();
+        match core.tokens.remove(token) {
+            Some((response_id, new_response)) => HttpResponse::ok(jv!({
+                "response_id": response_id.wire(),
+                "new_response": new_response.to_jv(),
+            })),
+            None => HttpResponse::error(Status::NOT_FOUND, "unknown repair token"),
+        }
+    }
+
+    //////// Outgoing queue delivery (driven by the World pump). ////////
+
+    /// Attempts to deliver one queued repair message.
+    pub fn send_queued(&self, msg_id: MsgId) -> SendOutcome {
+        let msg = {
+            let core = self.core.borrow();
+            match core.outgoing.get(msg_id) {
+                Some(m) if !m.held => m.clone(),
+                _ => return SendOutcome::Kept,
+            }
+        };
+        match &msg.op {
+            RepairOp::ReplaceResponse {
+                response_id,
+                new_response,
+            } => self.send_replace_response(&msg, response_id, new_response),
+            _ => self.send_carrier(&msg),
+        }
+    }
+
+    fn send_carrier(&self, msg: &QueuedRepair) -> SendOutcome {
+        let carrier = match RepairMessage::with_credentials(msg.op.clone(), msg.credentials.clone())
+            .to_carrier(msg.target.as_str())
+        {
+            Ok(c) => c,
+            Err(e) => return self.permanent_failure(msg, &e.to_string()),
+        };
+        match self.net.deliver(&carrier) {
+            Ok(resp) if resp.status == Status::OK => {
+                // For replace/create the ACK names the (re)executed
+                // request; remember it for future repair of that request.
+                if let Some(remote_id) = aire::response_request_id(&resp) {
+                    if let QueueKey::ByCall(response_id) = &msg.key {
+                        let mut core = self.core.borrow_mut();
+                        if let Some((t, pos)) = core.log.call_by_response_id(response_id) {
+                            if let Some(record) = core.log.at_mut(t) {
+                                record.calls[pos].remote_request_id = Some(remote_id);
+                            }
+                        }
+                    }
+                }
+                self.delivered(msg)
+            }
+            Ok(resp) if resp.status == Status::UNAUTHORIZED => self.hold_for_credentials(msg),
+            Ok(resp) if resp.status == Status::GONE => {
+                self.permanent_failure(msg, "remote history garbage collected")
+            }
+            Ok(resp) if resp.status == Status::UNAVAILABLE => {
+                self.transient_failure(msg, &format!("remote unavailable: {}", resp.status))
+            }
+            Ok(resp) => self.permanent_failure(msg, &format!("remote rejected: {}", resp.status)),
+            Err(e) if e.is_retryable() => self.transient_failure(msg, &e.to_string()),
+            Err(e) => self.permanent_failure(msg, &e.to_string()),
+        }
+    }
+
+    fn send_replace_response(
+        &self,
+        msg: &QueuedRepair,
+        response_id: &ResponseId,
+        new_response: &HttpResponse,
+    ) -> SendOutcome {
+        // Resolve the notifier URL for the action whose response we are
+        // repairing.
+        let (notifier, token) = {
+            let mut core = self.core.borrow_mut();
+            let QueueKey::ByAction(request_id) = &msg.key else {
+                return self.permanent_failure(msg, "replace_response without action key");
+            };
+            let Some(record) = core.log.by_request_id(request_id) else {
+                return self.permanent_failure(msg, "repaired action vanished from log");
+            };
+            let Some(notifier) = record.notifier_url.clone() else {
+                return self.permanent_failure(msg, "client left no notifier URL");
+            };
+            core.next_token_seq += 1;
+            let token = format!("rr-{}-{}", core.name, core.next_token_seq);
+            core.tokens
+                .insert(token.clone(), (response_id.clone(), new_response.clone()));
+            (notifier, token)
+        };
+        let name = self.core.borrow().name.clone();
+        let notify = HttpRequest::post(
+            notifier,
+            jv!({"token": token.clone(), "server": name.as_str()}),
+        );
+        let outcome = match self.net.deliver(&notify) {
+            Ok(resp) if resp.status == Status::OK => self.delivered(msg),
+            Ok(resp) if resp.status == Status::UNAUTHORIZED => self.hold_for_credentials(msg),
+            Ok(resp) => self.transient_failure(msg, &format!("notify rejected: {}", resp.status)),
+            Err(e) if e.is_retryable() => self.transient_failure(msg, &e.to_string()),
+            Err(e) => self.permanent_failure(msg, &e.to_string()),
+        };
+        // Unclaimed tokens are withdrawn on failure.
+        if outcome != SendOutcome::Delivered {
+            self.core.borrow_mut().tokens.remove(&token);
+        }
+        outcome
+    }
+
+    fn delivered(&self, msg: &QueuedRepair) -> SendOutcome {
+        let mut core = self.core.borrow_mut();
+        core.outgoing.remove(msg.msg_id);
+        core.stats.repair_messages_sent += 1;
+        SendOutcome::Delivered
+    }
+
+    fn transient_failure(&self, msg: &QueuedRepair, why: &str) -> SendOutcome {
+        let mut core = self.core.borrow_mut();
+        let problem = RepairProblem {
+            msg_id: msg.msg_id,
+            kind: msg.op.kind(),
+            target: msg.target.to_string(),
+            error: why.to_string(),
+            retryable: true,
+        };
+        if let Some(q) = core.outgoing.get_mut(msg.msg_id) {
+            q.attempts += 1;
+            q.last_error = Some(why.to_string());
+            if !q.notified {
+                q.notified = true;
+                core.notifications.push(problem.clone());
+                drop(core);
+                self.app.notify(&problem);
+            }
+        }
+        SendOutcome::Kept
+    }
+
+    fn hold_for_credentials(&self, msg: &QueuedRepair) -> SendOutcome {
+        let mut core = self.core.borrow_mut();
+        let problem = RepairProblem {
+            msg_id: msg.msg_id,
+            kind: msg.op.kind(),
+            target: msg.target.to_string(),
+            error: "repair message rejected: unauthorized (credentials expired?)".to_string(),
+            retryable: true,
+        };
+        if let Some(q) = core.outgoing.get_mut(msg.msg_id) {
+            q.attempts += 1;
+            q.held = true;
+            q.last_error = Some(problem.error.clone());
+            if !q.notified {
+                q.notified = true;
+                core.notifications.push(problem.clone());
+                drop(core);
+                self.app.notify(&problem);
+            }
+        }
+        SendOutcome::Kept
+    }
+
+    fn permanent_failure(&self, msg: &QueuedRepair, why: &str) -> SendOutcome {
+        let mut core = self.core.borrow_mut();
+        core.outgoing.remove(msg.msg_id);
+        let problem = RepairProblem {
+            msg_id: msg.msg_id,
+            kind: msg.op.kind(),
+            target: msg.target.to_string(),
+            error: why.to_string(),
+            retryable: false,
+        };
+        core.notifications.push(problem.clone());
+        core.admin_notices.push({
+            let mut n = Jv::map();
+            n.set("kind", Jv::s("undeliverable-repair"));
+            n.set("target", Jv::s(msg.target.as_str()));
+            n.set("op", Jv::s(msg.op.summary()));
+            n.set("why", Jv::s(why));
+            n
+        });
+        drop(core);
+        self.app.notify(&problem);
+        SendOutcome::Dropped
+    }
+
+    /// Sendable (not held) queued message ids.
+    pub fn sendable_messages(&self) -> Vec<MsgId> {
+        self.core.borrow().outgoing.sendable()
+    }
+
+    /// The §9 extension: reports *leaks* — rows matching a confidential
+    /// predicate that a request read during its original execution but no
+    /// longer reads after repair. Aire cannot undo an unauthorized read,
+    /// but it can tell the administrator exactly which repaired requests
+    /// saw confidential data they should not have seen.
+    ///
+    /// Returns `(request id, row)` pairs, one per leaked row per request.
+    pub fn leak_audit(
+        &self,
+        table: &str,
+        confidential: &Filter,
+    ) -> Vec<(RequestId, aire_vdb::RowKey)> {
+        let core = self.core.borrow();
+        let mut leaks = Vec::new();
+        for old in core.log.archived() {
+            // The repaired record for the same request (if any).
+            let current = core.log.by_request_id(&old.id);
+            let read_keys = |record: &aire_log::ActionRecord| {
+                record
+                    .db_ops
+                    .iter()
+                    .filter_map(|op| match op {
+                        aire_log::DbOp::Read { key, .. } if key.table == table => Some(key.clone()),
+                        aire_log::DbOp::Scan { table: t, hits, .. } if t == table => {
+                            // Report each hit individually below.
+                            let _ = hits;
+                            None
+                        }
+                        _ => None,
+                    })
+                    .chain(record.db_ops.iter().flat_map(|op| {
+                        match op {
+                            aire_log::DbOp::Scan { table: t, hits, .. } if t == table => hits
+                                .iter()
+                                .map(|&id| aire_vdb::RowKey::new(table, id))
+                                .collect::<Vec<_>>(),
+                            _ => Vec::new(),
+                        }
+                    }))
+                    .collect::<std::collections::BTreeSet<_>>()
+            };
+            let old_reads = read_keys(old);
+            let new_reads = current.map(read_keys).unwrap_or_default();
+            for key in old_reads.difference(&new_reads) {
+                // Only rows whose content (any surviving or archived
+                // version) matches the confidential predicate count.
+                let live = core
+                    .store
+                    .versions(table, key.id)
+                    .ok()
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|v| v.data.as_ref())
+                    .any(|d| confidential.matches(d));
+                let archived = core
+                    .store
+                    .archived_versions(table, key.id)
+                    .ok()
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|v| v.data.as_ref())
+                    .any(|d| confidential.matches(d));
+                if live || archived {
+                    leaks.push((old.id.clone(), key.clone()));
+                }
+            }
+        }
+        leaks.sort();
+        leaks.dedup();
+        leaks
+    }
+
+    /// `(total enqueued, collapsed away)` for the collapse ablation.
+    pub fn collapse_stats(&self) -> (u64, u64) {
+        self.core.borrow().outgoing.collapse_stats()
+    }
+
+    /// Re-executes the *entire* live log — the non-selective baseline
+    /// the `ablation_selective` bench compares Warp-style selective
+    /// re-execution against. Returns the number of actions processed.
+    pub fn reexecute_entire_log(&self) -> usize {
+        let mut core = self.core.borrow_mut();
+        let times: Vec<LogicalTime> = core.log.actions().map(|a| a.time).collect();
+        let ServiceCore {
+            name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            ..
+        } = &mut *core;
+        let state = EngineState {
+            service: name,
+            store,
+            log,
+            outgoing,
+            next_response_seq,
+            stats,
+            admin_notices,
+            notifications,
+            coarse_scan_taint: self.config.coarse_scan_taint,
+        };
+        let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
+        for t in times {
+            engine.schedule_reexec(t, None);
+        }
+        engine.run()
+    }
+}
+
+impl Endpoint for Controller {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        // Aire plumbing endpoints.
+        if req.url.path == "/aire/notify" {
+            return self.handle_notify(req);
+        }
+        if req.url.path == "/aire/fetch_repair" {
+            return self.handle_fetch_repair(req);
+        }
+        // Repair carriers.
+        match RepairMessage::from_carrier(req) {
+            Ok(Some(msg)) => return self.receive_repair(msg),
+            Ok(None) => {}
+            Err(e) => return error_response(&e),
+        }
+        // Normal requests.
+        self.execute_normal(req)
+    }
+}
+
+fn error_response(e: &AireError) -> HttpResponse {
+    let status = match e {
+        AireError::Unauthorized(_) => Status::UNAUTHORIZED,
+        AireError::UnknownRequest(_) | AireError::UnknownResponse(_) => Status::NOT_FOUND,
+        AireError::HistoryCollected(_) => Status::GONE,
+        AireError::ServiceUnavailable(_) | AireError::Timeout(_) => Status::UNAVAILABLE,
+        AireError::BadCreatePosition(_) => Status::CONFLICT,
+        _ => Status::BAD_REQUEST,
+    };
+    HttpResponse::error(status, e.to_string())
+}

@@ -1,0 +1,337 @@
+//! Incoming repair-message aggregation (§3.2) and deferred local repair.
+//!
+//! "Aire also aggregates incoming repair messages in an incoming queue,
+//! and can apply the changes requested by multiple repair operations as
+//! part of a single local repair." (§3.2)
+//!
+//! A controller in [`RepairMode::Deferred`] authorizes each incoming
+//! repair message on receipt but postpones the rollback/re-execution work:
+//! the authorized *seed* sits in an [`IncomingQueue`] until
+//! `Controller::run_local_repair` drains the whole queue into a single
+//! repair-engine pass. Between receipt and the pass, the service keeps
+//! executing normal requests — the batching limb of §9's "simultaneous
+//! normal execution and repair" (Warp's repair generations): requests that
+//! arrive while repairs are pending execute against the current state and,
+//! if they depend on state the pending repairs later change, are re-executed
+//! by that same pass, because they are *later on the timeline* than every
+//! pending seed.
+
+use std::collections::BTreeSet;
+
+use aire_http::HttpRequest;
+use aire_types::{Jv, LogicalTime, RequestId};
+
+/// When local repair runs relative to repair-message receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairMode {
+    /// Local repair runs synchronously inside message receipt — the
+    /// behaviour of the paper's prototype ("When repair is invoked on a
+    /// service, Aire stops normal operation, switches the service into
+    /// repair mode, completes local repair", §9).
+    #[default]
+    Immediate,
+    /// Messages are authorized and queued; the service keeps serving
+    /// normal traffic until `Controller::run_local_repair` applies every
+    /// queued change in one engine pass (§3.2's incoming aggregation).
+    Deferred,
+}
+
+/// An authorized repair seed awaiting the next local-repair pass.
+///
+/// Seeds are the post-authorization residue of the four protocol
+/// operations: the engine plan plus everything needed to schedule it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PendingSeed {
+    /// `delete`: eliminate the side effects of the action at `time`.
+    Skip {
+        /// Original execution time of the doomed action.
+        time: LogicalTime,
+    },
+    /// `replace`: re-execute the action at `time` with corrected content.
+    Replace {
+        /// Original execution time of the action being replaced.
+        time: LogicalTime,
+        /// The corrected request.
+        new_request: HttpRequest,
+    },
+    /// `create`: execute a brand-new request spliced into the past.
+    Create {
+        /// The reserved splice time.
+        time: LogicalTime,
+        /// The id pre-assigned to the created action (already returned to
+        /// the sender in the acknowledgement).
+        id: RequestId,
+        /// The request to execute.
+        request: HttpRequest,
+    },
+    /// `replace_response`: the recorded response of a call owned by the
+    /// action at `time` was corrected; re-execute that action.
+    FixResponse {
+        /// Execution time of the action owning the corrected call.
+        time: LogicalTime,
+    },
+}
+
+impl PendingSeed {
+    /// The timeline position the seed will be scheduled at.
+    pub fn time(&self) -> LogicalTime {
+        match self {
+            PendingSeed::Skip { time }
+            | PendingSeed::Replace { time, .. }
+            | PendingSeed::Create { time, .. }
+            | PendingSeed::FixResponse { time } => *time,
+        }
+    }
+
+    /// Short human-readable tag for notices and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PendingSeed::Skip { .. } => "delete",
+            PendingSeed::Replace { .. } => "replace",
+            PendingSeed::Create { .. } => "create",
+            PendingSeed::FixResponse { .. } => "replace_response",
+        }
+    }
+
+    /// Lossless serialization for queue persistence.
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("kind", Jv::s(self.kind()));
+        m.set("time", Jv::s(self.time().wire()));
+        match self {
+            PendingSeed::Replace { new_request, .. } => {
+                m.set("new_request", new_request.to_jv());
+            }
+            PendingSeed::Create { id, request, .. } => {
+                m.set("id", Jv::s(id.wire()));
+                m.set("request", request.to_jv());
+            }
+            PendingSeed::Skip { .. } | PendingSeed::FixResponse { .. } => {}
+        }
+        m
+    }
+
+    /// Parses the form produced by [`PendingSeed::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<PendingSeed, String> {
+        let time = LogicalTime::parse_wire(v.str_of("time")).ok_or("seed: bad time")?;
+        Ok(match v.str_of("kind") {
+            "delete" => PendingSeed::Skip { time },
+            "replace" => PendingSeed::Replace {
+                time,
+                new_request: HttpRequest::from_jv(v.get("new_request"))?,
+            },
+            "create" => PendingSeed::Create {
+                time,
+                id: RequestId::parse(v.str_of("id")).ok_or("seed: bad id")?,
+                request: HttpRequest::from_jv(v.get("request"))?,
+            },
+            "replace_response" => PendingSeed::FixResponse { time },
+            other => return Err(format!("seed: bad kind {other:?}")),
+        })
+    }
+}
+
+/// The per-service incoming repair queue (§3.2).
+///
+/// Holds authorized seeds and the splice times reserved by pending
+/// `create`s, so two queued creates with the same `(before_id, after_id)`
+/// bounds cannot collide on one timeline slot.
+#[derive(Debug, Default)]
+pub struct IncomingQueue {
+    seeds: Vec<PendingSeed>,
+    reserved: BTreeSet<LogicalTime>,
+}
+
+impl IncomingQueue {
+    /// Creates an empty queue.
+    pub fn new() -> IncomingQueue {
+        IncomingQueue::default()
+    }
+
+    /// Queues an authorized seed. `Create` seeds implicitly reserve their
+    /// splice time.
+    pub fn push(&mut self, seed: PendingSeed) {
+        if let PendingSeed::Create { time, .. } = &seed {
+            self.reserved.insert(*time);
+        }
+        self.seeds.push(seed);
+    }
+
+    /// True if a pending `create` has claimed `time`.
+    pub fn is_reserved(&self, time: LogicalTime) -> bool {
+        self.reserved.contains(&time)
+    }
+
+    /// Number of queued seeds.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Removes and returns every queued seed, releasing reservations.
+    pub fn drain(&mut self) -> Vec<PendingSeed> {
+        self.reserved.clear();
+        std::mem::take(&mut self.seeds)
+    }
+
+    /// Cancels a pending `create` by its pre-assigned id — used when a
+    /// `delete` arrives for a request that only exists as a queued
+    /// create (the remote re-repaired before we ran our pass). Returns
+    /// the cancelled seed.
+    pub fn cancel_create(&mut self, id: &RequestId) -> Option<PendingSeed> {
+        let pos = self.seeds.iter().position(
+            |s| matches!(s, PendingSeed::Create { id: cid, .. } if cid == id),
+        )?;
+        let seed = self.seeds.remove(pos);
+        if let PendingSeed::Create { time, .. } = &seed {
+            self.reserved.remove(time);
+        }
+        Some(seed)
+    }
+
+    /// Rewrites the payload of a pending `create` named by its
+    /// pre-assigned id — used when a `replace` arrives for a request that
+    /// only exists as a queued create. Returns true if one was updated.
+    pub fn replace_create(&mut self, id: &RequestId, new_request: HttpRequest) -> bool {
+        for seed in &mut self.seeds {
+            if let PendingSeed::Create { id: cid, request, .. } = seed {
+                if cid == id {
+                    *request = new_request;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Looks up a pending `create` by its pre-assigned id.
+    pub fn pending_create(&self, id: &RequestId) -> Option<(LogicalTime, &HttpRequest)> {
+        self.seeds.iter().find_map(|s| match s {
+            PendingSeed::Create {
+                time,
+                id: cid,
+                request,
+            } if cid == id => Some((*time, request)),
+            _ => None,
+        })
+    }
+
+    /// The queued seeds, in arrival order (for inspection and tests).
+    pub fn seeds(&self) -> &[PendingSeed] {
+        &self.seeds
+    }
+
+    /// Lossless snapshot (reservations are re-derived on restore).
+    pub fn snapshot(&self) -> Jv {
+        Jv::list(self.seeds.iter().map(|s| s.to_jv()))
+    }
+
+    /// Rebuilds the queue from an [`IncomingQueue::snapshot`].
+    pub fn restore(snap: &Jv) -> Result<IncomingQueue, String> {
+        let mut q = IncomingQueue::new();
+        for s in snap.as_list().unwrap_or(&[]) {
+            q.push(PendingSeed::from_jv(s)?);
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::{Method, Url};
+
+    use super::*;
+
+    fn t(n: u64) -> LogicalTime {
+        LogicalTime::tick(n)
+    }
+
+    fn req() -> HttpRequest {
+        HttpRequest::new(Method::Get, Url::service("svc", "/x"))
+    }
+
+    #[test]
+    fn push_and_drain_preserve_order() {
+        let mut q = IncomingQueue::new();
+        q.push(PendingSeed::Skip { time: t(3) });
+        q.push(PendingSeed::FixResponse { time: t(1) });
+        assert_eq!(q.len(), 2);
+        let seeds = q.drain();
+        assert_eq!(seeds[0].time(), t(3));
+        assert_eq!(seeds[1].time(), t(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn creates_reserve_their_times() {
+        let mut q = IncomingQueue::new();
+        assert!(!q.is_reserved(t(2)));
+        q.push(PendingSeed::Create {
+            time: t(2),
+            id: RequestId::new("svc", 9),
+            request: req(),
+        });
+        assert!(q.is_reserved(t(2)));
+        q.drain();
+        assert!(!q.is_reserved(t(2)));
+    }
+
+    #[test]
+    fn cancel_create_releases_reservation() {
+        let mut q = IncomingQueue::new();
+        let id = RequestId::new("svc", 9);
+        q.push(PendingSeed::Create {
+            time: t(2),
+            id: id.clone(),
+            request: req(),
+        });
+        q.push(PendingSeed::Skip { time: t(5) });
+        let cancelled = q.cancel_create(&id).expect("create is pending");
+        assert_eq!(cancelled.kind(), "create");
+        assert!(!q.is_reserved(t(2)));
+        assert_eq!(q.len(), 1);
+        // Cancelling twice is a no-op.
+        assert!(q.cancel_create(&id).is_none());
+    }
+
+    #[test]
+    fn replace_create_rewrites_payload() {
+        let mut q = IncomingQueue::new();
+        let id = RequestId::new("svc", 9);
+        q.push(PendingSeed::Create {
+            time: t(2),
+            id: id.clone(),
+            request: req(),
+        });
+        let better = HttpRequest::new(Method::Get, Url::service("svc", "/better"));
+        assert!(q.replace_create(&id, better.clone()));
+        match &q.seeds()[0] {
+            PendingSeed::Create { request, .. } => assert_eq!(request.url.path, "/better"),
+            other => panic!("unexpected seed {other:?}"),
+        }
+        assert!(!q.replace_create(&RequestId::new("svc", 10), better));
+    }
+
+    #[test]
+    fn seed_kinds_and_times() {
+        let skip = PendingSeed::Skip { time: t(1) };
+        let replace = PendingSeed::Replace {
+            time: t(2),
+            new_request: req(),
+        };
+        let fix = PendingSeed::FixResponse { time: t(4) };
+        assert_eq!(skip.kind(), "delete");
+        assert_eq!(replace.kind(), "replace");
+        assert_eq!(fix.kind(), "replace_response");
+        assert_eq!(replace.time(), t(2));
+    }
+
+    #[test]
+    fn default_mode_is_immediate() {
+        assert_eq!(RepairMode::default(), RepairMode::Immediate);
+    }
+}

@@ -1,0 +1,61 @@
+//! `aire-core` — the Aire repair controller (the paper's contribution).
+//!
+//! Every Aire-enabled web service runs a [`Controller`] (Figure 1). During
+//! normal operation the controller intercepts the service's requests,
+//! responses, and database accesses, maintaining a repair log and a
+//! versioned database. When asked to repair — by an administrator, a user,
+//! or another service through the repair protocol of Table 1 — it:
+//!
+//! 1. performs **local repair** by rolling back affected database rows and
+//!    selectively re-executing affected requests (Warp's rollback-redo,
+//!    §2.1), and
+//! 2. **asynchronously propagates** repair by queuing `replace` /
+//!    `delete` / `create` / `replace_response` messages for the other
+//!    services its past traffic touched (§3), collapsing queued messages
+//!    per subject, tolerating offline services, and notifying the
+//!    application (Table 2) when messages cannot be delivered.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — Table 1 as data: [`RepairOp`], wire encoding over
+//!   HTTP headers, credentials.
+//! * [`queue`] — outgoing repair queues with collapsing (§3.2) and the
+//!   held-for-credentials state of §7.2.
+//! * [`incoming`] — the incoming repair queue (§3.2): deferred mode
+//!   aggregates authorized repair messages and applies them in a single
+//!   local-repair pass while normal traffic keeps flowing (§9).
+//! * [`runtime`] — the recording and replaying [`Runtime`]s behind the
+//!   handler ABI, plus the write-buffering that makes re-execution
+//!   minimal (only genuinely changed rows taint downstream requests).
+//! * [`repair`] — the local-repair engine: the time-ordered agenda,
+//!   rollback, taint propagation (row-level and predicate/phantom-level),
+//!   call diffing, compensation.
+//! * [`controller`] — the [`Controller`] endpoint: normal dispatch,
+//!   repair API dispatch, the notifier-URL + response-repair-token dance
+//!   of §3.1, access control delegation (§4), and `retry` (Table 2).
+//! * [`world`] — a multi-service harness: registration, the asynchronous
+//!   message pump, quiescence detection, and the *clean-world oracle*
+//!   used by tests to check Aire's goal: state "consistent with the
+//!   attack never having taken place" (§2).
+//! * [`bare`] — the same applications run *without* Aire (plain store,
+//!   no logging): the baseline for Table 4's overhead measurements.
+//! * [`stats`] — the counters behind Tables 4 and 5.
+//!
+//! [`Runtime`]: aire_web::Runtime
+
+pub mod bare;
+pub mod controller;
+pub mod incoming;
+pub mod protocol;
+pub mod queue;
+pub mod repair;
+pub mod runtime;
+pub mod stats;
+pub mod world;
+
+pub use controller::{Controller, ControllerConfig};
+pub use incoming::{PendingSeed, RepairMode};
+pub use protocol::{RepairMessage, RepairOp};
+pub use queue::{QueueKey, QueuedRepair};
+pub use stats::ControllerStats;
+pub use world::World;

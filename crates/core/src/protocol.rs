@@ -1,0 +1,473 @@
+//! The repair protocol of Table 1, and its encoding over HTTP (§3.1).
+//!
+//! "To make it easier for clients to use Aire's repair interface, Aire's
+//! repair API encodes the request being repaired in the same way as the
+//! web service would normally encode this request. The type of repair
+//! operation being performed is sent in an `Aire-Repair:` HTTP header,
+//! and the `request_id` being repaired is sent in an `Aire-Request-Id:`
+//! header."
+//!
+//! `replace_response` is the one special case: servers cannot dial
+//! clients directly, so the server sends a *response repair token* to the
+//! client's notifier URL and the client fetches the actual
+//! `replace_response` payload back from the server over an
+//! authenticated channel (§3.1).
+
+use aire_http::aire::{self, RepairKind};
+use aire_http::{Headers, HttpRequest, HttpResponse, Method, Url};
+use aire_types::{AireError, Jv, RequestId, ResponseId};
+
+/// One repair operation (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairOp {
+    /// Replaces past request `request_id` with `new_request`.
+    Replace {
+        /// The request being repaired (named by the id its executor
+        /// assigned).
+        request_id: RequestId,
+        /// The corrected request.
+        new_request: HttpRequest,
+    },
+    /// Deletes past request `request_id` and all its side effects.
+    Delete {
+        /// The request being cancelled.
+        request_id: RequestId,
+    },
+    /// Executes `request` "in the past", between the requester's past
+    /// requests `before_id` and `after_id` (§3.1's relative ordering —
+    /// services share no global timeline).
+    Create {
+        /// The new request to execute.
+        request: HttpRequest,
+        /// The requester's last request before the splice point.
+        before_id: Option<RequestId>,
+        /// The requester's first request after the splice point.
+        after_id: Option<RequestId>,
+    },
+    /// Replaces past response `response_id` with `new_response`.
+    ReplaceResponse {
+        /// The response being repaired (named by the id its receiver
+        /// assigned).
+        response_id: ResponseId,
+        /// The corrected response.
+        new_response: HttpResponse,
+    },
+}
+
+impl RepairOp {
+    /// The operation's kind tag.
+    pub fn kind(&self) -> RepairKind {
+        match self {
+            RepairOp::Replace { .. } => RepairKind::Replace,
+            RepairOp::Delete { .. } => RepairKind::Delete,
+            RepairOp::Create { .. } => RepairKind::Create,
+            RepairOp::ReplaceResponse { .. } => RepairKind::ReplaceResponse,
+        }
+    }
+
+    /// Lossless serialization for queue persistence.
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("kind", Jv::s(self.kind().as_str()));
+        match self {
+            RepairOp::Replace {
+                request_id,
+                new_request,
+            } => {
+                m.set("request_id", Jv::s(request_id.wire()));
+                m.set("new_request", new_request.to_jv());
+            }
+            RepairOp::Delete { request_id } => {
+                m.set("request_id", Jv::s(request_id.wire()));
+            }
+            RepairOp::Create {
+                request,
+                before_id,
+                after_id,
+            } => {
+                m.set("request", request.to_jv());
+                m.set(
+                    "before_id",
+                    before_id.as_ref().map(|i| Jv::s(i.wire())).unwrap_or(Jv::Null),
+                );
+                m.set(
+                    "after_id",
+                    after_id.as_ref().map(|i| Jv::s(i.wire())).unwrap_or(Jv::Null),
+                );
+            }
+            RepairOp::ReplaceResponse {
+                response_id,
+                new_response,
+            } => {
+                m.set("response_id", Jv::s(response_id.wire()));
+                m.set("new_response", new_response.to_jv());
+            }
+        }
+        m
+    }
+
+    /// Parses the form produced by [`RepairOp::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<RepairOp, String> {
+        let kind = RepairKind::parse(v.str_of("kind"))
+            .ok_or_else(|| format!("bad repair kind {:?}", v.str_of("kind")))?;
+        let request_id = || -> Result<RequestId, String> {
+            RequestId::parse(v.str_of("request_id")).ok_or_else(|| "bad request_id".to_string())
+        };
+        let optional_id = |field: &str| -> Result<Option<RequestId>, String> {
+            match v.get(field) {
+                Jv::Null => Ok(None),
+                other => RequestId::parse(other.as_str().unwrap_or(""))
+                    .map(Some)
+                    .ok_or_else(|| format!("bad {field}")),
+            }
+        };
+        Ok(match kind {
+            RepairKind::Replace => RepairOp::Replace {
+                request_id: request_id()?,
+                new_request: HttpRequest::from_jv(v.get("new_request"))?,
+            },
+            RepairKind::Delete => RepairOp::Delete {
+                request_id: request_id()?,
+            },
+            RepairKind::Create => RepairOp::Create {
+                request: HttpRequest::from_jv(v.get("request"))?,
+                before_id: optional_id("before_id")?,
+                after_id: optional_id("after_id")?,
+            },
+            RepairKind::ReplaceResponse => RepairOp::ReplaceResponse {
+                response_id: ResponseId::parse(v.str_of("response_id"))
+                    .ok_or("bad response_id")?,
+                new_response: HttpResponse::from_jv(v.get("new_response"))?,
+            },
+        })
+    }
+
+    /// One-line summary for notices and logs.
+    pub fn summary(&self) -> String {
+        match self {
+            RepairOp::Replace { request_id, .. } => format!("replace {request_id}"),
+            RepairOp::Delete { request_id } => format!("delete {request_id}"),
+            RepairOp::Create { request, .. } => format!("create {}", request.summary()),
+            RepairOp::ReplaceResponse { response_id, .. } => {
+                format!("replace_response {response_id}")
+            }
+        }
+    }
+}
+
+/// A repair operation plus the credentials accompanying it (§4: "Aire
+/// requires that every repair API call be accompanied with credentials to
+/// authorize the repair operation").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairMessage {
+    /// The operation.
+    pub op: RepairOp,
+    /// Credential-bearing headers (cookies, bearer tokens) merged into
+    /// the carrier request.
+    pub credentials: Headers,
+}
+
+impl RepairMessage {
+    /// Wraps an operation with no extra credentials (the embedded
+    /// request's own headers may still carry them).
+    pub fn bare(op: RepairOp) -> RepairMessage {
+        RepairMessage {
+            op,
+            credentials: Headers::new(),
+        }
+    }
+
+    /// Wraps an operation with explicit credential headers.
+    pub fn with_credentials(op: RepairOp, credentials: Headers) -> RepairMessage {
+        RepairMessage { op, credentials }
+    }
+
+    /// Encodes the message as the HTTP carrier request delivered to
+    /// `target` (not used for `ReplaceResponse`, which travels via the
+    /// token dance — see [`crate::controller`]).
+    ///
+    /// For `replace` and `create` the carrier *is* the corrected request
+    /// plus marker headers; for `delete` a synthetic `POST /aire/repair`
+    /// carries the markers.
+    pub fn to_carrier(&self, target: &str) -> Result<HttpRequest, AireError> {
+        let mut carrier = match &self.op {
+            RepairOp::Replace {
+                request_id,
+                new_request,
+            } => {
+                let mut req = new_request.clone();
+                req.headers.set(aire::REPAIR, RepairKind::Replace.as_str());
+                req.headers.set(aire::REQUEST_ID, request_id.wire());
+                req
+            }
+            RepairOp::Delete { request_id } => {
+                let mut req = HttpRequest::new(Method::Post, Url::service(target, "/aire/repair"));
+                req.headers.set(aire::REPAIR, RepairKind::Delete.as_str());
+                req.headers.set(aire::REQUEST_ID, request_id.wire());
+                req
+            }
+            RepairOp::Create {
+                request,
+                before_id,
+                after_id,
+            } => {
+                let mut req = request.clone();
+                req.headers.set(aire::REPAIR, RepairKind::Create.as_str());
+                if let Some(b) = before_id {
+                    req.headers.set(aire::BEFORE_ID, b.wire());
+                }
+                if let Some(a) = after_id {
+                    req.headers.set(aire::AFTER_ID, a.wire());
+                }
+                req
+            }
+            RepairOp::ReplaceResponse { .. } => {
+                return Err(AireError::Protocol(
+                    "replace_response travels via the notifier token flow".to_string(),
+                ));
+            }
+        };
+        if carrier.url.host != target {
+            return Err(AireError::Protocol(format!(
+                "repair for {target} embeds a request addressed to {}",
+                carrier.url.host
+            )));
+        }
+        for (k, v) in self.credentials.iter() {
+            carrier.headers.set(k, v);
+        }
+        Ok(carrier)
+    }
+
+    /// Decodes a carrier request back into a message (run by the
+    /// receiving controller). Returns `Ok(None)` if the request carries no
+    /// `Aire-Repair` header (i.e. it is a normal request).
+    pub fn from_carrier(req: &HttpRequest) -> Result<Option<RepairMessage>, AireError> {
+        let Some(kind_str) = req.headers.get(aire::REPAIR) else {
+            return Ok(None);
+        };
+        let kind = RepairKind::parse(kind_str)
+            .ok_or_else(|| AireError::Protocol(format!("bad Aire-Repair: {kind_str:?}")))?;
+        let op = match kind {
+            RepairKind::Replace => {
+                let request_id = required_request_id(req)?;
+                let mut new_request = req.clone();
+                strip_marker_headers(&mut new_request);
+                RepairOp::Replace {
+                    request_id,
+                    new_request,
+                }
+            }
+            RepairKind::Delete => {
+                let request_id = required_request_id(req)?;
+                RepairOp::Delete { request_id }
+            }
+            RepairKind::Create => {
+                let before_id = optional_id(req, aire::BEFORE_ID)?;
+                let after_id = optional_id(req, aire::AFTER_ID)?;
+                let mut request = req.clone();
+                strip_marker_headers(&mut request);
+                RepairOp::Create {
+                    request,
+                    before_id,
+                    after_id,
+                }
+            }
+            RepairKind::ReplaceResponse => {
+                return Err(AireError::Protocol(
+                    "replace_response must not arrive as a carrier request".to_string(),
+                ));
+            }
+        };
+        // Surface the carrier's credential headers so access control can
+        // inspect them uniformly (for `delete` they are the only
+        // credentials carried at all).
+        let mut credentials = Headers::new();
+        for name in ["authorization", "cookie", "x-admin"] {
+            if let Some(v) = req.headers.get(name) {
+                credentials.set(name, v);
+            }
+        }
+        Ok(Some(RepairMessage { op, credentials }))
+    }
+}
+
+/// Removes the repair marker headers, leaving the "normal" request the
+/// service will (re-)execute. The client's fresh `Aire-Response-Id` /
+/// `Aire-Notifier-Url` plumbing is deliberately preserved: it names the
+/// response the client expects back via `replace_response` (§3.2).
+fn strip_marker_headers(req: &mut HttpRequest) {
+    req.headers.remove(aire::REPAIR);
+    req.headers.remove(aire::REQUEST_ID);
+    req.headers.remove(aire::BEFORE_ID);
+    req.headers.remove(aire::AFTER_ID);
+}
+
+fn required_request_id(req: &HttpRequest) -> Result<RequestId, AireError> {
+    let raw = req
+        .headers
+        .get(aire::REQUEST_ID)
+        .ok_or_else(|| AireError::Protocol("repair carrier missing Aire-Request-Id".into()))?;
+    RequestId::parse(raw)
+        .ok_or_else(|| AireError::Protocol(format!("bad Aire-Request-Id: {raw:?}")))
+}
+
+fn optional_id(req: &HttpRequest, header: &str) -> Result<Option<RequestId>, AireError> {
+    match req.headers.get(header) {
+        None => Ok(None),
+        Some(raw) => RequestId::parse(raw)
+            .map(Some)
+            .ok_or_else(|| AireError::Protocol(format!("bad {header}: {raw:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::jv;
+
+    use super::*;
+
+    fn new_request() -> HttpRequest {
+        HttpRequest::post(
+            Url::service("askbot", "/questions/new"),
+            jv!({"title": "fixed", "body": "better"}),
+        )
+        .with_header("Cookie", "sessionid=abc")
+        .with_header("Aire-Response-Id", "oauth/R3")
+    }
+
+    #[test]
+    fn replace_round_trip() {
+        let op = RepairOp::Replace {
+            request_id: RequestId::new("askbot", 9),
+            new_request: new_request(),
+        };
+        let msg = RepairMessage::bare(op.clone());
+        let carrier = msg.to_carrier("askbot").unwrap();
+        assert_eq!(carrier.headers.get(aire::REPAIR), Some("replace"));
+        let decoded = RepairMessage::from_carrier(&carrier).unwrap().unwrap();
+        match decoded.op {
+            RepairOp::Replace {
+                request_id,
+                new_request,
+            } => {
+                assert_eq!(request_id, RequestId::new("askbot", 9));
+                // Marker headers are stripped; payload + plumbing kept.
+                assert!(!new_request.headers.contains(aire::REPAIR));
+                assert!(!new_request.headers.contains(aire::REQUEST_ID));
+                assert_eq!(new_request.headers.get("cookie"), Some("sessionid=abc"));
+                assert_eq!(new_request.headers.get(aire::RESPONSE_ID), Some("oauth/R3"));
+                assert_eq!(new_request.body.str_of("title"), "fixed");
+            }
+            other => panic!("decoded wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_round_trip() {
+        let op = RepairOp::Delete {
+            request_id: RequestId::new("dpaste", 6),
+        };
+        let mut creds = Headers::new();
+        creds.set("Authorization", "Bearer tok");
+        let msg = RepairMessage::with_credentials(op.clone(), creds);
+        let carrier = msg.to_carrier("dpaste").unwrap();
+        assert_eq!(carrier.url.path, "/aire/repair");
+        assert_eq!(carrier.headers.get("authorization"), Some("Bearer tok"));
+        let decoded = RepairMessage::from_carrier(&carrier).unwrap().unwrap();
+        assert_eq!(decoded.op, op);
+        assert_eq!(decoded.credentials.get("authorization"), Some("Bearer tok"));
+    }
+
+    #[test]
+    fn create_round_trip_with_bounds() {
+        let op = RepairOp::Create {
+            request: new_request(),
+            before_id: Some(RequestId::new("askbot", 2)),
+            after_id: Some(RequestId::new("askbot", 5)),
+        };
+        let carrier = RepairMessage::bare(op).to_carrier("askbot").unwrap();
+        let decoded = RepairMessage::from_carrier(&carrier).unwrap().unwrap();
+        match decoded.op {
+            RepairOp::Create {
+                before_id,
+                after_id,
+                request,
+            } => {
+                assert_eq!(before_id, Some(RequestId::new("askbot", 2)));
+                assert_eq!(after_id, Some(RequestId::new("askbot", 5)));
+                assert!(!request.headers.contains(aire::BEFORE_ID));
+            }
+            other => panic!("decoded wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_without_bounds_is_valid() {
+        let op = RepairOp::Create {
+            request: new_request(),
+            before_id: None,
+            after_id: None,
+        };
+        let carrier = RepairMessage::bare(op).to_carrier("askbot").unwrap();
+        let decoded = RepairMessage::from_carrier(&carrier).unwrap().unwrap();
+        assert!(matches!(
+            decoded.op,
+            RepairOp::Create {
+                before_id: None,
+                after_id: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn normal_requests_decode_to_none() {
+        let req = new_request();
+        assert_eq!(RepairMessage::from_carrier(&req).unwrap(), None);
+    }
+
+    #[test]
+    fn replace_response_has_no_carrier() {
+        let op = RepairOp::ReplaceResponse {
+            response_id: ResponseId::new("askbot", 4),
+            new_response: HttpResponse::error(aire_http::Status::FORBIDDEN, "nope"),
+        };
+        assert!(RepairMessage::bare(op).to_carrier("askbot").is_err());
+    }
+
+    #[test]
+    fn mis_addressed_carrier_is_rejected() {
+        let op = RepairOp::Replace {
+            request_id: RequestId::new("other", 1),
+            new_request: new_request(), // addressed to askbot
+        };
+        assert!(RepairMessage::bare(op).to_carrier("other").is_err());
+    }
+
+    #[test]
+    fn malformed_markers_are_rejected() {
+        let mut req = new_request();
+        req.headers.set(aire::REPAIR, "explode");
+        assert!(RepairMessage::from_carrier(&req).is_err());
+
+        let mut req = new_request();
+        req.headers.set(aire::REPAIR, "replace");
+        // Missing Aire-Request-Id.
+        assert!(RepairMessage::from_carrier(&req).is_err());
+
+        let mut req = new_request();
+        req.headers.set(aire::REPAIR, "delete");
+        req.headers.set(aire::REQUEST_ID, "garbage");
+        assert!(RepairMessage::from_carrier(&req).is_err());
+    }
+
+    #[test]
+    fn summaries_name_the_subject() {
+        let op = RepairOp::Delete {
+            request_id: RequestId::new("dpaste", 6),
+        };
+        assert_eq!(op.summary(), "delete dpaste/Q6");
+        assert_eq!(op.kind(), RepairKind::Delete);
+    }
+}

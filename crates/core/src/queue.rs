@@ -1,0 +1,365 @@
+//! Outgoing repair queues with collapsing (§3.2).
+//!
+//! "Aire maintains an outgoing queue of repair messages for each remote
+//! web service. If multiple repair messages refer to the same request or
+//! the same response, Aire can collapse them, by keeping only the most
+//! recent repair message."
+//!
+//! Messages are keyed by the *local* name of the conversation they
+//! repair: the [`ResponseId`] we assigned to an outgoing call (for
+//! `replace`/`delete`/`create` of our past requests) or the
+//! [`RequestId`] we assigned to an incoming request (for
+//! `replace_response` of our past responses). Collapsing replaces any
+//! queued message with the same key.
+//!
+//! A message can be *held* after an authorization failure: it stays in
+//! the queue but is not retried until the application supplies fresh
+//! credentials via `retry` (Table 2, §7.2).
+
+use std::collections::BTreeMap;
+
+use aire_http::Headers;
+use aire_types::{MsgId, RequestId, ResponseId, ServiceName};
+
+use crate::protocol::RepairOp;
+
+/// The local name of the conversation a queued message repairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueueKey {
+    /// Repairs one of *our outgoing calls*, named by the response id we
+    /// assigned to it.
+    ByCall(ResponseId),
+    /// Repairs one of *our responses*, named by the request id we
+    /// assigned to the incoming request.
+    ByAction(RequestId),
+}
+
+/// One queued outgoing repair message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedRepair {
+    /// Stable id, used by `notify`/`retry` (Table 2).
+    pub msg_id: MsgId,
+    /// The remote service to deliver to.
+    pub target: ServiceName,
+    /// Collapse key.
+    pub key: QueueKey,
+    /// The operation.
+    pub op: RepairOp,
+    /// Credential headers to attach to the carrier.
+    pub credentials: Headers,
+    /// Delivery attempts so far.
+    pub attempts: u32,
+    /// Last delivery error, if any.
+    pub last_error: Option<String>,
+    /// Held for fresh credentials; not retried automatically.
+    pub held: bool,
+    /// Whether the application has already been notified about the
+    /// current failure episode (avoids duplicate notifications).
+    pub notified: bool,
+}
+
+/// The per-service set of outgoing queues.
+#[derive(Debug, Default)]
+pub struct OutgoingQueues {
+    /// Queue per target, keyed by target then insertion order.
+    queues: BTreeMap<ServiceName, Vec<QueuedRepair>>,
+    next_msg_id: u64,
+    /// Total `enqueue` calls, including ones later collapsed — the
+    /// message count a design *without* collapsing would have sent
+    /// (the `ablation_collapse` bench reports this).
+    enqueued_total: u64,
+    /// Enqueues that replaced an existing message with the same key.
+    collapsed_total: u64,
+}
+
+impl OutgoingQueues {
+    /// Creates empty queues.
+    pub fn new() -> OutgoingQueues {
+        OutgoingQueues::default()
+    }
+
+    /// Enqueues a message, collapsing any earlier message with the same
+    /// key (the newest repair for a subject supersedes older ones).
+    /// Returns the assigned message id.
+    pub fn enqueue(
+        &mut self,
+        target: ServiceName,
+        key: QueueKey,
+        op: RepairOp,
+        credentials: Headers,
+    ) -> MsgId {
+        self.next_msg_id += 1;
+        self.enqueued_total += 1;
+        let msg_id = MsgId(self.next_msg_id);
+        let queue = self.queues.entry(target.clone()).or_default();
+        let before = queue.len();
+        queue.retain(|q| q.key != key);
+        self.collapsed_total += (before - queue.len()) as u64;
+        queue.push(QueuedRepair {
+            msg_id,
+            target,
+            key,
+            op,
+            credentials,
+            attempts: 0,
+            last_error: None,
+            held: false,
+            notified: false,
+        });
+        msg_id
+    }
+
+    /// Removes a delivered (or permanently failed) message.
+    pub fn remove(&mut self, msg_id: MsgId) -> Option<QueuedRepair> {
+        for queue in self.queues.values_mut() {
+            if let Some(pos) = queue.iter().position(|q| q.msg_id == msg_id) {
+                return Some(queue.remove(pos));
+            }
+        }
+        None
+    }
+
+    /// Cancels any queued message with the given key (e.g. a re-repair
+    /// decided the original message is no longer needed). Returns true if
+    /// something was removed.
+    pub fn cancel_key(&mut self, key: &QueueKey) -> bool {
+        let mut removed = false;
+        for queue in self.queues.values_mut() {
+            let before = queue.len();
+            queue.retain(|q| q.key != *key);
+            removed |= queue.len() != before;
+        }
+        removed
+    }
+
+    /// Looks up a queued message by id.
+    pub fn get(&self, msg_id: MsgId) -> Option<&QueuedRepair> {
+        self.queues.values().flatten().find(|q| q.msg_id == msg_id)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, msg_id: MsgId) -> Option<&mut QueuedRepair> {
+        self.queues
+            .values_mut()
+            .flatten()
+            .find(|q| q.msg_id == msg_id)
+    }
+
+    /// Message ids currently sendable (not held), in deterministic
+    /// (target, FIFO) order.
+    pub fn sendable(&self) -> Vec<MsgId> {
+        self.queues
+            .values()
+            .flatten()
+            .filter(|q| !q.held)
+            .map(|q| q.msg_id)
+            .collect()
+    }
+
+    /// All queued messages (including held), in deterministic order.
+    pub fn all(&self) -> Vec<&QueuedRepair> {
+        self.queues.values().flatten().collect()
+    }
+
+    /// Pending messages for one target.
+    pub fn for_target(&self, target: &ServiceName) -> &[QueuedRepair] {
+        self.queues.get(target).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `(total enqueued, collapsed away)` — the collapse ablation's
+    /// numbers (§3.2).
+    pub fn collapse_stats(&self) -> (u64, u64) {
+        (self.enqueued_total, self.collapsed_total)
+    }
+
+    /// Lossless snapshot of every queued message plus the allocator and
+    /// collapse counters.
+    pub fn snapshot(&self) -> aire_types::Jv {
+        use aire_types::Jv;
+        let queued = self.queues.values().flatten().map(|q| {
+            let mut m = Jv::map();
+            m.set("msg_id", Jv::i(q.msg_id.0 as i64));
+            m.set("target", Jv::s(q.target.as_str()));
+            match &q.key {
+                QueueKey::ByCall(rid) => {
+                    m.set("key_kind", Jv::s("call"));
+                    m.set("key", Jv::s(rid.wire()));
+                }
+                QueueKey::ByAction(qid) => {
+                    m.set("key_kind", Jv::s("action"));
+                    m.set("key", Jv::s(qid.wire()));
+                }
+            }
+            m.set("op", q.op.to_jv());
+            m.set(
+                "credentials",
+                Jv::Map(
+                    q.credentials
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Jv::s(v)))
+                        .collect(),
+                ),
+            );
+            m.set("attempts", Jv::i(q.attempts as i64));
+            m.set(
+                "last_error",
+                q.last_error.clone().map(Jv::s).unwrap_or(Jv::Null),
+            );
+            m.set("held", Jv::Bool(q.held));
+            m.set("notified", Jv::Bool(q.notified));
+            m
+        });
+        let mut out = Jv::map();
+        out.set("queued", Jv::list(queued));
+        out.set("next_msg_id", Jv::i(self.next_msg_id as i64));
+        out.set("enqueued_total", Jv::i(self.enqueued_total as i64));
+        out.set("collapsed_total", Jv::i(self.collapsed_total as i64));
+        out
+    }
+
+    /// Rebuilds the queues from an [`OutgoingQueues::snapshot`].
+    pub fn restore(snap: &aire_types::Jv) -> Result<OutgoingQueues, String> {
+        use crate::protocol::RepairOp;
+        let mut queues = OutgoingQueues::new();
+        queues.next_msg_id = snap.get("next_msg_id").as_int().unwrap_or(0) as u64;
+        queues.enqueued_total = snap.get("enqueued_total").as_int().unwrap_or(0) as u64;
+        queues.collapsed_total = snap.get("collapsed_total").as_int().unwrap_or(0) as u64;
+        for q in snap.get("queued").as_list().unwrap_or(&[]) {
+            let target = ServiceName::new(q.str_of("target"));
+            let key = match q.str_of("key_kind") {
+                "call" => QueueKey::ByCall(
+                    ResponseId::parse(q.str_of("key")).ok_or("queue: bad call key")?,
+                ),
+                "action" => QueueKey::ByAction(
+                    RequestId::parse(q.str_of("key")).ok_or("queue: bad action key")?,
+                ),
+                other => return Err(format!("queue: bad key kind {other:?}")),
+            };
+            let credentials: Headers = q
+                .get("credentials")
+                .as_map()
+                .map(|m| {
+                    m.iter()
+                        .map(|(k, v)| (k.clone(), v.as_str().unwrap_or("").to_string()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let msg = QueuedRepair {
+                msg_id: MsgId(q.get("msg_id").as_int().unwrap_or(0) as u64),
+                target: target.clone(),
+                key,
+                op: RepairOp::from_jv(q.get("op"))?,
+                credentials,
+                attempts: q.get("attempts").as_int().unwrap_or(0) as u32,
+                last_error: q.get("last_error").as_str().map(|s| s.to_string()),
+                held: q.get("held").as_bool().unwrap_or(false),
+                notified: q.get("notified").as_bool().unwrap_or(false),
+            };
+            queues.queues.entry(target).or_default().push(msg);
+        }
+        Ok(queues)
+    }
+
+    /// Total queued messages.
+    pub fn len(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::{HttpRequest, Method, Url};
+    use aire_types::RequestId;
+
+    use super::*;
+
+    fn delete_op(seq: u64) -> RepairOp {
+        RepairOp::Delete {
+            request_id: RequestId::new("remote", seq),
+        }
+    }
+
+    fn replace_op(seq: u64) -> RepairOp {
+        RepairOp::Replace {
+            request_id: RequestId::new("remote", seq),
+            new_request: HttpRequest::new(Method::Get, Url::service("remote", "/x")),
+        }
+    }
+
+    fn key(seq: u64) -> QueueKey {
+        QueueKey::ByCall(ResponseId::new("local", seq))
+    }
+
+    #[test]
+    fn enqueue_and_drain() {
+        let mut q = OutgoingQueues::new();
+        let target = ServiceName::new("remote");
+        let m1 = q.enqueue(target.clone(), key(1), delete_op(1), Headers::new());
+        let m2 = q.enqueue(target.clone(), key(2), delete_op(2), Headers::new());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.sendable(), vec![m1, m2]);
+        let taken = q.remove(m1).unwrap();
+        assert_eq!(taken.key, key(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn same_key_collapses_to_newest() {
+        let mut q = OutgoingQueues::new();
+        let target = ServiceName::new("remote");
+        q.enqueue(target.clone(), key(1), replace_op(1), Headers::new());
+        let m2 = q.enqueue(target.clone(), key(1), delete_op(1), Headers::new());
+        assert_eq!(q.len(), 1, "older message for same key collapsed");
+        let only = q.get(m2).unwrap();
+        assert!(matches!(only.op, RepairOp::Delete { .. }), "newest op wins");
+    }
+
+    #[test]
+    fn different_targets_do_not_collapse() {
+        let mut q = OutgoingQueues::new();
+        q.enqueue(ServiceName::new("a"), key(1), delete_op(1), Headers::new());
+        q.enqueue(ServiceName::new("b"), key(2), delete_op(1), Headers::new());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn held_messages_are_not_sendable() {
+        let mut q = OutgoingQueues::new();
+        let target = ServiceName::new("remote");
+        let m = q.enqueue(target, key(1), delete_op(1), Headers::new());
+        q.get_mut(m).unwrap().held = true;
+        assert!(q.sendable().is_empty());
+        assert_eq!(q.len(), 1);
+        // retry() un-holds.
+        q.get_mut(m).unwrap().held = false;
+        assert_eq!(q.sendable(), vec![m]);
+    }
+
+    #[test]
+    fn cancel_key_removes_pending() {
+        let mut q = OutgoingQueues::new();
+        let target = ServiceName::new("remote");
+        q.enqueue(target, key(1), replace_op(1), Headers::new());
+        assert!(q.cancel_key(&key(1)));
+        assert!(!q.cancel_key(&key(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn order_is_per_target_fifo() {
+        let mut q = OutgoingQueues::new();
+        let b = ServiceName::new("b");
+        let a = ServiceName::new("a");
+        let m1 = q.enqueue(b.clone(), key(1), delete_op(1), Headers::new());
+        let m2 = q.enqueue(a.clone(), key(2), delete_op(2), Headers::new());
+        let m3 = q.enqueue(b.clone(), key(3), delete_op(3), Headers::new());
+        // Targets sorted (a before b), FIFO within a target.
+        assert_eq!(q.sendable(), vec![m2, m1, m3]);
+        assert_eq!(q.for_target(&b).len(), 2);
+    }
+}

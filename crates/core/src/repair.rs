@@ -1,0 +1,648 @@
+//! The local-repair engine: Warp-style rollback and selective
+//! re-execution (§2.1), extended with Aire's repair-message planning
+//! (§3.2).
+//!
+//! Repair runs over a time-ordered *agenda* of planned actions. Entries
+//! are processed strictly in original-execution order, which makes repair
+//! *stable* (§3.3: "when processing a repair message for time t, it
+//! produces repair messages only for requests or responses at times after
+//! t") and guarantees each action re-executes at most once per pass.
+//!
+//! Processing an entry:
+//!
+//! * **Skip** (a `delete`): every row the action wrote is rolled back to
+//!   before the action's time; later readers/writers of those rows — and
+//!   scans whose predicates match the removed values (phantoms) — join
+//!   the agenda; every outgoing call the action made is planned for
+//!   `delete` on the remote; external outputs get compensating actions.
+//! * **Re-execute** (everything else): the handler runs against a
+//!   [`ReplayRuntime`]; afterwards the buffered writes are diffed against
+//!   the original execution — identical rows are kept (no spurious
+//!   taint, Warp's equivalence optimization), changed rows are rolled
+//!   back, re-written, and taint the future; call plans become
+//!   `replace`/`create`/`delete` messages; a changed response becomes a
+//!   `replace_response` when the client left a notifier URL.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use aire_http::{aire, HttpRequest, HttpResponse, Status};
+use aire_log::{ActionRecord, ActionStatus, CallRecord, DbOp, RepairLog};
+use aire_types::{Jv, LogicalTime, MsgId, RequestId, ServiceName};
+use aire_vdb::{RowKey, VersionedStore};
+use aire_web::{App, Compensation, Ctx, RepairProblem, Router};
+
+use crate::protocol::RepairOp;
+use crate::queue::{OutgoingQueues, QueueKey};
+use crate::runtime::{build_record, final_writes, CallPlan, ReplayRuntime, Trace};
+use crate::stats::ControllerStats;
+
+/// What to do with an action on the agenda.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Delete: eliminate all side effects.
+    Skip,
+    /// Re-execute, optionally with a replacement request (`replace`).
+    ReExec {
+        /// `Some` when a `replace` supplied new request content.
+        request_override: Option<HttpRequest>,
+    },
+    /// Execute a brand-new request spliced into the past (`create`).
+    CreateNew {
+        /// The created request.
+        request: HttpRequest,
+        /// The id pre-assigned to the created action.
+        id: RequestId,
+    },
+}
+
+impl Plan {
+    /// Merges a newly requested plan into an existing agenda entry.
+    /// `Skip` dominates; an explicit override dominates a plain re-exec.
+    fn merge(existing: &mut Plan, incoming: Plan) {
+        match (&existing, &incoming) {
+            (Plan::Skip, _) => {}
+            (_, Plan::Skip) => *existing = incoming,
+            (
+                Plan::ReExec {
+                    request_override: None,
+                },
+                Plan::ReExec { .. },
+            ) => {
+                *existing = incoming;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Mutable state the engine works on (split out of the controller).
+pub struct EngineState<'a> {
+    /// Service name.
+    pub service: &'a ServiceName,
+    /// The versioned store.
+    pub store: &'a mut VersionedStore,
+    /// The repair log.
+    pub log: &'a mut RepairLog,
+    /// Outgoing repair queues.
+    pub outgoing: &'a mut OutgoingQueues,
+    /// Response-id allocator (for new calls discovered during replay).
+    pub next_response_seq: &'a mut u64,
+    /// Statistics.
+    pub stats: &'a mut ControllerStats,
+    /// Admin notices (compensations, unpropagatable repairs).
+    pub admin_notices: &'a mut Vec<Jv>,
+    /// Notification copies (also delivered to `App::notify`).
+    pub notifications: &'a mut Vec<RepairProblem>,
+    /// Ablation knob: taint every scan of a changed row's table.
+    pub coarse_scan_taint: bool,
+}
+
+/// The local-repair engine for one pass.
+pub struct RepairEngine<'a> {
+    state: EngineState<'a>,
+    app: &'a dyn App,
+    router: &'a Router,
+    agenda: BTreeMap<LogicalTime, Plan>,
+    fresh_ids: BTreeMap<String, u64>,
+}
+
+impl<'a> RepairEngine<'a> {
+    /// Creates an engine with an empty agenda.
+    pub fn new(state: EngineState<'a>, app: &'a dyn App, router: &'a Router) -> RepairEngine<'a> {
+        RepairEngine {
+            state,
+            app,
+            router,
+            agenda: BTreeMap::new(),
+            fresh_ids: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules a deletion of the action at `time`.
+    pub fn schedule_skip(&mut self, time: LogicalTime) {
+        self.schedule(time, Plan::Skip);
+    }
+
+    /// Schedules re-execution, optionally with replacement content.
+    pub fn schedule_reexec(&mut self, time: LogicalTime, request_override: Option<HttpRequest>) {
+        self.schedule(time, Plan::ReExec { request_override });
+    }
+
+    /// Schedules execution of a created request at a spliced time.
+    pub fn schedule_create(&mut self, time: LogicalTime, id: RequestId, request: HttpRequest) {
+        self.schedule(time, Plan::CreateNew { request, id });
+    }
+
+    fn schedule(&mut self, time: LogicalTime, plan: Plan) {
+        match self.agenda.get_mut(&time) {
+            Some(existing) => Plan::merge(existing, plan),
+            None => {
+                self.agenda.insert(time, plan);
+            }
+        }
+    }
+
+    /// True if anything is scheduled.
+    pub fn has_work(&self) -> bool {
+        !self.agenda.is_empty()
+    }
+
+    /// Runs the pass to completion. Returns the number of actions
+    /// processed.
+    pub fn run(mut self) -> usize {
+        let started = Instant::now();
+        let mut processed = 0;
+        let mut last_time = LogicalTime::ZERO;
+        while let Some((&time, _)) = self.agenda.iter().next() {
+            let plan = self.agenda.remove(&time).expect("agenda entry vanished");
+            debug_assert!(time >= last_time, "agenda must be processed in time order");
+            last_time = time;
+            self.process(time, plan);
+            processed += 1;
+        }
+        self.state.stats.repaired_requests += processed as u64;
+        self.state.stats.repair_wall += started.elapsed();
+        self.state.stats.repair_passes += 1;
+        processed
+    }
+
+    fn process(&mut self, time: LogicalTime, plan: Plan) {
+        match plan {
+            Plan::Skip => self.process_skip(time),
+            Plan::ReExec { request_override } => self.process_reexec(time, request_override),
+            Plan::CreateNew { request, id } => self.process_create(time, id, request),
+        }
+    }
+
+    //////// Skip (delete). ////////
+
+    fn process_skip(&mut self, time: LogicalTime) {
+        let Some(record) = self.state.log.at(time).cloned() else {
+            return;
+        };
+        if record.is_deleted() {
+            return;
+        }
+        // Roll back everything the action wrote and taint the future.
+        let writes = final_writes(&record.db_ops);
+        for (key, after) in &writes {
+            self.rollback_and_taint(key, time, after.clone());
+        }
+        // Cancel the action's conversation with every remote it called.
+        for call in &record.calls {
+            self.plan_cancel_call(call);
+        }
+        // Compensate external outputs that should never have happened.
+        for output in &record.external {
+            self.compensate(Compensation {
+                kind: output.kind.clone(),
+                old_payload: Some(output.payload.clone()),
+                new_payload: None,
+            });
+        }
+        // Keep the record, marked deleted, so later repairs can name it.
+        let mut tombstone = record;
+        tombstone.status = ActionStatus::Deleted;
+        self.state.log.replace(tombstone);
+    }
+
+    //////// Re-execution. ////////
+
+    fn process_reexec(&mut self, time: LogicalTime, request_override: Option<HttpRequest>) {
+        let Some(original) = self.state.log.at(time).cloned() else {
+            return;
+        };
+        if original.is_deleted() {
+            return;
+        }
+        // A replaced request's client holds a tentative timeout response
+        // (§3.2); force a replace_response even if re-execution produced
+        // the same payload as the original run.
+        let force_response_repair = request_override.is_some();
+        let request = request_override.unwrap_or_else(|| original.request.clone());
+        let id = original.id.clone();
+        self.execute_at(time, id, request, Some(&original), force_response_repair);
+    }
+
+    fn process_create(&mut self, time: LogicalTime, id: RequestId, request: HttpRequest) {
+        self.execute_at(time, id, request, None, true);
+    }
+
+    /// Runs the handler for `request` as of `time`, then reconciles the
+    /// outcome with `original` (if any): write diffs, call plans,
+    /// response repair, compensation, log update.
+    fn execute_at(
+        &mut self,
+        time: LogicalTime,
+        id: RequestId,
+        request: HttpRequest,
+        original: Option<&ActionRecord>,
+        force_response_repair: bool,
+    ) {
+        // Seed the fresh-id pools from the store's allocator tops so
+        // divergent inserts cannot collide with existing rows.
+        let tables: Vec<String> = self
+            .state
+            .store
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for table in tables {
+            if !self.fresh_ids.contains_key(&table) {
+                let next = self.state.store.peek_next_id(&table).unwrap_or(1_000_000);
+                self.fresh_ids.insert(table, next.saturating_sub(1));
+            }
+        }
+
+        let (response, trace, call_plans, unconsumed) = {
+            let mut rt = ReplayRuntime::new(
+                self.state.service,
+                self.state.store,
+                time,
+                original,
+                self.state.next_response_seq,
+                &mut self.fresh_ids,
+            );
+            let response = match self.router.dispatch(request.method, &request.url.path) {
+                Some((handler, params)) => {
+                    let mut ctx = Ctx::new(&request, params, &mut rt);
+                    match handler(&mut ctx) {
+                        Ok(resp) => resp,
+                        Err(e) => e.to_response(),
+                    }
+                }
+                None => HttpResponse::error(Status::NOT_FOUND, "no route"),
+            };
+            let unconsumed: Vec<CallRecord> = rt.unconsumed_calls().into_iter().cloned().collect();
+            (response, rt.trace, rt.call_plans, unconsumed)
+        };
+        self.state.stats.repaired_db_ops += trace.db_ops.len() as u64;
+
+        // Reconcile writes with the original execution.
+        self.flush_writes(time, original, &trace);
+
+        // Plan repair messages for changed / new / missing calls.
+        for (call, plan) in trace.calls.iter().zip(&call_plans) {
+            match plan {
+                CallPlan::Matched => {}
+                CallPlan::Changed => self.plan_replace_call(call),
+                CallPlan::New => self.plan_create_call(time, call),
+            }
+        }
+        for call in &unconsumed {
+            self.plan_cancel_call(call);
+        }
+
+        // Compensate changed external outputs.
+        self.diff_externals(original, &trace);
+
+        // Update the log in place (repair-of-repaired-requests, §2.2).
+        let mut tagged_response = response.clone();
+        aire::tag_response(&mut tagged_response, &id);
+        let new_record = build_record(
+            id,
+            time,
+            request,
+            tagged_response,
+            trace,
+            original.map(|o| o.created_by_repair).unwrap_or(true),
+        );
+        // Repair the response when it changed — or unconditionally for
+        // replaced/created requests, whose client holds a tentative
+        // timeout response (§3.2).
+        let response_changed = original
+            .map(|o| o.response.canonical() != new_record.response.canonical())
+            .unwrap_or(false);
+        if force_response_repair || response_changed {
+            self.plan_replace_response(&new_record);
+        }
+        if original.is_some() {
+            self.state.log.replace(new_record);
+        } else {
+            self.state.log.record(new_record);
+        }
+    }
+
+    /// Applies the replay's buffered writes, keeping identical rows
+    /// untouched and tainting the future for every genuine change.
+    fn flush_writes(&mut self, time: LogicalTime, original: Option<&ActionRecord>, trace: &Trace) {
+        let new_writes = final_writes(&trace.db_ops);
+        let old_writes = original
+            .map(|o| final_writes(&o.db_ops))
+            .unwrap_or_default();
+
+        // Rows the original wrote but the re-execution did not: undo.
+        for (key, old_after) in &old_writes {
+            if !new_writes.contains_key(key) {
+                self.rollback_and_taint(key, time, old_after.clone());
+            }
+        }
+
+        // Rows the re-execution wrote.
+        for (key, new_after) in &new_writes {
+            // Identical to what is already in the chain at this time?
+            let existing = self
+                .state
+                .store
+                .version_exactly_at(&key.table, key.id, time)
+                .ok()
+                .flatten()
+                .map(|v| v.data.clone());
+            if existing.as_ref() == Some(new_after) {
+                continue;
+            }
+            let old_after = old_writes.get(key).cloned().flatten();
+            // Remove the stale version (and any later ones), tainting
+            // the readers/writers after this time...
+            self.rollback_and_taint(key, time, old_after);
+            // ...then apply the new write.
+            self.apply_write(key, new_after.clone(), time);
+            // New values can also satisfy predicates old values did not.
+            self.taint_scans(key, time, new_after.clone());
+        }
+    }
+
+    fn apply_write(&mut self, key: &RowKey, value: Option<Jv>, time: LogicalTime) {
+        let live_before = self
+            .state
+            .store
+            .get(&key.table, key.id, time)
+            .ok()
+            .flatten()
+            .is_some();
+        let result = match (value, live_before) {
+            (Some(data), false) => {
+                let _ = self.state.store.observe_id(&key.table, key.id);
+                self.state
+                    .store
+                    .insert(&key.table, key.id, data, time)
+                    .map(|_| ())
+            }
+            (Some(data), true) => self
+                .state
+                .store
+                .update(&key.table, key.id, data, time)
+                .map(|_| ()),
+            (None, true) => self
+                .state
+                .store
+                .delete(&key.table, key.id, time)
+                .map(|_| ()),
+            (None, false) => Ok(()),
+        };
+        if let Err(e) = result {
+            // App-versioned tables refuse writes during repair by design
+            // (§6); anything else indicates an engine invariant violation.
+            self.state.admin_notices.push({
+                let mut n = Jv::map();
+                n.set("kind", Jv::s("repair-write-error"));
+                n.set("row", Jv::s(key.to_string()));
+                n.set("error", Jv::s(e.to_string()));
+                n
+            });
+        }
+    }
+
+    /// Rolls `key` back to before `time` and puts every later (or
+    /// same-time, for other actions) reader/writer and matching scan on
+    /// the agenda.
+    fn rollback_and_taint(&mut self, key: &RowKey, time: LogicalTime, changed_value: Option<Jv>) {
+        let removed = self
+            .state
+            .store
+            .rollback(&key.table, key.id, time)
+            .unwrap_or_default();
+        // Direct readers/writers of the row.
+        for t in self.state.log.actions_touching_row(key, time) {
+            if t == time {
+                continue;
+            }
+            self.schedule(
+                t,
+                Plan::ReExec {
+                    request_override: None,
+                },
+            );
+        }
+        // Phantom taint: scans whose predicate matches any removed value
+        // or the changed value.
+        let mut probes: Vec<Jv> = removed.into_iter().filter_map(|v| v.data).collect();
+        if let Some(v) = changed_value {
+            probes.push(v);
+        }
+        if !probes.is_empty() {
+            let table = key.table.clone();
+            let coarse = self.state.coarse_scan_taint;
+            let times = self.state.log.actions_scanning(&table, time, |f| {
+                coarse || probes.iter().any(|p| f.matches(p))
+            });
+            for t in times {
+                if t == time {
+                    continue;
+                }
+                self.schedule(
+                    t,
+                    Plan::ReExec {
+                        request_override: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Taints scans that match a newly written value.
+    fn taint_scans(&mut self, key: &RowKey, time: LogicalTime, value: Option<Jv>) {
+        let Some(v) = value else { return };
+        let coarse = self.state.coarse_scan_taint;
+        let times = self
+            .state
+            .log
+            .actions_scanning(&key.table, time, |f| coarse || f.matches(&v));
+        for t in times {
+            if t == time {
+                continue;
+            }
+            self.schedule(
+                t,
+                Plan::ReExec {
+                    request_override: None,
+                },
+            );
+        }
+    }
+
+    //////// Repair-message planning. ////////
+
+    fn credentials_of(request: &HttpRequest) -> aire_http::Headers {
+        let mut creds = aire_http::Headers::new();
+        for name in ["authorization", "cookie"] {
+            if let Some(v) = request.headers.get(name) {
+                creds.set(name, v);
+            }
+        }
+        creds
+    }
+
+    fn plan_replace_call(&mut self, call: &CallRecord) {
+        let key = QueueKey::ByCall(call.response_id.clone());
+        match &call.remote_request_id {
+            Some(remote_id) => {
+                let op = RepairOp::Replace {
+                    request_id: remote_id.clone(),
+                    new_request: call.request.clone(),
+                };
+                self.state.outgoing.enqueue(
+                    ServiceName::new(call.target()),
+                    key,
+                    op,
+                    Self::credentials_of(&call.request),
+                );
+            }
+            None => self.unpropagatable(call, "no remote request id (not an Aire service?)"),
+        }
+    }
+
+    fn plan_create_call(&mut self, time: LogicalTime, call: &CallRecord) {
+        // Relative positioning (§3.1): our last exchanged request with the
+        // target before `time`, and our first after it.
+        let target = call.target();
+        let mut before_id = None;
+        let mut after_id = None;
+        for action in self.state.log.actions() {
+            for c in &action.calls {
+                if c.target() != target {
+                    continue;
+                }
+                let Some(rid) = c.remote_request_id.clone() else {
+                    continue;
+                };
+                if action.time < time {
+                    before_id = Some(rid);
+                } else if action.time > time && after_id.is_none() {
+                    after_id = Some(rid);
+                }
+            }
+        }
+        let op = RepairOp::Create {
+            request: call.request.clone(),
+            before_id,
+            after_id,
+        };
+        self.state.outgoing.enqueue(
+            ServiceName::new(target),
+            QueueKey::ByCall(call.response_id.clone()),
+            op,
+            Self::credentials_of(&call.request),
+        );
+    }
+
+    fn plan_cancel_call(&mut self, call: &CallRecord) {
+        let key = QueueKey::ByCall(call.response_id.clone());
+        match &call.remote_request_id {
+            Some(remote_id) => {
+                let op = RepairOp::Delete {
+                    request_id: remote_id.clone(),
+                };
+                self.state.outgoing.enqueue(
+                    ServiceName::new(call.target()),
+                    key,
+                    op,
+                    Self::credentials_of(&call.request),
+                );
+            }
+            None if call.failed => {
+                // The call never reached the remote; cancelling any queued
+                // create/replace for it is enough.
+                self.state.outgoing.cancel_key(&key);
+            }
+            None => self.unpropagatable(call, "no remote request id (not an Aire service?)"),
+        }
+    }
+
+    fn plan_replace_response(&mut self, record: &ActionRecord) {
+        let (Some(response_id), Some(notifier)) = (
+            record.client_response_id.clone(),
+            record.notifier_url.clone(),
+        ) else {
+            // Browser clients carry no notifier URL; their responses are
+            // not repairable (§8.2) and no message is sent.
+            return;
+        };
+        let op = RepairOp::ReplaceResponse {
+            response_id,
+            new_response: record.response.clone(),
+        };
+        self.state.outgoing.enqueue(
+            ServiceName::new(notifier.host.clone()),
+            QueueKey::ByAction(record.id.clone()),
+            op,
+            aire_http::Headers::new(),
+        );
+    }
+
+    fn unpropagatable(&mut self, call: &CallRecord, why: &str) {
+        let problem = RepairProblem {
+            msg_id: MsgId(0),
+            kind: aire_http::aire::RepairKind::Delete,
+            target: call.target().to_string(),
+            error: format!("cannot propagate repair for {}: {why}", call.response_id),
+            retryable: false,
+        };
+        self.app.notify(&problem);
+        self.state.notifications.push(problem);
+        self.state.admin_notices.push({
+            let mut n = Jv::map();
+            n.set("kind", Jv::s("unpropagatable-repair"));
+            n.set("target", Jv::s(call.target()));
+            n.set("call", Jv::s(call.response_id.wire()));
+            n.set("why", Jv::s(why));
+            n
+        });
+    }
+
+    fn diff_externals(&mut self, original: Option<&ActionRecord>, trace: &Trace) {
+        let old = original.map(|o| o.external.as_slice()).unwrap_or(&[]);
+        let new = &trace.externals;
+        let len = old.len().max(new.len());
+        for i in 0..len {
+            let o = old.get(i);
+            let n = new.get(i);
+            let same = match (o, n) {
+                (Some(a), Some(b)) => a == b,
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                self.compensate(Compensation {
+                    kind: o
+                        .map(|e| e.kind.clone())
+                        .or_else(|| n.map(|e| e.kind.clone()))
+                        .unwrap_or_default(),
+                    old_payload: o.map(|e| e.payload.clone()),
+                    new_payload: n.map(|e| e.payload.clone()),
+                });
+            }
+        }
+    }
+
+    fn compensate(&mut self, change: Compensation) {
+        self.state.stats.compensations += 1;
+        if let Some(notice) = self.app.compensate(&change) {
+            self.state.admin_notices.push(notice);
+        } else {
+            let mut n = Jv::map();
+            n.set("kind", Jv::s("compensation"));
+            n.set("output", Jv::s(change.kind.clone()));
+            n.set("old", change.old_payload.clone().unwrap_or(Jv::Null));
+            n.set("new", change.new_payload.clone().unwrap_or(Jv::Null));
+            self.state.admin_notices.push(n);
+        }
+    }
+}
+
+/// Returns true when `op` is a write (used by tests and ablations).
+pub fn is_write_op(op: &DbOp) -> bool {
+    op.is_write()
+}

@@ -1,0 +1,130 @@
+//! Counters behind the paper's evaluation tables.
+
+use std::time::Duration;
+
+/// Per-controller statistics.
+///
+/// * Table 4 (normal-operation overhead) uses `normal_requests`,
+///   `normal_wall`, and the log/store byte accounting on the controller.
+/// * Table 5 (repair performance) uses the repaired/total request and
+///   model-operation counters, `repair_messages_sent`, and the wall-clock
+///   split between normal execution and local repair.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStats {
+    /// Requests executed during normal operation.
+    pub normal_requests: u64,
+    /// Database operations performed during normal operation.
+    pub normal_db_ops: u64,
+    /// Wall-clock time spent executing normal requests.
+    pub normal_wall: Duration,
+    /// Requests re-executed or skipped by local repair (Table 5's
+    /// "repaired requests" numerator).
+    pub repaired_requests: u64,
+    /// Database operations performed during re-execution (Table 5's
+    /// "repaired model ops" numerator).
+    pub repaired_db_ops: u64,
+    /// Wall-clock time spent inside local repair.
+    pub repair_wall: Duration,
+    /// Local repair passes run.
+    pub repair_passes: u64,
+    /// Repair messages successfully sent to other services.
+    pub repair_messages_sent: u64,
+    /// Repair messages received and accepted.
+    pub repair_messages_received: u64,
+    /// Repair messages rejected by access control (§4).
+    pub repair_messages_rejected: u64,
+    /// Compensating actions run for changed external outputs.
+    pub compensations: u64,
+}
+
+impl ControllerStats {
+    /// Requests per second during normal operation (Table 4's throughput
+    /// column), or `None` before any request ran.
+    pub fn normal_throughput(&self) -> Option<f64> {
+        let secs = self.normal_wall.as_secs_f64();
+        if secs > 0.0 && self.normal_requests > 0 {
+            Some(self.normal_requests as f64 / secs)
+        } else {
+            None
+        }
+    }
+
+    /// Lossless serialization (wall times in microseconds).
+    pub fn to_jv(&self) -> aire_types::Jv {
+        use aire_types::Jv;
+        let mut m = Jv::map();
+        m.set("normal_requests", Jv::i(self.normal_requests as i64));
+        m.set("normal_db_ops", Jv::i(self.normal_db_ops as i64));
+        m.set("normal_wall_us", Jv::i(self.normal_wall.as_micros() as i64));
+        m.set("repaired_requests", Jv::i(self.repaired_requests as i64));
+        m.set("repaired_db_ops", Jv::i(self.repaired_db_ops as i64));
+        m.set("repair_wall_us", Jv::i(self.repair_wall.as_micros() as i64));
+        m.set("repair_passes", Jv::i(self.repair_passes as i64));
+        m.set(
+            "repair_messages_sent",
+            Jv::i(self.repair_messages_sent as i64),
+        );
+        m.set(
+            "repair_messages_received",
+            Jv::i(self.repair_messages_received as i64),
+        );
+        m.set(
+            "repair_messages_rejected",
+            Jv::i(self.repair_messages_rejected as i64),
+        );
+        m.set("compensations", Jv::i(self.compensations as i64));
+        m
+    }
+
+    /// Parses the form produced by [`ControllerStats::to_jv`]. Missing
+    /// fields read as zero.
+    pub fn from_jv(v: &aire_types::Jv) -> ControllerStats {
+        let n = |field: &str| v.get(field).as_int().unwrap_or(0) as u64;
+        ControllerStats {
+            normal_requests: n("normal_requests"),
+            normal_db_ops: n("normal_db_ops"),
+            normal_wall: Duration::from_micros(n("normal_wall_us")),
+            repaired_requests: n("repaired_requests"),
+            repaired_db_ops: n("repaired_db_ops"),
+            repair_wall: Duration::from_micros(n("repair_wall_us")),
+            repair_passes: n("repair_passes"),
+            repair_messages_sent: n("repair_messages_sent"),
+            repair_messages_received: n("repair_messages_received"),
+            repair_messages_rejected: n("repair_messages_rejected"),
+            compensations: n("compensations"),
+        }
+    }
+
+    /// Fraction of requests repaired (Table 5's "105 / 2196" shape).
+    pub fn repaired_request_fraction(&self) -> f64 {
+        if self.normal_requests == 0 {
+            0.0
+        } else {
+            self.repaired_requests as f64 / self.normal_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_requires_elapsed_time() {
+        let mut s = ControllerStats::default();
+        assert_eq!(s.normal_throughput(), None);
+        s.normal_requests = 100;
+        s.normal_wall = Duration::from_secs(2);
+        assert!((s.normal_throughput().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repaired_fraction() {
+        let mut s = ControllerStats::default();
+        assert_eq!(s.repaired_request_fraction(), 0.0);
+        s.normal_requests = 2196;
+        s.repaired_requests = 105;
+        let f = s.repaired_request_fraction();
+        assert!(f > 0.04 && f < 0.05);
+    }
+}

@@ -1,0 +1,318 @@
+//! A multi-service harness: registration, the asynchronous repair pump,
+//! and quiescence.
+//!
+//! The [`World`] owns the simulated network and the controllers on it.
+//! Its [`World::pump`] loop is the "asynchrony" of asynchronous repair:
+//! each service performs local repair immediately when asked (inside
+//! delivery), while cross-service messages sit in per-target queues that
+//! the pump drains — retrying when targets come back online, holding
+//! messages whose credentials were rejected, and reporting quiescence.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use aire_http::{HttpRequest, HttpResponse};
+use aire_net::Network;
+use aire_types::{AireResult, DetRng, ServiceName};
+use aire_web::App;
+
+use crate::controller::{Controller, ControllerConfig, SendOutcome};
+use crate::incoming::RepairMode;
+use crate::protocol::RepairMessage;
+
+/// Result of one [`World::pump`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Messages delivered across all sweeps.
+    pub delivered: usize,
+    /// Messages still queued (offline targets, held credentials).
+    pub pending: usize,
+    /// Messages dropped as permanently undeliverable.
+    pub dropped: usize,
+    /// Sweeps performed.
+    pub sweeps: usize,
+}
+
+impl PumpReport {
+    /// True when every queue drained.
+    pub fn quiescent(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+/// Result of one [`World::settle`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SettleReport {
+    /// Aggregated local-repair passes that processed at least one action.
+    pub local_passes: usize,
+    /// Total actions processed by those passes.
+    pub repaired_actions: usize,
+    /// Accumulated message-pump totals.
+    pub pump: PumpReport,
+}
+
+impl SettleReport {
+    /// True when every outgoing queue drained and no seeds are pending.
+    pub fn quiescent(&self) -> bool {
+        self.pump.quiescent()
+    }
+}
+
+/// The set of Aire services under test plus their shared network.
+#[derive(Default)]
+pub struct World {
+    net: Network,
+    controllers: BTreeMap<ServiceName, Rc<Controller>>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new() -> World {
+        World::default()
+    }
+
+    /// Hosts `app` under an Aire controller and registers it on the
+    /// network under its own name.
+    pub fn add_service(&mut self, app: Rc<dyn App>) -> Rc<Controller> {
+        self.add_service_with(app, ControllerConfig::default())
+    }
+
+    /// [`World::add_service`] with explicit controller configuration.
+    pub fn add_service_with(
+        &mut self,
+        app: Rc<dyn App>,
+        config: ControllerConfig,
+    ) -> Rc<Controller> {
+        let controller = Controller::new(app, self.net.clone(), config);
+        let name = controller.name();
+        self.net.register(name.as_str(), controller.clone());
+        self.controllers.insert(name, controller.clone());
+        controller
+    }
+
+    /// Restores a service from a [`Controller::snapshot`] (e.g. after a
+    /// crash) and registers it on the network under its own name.
+    pub fn add_service_restored(
+        &mut self,
+        app: Rc<dyn App>,
+        config: ControllerConfig,
+        snapshot: &aire_types::Jv,
+    ) -> Result<Rc<Controller>, String> {
+        let controller = Controller::restore(app, self.net.clone(), config, snapshot)?;
+        let name = controller.name();
+        self.net.register(name.as_str(), controller.clone());
+        self.controllers.insert(name, controller.clone());
+        Ok(controller)
+    }
+
+    /// The shared network (for clients and availability toggles).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Looks up a controller by service name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service is unknown — tests address services by the
+    /// names they just registered.
+    pub fn controller(&self, name: &str) -> Rc<Controller> {
+        self.controllers
+            .get(&ServiceName::new(name))
+            .unwrap_or_else(|| panic!("no service named {name}"))
+            .clone()
+    }
+
+    /// Registered service names.
+    pub fn service_names(&self) -> Vec<String> {
+        self.controllers.keys().map(|n| n.0.clone()).collect()
+    }
+
+    /// Marks a service offline/online (§7.2's experiments).
+    pub fn set_online(&self, name: &str, online: bool) {
+        self.net.set_online(name, online);
+    }
+
+    /// Delivers a request as an external client (no Aire headers added).
+    pub fn deliver(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        self.net.deliver(req)
+    }
+
+    /// Invokes repair on a service as an administrator or user would:
+    /// encodes the message as a carrier request and delivers it.
+    pub fn invoke_repair(&self, service: &str, msg: RepairMessage) -> AireResult<HttpResponse> {
+        match msg.op {
+            crate::protocol::RepairOp::ReplaceResponse { .. } => {
+                // Administrators repair requests, not responses; response
+                // repair is always server-initiated via the token dance.
+                Err(aire_types::AireError::Protocol(
+                    "cannot invoke replace_response externally".to_string(),
+                ))
+            }
+            _ => {
+                let carrier = msg.to_carrier(service)?;
+                self.net.deliver(&carrier)
+            }
+        }
+    }
+
+    /// Total repair messages queued across all services.
+    pub fn queued_messages(&self) -> usize {
+        self.controllers
+            .values()
+            .map(|c| c.queued_repairs().len())
+            .sum()
+    }
+
+    /// Drains outgoing repair queues until quiescence or lack of
+    /// progress: repeatedly sweeps services in name order, attempting
+    /// each sendable message once per sweep. Messages to offline or
+    /// rejecting targets stay queued; the pump stops when a full sweep
+    /// makes no progress.
+    pub fn pump(&self) -> PumpReport {
+        let mut report = PumpReport::default();
+        loop {
+            report.sweeps += 1;
+            let mut progressed = false;
+            for controller in self.controllers.values() {
+                for msg_id in controller.sendable_messages() {
+                    match controller.send_queued(msg_id) {
+                        SendOutcome::Delivered => {
+                            report.delivered += 1;
+                            progressed = true;
+                        }
+                        SendOutcome::Dropped => {
+                            report.dropped += 1;
+                            progressed = true;
+                        }
+                        SendOutcome::Kept => {}
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        report.pending = self.queued_messages();
+        report
+    }
+
+    /// A randomized-schedule pump: each round collects every sendable
+    /// message across all services, shuffles the order with a seeded RNG,
+    /// attempts each once, and invokes `between` after every delivery
+    /// attempt (step counter included) so tests can interleave client
+    /// traffic with repair propagation.
+    ///
+    /// With Aire's convergence argument (§3.3), the final state must be
+    /// independent of the delivery schedule; the interleaving property
+    /// tests drive this with many seeds and compare digests against the
+    /// deterministic [`World::pump`].
+    pub fn pump_interleaved(
+        &self,
+        seed: u64,
+        mut between: impl FnMut(&World, usize),
+    ) -> PumpReport {
+        let mut rng = DetRng::new(seed);
+        let mut report = PumpReport::default();
+        let mut step = 0;
+        loop {
+            report.sweeps += 1;
+            // (service, msg) pairs, in deterministic order, then shuffled.
+            let mut work: Vec<(ServiceName, aire_types::MsgId)> = Vec::new();
+            for (name, controller) in &self.controllers {
+                for msg_id in controller.sendable_messages() {
+                    work.push((name.clone(), msg_id));
+                }
+            }
+            if work.is_empty() {
+                break;
+            }
+            rng.shuffle(&mut work);
+            let mut progressed = false;
+            for (name, msg_id) in work {
+                let Some(controller) = self.controllers.get(&name) else {
+                    continue;
+                };
+                match controller.send_queued(msg_id) {
+                    SendOutcome::Delivered => {
+                        report.delivered += 1;
+                        progressed = true;
+                    }
+                    SendOutcome::Dropped => {
+                        report.dropped += 1;
+                        progressed = true;
+                    }
+                    SendOutcome::Kept => {}
+                }
+                step += 1;
+                between(self, step);
+            }
+            if !progressed {
+                break;
+            }
+        }
+        report.pending = self.queued_messages();
+        report
+    }
+
+    /// Sets the repair mode of every service (§3.2's incoming aggregation
+    /// when [`RepairMode::Deferred`]).
+    pub fn set_repair_mode_all(&self, mode: RepairMode) {
+        for controller in self.controllers.values() {
+            controller.set_repair_mode(mode);
+        }
+    }
+
+    /// Runs one deferred local-repair pass on every service that has
+    /// pending incoming seeds. Returns the total actions processed.
+    pub fn run_local_repairs(&self) -> usize {
+        self.controllers
+            .values()
+            .map(|c| c.run_local_repair())
+            .sum()
+    }
+
+    /// Incoming seeds pending across all services.
+    pub fn pending_local_repairs(&self) -> usize {
+        self.controllers
+            .values()
+            .map(|c| c.pending_local_repairs())
+            .sum()
+    }
+
+    /// Drives deferred-mode repair to quiescence: alternates aggregated
+    /// local-repair passes with message pumping until neither makes
+    /// progress. In immediate mode this degenerates to [`World::pump`].
+    /// Returns the accumulated pump report plus the local passes run.
+    pub fn settle(&self) -> SettleReport {
+        let mut report = SettleReport::default();
+        loop {
+            let repaired = self.run_local_repairs();
+            if repaired > 0 {
+                report.local_passes += 1;
+                report.repaired_actions += repaired;
+            }
+            let pump = self.pump();
+            report.pump.delivered += pump.delivered;
+            report.pump.dropped += pump.dropped;
+            report.pump.sweeps += pump.sweeps;
+            if repaired == 0 && pump.delivered == 0 && pump.dropped == 0 {
+                report.pump.pending = pump.pending;
+                return report;
+            }
+        }
+    }
+
+    /// Deterministic digest of every service's user-visible state, used
+    /// by the clean-world convergence oracle.
+    pub fn state_digest(&self) -> String {
+        let mut out = String::new();
+        for (name, controller) in &self.controllers {
+            out.push_str("== ");
+            out.push_str(name.as_str());
+            out.push('\n');
+            out.push_str(&controller.state_digest());
+        }
+        out
+    }
+}

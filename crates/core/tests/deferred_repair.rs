@@ -1,0 +1,563 @@
+//! Tests of incoming repair-message aggregation (§3.2) and deferred local
+//! repair: messages are authorized on receipt but applied later, in a
+//! single engine pass, while normal traffic keeps flowing (§9's
+//! "simultaneous normal execution and repair", in its batched form).
+
+use std::rc::Rc;
+
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::{RepairMode, World};
+use aire_http::{HttpRequest, HttpResponse, Method, Status, Url};
+use aire_types::{jv, Jv, RequestId};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+//////// Fixtures (mirroring end_to_end.rs). ////////
+
+struct Notes;
+
+fn notes_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn notes_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", notes_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Mirror;
+
+fn mirror_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text.clone()}))?;
+    let resp = ctx.call(HttpRequest::post(
+        Url::service("notes", "/add"),
+        jv!({"text": text}),
+    ));
+    Ok(HttpResponse::ok(
+        jv!({"id": id as i64, "mirrored": resp.status.is_success()}),
+    ))
+}
+
+impl App for Mirror {
+    fn name(&self) -> &str {
+        "mirror"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", mirror_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Oracle;
+
+fn oracle_set(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let value = ctx.req.body.get("open").as_bool().unwrap_or(false);
+    if let Some((id, _)) = ctx.find("config", &Filter::all())? {
+        ctx.update("config", id, jv!({"open": value}))?;
+    } else {
+        ctx.insert("config", jv!({"open": value}))?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn oracle_check(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let open = ctx
+        .find("config", &Filter::all())?
+        .map(|(_, row)| row.get("open").as_bool().unwrap_or(false))
+        .unwrap_or(false);
+    Ok(HttpResponse::ok(jv!({"allowed": open})))
+}
+
+impl App for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "config",
+            vec![FieldDef::new("open", FieldKind::Bool)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/set", oracle_set)
+            .get("/check", oracle_check)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Consumer;
+
+fn consumer_store(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let verdict = ctx.call(HttpRequest::new(
+        Method::Get,
+        Url::service("oracle", "/check"),
+    ));
+    let allowed = verdict.body.get("allowed").as_bool().unwrap_or(false);
+    if !allowed {
+        return Ok(HttpResponse::error(Status::FORBIDDEN, "oracle said no"));
+    }
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+impl App for Consumer {
+    fn name(&self) -> &str {
+        "consumer"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/store", consumer_store)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+//////// Helpers. ////////
+
+fn post(host: &str, path: &str, body: Jv) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body)
+}
+
+fn get(host: &str, path: &str) -> HttpRequest {
+    HttpRequest::new(Method::Get, Url::service(host, path))
+}
+
+fn request_id_of(resp: &HttpResponse) -> RequestId {
+    aire_http::aire::response_request_id(resp).expect("response should carry Aire-Request-Id")
+}
+
+fn list_texts(world: &World, host: &str) -> Vec<String> {
+    let resp = world.deliver(&get(host, "/list")).unwrap();
+    resp.body
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect()
+}
+
+fn delete_of(resp: &HttpResponse) -> RepairMessage {
+    RepairMessage::bare(RepairOp::Delete {
+        request_id: request_id_of(resp),
+    })
+}
+
+//////// Tests. ////////
+
+#[test]
+fn deferred_message_waits_for_the_pass() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+    notes.set_repair_mode(RepairMode::Deferred);
+    assert_eq!(notes.repair_mode(), RepairMode::Deferred);
+
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    let ack = world.invoke_repair("notes", delete_of(&attack)).unwrap();
+    assert_eq!(ack.status, Status::OK);
+
+    // Accepted and acknowledged, but not applied yet.
+    assert_eq!(notes.pending_local_repairs(), 1);
+    assert_eq!(list_texts(&world, "notes"), vec!["EVIL"]);
+
+    let processed = notes.run_local_repair();
+    assert!(processed >= 1);
+    assert_eq!(notes.pending_local_repairs(), 0);
+    assert_eq!(list_texts(&world, "notes"), Vec::<String>::new());
+
+    // An empty queue is a cheap no-op.
+    assert_eq!(notes.run_local_repair(), 0);
+}
+
+#[test]
+fn multiple_messages_apply_in_one_engine_pass() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+
+    let bad1 = world
+        .deliver(&post("notes", "/add", jv!({"text": "bad-1"})))
+        .unwrap();
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "keep"})))
+        .unwrap();
+    let bad2 = world
+        .deliver(&post("notes", "/add", jv!({"text": "bad-2"})))
+        .unwrap();
+    let wrong = world
+        .deliver(&post("notes", "/add", jv!({"text": "tpyo"})))
+        .unwrap();
+
+    notes.set_repair_mode(RepairMode::Deferred);
+    world.invoke_repair("notes", delete_of(&bad1)).unwrap();
+    world.invoke_repair("notes", delete_of(&bad2)).unwrap();
+    world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Replace {
+                request_id: request_id_of(&wrong),
+                new_request: post("notes", "/add", jv!({"text": "typo-fixed"})),
+            }),
+        )
+        .unwrap();
+    assert_eq!(notes.pending_local_repairs(), 3);
+
+    let passes_before = notes.stats().repair_passes;
+    notes.run_local_repair();
+    let passes_after = notes.stats().repair_passes;
+    assert_eq!(
+        passes_after - passes_before,
+        1,
+        "three messages, one aggregated engine pass (§3.2)"
+    );
+    assert_eq!(list_texts(&world, "notes"), vec!["keep", "typo-fixed"]);
+}
+
+#[test]
+fn deferred_and_immediate_modes_converge_identically() {
+    let run = |mode: RepairMode| -> Vec<String> {
+        let mut world = World::new();
+        let notes = world.add_service(Rc::new(Notes));
+        notes.set_repair_mode(mode);
+        world
+            .deliver(&post("notes", "/add", jv!({"text": "legit-1"})))
+            .unwrap();
+        let attack = world
+            .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+            .unwrap();
+        world
+            .deliver(&post("notes", "/add", jv!({"text": "legit-2"})))
+            .unwrap();
+        world.deliver(&get("notes", "/list")).unwrap();
+        world.invoke_repair("notes", delete_of(&attack)).unwrap();
+        world.settle();
+        list_texts(&world, "notes")
+    };
+    assert_eq!(run(RepairMode::Immediate), run(RepairMode::Deferred));
+}
+
+#[test]
+fn normal_traffic_flows_between_receipt_and_pass() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+    notes.set_repair_mode(RepairMode::Deferred);
+
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    world.invoke_repair("notes", delete_of(&attack)).unwrap();
+
+    // The service keeps serving while the repair is pending (§9): new
+    // writes and reads execute normally...
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "while-pending"})))
+        .unwrap();
+    let read = world.deliver(&get("notes", "/list")).unwrap();
+    assert_eq!(read.status, Status::OK);
+    assert_eq!(
+        list_texts(&world, "notes"),
+        vec!["EVIL", "while-pending"],
+        "pending repair must not block or alter normal traffic"
+    );
+
+    // ...and the pass then repairs both the attack and the reads that
+    // depended on it, while keeping the new legitimate write.
+    notes.run_local_repair();
+    assert_eq!(list_texts(&world, "notes"), vec!["while-pending"]);
+}
+
+#[test]
+fn settle_drives_cross_service_deferred_repair_to_quiescence() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world.add_service(Rc::new(Mirror));
+    world.set_repair_mode_all(RepairMode::Deferred);
+
+    world
+        .deliver(&post("mirror", "/add", jv!({"text": "good"})))
+        .unwrap();
+    let attack = world
+        .deliver(&post("mirror", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+
+    world.invoke_repair("mirror", delete_of(&attack)).unwrap();
+    // Nothing has been applied anywhere yet.
+    assert_eq!(list_texts(&world, "mirror"), vec!["good", "EVIL"]);
+    assert_eq!(list_texts(&world, "notes"), vec!["good", "EVIL"]);
+    assert_eq!(world.pending_local_repairs(), 1);
+
+    let report = world.settle();
+    assert!(report.quiescent(), "settle should drain: {report:?}");
+    assert!(report.local_passes >= 2, "both services ran a pass");
+    assert_eq!(list_texts(&world, "mirror"), vec!["good"]);
+    assert_eq!(list_texts(&world, "notes"), vec!["good"]);
+}
+
+#[test]
+fn replace_response_defers_the_reexecution_not_the_record() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Oracle));
+    let consumer = world.add_service(Rc::new(Consumer));
+
+    let misconfig = world
+        .deliver(&post("oracle", "/set", jv!({"open": true})))
+        .unwrap();
+    world
+        .deliver(&post("consumer", "/store", jv!({"text": "sneaky"})))
+        .unwrap();
+    assert_eq!(list_texts(&world, "consumer"), vec!["sneaky"]);
+
+    // Only the consumer defers.
+    consumer.set_repair_mode(RepairMode::Deferred);
+    world.invoke_repair("oracle", delete_of(&misconfig)).unwrap();
+    let report = world.pump();
+    assert!(
+        report.quiescent(),
+        "replace_response is delivered (and queued locally): {report:?}"
+    );
+    // Delivered but not applied: the stored value is still visible.
+    assert_eq!(list_texts(&world, "consumer"), vec!["sneaky"]);
+    assert_eq!(consumer.pending_local_repairs(), 1);
+
+    consumer.run_local_repair();
+    assert_eq!(list_texts(&world, "consumer"), Vec::<String>::new());
+}
+
+#[test]
+fn delete_cancels_a_pending_create() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+
+    let a = world
+        .deliver(&post("notes", "/add", jv!({"text": "a"})))
+        .unwrap();
+    let c = world
+        .deliver(&post("notes", "/add", jv!({"text": "c"})))
+        .unwrap();
+
+    notes.set_repair_mode(RepairMode::Deferred);
+    let ack = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Create {
+                request: post("notes", "/add", jv!({"text": "b"})),
+                before_id: Some(request_id_of(&a)),
+                after_id: Some(request_id_of(&c)),
+            }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::OK);
+    let created_id = request_id_of(&ack);
+    assert_eq!(notes.pending_local_repairs(), 1);
+
+    // The remote changes its mind before our pass runs.
+    let cancel = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: created_id,
+            }),
+        )
+        .unwrap();
+    assert_eq!(cancel.status, Status::OK);
+    assert_eq!(notes.pending_local_repairs(), 0);
+
+    notes.run_local_repair();
+    let mut texts = list_texts(&world, "notes");
+    texts.sort();
+    assert_eq!(texts, vec!["a", "c"], "the cancelled create never ran");
+}
+
+#[test]
+fn replace_rewrites_a_pending_create() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+
+    let a = world
+        .deliver(&post("notes", "/add", jv!({"text": "a"})))
+        .unwrap();
+
+    notes.set_repair_mode(RepairMode::Deferred);
+    let ack = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Create {
+                request: post("notes", "/add", jv!({"text": "draft"})),
+                before_id: Some(request_id_of(&a)),
+                after_id: None,
+            }),
+        )
+        .unwrap();
+    let created_id = request_id_of(&ack);
+
+    let fix = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Replace {
+                request_id: created_id,
+                new_request: post("notes", "/add", jv!({"text": "final"})),
+            }),
+        )
+        .unwrap();
+    assert_eq!(fix.status, Status::OK);
+    assert_eq!(notes.pending_local_repairs(), 1, "still a single create");
+
+    notes.run_local_repair();
+    let mut texts = list_texts(&world, "notes");
+    texts.sort();
+    assert_eq!(texts, vec!["a", "final"]);
+}
+
+#[test]
+fn two_pending_creates_with_same_bounds_get_distinct_slots() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+
+    let a = world
+        .deliver(&post("notes", "/add", jv!({"text": "a"})))
+        .unwrap();
+    let d = world
+        .deliver(&post("notes", "/add", jv!({"text": "d"})))
+        .unwrap();
+
+    notes.set_repair_mode(RepairMode::Deferred);
+    for text in ["b", "c"] {
+        let ack = world
+            .invoke_repair(
+                "notes",
+                RepairMessage::bare(RepairOp::Create {
+                    request: post("notes", "/add", jv!({"text": text})),
+                    before_id: Some(request_id_of(&a)),
+                    after_id: Some(request_id_of(&d)),
+                }),
+            )
+            .unwrap();
+        assert_eq!(ack.status, Status::OK);
+    }
+    assert_eq!(notes.pending_local_repairs(), 2);
+
+    notes.run_local_repair();
+    let mut texts = list_texts(&world, "notes");
+    texts.sort();
+    assert_eq!(texts, vec!["a", "b", "c", "d"], "both creates executed");
+}
+
+#[test]
+fn mode_switch_back_to_immediate_keeps_pending_seeds() {
+    let mut world = World::new();
+    let notes = world.add_service(Rc::new(Notes));
+    notes.set_repair_mode(RepairMode::Deferred);
+
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    world.invoke_repair("notes", delete_of(&attack)).unwrap();
+    assert_eq!(notes.pending_local_repairs(), 1);
+
+    // Switching modes does not lose the queued seed; the next pass (here
+    // via settle) applies it.
+    notes.set_repair_mode(RepairMode::Immediate);
+    assert_eq!(notes.pending_local_repairs(), 1);
+    world.settle();
+    assert_eq!(list_texts(&world, "notes"), Vec::<String>::new());
+}
+
+#[test]
+fn rejected_repair_is_not_queued_in_deferred_mode() {
+    struct LockedNotes;
+
+    impl App for LockedNotes {
+        fn name(&self) -> &str {
+            "locked"
+        }
+
+        fn schemas(&self) -> Vec<Schema> {
+            vec![Schema::new(
+                "notes",
+                vec![FieldDef::new("text", FieldKind::Str)],
+            )]
+        }
+
+        fn router(&self) -> Router {
+            Router::new()
+                .post("/add", notes_add)
+                .get("/list", notes_list)
+        }
+        // Default authorize_repair denies.
+    }
+
+    let mut world = World::new();
+    let locked = world.add_service(Rc::new(LockedNotes));
+    locked.set_repair_mode(RepairMode::Deferred);
+    let attack = world
+        .deliver(&post("locked", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    let ack = world.invoke_repair("locked", delete_of(&attack)).unwrap();
+    assert_eq!(ack.status, Status::UNAUTHORIZED);
+    assert_eq!(
+        locked.pending_local_repairs(),
+        0,
+        "authorization runs at receipt, before queuing (§4)"
+    );
+}

@@ -1,0 +1,661 @@
+//! End-to-end tests of the repair controller on small purpose-built
+//! applications: local repair, cross-service propagation, the
+//! `replace_response` token dance, offline queues, and the clean-world
+//! convergence oracle.
+
+use std::rc::Rc;
+
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::World;
+use aire_http::{HttpRequest, HttpResponse, Method, Status, Url};
+use aire_types::{jv, Jv, RequestId};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+//////// A minimal notes service. ////////
+
+struct Notes;
+
+fn notes_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn notes_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", notes_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true // Tests play the administrator.
+    }
+}
+
+//////// A mirror service that cross-posts to a second service. ////////
+
+struct Mirror;
+
+fn mirror_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text.clone()}))?;
+    // Cross-post to the downstream notes service.
+    let resp = ctx.call(HttpRequest::post(
+        Url::service("notes", "/add"),
+        jv!({"text": text}),
+    ));
+    let remote_ok = resp.status.is_success();
+    Ok(HttpResponse::ok(
+        jv!({"id": id as i64, "mirrored": remote_ok}),
+    ))
+}
+
+impl App for Mirror {
+    fn name(&self) -> &str {
+        "mirror"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", mirror_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+//////// An oracle/consumer pair exercising replace_response. ////////
+
+/// `oracle` holds a config flag; `/check` answers according to the flag.
+struct Oracle;
+
+fn oracle_set(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let value = ctx.req.body.get("open").as_bool().unwrap_or(false);
+    if let Some((id, _)) = ctx.find("config", &Filter::all())? {
+        ctx.update("config", id, jv!({"open": value}))?;
+    } else {
+        ctx.insert("config", jv!({"open": value}))?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn oracle_check(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let open = ctx
+        .find("config", &Filter::all())?
+        .map(|(_, row)| row.get("open").as_bool().unwrap_or(false))
+        .unwrap_or(false);
+    Ok(HttpResponse::ok(jv!({"allowed": open})))
+}
+
+impl App for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "config",
+            vec![FieldDef::new("open", FieldKind::Bool)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/set", oracle_set)
+            .get("/check", oracle_check)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+/// `consumer` asks the oracle before storing a value.
+struct Consumer;
+
+fn consumer_store(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let verdict = ctx.call(HttpRequest::new(
+        Method::Get,
+        Url::service("oracle", "/check"),
+    ));
+    let allowed = verdict.body.get("allowed").as_bool().unwrap_or(false);
+    if !allowed {
+        return Ok(HttpResponse::error(Status::FORBIDDEN, "oracle said no"));
+    }
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+impl App for Consumer {
+    fn name(&self) -> &str {
+        "consumer"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/store", consumer_store)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+//////// Helpers. ////////
+
+fn post(host: &str, path: &str, body: Jv) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body)
+}
+
+fn get(host: &str, path: &str) -> HttpRequest {
+    HttpRequest::new(Method::Get, Url::service(host, path))
+}
+
+fn request_id_of(resp: &HttpResponse) -> RequestId {
+    aire_http::aire::response_request_id(resp).expect("response should carry Aire-Request-Id")
+}
+
+fn list_texts(world: &World, host: &str) -> Vec<String> {
+    let resp = world.deliver(&get(host, "/list")).unwrap();
+    resp.body
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect()
+}
+
+//////// Tests. ////////
+
+#[test]
+fn delete_undoes_attack_and_preserves_legit_actions() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+
+    let r1 = world
+        .deliver(&post("notes", "/add", jv!({"text": "legit-1"})))
+        .unwrap();
+    assert_eq!(r1.status, Status::OK);
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    let attack_id = request_id_of(&attack);
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "legit-2"})))
+        .unwrap();
+    // A reader observes the attack's effects.
+    let before = list_texts(&world, "notes");
+    assert_eq!(before, vec!["legit-1", "EVIL", "legit-2"]);
+
+    // The administrator cancels the attack request.
+    let ack = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: attack_id,
+            }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::OK);
+
+    let after = list_texts(&world, "notes");
+    assert_eq!(after, vec!["legit-1", "legit-2"]);
+
+    // The list request that saw the attack was re-executed.
+    let stats = world.controller("notes").stats();
+    assert!(stats.repaired_requests >= 1);
+    // No cross-service messages for a single-service attack.
+    assert_eq!(world.queued_messages(), 0);
+}
+
+#[test]
+fn repaired_state_matches_clean_world() {
+    // Clean world: the attack never happens.
+    let mut clean = World::new();
+    clean.add_service(Rc::new(Notes));
+    clean
+        .deliver(&post("notes", "/add", jv!({"text": "legit-1"})))
+        .unwrap();
+    clean
+        .deliver(&post("notes", "/add", jv!({"text": "legit-2"})))
+        .unwrap();
+
+    // Attacked world, then repair.
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "legit-1"})))
+        .unwrap();
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "legit-2"})))
+        .unwrap();
+    world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&attack),
+            }),
+        )
+        .unwrap();
+    world.pump();
+
+    // Row ids differ (the clean world allocated different ids), so compare
+    // user-visible API output instead of raw digests.
+    assert_eq!(list_texts(&world, "notes"), list_texts(&clean, "notes"));
+}
+
+#[test]
+fn delete_propagates_across_services() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world.add_service(Rc::new(Mirror));
+
+    world
+        .deliver(&post("mirror", "/add", jv!({"text": "good"})))
+        .unwrap();
+    let attack = world
+        .deliver(&post("mirror", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    assert_eq!(list_texts(&world, "mirror"), vec!["good", "EVIL"]);
+    assert_eq!(list_texts(&world, "notes"), vec!["good", "EVIL"]);
+
+    // Cancel the attack on the upstream service.
+    world
+        .invoke_repair(
+            "mirror",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&attack),
+            }),
+        )
+        .unwrap();
+    // Local repair is immediate; the delete for the downstream service is
+    // queued until the pump runs (asynchronous repair).
+    assert_eq!(list_texts(&world, "mirror"), vec!["good"]);
+    assert_eq!(list_texts(&world, "notes"), vec!["good", "EVIL"]);
+    assert_eq!(world.queued_messages(), 1);
+
+    let report = world.pump();
+    assert!(report.quiescent(), "pump should drain: {report:?}");
+    assert_eq!(report.delivered, 1);
+    assert_eq!(list_texts(&world, "notes"), vec!["good"]);
+}
+
+#[test]
+fn replace_response_flows_back_and_reexecutes_consumer() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Oracle));
+    world.add_service(Rc::new(Consumer));
+
+    // The administrator mistakenly opens the oracle.
+    let misconfig = world
+        .deliver(&post("oracle", "/set", jv!({"open": true})))
+        .unwrap();
+    let misconfig_id = request_id_of(&misconfig);
+    // The consumer stores a value because the oracle allowed it.
+    let stored = world
+        .deliver(&post("consumer", "/store", jv!({"text": "sneaky"})))
+        .unwrap();
+    assert_eq!(stored.status, Status::OK);
+    assert_eq!(list_texts(&world, "consumer"), vec!["sneaky"]);
+
+    // Undo the misconfiguration.
+    world
+        .invoke_repair(
+            "oracle",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: misconfig_id,
+            }),
+        )
+        .unwrap();
+    // The oracle re-executed /check, whose response changed; the
+    // replace_response is queued for the consumer.
+    assert_eq!(world.queued_messages(), 1);
+    let report = world.pump();
+    assert!(report.quiescent(), "pump should drain: {report:?}");
+
+    // The consumer re-executed /store with the corrected verdict and
+    // removed the stored value.
+    assert_eq!(list_texts(&world, "consumer"), Vec::<String>::new());
+    let stats = world.controller("consumer").stats();
+    assert!(stats.repaired_requests >= 1);
+}
+
+#[test]
+fn offline_service_is_repaired_when_it_returns() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world.add_service(Rc::new(Mirror));
+
+    let attack = world
+        .deliver(&post("mirror", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    // Downstream goes offline before repair (§7.2).
+    world.set_online("notes", false);
+    world
+        .invoke_repair(
+            "mirror",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&attack),
+            }),
+        )
+        .unwrap();
+
+    // Upstream is already clean — partial repair.
+    assert_eq!(list_texts(&world, "mirror"), Vec::<String>::new());
+    let report = world.pump();
+    assert!(!report.quiescent());
+    assert_eq!(report.pending, 1);
+    // The application was notified of the delivery failure.
+    let notes = world.controller("mirror").notifications();
+    assert!(!notes.is_empty());
+    assert!(notes[0].retryable);
+
+    // The service comes back; repair propagates.
+    world.set_online("notes", true);
+    let report = world.pump();
+    assert!(report.quiescent());
+    assert_eq!(list_texts(&world, "notes"), Vec::<String>::new());
+}
+
+#[test]
+fn replace_rewrites_a_past_request() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "first"})))
+        .unwrap();
+    let wrong = world
+        .deliver(&post("notes", "/add", jv!({"text": "tpyo"})))
+        .unwrap();
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "last"})))
+        .unwrap();
+
+    let fixed = post("notes", "/add", jv!({"text": "typo-fixed"}));
+    world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Replace {
+                request_id: request_id_of(&wrong),
+                new_request: fixed,
+            }),
+        )
+        .unwrap();
+    assert_eq!(
+        list_texts(&world, "notes"),
+        vec!["first", "typo-fixed", "last"]
+    );
+}
+
+#[test]
+fn create_splices_a_request_into_the_past() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+
+    let a = world
+        .deliver(&post("notes", "/add", jv!({"text": "a"})))
+        .unwrap();
+    let c = world
+        .deliver(&post("notes", "/add", jv!({"text": "c"})))
+        .unwrap();
+
+    // Splice "b" between them.
+    let ack = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Create {
+                request: post("notes", "/add", jv!({"text": "b"})),
+                before_id: Some(request_id_of(&a)),
+                after_id: Some(request_id_of(&c)),
+            }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::OK);
+    // The created request got its own id for future repair.
+    let created_id = request_id_of(&ack);
+
+    // Scans order by row id, which follows allocation order, so the new
+    // note appears last in the listing — but its logical position is
+    // observable through a later delete of "a"'s request: nothing
+    // downstream of "b" breaks.
+    let mut texts = list_texts(&world, "notes");
+    texts.sort();
+    assert_eq!(texts, vec!["a", "b", "c"]);
+
+    // The created action is itself repairable.
+    world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: created_id,
+            }),
+        )
+        .unwrap();
+    let mut texts = list_texts(&world, "notes");
+    texts.sort();
+    assert_eq!(texts, vec!["a", "c"]);
+}
+
+#[test]
+fn unauthorized_repair_is_rejected() {
+    struct LockedNotes;
+
+    impl App for LockedNotes {
+        fn name(&self) -> &str {
+            "locked"
+        }
+
+        fn schemas(&self) -> Vec<Schema> {
+            vec![Schema::new(
+                "notes",
+                vec![FieldDef::new("text", FieldKind::Str)],
+            )]
+        }
+
+        fn router(&self) -> Router {
+            Router::new()
+                .post("/add", notes_add)
+                .get("/list", notes_list)
+        }
+
+        // Default authorize_repair: deny everything.
+    }
+
+    let mut world = World::new();
+    world.add_service(Rc::new(LockedNotes));
+    let attack = world
+        .deliver(&post("locked", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+
+    let ack = world
+        .invoke_repair(
+            "locked",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&attack),
+            }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::UNAUTHORIZED);
+    // Nothing changed.
+    assert_eq!(list_texts(&world, "locked"), vec!["EVIL"]);
+    assert_eq!(
+        world.controller("locked").stats().repair_messages_rejected,
+        1
+    );
+}
+
+#[test]
+fn repair_of_garbage_collected_history_is_gone() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let old = world
+        .deliver(&post("notes", "/add", jv!({"text": "old"})))
+        .unwrap();
+    let old_id = request_id_of(&old);
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "new"})))
+        .unwrap();
+
+    // Collect history past the first request.
+    let dropped = world
+        .controller("notes")
+        .gc(aire_types::LogicalTime::tick(2));
+    assert_eq!(dropped, 1);
+
+    let ack = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete { request_id: old_id }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::GONE);
+}
+
+#[test]
+fn repair_is_idempotent_under_repeated_delete() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    let id = request_id_of(&attack);
+    for _ in 0..3 {
+        let ack = world
+            .invoke_repair(
+                "notes",
+                RepairMessage::bare(RepairOp::Delete {
+                    request_id: id.clone(),
+                }),
+            )
+            .unwrap();
+        assert_eq!(ack.status, Status::OK);
+    }
+    assert_eq!(list_texts(&world, "notes"), Vec::<String>::new());
+}
+
+#[test]
+fn two_hop_chain_repairs_transitively() {
+    // mirror -> notes; attack enters at mirror, spreads to notes, reader
+    // requests on both observe it; repair cleans everything.
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world.add_service(Rc::new(Mirror));
+
+    world
+        .deliver(&post("mirror", "/add", jv!({"text": "keep-1"})))
+        .unwrap();
+    let attack = world
+        .deliver(&post("mirror", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    world
+        .deliver(&post("mirror", "/add", jv!({"text": "keep-2"})))
+        .unwrap();
+    // Readers on both services.
+    for _ in 0..3 {
+        world.deliver(&get("mirror", "/list")).unwrap();
+        world.deliver(&get("notes", "/list")).unwrap();
+    }
+
+    world
+        .invoke_repair(
+            "mirror",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&attack),
+            }),
+        )
+        .unwrap();
+    let report = world.pump();
+    assert!(report.quiescent());
+
+    assert_eq!(list_texts(&world, "mirror"), vec!["keep-1", "keep-2"]);
+    assert_eq!(list_texts(&world, "notes"), vec!["keep-1", "keep-2"]);
+
+    // Selective re-execution: only affected requests were repaired.
+    let mirror_stats = world.controller("mirror").stats();
+    let total = mirror_stats.normal_requests;
+    assert!(mirror_stats.repaired_requests < total);
+}
+
+#[test]
+fn leak_audit_reports_reads_of_confidential_rows() {
+    use aire_vdb::Filter;
+
+    // A service where a reader lists notes; the attacker's note is
+    // "confidential" data that legitimate readers saw before repair.
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "public"})))
+        .unwrap();
+    let secret = world
+        .deliver(&post("notes", "/add", jv!({"text": "SECRET payroll"})))
+        .unwrap();
+    // A reader request observes the secret.
+    world.deliver(&get("notes", "/list")).unwrap();
+
+    world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&secret),
+            }),
+        )
+        .unwrap();
+
+    // After repair, the audit flags the reader request: it read the
+    // secret row originally but not during re-execution (§9).
+    let leaks = world
+        .controller("notes")
+        .leak_audit("notes", &Filter::all().contains("text", "SECRET"));
+    assert!(!leaks.is_empty(), "the list request leaked the secret");
+    // And no false positives for rows that are not confidential.
+    let none = world
+        .controller("notes")
+        .leak_audit("notes", &Filter::all().contains("text", "nonexistent"));
+    assert!(none.is_empty());
+}

@@ -1,0 +1,446 @@
+//! Failure injection: flaky services, duplicated messages, collected
+//! history, and tampered certificates.
+//!
+//! Aire's availability story (§3.2, §7.2) is that repair messages park in
+//! per-target queues across arbitrary outages and deliver exactly their
+//! effect once the target returns. These tests inject faults the paper
+//! discusses — offline windows, credential problems, GC'd remote history,
+//! impersonated servers — plus classic distributed-systems noise
+//! (duplicate delivery) and check the system converges or fails loudly.
+
+use std::rc::Rc;
+
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::World;
+use aire_http::{HttpRequest, HttpResponse, Method, Status, Url};
+use aire_types::{jv, DetRng, Jv, LogicalTime, RequestId};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+use proptest::prelude::*;
+
+//////// Fixtures. ////////
+
+struct Notes;
+
+fn notes_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn notes_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", notes_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Mirror;
+
+fn mirror_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text.clone()}))?;
+    let resp = ctx.call(HttpRequest::post(
+        Url::service("notes", "/add"),
+        jv!({"text": text}),
+    ));
+    Ok(HttpResponse::ok(
+        jv!({"id": id as i64, "mirrored": resp.status.is_success()}),
+    ))
+}
+
+impl App for Mirror {
+    fn name(&self) -> &str {
+        "mirror"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", mirror_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Oracle;
+
+fn oracle_set(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let value = ctx.req.body.get("open").as_bool().unwrap_or(false);
+    if let Some((id, _)) = ctx.find("config", &Filter::all())? {
+        ctx.update("config", id, jv!({"open": value}))?;
+    } else {
+        ctx.insert("config", jv!({"open": value}))?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn oracle_check(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let open = ctx
+        .find("config", &Filter::all())?
+        .map(|(_, row)| row.get("open").as_bool().unwrap_or(false))
+        .unwrap_or(false);
+    Ok(HttpResponse::ok(jv!({"allowed": open})))
+}
+
+impl App for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "config",
+            vec![FieldDef::new("open", FieldKind::Bool)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/set", oracle_set)
+            .get("/check", oracle_check)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Consumer;
+
+fn consumer_store(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let verdict = ctx.call(HttpRequest::new(
+        Method::Get,
+        Url::service("oracle", "/check"),
+    ));
+    let allowed = verdict.body.get("allowed").as_bool().unwrap_or(false);
+    if !allowed {
+        return Ok(HttpResponse::error(Status::FORBIDDEN, "oracle said no"));
+    }
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+impl App for Consumer {
+    fn name(&self) -> &str {
+        "consumer"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/store", consumer_store)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+//////// Helpers. ////////
+
+fn post(host: &str, path: &str, body: Jv) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body)
+}
+
+fn get(host: &str, path: &str) -> HttpRequest {
+    HttpRequest::new(Method::Get, Url::service(host, path))
+}
+
+fn request_id_of(resp: &HttpResponse) -> RequestId {
+    aire_http::aire::response_request_id(resp).expect("tagged response")
+}
+
+fn list_texts(world: &World, host: &str) -> Vec<String> {
+    let resp = world.deliver(&get(host, "/list")).unwrap();
+    resp.body
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect()
+}
+
+fn build_attacked_pair() -> (World, RequestId) {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world.add_service(Rc::new(Mirror));
+    world
+        .deliver(&post("mirror", "/add", jv!({"text": "keep"})))
+        .unwrap();
+    let attack = world
+        .deliver(&post("mirror", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    world.deliver(&get("mirror", "/list")).unwrap();
+    world.deliver(&get("notes", "/list")).unwrap();
+    (world, request_id_of(&attack))
+}
+
+//////// Tests. ////////
+
+#[test]
+fn duplicate_carrier_delivery_is_idempotent() {
+    // A repair carrier retransmitted by a confused proxy must not apply
+    // twice: the second delivery repairs an already-repaired (deleted)
+    // request, which is a no-op.
+    let (world, attack_id) = build_attacked_pair();
+    let msg = RepairMessage::bare(RepairOp::Delete {
+        request_id: attack_id,
+    });
+    let carrier = msg.to_carrier("mirror").unwrap();
+    let first = world.net().deliver(&carrier).unwrap();
+    assert_eq!(first.status, Status::OK);
+    let digest_after_first = {
+        world.pump();
+        world.state_digest()
+    };
+    // Retransmission (also re-pump downstream effects).
+    let second = world.net().deliver(&carrier).unwrap();
+    assert_eq!(second.status, Status::OK);
+    world.pump();
+    assert_eq!(world.state_digest(), digest_after_first);
+    assert_eq!(list_texts(&world, "notes"), vec!["keep"]);
+}
+
+#[test]
+fn gc_on_the_remote_drops_the_message_loudly() {
+    let (world, attack_id) = build_attacked_pair();
+    // The downstream service garbage-collects its entire history (§9).
+    let dropped = world.controller("notes").gc(LogicalTime::tick(1_000_000));
+    assert!(dropped >= 2);
+
+    world
+        .invoke_repair(
+            "mirror",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: attack_id,
+            }),
+        )
+        .unwrap();
+    let report = world.pump();
+    // The message is gone — not parked forever.
+    assert_eq!(report.dropped, 1);
+    assert_eq!(report.pending, 0);
+    // The administrator was told (§9: "notifies the client's
+    // administrator").
+    let notices = world.controller("mirror").admin_notices();
+    assert!(notices
+        .iter()
+        .any(|n| n.str_of("kind") == "undeliverable-repair"));
+    let problems = world.controller("mirror").notifications();
+    assert!(problems.iter().any(|p| !p.retryable));
+    // Upstream is still repaired (partial repair).
+    assert_eq!(list_texts(&world, "mirror"), vec!["keep"]);
+}
+
+#[test]
+fn tampered_certificate_holds_replace_response_until_retry() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Oracle));
+    world.add_service(Rc::new(Consumer));
+    let misconfig = world
+        .deliver(&post("oracle", "/set", jv!({"open": true})))
+        .unwrap();
+    world
+        .deliver(&post("consumer", "/store", jv!({"text": "sneaky"})))
+        .unwrap();
+
+    // An impersonator squats oracle's identity before repair: the
+    // consumer's certificate validation must refuse the token dance.
+    let good_cert = world.net().certificate_of("oracle").unwrap();
+    world.net().install_certificate(
+        "oracle",
+        aire_net::Certificate {
+            subject: "evil".into(),
+            serial: 9999,
+        },
+    );
+    world
+        .invoke_repair(
+            "oracle",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&misconfig),
+            }),
+        )
+        .unwrap();
+    let report = world.pump();
+    assert!(!report.quiescent(), "message must be held, not delivered");
+    assert_eq!(list_texts(&world, "consumer"), vec!["sneaky"]);
+    let problems = world.controller("oracle").notifications();
+    assert!(!problems.is_empty());
+    let held = problems[0].clone();
+    assert!(held.retryable);
+
+    // The real certificate is restored; the application retries.
+    world.net().install_certificate("oracle", good_cert);
+    world
+        .controller("oracle")
+        .retry(held.msg_id, aire_http::Headers::new())
+        .unwrap();
+    let report = world.pump();
+    assert!(report.quiescent(), "{report:?}");
+    assert_eq!(list_texts(&world, "consumer"), Vec::<String>::new());
+}
+
+#[test]
+fn repeated_outages_count_attempts_but_notify_once() {
+    let (world, attack_id) = build_attacked_pair();
+    world.set_online("notes", false);
+    world
+        .invoke_repair(
+            "mirror",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: attack_id,
+            }),
+        )
+        .unwrap();
+    for _ in 0..5 {
+        world.pump();
+    }
+    let queued = world.controller("mirror").queued_repairs();
+    assert_eq!(queued.len(), 1);
+    assert!(queued[0].attempts >= 5, "attempts: {}", queued[0].attempts);
+    // The application heard about it exactly once per failure episode.
+    assert_eq!(world.controller("mirror").notifications().len(), 1);
+
+    world.set_online("notes", true);
+    assert!(world.pump().quiescent());
+    assert_eq!(list_texts(&world, "notes"), vec!["keep"]);
+}
+
+#[test]
+fn gc_lifecycle_preserves_repair_of_recent_history() {
+    // §9: "When the administrator of a service determines that logs prior
+    // to a particular date are no longer needed, Aire performs garbage
+    // collection... Once garbage collection is done, Aire cannot repair
+    // requests to the service prior to that date." Requests *after* the
+    // horizon must stay fully repairable, across a snapshot/restore too.
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+
+    let old = world
+        .deliver(&post("notes", "/add", jv!({"text": "ancient"})))
+        .unwrap();
+    let old_id = request_id_of(&old);
+    world
+        .deliver(&post("notes", "/add", jv!({"text": "keep"})))
+        .unwrap();
+    // GC everything before the second request.
+    let dropped = world.controller("notes").gc(LogicalTime::tick(2));
+    assert_eq!(dropped, 1);
+
+    // Traffic continues normally after collection.
+    let attack = world
+        .deliver(&post("notes", "/add", jv!({"text": "EVIL"})))
+        .unwrap();
+    world.deliver(&get("notes", "/list")).unwrap();
+
+    // Pre-horizon repair: permanently unavailable.
+    let gone = world
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete { request_id: old_id }),
+        )
+        .unwrap();
+    assert_eq!(gone.status, Status::GONE);
+
+    // Post-horizon repair: works, and survives a crash/restore.
+    let snap = world.controller("notes").snapshot();
+    let mut world2 = World::new();
+    world2
+        .add_service_restored(
+            Rc::new(Notes),
+            aire_core::ControllerConfig::default(),
+            &snap,
+        )
+        .unwrap();
+    let ack = world2
+        .invoke_repair(
+            "notes",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: request_id_of(&attack),
+            }),
+        )
+        .unwrap();
+    assert_eq!(ack.status, Status::OK);
+    // "ancient" predates the surviving log but its *state* is intact.
+    assert_eq!(list_texts(&world2, "notes"), vec!["ancient", "keep"]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random offline/online flapping during propagation cannot corrupt
+    /// convergence: once everything is online, the state matches the
+    /// reference repair with no faults.
+    #[test]
+    fn prop_flapping_services_still_converge(seed in any::<u64>()) {
+        // Reference: no faults.
+        let (world_ref, id) = build_attacked_pair();
+        world_ref
+            .invoke_repair("mirror", RepairMessage::bare(RepairOp::Delete { request_id: id }))
+            .unwrap();
+        world_ref.pump();
+        let reference = world_ref.state_digest();
+
+        // Chaos: flip a random service's availability after every
+        // delivery attempt.
+        let (world, id) = build_attacked_pair();
+        world
+            .invoke_repair("mirror", RepairMessage::bare(RepairOp::Delete { request_id: id }))
+            .unwrap();
+        let mut rng = DetRng::new(seed);
+        world.pump_interleaved(seed, |w, _| {
+            let host = *rng.pick(&["notes", "mirror"]);
+            w.set_online(host, rng.chance(1, 2));
+        });
+        // Lift all faults and settle.
+        world.set_online("notes", true);
+        world.set_online("mirror", true);
+        let report = world.pump();
+        prop_assert!(report.quiescent(), "{:?}", report);
+        prop_assert_eq!(world.state_digest(), reference);
+    }
+}

@@ -1,0 +1,253 @@
+//! Schedule-independence of asynchronous repair (§3.3).
+//!
+//! Aire's convergence argument says repair ends in the attack-free state
+//! regardless of the order repair messages travel in. These tests drive a
+//! three-service relay chain (a → b → c) through randomized delivery
+//! schedules — including schedules with fresh client traffic injected
+//! *between* repair-message deliveries (the partially repaired states of
+//! §5) — and check every schedule converges to the same state as the
+//! deterministic pump.
+
+use std::rc::Rc;
+
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::World;
+use aire_http::{HttpRequest, HttpResponse, Method, Url};
+use aire_types::{jv, Jv, RequestId};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+use proptest::prelude::*;
+
+//////// A relay service: stores a note, forwards it downstream. ////////
+
+/// The same code runs as every hop; the remaining path travels in the
+/// request's `downstream` query parameter as a colon-separated list, so
+/// handlers stay plain re-executable functions.
+struct Relay {
+    name: &'static str,
+}
+
+fn relay_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text.clone()}))?;
+    let path = ctx.req.url.q("downstream").unwrap_or("").to_string();
+    if !path.is_empty() {
+        let (next, rest) = path.split_once(':').unwrap_or((path.as_str(), ""));
+        ctx.call(HttpRequest::post(
+            Url::service(next, "/add").with_query("downstream", rest),
+            jv!({"text": text}),
+        ));
+    }
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn relay_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Relay {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", relay_add)
+            .get("/list", relay_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+//////// Harness. ////////
+
+/// Adds a note at the head of the chain; it cascades a → b → c.
+fn add(world: &World, text: &str) -> HttpResponse {
+    let url = Url::service("a", "/add").with_query("downstream", "b:c");
+    world
+        .deliver(&HttpRequest::post(url, jv!({"text": text})))
+        .unwrap()
+}
+
+fn build_chain() -> (World, RequestId) {
+    let mut world = World::new();
+    for name in ["a", "b", "c"] {
+        world.add_service(Rc::new(Relay { name }));
+    }
+    add(&world, "keep-1");
+    let attack = add(&world, "EVIL");
+    add(&world, "keep-2");
+    // Readers on every hop, so repair has dependent requests to re-run.
+    for host in ["a", "b", "c"] {
+        world
+            .deliver(&HttpRequest::new(Method::Get, Url::service(host, "/list")))
+            .unwrap();
+    }
+    let id = aire_http::aire::response_request_id(&attack).unwrap();
+    (world, id)
+}
+
+fn texts(world: &World, host: &str) -> Vec<String> {
+    let resp = world
+        .deliver(&HttpRequest::new(Method::Get, Url::service(host, "/list")))
+        .unwrap();
+    resp.body
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect()
+}
+
+fn repair(world: &World, id: &RequestId) {
+    let ack = world
+        .invoke_repair(
+            "a",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: id.clone(),
+            }),
+        )
+        .unwrap();
+    assert!(ack.status.is_success());
+}
+
+//////// Tests. ////////
+
+#[test]
+fn attack_cascades_through_all_three_hops() {
+    let (world, _) = build_chain();
+    for host in ["a", "b", "c"] {
+        assert!(
+            texts(&world, host).contains(&"EVIL".to_string()),
+            "attack must reach {host}"
+        );
+    }
+}
+
+#[test]
+fn interleaved_pump_converges_like_sequential_pump() {
+    // Reference: deterministic pump.
+    let (world_ref, id) = build_chain();
+    repair(&world_ref, &id);
+    let report = world_ref.pump();
+    assert!(report.quiescent());
+    let reference = world_ref.state_digest();
+
+    for seed in 0..32u64 {
+        let (world, id) = build_chain();
+        repair(&world, &id);
+        let report = world.pump_interleaved(seed, |_, _| {});
+        assert!(report.quiescent(), "seed {seed}: {report:?}");
+        assert_eq!(
+            world.state_digest(),
+            reference,
+            "seed {seed} diverged from the sequential pump"
+        );
+    }
+}
+
+#[test]
+fn traffic_between_deliveries_preserves_convergence() {
+    // Inject fresh, attack-independent traffic between delivery steps and
+    // check the end state is exactly: clean state + the new traffic.
+    let (world, id) = build_chain();
+    repair(&world, &id);
+    let mut injected = Vec::new();
+    let report = world.pump_interleaved(7, |w, step| {
+        if step <= 2 {
+            let text = format!("during-{step}");
+            add(w, &text);
+            injected.push(text);
+        }
+    });
+    assert!(report.quiescent(), "{report:?}");
+    assert_eq!(injected.len(), 2);
+
+    for host in ["a", "b", "c"] {
+        let now = texts(&world, host);
+        assert!(now.contains(&"keep-1".to_string()), "{host} lost keep-1");
+        assert!(now.contains(&"keep-2".to_string()), "{host} lost keep-2");
+        assert!(!now.contains(&"EVIL".to_string()), "{host} kept EVIL");
+        for t in &injected {
+            assert!(now.contains(t), "{t} must cascade to {host}");
+        }
+    }
+}
+
+#[test]
+fn reads_during_propagation_observe_valid_partial_states() {
+    // §5's contract: every state a client observes mid-repair must be one
+    // a concurrent writer could have produced — here, each service's list
+    // always contains exactly the legitimate notes plus possibly EVIL,
+    // never a garbled value, and never loses a legitimate note.
+    let (world, id) = build_chain();
+    repair(&world, &id);
+    world.pump_interleaved(3, |w, _| {
+        for host in ["a", "b", "c"] {
+            let now = texts(w, host);
+            for t in &now {
+                assert!(
+                    ["keep-1", "EVIL", "keep-2"].contains(&t.as_str()),
+                    "unexpected value {t:?} on {host}"
+                );
+            }
+            assert!(now.contains(&"keep-1".to_string()));
+            assert!(now.contains(&"keep-2".to_string()));
+        }
+    });
+    // Afterwards EVIL is gone everywhere.
+    for host in ["a", "b", "c"] {
+        assert!(!texts(&world, host).contains(&"EVIL".to_string()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seed and any small set of injection points converges to a
+    /// state containing exactly the legitimate + injected notes, with b
+    /// and c mirroring a.
+    #[test]
+    fn prop_schedule_independence(seed in any::<u64>(), inject_at in prop::collection::vec(1u8..6, 0..3)) {
+        let (world, id) = build_chain();
+        repair(&world, &id);
+        let mut injected = Vec::new();
+        let report = world.pump_interleaved(seed, |w, step| {
+            if inject_at.contains(&(step as u8)) {
+                let text = format!("inj-{step}-{}", injected.len());
+                add(w, &text);
+                injected.push(text);
+            }
+        });
+        prop_assert!(report.quiescent());
+        let a = texts(&world, "a");
+        prop_assert!(!a.contains(&"EVIL".to_string()));
+        prop_assert!(a.contains(&"keep-1".to_string()));
+        prop_assert!(a.contains(&"keep-2".to_string()));
+        for t in &injected {
+            prop_assert!(a.contains(t));
+        }
+        // Every hop holds the same live set.
+        let mut a_sorted = a;
+        a_sorted.sort();
+        for host in ["b", "c"] {
+            let mut h = texts(&world, host);
+            h.sort();
+            prop_assert_eq!(&a_sorted, &h, "{} diverged from a", host);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal cookie support for session plumbing.
+//!
+//! The substrate's applications authenticate browser-style clients with a
+//! `sessionid` cookie, like Django does. Scripted clients keep a
+//! [`CookieJar`] per target host.
+
+use std::collections::BTreeMap;
+
+use crate::message::{HttpRequest, HttpResponse};
+
+/// Parses a `Cookie:` header value (`k=v; k2=v2`) into a map.
+pub fn parse_cookie_header(value: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for part in value.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part.split_once('=').unwrap_or((part, ""));
+        out.insert(k.trim().to_string(), v.trim().to_string());
+    }
+    out
+}
+
+/// Renders a cookie map as a `Cookie:` header value.
+pub fn render_cookie_header(cookies: &BTreeMap<String, String>) -> String {
+    cookies
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Reads one cookie from a request's `Cookie:` header.
+pub fn request_cookie(req: &HttpRequest, name: &str) -> Option<String> {
+    let header = req.headers.get("cookie")?;
+    parse_cookie_header(header).remove(name)
+}
+
+/// A per-host cookie store for scripted clients.
+#[derive(Debug, Clone, Default)]
+pub struct CookieJar {
+    by_host: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    pub fn new() -> CookieJar {
+        CookieJar::default()
+    }
+
+    /// Attaches stored cookies for the request's host.
+    pub fn apply(&self, req: &mut HttpRequest) {
+        if let Some(cookies) = self.by_host.get(&req.url.host) {
+            if !cookies.is_empty() {
+                req.headers.set("cookie", render_cookie_header(cookies));
+            }
+        }
+    }
+
+    /// Stores any `Set-Cookie` header from a response for `host`.
+    pub fn absorb(&mut self, host: &str, resp: &HttpResponse) {
+        if let Some(sc) = resp.headers.get("set-cookie") {
+            let parsed = parse_cookie_header(sc);
+            let entry = self.by_host.entry(host.to_string()).or_default();
+            for (k, v) in parsed {
+                if v.is_empty() {
+                    entry.remove(&k);
+                } else {
+                    entry.insert(k, v);
+                }
+            }
+        }
+    }
+
+    /// Reads a stored cookie.
+    pub fn get(&self, host: &str, name: &str) -> Option<&str> {
+        self.by_host.get(host)?.get(name).map(|s| s.as_str())
+    }
+
+    /// Drops all cookies for a host (logout).
+    pub fn clear_host(&mut self, host: &str) {
+        self.by_host.remove(host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::Jv;
+
+    use super::*;
+    use crate::{Status, Url};
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let m = parse_cookie_header("sessionid=abc; theme=dark");
+        assert_eq!(m.get("sessionid").unwrap(), "abc");
+        assert_eq!(m.get("theme").unwrap(), "dark");
+        let rendered = render_cookie_header(&m);
+        assert_eq!(parse_cookie_header(&rendered), m);
+    }
+
+    #[test]
+    fn parse_tolerates_sloppy_input() {
+        let m = parse_cookie_header("  a=1 ;; b ; c=  ");
+        assert_eq!(m.get("a").unwrap(), "1");
+        assert_eq!(m.get("b").unwrap(), "");
+        assert_eq!(m.get("c").unwrap(), "");
+    }
+
+    #[test]
+    fn jar_applies_and_absorbs() {
+        let mut jar = CookieJar::new();
+        let resp =
+            HttpResponse::new(Status::OK, Jv::Null).with_header("Set-Cookie", "sessionid=tok123");
+        jar.absorb("askbot", &resp);
+
+        let mut req = HttpRequest::get(Url::service("askbot", "/questions"));
+        jar.apply(&mut req);
+        assert_eq!(request_cookie(&req, "sessionid").unwrap(), "tok123");
+
+        // Cookies do not leak across hosts.
+        let mut other = HttpRequest::get(Url::service("dpaste", "/"));
+        jar.apply(&mut other);
+        assert!(other.headers.get("cookie").is_none());
+    }
+
+    #[test]
+    fn empty_set_cookie_deletes() {
+        let mut jar = CookieJar::new();
+        jar.absorb(
+            "s",
+            &HttpResponse::new(Status::OK, Jv::Null).with_header("Set-Cookie", "sid=x"),
+        );
+        assert_eq!(jar.get("s", "sid"), Some("x"));
+        jar.absorb(
+            "s",
+            &HttpResponse::new(Status::OK, Jv::Null).with_header("Set-Cookie", "sid="),
+        );
+        assert_eq!(jar.get("s", "sid"), None);
+    }
+
+    #[test]
+    fn clear_host_logs_out() {
+        let mut jar = CookieJar::new();
+        jar.absorb(
+            "s",
+            &HttpResponse::new(Status::OK, Jv::Null).with_header("Set-Cookie", "sid=x"),
+        );
+        jar.clear_host("s");
+        assert_eq!(jar.get("s", "sid"), None);
+    }
+}

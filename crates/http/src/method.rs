@@ -1,0 +1,93 @@
+//! HTTP request methods.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The HTTP methods the substrate supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// Safe read.
+    Get,
+    /// Create / general mutation.
+    Post,
+    /// Idempotent full update.
+    Put,
+    /// Partial update.
+    Patch,
+    /// Removal.
+    Delete,
+}
+
+impl Method {
+    /// True for methods that conventionally do not mutate state.
+    ///
+    /// The repair controller does *not* rely on this — it tracks actual
+    /// database writes — but workload generators and access-control
+    /// policies use it.
+    pub fn is_safe(self) -> bool {
+        matches!(self, Method::Get)
+    }
+
+    /// Canonical upper-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Patch => "PATCH",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "PATCH" => Ok(Method::Patch),
+            "DELETE" => Ok(Method::Delete),
+            other => Err(format!("unknown HTTP method {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_names() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Patch,
+            Method::Delete,
+        ] {
+            assert_eq!(m.as_str().parse::<Method>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("get".parse::<Method>().unwrap(), Method::Get);
+        assert!("BREW".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn safety_classification() {
+        assert!(Method::Get.is_safe());
+        assert!(!Method::Post.is_safe());
+        assert!(!Method::Delete.is_safe());
+    }
+}

@@ -1,0 +1,98 @@
+//! HTTP status codes.
+
+use std::fmt;
+
+/// An HTTP status code with the constants the substrate uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200 OK.
+    pub const OK: Status = Status(200);
+    /// 201 Created.
+    pub const CREATED: Status = Status(201);
+    /// 204 No Content.
+    pub const NO_CONTENT: Status = Status(204);
+    /// 302 Found (redirects in the OAuth handshake).
+    pub const FOUND: Status = Status(302);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 401 Unauthorized — also the status of a rejected repair message.
+    pub const UNAUTHORIZED: Status = Status(401);
+    /// 403 Forbidden.
+    pub const FORBIDDEN: Status = Status(403);
+    /// 404 Not Found.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 409 Conflict.
+    pub const CONFLICT: Status = Status(409);
+    /// 410 Gone — history garbage collected (§9).
+    pub const GONE: Status = Status(410);
+    /// 500 Internal Server Error.
+    pub const INTERNAL: Status = Status(500);
+    /// 503 Service Unavailable.
+    pub const UNAVAILABLE: Status = Status(503);
+    /// 504 Gateway Timeout — the tentative response local repair feeds a
+    /// handler while a `create`/`replace` is in flight to a remote (§3.2).
+    pub const TIMEOUT: Status = Status(504);
+
+    /// True for 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// True for 3xx.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// True for 4xx or 5xx.
+    pub fn is_error(self) -> bool {
+        self.0 >= 400
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            302 => "Found",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            409 => "Conflict",
+            410 => "Gone",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Status::OK.is_success());
+        assert!(Status::FOUND.is_redirect());
+        assert!(Status::NOT_FOUND.is_error());
+        assert!(Status::TIMEOUT.is_error());
+        assert!(!Status::OK.is_error());
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(Status::TIMEOUT.to_string(), "504 Gateway Timeout");
+        assert_eq!(Status(299).to_string(), "299 Unknown");
+    }
+}

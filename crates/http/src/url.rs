@@ -1,0 +1,225 @@
+//! A minimal URL type: `scheme://host/path?query`.
+//!
+//! Service names double as hostnames on the simulated network, so `host`
+//! is the routing key for [`deliver`](https://docs.rs/aire-net) and for
+//! the notifier-URL flow of §3.1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed URL.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    /// `"https"` on the simulated network (TLS identity is modelled by
+    /// certificates in `aire-net`), or `"http"`.
+    pub scheme: String,
+    /// Hostname; equal to the target's service name.
+    pub host: String,
+    /// Absolute path, always beginning with `/`.
+    pub path: String,
+    /// Query parameters in deterministic (sorted) order.
+    pub query: BTreeMap<String, String>,
+}
+
+impl Url {
+    /// Parses a URL string.
+    ///
+    /// Accepts `scheme://host/path?k=v&k2=v2`, `scheme://host` (path
+    /// becomes `/`), and percent-encoded query components.
+    pub fn parse(s: &str) -> Result<Url, String> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| format!("url {s:?} missing scheme"))?;
+        if scheme.is_empty() {
+            return Err(format!("url {s:?} has empty scheme"));
+        }
+        let (host_path, query_str) = match rest.split_once('?') {
+            Some((hp, q)) => (hp, Some(q)),
+            None => (rest, None),
+        };
+        let (host, path) = match host_path.split_once('/') {
+            Some((h, p)) => (h, format!("/{p}")),
+            None => (host_path, "/".to_string()),
+        };
+        if host.is_empty() {
+            return Err(format!("url {s:?} has empty host"));
+        }
+        let mut query = BTreeMap::new();
+        if let Some(q) = query_str {
+            for pair in q.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(percent_decode(k)?, percent_decode(v)?);
+            }
+        }
+        Ok(Url {
+            scheme: scheme.to_string(),
+            host: host.to_string(),
+            path,
+            query,
+        })
+    }
+
+    /// Builds an `https` URL for a service path with no query.
+    pub fn service(host: impl Into<String>, path: impl Into<String>) -> Url {
+        let path = path.into();
+        Url {
+            scheme: "https".to_string(),
+            host: host.into(),
+            path: if path.starts_with('/') {
+                path
+            } else {
+                format!("/{path}")
+            },
+            query: BTreeMap::new(),
+        }
+    }
+
+    /// Returns a copy with one query parameter added.
+    pub fn with_query(mut self, key: impl Into<String>, value: impl Into<String>) -> Url {
+        self.query.insert(key.into(), value.into());
+        self
+    }
+
+    /// Query parameter lookup.
+    pub fn q(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(|s| s.as_str())
+    }
+
+    /// The path split into non-empty segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.host, self.path)?;
+        let mut sep = '?';
+        for (k, v) in &self.query {
+            write!(f, "{sep}{}={}", percent_encode(k), percent_encode(v))?;
+            sep = '&';
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl std::str::FromStr for Url {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if i + 2 > bytes.len() && i + 2 > bytes.len() {
+                    return Err(format!("truncated percent escape in {s:?}"));
+                }
+                if i + 3 > bytes.len() {
+                    return Err(format!("truncated percent escape in {s:?}"));
+                }
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .map_err(|_| format!("bad percent escape in {s:?}"))?;
+                let v = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad percent escape in {s:?}"))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent-decoded {s:?} is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_url() {
+        let u = Url::parse("https://askbot/questions/12?sort=age&page=2").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "askbot");
+        assert_eq!(u.path, "/questions/12");
+        assert_eq!(u.q("sort"), Some("age"));
+        assert_eq!(u.q("page"), Some("2"));
+        assert_eq!(u.segments(), vec!["questions", "12"]);
+    }
+
+    #[test]
+    fn parse_bare_host() {
+        let u = Url::parse("http://oauth").unwrap();
+        assert_eq!(u.path, "/");
+        assert!(u.query.is_empty());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in [
+            "https://askbot/questions/12?page=2&sort=age",
+            "http://oauth/",
+            "https://dpaste/paste/abc123",
+        ] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(Url::parse(&u.to_string()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn query_encoding_round_trip() {
+        let u = Url::service("svc", "/p").with_query("q", "a b&c=d%e");
+        let parsed = Url::parse(&u.to_string()).unwrap();
+        assert_eq!(parsed.q("q"), Some("a b&c=d%e"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Url::parse("no-scheme").is_err());
+        assert!(Url::parse("://host/p").is_err());
+        assert!(Url::parse("https:///path").is_err());
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        let u = Url::parse("https://s/p?q=hello+world").unwrap();
+        assert_eq!(u.q("q"), Some("hello world"));
+    }
+
+    #[test]
+    fn service_builder_normalizes_path() {
+        assert_eq!(Url::service("s", "x/y").path, "/x/y");
+        assert_eq!(Url::service("s", "/x/y").path, "/x/y");
+    }
+}

@@ -1,0 +1,530 @@
+//! `aire-log` — the repair log.
+//!
+//! "During normal operation, Aire logs information about the service's
+//! execution, as well as requests received from and sent to other
+//! services, thus tracking dependencies across services" (§1). This crate
+//! is that log:
+//!
+//! * [`ActionRecord`] — one executed request: the request and response,
+//!   the client-side plumbing (`Aire-Response-Id`, notifier URL), every
+//!   database operation with before/after values, every outgoing HTTP
+//!   call with the ids both sides assigned, recorded non-determinism
+//!   (time, randomness, row-id allocation), and external outputs (e.g.
+//!   the daily summary email of §7.1, which needs a compensating action).
+//! * [`RepairLog`] — the time-ordered collection of actions with the
+//!   *taint indexes* selective re-execution needs: which actions read or
+//!   wrote a given row after a given time, and which scans' predicates a
+//!   changed row matches (the phantom case).
+//! * Byte accounting (raw and LZSS-compressed) for Table 4's
+//!   per-request log-size columns, and garbage collection (§9).
+
+pub mod record;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use aire_types::{compress, LogicalTime, RequestId, ResponseId};
+use aire_vdb::RowKey;
+
+pub use record::{ActionRecord, ActionStatus, CallRecord, DbOp, ExternalOutput, NondetLog};
+
+/// The per-service repair log.
+#[derive(Debug, Default)]
+pub struct RepairLog {
+    /// Actions keyed by their (unique) logical execution time.
+    actions: BTreeMap<LogicalTime, ActionRecord>,
+    /// Request-id → execution time.
+    by_id: HashMap<RequestId, LogicalTime>,
+    /// Row → times of actions that point-read or wrote it.
+    row_index: HashMap<RowKey, BTreeSet<LogicalTime>>,
+    /// Table → times of actions that scanned it.
+    scan_index: HashMap<String, BTreeSet<LogicalTime>>,
+    /// Response-id we assigned for an outgoing call → (action time, call
+    /// position within the action).
+    call_index: HashMap<ResponseId, (LogicalTime, usize)>,
+    /// Superseded versions of re-executed actions, for audit.
+    archive: Vec<ActionRecord>,
+    /// Everything before this time was garbage collected.
+    gc_horizon: LogicalTime,
+}
+
+impl RepairLog {
+    /// Creates an empty log.
+    pub fn new() -> RepairLog {
+        RepairLog::default()
+    }
+
+    /// Appends a freshly executed action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action already exists at the same logical time — times
+    /// are the log's primary key and the execution layer assigns them
+    /// uniquely.
+    pub fn record(&mut self, action: ActionRecord) {
+        assert!(
+            !self.actions.contains_key(&action.time),
+            "duplicate action at {}",
+            action.time
+        );
+        self.index(&action);
+        self.by_id.insert(action.id.clone(), action.time);
+        self.actions.insert(action.time, action);
+    }
+
+    /// Replaces the record of an action after re-execution (repair updates
+    /// its log "just like it does during normal operation, so that a
+    /// future repair can perform recovery on an already repaired request",
+    /// §2.2). The superseded record is archived.
+    pub fn replace(&mut self, action: ActionRecord) {
+        let Some(old) = self.actions.remove(&action.time) else {
+            self.record(action);
+            return;
+        };
+        self.unindex(&old);
+        self.by_id.remove(&old.id);
+        self.archive.push(old);
+        self.index(&action);
+        self.by_id.insert(action.id.clone(), action.time);
+        self.actions.insert(action.time, action);
+    }
+
+    /// Looks up an action by the id the service assigned to it.
+    pub fn by_request_id(&self, id: &RequestId) -> Option<&ActionRecord> {
+        self.by_id.get(id).and_then(|t| self.actions.get(t))
+    }
+
+    /// Looks up an action by execution time.
+    pub fn at(&self, time: LogicalTime) -> Option<&ActionRecord> {
+        self.actions.get(&time)
+    }
+
+    /// Mutable lookup by execution time.
+    pub fn at_mut(&mut self, time: LogicalTime) -> Option<&mut ActionRecord> {
+        self.actions.get_mut(&time)
+    }
+
+    /// Finds the outgoing call that was assigned `response_id`, returning
+    /// the owning action's time and the call's position.
+    pub fn call_by_response_id(&self, id: &ResponseId) -> Option<(LogicalTime, usize)> {
+        self.call_index.get(id).copied()
+    }
+
+    /// All actions in time order.
+    pub fn actions(&self) -> impl Iterator<Item = &ActionRecord> {
+        self.actions.values()
+    }
+
+    /// Number of recorded actions (live, not archived).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when no actions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Total database operations across live actions (Table 5's "model
+    /// operations" denominator).
+    pub fn db_op_count(&self) -> usize {
+        self.actions.values().map(|a| a.db_ops.len()).sum()
+    }
+
+    /// The execution time of the latest action, if any.
+    pub fn latest_time(&self) -> Option<LogicalTime> {
+        self.actions.keys().next_back().copied()
+    }
+
+    /// The neighbours of the open interval `(before, after)` for a
+    /// `create` splice: returns the times of the named actions.
+    pub fn splice_bounds(
+        &self,
+        before: Option<&RequestId>,
+        after: Option<&RequestId>,
+    ) -> Result<(LogicalTime, LogicalTime), String> {
+        let lo = match before {
+            Some(id) => self
+                .by_id
+                .get(id)
+                .copied()
+                .ok_or_else(|| format!("unknown before_id {id}"))?,
+            None => LogicalTime::ZERO,
+        };
+        let hi = match after {
+            Some(id) => self
+                .by_id
+                .get(id)
+                .copied()
+                .ok_or_else(|| format!("unknown after_id {id}"))?,
+            None => LogicalTime::MAX,
+        };
+        if lo >= hi {
+            return Err(format!("empty splice interval ({lo}, {hi})"));
+        }
+        Ok((lo, hi))
+    }
+
+    /// Actions at or after `since` whose recorded db ops point-read or
+    /// wrote `key` — the direct-dependency half of taint (§2.1).
+    pub fn actions_touching_row(&self, key: &RowKey, since: LogicalTime) -> Vec<LogicalTime> {
+        self.row_index
+            .get(key)
+            .map(|times| times.range(since..).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Actions at or after `since` that scanned `table` with a filter for
+    /// which `probe` returns true — the phantom half of taint. `probe` is
+    /// called with each recorded filter; the repair engine passes a
+    /// closure testing the changed row's old and new values.
+    pub fn actions_scanning(
+        &self,
+        table: &str,
+        since: LogicalTime,
+        mut probe: impl FnMut(&aire_vdb::Filter) -> bool,
+    ) -> Vec<LogicalTime> {
+        let Some(times) = self.scan_index.get(table) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &t in times.range(since..) {
+            let Some(action) = self.actions.get(&t) else {
+                continue;
+            };
+            let hit = action.db_ops.iter().any(|op| match op {
+                DbOp::Scan {
+                    table: st, filter, ..
+                } => st == table && probe(filter),
+                _ => false,
+            });
+            if hit {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Serialized size of the live log in bytes: `(raw, compressed)`.
+    /// This is the "App log" column of Table 4.
+    pub fn byte_sizes(&self) -> (usize, usize) {
+        let mut raw = String::new();
+        for a in self.actions.values() {
+            raw.push_str(&a.to_jv().encode());
+            raw.push('\n');
+        }
+        let compressed = compress::compressed_len(raw.as_bytes());
+        (raw.len(), compressed)
+    }
+
+    /// Archived (superseded) records, oldest first.
+    pub fn archived(&self) -> &[ActionRecord] {
+        &self.archive
+    }
+
+    /// Garbage-collects actions strictly older than `horizon` (§9).
+    /// Returns how many were dropped.
+    pub fn gc(&mut self, horizon: LogicalTime) -> usize {
+        let keep = self.actions.split_off(&horizon);
+        let dropped = std::mem::replace(&mut self.actions, keep);
+        for a in dropped.values() {
+            self.unindex(a);
+            self.by_id.remove(&a.id);
+        }
+        self.archive.retain(|a| a.time >= horizon);
+        if horizon > self.gc_horizon {
+            self.gc_horizon = horizon;
+        }
+        dropped.len()
+    }
+
+    /// The GC horizon: repair of anything older must be refused with
+    /// "permanently unavailable" semantics (§9).
+    pub fn gc_horizon(&self) -> LogicalTime {
+        self.gc_horizon
+    }
+
+    /// Lossless snapshot of the live log, the archive, and the GC
+    /// horizon. Indexes are derived data and rebuilt on
+    /// [`RepairLog::restore`].
+    pub fn snapshot(&self) -> aire_types::Jv {
+        let mut out = aire_types::Jv::map();
+        out.set(
+            "actions",
+            aire_types::Jv::list(self.actions.values().map(|a| a.to_jv())),
+        );
+        out.set(
+            "archive",
+            aire_types::Jv::list(self.archive.iter().map(|a| a.to_jv())),
+        );
+        out.set("gc_horizon", aire_types::Jv::s(self.gc_horizon.wire()));
+        out
+    }
+
+    /// Rebuilds a log (including its taint indexes) from a
+    /// [`RepairLog::snapshot`].
+    pub fn restore(snap: &aire_types::Jv) -> Result<RepairLog, String> {
+        let mut log = RepairLog::new();
+        log.gc_horizon =
+            LogicalTime::parse_wire(snap.str_of("gc_horizon")).ok_or("log: bad gc_horizon")?;
+        for a in snap.get("actions").as_list().unwrap_or(&[]) {
+            let action = ActionRecord::from_jv(a)?;
+            if log.actions.contains_key(&action.time) {
+                return Err(format!("log: duplicate action at {}", action.time));
+            }
+            log.index(&action);
+            log.by_id.insert(action.id.clone(), action.time);
+            log.actions.insert(action.time, action);
+        }
+        for a in snap.get("archive").as_list().unwrap_or(&[]) {
+            log.archive.push(ActionRecord::from_jv(a)?);
+        }
+        Ok(log)
+    }
+
+    fn index(&mut self, action: &ActionRecord) {
+        for op in &action.db_ops {
+            match op {
+                DbOp::Read { key, .. } | DbOp::Write { key, .. } => {
+                    self.row_index
+                        .entry(key.clone())
+                        .or_default()
+                        .insert(action.time);
+                }
+                DbOp::Scan { table, hits, .. } => {
+                    self.scan_index
+                        .entry(table.clone())
+                        .or_default()
+                        .insert(action.time);
+                    // Scans also point-read their hits.
+                    for &id in hits {
+                        self.row_index
+                            .entry(RowKey::new(table.clone(), id))
+                            .or_default()
+                            .insert(action.time);
+                    }
+                }
+            }
+        }
+        for (pos, call) in action.calls.iter().enumerate() {
+            self.call_index
+                .insert(call.response_id.clone(), (action.time, pos));
+        }
+    }
+
+    fn unindex(&mut self, action: &ActionRecord) {
+        for op in &action.db_ops {
+            match op {
+                DbOp::Read { key, .. } | DbOp::Write { key, .. } => {
+                    if let Some(set) = self.row_index.get_mut(key) {
+                        set.remove(&action.time);
+                    }
+                }
+                DbOp::Scan { table, hits, .. } => {
+                    if let Some(set) = self.scan_index.get_mut(table) {
+                        set.remove(&action.time);
+                    }
+                    for &id in hits {
+                        let key = RowKey::new(table.clone(), id);
+                        if let Some(set) = self.row_index.get_mut(&key) {
+                            set.remove(&action.time);
+                        }
+                    }
+                }
+            }
+        }
+        for call in &action.calls {
+            self.call_index.remove(&call.response_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::{HttpRequest, HttpResponse, Method, Url};
+    use aire_types::{jv, Jv};
+    use aire_vdb::Filter;
+
+    use super::*;
+
+    fn t(n: u64) -> LogicalTime {
+        LogicalTime::tick(n)
+    }
+
+    fn action(n: u64, db_ops: Vec<DbOp>) -> ActionRecord {
+        let req = HttpRequest::new(Method::Get, Url::service("svc", format!("/a/{n}")));
+        let mut a = ActionRecord::new(
+            RequestId::new("svc", n),
+            t(n),
+            req,
+            HttpResponse::ok(Jv::Null),
+        );
+        a.db_ops = db_ops;
+        a
+    }
+
+    fn read(table: &str, id: u64) -> DbOp {
+        DbOp::Read {
+            key: RowKey::new(table, id),
+            at: None,
+        }
+    }
+
+    fn write(table: &str, id: u64) -> DbOp {
+        DbOp::Write {
+            key: RowKey::new(table, id),
+            before: None,
+            after: Some(jv!({"v": 1})),
+        }
+    }
+
+    fn scan(table: &str, filter: Filter, hits: Vec<u64>) -> DbOp {
+        DbOp::Scan {
+            table: table.to_string(),
+            filter,
+            hits,
+        }
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![write("users", 1)]));
+        log.record(action(2, vec![read("users", 1)]));
+        assert_eq!(log.len(), 2);
+        assert!(log.by_request_id(&RequestId::new("svc", 1)).is_some());
+        assert!(log.by_request_id(&RequestId::new("svc", 99)).is_none());
+        assert_eq!(log.db_op_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate action")]
+    fn duplicate_times_panic() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![]));
+        log.record(action(1, vec![]));
+    }
+
+    #[test]
+    fn row_taint_is_time_filtered() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![write("users", 7)]));
+        log.record(action(2, vec![read("users", 7)]));
+        log.record(action(3, vec![read("users", 8)]));
+        log.record(action(4, vec![read("users", 7)]));
+
+        let key = RowKey::new("users", 7);
+        let hits = log.actions_touching_row(&key, t(2));
+        assert_eq!(hits, vec![t(2), t(4)]);
+        // `since` bound is inclusive and excludes earlier actions.
+        let hits = log.actions_touching_row(&key, t(5));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn scan_taint_uses_predicate_probe() {
+        let mut log = RepairLog::new();
+        log.record(action(
+            1,
+            vec![scan("posts", Filter::all().eq("kind", "q"), vec![1])],
+        ));
+        log.record(action(
+            2,
+            vec![scan("posts", Filter::all().eq("kind", "a"), vec![])],
+        ));
+
+        // A new row with kind "q" taints only the first scan.
+        let new_row = jv!({"kind": "q"});
+        let hits = log.actions_scanning("posts", t(1), |f| f.matches(&new_row));
+        assert_eq!(hits, vec![t(1)]);
+        // Scans also point-read their hits.
+        let hits = log.actions_touching_row(&RowKey::new("posts", 1), t(1));
+        assert_eq!(hits, vec![t(1)]);
+    }
+
+    #[test]
+    fn replace_reindexes_and_archives() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![read("users", 1)]));
+        // Re-execution read a different row.
+        log.replace(action(1, vec![read("users", 2)]));
+        assert_eq!(log.archived().len(), 1);
+        assert!(log
+            .actions_touching_row(&RowKey::new("users", 1), t(0))
+            .is_empty());
+        assert_eq!(
+            log.actions_touching_row(&RowKey::new("users", 2), t(0)),
+            vec![t(1)]
+        );
+    }
+
+    #[test]
+    fn splice_bounds_resolve_ids() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![]));
+        log.record(action(5, vec![]));
+        let a = RequestId::new("svc", 1);
+        let b = RequestId::new("svc", 5);
+        let (lo, hi) = log.splice_bounds(Some(&a), Some(&b)).unwrap();
+        assert_eq!((lo, hi), (t(1), t(5)));
+        // Open-ended bounds.
+        assert_eq!(
+            log.splice_bounds(None, Some(&a)).unwrap().0,
+            LogicalTime::ZERO
+        );
+        assert_eq!(
+            log.splice_bounds(Some(&b), None).unwrap().1,
+            LogicalTime::MAX
+        );
+        // Inverted interval is rejected.
+        assert!(log.splice_bounds(Some(&b), Some(&a)).is_err());
+        // Unknown ids are rejected.
+        assert!(log
+            .splice_bounds(Some(&RequestId::new("svc", 9)), None)
+            .is_err());
+    }
+
+    #[test]
+    fn byte_sizes_and_compression() {
+        let mut log = RepairLog::new();
+        for n in 1..=50 {
+            log.record(action(n, vec![write("users", n)]));
+        }
+        let (raw, compressed) = log.byte_sizes();
+        assert!(raw > 1000);
+        assert!(compressed < raw, "repetitive log should compress");
+    }
+
+    #[test]
+    fn gc_drops_old_actions_and_indexes() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![write("users", 1)]));
+        log.record(action(2, vec![read("users", 1)]));
+        log.record(action(3, vec![read("users", 1)]));
+        let dropped = log.gc(t(3));
+        assert_eq!(dropped, 2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.gc_horizon(), t(3));
+        assert!(log.by_request_id(&RequestId::new("svc", 1)).is_none());
+        // The taint index no longer mentions collected actions.
+        assert_eq!(
+            log.actions_touching_row(&RowKey::new("users", 1), LogicalTime::ZERO),
+            vec![t(3)]
+        );
+    }
+
+    #[test]
+    fn call_index_round_trip() {
+        let mut a = action(1, vec![]);
+        let rid = ResponseId::new("svc", 100);
+        a.calls.push(CallRecord::new(
+            rid.clone(),
+            HttpRequest::new(Method::Get, Url::service("other", "/x")),
+            HttpResponse::ok(Jv::Null),
+        ));
+        let mut log = RepairLog::new();
+        log.record(a);
+        assert_eq!(log.call_by_response_id(&rid), Some((t(1), 0)));
+        log.gc(t(2));
+        assert_eq!(log.call_by_response_id(&rid), None);
+    }
+}

@@ -1,0 +1,547 @@
+//! Action records: everything Aire logs about one executed request.
+
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_types::{Jv, LogicalTime, RequestId, ResponseId};
+use aire_vdb::{Filter, RowKey};
+
+/// Whether an action is part of current history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionStatus {
+    /// Normal, live action.
+    Live,
+    /// Deleted by a `delete` repair; kept for audit and so a later repair
+    /// can still name it.
+    Deleted,
+}
+
+/// One logged database operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbOp {
+    /// A point read of a row. `at` is the time of the version observed
+    /// (`None` when the row was absent).
+    Read {
+        /// The row read.
+        key: RowKey,
+        /// Version time observed, or `None` for "row absent".
+        at: Option<LogicalTime>,
+    },
+    /// A predicate scan over a table; `hits` are the row ids returned.
+    Scan {
+        /// Table scanned.
+        table: String,
+        /// The predicate (its footprint is used for phantom taint).
+        filter: Filter,
+        /// Row ids the scan returned.
+        hits: Vec<u64>,
+    },
+    /// A write (insert, update, or delete when `after` is `None`).
+    Write {
+        /// The row written.
+        key: RowKey,
+        /// Value before the write (`None` if absent).
+        before: Option<Jv>,
+        /// Value after the write (`None` = tombstone).
+        after: Option<Jv>,
+    },
+}
+
+impl DbOp {
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, DbOp::Write { .. })
+    }
+
+    /// Lossless serialization (also the byte-accounting format).
+    pub fn to_jv(&self) -> Jv {
+        match self {
+            DbOp::Read { key, at } => {
+                let mut m = Jv::map();
+                m.set("op", Jv::s("read"));
+                m.set("table", Jv::s(key.table.clone()));
+                m.set("id", Jv::i(key.id as i64));
+                m.set("at", at.map(|t| Jv::s(t.wire())).unwrap_or(Jv::Null));
+                m
+            }
+            DbOp::Scan {
+                table,
+                filter,
+                hits,
+            } => {
+                let mut m = Jv::map();
+                m.set("op", Jv::s("scan"));
+                m.set("table", Jv::s(table.clone()));
+                m.set("filter", filter.to_jv());
+                m.set("hits", Jv::list(hits.iter().map(|&h| Jv::i(h as i64))));
+                m
+            }
+            DbOp::Write { key, before, after } => {
+                let mut m = Jv::map();
+                m.set("op", Jv::s("write"));
+                m.set("table", Jv::s(key.table.clone()));
+                m.set("id", Jv::i(key.id as i64));
+                m.set("before", before.clone().unwrap_or(Jv::Null));
+                m.set("before_live", Jv::Bool(before.is_some()));
+                m.set("after", after.clone().unwrap_or(Jv::Null));
+                m.set("after_live", Jv::Bool(after.is_some()));
+                m
+            }
+        }
+    }
+
+    /// Parses the form produced by [`DbOp::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<DbOp, String> {
+        let table = v.str_of("table").to_string();
+        match v.str_of("op") {
+            "read" => {
+                let id = v.get("id").as_int().ok_or("read: bad id")? as u64;
+                let at = match v.get("at") {
+                    Jv::Null => None,
+                    other => Some(
+                        LogicalTime::parse_wire(other.as_str().ok_or("read: bad at")?)
+                            .ok_or("read: bad at time")?,
+                    ),
+                };
+                Ok(DbOp::Read {
+                    key: RowKey::new(table, id),
+                    at,
+                })
+            }
+            "scan" => {
+                let filter = Filter::from_jv(v.get("filter"))?;
+                let mut hits = Vec::new();
+                for h in v.get("hits").as_list().unwrap_or(&[]) {
+                    hits.push(h.as_int().ok_or("scan: bad hit")? as u64);
+                }
+                Ok(DbOp::Scan {
+                    table,
+                    filter,
+                    hits,
+                })
+            }
+            "write" => {
+                let id = v.get("id").as_int().ok_or("write: bad id")? as u64;
+                let before = v
+                    .get("before_live")
+                    .as_bool()
+                    .unwrap_or(false)
+                    .then(|| v.get("before").clone());
+                let after = v
+                    .get("after_live")
+                    .as_bool()
+                    .unwrap_or(false)
+                    .then(|| v.get("after").clone());
+                Ok(DbOp::Write {
+                    key: RowKey::new(table, id),
+                    before,
+                    after,
+                })
+            }
+            other => Err(format!("unknown db op {other:?}")),
+        }
+    }
+}
+
+/// One outgoing HTTP call made while handling a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRecord {
+    /// The id *we* assigned to the response (sent as `Aire-Response-Id`).
+    pub response_id: ResponseId,
+    /// The id the remote assigned to our request (from the response's
+    /// `Aire-Request-Id` header), if the remote runs Aire.
+    pub remote_request_id: Option<RequestId>,
+    /// The request as sent.
+    pub request: HttpRequest,
+    /// The response as (last) known — `replace_response` repairs update
+    /// this in place.
+    pub response: HttpResponse,
+    /// True if delivery failed (offline/timeout) during original
+    /// execution.
+    pub failed: bool,
+}
+
+impl CallRecord {
+    /// Creates a successful call record.
+    pub fn new(
+        response_id: ResponseId,
+        request: HttpRequest,
+        response: HttpResponse,
+    ) -> CallRecord {
+        let remote_request_id = aire_http::aire::response_request_id(&response);
+        CallRecord {
+            response_id,
+            remote_request_id,
+            request,
+            response,
+            failed: false,
+        }
+    }
+
+    /// The remote service this call targeted.
+    pub fn target(&self) -> &str {
+        &self.request.url.host
+    }
+
+    /// Lossless serialization.
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("response_id", Jv::s(self.response_id.wire()));
+        m.set(
+            "remote_request_id",
+            self.remote_request_id
+                .as_ref()
+                .map(|r| Jv::s(r.wire()))
+                .unwrap_or(Jv::Null),
+        );
+        m.set("request", self.request.to_jv());
+        m.set("response", self.response.to_jv());
+        m.set("failed", Jv::Bool(self.failed));
+        m
+    }
+
+    /// Parses the form produced by [`CallRecord::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<CallRecord, String> {
+        let response_id =
+            ResponseId::parse(v.str_of("response_id")).ok_or("call: bad response_id")?;
+        let remote_request_id = match v.get("remote_request_id") {
+            Jv::Null => None,
+            other => Some(
+                RequestId::parse(other.as_str().ok_or("call: bad remote id")?)
+                    .ok_or("call: unparseable remote id")?,
+            ),
+        };
+        Ok(CallRecord {
+            response_id,
+            remote_request_id,
+            request: HttpRequest::from_jv(v.get("request"))?,
+            response: HttpResponse::from_jv(v.get("response"))?,
+            failed: v.get("failed").as_bool().unwrap_or(false),
+        })
+    }
+}
+
+/// Recorded non-determinism, replayed during re-execution so that repair
+/// is stable (§3.3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NondetLog {
+    /// Values returned by `ctx.now_millis()`.
+    pub times: Vec<i64>,
+    /// Values returned by `ctx.rand()`.
+    pub rands: Vec<u64>,
+    /// Row ids allocated, in order, as `(table, id)`.
+    pub allocs: Vec<(String, u64)>,
+}
+
+impl NondetLog {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty() && self.rands.is_empty() && self.allocs.is_empty()
+    }
+
+    /// Lossless serialization.
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("times", Jv::list(self.times.iter().map(|&t| Jv::i(t))));
+        m.set(
+            "rands",
+            Jv::list(self.rands.iter().map(|&r| Jv::i(r as i64))),
+        );
+        m.set(
+            "allocs",
+            Jv::list(self.allocs.iter().map(|(t, id)| {
+                let mut a = Jv::map();
+                a.set("table", Jv::s(t.clone()));
+                a.set("id", Jv::i(*id as i64));
+                a
+            })),
+        );
+        m
+    }
+
+    /// Parses the form produced by [`NondetLog::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<NondetLog, String> {
+        let mut log = NondetLog::default();
+        for t in v.get("times").as_list().unwrap_or(&[]) {
+            log.times.push(t.as_int().ok_or("nondet: bad time")?);
+        }
+        for r in v.get("rands").as_list().unwrap_or(&[]) {
+            log.rands.push(r.as_int().ok_or("nondet: bad rand")? as u64);
+        }
+        for a in v.get("allocs").as_list().unwrap_or(&[]) {
+            let table = a.str_of("table").to_string();
+            let id = a.get("id").as_int().ok_or("nondet: bad alloc")? as u64;
+            log.allocs.push((table, id));
+        }
+        Ok(log)
+    }
+}
+
+/// An externally visible side effect that cannot be silently re-executed
+/// (the daily summary email of §7.1). Repair runs a *compensating action*
+/// instead: the application is notified with the old and new payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalOutput {
+    /// Kind tag, e.g. `"email"`.
+    pub kind: String,
+    /// The emitted payload.
+    pub payload: Jv,
+}
+
+/// Everything Aire logged about one executed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionRecord {
+    /// The id this service assigned to the request.
+    pub id: RequestId,
+    /// Logical execution time (unique; the log's primary key).
+    pub time: LogicalTime,
+    /// The request as (last) executed — `replace` repairs swap this.
+    pub request: HttpRequest,
+    /// The response as (last) produced.
+    pub response: HttpResponse,
+    /// The id the *client* assigned to our response, if it runs Aire.
+    pub client_response_id: Option<ResponseId>,
+    /// Where to reach the client for `replace_response` (§3.1).
+    pub notifier_url: Option<Url>,
+    /// Database operations, in execution order.
+    pub db_ops: Vec<DbOp>,
+    /// Outgoing HTTP calls, in execution order.
+    pub calls: Vec<CallRecord>,
+    /// Recorded non-determinism.
+    pub nondet: NondetLog,
+    /// External outputs needing compensation on change.
+    pub external: Vec<ExternalOutput>,
+    /// Live or deleted-by-repair.
+    pub status: ActionStatus,
+    /// True if this action was spliced in by a `create` repair.
+    pub created_by_repair: bool,
+}
+
+impl ActionRecord {
+    /// Creates a record with empty traces.
+    pub fn new(
+        id: RequestId,
+        time: LogicalTime,
+        request: HttpRequest,
+        response: HttpResponse,
+    ) -> ActionRecord {
+        let client_response_id = aire_http::aire::request_response_id(&request);
+        let notifier_url = aire_http::aire::request_notifier_url(&request);
+        ActionRecord {
+            id,
+            time,
+            request,
+            response,
+            client_response_id,
+            notifier_url,
+            db_ops: Vec::new(),
+            calls: Vec::new(),
+            nondet: NondetLog::default(),
+            external: Vec::new(),
+            status: ActionStatus::Live,
+            created_by_repair: false,
+        }
+    }
+
+    /// True if the action is deleted.
+    pub fn is_deleted(&self) -> bool {
+        self.status == ActionStatus::Deleted
+    }
+
+    /// The rows this action wrote, with their before/after values.
+    pub fn writes(&self) -> impl Iterator<Item = (&RowKey, &Option<Jv>, &Option<Jv>)> {
+        self.db_ops.iter().filter_map(|op| match op {
+            DbOp::Write { key, before, after } => Some((key, before, after)),
+            _ => None,
+        })
+    }
+
+    /// Serializes the record losslessly — the format for byte accounting,
+    /// audit dumps, *and* persistence ([`ActionRecord::from_jv`]).
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("id", Jv::s(self.id.wire()));
+        m.set("time", Jv::s(self.time.wire()));
+        m.set("request", self.request.to_jv());
+        m.set("response", self.response.to_jv());
+        m.set(
+            "client_response_id",
+            self.client_response_id
+                .as_ref()
+                .map(|r| Jv::s(r.wire()))
+                .unwrap_or(Jv::Null),
+        );
+        m.set(
+            "notifier_url",
+            self.notifier_url
+                .as_ref()
+                .map(|u| Jv::s(u.to_string()))
+                .unwrap_or(Jv::Null),
+        );
+        m.set("db_ops", Jv::list(self.db_ops.iter().map(|o| o.to_jv())));
+        m.set("calls", Jv::list(self.calls.iter().map(|c| c.to_jv())));
+        if !self.nondet.is_empty() {
+            m.set("nondet", self.nondet.to_jv());
+        }
+        if !self.external.is_empty() {
+            m.set(
+                "external",
+                Jv::list(self.external.iter().map(|e| {
+                    let mut x = Jv::map();
+                    x.set("kind", Jv::s(e.kind.clone()));
+                    x.set("payload", e.payload.clone());
+                    x
+                })),
+            );
+        }
+        m.set("deleted", Jv::Bool(self.is_deleted()));
+        m.set("created_by_repair", Jv::Bool(self.created_by_repair));
+        m
+    }
+
+    /// Parses the form produced by [`ActionRecord::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<ActionRecord, String> {
+        let id = RequestId::parse(v.str_of("id")).ok_or("action: bad id")?;
+        let time = LogicalTime::parse_wire(v.str_of("time")).ok_or("action: bad time")?;
+        let request = HttpRequest::from_jv(v.get("request"))?;
+        let response = HttpResponse::from_jv(v.get("response"))?;
+        let client_response_id = match v.get("client_response_id") {
+            Jv::Null => None,
+            other => Some(
+                ResponseId::parse(other.as_str().ok_or("action: bad client_response_id")?)
+                    .ok_or("action: unparseable client_response_id")?,
+            ),
+        };
+        let notifier_url = match v.get("notifier_url") {
+            Jv::Null => None,
+            other => Some(Url::parse(other.as_str().ok_or("action: bad notifier_url")?)?),
+        };
+        let mut db_ops = Vec::new();
+        for op in v.get("db_ops").as_list().unwrap_or(&[]) {
+            db_ops.push(DbOp::from_jv(op)?);
+        }
+        let mut calls = Vec::new();
+        for call in v.get("calls").as_list().unwrap_or(&[]) {
+            calls.push(CallRecord::from_jv(call)?);
+        }
+        let nondet = match v.get("nondet") {
+            Jv::Null => NondetLog::default(),
+            other => NondetLog::from_jv(other)?,
+        };
+        let mut external = Vec::new();
+        for e in v.get("external").as_list().unwrap_or(&[]) {
+            external.push(ExternalOutput {
+                kind: e.str_of("kind").to_string(),
+                payload: e.get("payload").clone(),
+            });
+        }
+        Ok(ActionRecord {
+            id,
+            time,
+            request,
+            response,
+            client_response_id,
+            notifier_url,
+            db_ops,
+            calls,
+            nondet,
+            external,
+            status: if v.get("deleted").as_bool().unwrap_or(false) {
+                ActionStatus::Deleted
+            } else {
+                ActionStatus::Live
+            },
+            created_by_repair: v.get("created_by_repair").as_bool().unwrap_or(false),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::Method;
+    use aire_types::jv;
+
+    use super::*;
+
+    fn sample() -> ActionRecord {
+        let req = HttpRequest::post(
+            Url::service("askbot", "/questions/new"),
+            jv!({"title": "t"}),
+        )
+        .with_header("Aire-Response-Id", "browser/R1")
+        .with_header("Aire-Notifier-Url", "https://browser/aire/notify");
+        ActionRecord::new(
+            RequestId::new("askbot", 1),
+            LogicalTime::tick(1),
+            req,
+            HttpResponse::ok(jv!({"id": 1})),
+        )
+    }
+
+    #[test]
+    fn new_extracts_client_plumbing() {
+        let a = sample();
+        assert_eq!(a.client_response_id, Some(ResponseId::new("browser", 1)));
+        assert_eq!(a.notifier_url.unwrap().host, "browser");
+    }
+
+    #[test]
+    fn plumbing_absent_when_headers_missing() {
+        let req = HttpRequest::new(Method::Get, Url::service("askbot", "/"));
+        let a = ActionRecord::new(
+            RequestId::new("askbot", 2),
+            LogicalTime::tick(2),
+            req,
+            HttpResponse::ok(Jv::Null),
+        );
+        assert!(a.client_response_id.is_none());
+        assert!(a.notifier_url.is_none());
+    }
+
+    #[test]
+    fn writes_iterator_filters() {
+        let mut a = sample();
+        a.db_ops = vec![
+            DbOp::Read {
+                key: RowKey::new("t", 1),
+                at: None,
+            },
+            DbOp::Write {
+                key: RowKey::new("t", 2),
+                before: None,
+                after: Some(jv!({"x": 1})),
+            },
+        ];
+        assert_eq!(a.writes().count(), 1);
+    }
+
+    #[test]
+    fn to_jv_is_stable_and_parseable() {
+        let mut a = sample();
+        a.db_ops.push(DbOp::Scan {
+            table: "posts".into(),
+            filter: Filter::all().eq("kind", "q"),
+            hits: vec![1, 2],
+        });
+        a.nondet.times.push(1234);
+        a.external.push(ExternalOutput {
+            kind: "email".into(),
+            payload: jv!({"to": "x"}),
+        });
+        let text = a.to_jv().encode();
+        // Whatever we serialize must round-trip through the codec.
+        assert!(Jv::decode(&text).is_ok());
+        assert!(text.contains("questions/new"));
+        assert!(text.contains("email"));
+    }
+
+    #[test]
+    fn call_record_extracts_remote_id() {
+        let resp = HttpResponse::ok(Jv::Null).with_header("Aire-Request-Id", "oauth/Q7");
+        let call = CallRecord::new(
+            ResponseId::new("askbot", 3),
+            HttpRequest::new(Method::Get, Url::service("oauth", "/verify")),
+            resp,
+        );
+        assert_eq!(call.remote_request_id, Some(RequestId::new("oauth", 7)));
+        assert_eq!(call.target(), "oauth");
+    }
+}

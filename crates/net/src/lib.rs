@@ -1,0 +1,326 @@
+//! `aire-net` — the simulated network substrate.
+//!
+//! The paper runs its services as real Django deployments talking HTTP;
+//! repair must survive services being "down, unreachable, or otherwise
+//! unavailable" (§1) and must let a client authenticate a server "by
+//! validating its X.509 certificate" during the `replace_response` token
+//! dance (§3.1). This crate provides the equivalent substrate in-process:
+//!
+//! * [`Network`] — a registry of named [`Endpoint`]s with synchronous
+//!   delivery, per-service online/offline switches (driving the §7.2
+//!   partial-repair experiments), and delivery statistics.
+//! * [`Certificate`] — a toy TLS identity per registered service. Clients
+//!   verify that the certificate's subject matches the host they dialled;
+//!   tests can install mismatched certificates to exercise rejection.
+//! * Re-entrancy detection: delivery into a service that is currently
+//!   handling a request is refused (the paper's applications never call
+//!   back into their caller within a request, and allowing it would let a
+//!   single `RefCell`-holding handler deadlock the simulation).
+//!
+//! Delivery is synchronous and deterministic; *asynchrony* in Aire lives
+//! in the repair controller's queues, which retry delivery when services
+//! come back online — exactly the paper's split.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+use aire_http::{HttpRequest, HttpResponse};
+use aire_types::{AireError, AireResult, ServiceName};
+
+/// A party that can receive HTTP requests from the network.
+pub trait Endpoint {
+    /// Handles one request, producing a response.
+    ///
+    /// Implementations may re-enter the network to contact *other*
+    /// services; re-entering the handling service itself is refused by
+    /// [`Network::deliver`].
+    fn handle(&self, req: &HttpRequest) -> HttpResponse;
+}
+
+/// A toy X.509 certificate: just enough identity for the
+/// `replace_response` authentication flow of §3.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The hostname this certificate asserts.
+    pub subject: String,
+    /// Serial number, unique per issued certificate.
+    pub serial: u64,
+}
+
+impl Certificate {
+    /// True if the certificate authenticates `host`.
+    pub fn valid_for(&self, host: &str) -> bool {
+        self.subject == host
+    }
+}
+
+/// Delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Successful deliveries.
+    pub delivered: u64,
+    /// Failed deliveries (offline, unknown, re-entrant).
+    pub failed: u64,
+    /// Total request + response bytes of successful deliveries.
+    pub bytes: u64,
+}
+
+#[derive(Default)]
+struct NetInner {
+    endpoints: BTreeMap<String, Rc<dyn Endpoint>>,
+    online: BTreeMap<String, bool>,
+    certs: BTreeMap<String, Certificate>,
+    in_flight: BTreeSet<String>,
+    next_serial: u64,
+    stats: NetStats,
+}
+
+/// The simulated network. Cheap to clone (shared handle).
+#[derive(Clone, Default)]
+pub struct Network {
+    inner: Rc<RefCell<NetInner>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(f, "Network({} endpoints)", inner.endpoints.len())
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Registers an endpoint under `host`, issuing its certificate. The
+    /// service starts online. Re-registering replaces the endpoint but
+    /// keeps the certificate.
+    pub fn register(&self, host: impl Into<String>, endpoint: Rc<dyn Endpoint>) -> Certificate {
+        let host = host.into();
+        let mut inner = self.inner.borrow_mut();
+        inner.endpoints.insert(host.clone(), endpoint);
+        inner.online.entry(host.clone()).or_insert(true);
+        if let Some(c) = inner.certs.get(&host) {
+            return c.clone();
+        }
+        inner.next_serial += 1;
+        let cert = Certificate {
+            subject: host.clone(),
+            serial: inner.next_serial,
+        };
+        inner.certs.insert(host, cert.clone());
+        cert
+    }
+
+    /// Installs an arbitrary certificate for `host` (tests use this to
+    /// simulate impersonation).
+    pub fn install_certificate(&self, host: &str, cert: Certificate) {
+        self.inner.borrow_mut().certs.insert(host.to_string(), cert);
+    }
+
+    /// The certificate the network would present for `host`.
+    pub fn certificate_of(&self, host: &str) -> Option<Certificate> {
+        self.inner.borrow().certs.get(host).cloned()
+    }
+
+    /// Marks a service online or offline. Delivery to an offline service
+    /// fails with [`AireError::ServiceUnavailable`]; the repair queues
+    /// treat that as "retry when it comes back" (§3.2, §7.2).
+    pub fn set_online(&self, host: &str, online: bool) {
+        self.inner
+            .borrow_mut()
+            .online
+            .insert(host.to_string(), online);
+    }
+
+    /// True if the service is registered and online.
+    pub fn is_online(&self, host: &str) -> bool {
+        let inner = self.inner.borrow();
+        inner.endpoints.contains_key(host) && inner.online.get(host).copied().unwrap_or(false)
+    }
+
+    /// Registered hostnames, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        self.inner.borrow().endpoints.keys().cloned().collect()
+    }
+
+    /// Delivers a request to the service named by `req.url.host`.
+    ///
+    /// Fails with [`AireError::UnknownService`] for unregistered hosts,
+    /// [`AireError::ServiceUnavailable`] for offline ones, and
+    /// [`AireError::Reentrancy`] when the target is already handling a
+    /// request on the current call stack.
+    pub fn deliver(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        let host = req.url.host.clone();
+        let endpoint = {
+            let mut inner = self.inner.borrow_mut();
+            let name = ServiceName::new(host.clone());
+            let Some(ep) = inner.endpoints.get(&host).cloned() else {
+                inner.stats.failed += 1;
+                return Err(AireError::UnknownService(name));
+            };
+            if !inner.online.get(&host).copied().unwrap_or(false) {
+                inner.stats.failed += 1;
+                return Err(AireError::ServiceUnavailable(name));
+            }
+            if inner.in_flight.contains(&host) {
+                inner.stats.failed += 1;
+                return Err(AireError::Reentrancy(name));
+            }
+            inner.in_flight.insert(host.clone());
+            ep
+        };
+        // The borrow is released; the endpoint may re-enter the network
+        // for *other* hosts.
+        let resp = endpoint.handle(req);
+        let mut inner = self.inner.borrow_mut();
+        inner.in_flight.remove(&host);
+        inner.stats.delivered += 1;
+        inner.stats.bytes += (req.wire_len() + resp.wire_len()) as u64;
+        Ok(resp)
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.inner.borrow().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::{Method, Status, Url};
+    use aire_types::jv;
+
+    use super::*;
+
+    struct Echo;
+
+    impl Endpoint for Echo {
+        fn handle(&self, req: &HttpRequest) -> HttpResponse {
+            HttpResponse::ok(jv!({"path": req.url.path.clone()}))
+        }
+    }
+
+    /// An endpoint that calls a second service, to exercise nesting.
+    struct Proxy {
+        net: Network,
+        target: String,
+    }
+
+    impl Endpoint for Proxy {
+        fn handle(&self, _req: &HttpRequest) -> HttpResponse {
+            let inner = HttpRequest::new(Method::Get, Url::service(&self.target, "/inner"));
+            match self.net.deliver(&inner) {
+                Ok(r) => r,
+                Err(e) => HttpResponse::error(Status::UNAVAILABLE, e.to_string()),
+            }
+        }
+    }
+
+    fn get(host: &str, path: &str) -> HttpRequest {
+        HttpRequest::new(Method::Get, Url::service(host, path))
+    }
+
+    #[test]
+    fn deliver_to_registered_endpoint() {
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        let resp = net.deliver(&get("echo", "/hello")).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body.str_of("path"), "/hello");
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn unknown_service_fails() {
+        let net = Network::new();
+        let err = net.deliver(&get("ghost", "/")).unwrap_err();
+        assert_eq!(err, AireError::UnknownService(ServiceName::new("ghost")));
+        assert_eq!(net.stats().failed, 1);
+    }
+
+    #[test]
+    fn offline_service_fails_until_back_online() {
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        net.set_online("echo", false);
+        assert!(!net.is_online("echo"));
+        let err = net.deliver(&get("echo", "/")).unwrap_err();
+        assert!(matches!(err, AireError::ServiceUnavailable(_)));
+        assert!(err.is_retryable());
+        net.set_online("echo", true);
+        assert!(net.deliver(&get("echo", "/")).is_ok());
+    }
+
+    #[test]
+    fn nested_delivery_to_other_service_works() {
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        net.register(
+            "proxy",
+            Rc::new(Proxy {
+                net: net.clone(),
+                target: "echo".into(),
+            }),
+        );
+        let resp = net.deliver(&get("proxy", "/outer")).unwrap();
+        assert_eq!(resp.body.str_of("path"), "/inner");
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn reentrant_delivery_is_refused() {
+        let net = Network::new();
+        // proxy calls itself.
+        net.register(
+            "proxy",
+            Rc::new(Proxy {
+                net: net.clone(),
+                target: "proxy".into(),
+            }),
+        );
+        let resp = net.deliver(&get("proxy", "/loop")).unwrap();
+        // The outer call succeeds but the inner call failed.
+        assert_eq!(resp.status, Status::UNAVAILABLE);
+        assert!(resp.body.str_of("error").contains("re-entrant"));
+    }
+
+    #[test]
+    fn certificates_identify_hosts() {
+        let net = Network::new();
+        let cert = net.register("askbot", Rc::new(Echo));
+        assert!(cert.valid_for("askbot"));
+        assert!(!cert.valid_for("evil"));
+        assert_eq!(net.certificate_of("askbot").unwrap(), cert);
+        // Impersonation is detectable.
+        net.install_certificate(
+            "askbot",
+            Certificate {
+                subject: "evil".into(),
+                serial: 999,
+            },
+        );
+        assert!(!net.certificate_of("askbot").unwrap().valid_for("askbot"));
+    }
+
+    #[test]
+    fn reregistering_keeps_certificate() {
+        let net = Network::new();
+        let c1 = net.register("s", Rc::new(Echo));
+        let c2 = net.register("s", Rc::new(Echo));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn bytes_are_accounted() {
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        net.deliver(&get("echo", "/a-rather-long-path-for-counting"))
+            .unwrap();
+        assert!(net.stats().bytes > 40);
+    }
+}

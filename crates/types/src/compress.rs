@@ -1,0 +1,228 @@
+//! A small LZSS compressor for repair-log size accounting.
+//!
+//! Table 4 of the paper reports the per-request size of Aire's logs
+//! *compressed*. The offline crate set has no compression crate, so we
+//! implement a compact LZSS variant: a 4 KiB sliding window, greedy longest
+//! match, and a bit-flagged token stream. It is not meant to compete with
+//! zlib; it exists so the "compressed log bytes" columns we report are
+//! produced the same way the paper produced theirs — by actually
+//! compressing the serialized log.
+
+/// Sliding-window size. 4 KiB keeps the offset in 12 bits.
+const WINDOW: usize = 1 << 12;
+/// Minimum match length worth encoding (shorter matches cost more than
+/// literals).
+const MIN_MATCH: usize = 4;
+/// Maximum match length encodable in 4 bits plus the implicit minimum.
+const MAX_MATCH: usize = MIN_MATCH + 15;
+
+/// Compresses `input` with LZSS.
+///
+/// The format is a sequence of groups: a flag byte where bit *i* set means
+/// token *i* is a `(offset, len)` back-reference (2 bytes: 12-bit offset,
+/// 4-bit length-minus-`MIN_MATCH`), clear means a literal byte.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Chained hash table over 3-byte prefixes for match finding.
+    let mut head = vec![usize::MAX; 1 << 14];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+
+    let mut pos = 0;
+    let mut flags_at = usize::MAX;
+    let mut ntok = 0u8;
+
+    let push_token = |out: &mut Vec<u8>, flags_at: &mut usize, ntok: &mut u8, is_ref: bool| {
+        if *ntok == 0 {
+            *flags_at = out.len();
+            out.push(0);
+        }
+        if is_ref {
+            out[*flags_at] |= 1 << *ntok;
+        }
+        *ntok = (*ntok + 1) % 8;
+    };
+
+    while pos < input.len() {
+        let (mlen, moff) = best_match(input, pos, &head, &prev);
+        if mlen >= MIN_MATCH {
+            push_token(&mut out, &mut flags_at, &mut ntok, true);
+            let token: u16 = ((moff as u16) << 4) | ((mlen - MIN_MATCH) as u16);
+            out.push((token >> 8) as u8);
+            out.push(token as u8);
+            for p in pos..pos + mlen {
+                insert_hash(input, p, &mut head, &mut prev);
+            }
+            pos += mlen;
+        } else {
+            push_token(&mut out, &mut flags_at, &mut ntok, false);
+            out.push(input[pos]);
+            insert_hash(input, pos, &mut head, &mut prev);
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses data produced by [`compress`].
+///
+/// Returns `None` if the stream is malformed.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut pos = 0;
+    while pos < data.len() {
+        let flags = data[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if pos >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if pos + 1 >= data.len() {
+                    return None;
+                }
+                let token = ((data[pos] as u16) << 8) | data[pos + 1] as u16;
+                pos += 2;
+                let off = (token >> 4) as usize;
+                let len = (token & 0xF) as usize + MIN_MATCH;
+                if off == 0 || off > out.len() {
+                    return None;
+                }
+                let start = out.len() - off;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            } else {
+                out.push(data[pos]);
+                pos += 1;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Convenience: compressed size of `input` in bytes.
+pub fn compressed_len(input: &[u8]) -> usize {
+    compress(input).len()
+}
+
+fn hash3(input: &[u8], pos: usize) -> usize {
+    let a = input[pos] as usize;
+    let b = input[pos + 1] as usize;
+    let c = input[pos + 2] as usize;
+    (a.wrapping_mul(506_832_829) ^ b.wrapping_mul(65_599) ^ c) & ((1 << 14) - 1)
+}
+
+fn insert_hash(input: &[u8], pos: usize, head: &mut [usize], prev: &mut [usize]) {
+    if pos + 3 > input.len() {
+        return;
+    }
+    let h = hash3(input, pos);
+    prev[pos] = head[h];
+    head[h] = pos;
+}
+
+fn best_match(input: &[u8], pos: usize, head: &[usize], prev: &[usize]) -> (usize, usize) {
+    if pos + MIN_MATCH > input.len() {
+        return (0, 0);
+    }
+    let mut best_len = 0;
+    let mut best_off = 0;
+    let mut cand = head[hash3(input, pos)];
+    let limit = pos.saturating_sub(WINDOW - 1);
+    let mut steps = 0;
+    while cand != usize::MAX && cand >= limit && steps < 32 {
+        if cand < pos {
+            let max = (input.len() - pos).min(MAX_MATCH);
+            let mut len = 0;
+            while len < max && input[cand + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_off = pos - cand;
+                if len == MAX_MATCH {
+                    break;
+                }
+            }
+        }
+        steps += 1;
+        cand = prev[cand];
+    }
+    (best_len, best_off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "round trip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(b"");
+        assert!(compress(b"").is_empty());
+    }
+
+    #[test]
+    fn short_inputs() {
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data = b"GET /questions/ HTTP/1.1\n".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 3, "{} vs {}", c.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn log_like_input_compresses() {
+        let mut data = String::new();
+        for i in 0..200 {
+            data.push_str(&format!(
+                r#"{{"req":"askbot/Q{i}","path":"/questions/{i}/view","user":"user{}"}}"#,
+                i % 10
+            ));
+        }
+        let c = compress(data.as_bytes());
+        assert!(c.len() < data.len() / 2);
+        round_trip(data.as_bytes());
+    }
+
+    #[test]
+    fn incompressible_input_survives() {
+        // A deterministic pseudo-random byte string.
+        let mut rng = crate::rng::DetRng::new(1234);
+        let data: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_runs_cross_window() {
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            data.push((i % 7) as u8 + b'a');
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_truncated_reference() {
+        // Flag byte says back-reference but only one byte follows.
+        assert_eq!(decompress(&[0b0000_0001, 0x12]), None);
+    }
+
+    #[test]
+    fn decompress_rejects_bad_offset() {
+        // A back-reference with offset beyond the produced output.
+        assert_eq!(decompress(&[0b0000_0001, 0xFF, 0xF0]), None);
+    }
+}

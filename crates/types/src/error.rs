@@ -1,0 +1,95 @@
+//! The shared error type for the Aire workspace.
+
+use std::fmt;
+
+use crate::id::{RequestId, ResponseId, ServiceName};
+
+/// Errors surfaced across crate boundaries.
+///
+/// Substrate-internal failures use their own error types; this enum covers
+/// the conditions the repair machinery itself must react to (offline
+/// services, authorization failures, garbage-collected history, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AireError {
+    /// The target service is not registered on the network.
+    UnknownService(ServiceName),
+    /// The target service is registered but currently offline; the repair
+    /// queue holds the message for later (§3.2).
+    ServiceUnavailable(ServiceName),
+    /// The remote service rejected the repair message's credentials (§4).
+    Unauthorized(String),
+    /// The named request is unknown to the service.
+    UnknownRequest(RequestId),
+    /// The named response is unknown to the service.
+    UnknownResponse(ResponseId),
+    /// The request's history was garbage collected; the paper treats this
+    /// as the service being *permanently* unavailable for that repair (§9).
+    HistoryCollected(RequestId),
+    /// A `create` could not be positioned between `before_id`/`after_id`.
+    BadCreatePosition(String),
+    /// A network-level delivery timeout.
+    Timeout(ServiceName),
+    /// Re-entrant delivery to a service already executing a request.
+    Reentrancy(ServiceName),
+    /// A malformed message (bad headers, bodies, ids).
+    Protocol(String),
+    /// Application-level failure inside a handler.
+    App(String),
+}
+
+/// Convenience alias used across the workspace.
+pub type AireResult<T> = Result<T, AireError>;
+
+impl fmt::Display for AireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AireError::UnknownService(s) => write!(f, "unknown service {s}"),
+            AireError::ServiceUnavailable(s) => write!(f, "service {s} unavailable"),
+            AireError::Unauthorized(why) => write!(f, "repair unauthorized: {why}"),
+            AireError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            AireError::UnknownResponse(id) => write!(f, "unknown response {id}"),
+            AireError::HistoryCollected(id) => {
+                write!(f, "history for {id} was garbage collected")
+            }
+            AireError::BadCreatePosition(why) => write!(f, "bad create position: {why}"),
+            AireError::Timeout(s) => write!(f, "timeout contacting {s}"),
+            AireError::Reentrancy(s) => write!(f, "re-entrant call into {s}"),
+            AireError::Protocol(why) => write!(f, "protocol error: {why}"),
+            AireError::App(why) => write!(f, "application error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AireError {}
+
+impl AireError {
+    /// True for errors that queue-and-retry can recover from, i.e. the
+    /// remote should be treated as temporarily offline (§2.2, §7.2).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            AireError::ServiceUnavailable(_) | AireError::Timeout(_) | AireError::Unauthorized(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_subject() {
+        let e = AireError::ServiceUnavailable(ServiceName::new("dpaste"));
+        assert!(e.to_string().contains("dpaste"));
+        let e = AireError::UnknownRequest(RequestId::new("askbot", 9));
+        assert!(e.to_string().contains("askbot/Q9"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(AireError::Timeout(ServiceName::new("b")).is_retryable());
+        assert!(AireError::Unauthorized("expired".into()).is_retryable());
+        assert!(!AireError::HistoryCollected(RequestId::new("a", 1)).is_retryable());
+        assert!(!AireError::Protocol("bad".into()).is_retryable());
+    }
+}

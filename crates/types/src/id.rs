@@ -1,0 +1,243 @@
+//! Identifiers used by Aire's repair protocol.
+//!
+//! Repair operates on *names* for past messages (§3.1): a server assigns a
+//! [`RequestId`] to every request it handles (returned to the client in the
+//! `Aire-Request-Id` header), and a client assigns a [`ResponseId`] to every
+//! response it is about to receive (sent in the `Aire-Response-Id` header).
+//! Each side remembers the identifier the *other* side assigned, and uses it
+//! later to invoke repair.
+
+use std::fmt;
+
+/// The name of a web service, e.g. `"askbot"` or `"oauth"`.
+///
+/// Service names double as hostnames on the simulated network, so they must
+/// be unique within a [`World`](https://docs.rs/aire-core). They are cheap
+/// to clone (small strings dominate).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceName(pub String);
+
+impl ServiceName {
+    /// Creates a service name from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceName(name.into())
+    }
+
+    /// Returns the name as a `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for ServiceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc:{}", self.0)
+    }
+}
+
+impl From<&str> for ServiceName {
+    fn from(s: &str) -> Self {
+        ServiceName::new(s)
+    }
+}
+
+impl From<String> for ServiceName {
+    fn from(s: String) -> Self {
+        ServiceName(s)
+    }
+}
+
+/// Name of a past *request*, assigned by the service that executed it.
+///
+/// A client that holds a `RequestId` can ask the issuing service to
+/// `replace` or `delete` that request (Table 1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId {
+    /// The service that assigned this identifier (the request's executor).
+    pub service: ServiceName,
+    /// Sequence number unique within `service`.
+    pub seq: u64,
+}
+
+impl RequestId {
+    /// Creates a request identifier.
+    pub fn new(service: impl Into<ServiceName>, seq: u64) -> Self {
+        RequestId {
+            service: service.into(),
+            seq,
+        }
+    }
+
+    /// Renders the id in wire format, `service/Q<seq>`.
+    pub fn wire(&self) -> String {
+        format!("{}/Q{}", self.service, self.seq)
+    }
+
+    /// Parses the wire format produced by [`RequestId::wire`].
+    pub fn parse(s: &str) -> Option<Self> {
+        let (svc, rest) = s.rsplit_once("/Q")?;
+        let seq = rest.parse().ok()?;
+        if svc.is_empty() {
+            return None;
+        }
+        Some(RequestId::new(svc, seq))
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire())
+    }
+}
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire())
+    }
+}
+
+/// Name of a past *response*, assigned by the client that received it.
+///
+/// A server that holds a `ResponseId` can send the client a
+/// `replace_response` for it (Table 1), via the client's notifier URL.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResponseId {
+    /// The service that assigned this identifier (the response's receiver).
+    pub service: ServiceName,
+    /// Sequence number unique within `service`.
+    pub seq: u64,
+}
+
+impl ResponseId {
+    /// Creates a response identifier.
+    pub fn new(service: impl Into<ServiceName>, seq: u64) -> Self {
+        ResponseId {
+            service: service.into(),
+            seq,
+        }
+    }
+
+    /// Renders the id in wire format, `service/R<seq>`.
+    pub fn wire(&self) -> String {
+        format!("{}/R{}", self.service, self.seq)
+    }
+
+    /// Parses the wire format produced by [`ResponseId::wire`].
+    pub fn parse(s: &str) -> Option<Self> {
+        let (svc, rest) = s.rsplit_once("/R")?;
+        let seq = rest.parse().ok()?;
+        if svc.is_empty() {
+            return None;
+        }
+        Some(ResponseId::new(svc, seq))
+    }
+}
+
+impl fmt::Display for ResponseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire())
+    }
+}
+
+impl fmt::Debug for ResponseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire())
+    }
+}
+
+/// Identifier of a queued repair message, used by `notify` / `retry`
+/// (Table 2) so an application can refer to a failed repair message when it
+/// asks Aire to resend it with fresh credentials.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msg{}", self.0)
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msg{}", self.0)
+    }
+}
+
+/// An opaque bearer token (OAuth tokens, response-repair tokens, session
+/// cookies all reuse this).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub String);
+
+impl Token {
+    /// Creates a token from anything string-like.
+    pub fn new(t: impl Into<String>) -> Self {
+        Token(t.into())
+    }
+
+    /// Returns the token text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tok:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_wire_round_trip() {
+        let id = RequestId::new("askbot", 42);
+        assert_eq!(id.wire(), "askbot/Q42");
+        assert_eq!(RequestId::parse("askbot/Q42"), Some(id));
+    }
+
+    #[test]
+    fn response_id_wire_round_trip() {
+        let id = ResponseId::new("oauth", 7);
+        assert_eq!(id.wire(), "oauth/R7");
+        assert_eq!(ResponseId::parse("oauth/R7"), Some(id));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(RequestId::parse("no-separator"), None);
+        assert_eq!(RequestId::parse("/Q1"), None);
+        assert_eq!(RequestId::parse("svc/Qx"), None);
+        assert_eq!(ResponseId::parse("svc/Q1"), None);
+    }
+
+    #[test]
+    fn parse_handles_service_names_with_slashes() {
+        // A service name containing a slash must still round-trip because
+        // we split on the *last* `/Q`.
+        let id = RequestId::new("a/b", 3);
+        assert_eq!(RequestId::parse(&id.wire()), Some(id));
+    }
+
+    #[test]
+    fn ids_order_by_service_then_seq() {
+        let a = RequestId::new("a", 9);
+        let b = RequestId::new("b", 1);
+        assert!(a < b);
+        let c = RequestId::new("a", 10);
+        assert!(a < c);
+    }
+}

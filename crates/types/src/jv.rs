@@ -1,0 +1,666 @@
+//! `Jv` — a small JSON-ish dynamically typed value.
+//!
+//! Aire's substrate needs one structured-value type for HTTP bodies,
+//! database cells, repair-log serialization, and spreadsheet cells. We
+//! implement our own instead of pulling in `serde_json` so that ordering,
+//! hashing and rendering are fully deterministic (maps are `BTreeMap`s,
+//! numbers are `i64`), which the replay machinery depends on.
+//!
+//! The text codec is JSON-compatible for the subset we support (no floats;
+//! the paper's applications never need them).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-ish value: null, bool, integer, string, list or string-keyed map.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Jv {
+    /// The absent value; also the default.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer. Floats are deliberately unsupported to keep
+    /// equality, hashing and replay deterministic.
+    Int(i64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered list.
+    List(Vec<Jv>),
+    /// A map with deterministic (sorted) key order.
+    Map(BTreeMap<String, Jv>),
+}
+
+impl Jv {
+    /// Builds a string value.
+    pub fn s(v: impl Into<String>) -> Jv {
+        Jv::Str(v.into())
+    }
+
+    /// Builds an integer value.
+    pub fn i(v: i64) -> Jv {
+        Jv::Int(v)
+    }
+
+    /// Builds an empty map.
+    pub fn map() -> Jv {
+        Jv::Map(BTreeMap::new())
+    }
+
+    /// Builds a list from an iterator.
+    pub fn list(items: impl IntoIterator<Item = Jv>) -> Jv {
+        Jv::List(items.into_iter().collect())
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Jv::Null)
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Jv::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Jv::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Jv::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Jv]> {
+        match self {
+            Jv::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the map payload, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Jv>> {
+        match self {
+            Jv::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Map field lookup; returns `Null` for missing keys or non-maps.
+    pub fn get(&self, key: &str) -> &Jv {
+        static NULL: Jv = Jv::Null;
+        match self {
+            Jv::Map(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Convenience: `self.get(key).as_str().unwrap_or("")`.
+    pub fn str_of(&self, key: &str) -> &str {
+        self.get(key).as_str().unwrap_or("")
+    }
+
+    /// Convenience: `self.get(key).as_int().unwrap_or(0)`.
+    pub fn int_of(&self, key: &str) -> i64 {
+        self.get(key).as_int().unwrap_or(0)
+    }
+
+    /// Inserts into a map value; panics if `self` is not a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-map, which is always a programming error
+    /// in handler code.
+    pub fn set(&mut self, key: impl Into<String>, value: Jv) -> &mut Jv {
+        match self {
+            Jv::Map(m) => {
+                m.insert(key.into(), value);
+            }
+            other => panic!("Jv::set on non-map value {other:?}"),
+        }
+        self
+    }
+
+    /// Appends to a list value; panics if `self` is not a list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-list.
+    pub fn push(&mut self, value: Jv) -> &mut Jv {
+        match self {
+            Jv::List(v) => v.push(value),
+            other => panic!("Jv::push on non-list value {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON-compatible text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Jv::Null => out.push_str("null"),
+            Jv::Bool(true) => out.push_str("true"),
+            Jv::Bool(false) => out.push_str("false"),
+            Jv::Int(v) => {
+                out.push_str(&v.to_string());
+            }
+            Jv::Str(s) => encode_str(s, out),
+            Jv::List(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Jv::Map(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses the textual encoding produced by [`Jv::encode`] (and general
+    /// float-free JSON).
+    pub fn decode(text: &str) -> Result<Jv, JvParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// The size in bytes of the compact encoding; used for log accounting.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+impl fmt::Debug for Jv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+impl fmt::Display for Jv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+impl From<&str> for Jv {
+    fn from(s: &str) -> Jv {
+        Jv::Str(s.to_string())
+    }
+}
+
+impl From<String> for Jv {
+    fn from(s: String) -> Jv {
+        Jv::Str(s)
+    }
+}
+
+impl From<i64> for Jv {
+    fn from(v: i64) -> Jv {
+        Jv::Int(v)
+    }
+}
+
+impl From<u64> for Jv {
+    fn from(v: u64) -> Jv {
+        Jv::Int(v as i64)
+    }
+}
+
+impl From<i32> for Jv {
+    fn from(v: i32) -> Jv {
+        Jv::Int(v as i64)
+    }
+}
+
+impl From<usize> for Jv {
+    fn from(v: usize) -> Jv {
+        Jv::Int(v as i64)
+    }
+}
+
+impl From<bool> for Jv {
+    fn from(v: bool) -> Jv {
+        Jv::Bool(v)
+    }
+}
+
+impl From<Vec<Jv>> for Jv {
+    fn from(v: Vec<Jv>) -> Jv {
+        Jv::List(v)
+    }
+}
+
+impl FromIterator<Jv> for Jv {
+    fn from_iter<T: IntoIterator<Item = Jv>>(iter: T) -> Jv {
+        Jv::List(iter.into_iter().collect())
+    }
+}
+
+/// Builds a [`Jv`] with JSON-like syntax.
+///
+/// Supports nested maps and lists, negative numbers, `null`, and arbitrary
+/// expressions (anything convertible with `Jv::from`) as leaves.
+///
+/// # Examples
+///
+/// ```
+/// use aire_types::jv;
+/// let who = "alice";
+/// let v = jv!({ "user": who, "age": -3, "tags": ["a", {"deep": null}] });
+/// assert_eq!(v.str_of("user"), "alice");
+/// assert_eq!(v.int_of("age"), -3);
+/// ```
+#[macro_export]
+macro_rules! jv {
+    ($($tt:tt)+) => { $crate::jv_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`jv!`]; a token-tree muncher in the style of
+/// `serde_json::json!`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! jv_internal {
+    //////// Array munching: accumulate element expressions. ////////
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    // Next element is a nested structure or literal value.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::jv_internal!(@array [$($elems,)* $crate::Jv::Null,] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::jv_internal!(@array [$($elems,)* $crate::jv_internal!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::jv_internal!(@array [$($elems,)* $crate::jv_internal!({$($map)*}),] $($rest)*)
+    };
+    // Next element is a general expression up to the next comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::jv_internal!(@array [$($elems,)* $crate::Jv::from($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::jv_internal!(@array [$($elems,)* $crate::Jv::from($last),])
+    };
+    // Trailing comma.
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::jv_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////// Object munching: ($map) (key tokens) (value tokens). ////////
+    // Finished.
+    (@object $map:ident () ()) => {};
+    // Insert the current key/value pair built from a nested structure,
+    // then continue with the rest.
+    (@object $map:ident [$key:expr] ($value:expr) , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $value);
+        $crate::jv_internal!(@object $map () ($($rest)*));
+    };
+    (@object $map:ident [$key:expr] ($value:expr)) => {
+        $map.insert(($key).to_string(), $value);
+    };
+    // Current value is `null`.
+    (@object $map:ident ($key:expr) (: null $($rest:tt)*)) => {
+        $crate::jv_internal!(@object $map [$key] ($crate::Jv::Null) $($rest)*);
+    };
+    // Current value is an array.
+    (@object $map:ident ($key:expr) (: [$($arr:tt)*] $($rest:tt)*)) => {
+        $crate::jv_internal!(@object $map [$key] ($crate::jv_internal!([$($arr)*])) $($rest)*);
+    };
+    // Current value is a map.
+    (@object $map:ident ($key:expr) (: {$($inner:tt)*} $($rest:tt)*)) => {
+        $crate::jv_internal!(@object $map [$key] ($crate::jv_internal!({$($inner)*})) $($rest)*);
+    };
+    // Current value is an expression followed by more entries.
+    (@object $map:ident ($key:expr) (: $value:expr , $($rest:tt)*)) => {
+        $crate::jv_internal!(@object $map [$key] ($crate::Jv::from($value)) , $($rest)*);
+    };
+    // Current value is the final expression.
+    (@object $map:ident ($key:expr) (: $value:expr)) => {
+        $crate::jv_internal!(@object $map [$key] ($crate::Jv::from($value)));
+    };
+    // Munch a key (a literal or parenthesised expression) up to the colon.
+    (@object $map:ident () ($key:tt $($rest:tt)*)) => {
+        $crate::jv_internal!(@object $map ($key) ($($rest)*));
+    };
+
+    //////// Entry points. ////////
+    (null) => { $crate::Jv::Null };
+    ([]) => { $crate::Jv::List(vec![]) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Jv::List($crate::jv_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Jv::Map(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $crate::jv_internal!(@object map () ($($tt)+));
+        $crate::Jv::Map(map)
+    }};
+    ($other:expr) => { $crate::Jv::from($other) };
+}
+
+/// Error produced by [`Jv::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JvParseError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JvParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Jv parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JvParseError {}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JvParseError {
+        JvParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JvParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Jv) -> Result<Jv, JvParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Jv, JvParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Jv::Null),
+            Some(b't') => self.literal("true", Jv::Bool(true)),
+            Some(b'f') => self.literal("false", Jv::Bool(false)),
+            Some(b'"') => Ok(Jv::Str(self.string()?)),
+            Some(b'[') => self.list(),
+            Some(b'{') => self.mapv(),
+            Some(b'-' | b'0'..=b'9') => self.int(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn int(&mut self) -> Result<Jv, JvParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<i64>()
+            .map(Jv::Int)
+            .map_err(|_| self.err("bad integer"))
+    }
+
+    fn string(&mut self) -> Result<String, JvParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?);
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode a multi-byte UTF-8 sequence.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn list(&mut self) -> Result<Jv, JvParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Jv::List(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Jv::List(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn mapv(&mut self) -> Result<Jv, JvParseError> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Jv::Map(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            m.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Jv::Map(m)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_scalars() {
+        assert_eq!(Jv::Null.encode(), "null");
+        assert_eq!(Jv::Bool(true).encode(), "true");
+        assert_eq!(Jv::Int(-7).encode(), "-7");
+        assert_eq!(Jv::s("hi").encode(), "\"hi\"");
+    }
+
+    #[test]
+    fn encode_nested() {
+        let v = jv!({ "a": [1, 2, {"b": null}], "c": "x" });
+        assert_eq!(v.encode(), r#"{"a":[1,2,{"b":null}],"c":"x"}"#);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let v = jv!({
+            "title": "q1 \"quoted\"",
+            "body": "line1\nline2\ttabbed",
+            "n": -42,
+            "ok": true,
+            "none": null,
+            "list": [1, "two", false],
+        });
+        let text = v.encode();
+        assert_eq!(Jv::decode(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn decode_unicode() {
+        let v = Jv::s("héllo ☃");
+        assert_eq!(Jv::decode(&v.encode()).unwrap(), v);
+        assert_eq!(Jv::decode(r#""☃""#).unwrap(), Jv::s("☃"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Jv::decode("").is_err());
+        assert!(Jv::decode("{").is_err());
+        assert!(Jv::decode("[1,]").is_err());
+        assert!(Jv::decode("nul").is_err());
+        assert!(Jv::decode("1 2").is_err());
+        assert!(Jv::decode("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn decode_whitespace_tolerant() {
+        let v = Jv::decode(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v, jv!({"a": [1, 2]}));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = jv!({"name": "bob", "age": 3, "flag": true});
+        assert_eq!(v.str_of("name"), "bob");
+        assert_eq!(v.int_of("age"), 3);
+        assert_eq!(v.get("flag").as_bool(), Some(true));
+        assert!(v.get("missing").is_null());
+        assert_eq!(v.get("missing").str_of("deep"), "");
+    }
+
+    #[test]
+    fn set_and_push() {
+        let mut m = Jv::map();
+        m.set("k", jv!(1)).set("l", jv!([2]));
+        let mut inner = m.get("l").clone();
+        inner.push(jv!(3));
+        m.set("l", inner);
+        assert_eq!(m.encode(), r#"{"k":1,"l":[2,3]}"#);
+    }
+
+    #[test]
+    fn map_order_is_deterministic() {
+        let a = jv!({"z": 1, "a": 2});
+        let b = jv!({"a": 2, "z": 1});
+        assert_eq!(a.encode(), b.encode());
+    }
+}

@@ -1,0 +1,244 @@
+//! Dense logical timestamps.
+//!
+//! Each Aire service orders the actions it executes on a private logical
+//! timeline — the paper is explicit that services do *not* share a global
+//! clock (§3.1), which is why the `create` repair operation positions a new
+//! request relative to `before_id` / `after_id` rather than by timestamp.
+//!
+//! [`LogicalTime`] is a pair `(major, minor)` ordered lexicographically.
+//! Normal execution assigns timestamps with a large `major` stride and
+//! `minor == 0`, so there is always room to [`LogicalTime::between`] two
+//! existing actions when a `create` must splice a request "into the past".
+
+use std::fmt;
+
+/// Stride between consecutive normally-assigned timestamps.
+///
+/// A large stride leaves room for `create`d requests to be bisected in
+/// between without ever exhausting the `minor` dimension in practice.
+pub const TICK: u64 = 1 << 20;
+
+/// A point on one service's logical timeline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LogicalTime {
+    /// Coarse component; normal execution strides this by [`TICK`].
+    pub major: u64,
+    /// Fine component used when bisecting between adjacent majors.
+    pub minor: u64,
+}
+
+impl LogicalTime {
+    /// The origin of every timeline.
+    pub const ZERO: LogicalTime = LogicalTime { major: 0, minor: 0 };
+
+    /// The greatest representable time.
+    pub const MAX: LogicalTime = LogicalTime {
+        major: u64::MAX,
+        minor: u64::MAX,
+    };
+
+    /// Creates a time from its components.
+    pub fn new(major: u64, minor: u64) -> Self {
+        LogicalTime { major, minor }
+    }
+
+    /// The `n`-th normally-assigned tick (`n * TICK`, minor 0).
+    pub fn tick(n: u64) -> Self {
+        LogicalTime {
+            major: n * TICK,
+            minor: 0,
+        }
+    }
+
+    /// Returns the next normal tick strictly after `self`.
+    pub fn next_tick(self) -> Self {
+        LogicalTime {
+            major: (self.major / TICK + 1) * TICK,
+            minor: 0,
+        }
+    }
+
+    /// Returns a time strictly between `lo` and `hi`, if one exists.
+    ///
+    /// Used to splice `create`d requests between two past actions. The
+    /// result prefers bisecting the `major` gap; when the majors are
+    /// adjacent or equal it falls back to the `minor` dimension.
+    pub fn between(lo: LogicalTime, hi: LogicalTime) -> Option<LogicalTime> {
+        if lo >= hi {
+            return None;
+        }
+        if hi.major - lo.major >= 2 {
+            let mid = lo.major + (hi.major - lo.major) / 2;
+            return Some(LogicalTime {
+                major: mid,
+                minor: 0,
+            });
+        }
+        if hi.major == lo.major {
+            // Same major: bisect minors.
+            if hi.minor - lo.minor >= 2 {
+                return Some(LogicalTime {
+                    major: lo.major,
+                    minor: lo.minor + (hi.minor - lo.minor) / 2,
+                });
+            }
+            return None;
+        }
+        // Adjacent majors: extend lo's minor space.
+        if lo.minor < u64::MAX - 1 {
+            let mid = lo.minor / 2 + u64::MAX / 2 + 1;
+            if mid > lo.minor {
+                return Some(LogicalTime {
+                    major: lo.major,
+                    minor: mid,
+                });
+            }
+        }
+        None
+    }
+
+    /// A time infinitesimally before `self` for rollback bounds: rolling a
+    /// row back "to before `t`" deletes every version at time `>= t`.
+    ///
+    /// Returns `self` unchanged; the rollback APIs take an *exclusive*
+    /// upper bound, so this is purely documentation sugar.
+    pub fn rollback_bound(self) -> Self {
+        self
+    }
+
+    /// Lossless serialization for persistence: `"major.minor"`.
+    pub fn wire(self) -> String {
+        format!("{}.{}", self.major, self.minor)
+    }
+
+    /// Parses the format produced by [`LogicalTime::wire`].
+    pub fn parse_wire(s: &str) -> Option<LogicalTime> {
+        let (major, minor) = s.split_once('.')?;
+        Some(LogicalTime {
+            major: major.parse().ok()?,
+            minor: minor.parse().ok()?,
+        })
+    }
+}
+
+impl fmt::Display for LogicalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.minor == 0 {
+            write!(f, "t{}", self.major / TICK)
+        } else {
+            write!(f, "t{}+{}", self.major / TICK, self.minor)
+        }
+    }
+}
+
+impl fmt::Debug for LogicalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.major, self.minor)
+    }
+}
+
+/// A monotonically increasing assigner of logical times for one service.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSource {
+    last: LogicalTime,
+}
+
+impl TimeSource {
+    /// Creates a fresh source starting at the origin.
+    pub fn new() -> Self {
+        TimeSource::default()
+    }
+
+    /// Returns the next normal tick, strictly after anything returned or
+    /// observed before.
+    // Not an iterator: `next` consumes a timeline slot, it does not yield
+    // an optional element, so the Iterator contract would be misleading.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> LogicalTime {
+        let t = self.last.next_tick();
+        self.last = t;
+        t
+    }
+
+    /// Informs the source about an externally chosen time (e.g. a spliced
+    /// `create`), keeping monotonicity.
+    pub fn observe(&mut self, t: LogicalTime) {
+        if t > self.last {
+            self.last = t;
+        }
+    }
+
+    /// The most recent time handed out or observed.
+    pub fn now(&self) -> LogicalTime {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_strictly_increasing() {
+        let mut src = TimeSource::new();
+        let a = src.next();
+        let b = src.next();
+        let c = src.next();
+        assert!(a < b && b < c);
+        assert_eq!(a, LogicalTime::tick(1));
+        assert_eq!(c, LogicalTime::tick(3));
+    }
+
+    #[test]
+    fn between_bisects_major_gap() {
+        let lo = LogicalTime::tick(1);
+        let hi = LogicalTime::tick(2);
+        let mid = LogicalTime::between(lo, hi).expect("gap must bisect");
+        assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn between_is_repeatedly_bisectable() {
+        // Splicing many creates between the same two original requests
+        // must keep succeeding for a long time.
+        let mut lo = LogicalTime::tick(5);
+        let hi = LogicalTime::tick(6);
+        for _ in 0..40 {
+            let mid = LogicalTime::between(lo, hi).expect("bisection exhausted");
+            assert!(lo < mid && mid < hi);
+            lo = mid;
+        }
+    }
+
+    #[test]
+    fn between_rejects_empty_interval() {
+        let t = LogicalTime::tick(3);
+        assert_eq!(LogicalTime::between(t, t), None);
+        assert_eq!(LogicalTime::between(t.next_tick(), t), None);
+    }
+
+    #[test]
+    fn between_handles_adjacent_minors() {
+        let lo = LogicalTime::new(5, 10);
+        let hi = LogicalTime::new(5, 11);
+        assert_eq!(LogicalTime::between(lo, hi), None);
+        let hi2 = LogicalTime::new(5, 12);
+        assert_eq!(LogicalTime::between(lo, hi2), Some(LogicalTime::new(5, 11)));
+    }
+
+    #[test]
+    fn observe_keeps_monotonicity() {
+        let mut src = TimeSource::new();
+        let a = src.next();
+        src.observe(LogicalTime::tick(100));
+        let b = src.next();
+        assert!(b > LogicalTime::tick(100));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(LogicalTime::tick(4).to_string(), "t4");
+        assert_eq!(LogicalTime::new(4 * TICK, 9).to_string(), "t4+9");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests on the substrate primitives everything else trusts:
+//! the `Jv` text codec, the LZSS compressor, logical-time bisection, and
+//! identifier wire formats.
+
+use aire_types::time::TICK;
+use aire_types::{compress, DetRng, Jv, LogicalTime, RequestId, ResponseId};
+use proptest::prelude::*;
+
+/// A recursive strategy for arbitrary `Jv` documents.
+fn jv_strategy() -> impl Strategy<Value = Jv> {
+    let leaf = prop_oneof![
+        Just(Jv::Null),
+        any::<bool>().prop_map(Jv::Bool),
+        any::<i64>().prop_map(Jv::i),
+        // Exercise escapes: quotes, backslashes, newlines, unicode.
+        "[ -~\\n\\t\"\\\\£λ🦀]{0,24}".prop_map(Jv::s),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Jv::List),
+            prop::collection::btree_map("[a-z_]{1,6}", inner, 0..6).prop_map(Jv::Map),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(v)) == v for arbitrary documents.
+    #[test]
+    fn prop_jv_codec_round_trip(v in jv_strategy()) {
+        let text = v.encode();
+        let back = Jv::decode(&text).expect("self-produced text must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    /// `encoded_len` agrees with the actual encoding length.
+    #[test]
+    fn prop_jv_encoded_len_exact(v in jv_strategy()) {
+        prop_assert_eq!(v.encoded_len(), v.encode().len());
+    }
+
+    /// decompress(compress(x)) == x for arbitrary bytes.
+    #[test]
+    fn prop_lzss_round_trip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = compress::compress(&data);
+        let unpacked = compress::decompress(&packed).expect("self-produced stream");
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Repetitive inputs compress; compressed_len is consistent.
+    #[test]
+    fn prop_lzss_compresses_repetition(unit in "[a-z]{4,16}", reps in 8usize..64) {
+        let data = unit.repeat(reps);
+        let len = compress::compressed_len(data.as_bytes());
+        prop_assert_eq!(len, compress::compress(data.as_bytes()).len());
+        prop_assert!(len < data.len(), "{} !< {}", len, data.len());
+    }
+
+    /// `between` returns a strictly interior point whenever it returns.
+    #[test]
+    fn prop_between_is_interior(a in 0u64..1000, b in 0u64..1000, ma in 0u64..50, mb in 0u64..50) {
+        let lo = LogicalTime::new(a.min(b) * TICK, ma);
+        let hi = LogicalTime::new(a.max(b) * TICK, mb);
+        match LogicalTime::between(lo, hi) {
+            Some(mid) => {
+                prop_assert!(lo < mid && mid < hi);
+            }
+            None => {
+                // Only tiny/empty intervals may fail.
+                prop_assert!(lo >= hi || (hi.major - lo.major < 2));
+            }
+        }
+    }
+
+    /// Repeated bisection from below never exhausts for realistic depths.
+    #[test]
+    fn prop_between_supports_deep_splicing(n in 1u64..1000) {
+        let mut lo = LogicalTime::tick(n);
+        let hi = lo.next_tick();
+        for _ in 0..30 {
+            let mid = LogicalTime::between(lo, hi).expect("30 splices must fit");
+            prop_assert!(lo < mid && mid < hi);
+            lo = mid;
+        }
+    }
+
+    /// LogicalTime wire format round-trips.
+    #[test]
+    fn prop_time_wire_round_trip(major in any::<u64>(), minor in any::<u64>()) {
+        let t = LogicalTime::new(major, minor);
+        prop_assert_eq!(LogicalTime::parse_wire(&t.wire()), Some(t));
+    }
+
+    /// Identifier wire formats round-trip, including names with slashes.
+    #[test]
+    fn prop_id_wire_round_trip(name in "[a-z][a-z0-9./-]{0,12}", seq in any::<u64>()) {
+        let q = RequestId::new(name.clone(), seq);
+        prop_assert_eq!(RequestId::parse(&q.wire()), Some(q));
+        let r = ResponseId::new(name, seq);
+        prop_assert_eq!(ResponseId::parse(&r.wire()), Some(r));
+    }
+
+    /// The RNG state is exactly the resume point: two generators split at
+    /// an arbitrary point produce the same continuation.
+    #[test]
+    fn prop_rng_state_resumes(seed in any::<u64>(), burn in 0usize..64) {
+        let mut a = DetRng::new(seed);
+        for _ in 0..burn {
+            a.next_u64();
+        }
+        let mut b = DetRng::new(a.state());
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
+
+#[test]
+fn jv_decode_rejects_garbage() {
+    for bad in ["", "{", "[1,", "\"unterminated", "{\"a\"1}", "nul", "truex"] {
+        assert!(Jv::decode(bad).is_err(), "{bad:?} should not parse");
+    }
+}
+
+#[test]
+fn lzss_decompress_rejects_truncation() {
+    let data = b"the quick brown fox jumps over the lazy dog".repeat(4);
+    let packed = compress::compress(&data);
+    // Truncating the stream must fail or produce a shorter output, never
+    // panic.
+    for cut in 0..packed.len().min(16) {
+        let _ = compress::decompress(&packed[..cut]);
+    }
+}

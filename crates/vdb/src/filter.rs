@@ -1,0 +1,248 @@
+//! Conjunctive row predicates for scans.
+//!
+//! A scan's filter is part of its logged read footprint: if repair later
+//! creates or changes a row that *matches* the filter, the scanning
+//! request is affected even though it never read that row id (the phantom
+//! problem). Keeping filters first-class and comparable makes that check
+//! exact for the query shapes the substrate's ORM supports.
+
+use std::fmt;
+
+use aire_types::Jv;
+
+/// One comparison in a filter.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Cmp {
+    /// Field equals value.
+    Eq(Jv),
+    /// Field does not equal value.
+    Ne(Jv),
+    /// Integer field is `< value`.
+    Lt(i64),
+    /// Integer field is `> value`.
+    Gt(i64),
+    /// String field contains the needle.
+    Contains(String),
+}
+
+impl Cmp {
+    fn matches(&self, v: &Jv) -> bool {
+        match self {
+            Cmp::Eq(want) => v == want,
+            Cmp::Ne(want) => v != want,
+            Cmp::Lt(bound) => v.as_int().is_some_and(|x| x < *bound),
+            Cmp::Gt(bound) => v.as_int().is_some_and(|x| x > *bound),
+            Cmp::Contains(needle) => v.as_str().is_some_and(|s| s.contains(needle)),
+        }
+    }
+}
+
+/// A conjunction of per-field comparisons. The empty filter matches every
+/// row (a full-table scan).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Filter {
+    /// `(field, comparison)` clauses, kept sorted so structurally equal
+    /// filters compare equal regardless of construction order. A field
+    /// may appear in several clauses (e.g. a range `gt` + `lt`).
+    clauses: Vec<(String, Cmp)>,
+}
+
+impl Filter {
+    /// The match-everything filter.
+    pub fn all() -> Filter {
+        Filter::default()
+    }
+
+    /// Builder: add `field == value`.
+    pub fn eq(self, field: &str, value: impl Into<Jv>) -> Filter {
+        self.add(field, Cmp::Eq(value.into()))
+    }
+
+    /// Builder: add `field != value`.
+    pub fn ne(self, field: &str, value: impl Into<Jv>) -> Filter {
+        self.add(field, Cmp::Ne(value.into()))
+    }
+
+    /// Builder: add `field < bound` (integers).
+    pub fn lt(self, field: &str, bound: i64) -> Filter {
+        self.add(field, Cmp::Lt(bound))
+    }
+
+    /// Builder: add `field > bound` (integers).
+    pub fn gt(self, field: &str, bound: i64) -> Filter {
+        self.add(field, Cmp::Gt(bound))
+    }
+
+    /// Builder: add substring match on a string field.
+    pub fn contains(self, field: &str, needle: &str) -> Filter {
+        self.add(field, Cmp::Contains(needle.to_string()))
+    }
+
+    fn add(mut self, field: &str, cmp: Cmp) -> Filter {
+        self.clauses.push((field.to_string(), cmp));
+        self.clauses.sort();
+        self
+    }
+
+    /// True if the row document satisfies every clause.
+    pub fn matches(&self, row: &Jv) -> bool {
+        self.clauses
+            .iter()
+            .all(|(field, cmp)| cmp.matches(row.get(field)))
+    }
+
+    /// True for the match-everything filter.
+    pub fn is_all(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Lossless serialization for persistence.
+    pub fn to_jv(&self) -> Jv {
+        Jv::list(self.clauses.iter().map(|(field, cmp)| {
+            let mut m = Jv::map();
+            m.set("field", Jv::s(field.clone()));
+            match cmp {
+                Cmp::Eq(v) => {
+                    m.set("cmp", Jv::s("eq"));
+                    m.set("value", v.clone());
+                }
+                Cmp::Ne(v) => {
+                    m.set("cmp", Jv::s("ne"));
+                    m.set("value", v.clone());
+                }
+                Cmp::Lt(b) => {
+                    m.set("cmp", Jv::s("lt"));
+                    m.set("value", Jv::i(*b));
+                }
+                Cmp::Gt(b) => {
+                    m.set("cmp", Jv::s("gt"));
+                    m.set("value", Jv::i(*b));
+                }
+                Cmp::Contains(s) => {
+                    m.set("cmp", Jv::s("contains"));
+                    m.set("value", Jv::s(s.clone()));
+                }
+            }
+            m
+        }))
+    }
+
+    /// Parses the form produced by [`Filter::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<Filter, String> {
+        let clauses = v.as_list().ok_or("filter must be a list")?;
+        let mut filter = Filter::all();
+        for clause in clauses {
+            let field = clause.str_of("field");
+            if field.is_empty() {
+                return Err("filter clause missing field".to_string());
+            }
+            let value = clause.get("value");
+            let cmp = match clause.str_of("cmp") {
+                "eq" => Cmp::Eq(value.clone()),
+                "ne" => Cmp::Ne(value.clone()),
+                "lt" => Cmp::Lt(value.as_int().ok_or("lt bound must be int")?),
+                "gt" => Cmp::Gt(value.as_int().ok_or("gt bound must be int")?),
+                "contains" => {
+                    Cmp::Contains(value.as_str().ok_or("contains needle must be str")?.to_string())
+                }
+                other => return Err(format!("unknown cmp {other:?}")),
+            };
+            filter = filter.add(field, cmp);
+        }
+        Ok(filter)
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True when there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+impl fmt::Debug for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_all() {
+            return write!(f, "ALL");
+        }
+        let mut first = true;
+        for (field, cmp) in &self.clauses {
+            if !first {
+                write!(f, " AND ")?;
+            }
+            match cmp {
+                Cmp::Eq(v) => write!(f, "{field}=={v}")?,
+                Cmp::Ne(v) => write!(f, "{field}!={v}")?,
+                Cmp::Lt(b) => write!(f, "{field}<{b}")?,
+                Cmp::Gt(b) => write!(f, "{field}>{b}")?,
+                Cmp::Contains(s) => write!(f, "{field}~{s:?}")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::jv;
+
+    use super::*;
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        assert!(Filter::all().matches(&jv!({"x": 1})));
+        assert!(Filter::all().matches(&Jv::Null));
+        assert!(Filter::all().is_all());
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let f = Filter::all().eq("kind", "question").ne("hidden", true);
+        assert!(f.matches(&jv!({"kind": "question", "hidden": false})));
+        assert!(f.matches(&jv!({"kind": "question"})));
+        assert!(!f.matches(&jv!({"kind": "answer", "hidden": false})));
+        assert!(!f.matches(&jv!({"kind": "question", "hidden": true})));
+    }
+
+    #[test]
+    fn numeric_bounds() {
+        let f = Filter::all().gt("score", 0).lt("score", 10);
+        assert!(f.matches(&jv!({"score": 5})));
+        assert!(!f.matches(&jv!({"score": 0})));
+        assert!(!f.matches(&jv!({"score": 10})));
+        assert!(!f.matches(&jv!({"score": "five"})));
+    }
+
+    #[test]
+    fn contains_on_strings() {
+        let f = Filter::all().contains("body", "```");
+        assert!(f.matches(&jv!({"body": "text ``` code ```"})));
+        assert!(!f.matches(&jv!({"body": "plain"})));
+        assert!(!f.matches(&jv!({"body": 42})));
+    }
+
+    #[test]
+    fn filters_are_comparable_and_hashable() {
+        let a = Filter::all().eq("x", 1);
+        let b = Filter::all().eq("x", 1);
+        let c = Filter::all().eq("x", 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let f = Filter::all().eq("kind", "q").gt("n", 3);
+        let s = format!("{f:?}");
+        assert!(s.contains("kind==\"q\""));
+        assert!(s.contains("n>3"));
+        assert_eq!(format!("{:?}", Filter::all()), "ALL");
+    }
+}

@@ -1,0 +1,217 @@
+//! Runtime table schemas.
+//!
+//! The paper's prototype works on Django "models"; our substrate defines
+//! tables at runtime with just enough metadata for Aire: field kinds for
+//! validation, unique keys and foreign keys for dependency tracking (§6),
+//! and the `app_versioned` flag marking `AppVersionedModel` tables whose
+//! rows Aire must *not* roll back (§6, "Repair for a versioned API").
+
+use aire_types::Jv;
+
+/// The kind of a field, used for lightweight validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Integer field.
+    Int,
+    /// String field.
+    Str,
+    /// Boolean field.
+    Bool,
+    /// Arbitrary [`Jv`] payload.
+    Any,
+}
+
+impl FieldKind {
+    /// True if `value` conforms to this kind (`Null` is always allowed).
+    pub fn admits(self, value: &Jv) -> bool {
+        matches!(
+            (self, value),
+            (_, Jv::Null)
+                | (FieldKind::Int, Jv::Int(_))
+                | (FieldKind::Str, Jv::Str(_))
+                | (FieldKind::Bool, Jv::Bool(_))
+                | (FieldKind::Any, _)
+        )
+    }
+}
+
+/// One field of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (a key of the row's `Jv::Map`).
+    pub name: String,
+    /// Field kind.
+    pub kind: FieldKind,
+    /// If `Some(table)`, this field holds a row id into `table` (foreign
+    /// key); Aire uses this to propagate repair between related models.
+    pub references: Option<String>,
+}
+
+impl FieldDef {
+    /// A plain field.
+    pub fn new(name: impl Into<String>, kind: FieldKind) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            kind,
+            references: None,
+        }
+    }
+
+    /// A foreign-key field referencing `table`.
+    pub fn fk(name: impl Into<String>, table: impl Into<String>) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            kind: FieldKind::Int,
+            references: Some(table.into()),
+        }
+    }
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Table name.
+    pub name: String,
+    /// Declared fields. Rows may carry extra keys (the substrate is
+    /// schema-light, like Django's JSON fields), but declared fields are
+    /// validated.
+    pub fields: Vec<FieldDef>,
+    /// Sets of field names whose combined values must be unique among
+    /// rows that are live at the same logical time.
+    pub unique: Vec<Vec<String>>,
+    /// `AppVersionedModel` (§6): rows of this table represent immutable
+    /// application-level versions; Aire never rolls them back and does not
+    /// version them internally.
+    pub app_versioned: bool,
+}
+
+impl Schema {
+    /// Creates a schema with no constraints.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDef>) -> Schema {
+        Schema {
+            name: name.into(),
+            fields,
+            unique: Vec::new(),
+            app_versioned: false,
+        }
+    }
+
+    /// Adds a single-field unique constraint.
+    pub fn with_unique(mut self, field: &str) -> Schema {
+        self.unique.push(vec![field.to_string()]);
+        self
+    }
+
+    /// Adds a compound unique constraint.
+    pub fn with_unique_together(mut self, fields: &[&str]) -> Schema {
+        self.unique
+            .push(fields.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Marks the table as an `AppVersionedModel` (§6).
+    pub fn app_versioned(mut self) -> Schema {
+        self.app_versioned = true;
+        self
+    }
+
+    /// Validates a row document against declared field kinds.
+    pub fn validate(&self, row: &Jv) -> Result<(), String> {
+        let map = row
+            .as_map()
+            .ok_or_else(|| format!("row for table {} must be a map", self.name))?;
+        for f in &self.fields {
+            if let Some(v) = map.get(&f.name) {
+                if !f.kind.admits(v) {
+                    return Err(format!(
+                        "field {}.{} has kind {:?} but value {v}",
+                        self.name, f.name, f.kind
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The foreign-key fields of this schema.
+    pub fn foreign_keys(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields
+            .iter()
+            .filter_map(|f| f.references.as_deref().map(|t| (f.name.as_str(), t)))
+    }
+
+    /// Extracts the unique-key tuples of a row, one per declared
+    /// constraint, as encoded strings for indexing.
+    pub fn unique_tuples(&self, row: &Jv) -> Vec<(usize, String)> {
+        self.unique
+            .iter()
+            .enumerate()
+            .map(|(i, fields)| {
+                let tuple: Vec<String> = fields.iter().map(|f| row.get(f).encode()).collect();
+                (i, tuple.join("\u{1f}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::jv;
+
+    use super::*;
+
+    fn users_schema() -> Schema {
+        Schema::new(
+            "users",
+            vec![
+                FieldDef::new("name", FieldKind::Str),
+                FieldDef::new("age", FieldKind::Int),
+                FieldDef::new("active", FieldKind::Bool),
+            ],
+        )
+        .with_unique("name")
+    }
+
+    #[test]
+    fn validate_accepts_conforming_rows() {
+        let s = users_schema();
+        assert!(s
+            .validate(&jv!({"name": "a", "age": 3, "active": true}))
+            .is_ok());
+        // Missing and extra fields are fine; nulls are fine.
+        assert!(s.validate(&jv!({"name": null, "extra": [1]})).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_kind_mismatch() {
+        let s = users_schema();
+        assert!(s.validate(&jv!({"age": "three"})).is_err());
+        assert!(s.validate(&jv!([1, 2])).is_err());
+    }
+
+    #[test]
+    fn unique_tuples_distinguish_constraints() {
+        let s = Schema::new("t", vec![])
+            .with_unique("a")
+            .with_unique_together(&["a", "b"]);
+        let row = jv!({"a": 1, "b": 2});
+        let tuples = s.unique_tuples(&row);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].0, 0);
+        assert_eq!(tuples[1].0, 1);
+        assert_ne!(tuples[0].1, tuples[1].1);
+    }
+
+    #[test]
+    fn foreign_keys_enumerate() {
+        let s = Schema::new(
+            "answers",
+            vec![
+                FieldDef::fk("question_id", "questions"),
+                FieldDef::new("text", FieldKind::Str),
+            ],
+        );
+        let fks: Vec<_> = s.foreign_keys().collect();
+        assert_eq!(fks, vec![("question_id", "questions")]);
+    }
+}

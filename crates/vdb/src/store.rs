@@ -1,0 +1,974 @@
+//! The versioned row store.
+
+use std::collections::BTreeMap;
+
+use aire_types::{Jv, LogicalTime};
+
+use crate::filter::Filter;
+use crate::schema::Schema;
+use crate::version::{RowKey, Version};
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The table does not exist.
+    NoSuchTable(String),
+    /// The row does not exist (or is not live at the given time).
+    NoSuchRow(RowKey),
+    /// A row with the same unique key is already live.
+    UniqueViolation { key: RowKey, constraint: usize },
+    /// Schema validation failed.
+    BadRow(String),
+    /// A write at time `t` would precede the row's latest version; the
+    /// caller must roll the row back first. This invariant is what makes
+    /// replayed writes safe.
+    NonMonotonicWrite {
+        key: RowKey,
+        attempted: LogicalTime,
+        latest: LogicalTime,
+    },
+    /// The table is `app_versioned` (§6); its rows are immutable.
+    AppVersionedImmutable(RowKey),
+    /// The operation needs history older than the GC horizon (§9).
+    HistoryCollected(LogicalTime),
+    /// A table was created twice.
+    DuplicateTable(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            StoreError::NoSuchRow(k) => write!(f, "no such row {k}"),
+            StoreError::UniqueViolation { key, constraint } => {
+                write!(f, "unique constraint #{constraint} violated at {key}")
+            }
+            StoreError::BadRow(why) => write!(f, "bad row: {why}"),
+            StoreError::NonMonotonicWrite {
+                key,
+                attempted,
+                latest,
+            } => write!(
+                f,
+                "non-monotonic write to {key}: attempted {attempted} but latest is {latest}"
+            ),
+            StoreError::AppVersionedImmutable(k) => {
+                write!(f, "row {k} is app-versioned and immutable")
+            }
+            StoreError::HistoryCollected(t) => {
+                write!(f, "history at {t} was garbage collected")
+            }
+            StoreError::DuplicateTable(t) => write!(f, "table {t} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The result of a successful write, carrying everything the repair log
+/// needs to record the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// The row written.
+    pub key: RowKey,
+    /// The row's value visible just before the write (`None` if the row
+    /// did not exist / was deleted).
+    pub before: Option<Jv>,
+    /// The version created by the write.
+    pub after: Version,
+}
+
+/// Aggregate size statistics (Table 4's storage-cost accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Total number of live (non-archived) versions.
+    pub versions: usize,
+    /// Approximate bytes of live versions.
+    pub bytes: usize,
+    /// Total number of archived (rolled-back) versions kept for audit.
+    pub archived_versions: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TableData {
+    schema: Schema,
+    /// Per-row version chains, time-sorted.
+    rows: BTreeMap<u64, Vec<Version>>,
+    /// Versions removed by rollback, kept for audit only.
+    archived: BTreeMap<u64, Vec<Version>>,
+    next_id: u64,
+}
+
+/// A multi-version row store with reads-as-of-time and rollback-to-time.
+#[derive(Debug, Clone, Default)]
+pub struct VersionedStore {
+    tables: BTreeMap<String, TableData>,
+    gc_horizon: LogicalTime,
+}
+
+impl VersionedStore {
+    /// Creates an empty store.
+    pub fn new() -> VersionedStore {
+        VersionedStore::default()
+    }
+
+    /// Registers a table.
+    pub fn create_table(&mut self, schema: Schema) -> Result<(), StoreError> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::DuplicateTable(name));
+        }
+        self.tables.insert(
+            name,
+            TableData {
+                schema,
+                rows: BTreeMap::new(),
+                archived: BTreeMap::new(),
+                next_id: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.tables.contains_key(table)
+    }
+
+    /// The schema of a table.
+    pub fn schema(&self, table: &str) -> Result<&Schema, StoreError> {
+        Ok(&self.table(table)?.schema)
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Allocates a fresh row id. Never reused, never rolled back: id
+    /// allocation is recorded as non-determinism by the execution layer
+    /// and replayed from the log, so the counter only moves forward.
+    pub fn allocate_id(&mut self, table: &str) -> Result<u64, StoreError> {
+        let t = self.table_mut(table)?;
+        let id = t.next_id;
+        t.next_id += 1;
+        Ok(id)
+    }
+
+    /// The id the next [`Self::allocate_id`] call would return, without
+    /// consuming it. Local repair seeds its fresh-id pool from this.
+    pub fn peek_next_id(&self, table: &str) -> Result<u64, StoreError> {
+        Ok(self.table(table)?.next_id)
+    }
+
+    /// Ensures the allocator is past `id` (used when replay feeds recorded
+    /// ids back in).
+    pub fn observe_id(&mut self, table: &str, id: u64) -> Result<(), StoreError> {
+        let t = self.table_mut(table)?;
+        if id >= t.next_id {
+            t.next_id = id + 1;
+        }
+        Ok(())
+    }
+
+    /// Inserts a row (with a caller-provided id) at time `t`.
+    ///
+    /// The row must not be live at `t`, the chain must have no version
+    /// *after* `t` (roll back first during repair), and unique constraints
+    /// are checked among rows live at `t`. Several writes at the same
+    /// time are allowed — a request executes "instantaneously" at its
+    /// logical time (§3.3), so all of its writes share that time, with
+    /// last-write-wins visibility and atomic rollback.
+    pub fn insert(
+        &mut self,
+        table: &str,
+        id: u64,
+        data: Jv,
+        t: LogicalTime,
+    ) -> Result<WriteOutcome, StoreError> {
+        self.check_horizon(t)?;
+        self.table(table)?
+            .schema
+            .validate(&data)
+            .map_err(StoreError::BadRow)?;
+        self.check_unique(table, id, &data, t)?;
+        let td = self.table_mut(table)?;
+        let key = RowKey::new(table, id);
+        let chain = td.rows.entry(id).or_default();
+        if let Some(last) = chain.last() {
+            if last.time > t {
+                return Err(StoreError::NonMonotonicWrite {
+                    key,
+                    attempted: t,
+                    latest: last.time,
+                });
+            }
+            if !last.is_tombstone() {
+                return Err(StoreError::BadRow(format!("row {key} already live")));
+            }
+        }
+        let before = chain.last().and_then(|v| v.data.clone());
+        let after = Version::live(t, data);
+        chain.push(after.clone());
+        Ok(WriteOutcome { key, before, after })
+    }
+
+    /// Convenience: allocate an id and insert.
+    pub fn insert_new(
+        &mut self,
+        table: &str,
+        data: Jv,
+        t: LogicalTime,
+    ) -> Result<(u64, WriteOutcome), StoreError> {
+        let id = self.allocate_id(table)?;
+        let outcome = self.insert(table, id, data, t)?;
+        Ok((id, outcome))
+    }
+
+    /// Updates a live row at time `t`.
+    pub fn update(
+        &mut self,
+        table: &str,
+        id: u64,
+        data: Jv,
+        t: LogicalTime,
+    ) -> Result<WriteOutcome, StoreError> {
+        self.check_horizon(t)?;
+        let key = RowKey::new(table, id);
+        if self.table(table)?.schema.app_versioned {
+            return Err(StoreError::AppVersionedImmutable(key));
+        }
+        self.table(table)?
+            .schema
+            .validate(&data)
+            .map_err(StoreError::BadRow)?;
+        self.check_unique(table, id, &data, t)?;
+        let td = self.table_mut(table)?;
+        let chain = td
+            .rows
+            .get_mut(&id)
+            .ok_or(StoreError::NoSuchRow(key.clone()))?;
+        let last = chain.last().ok_or(StoreError::NoSuchRow(key.clone()))?;
+        if last.time > t {
+            return Err(StoreError::NonMonotonicWrite {
+                key,
+                attempted: t,
+                latest: last.time,
+            });
+        }
+        if last.is_tombstone() {
+            return Err(StoreError::NoSuchRow(key));
+        }
+        let before = last.data.clone();
+        let after = Version::live(t, data);
+        chain.push(after.clone());
+        Ok(WriteOutcome { key, before, after })
+    }
+
+    /// Deletes a live row at time `t` (writes a tombstone).
+    pub fn delete(
+        &mut self,
+        table: &str,
+        id: u64,
+        t: LogicalTime,
+    ) -> Result<WriteOutcome, StoreError> {
+        self.check_horizon(t)?;
+        let key = RowKey::new(table, id);
+        if self.table(table)?.schema.app_versioned {
+            return Err(StoreError::AppVersionedImmutable(key));
+        }
+        let td = self.table_mut(table)?;
+        let chain = td
+            .rows
+            .get_mut(&id)
+            .ok_or(StoreError::NoSuchRow(key.clone()))?;
+        let last = chain.last().ok_or(StoreError::NoSuchRow(key.clone()))?;
+        if last.time > t {
+            return Err(StoreError::NonMonotonicWrite {
+                key,
+                attempted: t,
+                latest: last.time,
+            });
+        }
+        if last.is_tombstone() {
+            return Err(StoreError::NoSuchRow(key));
+        }
+        let before = last.data.clone();
+        let after = Version::tombstone(t);
+        chain.push(after.clone());
+        Ok(WriteOutcome { key, before, after })
+    }
+
+    /// Reads a row's value as of time `at`.
+    pub fn get(&self, table: &str, id: u64, at: LogicalTime) -> Result<Option<&Jv>, StoreError> {
+        let td = self.table(table)?;
+        Ok(td
+            .rows
+            .get(&id)
+            .and_then(|chain| version_at(chain, at))
+            .and_then(|v| v.data.as_ref()))
+    }
+
+    /// The version of a row visible as of `at` (including tombstones),
+    /// with its timestamp — used by the logger to record which version a
+    /// read observed.
+    pub fn get_version(
+        &self,
+        table: &str,
+        id: u64,
+        at: LogicalTime,
+    ) -> Result<Option<&Version>, StoreError> {
+        let td = self.table(table)?;
+        Ok(td.rows.get(&id).and_then(|chain| version_at(chain, at)))
+    }
+
+    /// Reads a row's value as of *strictly before* `t`.
+    ///
+    /// Re-execution reads with this method: every version at exactly `t`
+    /// was written by the re-executing action's own original run, and
+    /// the replay must observe the state the handler saw when it started.
+    pub fn get_before(
+        &self,
+        table: &str,
+        id: u64,
+        t: LogicalTime,
+    ) -> Result<Option<&Jv>, StoreError> {
+        let td = self.table(table)?;
+        Ok(td
+            .rows
+            .get(&id)
+            .and_then(|chain| version_before(chain, t))
+            .and_then(|v| v.data.as_ref()))
+    }
+
+    /// The version visible strictly before `t`, with its timestamp.
+    pub fn get_version_before(
+        &self,
+        table: &str,
+        id: u64,
+        t: LogicalTime,
+    ) -> Result<Option<&Version>, StoreError> {
+        let td = self.table(table)?;
+        Ok(td.rows.get(&id).and_then(|chain| version_before(chain, t)))
+    }
+
+    /// Scans a table as of strictly before `t` (see [`Self::get_before`]).
+    pub fn scan_before(
+        &self,
+        table: &str,
+        filter: &Filter,
+        t: LogicalTime,
+    ) -> Result<Vec<(u64, &Jv)>, StoreError> {
+        let td = self.table(table)?;
+        let mut out = Vec::new();
+        for (&id, chain) in &td.rows {
+            if let Some(v) = version_before(chain, t) {
+                if let Some(data) = v.data.as_ref() {
+                    if filter.matches(data) {
+                        out.push((id, data));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The version written at *exactly* time `t`, if any. Local repair
+    /// uses this to decide whether a replayed write is already present
+    /// (identical re-execution) and can be kept without re-tainting.
+    pub fn version_exactly_at(
+        &self,
+        table: &str,
+        id: u64,
+        t: LogicalTime,
+    ) -> Result<Option<&Version>, StoreError> {
+        let td = self.table(table)?;
+        Ok(td
+            .rows
+            .get(&id)
+            .and_then(|chain| chain.iter().rev().find(|v| v.time == t)))
+    }
+
+    /// Scans a table as of time `at`, returning `(id, row)` for rows live
+    /// at `at` that match `filter`, sorted by id.
+    pub fn scan(
+        &self,
+        table: &str,
+        filter: &Filter,
+        at: LogicalTime,
+    ) -> Result<Vec<(u64, &Jv)>, StoreError> {
+        let td = self.table(table)?;
+        let mut out = Vec::new();
+        for (&id, chain) in &td.rows {
+            if let Some(v) = version_at(chain, at) {
+                if let Some(data) = v.data.as_ref() {
+                    if filter.matches(data) {
+                        out.push((id, data));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rolls a row back to *before* time `t`: every version with
+    /// `time >= t` is removed from the chain and archived. Returns the
+    /// removed versions (oldest first). No-op for app-versioned tables
+    /// (§6) and for rows without post-`t` versions.
+    pub fn rollback(
+        &mut self,
+        table: &str,
+        id: u64,
+        t: LogicalTime,
+    ) -> Result<Vec<Version>, StoreError> {
+        if t < self.gc_horizon {
+            return Err(StoreError::HistoryCollected(t));
+        }
+        let app_versioned = self.table(table)?.schema.app_versioned;
+        if app_versioned {
+            return Ok(Vec::new());
+        }
+        let td = self.table_mut(table)?;
+        let Some(chain) = td.rows.get_mut(&id) else {
+            return Ok(Vec::new());
+        };
+        let split = chain.partition_point(|v| v.time < t);
+        let removed: Vec<Version> = chain.drain(split..).collect();
+        if !removed.is_empty() {
+            td.archived
+                .entry(id)
+                .or_default()
+                .extend(removed.iter().cloned());
+        }
+        if chain.is_empty() {
+            td.rows.remove(&id);
+        }
+        Ok(removed)
+    }
+
+    /// The live version chain of a row (time-sorted).
+    pub fn versions(&self, table: &str, id: u64) -> Result<&[Version], StoreError> {
+        let td = self.table(table)?;
+        Ok(td.rows.get(&id).map(|c| c.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Versions removed by rollback, kept for audit.
+    pub fn archived_versions(&self, table: &str, id: u64) -> Result<&[Version], StoreError> {
+        let td = self.table(table)?;
+        Ok(td.archived.get(&id).map(|c| c.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Garbage-collects history strictly older than `horizon` (§9): for
+    /// each chain the latest version *strictly before* `horizon` is kept
+    /// as the base (versions at or after the horizon are still
+    /// repairable, so their predecessor must survive as the rollback
+    /// target), earlier versions are dropped, and archived audit versions
+    /// older than `horizon` are dropped. After collection, operations
+    /// that need pre-horizon history fail with
+    /// [`StoreError::HistoryCollected`].
+    pub fn gc(&mut self, horizon: LogicalTime) {
+        for td in self.tables.values_mut() {
+            let mut dead_rows = Vec::new();
+            for (&id, chain) in td.rows.iter_mut() {
+                let split = chain.partition_point(|v| v.time < horizon);
+                if split > 1 {
+                    chain.drain(..split - 1);
+                }
+                // A chain whose only remaining pre-horizon version is a
+                // tombstone will never be visible again.
+                if chain.len() == 1 && chain[0].is_tombstone() && chain[0].time < horizon {
+                    dead_rows.push(id);
+                }
+            }
+            for id in dead_rows {
+                td.rows.remove(&id);
+            }
+            for chain in td.archived.values_mut() {
+                chain.retain(|v| v.time >= horizon);
+            }
+            td.archived.retain(|_, c| !c.is_empty());
+        }
+        if horizon > self.gc_horizon {
+            self.gc_horizon = horizon;
+        }
+    }
+
+    /// The current GC horizon.
+    pub fn gc_horizon(&self) -> LogicalTime {
+        self.gc_horizon
+    }
+
+    /// Aggregate size statistics.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats::default();
+        for td in self.tables.values() {
+            for chain in td.rows.values() {
+                s.versions += chain.len();
+                s.bytes += chain.iter().map(|v| v.byte_size()).sum::<usize>();
+            }
+            for chain in td.archived.values() {
+                s.archived_versions += chain.len();
+            }
+        }
+        s
+    }
+
+    /// A deterministic digest of all rows live at `at` — the "state of
+    /// the service" used by convergence tests to compare a repaired world
+    /// with a world where the attack never happened.
+    pub fn state_digest(&self, at: LogicalTime) -> String {
+        let mut out = String::new();
+        for (name, td) in &self.tables {
+            for (&id, chain) in &td.rows {
+                if let Some(v) = version_at(chain, at) {
+                    if let Some(data) = v.data.as_ref() {
+                        out.push_str(name);
+                        out.push('#');
+                        out.push_str(&id.to_string());
+                        out.push('=');
+                        out.push_str(&data.encode());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Lossless snapshot of every version chain, archive, allocator, and
+    /// the GC horizon. Schemas are *not* serialized: they are code, and
+    /// [`VersionedStore::restore`] takes them from the application.
+    pub fn snapshot(&self) -> Jv {
+        let version_jv = |v: &Version| {
+            let mut m = Jv::map();
+            m.set("t", Jv::s(v.time.wire()));
+            m.set("d", v.data.clone().unwrap_or(Jv::Null));
+            // Distinguish a tombstone from a live Null payload.
+            m.set("live", Jv::Bool(v.data.is_some()));
+            m
+        };
+        let chain_list = |rows: &BTreeMap<u64, Vec<Version>>| {
+            Jv::list(rows.iter().map(|(&id, chain)| {
+                let mut m = Jv::map();
+                m.set("id", Jv::i(id as i64));
+                m.set("versions", Jv::list(chain.iter().map(version_jv)));
+                m
+            }))
+        };
+        let mut tables = Jv::map();
+        for (name, td) in &self.tables {
+            let mut t = Jv::map();
+            t.set("next_id", Jv::i(td.next_id as i64));
+            t.set("rows", chain_list(&td.rows));
+            t.set("archived", chain_list(&td.archived));
+            tables.set(name.clone(), t);
+        }
+        let mut out = Jv::map();
+        out.set("tables", tables);
+        out.set("gc_horizon", Jv::s(self.gc_horizon.wire()));
+        out
+    }
+
+    /// Rebuilds a store from `schemas` (the application's, exactly as at
+    /// [`VersionedStore::create_table`] time) plus a [`VersionedStore::snapshot`].
+    pub fn restore(schemas: Vec<Schema>, snap: &Jv) -> Result<VersionedStore, String> {
+        let mut store = VersionedStore::new();
+        for schema in schemas {
+            store
+                .create_table(schema)
+                .map_err(|e| format!("restore: {e}"))?;
+        }
+        store.gc_horizon = LogicalTime::parse_wire(snap.str_of("gc_horizon"))
+            .ok_or("restore: bad gc_horizon")?;
+        let parse_version = |v: &Jv| -> Result<Version, String> {
+            let time =
+                LogicalTime::parse_wire(v.str_of("t")).ok_or("restore: bad version time")?;
+            let live = v.get("live").as_bool().unwrap_or(false);
+            Ok(Version {
+                time,
+                data: live.then(|| v.get("d").clone()),
+            })
+        };
+        let parse_chains =
+            |v: &Jv| -> Result<BTreeMap<u64, Vec<Version>>, String> {
+                let mut out = BTreeMap::new();
+                for row in v.as_list().unwrap_or(&[]) {
+                    let id = row.get("id").as_int().ok_or("restore: bad row id")? as u64;
+                    let mut chain = Vec::new();
+                    for version in row.get("versions").as_list().unwrap_or(&[]) {
+                        chain.push(parse_version(version)?);
+                    }
+                    out.insert(id, chain);
+                }
+                Ok(out)
+            };
+        let tables = snap
+            .get("tables")
+            .as_map()
+            .ok_or("restore: tables must be a map")?
+            .clone();
+        for (name, tjv) in tables {
+            let td = store
+                .tables
+                .get_mut(&name)
+                .ok_or_else(|| format!("restore: snapshot table {name} not in app schemas"))?;
+            td.next_id = tjv.get("next_id").as_int().ok_or("restore: bad next_id")? as u64;
+            td.rows = parse_chains(tjv.get("rows"))?;
+            td.archived = parse_chains(tjv.get("archived"))?;
+        }
+        Ok(store)
+    }
+
+    fn table(&self, name: &str) -> Result<&TableData, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut TableData, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    fn check_horizon(&self, t: LogicalTime) -> Result<(), StoreError> {
+        if t < self.gc_horizon {
+            Err(StoreError::HistoryCollected(t))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_unique(
+        &self,
+        table: &str,
+        self_id: u64,
+        data: &Jv,
+        t: LogicalTime,
+    ) -> Result<(), StoreError> {
+        let td = self.table(table)?;
+        if td.schema.unique.is_empty() {
+            return Ok(());
+        }
+        let mine = td.schema.unique_tuples(data);
+        for (&id, chain) in &td.rows {
+            if id == self_id {
+                continue;
+            }
+            if let Some(v) = version_at(chain, t) {
+                if let Some(other) = v.data.as_ref() {
+                    let theirs = td.schema.unique_tuples(other);
+                    for ((ci, m), (_, o)) in mine.iter().zip(theirs.iter()) {
+                        if m == o {
+                            return Err(StoreError::UniqueViolation {
+                                key: RowKey::new(table, self_id),
+                                constraint: *ci,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Latest version with `time <= at`, if any.
+fn version_at(chain: &[Version], at: LogicalTime) -> Option<&Version> {
+    let idx = chain.partition_point(|v| v.time <= at);
+    if idx == 0 {
+        None
+    } else {
+        Some(&chain[idx - 1])
+    }
+}
+
+/// Latest version with `time < t`, if any.
+fn version_before(chain: &[Version], t: LogicalTime) -> Option<&Version> {
+    let idx = chain.partition_point(|v| v.time < t);
+    if idx == 0 {
+        None
+    } else {
+        Some(&chain[idx - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::jv;
+
+    use super::*;
+    use crate::schema::{FieldDef, FieldKind};
+
+    fn t(n: u64) -> LogicalTime {
+        LogicalTime::tick(n)
+    }
+
+    fn store_with_users() -> VersionedStore {
+        let mut s = VersionedStore::new();
+        s.create_table(
+            Schema::new(
+                "users",
+                vec![
+                    FieldDef::new("name", FieldKind::Str),
+                    FieldDef::new("score", FieldKind::Int),
+                ],
+            )
+            .with_unique("name"),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_get_update_delete_lifecycle() {
+        let mut s = store_with_users();
+        let (id, out) = s
+            .insert_new("users", jv!({"name": "alice", "score": 1}), t(1))
+            .unwrap();
+        assert_eq!(out.before, None);
+        assert_eq!(
+            s.get("users", id, t(1)).unwrap().unwrap().str_of("name"),
+            "alice"
+        );
+
+        let out = s
+            .update("users", id, jv!({"name": "alice", "score": 2}), t(2))
+            .unwrap();
+        assert_eq!(out.before.unwrap().int_of("score"), 1);
+        assert_eq!(
+            s.get("users", id, t(2)).unwrap().unwrap().int_of("score"),
+            2
+        );
+        // Historical read still sees the old version.
+        assert_eq!(
+            s.get("users", id, t(1)).unwrap().unwrap().int_of("score"),
+            1
+        );
+
+        s.delete("users", id, t(3)).unwrap();
+        assert!(s.get("users", id, t(3)).unwrap().is_none());
+        assert!(s.get("users", id, t(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn reads_before_creation_see_nothing() {
+        let mut s = store_with_users();
+        let (id, _) = s.insert_new("users", jv!({"name": "a"}), t(5)).unwrap();
+        assert!(s.get("users", id, t(4)).unwrap().is_none());
+    }
+
+    #[test]
+    fn unique_constraint_is_time_aware() {
+        let mut s = store_with_users();
+        let (id, _) = s.insert_new("users", jv!({"name": "alice"}), t(1)).unwrap();
+        // Same name while alice is live: rejected.
+        let err = s
+            .insert_new("users", jv!({"name": "alice"}), t(2))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::UniqueViolation { .. }));
+        // After alice is deleted, the name is free again.
+        s.delete("users", id, t(3)).unwrap();
+        assert!(s.insert_new("users", jv!({"name": "alice"}), t(4)).is_ok());
+    }
+
+    #[test]
+    fn non_monotonic_writes_are_rejected() {
+        let mut s = store_with_users();
+        let (id, _) = s.insert_new("users", jv!({"name": "a"}), t(5)).unwrap();
+        let err = s
+            .update("users", id, jv!({"name": "a", "score": 9}), t(4))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NonMonotonicWrite { .. }));
+    }
+
+    #[test]
+    fn rollback_removes_and_archives() {
+        let mut s = store_with_users();
+        let (id, _) = s
+            .insert_new("users", jv!({"name": "a", "score": 1}), t(1))
+            .unwrap();
+        s.update("users", id, jv!({"name": "a", "score": 2}), t(2))
+            .unwrap();
+        s.update("users", id, jv!({"name": "a", "score": 3}), t(3))
+            .unwrap();
+
+        let removed = s.rollback("users", id, t(2)).unwrap();
+        assert_eq!(removed.len(), 2);
+        // Now only the t(1) version remains; current value is score 1.
+        assert_eq!(
+            s.get("users", id, t(9)).unwrap().unwrap().int_of("score"),
+            1
+        );
+        assert_eq!(s.archived_versions("users", id).unwrap().len(), 2);
+        // Replay can now write at t(2) again.
+        s.update("users", id, jv!({"name": "a", "score": 20}), t(2))
+            .unwrap();
+        assert_eq!(
+            s.get("users", id, t(9)).unwrap().unwrap().int_of("score"),
+            20
+        );
+    }
+
+    #[test]
+    fn rollback_to_before_creation_erases_row() {
+        let mut s = store_with_users();
+        let (id, _) = s.insert_new("users", jv!({"name": "evil"}), t(4)).unwrap();
+        let removed = s.rollback("users", id, t(4)).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(s.get("users", id, t(9)).unwrap().is_none());
+        assert!(s.versions("users", id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_filters_and_sorts() {
+        let mut s = store_with_users();
+        s.insert_new("users", jv!({"name": "c", "score": 5}), t(1))
+            .unwrap();
+        s.insert_new("users", jv!({"name": "a", "score": 9}), t(2))
+            .unwrap();
+        s.insert_new("users", jv!({"name": "b", "score": 5}), t(3))
+            .unwrap();
+        let hits = s
+            .scan("users", &Filter::all().eq("score", 5), t(9))
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].0 < hits[1].0, "scan results sorted by id");
+        // Scan as of t(1) sees only the first row.
+        assert_eq!(s.scan("users", &Filter::all(), t(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn app_versioned_tables_are_immutable_and_not_rolled_back() {
+        let mut s = VersionedStore::new();
+        s.create_table(
+            Schema::new(
+                "cell_versions",
+                vec![FieldDef::new("value", FieldKind::Any)],
+            )
+            .app_versioned(),
+        )
+        .unwrap();
+        let (id, _) = s
+            .insert_new("cell_versions", jv!({"value": "v1"}), t(1))
+            .unwrap();
+        assert!(matches!(
+            s.update("cell_versions", id, jv!({"value": "v2"}), t(2)),
+            Err(StoreError::AppVersionedImmutable(_))
+        ));
+        assert!(matches!(
+            s.delete("cell_versions", id, t(2)),
+            Err(StoreError::AppVersionedImmutable(_))
+        ));
+        // Rollback is a no-op: the version survives.
+        let removed = s.rollback("cell_versions", id, t(1)).unwrap();
+        assert!(removed.is_empty());
+        assert!(s.get("cell_versions", id, t(9)).unwrap().is_some());
+    }
+
+    #[test]
+    fn gc_drops_old_history_and_blocks_older_ops() {
+        let mut s = store_with_users();
+        let (id, _) = s
+            .insert_new("users", jv!({"name": "a", "score": 1}), t(1))
+            .unwrap();
+        s.update("users", id, jv!({"name": "a", "score": 2}), t(2))
+            .unwrap();
+        s.update("users", id, jv!({"name": "a", "score": 3}), t(5))
+            .unwrap();
+
+        s.gc(t(3));
+        // Value as of now unchanged; pre-horizon detail collapsed.
+        assert_eq!(
+            s.get("users", id, t(9)).unwrap().unwrap().int_of("score"),
+            3
+        );
+        assert_eq!(s.versions("users", id).unwrap().len(), 2);
+        // Rollback into collected history fails.
+        assert!(matches!(
+            s.rollback("users", id, t(1)),
+            Err(StoreError::HistoryCollected(_))
+        ));
+        // Writes before the horizon fail.
+        assert!(matches!(
+            s.update("users", id, jv!({"name": "a"}), t(2)),
+            Err(StoreError::HistoryCollected(_))
+        ));
+    }
+
+    #[test]
+    fn gc_reaps_dead_tombstone_rows() {
+        let mut s = store_with_users();
+        let (id, _) = s.insert_new("users", jv!({"name": "a"}), t(1)).unwrap();
+        s.delete("users", id, t(2)).unwrap();
+        s.gc(t(3));
+        assert!(s.versions("users", id).unwrap().is_empty());
+        assert_eq!(s.stats().versions, 0);
+    }
+
+    #[test]
+    fn allocate_and_observe_ids() {
+        let mut s = store_with_users();
+        let a = s.allocate_id("users").unwrap();
+        let b = s.allocate_id("users").unwrap();
+        assert!(b > a);
+        s.observe_id("users", 100).unwrap();
+        assert_eq!(s.allocate_id("users").unwrap(), 101);
+        // Observing a smaller id does not move the counter backwards.
+        s.observe_id("users", 5).unwrap();
+        assert_eq!(s.allocate_id("users").unwrap(), 102);
+    }
+
+    #[test]
+    fn state_digest_is_order_insensitive_to_insertion() {
+        let mut a = store_with_users();
+        let mut b = store_with_users();
+        a.insert("users", 1, jv!({"name": "x"}), t(1)).unwrap();
+        a.insert("users", 2, jv!({"name": "y"}), t(2)).unwrap();
+        b.insert("users", 2, jv!({"name": "y"}), t(2)).unwrap();
+        // b gets row 1 later but with the same content/time.
+        b.insert("users", 1, jv!({"name": "x"}), t(1)).unwrap();
+        assert_eq!(a.state_digest(t(9)), b.state_digest(t(9)));
+    }
+
+    #[test]
+    fn stats_count_versions_and_bytes() {
+        let mut s = store_with_users();
+        let (id, _) = s.insert_new("users", jv!({"name": "a"}), t(1)).unwrap();
+        s.update("users", id, jv!({"name": "a", "score": 2}), t(2))
+            .unwrap();
+        let st = s.stats();
+        assert_eq!(st.versions, 2);
+        assert!(st.bytes > 0);
+        s.rollback("users", id, t(2)).unwrap();
+        assert_eq!(s.stats().archived_versions, 1);
+    }
+
+    #[test]
+    fn errors_for_missing_tables_and_rows() {
+        let mut s = store_with_users();
+        assert!(matches!(
+            s.get("nope", 1, t(1)),
+            Err(StoreError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            s.update("users", 99, jv!({}), t(1)),
+            Err(StoreError::NoSuchRow(_))
+        ));
+        assert!(matches!(
+            s.delete("users", 99, t(1)),
+            Err(StoreError::NoSuchRow(_))
+        ));
+        assert!(matches!(
+            s.create_table(Schema::new("users", vec![])),
+            Err(StoreError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn insert_over_live_row_is_rejected() {
+        let mut s = store_with_users();
+        s.insert("users", 7, jv!({"name": "a"}), t(1)).unwrap();
+        assert!(s.insert("users", 7, jv!({"name": "b"}), t(2)).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Row identity and version records.
+
+use std::fmt;
+
+use aire_types::{Jv, LogicalTime};
+
+/// Identifies a row: table name plus a table-local numeric id.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowKey {
+    /// Owning table.
+    pub table: String,
+    /// Table-local row id (opaque; allocation is recorded non-determinism).
+    pub id: u64,
+}
+
+impl RowKey {
+    /// Creates a row key.
+    pub fn new(table: impl Into<String>, id: u64) -> RowKey {
+        RowKey {
+            table: table.into(),
+            id,
+        }
+    }
+}
+
+impl fmt::Display for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.table, self.id)
+    }
+}
+
+impl fmt::Debug for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.table, self.id)
+    }
+}
+
+/// One version of a row.
+///
+/// `data == None` is a tombstone: the row was deleted at `time`. A row's
+/// chain is a time-sorted `Vec<Version>`; the row's value *as of* time `t`
+/// is the data of the latest version with `time <= t`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Version {
+    /// When this version was written on the service's logical timeline.
+    pub time: LogicalTime,
+    /// The row document, or `None` for a deletion tombstone.
+    pub data: Option<Jv>,
+}
+
+impl Version {
+    /// Creates a live version.
+    pub fn live(time: LogicalTime, data: Jv) -> Version {
+        Version {
+            time,
+            data: Some(data),
+        }
+    }
+
+    /// Creates a tombstone.
+    pub fn tombstone(time: LogicalTime) -> Version {
+        Version { time, data: None }
+    }
+
+    /// True if this version is a deletion tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// Approximate storage footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        16 + self.data.as_ref().map(|d| d.encoded_len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::jv;
+
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RowKey::new("questions", 7).to_string(), "questions#7");
+    }
+
+    #[test]
+    fn tombstone_classification() {
+        let t = LogicalTime::tick(1);
+        assert!(Version::tombstone(t).is_tombstone());
+        assert!(!Version::live(t, jv!({"a": 1})).is_tombstone());
+    }
+
+    #[test]
+    fn byte_size_tracks_payload() {
+        let t = LogicalTime::tick(1);
+        let small = Version::live(t, jv!({"a": 1}));
+        let big = Version::live(t, jv!({"a": "x".repeat(100)}));
+        assert!(big.byte_size() > small.byte_size() + 90);
+        assert_eq!(Version::tombstone(t).byte_size(), 16);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests on the versioned store's core invariants.
+//!
+//! The repair engine's correctness rests on a handful of store laws:
+//! reads-as-of-time see exactly the latest version at or before the read
+//! time; rollback-to-`t` erases precisely the suffix of each chain at
+//! `>= t` (archiving it for audit); writes are monotone per chain; GC
+//! never changes state visible at or after the horizon; and
+//! snapshot/restore is the identity on everything observable.
+
+use aire_types::{jv, Jv, LogicalTime};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema, VersionedStore};
+use proptest::prelude::*;
+
+fn t(n: u64) -> LogicalTime {
+    LogicalTime::tick(n)
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        "kv",
+        vec![
+            FieldDef::new("k", FieldKind::Str),
+            FieldDef::new("v", FieldKind::Int),
+        ],
+    )
+}
+
+fn fresh() -> VersionedStore {
+    let mut s = VersionedStore::new();
+    s.create_table(schema()).unwrap();
+    s
+}
+
+/// One random operation against a single-table store.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { v: i64 },
+    Update { slot: u8, v: i64 },
+    Delete { slot: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..100).prop_map(|v| Op::Insert { v }),
+        (any::<u8>(), 0i64..100).prop_map(|(slot, v)| Op::Update { slot, v }),
+        any::<u8>().prop_map(|slot| Op::Delete { slot }),
+    ]
+}
+
+/// Applies ops at ticks 1..; returns the store and the ids inserted.
+fn apply(ops: &[Op]) -> (VersionedStore, Vec<u64>) {
+    let mut store = fresh();
+    let mut ids: Vec<u64> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let now = t(i as u64 + 1);
+        match op {
+            Op::Insert { v } => {
+                let (id, _) = store
+                    .insert_new("kv", jv!({"k": format!("k{i}"), "v": *v}), now)
+                    .unwrap();
+                ids.push(id);
+            }
+            Op::Update { slot, v } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[*slot as usize % ids.len()];
+                // The row may be deleted; re-inserting via update is an
+                // error, so only update live rows.
+                if store.get("kv", id, now).unwrap().is_some() {
+                    store
+                        .update("kv", id, jv!({"k": format!("k{i}"), "v": *v}), now)
+                        .unwrap();
+                }
+            }
+            Op::Delete { slot } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[*slot as usize % ids.len()];
+                if store.get("kv", id, now).unwrap().is_some() {
+                    store.delete("kv", id, now).unwrap();
+                }
+            }
+        }
+    }
+    (store, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reading at the final time equals the last write per row.
+    #[test]
+    fn prop_read_sees_latest(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let (store, ids) = apply(&ops);
+        let end = t(ops.len() as u64 + 1);
+        for id in ids {
+            let live = store.get("kv", id, end).unwrap();
+            let chain = store.versions("kv", id).unwrap();
+            let expected = chain.last().and_then(|v| v.data.as_ref());
+            prop_assert_eq!(live, expected);
+        }
+    }
+
+    /// Reads at time `m` are unaffected by operations after `m`
+    /// (time-travel consistency).
+    #[test]
+    fn prop_past_reads_are_stable(ops in prop::collection::vec(op_strategy(), 2..40), cut in 1usize..39) {
+        prop_assume!(cut < ops.len());
+        let (full, ids) = apply(&ops);
+        let (prefix_store, _) = apply(&ops[..cut]);
+        // ops[cut-1] ran at t(cut); ops[cut] (absent from the prefix) runs
+        // at t(cut+1), so t(cut) is the last commonly-visible instant.
+        let mid = t(cut as u64);
+        for id in ids {
+            let in_full = full.get("kv", id, mid).ok().flatten().cloned();
+            let in_prefix = prefix_store.get("kv", id, mid).ok().flatten().cloned();
+            prop_assert_eq!(in_full, in_prefix, "row {} diverges at {}", id, mid);
+        }
+    }
+
+    /// Rollback to time `m` makes current state equal reads-as-of
+    /// just-before `m`, and archives (never destroys) the suffix.
+    #[test]
+    fn prop_rollback_equals_time_travel(ops in prop::collection::vec(op_strategy(), 2..40), cut in 1usize..39) {
+        prop_assume!(cut < ops.len());
+        let (mut store, ids) = apply(&ops);
+        let m = t(cut as u64 + 1);
+        let end = t(ops.len() as u64 + 2);
+        for &id in &ids {
+            let before = store.get("kv", id, m).ok().flatten().cloned();
+            let chain_len = store.versions("kv", id).unwrap().len();
+            let removed = store.rollback("kv", id, m.next_tick()).unwrap();
+            let after = store.get("kv", id, end).ok().flatten().cloned();
+            // Wait: rolling back to m.next_tick() erases versions at
+            // >= m.next_tick(), so the live value equals the value at m.
+            prop_assert_eq!(before, after, "row {}", id);
+            let new_len = store.versions("kv", id).unwrap().len();
+            prop_assert_eq!(new_len + removed.len(), chain_len, "versions conserved");
+            let archived = store.archived_versions("kv", id).unwrap();
+            prop_assert!(archived.len() >= removed.len(), "suffix archived");
+        }
+    }
+
+    /// snapshot → restore is the identity on digests, stats, allocators,
+    /// and archived history.
+    #[test]
+    fn prop_snapshot_restore_identity(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let (store, ids) = apply(&ops);
+        let snap = store.snapshot();
+        // Through the textual codec, as a disk write would.
+        let snap = Jv::decode(&snap.encode()).unwrap();
+        let restored = VersionedStore::restore(vec![schema()], &snap).unwrap();
+        prop_assert_eq!(
+            store.state_digest(LogicalTime::MAX),
+            restored.state_digest(LogicalTime::MAX)
+        );
+        prop_assert_eq!(store.stats(), restored.stats());
+        prop_assert_eq!(store.peek_next_id("kv").unwrap(), restored.peek_next_id("kv").unwrap());
+        for id in ids {
+            prop_assert_eq!(
+                store.versions("kv", id).unwrap(),
+                restored.versions("kv", id).unwrap()
+            );
+            prop_assert_eq!(
+                store.archived_versions("kv", id).unwrap(),
+                restored.archived_versions("kv", id).unwrap()
+            );
+        }
+    }
+
+    /// GC at horizon `h` preserves every read at or after `h`.
+    #[test]
+    fn prop_gc_preserves_visible_state(ops in prop::collection::vec(op_strategy(), 1..40), h in 1u64..40) {
+        let (mut store, ids) = apply(&ops);
+        let horizon = t(h);
+        let end = t(ops.len() as u64 + 2);
+        let before: Vec<_> = ids
+            .iter()
+            .map(|&id| store.get("kv", id, end).ok().flatten().cloned())
+            .collect();
+        let digest_before = store.state_digest(LogicalTime::MAX);
+        store.gc(horizon);
+        let after: Vec<_> = ids
+            .iter()
+            .map(|&id| store.get("kv", id, end).ok().flatten().cloned())
+            .collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(digest_before, store.state_digest(LogicalTime::MAX));
+    }
+
+    /// Filters survive their own serialization.
+    #[test]
+    fn prop_filter_round_trip(field in "[a-z]{1,8}", val in 0i64..1000, needle in "[a-z]{0,6}") {
+        let filters = [
+            Filter::all(),
+            Filter::all().eq(&field, val),
+            Filter::all().ne(&field, "x").gt("n", val).lt("n", val + 10),
+            Filter::all().contains(&field, &needle),
+        ];
+        for f in filters {
+            let jv = Jv::decode(&f.to_jv().encode()).unwrap();
+            let back = Filter::from_jv(&jv).unwrap();
+            prop_assert_eq!(&back, &f);
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_missing_table() {
+    let (store, _) = apply(&[Op::Insert { v: 1 }]);
+    let snap = store.snapshot();
+    let err = VersionedStore::restore(Vec::new(), &snap).unwrap_err();
+    assert!(err.contains("not in app schemas"), "{err}");
+}

@@ -1,0 +1,434 @@
+//! The handler ABI: everything a request handler can do.
+//!
+//! A handler receives a [`Ctx`] and produces an `HttpResponse`. Every
+//! effect flows through the [`Runtime`] trait behind the context, which
+//! the controller implements twice:
+//!
+//! * **recording** (normal operation): reads/writes hit the versioned
+//!   store at the current time and are logged; outgoing calls go over the
+//!   network and are logged; `now`/`rand`/row-id draws are recorded;
+//! * **replaying** (local repair): reads see the store *as of* the
+//!   action's original time; writes are diffed against the original
+//!   execution; unchanged outgoing calls are answered from the log;
+//!   changed ones queue repair messages and return the tentative timeout
+//!   response of §3.2; `now`/`rand`/row-ids replay from the log.
+//!
+//! Handlers cannot tell the two apart — that indistinguishability is what
+//! makes selective re-execution correct.
+
+use std::collections::BTreeMap;
+
+use aire_http::{HttpRequest, HttpResponse, Status};
+use aire_types::Jv;
+use aire_vdb::{Filter, StoreError};
+
+/// Application-level failure inside a handler.
+///
+/// `Db` errors from constraint violations are expected application
+/// behaviour (e.g. a duplicate signup) and map to 4xx/5xx responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WebError {
+    /// Database failure.
+    Db(StoreError),
+    /// Malformed request input.
+    BadRequest(String),
+    /// Handler-specific failure with a status.
+    Status(Status, String),
+}
+
+impl From<StoreError> for WebError {
+    fn from(e: StoreError) -> WebError {
+        WebError::Db(e)
+    }
+}
+
+impl std::fmt::Display for WebError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WebError::Db(e) => write!(f, "db error: {e}"),
+            WebError::BadRequest(why) => write!(f, "bad request: {why}"),
+            WebError::Status(s, why) => write!(f, "{s}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WebError {}
+
+impl WebError {
+    /// Renders the error as an HTTP response.
+    pub fn to_response(&self) -> HttpResponse {
+        match self {
+            WebError::Db(StoreError::UniqueViolation { .. }) => {
+                HttpResponse::error(Status::CONFLICT, self.to_string())
+            }
+            WebError::Db(StoreError::NoSuchRow(_)) => {
+                HttpResponse::error(Status::NOT_FOUND, self.to_string())
+            }
+            WebError::Db(_) => HttpResponse::error(Status::INTERNAL, self.to_string()),
+            WebError::BadRequest(_) => HttpResponse::error(Status::BAD_REQUEST, self.to_string()),
+            WebError::Status(s, why) => HttpResponse::error(*s, why.clone()),
+        }
+    }
+}
+
+/// The effect interface behind [`Ctx`]; implemented by the controller's
+/// recording and replaying runtimes.
+pub trait Runtime {
+    /// Point read of a row (current state in normal mode, state as of the
+    /// action's time during replay).
+    fn db_get(&mut self, table: &str, id: u64) -> Result<Option<Jv>, StoreError>;
+    /// Predicate scan.
+    fn db_scan(&mut self, table: &str, filter: &Filter) -> Result<Vec<(u64, Jv)>, StoreError>;
+    /// Insert a new row, returning its id.
+    fn db_insert(&mut self, table: &str, data: Jv) -> Result<u64, StoreError>;
+    /// Update a row.
+    fn db_update(&mut self, table: &str, id: u64, data: Jv) -> Result<(), StoreError>;
+    /// Delete a row.
+    fn db_delete(&mut self, table: &str, id: u64) -> Result<(), StoreError>;
+    /// Make an outgoing HTTP call. Never fails: network problems surface
+    /// as synthetic 5xx responses, which applications must tolerate.
+    fn http_call(&mut self, req: HttpRequest) -> HttpResponse;
+    /// Milliseconds since the epoch (recorded non-determinism).
+    fn now_millis(&mut self) -> i64;
+    /// 64 random bits (recorded non-determinism).
+    fn rand(&mut self) -> u64;
+    /// Emit an external output (e.g. send an email); changes during
+    /// repair trigger the application's compensating action.
+    fn emit_external(&mut self, kind: &str, payload: Jv);
+}
+
+/// The context passed to request handlers.
+pub struct Ctx<'a> {
+    /// The request being handled.
+    pub req: &'a HttpRequest,
+    /// Path parameters bound by the router.
+    pub params: BTreeMap<String, String>,
+    rt: &'a mut dyn Runtime,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context (called by the controller).
+    pub fn new(
+        req: &'a HttpRequest,
+        params: BTreeMap<String, String>,
+        rt: &'a mut dyn Runtime,
+    ) -> Ctx<'a> {
+        Ctx { req, params, rt }
+    }
+
+    //////// Request helpers. ////////
+
+    /// A path parameter parsed as `u64`.
+    pub fn param_u64(&self, name: &str) -> Result<u64, WebError> {
+        self.params
+            .get(name)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| WebError::BadRequest(format!("missing or non-numeric <{name}>")))
+    }
+
+    /// A path parameter as a string.
+    pub fn param(&self, name: &str) -> Result<&str, WebError> {
+        self.params
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| WebError::BadRequest(format!("missing <{name}>")))
+    }
+
+    /// A required string field of the request body.
+    pub fn body_str(&self, field: &str) -> Result<&str, WebError> {
+        match self.req.body.get(field) {
+            Jv::Str(s) => Ok(s),
+            _ => Err(WebError::BadRequest(format!(
+                "missing body field {field:?}"
+            ))),
+        }
+    }
+
+    /// An optional integer field of the request body.
+    pub fn body_int(&self, field: &str) -> Option<i64> {
+        self.req.body.get(field).as_int()
+    }
+
+    /// A cookie from the request.
+    pub fn cookie(&self, name: &str) -> Option<String> {
+        aire_http::cookie::request_cookie(self.req, name)
+    }
+
+    /// A query parameter.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.req.url.q(name)
+    }
+
+    //////// Effects (forwarded to the runtime). ////////
+
+    /// Point read.
+    pub fn get(&mut self, table: &str, id: u64) -> Result<Option<Jv>, WebError> {
+        Ok(self.rt.db_get(table, id)?)
+    }
+
+    /// Point read that fails with 404 semantics when absent.
+    pub fn get_or_404(&mut self, table: &str, id: u64) -> Result<Jv, WebError> {
+        self.get(table, id)?
+            .ok_or(WebError::Db(StoreError::NoSuchRow(aire_vdb::RowKey::new(
+                table, id,
+            ))))
+    }
+
+    /// Predicate scan.
+    pub fn scan(&mut self, table: &str, filter: &Filter) -> Result<Vec<(u64, Jv)>, WebError> {
+        Ok(self.rt.db_scan(table, filter)?)
+    }
+
+    /// First row matching a filter.
+    pub fn find(&mut self, table: &str, filter: &Filter) -> Result<Option<(u64, Jv)>, WebError> {
+        Ok(self.rt.db_scan(table, filter)?.into_iter().next())
+    }
+
+    /// Insert, returning the new row id.
+    pub fn insert(&mut self, table: &str, data: Jv) -> Result<u64, WebError> {
+        Ok(self.rt.db_insert(table, data)?)
+    }
+
+    /// Update.
+    pub fn update(&mut self, table: &str, id: u64, data: Jv) -> Result<(), WebError> {
+        Ok(self.rt.db_update(table, id, data)?)
+    }
+
+    /// Delete.
+    pub fn delete(&mut self, table: &str, id: u64) -> Result<(), WebError> {
+        Ok(self.rt.db_delete(table, id)?)
+    }
+
+    /// Outgoing HTTP call.
+    pub fn call(&mut self, req: HttpRequest) -> HttpResponse {
+        self.rt.http_call(req)
+    }
+
+    /// Current time in milliseconds (recorded).
+    pub fn now_millis(&mut self) -> i64 {
+        self.rt.now_millis()
+    }
+
+    /// 64 random bits (recorded).
+    pub fn rand(&mut self) -> u64 {
+        self.rt.rand()
+    }
+
+    /// A random lowercase token (recorded through [`Ctx::rand`]).
+    pub fn rand_token(&mut self, len: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        (0..len)
+            .map(|_| ALPHABET[(self.rt.rand() % ALPHABET.len() as u64) as usize] as char)
+            .collect()
+    }
+
+    /// Emit an external output.
+    pub fn emit_external(&mut self, kind: &str, payload: Jv) {
+        self.rt.emit_external(kind, payload);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! A plain in-memory runtime for unit-testing handlers without a
+    //! controller: current-time reads, direct writes, scripted HTTP
+    //! responses.
+
+    use std::collections::VecDeque;
+
+    use aire_types::{DetRng, LogicalTime};
+    use aire_vdb::VersionedStore;
+
+    use super::*;
+
+    pub struct TestRuntime {
+        pub store: VersionedStore,
+        pub now: LogicalTime,
+        pub clock_millis: i64,
+        pub rng: DetRng,
+        pub scripted_responses: VecDeque<HttpResponse>,
+        pub calls_made: Vec<HttpRequest>,
+        pub externals: Vec<(String, Jv)>,
+    }
+
+    impl TestRuntime {
+        pub fn new(store: VersionedStore) -> TestRuntime {
+            TestRuntime {
+                store,
+                now: LogicalTime::tick(1),
+                clock_millis: 1_000_000,
+                rng: DetRng::new(7),
+                scripted_responses: VecDeque::new(),
+                calls_made: Vec::new(),
+                externals: Vec::new(),
+            }
+        }
+
+        pub fn tick(&mut self) {
+            self.now = self.now.next_tick();
+        }
+    }
+
+    impl Runtime for TestRuntime {
+        fn db_get(&mut self, table: &str, id: u64) -> Result<Option<Jv>, StoreError> {
+            Ok(self.store.get(table, id, self.now)?.cloned())
+        }
+
+        fn db_scan(&mut self, table: &str, filter: &Filter) -> Result<Vec<(u64, Jv)>, StoreError> {
+            Ok(self
+                .store
+                .scan(table, filter, self.now)?
+                .into_iter()
+                .map(|(id, v)| (id, v.clone()))
+                .collect())
+        }
+
+        fn db_insert(&mut self, table: &str, data: Jv) -> Result<u64, StoreError> {
+            let (id, _) = self.store.insert_new(table, data, self.now)?;
+            Ok(id)
+        }
+
+        fn db_update(&mut self, table: &str, id: u64, data: Jv) -> Result<(), StoreError> {
+            self.store.update(table, id, data, self.now)?;
+            Ok(())
+        }
+
+        fn db_delete(&mut self, table: &str, id: u64) -> Result<(), StoreError> {
+            self.store.delete(table, id, self.now)?;
+            Ok(())
+        }
+
+        fn http_call(&mut self, req: HttpRequest) -> HttpResponse {
+            self.calls_made.push(req);
+            self.scripted_responses
+                .pop_front()
+                .unwrap_or_else(|| HttpResponse::error(Status::UNAVAILABLE, "unscripted"))
+        }
+
+        fn now_millis(&mut self) -> i64 {
+            self.clock_millis += 1;
+            self.clock_millis
+        }
+
+        fn rand(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+
+        fn emit_external(&mut self, kind: &str, payload: Jv) {
+            self.externals.push((kind.to_string(), payload));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_http::{Method, Url};
+    use aire_types::jv;
+    use aire_vdb::{FieldDef, FieldKind, Schema, VersionedStore};
+
+    use super::testing::TestRuntime;
+    use super::*;
+
+    fn store() -> VersionedStore {
+        let mut s = VersionedStore::new();
+        s.create_table(Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn ctx_crud_round_trip() {
+        let mut rt = TestRuntime::new(store());
+        let req = HttpRequest::new(Method::Get, Url::service("s", "/"));
+        let mut ctx = Ctx::new(&req, BTreeMap::new(), &mut rt);
+        let id = ctx.insert("notes", jv!({"text": "hello"})).unwrap();
+        assert_eq!(ctx.get_or_404("notes", id).unwrap().str_of("text"), "hello");
+        ctx.update("notes", id, jv!({"text": "bye"})).unwrap();
+        assert_eq!(
+            ctx.find("notes", &Filter::all().eq("text", "bye"))
+                .unwrap()
+                .unwrap()
+                .0,
+            id
+        );
+        ctx.delete("notes", id).unwrap();
+        assert!(ctx.get("notes", id).unwrap().is_none());
+        assert!(matches!(
+            ctx.get_or_404("notes", id),
+            Err(WebError::Db(StoreError::NoSuchRow(_)))
+        ));
+    }
+
+    #[test]
+    fn body_and_param_helpers() {
+        let mut rt = TestRuntime::new(store());
+        let req = HttpRequest::post(
+            Url::parse("https://s/x?page=3").unwrap(),
+            jv!({"title": "hi", "n": 5}),
+        );
+        let mut params = BTreeMap::new();
+        params.insert("id".to_string(), "42".to_string());
+        params.insert("slug".to_string(), "abc".to_string());
+        let ctx = Ctx::new(&req, params, &mut rt);
+        assert_eq!(ctx.param_u64("id").unwrap(), 42);
+        assert_eq!(ctx.param("slug").unwrap(), "abc");
+        assert!(ctx.param_u64("slug").is_err());
+        assert!(ctx.param("missing").is_err());
+        assert_eq!(ctx.body_str("title").unwrap(), "hi");
+        assert!(ctx.body_str("n").is_err());
+        assert_eq!(ctx.body_int("n"), Some(5));
+        assert_eq!(ctx.query("page"), Some("3"));
+    }
+
+    #[test]
+    fn rand_token_is_deterministic_given_runtime() {
+        let mut rt1 = TestRuntime::new(store());
+        let req = HttpRequest::new(Method::Get, Url::service("s", "/"));
+        let mut ctx = Ctx::new(&req, BTreeMap::new(), &mut rt1);
+        let a = ctx.rand_token(8);
+        let mut rt2 = TestRuntime::new(store());
+        let mut ctx2 = Ctx::new(&req, BTreeMap::new(), &mut rt2);
+        let b = ctx2.rand_token(8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn scripted_http_calls() {
+        let mut rt = TestRuntime::new(store());
+        rt.scripted_responses
+            .push_back(HttpResponse::ok(jv!({"verified": true})));
+        let req = HttpRequest::new(Method::Get, Url::service("s", "/"));
+        let mut ctx = Ctx::new(&req, BTreeMap::new(), &mut rt);
+        let resp = ctx.call(HttpRequest::new(Method::Get, Url::service("oauth", "/v")));
+        assert_eq!(resp.body.get("verified").as_bool(), Some(true));
+        // Unscripted calls fail gracefully rather than panicking.
+        let resp = ctx.call(HttpRequest::new(Method::Get, Url::service("oauth", "/v")));
+        assert_eq!(resp.status, Status::UNAVAILABLE);
+        assert_eq!(rt.calls_made.len(), 2);
+    }
+
+    #[test]
+    fn web_error_responses() {
+        let conflict = WebError::Db(StoreError::UniqueViolation {
+            key: aire_vdb::RowKey::new("users", 1),
+            constraint: 0,
+        });
+        assert_eq!(conflict.to_response().status, Status::CONFLICT);
+        let notfound = WebError::Db(StoreError::NoSuchRow(aire_vdb::RowKey::new("u", 1)));
+        assert_eq!(notfound.to_response().status, Status::NOT_FOUND);
+        assert_eq!(
+            WebError::BadRequest("x".into()).to_response().status,
+            Status::BAD_REQUEST
+        );
+        assert_eq!(
+            WebError::Status(Status::FORBIDDEN, "no".into())
+                .to_response()
+                .status,
+            Status::FORBIDDEN
+        );
+    }
+}

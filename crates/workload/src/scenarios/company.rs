@@ -1,0 +1,488 @@
+//! The §1 motivating scenario: a centralized access-control service, a
+//! Workday-like employee-management service (HRM), and a Salesforce-like
+//! customer-management service (CRM).
+//!
+//! Cast, following the paper's introduction:
+//!
+//! * the access-control service carries a legacy bulk-import endpoint
+//!   that skips the administrator check — "a bug in the access control
+//!   service";
+//! * the attacker exploits it to "give herself write access to the
+//!   employee management service" (the grant is pushed to HRM);
+//! * she uses "these new-found privileges to make unauthorized changes to
+//!   employee data" (slashing a salary, rewriting a title), which HRM's
+//!   synchronization mirrors into the CRM's rep directory — "and corrupt
+//!   other services";
+//! * legitimate users keep working before, during, and after the attack.
+//!
+//! Recovery starts with the administrator deleting the attacker's
+//! bulk-import request on the access-control service; repair then
+//! propagates accessctl → hrm → crm, three administrative domains deep.
+
+use std::rc::Rc;
+
+use aire_apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire_apps::{AccessCtl, Crm, Hrm};
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::world::SettleReport;
+use aire_core::World;
+use aire_http::{Headers, HttpRequest, HttpResponse, Method, Status, Url};
+use aire_types::{jv, Jv, RequestId};
+
+use crate::scenarios::ServiceRepairMetrics;
+
+/// Workload knobs.
+#[derive(Debug, Clone)]
+pub struct CompanyWorkload {
+    /// Employees provisioned before the attack.
+    pub employees: usize,
+    /// Customer accounts created by legitimate users.
+    pub customers: usize,
+    /// Legitimate salary reviews performed after the attack.
+    pub salary_reviews: usize,
+}
+
+impl Default for CompanyWorkload {
+    fn default() -> CompanyWorkload {
+        CompanyWorkload {
+            employees: 10,
+            customers: 10,
+            salary_reviews: 5,
+        }
+    }
+}
+
+/// A fully set-up attacked world, ready for repair.
+pub struct CompanyScenario {
+    /// The three services.
+    pub world: World,
+    /// The attacker's bulk-import request on accessctl — the repair
+    /// target.
+    pub attack_request: RequestId,
+    /// Names of employees whose records must survive repair unchanged.
+    pub employees: Vec<String>,
+    /// The victim employee whose record the attacker corrupted.
+    pub victim: String,
+    /// The victim's legitimate salary.
+    pub victim_salary: i64,
+}
+
+fn admin_post(host: &str, path: &str, body: Jv) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body).with_header(ADMIN_HEADER, ADMIN_SECRET)
+}
+
+fn bearer_post(host: &str, path: &str, body: Jv, token: &str) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body)
+        .with_header("Authorization", format!("Bearer {token}"))
+}
+
+fn get(host: &str, path: &str) -> HttpRequest {
+    HttpRequest::new(Method::Get, Url::service(host, path))
+}
+
+fn ok(resp: HttpResponse, what: &str) -> HttpResponse {
+    assert!(resp.status.is_success(), "{what} failed: {}", resp.status);
+    resp
+}
+
+/// Builds the attacked world.
+pub fn setup(cfg: &CompanyWorkload) -> CompanyScenario {
+    let mut world = World::new();
+    world.add_service(Rc::new(AccessCtl));
+    world.add_service(Rc::new(Hrm));
+    world.add_service(Rc::new(Crm));
+
+    // Administrator provisioning: peer identities and their admin
+    // permissions on the managed services.
+    for (svc, peer, token) in [
+        ("hrm", "accessctl", "acl-svc-token"),
+        ("crm", "accessctl", "acl-svc-token"),
+        ("crm", "hrm", "hrm-svc-token"),
+    ] {
+        ok(
+            world
+                .deliver(&admin_post(
+                    svc,
+                    "/token",
+                    jv!({"token": token, "principal": peer}),
+                ))
+                .unwrap(),
+            "token provisioning",
+        );
+        ok(
+            world
+                .deliver(&admin_post(
+                    svc,
+                    "/perm_sync",
+                    jv!({"principal": peer, "perm": "admin"}),
+                ))
+                .unwrap(),
+            "peer permission",
+        );
+    }
+    for (svc, token) in [("hrm", "acl-svc-token"), ("crm", "acl-svc-token")] {
+        ok(
+            world
+                .deliver(&admin_post(
+                    "accessctl",
+                    "/peer",
+                    jv!({"service": svc, "token": token}),
+                ))
+                .unwrap(),
+            "accessctl peer token",
+        );
+    }
+    ok(
+        world
+            .deliver(&admin_post(
+                "hrm",
+                "/peer",
+                jv!({"service": "crm", "token": "hrm-svc-token"}),
+            ))
+            .unwrap(),
+        "hrm peer token",
+    );
+
+    // Users: alice (HR manager) and sam (sales) with tokens everywhere;
+    // mallory is a known low-privilege user with a token but no grants.
+    for (svc, token, principal) in [
+        ("hrm", "alice-token", "alice"),
+        ("crm", "alice-token", "alice"),
+        ("crm", "sam-token", "sam"),
+        ("hrm", "mallory-token", "mallory"),
+        ("accessctl", "mallory-token", "mallory"),
+    ] {
+        ok(
+            world
+                .deliver(&admin_post(
+                    svc,
+                    "/token",
+                    jv!({"token": token, "principal": principal}),
+                ))
+                .unwrap(),
+            "user token",
+        );
+    }
+    // Proper grants through the guarded path.
+    for (principal, service) in [("alice", "hrm"), ("alice", "crm"), ("sam", "crm")] {
+        ok(
+            world
+                .deliver(&admin_post(
+                    "accessctl",
+                    "/grant",
+                    jv!({"principal": principal, "service": service, "perm": "write"}),
+                ))
+                .unwrap(),
+            "grant",
+        );
+    }
+
+    // Alice provisions the workforce; every record mirrors to CRM.
+    let mut employees = Vec::new();
+    for i in 0..cfg.employees {
+        let name = format!("emp{i}");
+        ok(
+            world
+                .deliver(&bearer_post(
+                    "hrm",
+                    "/employee",
+                    jv!({"name": name.clone(), "title": "account exec", "salary": 90000 + i as i64}),
+                    "alice-token",
+                ))
+                .unwrap(),
+            "employee provisioning",
+        );
+        employees.push(name);
+    }
+    // Sam builds the customer book, owned by the reps.
+    for i in 0..cfg.customers {
+        let rep = &employees[i % employees.len()];
+        ok(
+            world
+                .deliver(&bearer_post(
+                    "crm",
+                    "/customer",
+                    jv!({"name": format!("customer{i}"), "rep": rep.clone(), "status": "active"}),
+                    "sam-token",
+                ))
+                .unwrap(),
+            "customer provisioning",
+        );
+    }
+
+    // The attack: mallory exploits the legacy bulk-import bug to grant
+    // herself write on HRM...
+    let exploit = ok(
+        world
+            .deliver(&bearer_post(
+                "accessctl",
+                "/bulk_import",
+                jv!({"legacy": true, "grants": [
+                    {"principal": "mallory", "service": "hrm", "perm": "write"}
+                ]}),
+                "mallory-token",
+            ))
+            .unwrap(),
+        "exploit",
+    );
+    let attack_request =
+        aire_http::aire::response_request_id(&exploit).expect("exploit response tagged");
+
+    // ...and uses the new privileges to corrupt employee data, which HRM
+    // mirrors into CRM.
+    let victim = employees[0].clone();
+    ok(
+        world
+            .deliver(&bearer_post(
+                "hrm",
+                "/employee",
+                jv!({"name": victim.clone(), "title": "FIRED - DO NOT PAY", "salary": 1}),
+                "mallory-token",
+            ))
+            .unwrap(),
+        "attack write",
+    );
+
+    // Legitimate traffic continues after the attack: alice runs salary
+    // reviews on *other* employees; sam reads the rep directory.
+    for i in 0..cfg.salary_reviews {
+        let name = employees[1 + (i % (employees.len() - 1))].clone();
+        let salary = 95_000 + i as i64;
+        ok(
+            world
+                .deliver(&bearer_post(
+                    "hrm",
+                    "/set_salary",
+                    jv!({"name": name, "salary": salary}),
+                    "alice-token",
+                ))
+                .unwrap(),
+            "salary review",
+        );
+    }
+    world.deliver(&get("crm", "/reps")).unwrap();
+    world.deliver(&get("hrm", "/employees")).unwrap();
+
+    let victim_salary = 90_000; // salary of emp0 at provisioning
+    CompanyScenario {
+        world,
+        attack_request,
+        employees,
+        victim,
+        victim_salary,
+    }
+}
+
+impl CompanyScenario {
+    /// The administrator deletes the attacker's bulk-import request on the
+    /// access-control service; repair propagates asynchronously to HRM and
+    /// from there to CRM. Returns the settle report.
+    pub fn repair(&self) -> SettleReport {
+        let mut credentials = Headers::new();
+        credentials.set(ADMIN_HEADER, ADMIN_SECRET);
+        let ack = self
+            .world
+            .invoke_repair(
+                "accessctl",
+                RepairMessage::with_credentials(
+                    RepairOp::Delete {
+                        request_id: self.attack_request.clone(),
+                    },
+                    credentials,
+                ),
+            )
+            .unwrap();
+        assert_eq!(ack.status, Status::OK, "repair must be authorized");
+        self.world.settle()
+    }
+
+    /// The attacker's grant, her data corruption, and its CRM mirror are
+    /// gone; every legitimate record (including post-attack salary
+    /// reviews) survives.
+    pub fn verify_recovered(&self) {
+        // No mallory grant on accessctl.
+        let grants = self.world.deliver(&get("accessctl", "/grants")).unwrap();
+        let grants = grants.body.as_list().unwrap().to_vec();
+        assert!(
+            grants.iter().all(|g| g.str_of("principal") != "mallory"),
+            "attacker's grant must be gone"
+        );
+        // No mallory permission on hrm.
+        let perms = self.world.deliver(&get("hrm", "/perms")).unwrap();
+        let perms = perms.body.as_list().unwrap().to_vec();
+        assert!(
+            perms.iter().all(|p| p.str_of("principal") != "mallory"),
+            "pushed permission must be revoked"
+        );
+        // The victim's record is restored on hrm.
+        let employees = self.world.deliver(&get("hrm", "/employees")).unwrap();
+        let employees = employees.body.as_list().unwrap().to_vec();
+        let victim_row = employees
+            .iter()
+            .find(|e| e.str_of("name") == self.victim)
+            .expect("victim employee exists");
+        assert_eq!(victim_row.get("salary").as_int(), Some(self.victim_salary));
+        assert_eq!(victim_row.str_of("title"), "account exec");
+        // The corrupted mirror is restored on crm.
+        let reps = self.world.deliver(&get("crm", "/reps")).unwrap();
+        let reps = reps.body.as_list().unwrap().to_vec();
+        let victim_rep = reps
+            .iter()
+            .find(|r| r.str_of("name") == self.victim)
+            .expect("victim rep exists");
+        assert_eq!(victim_rep.str_of("title"), "account exec");
+        // Post-attack legitimate salary reviews survive.
+        let reviewed = employees
+            .iter()
+            .filter(|e| e.get("salary").as_int().unwrap_or(0) >= 95_000)
+            .count();
+        assert!(reviewed > 0, "legitimate reviews must survive repair");
+        // And mallory's write permission no longer works.
+        let denied = self
+            .world
+            .deliver(&bearer_post(
+                "hrm",
+                "/set_salary",
+                jv!({"name": self.victim.clone(), "salary": 0}),
+                "mallory-token",
+            ))
+            .unwrap();
+        assert_eq!(denied.status, Status::FORBIDDEN);
+    }
+
+    /// Per-service metrics for reporting.
+    pub fn metrics(&self) -> Vec<ServiceRepairMetrics> {
+        ["accessctl", "hrm", "crm"]
+            .iter()
+            .map(|name| {
+                ServiceRepairMetrics::from_stats(name, &self.world.controller(name).stats())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_corrupts_all_three_services() {
+        let s = setup(&CompanyWorkload::default());
+        let grants = s.world.deliver(&get("accessctl", "/grants")).unwrap();
+        assert!(grants.body.encode().contains("mallory"));
+        let employees = s.world.deliver(&get("hrm", "/employees")).unwrap();
+        assert!(employees.body.encode().contains("FIRED"));
+        let reps = s.world.deliver(&get("crm", "/reps")).unwrap();
+        assert!(reps.body.encode().contains("FIRED"), "corruption mirrored");
+    }
+
+    #[test]
+    fn repair_recovers_the_company() {
+        let s = setup(&CompanyWorkload::default());
+        let report = s.repair();
+        assert!(report.quiescent(), "repair should settle: {report:?}");
+        s.verify_recovered();
+    }
+
+    #[test]
+    fn repair_with_crm_offline_is_partial_then_total() {
+        let s = setup(&CompanyWorkload::default());
+        s.world.set_online("crm", false);
+        let report = s.repair();
+        assert!(!report.quiescent(), "crm is unreachable");
+
+        // accessctl and hrm are already clean (partial repair, §7.2).
+        let employees = s.world.deliver(&get("hrm", "/employees")).unwrap();
+        assert!(!employees.body.encode().contains("FIRED"));
+
+        // CRM returns, still corrupted until the queued repair reaches it.
+        s.world.set_online("crm", true);
+        let reps = s.world.deliver(&get("crm", "/reps")).unwrap();
+        assert!(reps.body.encode().contains("FIRED"));
+
+        let report = s.world.settle();
+        assert!(report.quiescent());
+        s.verify_recovered();
+    }
+
+    #[test]
+    fn repair_without_credentials_is_rejected() {
+        let s = setup(&CompanyWorkload::default());
+        let ack = s
+            .world
+            .invoke_repair(
+                "accessctl",
+                RepairMessage::bare(RepairOp::Delete {
+                    request_id: s.attack_request.clone(),
+                }),
+            )
+            .unwrap();
+        // The same-principal policy rejects: no admin secret, and the
+        // caller does not present mallory's token.
+        assert_eq!(ack.status, Status::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn expired_peer_token_holds_repair_until_refreshed() {
+        // §7.2's expired-credential experiment on the company services:
+        // the access-control service's peer token at HRM expires before
+        // repair, so HRM rejects the propagated delete; the message is
+        // held and the application notified; refreshing the token and
+        // calling retry completes recovery.
+        let s = setup(&CompanyWorkload::default());
+        // The token accessctl used when pushing the grant expires.
+        ok(
+            s.world
+                .deliver(&admin_post(
+                    "hrm",
+                    "/token",
+                    jv!({"token": "acl-svc-token", "principal": "accessctl", "valid": false}),
+                ))
+                .unwrap(),
+            "token expiry",
+        );
+
+        let report = s.repair();
+        assert!(!report.quiescent(), "delete to hrm must be held");
+        // accessctl itself is clean (partial repair)...
+        let grants = s.world.deliver(&get("accessctl", "/grants")).unwrap();
+        assert!(!grants.body.encode().contains("mallory"));
+        // ...but hrm still carries the pushed permission.
+        let perms = s.world.deliver(&get("hrm", "/perms")).unwrap();
+        assert!(perms.body.encode().contains("mallory"));
+        // The application was notified with a retryable problem.
+        let problems = s.world.controller("accessctl").notifications();
+        assert!(!problems.is_empty());
+        assert!(problems[0].retryable);
+
+        // The administrator refreshes the token and retries.
+        ok(
+            s.world
+                .deliver(&admin_post(
+                    "hrm",
+                    "/token",
+                    jv!({"token": "acl-svc-token", "principal": "accessctl", "valid": true}),
+                ))
+                .unwrap(),
+            "token refresh",
+        );
+        s.world
+            .controller("accessctl")
+            .retry(problems[0].msg_id, Headers::new())
+            .unwrap();
+        let report = s.world.settle();
+        assert!(report.quiescent(), "{report:?}");
+        s.verify_recovered();
+    }
+
+    #[test]
+    fn deferred_mode_company_repair_converges() {
+        use aire_core::RepairMode;
+        let s = setup(&CompanyWorkload::default());
+        s.world.set_repair_mode_all(RepairMode::Deferred);
+        let report = s.repair();
+        assert!(report.quiescent(), "settle drains deferred repair");
+        assert!(report.local_passes >= 2, "hrm and crm each ran a pass");
+        s.verify_recovered();
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 3: repair of a single key in the branching versioned KV store.
+//!
+//! Original history: `put(x,a) → put(x,b) → get(x) → put(x,c) →
+//! versions(x) → put(x,d)`, yielding versions `v1:a v2:b v3:c v4:d`.
+//! Deleting `put(x,b)` re-executes the later operations onto a new
+//! branch: `v5:c` (parent `v1`) and `v6:d`, moves the current pointer,
+//! and replaces the `versions(x)` response with `{v1, v2, v3, v5}` —
+//! versions created before that call's logical time, on any branch,
+//! excluding `v4` and `v6`.
+
+use std::rc::Rc;
+
+use aire_apps::VersionedKv;
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::World;
+use aire_http::{HttpRequest, Method, Url};
+use aire_types::{jv, RequestId};
+
+/// The assembled Figure 3 world.
+pub struct Fig3Scenario {
+    /// The versioned KV service plus an Aire-enabled reader for the
+    /// repairable `versions(x)` response.
+    pub world: World,
+    /// The `put(x, b)` request to delete.
+    pub bad_put: RequestId,
+}
+
+/// Runs the original operation history of Figure 3 (left column).
+pub fn setup() -> Fig3Scenario {
+    let mut world = World::new();
+    world.add_service(Rc::new(VersionedKv));
+
+    let put = |world: &World, v: &str| {
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("vkv", "/put"),
+                jv!({"key": "x", "value": v}),
+            ))
+            .unwrap()
+    };
+    put(&world, "a"); // v1
+    let bad = put(&world, "b"); // v2 — the operation to repair
+    let bad_put = aire_http::aire::response_request_id(&bad).unwrap();
+    world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("vkv", "/get").with_query("key", "x"),
+        ))
+        .unwrap(); // get(x) = b
+    put(&world, "c"); // v3
+    world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("vkv", "/versions").with_query("key", "x"),
+        ))
+        .unwrap(); // versions(x) = {v1, v2, v3}
+    put(&world, "d"); // v4
+    Fig3Scenario { world, bad_put }
+}
+
+/// Deletes `put(x, b)` and drains repair.
+pub fn repair(s: &Fig3Scenario) {
+    s.world
+        .invoke_repair(
+            "vkv",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: s.bad_put.clone(),
+            }),
+        )
+        .unwrap();
+    s.world.pump();
+}
+
+/// `(current_value, current_version, all_version_labels_sorted)`.
+pub fn state(world: &World) -> (String, String, Vec<String>) {
+    let get = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("vkv", "/get").with_query("key", "x"),
+        ))
+        .unwrap();
+    let versions = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service("vkv", "/versions").with_query("key", "x"),
+        ))
+        .unwrap();
+    let mut labels: Vec<String> = versions
+        .body
+        .get("versions")
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|v| v.str_of("version").to_string())
+        .collect();
+    labels.sort();
+    (
+        get.body.str_of("value").to_string(),
+        get.body.str_of("version").to_string(),
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_branching_repair() {
+        let s = setup();
+        let (value, version, labels) = state(&s.world);
+        assert_eq!((value.as_str(), version.as_str()), ("d", "v4"));
+        assert_eq!(labels, vec!["v1", "v2", "v3", "v4"]);
+
+        repair(&s);
+
+        let (value, version, labels) = state(&s.world);
+        // The current pointer moved to the repaired branch: v6:d.
+        assert_eq!(value, "d");
+        assert_eq!(version, "v6");
+        // All six versions exist: the original branch is preserved.
+        assert_eq!(labels, vec!["v1", "v2", "v3", "v4", "v5", "v6"]);
+
+        // The repaired branch chains v1 → v5:c → v6:d.
+        let history = s
+            .world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("vkv", "/history").with_query("key", "x"),
+            ))
+            .unwrap();
+        let chain: Vec<(String, String)> = history
+            .body
+            .get("chain")
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|v| {
+                (
+                    v.str_of("version").to_string(),
+                    v.str_of("value").to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            chain,
+            vec![
+                ("v1".to_string(), "a".to_string()),
+                ("v5".to_string(), "c".to_string()),
+                ("v6".to_string(), "d".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's evaluation scenarios.
+//!
+//! * [`askbot_attack`] — Figure 4: the OAuth debug-flag vulnerability,
+//!   attacker signup and code post, spread to Dpaste, legitimate traffic
+//!   around the attack, and full recovery (also the Table 5 workload).
+//! * [`spreadsheet`] — Figure 5: lax permissions, lax permissions on the
+//!   configuration server, and corrupt-data propagation; plus the §7.2
+//!   offline and expired-credential variants.
+//! * [`fig2`] — the Amazon-S3 partial-repair timeline of Figure 2.
+//! * [`fig3`] — the branching versioned-KV repair of Figure 3.
+//! * [`company`] — the §1 motivating example: access-control service →
+//!   HRM → CRM permission-and-data corruption and its three-domain
+//!   recovery.
+
+pub mod askbot_attack;
+pub mod company;
+pub mod fig2;
+pub mod fig3;
+pub mod spreadsheet;
+
+use aire_core::ControllerStats;
+
+/// Per-service numbers for one row block of Table 5.
+#[derive(Debug, Clone)]
+pub struct ServiceRepairMetrics {
+    /// Service name.
+    pub service: String,
+    /// Requests re-executed or skipped during repair.
+    pub repaired_requests: u64,
+    /// Total requests executed during normal operation.
+    pub total_requests: u64,
+    /// Database (model) operations performed during repair.
+    pub repaired_model_ops: u64,
+    /// Total model operations during normal operation.
+    pub total_model_ops: u64,
+    /// Repair messages this service sent.
+    pub repair_messages_sent: u64,
+    /// Wall-clock seconds spent in local repair.
+    pub local_repair_secs: f64,
+    /// Wall-clock seconds spent executing the normal workload.
+    pub normal_exec_secs: f64,
+}
+
+impl ServiceRepairMetrics {
+    /// Extracts the metrics from a controller's statistics.
+    pub fn from_stats(service: &str, stats: &ControllerStats) -> ServiceRepairMetrics {
+        ServiceRepairMetrics {
+            service: service.to_string(),
+            repaired_requests: stats.repaired_requests,
+            total_requests: stats.normal_requests,
+            repaired_model_ops: stats.repaired_db_ops,
+            total_model_ops: stats.normal_db_ops,
+            repair_messages_sent: stats.repair_messages_sent,
+            local_repair_secs: stats.repair_wall.as_secs_f64(),
+            normal_exec_secs: stats.normal_wall.as_secs_f64(),
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! The Figure 5 spreadsheet scenarios (§7.1) and their §7.2
+//! partial-repair variants.
+//!
+//! Setup: an **ACL directory** holds the master copy of the ACLs for
+//! spreadsheet services A and B; a `push_acl` trigger script distributes
+//! changes. Scenario 3 additionally syncs a cell range from A to B.
+//!
+//! * **Lax permissions** — the administrator mistakenly adds the
+//!   attacker to the master ACL; the attacker corrupts cells on A and B.
+//! * **Lax permissions on the configuration server** — the administrator
+//!   instead makes the *directory* world-writable; the attacker adds
+//!   herself to the master ACL and proceeds as above.
+//! * **Propagation of corrupt data** — the attacker corrupts a cell only
+//!   on A; A's sync script spreads the corruption to B.
+//!
+//! Repair always starts with `delete` of the administrator's mistaken
+//! request on the directory and cascades from there.
+
+use std::rc::Rc;
+
+use aire_apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire_apps::Spreadsheet;
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::World;
+use aire_http::{Headers, HttpRequest, Method, Status, Url};
+use aire_types::{jv, Jv, RequestId};
+
+/// Which Figure 5 scenario to assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Administrator adds the attacker to the master ACL.
+    LaxPermissions,
+    /// Administrator makes the directory world-writable.
+    LaxDirectory,
+    /// Attack corrupts A only; a sync script spreads it to B.
+    CorruptSync,
+}
+
+/// The assembled spreadsheet world.
+pub struct SpreadsheetScenario {
+    /// acl-dir, sheet-a, sheet-b.
+    pub world: World,
+    /// Which variant was built.
+    pub variant: Variant,
+    /// The administrator's mistaken request on the directory.
+    pub mistake: RequestId,
+    /// Cells legitimate users wrote: (service, row, col, value).
+    pub legit_cells: Vec<(String, String, String, String)>,
+}
+
+fn admin_post(host: &str, path: &str, body: Jv) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body).with_header(ADMIN_HEADER, ADMIN_SECRET)
+}
+
+fn bearer_post(host: &str, path: &str, body: Jv, token: &str) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body)
+        .with_header("Authorization", format!("Bearer {token}"))
+}
+
+/// Reads one cell's value ("" when empty).
+pub fn cell(world: &World, host: &str, row: &str, col: &str) -> String {
+    let resp = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service(host, "/cell")
+                .with_query("row", row)
+                .with_query("col", col),
+        ))
+        .unwrap();
+    if resp.status.is_success() {
+        resp.body.str_of("value").to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// True if `principal` appears in `host`'s ACL.
+pub fn acl_contains(world: &World, host: &str, principal: &str) -> bool {
+    let resp = world
+        .deliver(&HttpRequest::new(
+            Method::Get,
+            Url::service(host, "/acl_list"),
+        ))
+        .unwrap();
+    resp.body
+        .get("acl")
+        .as_list()
+        .unwrap()
+        .iter()
+        .any(|e| e.str_of("principal") == principal)
+}
+
+/// Builds the Figure 5 world for `variant`.
+pub fn setup(variant: Variant) -> SpreadsheetScenario {
+    let mut world = World::new();
+    world.add_service(Rc::new(Spreadsheet::new("acl-dir")));
+    world.add_service(Rc::new(Spreadsheet::new("sheet-a")));
+    world.add_service(Rc::new(Spreadsheet::new("sheet-b")));
+
+    // Tokens: the directory's distribution script is an admin on both
+    // sheets; alice is a legitimate writer everywhere; the sync script's
+    // token can write on B.
+    for sheet in ["sheet-a", "sheet-b"] {
+        world
+            .deliver(&admin_post(
+                sheet,
+                "/token",
+                jv!({"token": "dir-script-tok", "principal": "acl-admin", "valid": true}),
+            ))
+            .unwrap();
+        world
+            .deliver(&admin_post(
+                sheet,
+                "/acl",
+                jv!({"principal": "acl-admin", "perm": "admin"}),
+            ))
+            .unwrap();
+    }
+    for host in ["acl-dir", "sheet-a", "sheet-b"] {
+        world
+            .deliver(&admin_post(
+                host,
+                "/token",
+                jv!({"token": "alice-tok", "principal": "alice", "valid": true}),
+            ))
+            .unwrap();
+        world
+            .deliver(&admin_post(
+                host,
+                "/token",
+                jv!({"token": "attacker-tok", "principal": "attacker", "valid": true}),
+            ))
+            .unwrap();
+    }
+    // The distribution script on the directory.
+    world
+        .deliver(&admin_post(
+            "acl-dir",
+            "/script",
+            jv!({"name": "distribute", "action": "push_acl", "target": "", "token": "dir-script-tok", "scope": "sheet"}),
+        ))
+        .unwrap();
+
+    // Legitimate ACLs: alice can write on both sheets (via the master
+    // copy, so distribution is exercised by legitimate traffic too).
+    for sheet in ["sheet-a", "sheet-b"] {
+        world
+            .deliver(&admin_post(
+                "acl-dir",
+                "/cell",
+                jv!({"row": sheet, "col": "alice", "value": "write"}),
+            ))
+            .unwrap();
+    }
+
+    // Scenario 3 extra: a sync script on A mirrors "shared" rows to B.
+    if variant == Variant::CorruptSync {
+        world
+            .deliver(&admin_post(
+                "sheet-a",
+                "/script",
+                jv!({"name": "mirror", "action": "sync_cells", "target": "sheet-b", "token": "alice-tok", "scope": "shared"}),
+            ))
+            .unwrap();
+    }
+
+    // Legitimate pre-attack cell writes.
+    let mut legit_cells = Vec::new();
+    for (host, row, col, value) in [
+        ("sheet-a", "budget", "q1", "100"),
+        ("sheet-b", "budget", "q1", "200"),
+    ] {
+        world
+            .deliver(&bearer_post(
+                host,
+                "/cell",
+                jv!({"row": row, "col": col, "value": value}),
+                "alice-tok",
+            ))
+            .unwrap();
+        legit_cells.push((
+            host.to_string(),
+            row.to_string(),
+            col.to_string(),
+            value.to_string(),
+        ));
+    }
+
+    // The administrator's mistake.
+    let mistake_resp = match variant {
+        Variant::LaxPermissions | Variant::CorruptSync => {
+            // Adds the attacker to the master ACL for both sheets; the
+            // script distributes it. (One cell per sheet; we repair the
+            // first, which is the one granting access to sheet-a; for the
+            // simple variants grant both through one mistake on sheet-a
+            // and one on sheet-b.)
+            let r = world
+                .deliver(&admin_post(
+                    "acl-dir",
+                    "/cell",
+                    jv!({"row": "sheet-a", "col": "attacker", "value": "write"}),
+                ))
+                .unwrap();
+            if variant == Variant::LaxPermissions {
+                // The same mistaken update also grants sheet-b in the
+                // paper's scenario; model it as part of one request by
+                // granting via a second cell *caused by the attacker
+                // instead* — keep it simple: the attacker only needs A in
+                // the sync variant, both in the plain variant, so grant B
+                // from the same mistake by scripting a second write below
+                // under the attacker's own (new) rights? No — the paper's
+                // admin adds the attacker once to the master list used by
+                // both. We model "the master copy" as granting per-sheet;
+                // the admin's one mistake here covers sheet-a, and a
+                // second identical mistake covers sheet-b. Repair deletes
+                // both; we track the first and delete the second through
+                // the same repair invocation in `repair()`.
+                world
+                    .deliver(&admin_post(
+                        "acl-dir",
+                        "/cell",
+                        jv!({"row": "sheet-b", "col": "attacker", "value": "write"}),
+                    ))
+                    .unwrap();
+            }
+            r
+        }
+        Variant::LaxDirectory => {
+            // The directory itself becomes world-writable.
+            world
+                .deliver(&admin_post(
+                    "acl-dir",
+                    "/acl",
+                    jv!({"principal": "*", "perm": "write"}),
+                ))
+                .unwrap()
+        }
+    };
+    assert_eq!(mistake_resp.status, Status::OK);
+    let mistake = aire_http::aire::response_request_id(&mistake_resp).unwrap();
+
+    // The attack.
+    match variant {
+        Variant::LaxPermissions => {
+            // Corrupt cells on both sheets directly.
+            for sheet in ["sheet-a", "sheet-b"] {
+                let resp = world
+                    .deliver(&bearer_post(
+                        sheet,
+                        "/cell",
+                        jv!({"row": "budget", "col": "q1", "value": "0 HACKED"}),
+                        "attacker-tok",
+                    ))
+                    .unwrap();
+                assert_eq!(resp.status, Status::OK, "attack on {sheet} failed");
+            }
+        }
+        Variant::LaxDirectory => {
+            // The attacker adds herself to the master ACL (possible only
+            // because the directory is world-writable), waits for the
+            // update to propagate, then corrupts both sheets.
+            for sheet in ["sheet-a", "sheet-b"] {
+                let resp = world
+                    .deliver(&bearer_post(
+                        "acl-dir",
+                        "/cell",
+                        jv!({"row": sheet, "col": "attacker", "value": "write"}),
+                        "attacker-tok",
+                    ))
+                    .unwrap();
+                assert_eq!(resp.status, Status::OK);
+            }
+            for sheet in ["sheet-a", "sheet-b"] {
+                let resp = world
+                    .deliver(&bearer_post(
+                        sheet,
+                        "/cell",
+                        jv!({"row": "budget", "col": "q1", "value": "0 HACKED"}),
+                        "attacker-tok",
+                    ))
+                    .unwrap();
+                assert_eq!(resp.status, Status::OK);
+            }
+        }
+        Variant::CorruptSync => {
+            // Corrupt a shared cell on A only; the sync script spreads it.
+            let resp = world
+                .deliver(&bearer_post(
+                    "sheet-a",
+                    "/cell",
+                    jv!({"row": "shared", "col": "total", "value": "HACKED"}),
+                    "attacker-tok",
+                ))
+                .unwrap();
+            assert_eq!(resp.status, Status::OK);
+        }
+    }
+
+    // Legitimate traffic after the attack.
+    for (host, row, col, value) in [
+        ("sheet-a", "notes", "n1", "hello"),
+        ("sheet-b", "notes", "n1", "world"),
+    ] {
+        world
+            .deliver(&bearer_post(
+                host,
+                "/cell",
+                jv!({"row": row, "col": col, "value": value}),
+                "alice-tok",
+            ))
+            .unwrap();
+        legit_cells.push((
+            host.to_string(),
+            row.to_string(),
+            col.to_string(),
+            value.to_string(),
+        ));
+    }
+
+    SpreadsheetScenario {
+        world,
+        variant,
+        mistake,
+        legit_cells,
+    }
+}
+
+/// Repairs the scenario: deletes the administrator's mistaken request(s)
+/// on the directory and pumps propagation.
+pub fn repair(s: &SpreadsheetScenario) {
+    let mut creds = Headers::new();
+    creds.set(ADMIN_HEADER, ADMIN_SECRET);
+    s.world
+        .invoke_repair(
+            "acl-dir",
+            RepairMessage::with_credentials(
+                RepairOp::Delete {
+                    request_id: s.mistake.clone(),
+                },
+                creds.clone(),
+            ),
+        )
+        .unwrap();
+    if s.variant == Variant::LaxPermissions {
+        // The second mistaken grant (sheet-b) is the next request on the
+        // directory's timeline.
+        let second = RequestId::new("acl-dir", s.mistake.seq + 1);
+        s.world
+            .invoke_repair(
+                "acl-dir",
+                RepairMessage::with_credentials(RepairOp::Delete { request_id: second }, creds),
+            )
+            .unwrap();
+    }
+    s.world.pump();
+}
+
+/// Asserts the attack's effects are gone and legitimate state survives.
+pub fn assert_recovered(s: &SpreadsheetScenario) {
+    // Attacker rights revoked everywhere.
+    for host in ["sheet-a", "sheet-b"] {
+        assert!(
+            !acl_contains(&s.world, host, "attacker"),
+            "{host} still grants the attacker"
+        );
+    }
+    // Corruption undone.
+    assert_eq!(cell(&s.world, "sheet-a", "budget", "q1"), "100");
+    assert_eq!(cell(&s.world, "sheet-b", "budget", "q1"), "200");
+    assert_eq!(cell(&s.world, "sheet-a", "shared", "total"), "");
+    assert_eq!(cell(&s.world, "sheet-b", "shared", "total"), "");
+    // Legitimate cells intact.
+    for (host, row, col, value) in &s.legit_cells {
+        assert_eq!(
+            &cell(&s.world, host, row, col),
+            value,
+            "lost {host}:{row}/{col}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lax_permissions_attack_and_recovery() {
+        let s = setup(Variant::LaxPermissions);
+        assert_eq!(cell(&s.world, "sheet-a", "budget", "q1"), "0 HACKED");
+        assert_eq!(cell(&s.world, "sheet-b", "budget", "q1"), "0 HACKED");
+        assert!(acl_contains(&s.world, "sheet-a", "attacker"));
+        repair(&s);
+        assert_recovered(&s);
+    }
+
+    #[test]
+    fn lax_directory_attack_and_recovery() {
+        let s = setup(Variant::LaxDirectory);
+        assert_eq!(cell(&s.world, "sheet-a", "budget", "q1"), "0 HACKED");
+        repair(&s);
+        assert_recovered(&s);
+        // The directory is no longer world-writable: the attacker cannot
+        // re-add herself.
+        let resp = s
+            .world
+            .deliver(&bearer_post(
+                "acl-dir",
+                "/cell",
+                jv!({"row": "sheet-a", "col": "attacker", "value": "write"}),
+                "attacker-tok",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn corrupt_sync_attack_and_recovery() {
+        let s = setup(Variant::CorruptSync);
+        assert_eq!(cell(&s.world, "sheet-a", "shared", "total"), "HACKED");
+        assert_eq!(
+            cell(&s.world, "sheet-b", "shared", "total"),
+            "HACKED",
+            "sync must spread the corruption"
+        );
+        repair(&s);
+        assert_recovered(&s);
+    }
+
+    #[test]
+    fn offline_sheet_b_is_repaired_on_return() {
+        let s = setup(Variant::LaxPermissions);
+        s.world.set_online("sheet-b", false);
+        repair(&s);
+        // A is clean already.
+        assert_eq!(cell(&s.world, "sheet-a", "budget", "q1"), "100");
+        assert!(!acl_contains(&s.world, "sheet-a", "attacker"));
+        // B still corrupt until it returns.
+        s.world.set_online("sheet-b", true);
+        let report = s.world.pump();
+        assert!(report.quiescent(), "{report:?}");
+        assert_recovered(&s);
+    }
+
+    #[test]
+    fn expired_token_holds_repair_until_refresh_and_retry() {
+        let s = setup(Variant::LaxPermissions);
+        // The distribution script's token expires on sheet-b before
+        // repair (§7.2).
+        s.world
+            .deliver(&admin_post(
+                "sheet-b",
+                "/token",
+                jv!({"token": "dir-script-tok", "principal": "acl-admin", "valid": false}),
+            ))
+            .unwrap();
+        repair(&s);
+
+        // sheet-a recovered; sheet-b rejected its repair messages.
+        assert!(!acl_contains(&s.world, "sheet-a", "attacker"));
+        assert!(acl_contains(&s.world, "sheet-b", "attacker"));
+        let dir = s.world.controller("acl-dir");
+        let held: Vec<_> = dir
+            .queued_repairs()
+            .into_iter()
+            .filter(|q| q.held)
+            .collect();
+        assert!(!held.is_empty(), "messages to sheet-b should be held");
+        assert!(!dir.notifications().is_empty(), "the app was notified");
+
+        // The user refreshes the token on sheet-b; the directory retries
+        // with fresh credentials (Table 2's retry()).
+        s.world
+            .deliver(&admin_post(
+                "sheet-b",
+                "/token",
+                jv!({"token": "dir-script-tok-2", "principal": "acl-admin", "valid": true}),
+            ))
+            .unwrap();
+        let mut fresh = Headers::new();
+        fresh.set("Authorization", "Bearer dir-script-tok-2");
+        for q in held {
+            dir.retry(q.msg_id, fresh.clone()).unwrap();
+        }
+        let report = s.world.pump();
+        assert!(report.quiescent(), "{report:?}");
+        assert!(!acl_contains(&s.world, "sheet-b", "attacker"));
+        assert_recovered(&s);
+    }
+}

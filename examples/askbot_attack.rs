@@ -1,0 +1,88 @@
+//! The Figure 4 scenario end to end, narrated.
+//!
+//! ```text
+//! cargo run --release --example askbot_attack
+//! ```
+//!
+//! An OAuth misconfiguration lets an attacker sign up to Askbot as a
+//! victim and post a malicious question, which spreads to Dpaste. One
+//! `delete` on the OAuth service unwinds everything, asynchronously.
+
+use aire::workload::scenarios::askbot_attack::{self, AskbotWorkload};
+
+fn main() {
+    let cfg = AskbotWorkload {
+        legit_users: 25,
+        questions_per_user: 4,
+        oauth_signups: 3,
+    };
+    println!(
+        "setting up: oauth + askbot + dpaste, {} legitimate users ...",
+        cfg.legit_users
+    );
+    let s = askbot_attack::setup(&cfg);
+
+    let titles = askbot_attack::askbot_titles(&s.world);
+    println!(
+        "\nattack in place: {} questions visible, attacker's paste exists: {}",
+        titles.len(),
+        askbot_attack::attack_paste_exists(&s)
+    );
+    println!(
+        "  attacker's question visible: {}",
+        titles.iter().any(|t| t.contains("FREE BITCOIN"))
+    );
+
+    println!("\nadministrator deletes request 1 (the misconfiguration) on oauth ...");
+    let ack = askbot_attack::repair(&s);
+    assert!(ack.status.is_success());
+    println!(
+        "  oauth local repair done; repair messages queued: {}",
+        s.world.queued_messages()
+    );
+
+    println!("pumping asynchronous repair ...");
+    let report = s.world.pump();
+    println!(
+        "  delivered {} repair messages in {} sweeps; quiescent: {}",
+        report.delivered,
+        report.sweeps,
+        report.quiescent()
+    );
+
+    let titles = askbot_attack::askbot_titles(&s.world);
+    println!(
+        "\nafter repair: {} questions visible, attacker's question visible: {}, paste exists: {}",
+        titles.len(),
+        titles.iter().any(|t| t.contains("FREE BITCOIN")),
+        askbot_attack::attack_paste_exists(&s)
+    );
+
+    println!("\nTable 5 metrics:");
+    for m in askbot_attack::metrics(&s) {
+        println!(
+            "  {:<8} repaired {:>4}/{:<5} requests, {:>4}/{:<5} model ops, {} messages sent",
+            m.service,
+            m.repaired_requests,
+            m.total_requests,
+            m.repaired_model_ops,
+            m.total_model_ops,
+            m.repair_messages_sent
+        );
+    }
+
+    println!("\ncompensating actions (admin notices):");
+    for n in s.world.controller("askbot").admin_notices() {
+        if n.str_of("kind") == "email-compensation" {
+            println!("  daily summary email changed; new titles omit the attack");
+        }
+    }
+    for n in s.world.controller("dpaste").admin_notices() {
+        if n.str_of("kind") == "download-notification" {
+            println!(
+                "  dpaste notified downloader {:?} that the code they fetched was repaired",
+                n.get("user").as_str().unwrap_or("?")
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Crash recovery with controller snapshots, narrated.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+//!
+//! A two-service deployment is attacked; the upstream service repairs
+//! locally while the downstream service is offline, leaving a repair
+//! message queued (§3.2). Both services then "crash". We rebuild them
+//! from their snapshots — application code plus one `Jv` document each —
+//! and show the queued repair message survives and completes the
+//! recovery.
+
+use std::rc::Rc;
+
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::{ControllerConfig, World};
+use aire_http::{HttpRequest, HttpResponse, Method, Url};
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+struct Notes;
+
+fn notes_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn notes_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("notes", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", notes_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+struct Mirror;
+
+fn mirror_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text.clone()}))?;
+    let resp = ctx.call(HttpRequest::post(
+        Url::service("notes", "/add"),
+        jv!({"text": text}),
+    ));
+    Ok(HttpResponse::ok(
+        jv!({"id": id as i64, "mirrored": resp.status.is_success()}),
+    ))
+}
+
+impl App for Mirror {
+    fn name(&self) -> &str {
+        "mirror"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/add", mirror_add)
+            .get("/list", notes_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+fn list(world: &World, host: &str) -> String {
+    world
+        .deliver(&HttpRequest::new(Method::Get, Url::service(host, "/list")))
+        .unwrap()
+        .body
+        .encode()
+}
+
+fn main() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    world.add_service(Rc::new(Mirror));
+
+    world
+        .deliver(&HttpRequest::post(
+            Url::service("mirror", "/add"),
+            jv!({"text": "keep"}),
+        ))
+        .unwrap();
+    let attack = world
+        .deliver(&HttpRequest::post(
+            Url::service("mirror", "/add"),
+            jv!({"text": "EVIL"}),
+        ))
+        .unwrap();
+    println!("attacked: mirror={} notes={}", list(&world, "mirror"), list(&world, "notes"));
+
+    // The downstream service is offline; local repair runs upstream and
+    // the delete for notes parks in mirror's outgoing queue.
+    world.set_online("notes", false);
+    let attack_id = aire_http::aire::response_request_id(&attack).unwrap();
+    world
+        .invoke_repair(
+            "mirror",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: attack_id,
+            }),
+        )
+        .unwrap();
+    println!(
+        "mirror repaired locally; {} repair message(s) queued for the offline service",
+        world.queued_messages()
+    );
+
+    // Crash: serialize both controllers to text, as a deployment writing
+    // WAL snapshots to disk would.
+    let mirror_disk = world.controller("mirror").snapshot().encode();
+    let notes_disk = world.controller("notes").snapshot().encode();
+    println!(
+        "snapshots written: mirror {} bytes, notes {} bytes",
+        mirror_disk.len(),
+        notes_disk.len()
+    );
+    drop(world);
+
+    // Reboot: application code + snapshot = running service.
+    let mut world = World::new();
+    world
+        .add_service_restored(
+            Rc::new(Notes),
+            ControllerConfig::default(),
+            &Jv::decode(&notes_disk).unwrap(),
+        )
+        .unwrap();
+    world
+        .add_service_restored(
+            Rc::new(Mirror),
+            ControllerConfig::default(),
+            &Jv::decode(&mirror_disk).unwrap(),
+        )
+        .unwrap();
+    println!(
+        "restored: {} repair message(s) still queued; notes still corrupted: {}",
+        world.queued_messages(),
+        list(&world, "notes").contains("EVIL")
+    );
+
+    // The queue drains into the restored downstream service.
+    let report = world.pump();
+    println!(
+        "pumped {} message(s): mirror={} notes={}",
+        report.delivered,
+        list(&world, "mirror"),
+        list(&world, "notes")
+    );
+    assert!(!list(&world, "notes").contains("EVIL"));
+    println!("recovery completed across the crash.");
+}

@@ -1,0 +1,43 @@
+//! Figure 2: partially repaired state as a concurrent client.
+//!
+//! ```text
+//! cargo run --example partial_repair
+//! ```
+//!
+//! Walks the paper's S3 timeline: attacker put, client read, repair in
+//! between reads, and the eventual `replace_response` that fixes the
+//! client's recorded history — demonstrating the §5.1 contract.
+
+use aire::workload::scenarios::fig2;
+
+fn main() {
+    let s = fig2::setup();
+    println!("t1: attacker put(x, b)");
+    println!(
+        "t2: client A reads x -> {:?} (records it)",
+        fig2::observations(&s.world)
+    );
+
+    println!("\n... the store deletes the attacker's put (local repair only) ...\n");
+    fig2::repair_locally(&s);
+
+    println!(
+        "t3: a fresh read sees  -> {:?}",
+        fig2::current_value(&s.world)
+    );
+    println!(
+        "    client A still holds -> {:?}   <- partially repaired state",
+        fig2::observations(&s.world)
+    );
+    println!(
+        "    this is valid under the contract: a concurrent client could\n\
+         \u{20}   have issued put(x, a) between A's two reads (5.1)"
+    );
+
+    let report = s.world.pump();
+    println!(
+        "\nreplace_response delivered ({} message): client A now holds {:?}",
+        report.delivered,
+        fig2::observations(&s.world)
+    );
+}

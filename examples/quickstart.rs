@@ -1,0 +1,113 @@
+//! Quickstart: write a tiny Aire-enabled service, attack it, repair it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Shows the minimum an application provides — schemas, routes, a repair
+//! access-control policy — and the repair lifecycle: attack, `delete`,
+//! selective re-execution, done.
+
+use std::rc::Rc;
+
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::World;
+use aire::http::{HttpRequest, HttpResponse, Method, Url};
+use aire::types::{jv, Jv};
+use aire::vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire::web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+/// A guestbook: anyone can sign; a listing shows all signatures.
+struct Guestbook;
+
+fn h_sign(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let name = ctx.body_str("name")?.to_string();
+    let message = ctx.body_str("message")?.to_string();
+    let id = ctx.insert("entries", jv!({"name": name, "message": message}))?;
+    Ok(HttpResponse::ok(jv!({"entry": id as i64})))
+}
+
+fn h_list(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("entries", &Filter::all())?;
+    let entries: Vec<Jv> = rows.into_iter().map(|(_, e)| e).collect();
+    Ok(HttpResponse::ok(jv!({"entries": Jv::List(entries)})))
+}
+
+impl App for Guestbook {
+    fn name(&self) -> &str {
+        "guestbook"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "entries",
+            vec![
+                FieldDef::new("name", FieldKind::Str),
+                FieldDef::new("message", FieldKind::Str),
+            ],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new().post("/sign", h_sign).get("/list", h_list)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true // Demo policy: anyone may repair. Real apps check identity (§4).
+    }
+}
+
+fn main() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Guestbook));
+
+    // Normal operation.
+    let sign = |name: &str, message: &str| {
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("guestbook", "/sign"),
+                jv!({"name": name, "message": message}),
+            ))
+            .unwrap()
+    };
+    sign("alice", "lovely site!");
+    let spam = sign("bot", "BUY CHEAP GOLD >>> evil.example");
+    sign("bob", "hi alice");
+
+    let list = || {
+        world
+            .deliver(&HttpRequest::new(
+                Method::Get,
+                Url::service("guestbook", "/list"),
+            ))
+            .unwrap()
+            .body
+            .get("entries")
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|e| format!("{}: {}", e.str_of("name"), e.str_of("message")))
+            .collect::<Vec<_>>()
+    };
+    println!("before repair: {:#?}", list());
+
+    // Every response names its request; that name is the repair handle.
+    let spam_id = aire::http::aire::response_request_id(&spam).unwrap();
+    println!("\ncancelling {spam_id} ...");
+    let ack = world
+        .invoke_repair(
+            "guestbook",
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: spam_id,
+            }),
+        )
+        .unwrap();
+    assert!(ack.status.is_success());
+
+    println!("\nafter repair:  {:#?}", list());
+    let stats = world.controller("guestbook").stats();
+    println!(
+        "\nrepaired {} of {} requests ({} repair pass(es))",
+        stats.repaired_requests, stats.normal_requests, stats.repair_passes
+    );
+}

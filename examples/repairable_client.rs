@@ -1,0 +1,124 @@
+//! An Aire-enabled *client* observing server-side repair, narrated.
+//!
+//! ```text
+//! cargo run --release --example repairable_client
+//! ```
+//!
+//! The paper's prototype cannot repair browser clients (§2.3). The
+//! `aire-client` crate fills that gap for programmatic clients: every
+//! call is tagged with a client-assigned response id and a notifier URL,
+//! the client's derived state is a deterministic fold over its call log,
+//! and server-initiated `replace_response` repairs (delivered through the
+//! §3.1 token dance) replay the fold so the client's view always matches
+//! the repaired conversation.
+
+use std::rc::Rc;
+
+use aire::client::{AireClient, ClientEvent};
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::World;
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_types::{jv, Jv};
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+
+struct Feed;
+
+fn feed_post(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("posts", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn feed_read(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let rows = ctx.scan("posts", &Filter::all())?;
+    let texts: Vec<Jv> = rows
+        .into_iter()
+        .map(|(_, r)| r.get("text").clone())
+        .collect();
+    Ok(HttpResponse::ok(Jv::List(texts)))
+}
+
+impl App for Feed {
+    fn name(&self) -> &str {
+        "feed"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "posts",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+
+    fn router(&self) -> Router {
+        Router::new().post("/post", feed_post).get("/read", feed_read)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+/// The client's derived state: its cached copy of the feed.
+fn cache_fold(view: &mut Jv, req: &HttpRequest, resp: &HttpResponse) {
+    if req.url.path == "/read" && resp.status.is_success() {
+        view.set("cached_feed", resp.body.clone());
+    }
+}
+
+fn main() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Feed));
+    let client = AireClient::register(world.net(), "reader-daemon", cache_fold);
+
+    // An attacker slips a spam post in; the client caches the poisoned
+    // feed.
+    let spam = world
+        .deliver(&HttpRequest::post(
+            Url::service("feed", "/post"),
+            jv!({"text": "BUY CHEAP FOLLOWERS"}),
+        ))
+        .unwrap();
+    client.post("feed", "/post", jv!({"text": "hello world"})).unwrap();
+    client.get("feed", "/read").unwrap();
+    println!("client cache before repair: {}", client.view().get("cached_feed").encode());
+
+    // The administrator deletes the spam; the feed re-executes the
+    // client's read and queues a replace_response for it.
+    let spam_id = aire_http::aire::response_request_id(&spam).unwrap();
+    world
+        .invoke_repair(
+            "feed",
+            RepairMessage::bare(RepairOp::Delete { request_id: spam_id }),
+        )
+        .unwrap();
+    println!(
+        "feed repaired locally; client cache is now *stale but valid* (§5): {}",
+        client.view().get("cached_feed").encode()
+    );
+
+    // Asynchronous propagation: the token dance reaches the client's
+    // notifier URL and the fold replays.
+    let report = world.pump();
+    println!(
+        "pumped {} repair messages; client cache after replace_response: {}",
+        report.delivered,
+        client.view().get("cached_feed").encode()
+    );
+    for event in client.events() {
+        if let ClientEvent::ResponseRepaired { response_id, .. } = event {
+            println!("  client observed repair of its response {response_id}");
+        }
+    }
+
+    // The client can also undo its *own* past request.
+    client
+        .repair_delete(0, aire_http::Headers::new())
+        .unwrap();
+    world.pump();
+    println!(
+        "after the client deletes its own post: {}",
+        client.view().get("cached_feed").encode()
+    );
+}

@@ -1,0 +1,322 @@
+//! Property-based convergence tests.
+//!
+//! The paper's goal state is "consistent with the attack never having
+//! taken place" (§2), argued informally in §3.3. Deterministic handlers
+//! make the strongest form of that argument testable: run a random
+//! workload with an attack, repair, and compare every service's
+//! user-visible state against a *clean world* that executed the same
+//! workload without the attack.
+
+use std::rc::Rc;
+
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::World;
+use aire::http::{HttpRequest, HttpResponse, Method, Url};
+use aire::types::{jv, Jv, RequestId};
+use aire::vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire::web::{App, AuthorizeCtx, Ctx, Router, WebError};
+use proptest::prelude::*;
+
+//////// A two-service system: board mirrors posts to archive. ////////
+
+struct Board;
+struct Archive;
+
+fn h_post(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("posts", jv!({"text": text.clone()}))?;
+    // Posts containing "sync" are mirrored to the archive.
+    if text.contains("sync") {
+        ctx.call(HttpRequest::post(
+            Url::service("archive", "/post"),
+            jv!({"text": text}),
+        ));
+    }
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn h_count_matching(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    // A derived write: stores the number of posts matching a needle —
+    // gives repair a read-then-write dependency to exercise.
+    let needle = ctx.body_str("needle")?.to_string();
+    let rows = ctx.scan("posts", &Filter::all().contains("text", &needle))?;
+    let count = rows.len() as i64;
+    ctx.insert("counts", jv!({"needle": needle, "count": count}))?;
+    Ok(HttpResponse::ok(jv!({"count": count})))
+}
+
+fn h_dump(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let posts = ctx.scan("posts", &Filter::all())?;
+    let texts: Vec<Jv> = posts
+        .into_iter()
+        .map(|(_, p)| p.get("text").clone())
+        .collect();
+    let counts = ctx.scan("counts", &Filter::all())?;
+    let tallies: Vec<Jv> = counts
+        .into_iter()
+        .map(|(_, c)| jv!({"needle": c.get("needle").clone(), "count": c.get("count").clone()}))
+        .collect();
+    Ok(HttpResponse::ok(
+        jv!({"posts": Jv::List(texts), "counts": Jv::List(tallies)}),
+    ))
+}
+
+fn board_schemas() -> Vec<Schema> {
+    vec![
+        Schema::new("posts", vec![FieldDef::new("text", FieldKind::Str)]),
+        Schema::new(
+            "counts",
+            vec![
+                FieldDef::new("needle", FieldKind::Str),
+                FieldDef::new("count", FieldKind::Int),
+            ],
+        ),
+    ]
+}
+
+impl App for Board {
+    fn name(&self) -> &str {
+        "board"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        board_schemas()
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/post", h_post)
+            .post("/tally", h_count_matching)
+            .get("/dump", h_dump)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+impl App for Archive {
+    fn name(&self) -> &str {
+        "archive"
+    }
+
+    fn schemas(&self) -> Vec<Schema> {
+        board_schemas()
+    }
+
+    fn router(&self) -> Router {
+        Router::new()
+            .post("/post", h_post)
+            .post("/tally", h_count_matching)
+            .get("/dump", h_dump)
+    }
+
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+//////// Random workloads. ////////
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Post `text` to the board (mirrored when it contains "sync").
+    Post(String),
+    /// Tally posts matching a needle on the board.
+    Tally(String),
+    /// Tally on the archive.
+    ArchiveTally(String),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0u8..4, any::<bool>()).prop_map(|(n, sync)| {
+            let text = if sync { format!("note-{n} sync") } else { format!("note-{n}") };
+            Step::Post(text)
+        }),
+        1 => (0u8..4).prop_map(|n| Step::Tally(format!("note-{n}"))),
+        1 => prop_oneof![Just("sync".to_string()), Just("note".to_string())]
+            .prop_map(Step::ArchiveTally),
+    ]
+}
+
+fn build_world() -> World {
+    let mut world = World::new();
+    world.add_service(Rc::new(Board));
+    world.add_service(Rc::new(Archive));
+    world
+}
+
+/// Runs `steps`, optionally skipping the attack at `attack_pos`. Returns
+/// the id of the attack request if executed.
+fn run(
+    world: &World,
+    steps: &[Step],
+    attack_pos: usize,
+    include_attack: bool,
+) -> Option<RequestId> {
+    let mut attack_id = None;
+    for (i, step) in steps.iter().enumerate() {
+        let is_attack = i == attack_pos;
+        if is_attack && !include_attack {
+            continue;
+        }
+        let resp = match step {
+            Step::Post(text) => {
+                let text = if is_attack {
+                    format!("ATTACK {text} sync")
+                } else {
+                    text.clone()
+                };
+                world
+                    .deliver(&HttpRequest::post(
+                        Url::service("board", "/post"),
+                        jv!({"text": text}),
+                    ))
+                    .unwrap()
+            }
+            Step::Tally(needle) => world
+                .deliver(&HttpRequest::post(
+                    Url::service("board", "/tally"),
+                    jv!({"needle": needle.clone()}),
+                ))
+                .unwrap(),
+            Step::ArchiveTally(needle) => world
+                .deliver(&HttpRequest::post(
+                    Url::service("archive", "/tally"),
+                    jv!({"needle": needle.clone()}),
+                ))
+                .unwrap(),
+        };
+        assert!(resp.status.is_success());
+        if is_attack {
+            attack_id = aire::http::aire::response_request_id(&resp);
+        }
+    }
+    attack_id
+}
+
+fn dump(world: &World, host: &str) -> String {
+    world
+        .deliver(&HttpRequest::new(Method::Get, Url::service(host, "/dump")))
+        .unwrap()
+        .body
+        .encode()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Repairing the attack yields exactly the state of a world where the
+    /// attack never executed — including derived writes (tallies) and the
+    /// mirrored second service.
+    #[test]
+    fn repaired_world_equals_clean_world(
+        steps in proptest::collection::vec(step_strategy(), 4..24),
+        attack_frac in 0.0f64..1.0,
+    ) {
+        let attack_pos = ((steps.len() - 1) as f64 * attack_frac) as usize;
+        // Force the attack step to be a post so it is always repairable.
+        let mut steps = steps;
+        steps[attack_pos] = Step::Post("payload".to_string());
+
+        let attacked = build_world();
+        let attack_id = run(&attacked, &steps, attack_pos, true).expect("attack ran");
+
+        let clean = build_world();
+        run(&clean, &steps, attack_pos, false);
+
+        // Repair the attacked world.
+        let ack = attacked
+            .invoke_repair(
+                "board",
+                RepairMessage::bare(RepairOp::Delete { request_id: attack_id }),
+            )
+            .unwrap();
+        prop_assert!(ack.status.is_success());
+        let report = attacked.pump();
+        prop_assert!(report.quiescent(), "pump stuck: {report:?}");
+
+        prop_assert_eq!(dump(&attacked, "board"), dump(&clean, "board"));
+        prop_assert_eq!(dump(&attacked, "archive"), dump(&clean, "archive"));
+    }
+
+    /// Repair is idempotent: deleting the same request repeatedly never
+    /// changes the converged state.
+    #[test]
+    fn repair_is_idempotent(
+        steps in proptest::collection::vec(step_strategy(), 3..12),
+        repeats in 1usize..4,
+    ) {
+        let attack_pos = steps.len() / 2;
+        let mut steps = steps;
+        steps[attack_pos] = Step::Post("payload".to_string());
+
+        let world = build_world();
+        let attack_id = run(&world, &steps, attack_pos, true).expect("attack ran");
+
+        let mut snapshots = Vec::new();
+        for _ in 0..repeats {
+            world
+                .invoke_repair(
+                    "board",
+                    RepairMessage::bare(RepairOp::Delete { request_id: attack_id.clone() }),
+                )
+                .unwrap();
+            world.pump();
+            snapshots.push((dump(&world, "board"), dump(&world, "archive")));
+        }
+        for pair in snapshots.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+
+    /// Replacing a request is equivalent to having issued the replacement
+    /// originally.
+    #[test]
+    fn replace_equals_original_execution(
+        prefix in proptest::collection::vec(step_strategy(), 0..8),
+        suffix in proptest::collection::vec(step_strategy(), 0..8),
+    ) {
+        // World X: post "old", later replace it with "new".
+        let x = build_world();
+        run(&x, &prefix, usize::MAX, true);
+        let target = x
+            .deliver(&HttpRequest::post(
+                Url::service("board", "/post"),
+                jv!({"text": "old sync"}),
+            ))
+            .unwrap();
+        let target_id = aire::http::aire::response_request_id(&target).unwrap();
+        run(&x, &suffix, usize::MAX, true);
+
+        // World Y: the replacement content was there from the start.
+        let y = build_world();
+        run(&y, &prefix, usize::MAX, true);
+        y.deliver(&HttpRequest::post(
+            Url::service("board", "/post"),
+            jv!({"text": "new sync"}),
+        ))
+        .unwrap();
+        run(&y, &suffix, usize::MAX, true);
+
+        let replacement = HttpRequest::post(
+            Url::service("board", "/post"),
+            jv!({"text": "new sync"}),
+        );
+        x.invoke_repair(
+            "board",
+            RepairMessage::bare(RepairOp::Replace {
+                request_id: target_id,
+                new_request: replacement,
+            }),
+        )
+        .unwrap();
+        let report = x.pump();
+        prop_assert!(report.quiescent());
+
+        prop_assert_eq!(dump(&x, "board"), dump(&y, "board"));
+        prop_assert_eq!(dump(&x, "archive"), dump(&y, "archive"));
+    }
+}

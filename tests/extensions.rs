@@ -1,0 +1,240 @@
+//! Facade-level capstone test: every extension working *together*.
+//!
+//! One flow exercises the §1 company scenario under deferred repair
+//! (§3.2 aggregation), with an Aire-enabled auditor client (`aire-client`)
+//! whose cached view is repaired through the token dance, a crash and
+//! restore of one service mid-recovery (persistence), and randomized
+//! delivery interleaving — converging to the same state as the plain,
+//! fault-free run.
+
+use std::rc::Rc;
+
+use aire::client::AireClient;
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::{ControllerConfig, RepairMode, World};
+use aire_apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire_apps::{AccessCtl, Crm, Hrm};
+use aire_http::{Headers, HttpRequest, HttpResponse, Url};
+use aire_types::{jv, Jv};
+
+fn admin_post(host: &str, path: &str, body: Jv) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body).with_header(ADMIN_HEADER, ADMIN_SECRET)
+}
+
+fn bearer_post(host: &str, path: &str, body: Jv, token: &str) -> HttpRequest {
+    HttpRequest::post(Url::service(host, path), body)
+        .with_header("Authorization", format!("Bearer {token}"))
+}
+
+/// Provisions the three company services (condensed from the workload
+/// scenario) and corrupts them via the bulk-import exploit.
+fn provision_and_attack(world: &World) -> HttpResponse {
+    for (svc, peer, token) in [
+        ("hrm", "accessctl", "acl-svc-token"),
+        ("crm", "accessctl", "acl-svc-token"),
+        ("crm", "hrm", "hrm-svc-token"),
+    ] {
+        world
+            .deliver(&admin_post(
+                svc,
+                "/token",
+                jv!({"token": token, "principal": peer}),
+            ))
+            .unwrap();
+        world
+            .deliver(&admin_post(
+                svc,
+                "/perm_sync",
+                jv!({"principal": peer, "perm": "admin"}),
+            ))
+            .unwrap();
+    }
+    for (svc, token) in [("hrm", "acl-svc-token"), ("crm", "acl-svc-token")] {
+        world
+            .deliver(&admin_post(
+                "accessctl",
+                "/peer",
+                jv!({"service": svc, "token": token}),
+            ))
+            .unwrap();
+    }
+    world
+        .deliver(&admin_post(
+            "hrm",
+            "/peer",
+            jv!({"service": "crm", "token": "hrm-svc-token"}),
+        ))
+        .unwrap();
+    world
+        .deliver(&admin_post(
+            "hrm",
+            "/token",
+            jv!({"token": "alice-token", "principal": "alice"}),
+        ))
+        .unwrap();
+    world
+        .deliver(&admin_post(
+            "accessctl",
+            "/grant",
+            jv!({"principal": "alice", "service": "hrm", "perm": "write"}),
+        ))
+        .unwrap();
+    world
+        .deliver(&bearer_post(
+            "hrm",
+            "/employee",
+            jv!({"name": "bob", "title": "account exec", "salary": 90000}),
+            "alice-token",
+        ))
+        .unwrap();
+
+    // Exploit + abuse.
+    world
+        .deliver(&HttpRequest::post(
+            Url::service("accessctl", "/bulk_import"),
+            jv!({"legacy": true, "grants": [
+                {"principal": "mallory", "service": "hrm", "perm": "write"}
+            ]}),
+        ))
+        .unwrap()
+}
+
+fn corrupt_hrm(world: &World) {
+    world
+        .deliver(&admin_post(
+            "hrm",
+            "/token",
+            jv!({"token": "mallory-token", "principal": "mallory"}),
+        ))
+        .unwrap();
+    let resp = world
+        .deliver(&bearer_post(
+            "hrm",
+            "/employee",
+            jv!({"name": "bob", "title": "FIRED", "salary": 1}),
+            "mallory-token",
+        ))
+        .unwrap();
+    assert!(resp.status.is_success(), "attack write must land");
+}
+
+/// The auditor's fold: cache the latest employee list it read.
+fn audit_fold(view: &mut Jv, req: &HttpRequest, resp: &HttpResponse) {
+    if req.url.path == "/employees" && resp.status.is_success() {
+        view.set("employees", resp.body.clone());
+    }
+}
+
+#[test]
+fn all_extensions_compose() {
+    let mut world = World::new();
+    world.add_service(Rc::new(AccessCtl));
+    world.add_service(Rc::new(Hrm));
+    world.add_service(Rc::new(Crm));
+    let exploit = provision_and_attack(&world);
+    corrupt_hrm(&world);
+
+    // An Aire-enabled auditor daemon caches the (corrupted) payroll.
+    let auditor = AireClient::register(world.net(), "auditor", audit_fold);
+    auditor.get("hrm", "/employees").unwrap();
+    assert!(auditor.view().get("employees").encode().contains("FIRED"));
+
+    // Every service defers incoming repairs (§3.2).
+    world.set_repair_mode_all(RepairMode::Deferred);
+
+    // The administrator cancels the exploit.
+    let exploit_id = aire_http::aire::response_request_id(&exploit).unwrap();
+    let mut creds = Headers::new();
+    creds.set(ADMIN_HEADER, ADMIN_SECRET);
+    let ack = world
+        .invoke_repair(
+            "accessctl",
+            RepairMessage::with_credentials(
+                RepairOp::Delete {
+                    request_id: exploit_id,
+                },
+                creds,
+            ),
+        )
+        .unwrap();
+    assert!(ack.status.is_success());
+    assert_eq!(world.pending_local_repairs(), 1, "seed parked on accessctl");
+
+    // accessctl runs its aggregated pass; the delete for hrm queues.
+    assert!(world.run_local_repairs() > 0);
+    assert!(world.queued_messages() >= 1);
+
+    // hrm crashes before the message arrives; restore it from snapshot.
+    let hrm_snap = world.controller("hrm").snapshot();
+    let hrm_snap = Jv::decode(&hrm_snap.encode()).unwrap();
+    let mut world2 = World::new();
+    // Rebuild the whole fleet (accessctl and crm from live snapshots too,
+    // to exercise multi-service restore).
+    for (app, snap) in [
+        (
+            Rc::new(AccessCtl) as Rc<dyn aire_web::App>,
+            world.controller("accessctl").snapshot(),
+        ),
+        (Rc::new(Hrm) as Rc<dyn aire_web::App>, hrm_snap),
+        (
+            Rc::new(Crm) as Rc<dyn aire_web::App>,
+            world.controller("crm").snapshot(),
+        ),
+    ] {
+        world2
+            .add_service_restored(app, ControllerConfig::default(), &snap)
+            .unwrap();
+    }
+    // The auditor reconnects to the restored fleet.
+    let auditor2 = AireClient::register(world2.net(), "auditor2", audit_fold);
+    auditor2.get("hrm", "/employees").unwrap();
+    assert!(
+        auditor2.view().get("employees").encode().contains("FIRED"),
+        "restored hrm is still corrupted until the queued repair lands"
+    );
+
+    // Randomized interleaved delivery + deferred passes, to quiescence.
+    let mut rounds = 0;
+    loop {
+        let delivered = world2.pump_interleaved(42 + rounds, |_, _| {}).delivered;
+        let repaired = world2.run_local_repairs();
+        rounds += 1;
+        if delivered == 0 && repaired == 0 {
+            break;
+        }
+        assert!(rounds < 64, "recovery did not converge");
+    }
+
+    // Everything is clean: the grant, the permission, the record, the
+    // CRM mirror, and the auditor's repaired cache.
+    let grants = world2
+        .deliver(&HttpRequest::get(Url::service("accessctl", "/grants")))
+        .unwrap();
+    assert!(!grants.body.encode().contains("mallory"));
+    let employees = world2
+        .deliver(&HttpRequest::get(Url::service("hrm", "/employees")))
+        .unwrap();
+    assert!(!employees.body.encode().contains("FIRED"));
+    assert_eq!(
+        employees.body.as_list().unwrap()[0].get("salary").as_int(),
+        Some(90000)
+    );
+    let reps = world2
+        .deliver(&HttpRequest::get(Url::service("crm", "/reps")))
+        .unwrap();
+    assert!(!reps.body.encode().contains("FIRED"));
+    assert!(
+        !auditor2.view().get("employees").encode().contains("FIRED"),
+        "the auditor's cache was repaired through the token dance"
+    );
+    // The attack vector is closed.
+    let denied = world2
+        .deliver(&bearer_post(
+            "hrm",
+            "/employee",
+            jv!({"name": "bob", "title": "FIRED", "salary": 1}),
+            "mallory-token",
+        ))
+        .unwrap();
+    assert!(!denied.status.is_success());
+}

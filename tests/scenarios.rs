@@ -1,0 +1,215 @@
+//! The paper's §7 evaluation scenarios as integration tests, at fuller
+//! scale than the in-crate unit tests.
+
+use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::http::{Headers, HttpRequest, Url};
+use aire::types::jv;
+use aire::workload::scenarios::askbot_attack::{self, AskbotWorkload};
+use aire::workload::scenarios::{fig2, fig3, spreadsheet};
+
+#[test]
+fn fig4_askbot_attack_full_scale_recovery() {
+    // A mid-sized version of the Table 5 workload (the full 100-user run
+    // lives in the bench harness).
+    let cfg = AskbotWorkload {
+        legit_users: 30,
+        questions_per_user: 5,
+        oauth_signups: 3,
+    };
+    let s = askbot_attack::setup(&cfg);
+    let before = askbot_attack::askbot_titles(&s.world);
+    assert!(before.iter().any(|t| t.contains("FREE BITCOIN")));
+
+    let ack = askbot_attack::repair(&s);
+    assert!(ack.status.is_success());
+    let report = s.world.pump();
+    assert!(report.quiescent());
+
+    let after = askbot_attack::askbot_titles(&s.world);
+    assert_eq!(
+        after.len(),
+        before.len() - 1,
+        "exactly the attack question disappears"
+    );
+    for t in &s.legit_titles {
+        assert!(after.contains(t));
+    }
+    assert!(!askbot_attack::attack_paste_exists(&s));
+
+    // Table 5 shape: selective re-execution on askbot; oauth repairs
+    // requests 1 and 4 only; exactly one repair message each from oauth
+    // (replace_response) and askbot (delete), none from dpaste.
+    let m = askbot_attack::metrics(&s);
+    let find = |name: &str| m.iter().find(|x| x.service == name).unwrap();
+    let askbot = find("askbot");
+    assert!(askbot.repaired_requests as f64 <= 0.4 * askbot.total_requests as f64);
+    assert_eq!(find("oauth").repaired_requests, 2);
+    assert_eq!(find("oauth").repair_messages_sent, 1);
+    assert_eq!(find("askbot").repair_messages_sent, 1);
+    assert_eq!(find("dpaste").repair_messages_sent, 0);
+}
+
+#[test]
+fn fig4_attack_vector_is_closed_after_repair() {
+    let cfg = AskbotWorkload {
+        legit_users: 5,
+        questions_per_user: 2,
+        oauth_signups: 1,
+    };
+    let s = askbot_attack::setup(&cfg);
+    askbot_attack::repair(&s);
+    s.world.pump();
+
+    // Re-running the exploit now fails: the debug flag is gone.
+    let retry = s
+        .world
+        .deliver(&HttpRequest::post(
+            Url::service("askbot", "/signup_oauth"),
+            jv!({"username": "victim3", "email": "victim@example.com", "oauth_token": "junk"}),
+        ))
+        .unwrap();
+    assert_eq!(retry.status, aire::http::Status::FORBIDDEN);
+
+    // Legitimate OAuth flows still work end to end.
+    let grant = s
+        .world
+        .deliver(&HttpRequest::post(
+            Url::service("oauth", "/authorize"),
+            jv!({"username": "victim", "password": "pw"}),
+        ))
+        .unwrap();
+    let token = grant.body.str_of("token").to_string();
+    let signup = s
+        .world
+        .deliver(&HttpRequest::post(
+            Url::service("askbot", "/signup_oauth"),
+            jv!({"username": "victim-real", "email": "victim@example.com", "oauth_token": token}),
+        ))
+        .unwrap();
+    assert!(
+        signup.status.is_success(),
+        "legitimate signup must still work"
+    );
+}
+
+#[test]
+fn fig5_all_three_variants_recover() {
+    for variant in [
+        spreadsheet::Variant::LaxPermissions,
+        spreadsheet::Variant::LaxDirectory,
+        spreadsheet::Variant::CorruptSync,
+    ] {
+        let s = spreadsheet::setup(variant);
+        spreadsheet::repair(&s);
+        spreadsheet::assert_recovered(&s);
+    }
+}
+
+#[test]
+fn section_7_2_offline_services_repair_on_return() {
+    // Askbot variant.
+    let cfg = AskbotWorkload {
+        legit_users: 6,
+        questions_per_user: 2,
+        oauth_signups: 1,
+    };
+    let s = askbot_attack::setup(&cfg);
+    s.world.set_online("dpaste", false);
+    askbot_attack::repair(&s);
+    assert!(!s.world.pump().quiescent());
+    s.world.set_online("dpaste", true);
+    assert!(s.world.pump().quiescent());
+    assert!(!askbot_attack::attack_paste_exists(&s));
+
+    // Spreadsheet variant.
+    let s = spreadsheet::setup(spreadsheet::Variant::CorruptSync);
+    s.world.set_online("sheet-b", false);
+    spreadsheet::repair(&s);
+    assert_eq!(
+        spreadsheet::cell(&s.world, "sheet-a", "shared", "total"),
+        ""
+    );
+    // B comes back: still corrupt until the queued repair reaches it.
+    s.world.set_online("sheet-b", true);
+    assert_eq!(
+        spreadsheet::cell(&s.world, "sheet-b", "shared", "total"),
+        "HACKED"
+    );
+    assert!(s.world.pump().quiescent());
+    spreadsheet::assert_recovered(&s);
+}
+
+#[test]
+fn section_7_2_never_returning_service_leaves_notification() {
+    let cfg = AskbotWorkload {
+        legit_users: 4,
+        questions_per_user: 2,
+        oauth_signups: 1,
+    };
+    let s = askbot_attack::setup(&cfg);
+    s.world.set_online("dpaste", false);
+    askbot_attack::repair(&s);
+    s.world.pump();
+    // "Aire on Askbot timed out attempting to send the delete message to
+    // Dpaste, and notified the Askbot administrator" (§7.2).
+    let notes = s.world.controller("askbot").notifications();
+    assert!(notes.iter().any(|n| n.target == "dpaste" && n.retryable));
+    // The message stays queued for whenever dpaste returns.
+    assert!(s.world.queued_messages() >= 1);
+}
+
+#[test]
+fn fig2_client_history_is_eventually_exact() {
+    let s = fig2::setup();
+    fig2::repair_locally(&s);
+    // Partial state: store repaired, observer stale — valid per §5.1.
+    assert_eq!(fig2::current_value(&s.world), "a");
+    assert_eq!(fig2::observations(&s.world), vec!["b"]);
+    s.world.pump();
+    assert_eq!(fig2::observations(&s.world), vec!["a"]);
+}
+
+#[test]
+fn fig3_exact_paper_state() {
+    let s = fig3::setup();
+    fig3::repair(&s);
+    let (value, version, labels) = fig3::state(&s.world);
+    assert_eq!(value, "d");
+    assert_eq!(version, "v6");
+    assert_eq!(labels, vec!["v1", "v2", "v3", "v4", "v5", "v6"]);
+}
+
+#[test]
+fn expired_credentials_hold_and_retry_end_to_end() {
+    let s = spreadsheet::setup(spreadsheet::Variant::LaxPermissions);
+    s.world
+        .deliver(
+            &HttpRequest::post(
+                Url::service("sheet-b", "/token"),
+                jv!({"token": "dir-script-tok", "principal": "acl-admin", "valid": false}),
+            )
+            .with_header(ADMIN_HEADER, ADMIN_SECRET),
+        )
+        .unwrap();
+    spreadsheet::repair(&s);
+    assert!(spreadsheet::acl_contains(&s.world, "sheet-b", "attacker"));
+
+    // Refresh + retry.
+    s.world
+        .deliver(
+            &HttpRequest::post(
+                Url::service("sheet-b", "/token"),
+                jv!({"token": "renewed", "principal": "acl-admin", "valid": true}),
+            )
+            .with_header(ADMIN_HEADER, ADMIN_SECRET),
+        )
+        .unwrap();
+    let dir = s.world.controller("acl-dir");
+    let mut creds = Headers::new();
+    creds.set("Authorization", "Bearer renewed");
+    for q in dir.queued_repairs().into_iter().filter(|q| q.held) {
+        dir.retry(q.msg_id, creds.clone()).unwrap();
+    }
+    assert!(s.world.pump().quiescent());
+    spreadsheet::assert_recovered(&s);
+}
