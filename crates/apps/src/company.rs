@@ -286,8 +286,10 @@ fn h_peer(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
     let service = ctx.body_str("service")?.to_string();
     let token = ctx.body_str("token")?.to_string();
     let row = jv!({"service": service.clone(), "token": token});
-    if let Some((id, _)) = ctx.find("peer_tokens", &Filter::all().eq("service", service.as_str()))?
-    {
+    if let Some((id, _)) = ctx.find(
+        "peer_tokens",
+        &Filter::all().eq("service", service.as_str()),
+    )? {
         ctx.update("peer_tokens", id, row)?;
     } else {
         ctx.insert("peer_tokens", row)?;

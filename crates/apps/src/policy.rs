@@ -60,10 +60,10 @@ pub fn two_step(az: &AuthorizeCtx<'_>, verify: impl Fn(&str) -> bool) -> bool {
     if !same_principal(az) {
         return false;
     }
-    let code = az
-        .credentials
-        .get(SECOND_FACTOR_HEADER)
-        .or_else(|| az.repaired_request.and_then(|r| r.headers.get(SECOND_FACTOR_HEADER)));
+    let code = az.credentials.get(SECOND_FACTOR_HEADER).or_else(|| {
+        az.repaired_request
+            .and_then(|r| r.headers.get(SECOND_FACTOR_HEADER))
+    });
     match code {
         Some(code) => verify(code),
         None => false,

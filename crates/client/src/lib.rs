@@ -424,10 +424,7 @@ mod tests {
         assert_eq!(call.response_id, ResponseId::new("cli", 1));
         assert_eq!(call.remote_request_id, Some(RequestId::new("echo", 1)));
         // Plumbing headers went out.
-        assert_eq!(
-            call.request.headers.get(aire::RESPONSE_ID),
-            Some("cli/R1")
-        );
+        assert_eq!(call.request.headers.get(aire::RESPONSE_ID), Some("cli/R1"));
         assert!(call
             .request
             .headers

@@ -11,8 +11,8 @@ use std::rc::Rc;
 
 use aire_client::{AireClient, ClientEvent};
 use aire_core::World;
-use aire_http::{Headers, HttpRequest, HttpResponse, Method, Url};
 use aire_http::Status;
+use aire_http::{Headers, HttpRequest, HttpResponse, Method, Url};
 use aire_types::{jv, Jv};
 use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
 use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
@@ -199,7 +199,10 @@ fn client_initiated_replace_fixes_the_request_and_later_the_response() {
             Url::service("notes", "/list"),
         ))
         .unwrap();
-    assert_eq!(listed.body.as_list().unwrap()[0].as_str(), Some("typo-fixed"));
+    assert_eq!(
+        listed.body.as_list().unwrap()[0].as_str(),
+        Some("typo-fixed")
+    );
 
     // The corrected responses (for the replaced request and the affected
     // read) flow back asynchronously.

@@ -193,7 +193,10 @@ impl Controller {
         );
         m.set("next_token_seq", Jv::i(core.next_token_seq as i64));
         m.set("stats", core.stats.to_jv());
-        m.set("admin_notices", Jv::list(core.admin_notices.iter().cloned()));
+        m.set(
+            "admin_notices",
+            Jv::list(core.admin_notices.iter().cloned()),
+        );
         m.set(
             "notifications",
             Jv::list(core.notifications.iter().map(|p| {
@@ -573,7 +576,8 @@ impl Controller {
                         None,
                         &credentials,
                     )?;
-                    core.incoming.replace_create(request_id, new_request.clone());
+                    core.incoming
+                        .replace_create(request_id, new_request.clone());
                     core.stats.repair_messages_received += 1;
                     let mut ack = HttpResponse::ok(jv!({"aire": "queued"}));
                     aire::tag_response(&mut ack, request_id);
@@ -649,10 +653,9 @@ impl Controller {
                 Seed::Replace(time, id, new_request) => {
                     (id, PendingSeed::Replace { time, new_request })
                 }
-                Seed::Create(time, id, request) => (
-                    id.clone(),
-                    PendingSeed::Create { time, id, request },
-                ),
+                Seed::Create(time, id, request) => {
+                    (id.clone(), PendingSeed::Create { time, id, request })
+                }
             };
             core.incoming.push(pending);
             let mut ack = HttpResponse::ok(jv!({"aire": "queued"}));

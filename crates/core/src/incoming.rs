@@ -183,9 +183,10 @@ impl IncomingQueue {
     /// create (the remote re-repaired before we ran our pass). Returns
     /// the cancelled seed.
     pub fn cancel_create(&mut self, id: &RequestId) -> Option<PendingSeed> {
-        let pos = self.seeds.iter().position(
-            |s| matches!(s, PendingSeed::Create { id: cid, .. } if cid == id),
-        )?;
+        let pos = self
+            .seeds
+            .iter()
+            .position(|s| matches!(s, PendingSeed::Create { id: cid, .. } if cid == id))?;
         let seed = self.seeds.remove(pos);
         if let PendingSeed::Create { time, .. } = &seed {
             self.reserved.remove(time);
@@ -198,7 +199,10 @@ impl IncomingQueue {
     /// only exists as a queued create. Returns true if one was updated.
     pub fn replace_create(&mut self, id: &RequestId, new_request: HttpRequest) -> bool {
         for seed in &mut self.seeds {
-            if let PendingSeed::Create { id: cid, request, .. } = seed {
+            if let PendingSeed::Create {
+                id: cid, request, ..
+            } = seed
+            {
                 if cid == id {
                     *request = new_request;
                     return true;

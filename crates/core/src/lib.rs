@@ -42,6 +42,78 @@
 //! * [`stats`] — the counters behind Tables 4 and 5.
 //!
 //! [`Runtime`]: aire_web::Runtime
+//!
+//! ## Quick start
+//!
+//! Host a minimal application under a repair controller, then undo a
+//! past request and everything it caused:
+//!
+//! ```
+//! use std::rc::Rc;
+//!
+//! use aire_core::protocol::{RepairMessage, RepairOp};
+//! use aire_core::World;
+//! use aire_http::{HttpRequest, HttpResponse, Status, Url};
+//! use aire_types::jv;
+//! use aire_vdb::{FieldDef, FieldKind, Schema};
+//! use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
+//!
+//! struct Notes;
+//!
+//! fn h_new(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+//!     let text = ctx.body_str("text")?.to_string();
+//!     let id = ctx.insert("notes", jv!({"text": text}))?;
+//!     Ok(HttpResponse::ok(jv!({"id": id as i64})))
+//! }
+//!
+//! fn h_show(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+//!     let id = ctx.param_u64("id")?;
+//!     let note = ctx.get_or_404("notes", id)?;
+//!     Ok(HttpResponse::ok(note))
+//! }
+//!
+//! impl App for Notes {
+//!     fn name(&self) -> &str {
+//!         "notes"
+//!     }
+//!     fn schemas(&self) -> Vec<Schema> {
+//!         vec![Schema::new("notes", vec![FieldDef::new("text", FieldKind::Str)])]
+//!     }
+//!     fn router(&self) -> Router {
+//!         Router::new().post("/note", h_new).get("/note/<id>", h_show)
+//!     }
+//!     // The demo lets anyone repair; real services apply §4 policies.
+//!     fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+//!         true
+//!     }
+//! }
+//!
+//! let mut world = World::new();
+//! world.add_service(Rc::new(Notes));
+//!
+//! // Normal operation: the controller logs every request.
+//! let created = world
+//!     .deliver(&HttpRequest::post(
+//!         Url::service("notes", "/note"),
+//!         jv!({"text": "hello"}),
+//!     ))
+//!     .unwrap();
+//! let id = created.body.int_of("id");
+//! let request_id = aire_http::aire::response_request_id(&created).unwrap();
+//!
+//! // Recovery: delete the request, then drain cross-service queues.
+//! let ack = world
+//!     .invoke_repair("notes", RepairMessage::bare(RepairOp::Delete { request_id }))
+//!     .unwrap();
+//! assert!(ack.status.is_success());
+//! world.pump();
+//!
+//! // The note is gone, as if it had never been created.
+//! let after = world
+//!     .deliver(&HttpRequest::get(Url::service("notes", format!("/note/{id}"))))
+//!     .unwrap();
+//! assert_eq!(after.status, Status::NOT_FOUND);
+//! ```
 
 pub mod bare;
 pub mod controller;

@@ -88,11 +88,17 @@ impl RepairOp {
                 m.set("request", request.to_jv());
                 m.set(
                     "before_id",
-                    before_id.as_ref().map(|i| Jv::s(i.wire())).unwrap_or(Jv::Null),
+                    before_id
+                        .as_ref()
+                        .map(|i| Jv::s(i.wire()))
+                        .unwrap_or(Jv::Null),
                 );
                 m.set(
                     "after_id",
-                    after_id.as_ref().map(|i| Jv::s(i.wire())).unwrap_or(Jv::Null),
+                    after_id
+                        .as_ref()
+                        .map(|i| Jv::s(i.wire()))
+                        .unwrap_or(Jv::Null),
                 );
             }
             RepairOp::ReplaceResponse {
@@ -135,8 +141,7 @@ impl RepairOp {
                 after_id: optional_id("after_id")?,
             },
             RepairKind::ReplaceResponse => RepairOp::ReplaceResponse {
-                response_id: ResponseId::parse(v.str_of("response_id"))
-                    .ok_or("bad response_id")?,
+                response_id: ResponseId::parse(v.str_of("response_id")).ok_or("bad response_id")?,
                 new_response: HttpResponse::from_jv(v.get("new_response"))?,
             },
         })

@@ -370,7 +370,9 @@ fn replace_response_defers_the_reexecution_not_the_record() {
 
     // Only the consumer defers.
     consumer.set_repair_mode(RepairMode::Deferred);
-    world.invoke_repair("oracle", delete_of(&misconfig)).unwrap();
+    world
+        .invoke_repair("oracle", delete_of(&misconfig))
+        .unwrap();
     let report = world.pump();
     assert!(
         report.quiescent(),

@@ -237,7 +237,11 @@ fn queued_repair_messages_survive_a_crash() {
 
     // The queued message survived and now propagates.
     assert_eq!(world2.queued_messages(), 1);
-    assert_eq!(list_texts(&world2, "notes"), vec!["EVIL"], "not yet repaired");
+    assert_eq!(
+        list_texts(&world2, "notes"),
+        vec!["EVIL"],
+        "not yet repaired"
+    );
     let report = world2.pump();
     assert!(report.quiescent(), "{report:?}");
     assert_eq!(list_texts(&world2, "notes"), Vec::<String>::new());
@@ -303,7 +307,10 @@ fn stats_and_notifications_survive() {
     let after = restored.stats();
     assert_eq!(after.normal_requests, before.normal_requests);
     assert_eq!(after.repaired_requests, before.repaired_requests);
-    assert_eq!(after.repair_messages_received, before.repair_messages_received);
+    assert_eq!(
+        after.repair_messages_received,
+        before.repair_messages_received
+    );
     assert_eq!(restored.notifications(), notes_before);
 }
 

@@ -412,7 +412,9 @@ impl ActionRecord {
         };
         let notifier_url = match v.get("notifier_url") {
             Jv::Null => None,
-            other => Some(Url::parse(other.as_str().ok_or("action: bad notifier_url")?)?),
+            other => Some(Url::parse(
+                other.as_str().ok_or("action: bad notifier_url")?,
+            )?),
         };
         let mut db_ops = Vec::new();
         for op in v.get("db_ops").as_list().unwrap_or(&[]) {

@@ -142,9 +142,12 @@ impl Filter {
                 "ne" => Cmp::Ne(value.clone()),
                 "lt" => Cmp::Lt(value.as_int().ok_or("lt bound must be int")?),
                 "gt" => Cmp::Gt(value.as_int().ok_or("gt bound must be int")?),
-                "contains" => {
-                    Cmp::Contains(value.as_str().ok_or("contains needle must be str")?.to_string())
-                }
+                "contains" => Cmp::Contains(
+                    value
+                        .as_str()
+                        .ok_or("contains needle must be str")?
+                        .to_string(),
+                ),
                 other => return Err(format!("unknown cmp {other:?}")),
             };
             filter = filter.add(field, cmp);

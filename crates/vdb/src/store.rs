@@ -578,30 +578,28 @@ impl VersionedStore {
                 .create_table(schema)
                 .map_err(|e| format!("restore: {e}"))?;
         }
-        store.gc_horizon = LogicalTime::parse_wire(snap.str_of("gc_horizon"))
-            .ok_or("restore: bad gc_horizon")?;
+        store.gc_horizon =
+            LogicalTime::parse_wire(snap.str_of("gc_horizon")).ok_or("restore: bad gc_horizon")?;
         let parse_version = |v: &Jv| -> Result<Version, String> {
-            let time =
-                LogicalTime::parse_wire(v.str_of("t")).ok_or("restore: bad version time")?;
+            let time = LogicalTime::parse_wire(v.str_of("t")).ok_or("restore: bad version time")?;
             let live = v.get("live").as_bool().unwrap_or(false);
             Ok(Version {
                 time,
                 data: live.then(|| v.get("d").clone()),
             })
         };
-        let parse_chains =
-            |v: &Jv| -> Result<BTreeMap<u64, Vec<Version>>, String> {
-                let mut out = BTreeMap::new();
-                for row in v.as_list().unwrap_or(&[]) {
-                    let id = row.get("id").as_int().ok_or("restore: bad row id")? as u64;
-                    let mut chain = Vec::new();
-                    for version in row.get("versions").as_list().unwrap_or(&[]) {
-                        chain.push(parse_version(version)?);
-                    }
-                    out.insert(id, chain);
+        let parse_chains = |v: &Jv| -> Result<BTreeMap<u64, Vec<Version>>, String> {
+            let mut out = BTreeMap::new();
+            for row in v.as_list().unwrap_or(&[]) {
+                let id = row.get("id").as_int().ok_or("restore: bad row id")? as u64;
+                let mut chain = Vec::new();
+                for version in row.get("versions").as_list().unwrap_or(&[]) {
+                    chain.push(parse_version(version)?);
                 }
-                Ok(out)
-            };
+                out.insert(id, chain);
+            }
+            Ok(out)
+        };
         let tables = snap
             .get("tables")
             .as_map()

@@ -122,7 +122,11 @@ fn main() {
             jv!({"text": "EVIL"}),
         ))
         .unwrap();
-    println!("attacked: mirror={} notes={}", list(&world, "mirror"), list(&world, "notes"));
+    println!(
+        "attacked: mirror={} notes={}",
+        list(&world, "mirror"),
+        list(&world, "notes")
+    );
 
     // The downstream service is offline; local repair runs upstream and
     // the delete for notes parks in mirror's outgoing queue.

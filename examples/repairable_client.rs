@@ -52,7 +52,9 @@ impl App for Feed {
     }
 
     fn router(&self) -> Router {
-        Router::new().post("/post", feed_post).get("/read", feed_read)
+        Router::new()
+            .post("/post", feed_post)
+            .get("/read", feed_read)
     }
 
     fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
@@ -80,9 +82,14 @@ fn main() {
             jv!({"text": "BUY CHEAP FOLLOWERS"}),
         ))
         .unwrap();
-    client.post("feed", "/post", jv!({"text": "hello world"})).unwrap();
+    client
+        .post("feed", "/post", jv!({"text": "hello world"}))
+        .unwrap();
     client.get("feed", "/read").unwrap();
-    println!("client cache before repair: {}", client.view().get("cached_feed").encode());
+    println!(
+        "client cache before repair: {}",
+        client.view().get("cached_feed").encode()
+    );
 
     // The administrator deletes the spam; the feed re-executes the
     // client's read and queues a replace_response for it.
@@ -90,7 +97,9 @@ fn main() {
     world
         .invoke_repair(
             "feed",
-            RepairMessage::bare(RepairOp::Delete { request_id: spam_id }),
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: spam_id,
+            }),
         )
         .unwrap();
     println!(
@@ -113,9 +122,7 @@ fn main() {
     }
 
     // The client can also undo its *own* past request.
-    client
-        .repair_delete(0, aire_http::Headers::new())
-        .unwrap();
+    client.repair_delete(0, aire_http::Headers::new()).unwrap();
     world.pump();
     println!(
         "after the client deletes its own post: {}",

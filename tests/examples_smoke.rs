@@ -1,0 +1,77 @@
+//! Smoke test: every example binary must run to completion successfully.
+//!
+//! `cargo test` compiles the package's examples before running
+//! integration tests, so the binaries are already sitting in
+//! `target/<profile>/examples`; we locate that directory relative to
+//! this test binary and execute each one.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "askbot_attack",
+    "company_intro",
+    "crash_recovery",
+    "partial_repair",
+    "quickstart",
+    "repairable_client",
+    "spreadsheet_acl",
+    "versioned_kv",
+];
+
+/// `target/<profile>/examples`, derived from this test binary's path
+/// (`target/<profile>/deps/examples_smoke-<hash>`).
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // <hash>d binary
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    let dir = examples_dir();
+    let mut failures = Vec::new();
+    for name in EXAMPLES {
+        let exe = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+        assert!(
+            exe.is_file(),
+            "example binary {exe:?} not found — was it removed from examples/?"
+        );
+        let output = Command::new(&exe)
+            .output()
+            .unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+        if !output.status.success() {
+            failures.push(format!(
+                "{name}: exited with {:?}\n--- stderr ---\n{}",
+                output.status.code(),
+                String::from_utf8_lossy(&output.stderr),
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} example(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The example list above must stay in sync with `examples/*.rs`.
+#[test]
+fn example_list_matches_source_tree() {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(src)
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "rs").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(found, expected);
+}
