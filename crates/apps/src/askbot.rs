@@ -235,7 +235,9 @@ impl App for Askbot {
                     FieldDef::new("email", FieldKind::Str),
                 ],
             )
-            .with_unique("username"),
+            .with_unique("username")
+            // Login resolves users by name on every session start.
+            .with_index("username"),
             session::sessions_schema(),
             Schema::new(
                 "questions",
@@ -254,7 +256,10 @@ impl App for Askbot {
                     FieldDef::fk("author_id", "users"),
                     FieldDef::new("body", FieldKind::Str),
                 ],
-            ),
+            )
+            // The question detail view filters answers by question on
+            // every page load — the hot read of the §7 workload.
+            .with_index("question_id"),
             Schema::new(
                 "votes",
                 vec![

@@ -173,6 +173,9 @@ fn schema_tokens() -> Schema {
             FieldDef::new("valid", FieldKind::Bool),
         ],
     )
+    // Every bearer-authenticated request — and every repair
+    // authorization check — resolves the credential by token value.
+    .with_index("token")
 }
 
 fn schema_perms() -> Schema {
@@ -183,6 +186,8 @@ fn schema_perms() -> Schema {
             FieldDef::new("perm", FieldKind::Str),
         ],
     )
+    // Permission checks and perm-sync upserts look up by principal.
+    .with_index("principal")
 }
 
 //////// The centralized access-control service. ////////
@@ -326,7 +331,9 @@ impl App for AccessCtl {
                     FieldDef::new("service", FieldKind::Str),
                     FieldDef::new("token", FieldKind::Str),
                 ],
-            ),
+            )
+            // Outbound sync resolves the peer credential per call.
+            .with_index("service"),
         ]
     }
 
@@ -433,7 +440,9 @@ impl App for Hrm {
                     FieldDef::new("service", FieldKind::Str),
                     FieldDef::new("token", FieldKind::Str),
                 ],
-            ),
+            )
+            // Outbound sync resolves the peer credential per call.
+            .with_index("service"),
         ]
     }
 

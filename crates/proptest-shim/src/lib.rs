@@ -9,7 +9,7 @@
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
 //! * [`prop_oneof!`] (weighted and unweighted),
 //! * [`strategy::Strategy`] with `prop_map` and `prop_recursive`,
-//! * [`any`], [`Just`](strategy::Just), integer/float ranges, and
+//! * [`any`](arbitrary::any), [`Just`](strategy::Just), integer/float ranges, and
 //!   string-literal strategies over a `[class]{m,n}` regex subset,
 //! * [`collection::vec`], [`collection::btree_map`], [`sample::select`].
 //!

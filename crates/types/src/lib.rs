@@ -17,6 +17,8 @@
 //!   log" sizes as in Table 4 of the paper.
 //! * [`error`] — the shared error type.
 
+#![deny(missing_docs)]
+
 pub mod compress;
 pub mod error;
 pub mod id;

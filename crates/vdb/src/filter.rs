@@ -96,6 +96,17 @@ impl Filter {
         self.clauses.is_empty()
     }
 
+    /// The `field == value` clauses, in clause order. The store's index
+    /// pushdown probes these; everything else in the filter is still
+    /// re-checked against each candidate row, so exposing equalities
+    /// changes how rows are *found*, never which rows match.
+    pub fn eq_clauses(&self) -> impl Iterator<Item = (&str, &Jv)> {
+        self.clauses.iter().filter_map(|(field, cmp)| match cmp {
+            Cmp::Eq(v) => Some((field.as_str(), v)),
+            _ => None,
+        })
+    }
+
     /// Lossless serialization for persistence.
     pub fn to_jv(&self) -> Jv {
         Jv::list(self.clauses.iter().map(|(field, cmp)| {

@@ -1,0 +1,294 @@
+//! Secondary equality indexes over declared row fields.
+//!
+//! Every filtered read in the system — normal request handling, local
+//! repair re-execution, and the leak audit — goes through
+//! [`VersionedStore::scan`]/[`VersionedStore::scan_before`]. Without an
+//! index those walk every row chain in the table, and the walk gets
+//! *slower* during repair (rolled-back chains still occupy the table)
+//! exactly when the paper's asynchronous-recovery design needs
+//! throughput most. An application declares an index on a hot filter
+//! field with [`Schema::with_index`], and the store then answers
+//! equality predicates on that field from the index, falling back to
+//! the full walk otherwise.
+//!
+//! # Design
+//!
+//! Scans are *time-travel* reads: the caller asks for the rows visible
+//! as of an arbitrary [`LogicalTime`](aire_types::LogicalTime), so a
+//! map from current field value to row ids would be wrong the moment a
+//! historical read arrives. Instead the index covers **every live
+//! version in every chain**: it maps an encoded field value to the set
+//! of row ids having *some* version with that value, with a reference
+//! count per `(value, id)` pair. A probe therefore yields a superset of
+//! the rows matching at any particular time; the scan then resolves the
+//! visible version of each candidate and re-checks the full filter,
+//! which keeps results exactly equal to the unindexed walk. The
+//! refcounts make removal precise when the recovery machinery deletes
+//! versions wholesale:
+//!
+//! * [`rollback`](crate::VersionedStore::rollback) forgets each removed
+//!   version's contribution,
+//! * [`gc`](crate::VersionedStore::gc) forgets each collapsed pre-horizon
+//!   version, and
+//! * [`restore`](crate::VersionedStore::restore) rebuilds the index from the
+//!   snapshot's chains (snapshots do not serialize indexes — like
+//!   schemas, they are derived state).
+//!
+//! Tombstones carry no data and contribute no entries. Archived (audit)
+//! versions are never scanned and are not indexed.
+//!
+//! Filters remain the scan's logged read footprint (see
+//! [`crate::filter`]): the pushdown changes how candidate rows are
+//! *found*, never which rows are returned, so repair's
+//! anti-dependency/phantom check is unaffected.
+//!
+//! [`VersionedStore::scan`]: crate::VersionedStore::scan
+//! [`VersionedStore::scan_before`]: crate::VersionedStore::scan_before
+//! [`VersionedStore::rollback`]: crate::VersionedStore::rollback
+//! [`VersionedStore::gc`]: crate::VersionedStore::gc
+//! [`VersionedStore::restore`]: crate::VersionedStore::restore
+//! [`Schema::with_index`]: crate::Schema::with_index
+
+use std::collections::BTreeMap;
+
+use crate::filter::Filter;
+use crate::schema::Schema;
+use crate::version::Version;
+
+/// How a scan will locate candidate rows for a filter, as reported by
+/// [`VersionedStore::scan_plan`](crate::VersionedStore::scan_plan).
+/// Useful in tests and benches to assert that index pushdown actually
+/// engages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanPlan {
+    /// An equality clause on `field` is answered from the secondary
+    /// index; `candidates` row chains will be resolved and re-checked.
+    IndexLookup {
+        /// The indexed field the scan probes.
+        field: String,
+        /// Number of candidate rows the probe returned.
+        candidates: usize,
+    },
+    /// No indexed field is constrained by equality; every row chain in
+    /// the table is walked.
+    FullWalk,
+}
+
+/// Per-`(value, row)` reference counts for one indexed field.
+type ValueMap = BTreeMap<String, BTreeMap<u64, usize>>;
+
+/// The secondary indexes of one table: for each field named by
+/// [`Schema::with_index`](crate::Schema::with_index), a refcounted map
+/// from encoded field value to the ids of rows with *some* live version
+/// holding that value.
+#[derive(Debug, Clone, Default)]
+pub struct TableIndexes {
+    fields: BTreeMap<String, ValueMap>,
+}
+
+impl TableIndexes {
+    /// Creates empty indexes for every field the schema declares.
+    pub fn new(schema: &Schema) -> TableIndexes {
+        TableIndexes {
+            fields: schema
+                .indexes
+                .iter()
+                .map(|f| (f.clone(), ValueMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Records one version's contribution (no-op for tombstones).
+    pub fn note_version(&mut self, id: u64, version: &Version) {
+        let Some(data) = version.data.as_ref() else {
+            return;
+        };
+        for (field, values) in self.fields.iter_mut() {
+            let key = data.get(field).encode();
+            *values.entry(key).or_default().entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one version's contribution (no-op for tombstones).
+    /// Silently ignores versions the index never saw, so callers can be
+    /// uniform about forgetting.
+    pub fn forget_version(&mut self, id: u64, version: &Version) {
+        let Some(data) = version.data.as_ref() else {
+            return;
+        };
+        for (field, values) in self.fields.iter_mut() {
+            let key = data.get(field).encode();
+            if let Some(ids) = values.get_mut(&key) {
+                if let Some(count) = ids.get_mut(&id) {
+                    *count -= 1;
+                    if *count == 0 {
+                        ids.remove(&id);
+                    }
+                }
+                if ids.is_empty() {
+                    values.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Discards all entries and re-derives them from the given chains
+    /// (used by [`restore`](crate::VersionedStore::restore)).
+    pub fn rebuild(&mut self, rows: &BTreeMap<u64, Vec<Version>>) {
+        for values in self.fields.values_mut() {
+            values.clear();
+        }
+        for (&id, chain) in rows {
+            for version in chain {
+                self.note_version(id, version);
+            }
+        }
+    }
+
+    /// The candidate row ids for `field == value` (already id-sorted),
+    /// or `None` if the field is not indexed. An indexed field with no
+    /// entry for `value` yields `Some` of an empty slice-equivalent.
+    pub fn candidates(&self, field: &str, encoded_value: &str) -> Option<Vec<u64>> {
+        let values = self.fields.get(field)?;
+        Some(
+            values
+                .get(encoded_value)
+                .map(|ids| ids.keys().copied().collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Picks the most selective pushdown available for `filter`: among
+    /// its equality clauses on indexed fields, the one with the fewest
+    /// candidates. Returns `(field, candidate ids)`; only the winning
+    /// clause's id set is materialized.
+    pub fn probe(&self, filter: &Filter) -> Option<(String, Vec<u64>)> {
+        let (field, ids) = filter
+            .eq_clauses()
+            .filter_map(|(field, value)| {
+                let values = self.fields.get(field)?;
+                Some((field, values.get(&value.encode())))
+            })
+            .min_by_key(|(_, ids)| ids.map_or(0, |m| m.len()))?;
+        Some((
+            field.to_string(),
+            ids.map(|m| m.keys().copied().collect()).unwrap_or_default(),
+        ))
+    }
+
+    /// Total number of `(field, value, row)` entries, for diagnostics.
+    pub fn entry_count(&self) -> usize {
+        self.fields
+            .values()
+            .map(|values| values.values().map(|ids| ids.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Checks the incrementally-maintained entries against a fresh
+    /// rebuild from `rows`, returning a description of the first
+    /// divergence. Property tests call this through
+    /// [`VersionedStore::check_index_integrity`](crate::VersionedStore::check_index_integrity)
+    /// after every mutation batch.
+    pub fn verify_against(&self, rows: &BTreeMap<u64, Vec<Version>>) -> Result<(), String> {
+        let mut fresh = TableIndexes {
+            fields: self
+                .fields
+                .keys()
+                .map(|f| (f.clone(), ValueMap::new()))
+                .collect(),
+        };
+        fresh.rebuild(rows);
+        for (field, values) in &self.fields {
+            let expect = &fresh.fields[field];
+            if values != expect {
+                return Err(format!(
+                    "index on {field:?} diverged from rebuild: {} maintained vs {} rebuilt entries",
+                    values.values().map(|m| m.len()).sum::<usize>(),
+                    expect.values().map(|m| m.len()).sum::<usize>(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::{jv, LogicalTime};
+
+    use super::*;
+    use crate::schema::{FieldDef, FieldKind};
+
+    fn t(n: u64) -> LogicalTime {
+        LogicalTime::tick(n)
+    }
+
+    fn indexed_schema() -> Schema {
+        Schema::new(
+            "rows",
+            vec![
+                FieldDef::new("owner", FieldKind::Str),
+                FieldDef::new("n", FieldKind::Int),
+            ],
+        )
+        .with_index("owner")
+    }
+
+    #[test]
+    fn note_and_forget_are_refcounted() {
+        let mut idx = TableIndexes::new(&indexed_schema());
+        let v1 = Version::live(t(1), jv!({"owner": "a", "n": 1}));
+        let v2 = Version::live(t(2), jv!({"owner": "a", "n": 2}));
+        idx.note_version(7, &v1);
+        idx.note_version(7, &v2);
+        // Two versions with the same value: one forget keeps the entry.
+        idx.forget_version(7, &v2);
+        let key = aire_types::Jv::s("a").encode();
+        assert_eq!(idx.candidates("owner", &key), Some(vec![7]));
+        idx.forget_version(7, &v1);
+        assert_eq!(idx.candidates("owner", &key), Some(vec![]));
+        assert_eq!(idx.entry_count(), 0);
+    }
+
+    #[test]
+    fn tombstones_contribute_nothing() {
+        let mut idx = TableIndexes::new(&indexed_schema());
+        idx.note_version(1, &Version::tombstone(t(1)));
+        assert_eq!(idx.entry_count(), 0);
+        // Forgetting a tombstone is also a no-op.
+        idx.forget_version(1, &Version::tombstone(t(1)));
+    }
+
+    #[test]
+    fn probe_prefers_the_most_selective_clause() {
+        let schema = Schema::new("rows", vec![]).with_index("a").with_index("b");
+        let mut idx = TableIndexes::new(&schema);
+        for id in 1..=5u64 {
+            idx.note_version(id, &Version::live(t(id), jv!({"a": "x", "b": id as i64})));
+        }
+        let filter = Filter::all().eq("a", "x").eq("b", 3);
+        let (field, ids) = idx.probe(&filter).unwrap();
+        assert_eq!(field, "b");
+        assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn probe_ignores_unindexed_fields() {
+        let idx = TableIndexes::new(&indexed_schema());
+        assert!(idx.probe(&Filter::all().eq("n", 1)).is_none());
+        assert!(idx.probe(&Filter::all()).is_none());
+        // Non-equality clauses on the indexed field cannot push down.
+        assert!(idx.probe(&Filter::all().contains("owner", "a")).is_none());
+    }
+
+    #[test]
+    fn verify_against_detects_divergence() {
+        let mut idx = TableIndexes::new(&indexed_schema());
+        let mut rows = BTreeMap::new();
+        let v = Version::live(t(1), jv!({"owner": "a"}));
+        rows.insert(1u64, vec![v.clone()]);
+        assert!(idx.verify_against(&rows).is_err());
+        idx.note_version(1, &v);
+        assert!(idx.verify_against(&rows).is_ok());
+    }
+}

@@ -17,6 +17,11 @@
 //!   predicate footprint so the repair log can detect *phantom*
 //!   dependencies: a repaired insert must taint past scans whose predicate
 //!   it matches even though they never read that row id.
+//! * [`index`](mod@index) — secondary equality indexes over fields
+//!   declared with [`Schema::with_index`]. Scans push equality
+//!   predicates down to the index (falling back to the full walk) and
+//!   the recovery mutations — rollback, GC, restore — keep the index
+//!   consistent, so filtered reads stay fast *during* repair.
 //!
 //! The store itself is deliberately policy-free: it does not know about
 //! requests or repair. The repair controller drives it through rollback
@@ -26,12 +31,16 @@
 //! [`Jv`]: aire_types::Jv
 //! [`LogicalTime`]: aire_types::LogicalTime
 
+#![deny(missing_docs)]
+
 pub mod filter;
+pub mod index;
 pub mod schema;
 pub mod store;
 pub mod version;
 
 pub use filter::Filter;
+pub use index::{ScanPlan, TableIndexes};
 pub use schema::{FieldDef, FieldKind, Schema};
 pub use store::{StoreError, StoreStats, VersionedStore, WriteOutcome};
 pub use version::{RowKey, Version};

@@ -79,6 +79,13 @@ pub struct Schema {
     /// Sets of field names whose combined values must be unique among
     /// rows that are live at the same logical time.
     pub unique: Vec<Vec<String>>,
+    /// Fields with a secondary equality index (see
+    /// [`crate::index`]): scans whose filter constrains one of these
+    /// fields by equality are answered from the index instead of a
+    /// full-table walk. Indexing an undeclared field is allowed — the
+    /// substrate is schema-light — and indexes rows by that key of the
+    /// row document.
+    pub indexes: Vec<String>,
     /// `AppVersionedModel` (§6): rows of this table represent immutable
     /// application-level versions; Aire never rolls them back and does not
     /// version them internally.
@@ -92,6 +99,7 @@ impl Schema {
             name: name.into(),
             fields,
             unique: Vec::new(),
+            indexes: Vec::new(),
             app_versioned: false,
         }
     }
@@ -106,6 +114,16 @@ impl Schema {
     pub fn with_unique_together(mut self, fields: &[&str]) -> Schema {
         self.unique
             .push(fields.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Declares a secondary equality index on `field` (deduplicated; a
+    /// field is indexed at most once). See [`crate::index`] for how the
+    /// store maintains and probes it.
+    pub fn with_index(mut self, field: &str) -> Schema {
+        if !self.indexes.iter().any(|f| f == field) {
+            self.indexes.push(field.to_string());
+        }
         self
     }
 

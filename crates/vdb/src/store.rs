@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use aire_types::{Jv, LogicalTime};
 
 use crate::filter::Filter;
+use crate::index::{ScanPlan, TableIndexes};
 use crate::schema::Schema;
 use crate::version::{RowKey, Version};
 
@@ -16,15 +17,23 @@ pub enum StoreError {
     /// The row does not exist (or is not live at the given time).
     NoSuchRow(RowKey),
     /// A row with the same unique key is already live.
-    UniqueViolation { key: RowKey, constraint: usize },
+    UniqueViolation {
+        /// The row whose write was rejected.
+        key: RowKey,
+        /// Index into [`Schema::unique`] of the violated constraint.
+        constraint: usize,
+    },
     /// Schema validation failed.
     BadRow(String),
     /// A write at time `t` would precede the row's latest version; the
     /// caller must roll the row back first. This invariant is what makes
     /// replayed writes safe.
     NonMonotonicWrite {
+        /// The row whose write was rejected.
         key: RowKey,
+        /// The time the rejected write carried.
         attempted: LogicalTime,
+        /// The time of the row's latest existing version.
         latest: LogicalTime,
     },
     /// The table is `app_versioned` (§6); its rows are immutable.
@@ -96,6 +105,9 @@ struct TableData {
     rows: BTreeMap<u64, Vec<Version>>,
     /// Versions removed by rollback, kept for audit only.
     archived: BTreeMap<u64, Vec<Version>>,
+    /// Secondary equality indexes over the live chains (never over
+    /// `archived`), maintained by every mutation below.
+    index: TableIndexes,
     next_id: u64,
 }
 
@@ -121,6 +133,7 @@ impl VersionedStore {
         self.tables.insert(
             name,
             TableData {
+                index: TableIndexes::new(&schema),
                 schema,
                 rows: BTreeMap::new(),
                 archived: BTreeMap::new(),
@@ -210,6 +223,7 @@ impl VersionedStore {
         let before = chain.last().and_then(|v| v.data.clone());
         let after = Version::live(t, data);
         chain.push(after.clone());
+        td.index.note_version(id, &after);
         Ok(WriteOutcome { key, before, after })
     }
 
@@ -262,6 +276,7 @@ impl VersionedStore {
         let before = last.data.clone();
         let after = Version::live(t, data);
         chain.push(after.clone());
+        td.index.note_version(id, &after);
         Ok(WriteOutcome { key, before, after })
     }
 
@@ -353,6 +368,9 @@ impl VersionedStore {
     }
 
     /// Scans a table as of strictly before `t` (see [`Self::get_before`]).
+    ///
+    /// Like [`Self::scan`], equality predicates on indexed fields are
+    /// answered from the secondary index.
     pub fn scan_before(
         &self,
         table: &str,
@@ -360,17 +378,7 @@ impl VersionedStore {
         t: LogicalTime,
     ) -> Result<Vec<(u64, &Jv)>, StoreError> {
         let td = self.table(table)?;
-        let mut out = Vec::new();
-        for (&id, chain) in &td.rows {
-            if let Some(v) = version_before(chain, t) {
-                if let Some(data) = v.data.as_ref() {
-                    if filter.matches(data) {
-                        out.push((id, data));
-                    }
-                }
-            }
-        }
-        Ok(out)
+        Ok(scan_visible(td, filter, |chain| version_before(chain, t)))
     }
 
     /// The version written at *exactly* time `t`, if any. Local repair
@@ -391,6 +399,14 @@ impl VersionedStore {
 
     /// Scans a table as of time `at`, returning `(id, row)` for rows live
     /// at `at` that match `filter`, sorted by id.
+    ///
+    /// When the filter constrains a field indexed by
+    /// [`Schema::with_index`] with an equality predicate, candidate rows
+    /// come from the secondary index (see [`crate::index`]) instead of a
+    /// walk over every chain; each candidate's visible version is still
+    /// checked against the *full* filter, so results — and the
+    /// filter-as-read-footprint semantics repair relies on — are
+    /// identical either way.
     pub fn scan(
         &self,
         table: &str,
@@ -398,17 +414,35 @@ impl VersionedStore {
         at: LogicalTime,
     ) -> Result<Vec<(u64, &Jv)>, StoreError> {
         let td = self.table(table)?;
-        let mut out = Vec::new();
-        for (&id, chain) in &td.rows {
-            if let Some(v) = version_at(chain, at) {
-                if let Some(data) = v.data.as_ref() {
-                    if filter.matches(data) {
-                        out.push((id, data));
-                    }
-                }
-            }
+        Ok(scan_visible(td, filter, |chain| version_at(chain, at)))
+    }
+
+    /// How [`Self::scan`]/[`Self::scan_before`] would locate candidate
+    /// rows for `filter`: an index probe or the full walk. Intended for
+    /// tests and benches asserting that pushdown engages.
+    pub fn scan_plan(&self, table: &str, filter: &Filter) -> Result<ScanPlan, StoreError> {
+        let td = self.table(table)?;
+        Ok(match td.index.probe(filter) {
+            Some((field, ids)) => ScanPlan::IndexLookup {
+                field,
+                candidates: ids.len(),
+            },
+            None => ScanPlan::FullWalk,
+        })
+    }
+
+    /// Verifies every table's secondary indexes against a fresh rebuild
+    /// from the live chains, returning the first divergence. A debugging
+    /// and property-testing aid: the maintained indexes must match a
+    /// rebuild after *any* sequence of writes, rollbacks, GCs, and
+    /// restores.
+    pub fn check_index_integrity(&self) -> Result<(), String> {
+        for (name, td) in &self.tables {
+            td.index
+                .verify_against(&td.rows)
+                .map_err(|e| format!("table {name}: {e}"))?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Rolls a row back to *before* time `t`: every version with
@@ -435,6 +469,9 @@ impl VersionedStore {
         let split = chain.partition_point(|v| v.time < t);
         let removed: Vec<Version> = chain.drain(split..).collect();
         if !removed.is_empty() {
+            for v in &removed {
+                td.index.forget_version(id, v);
+            }
             td.archived
                 .entry(id)
                 .or_default()
@@ -472,7 +509,9 @@ impl VersionedStore {
             for (&id, chain) in td.rows.iter_mut() {
                 let split = chain.partition_point(|v| v.time < horizon);
                 if split > 1 {
-                    chain.drain(..split - 1);
+                    for v in chain.drain(..split - 1) {
+                        td.index.forget_version(id, &v);
+                    }
                 }
                 // A chain whose only remaining pre-horizon version is a
                 // tombstone will never be visible again.
@@ -613,6 +652,9 @@ impl VersionedStore {
             td.next_id = tjv.get("next_id").as_int().ok_or("restore: bad next_id")? as u64;
             td.rows = parse_chains(tjv.get("rows"))?;
             td.archived = parse_chains(tjv.get("archived"))?;
+            // Indexes are derived state (like schemas, they are not part
+            // of the snapshot): re-derive them from the restored chains.
+            td.index.rebuild(&td.rows);
         }
         Ok(store)
     }
@@ -649,26 +691,98 @@ impl VersionedStore {
             return Ok(());
         }
         let mine = td.schema.unique_tuples(data);
+        let violation = |ci: usize| StoreError::UniqueViolation {
+            key: RowKey::new(table, self_id),
+            constraint: ci,
+        };
+        fn visible_at(chain: &[Version], t: LogicalTime) -> Option<&Jv> {
+            version_at(chain, t).and_then(|v| v.data.as_ref())
+        }
+        // A single-field constraint over an indexed field can only
+        // collide with the index's candidate rows (the index covers
+        // every live version, so candidates are a superset of the rows
+        // live-with-this-value at any time); the single-field tuple
+        // encoding equals the index key encoding. Compound or unindexed
+        // constraints fall back to one shared full walk below.
+        let mut walk_constraints = Vec::new();
+        for (ci, fields) in td.schema.unique.iter().enumerate() {
+            let my_tuple = &mine[ci].1;
+            let candidates = match fields.as_slice() {
+                [field] => td.index.candidates(field, my_tuple).map(|ids| (field, ids)),
+                _ => None,
+            };
+            let Some((field, ids)) = candidates else {
+                walk_constraints.push(ci);
+                continue;
+            };
+            let collides = ids.into_iter().any(|id| {
+                id != self_id
+                    && td
+                        .rows
+                        .get(&id)
+                        .and_then(|chain| visible_at(chain, t))
+                        .is_some_and(|other| other.get(field).encode() == *my_tuple)
+            });
+            if collides {
+                return Err(violation(ci));
+            }
+        }
+        if walk_constraints.is_empty() {
+            return Ok(());
+        }
         for (&id, chain) in &td.rows {
             if id == self_id {
                 continue;
             }
-            if let Some(v) = version_at(chain, t) {
-                if let Some(other) = v.data.as_ref() {
-                    let theirs = td.schema.unique_tuples(other);
-                    for ((ci, m), (_, o)) in mine.iter().zip(theirs.iter()) {
-                        if m == o {
-                            return Err(StoreError::UniqueViolation {
-                                key: RowKey::new(table, self_id),
-                                constraint: *ci,
-                            });
-                        }
+            if let Some(other) = visible_at(chain, t) {
+                let theirs = td.schema.unique_tuples(other);
+                for &ci in &walk_constraints {
+                    if theirs[ci].1 == mine[ci].1 {
+                        return Err(violation(ci));
                     }
                 }
             }
         }
         Ok(())
     }
+}
+
+/// The shared body of [`VersionedStore::scan`] and
+/// [`VersionedStore::scan_before`]: resolves each candidate row's
+/// visible version via `pick` and keeps the ones matching `filter`.
+/// Candidates come from an index probe when the filter permits one,
+/// from the full chain walk otherwise; both sources are id-sorted, so
+/// the scans' sorted-by-id contract holds on either path.
+fn scan_visible<'a>(
+    td: &'a TableData,
+    filter: &Filter,
+    pick: impl Fn(&'a [Version]) -> Option<&'a Version>,
+) -> Vec<(u64, &'a Jv)> {
+    let mut out = Vec::new();
+    let mut consider = |id: u64, chain: &'a [Version]| {
+        if let Some(v) = pick(chain) {
+            if let Some(data) = v.data.as_ref() {
+                if filter.matches(data) {
+                    out.push((id, data));
+                }
+            }
+        }
+    };
+    match td.index.probe(filter) {
+        Some((_, ids)) => {
+            for id in ids {
+                if let Some(chain) = td.rows.get(&id) {
+                    consider(id, chain);
+                }
+            }
+        }
+        None => {
+            for (&id, chain) in &td.rows {
+                consider(id, chain);
+            }
+        }
+    }
+    out
 }
 
 /// Latest version with `time <= at`, if any.
@@ -968,5 +1082,189 @@ mod tests {
         let mut s = store_with_users();
         s.insert("users", 7, jv!({"name": "a"}), t(1)).unwrap();
         assert!(s.insert("users", 7, jv!({"name": "b"}), t(2)).is_err());
+    }
+
+    fn indexed_store() -> VersionedStore {
+        let mut s = VersionedStore::new();
+        s.create_table(
+            Schema::new(
+                "docs",
+                vec![
+                    FieldDef::new("owner", FieldKind::Str),
+                    FieldDef::new("n", FieldKind::Int),
+                ],
+            )
+            .with_index("owner"),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn indexed_scan_equals_walk_and_uses_index() {
+        let mut s = indexed_store();
+        for n in 1..=20u64 {
+            let owner = if n % 4 == 0 { "alice" } else { "bob" };
+            s.insert_new("docs", jv!({"owner": owner, "n": n as i64}), t(n))
+                .unwrap();
+        }
+        let filter = Filter::all().eq("owner", "alice");
+        assert!(matches!(
+            s.scan_plan("docs", &filter).unwrap(),
+            ScanPlan::IndexLookup { candidates: 5, .. }
+        ));
+        assert!(matches!(
+            s.scan_plan("docs", &Filter::all().gt("n", 3)).unwrap(),
+            ScanPlan::FullWalk
+        ));
+        let hits = s.scan("docs", &filter, LogicalTime::MAX).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+        // A compound filter re-checks non-indexed clauses on candidates.
+        let narrow = Filter::all().eq("owner", "alice").gt("n", 10);
+        assert_eq!(s.scan("docs", &narrow, LogicalTime::MAX).unwrap().len(), 3);
+        s.check_index_integrity().unwrap();
+    }
+
+    #[test]
+    fn indexed_scan_is_time_aware() {
+        let mut s = indexed_store();
+        let (id, _) = s
+            .insert_new("docs", jv!({"owner": "alice", "n": 1}), t(1))
+            .unwrap();
+        s.update("docs", id, jv!({"owner": "bob", "n": 1}), t(5))
+            .unwrap();
+        let alice = Filter::all().eq("owner", "alice");
+        let bob = Filter::all().eq("owner", "bob");
+        // As of t(3) the row belongs to alice; as of now, to bob. The
+        // index holds both historical values and the visible-version
+        // re-check resolves the time.
+        assert_eq!(s.scan("docs", &alice, t(3)).unwrap().len(), 1);
+        assert_eq!(s.scan("docs", &bob, t(3)).unwrap().len(), 0);
+        assert_eq!(s.scan("docs", &alice, t(9)).unwrap().len(), 0);
+        assert_eq!(s.scan("docs", &bob, t(9)).unwrap().len(), 1);
+        // scan_before at t(5) must see the state the handler saw: alice.
+        assert_eq!(s.scan_before("docs", &alice, t(5)).unwrap().len(), 1);
+        assert_eq!(s.scan_before("docs", &bob, t(5)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rollback_trims_index_entries() {
+        let mut s = indexed_store();
+        let (id, _) = s
+            .insert_new("docs", jv!({"owner": "mallory", "n": 1}), t(2))
+            .unwrap();
+        let evil = Filter::all().eq("owner", "mallory");
+        assert_eq!(s.scan("docs", &evil, LogicalTime::MAX).unwrap().len(), 1);
+        // Repair erases the attacker's insert entirely.
+        s.rollback("docs", id, t(2)).unwrap();
+        assert_eq!(s.scan("docs", &evil, LogicalTime::MAX).unwrap().len(), 0);
+        assert!(matches!(
+            s.scan_plan("docs", &evil).unwrap(),
+            ScanPlan::IndexLookup { candidates: 0, .. }
+        ));
+        s.check_index_integrity().unwrap();
+        // Replay re-inserts at the same time; the index follows.
+        s.insert("docs", id, jv!({"owner": "mallory", "n": 2}), t(2))
+            .unwrap();
+        assert_eq!(s.scan("docs", &evil, LogicalTime::MAX).unwrap().len(), 1);
+        s.check_index_integrity().unwrap();
+    }
+
+    /// Regression test: `restore` and `gc` must rebuild/trim index
+    /// entries. Snapshot a store, restore it, GC it, and scan via the
+    /// index — no stale hits (values GC collapsed away) and no missing
+    /// hits (rows only reachable through rebuilt entries).
+    #[test]
+    fn restore_then_gc_keeps_index_consistent() {
+        let mut s = indexed_store();
+        let (a, _) = s
+            .insert_new("docs", jv!({"owner": "alice", "n": 1}), t(1))
+            .unwrap();
+        s.update("docs", a, jv!({"owner": "carol", "n": 1}), t(2))
+            .unwrap();
+        let (b, _) = s
+            .insert_new("docs", jv!({"owner": "bob", "n": 2}), t(3))
+            .unwrap();
+        s.delete("docs", b, t(4)).unwrap();
+        s.insert_new("docs", jv!({"owner": "alice", "n": 3}), t(5))
+            .unwrap();
+
+        // Restore from a snapshot through the textual codec.
+        let snap = Jv::decode(&s.snapshot().encode()).unwrap();
+        let schemas = vec![s.schema("docs").unwrap().clone()];
+        let mut r = VersionedStore::restore(schemas, &snap).unwrap();
+        r.check_index_integrity().unwrap();
+        // The rebuilt index still answers historical queries.
+        assert_eq!(
+            r.scan("docs", &Filter::all().eq("owner", "alice"), t(1))
+                .unwrap()
+                .len(),
+            1
+        );
+
+        // GC collapses row `a`'s alice-era version and reaps row `b`.
+        r.gc(t(5));
+        r.check_index_integrity().unwrap();
+        let alice = r
+            .scan(
+                "docs",
+                &Filter::all().eq("owner", "alice"),
+                LogicalTime::MAX,
+            )
+            .unwrap();
+        assert_eq!(alice.len(), 1, "no stale alice hit from row a");
+        assert_eq!(
+            r.scan(
+                "docs",
+                &Filter::all().eq("owner", "carol"),
+                LogicalTime::MAX
+            )
+            .unwrap()
+            .len(),
+            1,
+            "carol's row survives via rebuilt+trimmed index"
+        );
+        assert_eq!(
+            r.scan("docs", &Filter::all().eq("owner", "bob"), LogicalTime::MAX)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unique_check_via_index_stays_time_aware() {
+        let mut s = VersionedStore::new();
+        s.create_table(
+            Schema::new("u", vec![FieldDef::new("name", FieldKind::Str)])
+                .with_unique("name")
+                .with_index("name"),
+        )
+        .unwrap();
+        let (id, _) = s.insert_new("u", jv!({"name": "alice"}), t(1)).unwrap();
+        // Collision found through the index candidates.
+        assert!(matches!(
+            s.insert_new("u", jv!({"name": "alice"}), t(2)),
+            Err(StoreError::UniqueViolation { constraint: 0, .. })
+        ));
+        // The index still holds alice's historical value after deletion,
+        // but the liveness re-check frees the name.
+        s.delete("u", id, t(3)).unwrap();
+        assert!(s.insert_new("u", jv!({"name": "alice"}), t(4)).is_ok());
+        s.check_index_integrity().unwrap();
+    }
+
+    #[test]
+    fn unindexed_fields_fall_back_to_full_walk() {
+        let mut s = indexed_store();
+        s.insert_new("docs", jv!({"owner": "a", "n": 7}), t(1))
+            .unwrap();
+        let f = Filter::all().eq("n", 7);
+        assert!(matches!(
+            s.scan_plan("docs", &f).unwrap(),
+            ScanPlan::FullWalk
+        ));
+        assert_eq!(s.scan("docs", &f, LogicalTime::MAX).unwrap().len(), 1);
     }
 }

@@ -207,6 +207,167 @@ proptest! {
     }
 }
 
+//////// Secondary-index equivalence. ////////
+
+/// One random operation against the indexed `docs` table. Owners are
+/// drawn from a small set so equality filters get real hit sets.
+#[derive(Debug, Clone)]
+enum IxOp {
+    Insert { owner: u8, v: i64 },
+    Update { slot: u8, owner: u8 },
+    Delete { slot: u8 },
+    Rollback { slot: u8, back: u8 },
+}
+
+fn ix_op_strategy() -> impl Strategy<Value = IxOp> {
+    prop_oneof![
+        3 => (any::<u8>(), 0i64..100).prop_map(|(owner, v)| IxOp::Insert { owner, v }),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(slot, owner)| IxOp::Update { slot, owner }),
+        1 => any::<u8>().prop_map(|slot| IxOp::Delete { slot }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(slot, back)| IxOp::Rollback { slot, back }),
+    ]
+}
+
+fn docs_schema(indexed: bool) -> Schema {
+    let s = Schema::new(
+        "docs",
+        vec![
+            FieldDef::new("owner", FieldKind::Str),
+            FieldDef::new("v", FieldKind::Int),
+        ],
+    );
+    if indexed {
+        s.with_index("owner")
+    } else {
+        s
+    }
+}
+
+fn owner_name(owner: u8) -> String {
+    format!("owner{}", owner % 5)
+}
+
+/// Applies one op stream identically to both stores (id allocation is
+/// deterministic, so the stores stay row-for-row aligned).
+fn ix_apply(ops: &[IxOp], stores: &mut [&mut VersionedStore]) {
+    let mut ids: Vec<u64> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let now = t(i as u64 + 1);
+        match op {
+            IxOp::Insert { owner, v } => {
+                let row = jv!({"owner": owner_name(*owner), "v": *v});
+                let mut new_id = None;
+                for s in stores.iter_mut() {
+                    let (id, _) = s.insert_new("docs", row.clone(), now).unwrap();
+                    match new_id {
+                        None => new_id = Some(id),
+                        Some(prev) => assert_eq!(prev, id, "stores diverged on id allocation"),
+                    }
+                }
+                ids.push(new_id.unwrap());
+            }
+            IxOp::Update { slot, owner } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[*slot as usize % ids.len()];
+                if stores[0].get("docs", id, now).unwrap().is_some() {
+                    for s in stores.iter_mut() {
+                        s.update(
+                            "docs",
+                            id,
+                            jv!({"owner": owner_name(*owner), "v": i as i64}),
+                            now,
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            IxOp::Delete { slot } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[*slot as usize % ids.len()];
+                if stores[0].get("docs", id, now).unwrap().is_some() {
+                    for s in stores.iter_mut() {
+                        s.delete("docs", id, now).unwrap();
+                    }
+                }
+            }
+            IxOp::Rollback { slot, back } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[*slot as usize % ids.len()];
+                let to = t((i as u64 + 1).saturating_sub(*back as u64 % 8).max(1));
+                for s in stores.iter_mut() {
+                    s.rollback("docs", id, to).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Asserts the indexed store answers every owner-equality scan (and
+/// scan_before) at time `at` exactly like the unindexed full walk.
+fn assert_scans_agree(indexed: &VersionedStore, walk: &VersionedStore, at: LogicalTime) {
+    for owner in 0..5u8 {
+        let f = Filter::all().eq("owner", owner_name(owner).as_str());
+        assert_eq!(
+            indexed.scan("docs", &f, at).unwrap(),
+            walk.scan("docs", &f, at).unwrap(),
+            "scan diverges for {f:?} at {at}"
+        );
+        assert_eq!(
+            indexed.scan_before("docs", &f, at).unwrap(),
+            walk.scan_before("docs", &f, at).unwrap(),
+            "scan_before diverges for {f:?} at {at}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For random workloads of inserts/updates/deletes/rollbacks, the
+    /// indexed scan equals the brute-force full walk at every queried
+    /// time — and stays equal through GC and snapshot/restore.
+    #[test]
+    fn prop_indexed_scan_equals_full_walk(
+        ops in prop::collection::vec(ix_op_strategy(), 1..40),
+        h in 1u64..20,
+    ) {
+        let mut indexed = VersionedStore::new();
+        indexed.create_table(docs_schema(true)).unwrap();
+        let mut walk = VersionedStore::new();
+        walk.create_table(docs_schema(false)).unwrap();
+
+        ix_apply(&ops, &mut [&mut indexed, &mut walk]);
+        indexed.check_index_integrity().unwrap();
+        for n in 1..=ops.len() as u64 + 1 {
+            assert_scans_agree(&indexed, &walk, t(n));
+        }
+
+        // GC both at the same horizon: the trimmed index must still
+        // agree with the trimmed walk everywhere.
+        indexed.gc(t(h));
+        walk.gc(t(h));
+        indexed.check_index_integrity().unwrap();
+        for n in 1..=ops.len() as u64 + 1 {
+            assert_scans_agree(&indexed, &walk, t(n));
+        }
+
+        // Restore the indexed store from its own snapshot: the rebuilt
+        // index must be complete (no missing hits) and exact.
+        let snap = Jv::decode(&indexed.snapshot().encode()).unwrap();
+        let restored = VersionedStore::restore(vec![docs_schema(true)], &snap).unwrap();
+        restored.check_index_integrity().unwrap();
+        for n in 1..=ops.len() as u64 + 1 {
+            assert_scans_agree(&restored, &walk, t(n));
+        }
+    }
+}
+
 #[test]
 fn restore_rejects_missing_table() {
     let (store, _) = apply(&[Op::Insert { v: 1 }]);

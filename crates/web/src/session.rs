@@ -27,6 +27,8 @@ pub fn sessions_schema() -> Schema {
         ],
     )
     .with_unique("token")
+    // Every authenticated request resolves its cookie by token value.
+    .with_index("token")
 }
 
 /// Logs a user in: creates a session row and returns the `Set-Cookie`
