@@ -1,0 +1,150 @@
+//! Control-plane dispatch overhead: every admin operation can be invoked
+//! either as a direct Rust method call or over the wire
+//! (`/aire/v1/admin/*` — Jv-encode the carrier, deliver through the
+//! simulated operator listener, authorize, dispatch, Jv-encode the
+//! response, decode). Both funnel into the same `dispatch_admin`, so the
+//! delta between each `*_direct` / `*_wire` pair is pure wire overhead —
+//! the price of operating a controller from outside its process. The
+//! harness (`World`) pays it on every pump sweep, so it must stay cheap.
+
+use std::rc::Rc;
+
+use aire_core::admin::{AdminOp, AdminResponse};
+use aire_core::World;
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_types::jv;
+use aire_vdb::{FieldDef, FieldKind, Schema};
+use aire_web::{App, Ctx, Router, WebError};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Rows seeded into the service, so stats/digest operate on real state.
+const ROWS: usize = 500;
+
+struct Notes;
+
+fn h_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+    fn router(&self) -> Router {
+        Router::new().post("/add", h_add)
+    }
+}
+
+fn build_world() -> World {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    for i in 0..ROWS {
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("notes", "/add"),
+                jv!({"text": format!("note {i}")}),
+            ))
+            .unwrap();
+    }
+    world
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_plane");
+    let world = build_world();
+    let controller = world.controller("notes");
+
+    // Sanity: the two paths agree before we time them.
+    let wire_digest = match world.invoke_admin("notes", AdminOp::Digest).unwrap() {
+        AdminResponse::Digest { digest } => digest,
+        other => panic!("unexpected digest response {other:?}"),
+    };
+    assert_eq!(wire_digest, controller.state_digest());
+
+    // stats: the cheapest op — counter clone vs full wire round trip.
+    group.bench_function("stats_direct", |b| {
+        b.iter(|| black_box(controller.stats()).normal_requests)
+    });
+    group.bench_function("stats_wire", |b| {
+        b.iter(|| {
+            match world
+                .invoke_admin(black_box("notes"), AdminOp::Stats)
+                .unwrap()
+            {
+                AdminResponse::Stats(stats) => stats.stats.normal_requests,
+                other => panic!("unexpected stats response {other:?}"),
+            }
+        })
+    });
+
+    // digest: payload-heavy response (the whole-store digest string).
+    group.bench_function("digest_direct", |b| {
+        b.iter(|| black_box(controller.state_digest()).len())
+    });
+    group.bench_function("digest_wire", |b| {
+        b.iter(|| {
+            match world
+                .invoke_admin(black_box("notes"), AdminOp::Digest)
+                .unwrap()
+            {
+                AdminResponse::Digest { digest } => digest.len(),
+                other => panic!("unexpected digest response {other:?}"),
+            }
+        })
+    });
+
+    // run_local_repair with nothing pending: fixed dispatch cost.
+    group.bench_function("local_repair_noop_direct", |b| {
+        b.iter(|| black_box(controller.run_local_repair()))
+    });
+    group.bench_function("local_repair_noop_wire", |b| {
+        b.iter(|| {
+            match world
+                .invoke_admin(black_box("notes"), AdminOp::RunLocalRepair)
+                .unwrap()
+            {
+                AdminResponse::Repaired { actions } => actions,
+                other => panic!("unexpected repair response {other:?}"),
+            }
+        })
+    });
+
+    // list_queue on an empty queue: what every pump sweep pays per
+    // service before sending anything.
+    group.bench_function("list_queue_empty_direct", |b| {
+        b.iter(|| black_box(controller.sendable_messages()).len())
+    });
+    group.bench_function("list_queue_empty_wire", |b| {
+        b.iter(|| {
+            match world
+                .invoke_admin(black_box("notes"), AdminOp::ListQueue)
+                .unwrap()
+            {
+                AdminResponse::Queue { entries } => entries.len(),
+                other => panic!("unexpected queue response {other:?}"),
+            }
+        })
+    });
+
+    // The encode/decode half alone, without any dispatch.
+    let op = AdminOp::Stats;
+    group.bench_function("carrier_encode_decode", |b| {
+        b.iter(|| {
+            let carrier = black_box(&op).to_carrier("notes");
+            AdminOp::from_carrier(&carrier).unwrap().unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_plane);
+criterion_main!(benches);

@@ -13,7 +13,8 @@
 
 use std::env;
 
-use aire_core::RepairMode;
+use aire_core::admin::AdminOp;
+use aire_core::{AdminResponse, RepairMode};
 use aire_workload::overhead::{self, Workload};
 use aire_workload::report as render;
 use aire_workload::scenarios::askbot_attack::{self, AskbotWorkload};
@@ -237,6 +238,8 @@ fn main() {
     if want("leaks") {
         // §9's leak-audit extension, on the Figure 4 scenario: which
         // repaired requests read the attacker's question before repair?
+        // The audit is invoked over the wire control plane, as a remote
+        // operator would.
         let cfg = AskbotWorkload {
             legit_users: 10,
             questions_per_user: 2,
@@ -245,10 +248,16 @@ fn main() {
         let s = askbot_attack::setup(&cfg);
         askbot_attack::repair(&s);
         s.world.pump();
-        let leaks = s.world.controller("askbot").leak_audit(
-            "questions",
-            &aire_vdb::Filter::all().contains("title", "FREE BITCOIN"),
-        );
+        let leaks = match s.world.invoke_admin(
+            "askbot",
+            AdminOp::LeakAudit {
+                table: "questions".into(),
+                confidential: aire_vdb::Filter::all().contains("title", "FREE BITCOIN"),
+            },
+        ) {
+            Ok(AdminResponse::Leaks { leaks }) => leaks,
+            other => panic!("leak audit over the wire failed: {other:?}"),
+        };
         println!(
             "Leak audit (§9): {} request(s) read the attacker's question during \
              original execution but not after repair",
@@ -263,7 +272,12 @@ fn main() {
             oauth_signups: 2,
         };
         let s = askbot_attack::setup(&cfg);
-        let snap = s.world.controller("askbot").snapshot().encode();
+        // The snapshot is pulled over the wire control plane, as a
+        // remote backup operator would.
+        let snap = match s.world.invoke_admin("askbot", AdminOp::Snapshot) {
+            Ok(AdminResponse::Snapshot { snapshot }) => snapshot.encode(),
+            other => panic!("snapshot over the wire failed: {other:?}"),
+        };
         let compressed = aire_types::compress::compressed_len(snap.as_bytes());
         println!(
             "Persistence: askbot snapshot {} bytes raw / {} compressed \

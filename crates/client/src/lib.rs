@@ -29,16 +29,29 @@
 //! local repair and the client's receipt of `replace_response`, the client
 //! still holds the stale view — indistinguishable, to it, from a
 //! concurrent writer having changed the server since its last call.
+//!
+//! The crate also provides [`AdminClient`], the operator-side handle to a
+//! controller's wire control plane (`/aire/v1/admin/*`): every
+//! administrative operation — repair-mode switches, local-repair passes,
+//! queue listing/flush/retry, GC, snapshot/restore, stats, digests, leak
+//! audits — invoked purely over the network, exactly as a remote
+//! operator (or a controller in another process) would.
+
+#![deny(missing_docs)]
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use aire_core::admin::{AdminOp, AdminResponse, AdminStats, QueueEntry};
+use aire_core::incoming::RepairMode;
 use aire_core::protocol::{RepairMessage, RepairOp};
 use aire_http::aire;
 use aire_http::{Headers, HttpRequest, HttpResponse, Status, Url};
 use aire_net::{Endpoint, Network};
-use aire_types::{jv, AireError, AireResult, Jv, RequestId, ResponseId};
+use aire_types::{jv, AireError, AireResult, Jv, LogicalTime, MsgId, RequestId, ResponseId};
+use aire_vdb::{Filter, RowKey};
+use aire_web::RepairProblem;
 
 /// The deterministic fold that derives client-side state from the call
 /// log. Replayed from scratch whenever repair rewrites any logged call.
@@ -386,6 +399,188 @@ impl Endpoint for AireClient {
     }
 }
 
+//////// The operator-side control-plane client. ////////
+
+/// An operator's handle to one controller's wire control plane
+/// (`/aire/v1/admin/*`).
+///
+/// Every method encodes a typed [`AdminOp`], delivers it over the
+/// network's operator listener ([`Network::deliver_admin`]), and decodes
+/// the typed [`AdminResponse`] — no in-process access to the controller
+/// at all, which is what makes remote administration (and, eventually,
+/// multi-process deployment) possible. Credentials configured with
+/// [`AdminClient::with_credentials`] ride on every carrier and are
+/// checked by the service's `App::authorize_admin` (§4 applied to the
+/// control plane).
+pub struct AdminClient {
+    net: Network,
+    target: String,
+    credentials: Headers,
+}
+
+impl AdminClient {
+    /// Creates a client administering the service named `target` over
+    /// `net`, with no credentials attached.
+    pub fn new(net: &Network, target: impl Into<String>) -> AdminClient {
+        AdminClient {
+            net: net.clone(),
+            target: target.into(),
+            credentials: Headers::new(),
+        }
+    }
+
+    /// Attaches credential headers to every operation this client sends.
+    pub fn with_credentials(mut self, credentials: Headers) -> AdminClient {
+        self.credentials = credentials;
+        self
+    }
+
+    /// The administered service's name.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Invokes one raw operation, returning the typed response. Non-OK
+    /// HTTP statuses (unauthorized, malformed, dispatch failure) surface
+    /// as [`AireError::Protocol`] carrying the status and error text.
+    pub fn invoke(&self, op: AdminOp) -> AireResult<AdminResponse> {
+        aire_core::admin::invoke_wire(&self.net, &self.target, &op, &self.credentials)
+    }
+
+    fn unexpected<T>(&self, what: &str, got: AdminResponse) -> AireResult<T> {
+        Err(AireError::Protocol(format!(
+            "admin {what} on {}: unexpected response {:?}",
+            self.target,
+            got.tag()
+        )))
+    }
+
+    /// Runs one aggregated local-repair pass (§3.2); returns the actions
+    /// processed.
+    pub fn run_local_repair(&self) -> AireResult<usize> {
+        match self.invoke(AdminOp::RunLocalRepair)? {
+            AdminResponse::Repaired { actions } => Ok(actions),
+            other => self.unexpected("run_local_repair", other),
+        }
+    }
+
+    /// Switches between immediate and deferred incoming repair (§3.2).
+    pub fn set_repair_mode(&self, mode: RepairMode) -> AireResult<()> {
+        match self.invoke(AdminOp::SetRepairMode { mode })? {
+            AdminResponse::Ack => Ok(()),
+            other => self.unexpected("set_repair_mode", other),
+        }
+    }
+
+    /// Lists the outgoing repair queue (credential-free entries).
+    pub fn list_queue(&self) -> AireResult<Vec<QueueEntry>> {
+        match self.invoke(AdminOp::ListQueue)? {
+            AdminResponse::Queue { entries } => Ok(entries),
+            other => self.unexpected("list_queue", other),
+        }
+    }
+
+    /// Attempts delivery of one queued message; true if it was delivered.
+    pub fn send_queued(&self, msg_id: MsgId) -> AireResult<aire_core::SendOutcome> {
+        match self.invoke(AdminOp::SendQueued { msg_id })? {
+            AdminResponse::Sent { outcome } => Ok(outcome),
+            other => self.unexpected("send_queued", other),
+        }
+    }
+
+    /// Attempts delivery of every sendable message once; returns
+    /// `(delivered, kept, dropped)` counts.
+    pub fn flush_queue(&self) -> AireResult<(usize, usize, usize)> {
+        match self.invoke(AdminOp::FlushQueue)? {
+            AdminResponse::Flushed {
+                delivered,
+                kept,
+                dropped,
+            } => Ok((delivered, kept, dropped)),
+            other => self.unexpected("flush_queue", other),
+        }
+    }
+
+    /// Re-arms a held repair message with fresh credentials (Table 2's
+    /// `retry`).
+    pub fn retry(&self, msg_id: MsgId, credentials: Headers) -> AireResult<()> {
+        match self.invoke(AdminOp::Retry {
+            msg_id,
+            credentials,
+        })? {
+            AdminResponse::Ack => Ok(()),
+            other => self.unexpected("retry", other),
+        }
+    }
+
+    /// Garbage-collects history strictly before `horizon` (§9); returns
+    /// the records collected.
+    pub fn gc(&self, horizon: LogicalTime) -> AireResult<usize> {
+        match self.invoke(AdminOp::Gc { horizon })? {
+            AdminResponse::Collected { records } => Ok(records),
+            other => self.unexpected("gc", other),
+        }
+    }
+
+    /// Pulls the controller's full durable snapshot.
+    pub fn snapshot(&self) -> AireResult<Jv> {
+        match self.invoke(AdminOp::Snapshot)? {
+            AdminResponse::Snapshot { snapshot } => Ok(snapshot),
+            other => self.unexpected("snapshot", other),
+        }
+    }
+
+    /// Replaces the controller's state from a snapshot (crash recovery /
+    /// migration over the wire).
+    pub fn restore(&self, snapshot: Jv) -> AireResult<()> {
+        match self.invoke(AdminOp::Restore { snapshot })? {
+            AdminResponse::Ack => Ok(()),
+            other => self.unexpected("restore", other),
+        }
+    }
+
+    /// Collects the operational summary (counters, mode, queue depths).
+    pub fn stats(&self) -> AireResult<AdminStats> {
+        match self.invoke(AdminOp::Stats)? {
+            AdminResponse::Stats(stats) => Ok(*stats),
+            other => self.unexpected("stats", other),
+        }
+    }
+
+    /// The deterministic digest of the service's user-visible state.
+    pub fn digest(&self) -> AireResult<String> {
+        match self.invoke(AdminOp::Digest)? {
+            AdminResponse::Digest { digest } => Ok(digest),
+            other => self.unexpected("digest", other),
+        }
+    }
+
+    /// The §9 leak audit over `table` with the given confidentiality
+    /// predicate.
+    pub fn leak_audit(
+        &self,
+        table: &str,
+        confidential: &Filter,
+    ) -> AireResult<Vec<(RequestId, RowKey)>> {
+        match self.invoke(AdminOp::LeakAudit {
+            table: table.to_string(),
+            confidential: confidential.clone(),
+        })? {
+            AdminResponse::Leaks { leaks } => Ok(leaks),
+            other => self.unexpected("leak_audit", other),
+        }
+    }
+
+    /// Admin notices (compensations, undeliverable repairs) and the
+    /// `notify` problems (Table 2).
+    pub fn notices(&self) -> AireResult<(Vec<Jv>, Vec<RepairProblem>)> {
+        match self.invoke(AdminOp::Notices)? {
+            AdminResponse::Notices { notices, problems } => Ok((notices, problems)),
+            other => self.unexpected("notices", other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +680,100 @@ mod tests {
             client.events()[0],
             ClientEvent::NotifyRejected { .. }
         ));
+    }
+
+    #[test]
+    fn admin_client_operates_a_controller_over_the_wire() {
+        use aire_vdb::{FieldDef, FieldKind, Schema};
+        use aire_web::{App, Ctx, Router, WebError};
+
+        struct Notes;
+        fn h_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+            let text = ctx.body_str("text")?.to_string();
+            let id = ctx.insert("notes", jv!({"text": text}))?;
+            Ok(HttpResponse::ok(jv!({"id": id as i64})))
+        }
+        impl App for Notes {
+            fn name(&self) -> &str {
+                "notes"
+            }
+            fn schemas(&self) -> Vec<Schema> {
+                vec![Schema::new(
+                    "notes",
+                    vec![FieldDef::new("text", FieldKind::Str)],
+                )]
+            }
+            fn router(&self) -> Router {
+                Router::new().post("/add", h_add)
+            }
+        }
+
+        let mut world = aire_core::World::new();
+        let controller = world.add_service(Rc::new(Notes));
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("notes", "/add"),
+                jv!({"text": "hello"}),
+            ))
+            .unwrap();
+
+        let admin = AdminClient::new(world.net(), "notes");
+        assert_eq!(admin.target(), "notes");
+
+        // Mode switch, stats, digest, queue, notices — all over the wire,
+        // agreeing with the in-process view.
+        admin
+            .set_repair_mode(aire_core::RepairMode::Deferred)
+            .unwrap();
+        assert_eq!(
+            controller.repair_mode(),
+            aire_core::RepairMode::Deferred,
+            "wire mode switch must land"
+        );
+        let stats = admin.stats().unwrap();
+        assert_eq!(stats.stats.normal_requests, 1);
+        assert_eq!(stats.mode, aire_core::RepairMode::Deferred);
+        assert_eq!(stats.action_count, 1);
+        assert_eq!(admin.digest().unwrap(), controller.state_digest());
+        assert!(admin.list_queue().unwrap().is_empty());
+        assert_eq!(admin.run_local_repair().unwrap(), 0);
+        let (notices, problems) = admin.notices().unwrap();
+        assert!(notices.is_empty() && problems.is_empty());
+
+        // Snapshot over the wire round-trips through restore.
+        let snap = admin.snapshot().unwrap();
+        admin.restore(snap).unwrap();
+        assert_eq!(admin.stats().unwrap().stats.normal_requests, 1);
+    }
+
+    #[test]
+    fn admin_client_surfaces_wire_errors() {
+        let net = Network::new();
+        let admin = AdminClient::new(&net, "ghost");
+        let err = admin.digest().unwrap_err();
+        assert!(matches!(err, AireError::UnknownService(_)));
+        // Retrying an unknown message id is a protocol-level failure.
+        let mut world = aire_core::World::new();
+        world.add_service(Rc::new(crate::tests::NopApp));
+        let admin = AdminClient::new(world.net(), "nop");
+        let err = admin
+            .retry(aire_types::MsgId(99), Headers::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("no queued message"), "{err}");
+    }
+
+    struct NopApp;
+
+    impl aire_web::App for NopApp {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn schemas(&self) -> Vec<aire_vdb::Schema> {
+            Vec::new()
+        }
+        fn router(&self) -> aire_web::Router {
+            aire_web::Router::new()
+        }
     }
 
     #[test]

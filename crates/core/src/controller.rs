@@ -16,6 +16,7 @@ use aire_types::{
 use aire_vdb::{Filter, VersionedStore};
 use aire_web::{App, AuthorizeCtx, Ctx, DbSnapshot, RepairProblem, Router};
 
+use crate::admin::{self, AdminOp, AdminResponse, AdminStats, QueueEntry};
 use crate::incoming::{IncomingQueue, PendingSeed, RepairMode};
 use crate::protocol::{RepairMessage, RepairOp};
 use crate::queue::{OutgoingQueues, QueueKey, QueuedRepair};
@@ -79,6 +80,27 @@ pub enum SendOutcome {
     Kept,
     /// Permanently undeliverable; dropped and the application notified.
     Dropped,
+}
+
+impl SendOutcome {
+    /// Wire name (the admin API's `send_queued` response).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SendOutcome::Delivered => "delivered",
+            SendOutcome::Kept => "kept",
+            SendOutcome::Dropped => "dropped",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<SendOutcome> {
+        match s {
+            "delivered" => Some(SendOutcome::Delivered),
+            "kept" => Some(SendOutcome::Kept),
+            "dropped" => Some(SendOutcome::Dropped),
+            _ => None,
+        }
+    }
 }
 
 /// A read-only snapshot of the versioned store at a fixed time, handed to
@@ -160,7 +182,16 @@ impl Controller {
     /// [`Jv`] document. Together with the application code (which provides
     /// schemas, routes, and policies), this is everything needed to
     /// [`Controller::restore`] the service after a crash or migration.
+    ///
+    /// Wire equivalent: [`AdminOp::Snapshot`].
     pub fn snapshot(&self) -> Jv {
+        match self.dispatch_admin(AdminOp::Snapshot) {
+            Ok(AdminResponse::Snapshot { snapshot }) => snapshot,
+            other => unreachable!("snapshot dispatch: {other:?}"),
+        }
+    }
+
+    fn do_snapshot(&self) -> Jv {
         let core = self.core.borrow();
         let mut m = Jv::map();
         m.set("service", Jv::s(core.name.as_str()));
@@ -168,13 +199,7 @@ impl Controller {
         m.set("log", core.log.snapshot());
         m.set("outgoing", core.outgoing.snapshot());
         m.set("incoming", core.incoming.snapshot());
-        m.set(
-            "mode",
-            Jv::s(match core.mode {
-                RepairMode::Immediate => "immediate",
-                RepairMode::Deferred => "deferred",
-            }),
-        );
+        m.set("mode", Jv::s(core.mode.as_str()));
         m.set("next_request_seq", Jv::i(core.next_request_seq as i64));
         m.set("next_response_seq", Jv::i(core.next_response_seq as i64));
         m.set("clock_millis", Jv::i(core.clock_millis));
@@ -199,28 +224,13 @@ impl Controller {
         );
         m.set(
             "notifications",
-            Jv::list(core.notifications.iter().map(|p| {
-                let mut n = Jv::map();
-                n.set("msg_id", Jv::i(p.msg_id.0 as i64));
-                n.set("kind", Jv::s(p.kind.as_str()));
-                n.set("target", Jv::s(p.target.clone()));
-                n.set("error", Jv::s(p.error.clone()));
-                n.set("retryable", Jv::Bool(p.retryable));
-                n
-            })),
+            Jv::list(core.notifications.iter().map(admin::problem_to_jv)),
         );
         m
     }
 
-    /// Rebuilds a controller for `app` from a [`Controller::snapshot`].
-    /// The snapshot must have been taken from a controller hosting the
-    /// same application (names must match; schemas come from the app).
-    pub fn restore(
-        app: Rc<dyn App>,
-        net: Network,
-        config: ControllerConfig,
-        snap: &Jv,
-    ) -> Result<Rc<Controller>, String> {
+    /// Rebuilds a [`ServiceCore`] from a snapshot taken for `app`.
+    fn core_from_snapshot(app: &dyn App, snap: &Jv) -> Result<ServiceCore, String> {
         let name = ServiceName::new(app.name());
         if snap.str_of("service") != name.as_str() {
             return Err(format!(
@@ -233,10 +243,7 @@ impl Controller {
         let log = RepairLog::restore(snap.get("log"))?;
         let outgoing = OutgoingQueues::restore(snap.get("outgoing"))?;
         let incoming = IncomingQueue::restore(snap.get("incoming"))?;
-        let mode = match snap.str_of("mode") {
-            "deferred" => RepairMode::Deferred,
-            _ => RepairMode::Immediate,
-        };
+        let mode = RepairMode::parse(snap.str_of("mode")).unwrap_or(RepairMode::Immediate);
         let rng_state: u64 = snap
             .str_of("rng_state")
             .parse()
@@ -254,39 +261,45 @@ impl Controller {
         }
         let mut notifications = Vec::new();
         for n in snap.get("notifications").as_list().unwrap_or(&[]) {
-            notifications.push(RepairProblem {
-                msg_id: MsgId(n.get("msg_id").as_int().unwrap_or(0) as u64),
-                kind: aire::RepairKind::parse(n.str_of("kind"))
-                    .ok_or("restore: bad notification kind")?,
-                target: n.str_of("target").to_string(),
-                error: n.str_of("error").to_string(),
-                retryable: n.get("retryable").as_bool().unwrap_or(false),
-            });
+            notifications.push(admin::problem_from_jv(n).map_err(|e| format!("restore: {e}"))?);
         }
+        Ok(ServiceCore {
+            name,
+            store,
+            log,
+            time,
+            next_request_seq: snap.get("next_request_seq").as_int().unwrap_or(0) as u64,
+            next_response_seq: snap.get("next_response_seq").as_int().unwrap_or(0) as u64,
+            clock_millis: snap.get("clock_millis").as_int().unwrap_or(0),
+            rng: DetRng::new(rng_state),
+            outgoing,
+            incoming,
+            mode,
+            tokens,
+            next_token_seq: snap.get("next_token_seq").as_int().unwrap_or(0) as u64,
+            stats: ControllerStats::from_jv(snap.get("stats")),
+            admin_notices: snap
+                .get("admin_notices")
+                .as_list()
+                .map(|l| l.to_vec())
+                .unwrap_or_default(),
+            notifications,
+        })
+    }
+
+    /// Rebuilds a controller for `app` from a [`Controller::snapshot`].
+    /// The snapshot must have been taken from a controller hosting the
+    /// same application (names must match; schemas come from the app).
+    pub fn restore(
+        app: Rc<dyn App>,
+        net: Network,
+        config: ControllerConfig,
+        snap: &Jv,
+    ) -> Result<Rc<Controller>, String> {
+        let core = Self::core_from_snapshot(app.as_ref(), snap)?;
         let router = app.router();
         Ok(Rc::new(Controller {
-            core: RefCell::new(ServiceCore {
-                name,
-                store,
-                log,
-                time,
-                next_request_seq: snap.get("next_request_seq").as_int().unwrap_or(0) as u64,
-                next_response_seq: snap.get("next_response_seq").as_int().unwrap_or(0) as u64,
-                clock_millis: snap.get("clock_millis").as_int().unwrap_or(0),
-                rng: DetRng::new(rng_state),
-                outgoing,
-                incoming,
-                mode,
-                tokens,
-                next_token_seq: snap.get("next_token_seq").as_int().unwrap_or(0) as u64,
-                stats: ControllerStats::from_jv(snap.get("stats")),
-                admin_notices: snap
-                    .get("admin_notices")
-                    .as_list()
-                    .map(|l| l.to_vec())
-                    .unwrap_or_default(),
-                notifications,
-            }),
+            core: RefCell::new(core),
             app,
             router,
             net,
@@ -294,26 +307,56 @@ impl Controller {
         }))
     }
 
+    /// Replaces this live controller's entire state from a snapshot
+    /// (crash recovery or migration driven over the wire).
+    ///
+    /// Wire equivalent: [`AdminOp::Restore`].
+    pub fn restore_in_place(&self, snap: &Jv) -> Result<(), String> {
+        let core = Self::core_from_snapshot(self.app.as_ref(), snap)?;
+        *self.core.borrow_mut() = core;
+        Ok(())
+    }
+
     /// Current statistics.
+    ///
+    /// Wire equivalent: [`AdminOp::Stats`] (which additionally reports
+    /// mode and queue depths).
     pub fn stats(&self) -> ControllerStats {
-        self.core.borrow().stats.clone()
+        match self.dispatch_admin(AdminOp::Stats) {
+            Ok(AdminResponse::Stats(stats)) => stats.stats,
+            other => unreachable!("stats dispatch: {other:?}"),
+        }
     }
 
     /// Admin notices accumulated by repair (compensations, failures).
+    ///
+    /// Wire equivalent: [`AdminOp::Notices`].
     pub fn admin_notices(&self) -> Vec<Jv> {
-        self.core.borrow().admin_notices.clone()
+        match self.dispatch_admin(AdminOp::Notices) {
+            Ok(AdminResponse::Notices { notices, .. }) => notices,
+            other => unreachable!("notices dispatch: {other:?}"),
+        }
     }
 
     /// Notifications delivered to the application (Table 2's `notify`).
+    ///
+    /// Wire equivalent: [`AdminOp::Notices`].
     pub fn notifications(&self) -> Vec<RepairProblem> {
-        self.core.borrow().notifications.clone()
+        match self.dispatch_admin(AdminOp::Notices) {
+            Ok(AdminResponse::Notices { problems, .. }) => problems,
+            other => unreachable!("notices dispatch: {other:?}"),
+        }
     }
 
     /// Deterministic digest of current user-visible state (for the
     /// clean-world convergence oracle).
+    ///
+    /// Wire equivalent: [`AdminOp::Digest`].
     pub fn state_digest(&self) -> String {
-        let core = self.core.borrow();
-        core.store.state_digest(LogicalTime::MAX)
+        match self.dispatch_admin(AdminOp::Digest) {
+            Ok(AdminResponse::Digest { digest }) => digest,
+            other => unreachable!("digest dispatch: {other:?}"),
+        }
     }
 
     /// Raw and compressed repair-log sizes plus store statistics
@@ -349,8 +392,13 @@ impl Controller {
     /// §9) and deferred aggregation of incoming repair messages (§3.2).
     /// Pending seeds survive a switch back to immediate mode and run on
     /// the next [`Controller::run_local_repair`].
+    ///
+    /// Wire equivalent: [`AdminOp::SetRepairMode`].
     pub fn set_repair_mode(&self, mode: RepairMode) {
-        self.core.borrow_mut().mode = mode;
+        match self.dispatch_admin(AdminOp::SetRepairMode { mode }) {
+            Ok(AdminResponse::Ack) => {}
+            other => unreachable!("set_repair_mode dispatch: {other:?}"),
+        }
     }
 
     /// The current repair mode.
@@ -367,7 +415,16 @@ impl Controller {
     /// pass (§3.2: "can apply the changes requested by multiple repair
     /// operations as part of a single local repair"). Returns the number
     /// of actions the pass processed; zero when nothing was pending.
+    ///
+    /// Wire equivalent: [`AdminOp::RunLocalRepair`].
     pub fn run_local_repair(&self) -> usize {
+        match self.dispatch_admin(AdminOp::RunLocalRepair) {
+            Ok(AdminResponse::Repaired { actions }) => actions,
+            other => unreachable!("run_local_repair dispatch: {other:?}"),
+        }
+    }
+
+    fn do_run_local_repair(&self) -> usize {
         let mut core = self.core.borrow_mut();
         let seeds = core.incoming.drain();
         if seeds.is_empty() {
@@ -413,7 +470,16 @@ impl Controller {
 
     /// Garbage-collects log and store history strictly before `horizon`
     /// (§9).
+    ///
+    /// Wire equivalent: [`AdminOp::Gc`].
     pub fn gc(&self, horizon: LogicalTime) -> usize {
+        match self.dispatch_admin(AdminOp::Gc { horizon }) {
+            Ok(AdminResponse::Collected { records }) => records,
+            other => unreachable!("gc dispatch: {other:?}"),
+        }
+    }
+
+    fn do_gc(&self, horizon: LogicalTime) -> usize {
         let mut core = self.core.borrow_mut();
         core.store.gc(horizon);
         core.log.gc(horizon)
@@ -422,7 +488,20 @@ impl Controller {
     /// Re-sends a held repair message with fresh credentials (Table 2's
     /// `retry`). The message becomes sendable again; the next pump round
     /// delivers it.
+    ///
+    /// Wire equivalent: [`AdminOp::Retry`].
     pub fn retry(&self, msg_id: MsgId, new_credentials: Headers) -> AireResult<()> {
+        match self.dispatch_admin(AdminOp::Retry {
+            msg_id,
+            credentials: new_credentials,
+        }) {
+            Ok(AdminResponse::Ack) => Ok(()),
+            Err(e) => Err(e),
+            other => unreachable!("retry dispatch: {other:?}"),
+        }
+    }
+
+    fn do_retry(&self, msg_id: MsgId, new_credentials: Headers) -> AireResult<()> {
         let mut core = self.core.borrow_mut();
         let Some(msg) = core.outgoing.get_mut(msg_id) else {
             return Err(AireError::Protocol(format!("no queued message {msg_id}")));
@@ -953,7 +1032,17 @@ impl Controller {
     //////// Outgoing queue delivery (driven by the World pump). ////////
 
     /// Attempts to deliver one queued repair message.
+    ///
+    /// Wire equivalent: [`AdminOp::SendQueued`] (or [`AdminOp::FlushQueue`]
+    /// for every sendable message at once).
     pub fn send_queued(&self, msg_id: MsgId) -> SendOutcome {
+        match self.dispatch_admin(AdminOp::SendQueued { msg_id }) {
+            Ok(AdminResponse::Sent { outcome }) => outcome,
+            other => unreachable!("send_queued dispatch: {other:?}"),
+        }
+    }
+
+    fn do_send_queued(&self, msg_id: MsgId) -> SendOutcome {
         let msg = {
             let core = self.core.borrow();
             match core.outgoing.get(msg_id) {
@@ -1138,7 +1227,23 @@ impl Controller {
     /// saw confidential data they should not have seen.
     ///
     /// Returns `(request id, row)` pairs, one per leaked row per request.
+    ///
+    /// Wire equivalent: [`AdminOp::LeakAudit`].
     pub fn leak_audit(
+        &self,
+        table: &str,
+        confidential: &Filter,
+    ) -> Vec<(RequestId, aire_vdb::RowKey)> {
+        match self.dispatch_admin(AdminOp::LeakAudit {
+            table: table.to_string(),
+            confidential: confidential.clone(),
+        }) {
+            Ok(AdminResponse::Leaks { leaks }) => leaks,
+            other => unreachable!("leak_audit dispatch: {other:?}"),
+        }
+    }
+
+    fn do_leak_audit(
         &self,
         table: &str,
         confidential: &Filter,
@@ -1242,10 +1347,151 @@ impl Controller {
         }
         engine.run()
     }
+
+    //////// The control plane (admin API). ////////
+
+    /// Dispatches one control-plane operation. This is the **single
+    /// source of truth** for the controller's operational surface: the
+    /// wire endpoint (`/aire/v1/admin/*`) and the direct Rust methods
+    /// ([`Controller::run_local_repair`], [`Controller::gc`], ...) both
+    /// funnel here, so the two paths cannot drift apart.
+    ///
+    /// Authorization is the *caller's* concern: the wire handler checks
+    /// `App::authorize_admin` before dispatching, while in-process
+    /// callers (tests, the `World` harness) are inherently trusted.
+    pub fn dispatch_admin(&self, op: AdminOp) -> AireResult<AdminResponse> {
+        match op {
+            AdminOp::RunLocalRepair => Ok(AdminResponse::Repaired {
+                actions: self.do_run_local_repair(),
+            }),
+            AdminOp::ListQueue => {
+                let entries = self
+                    .core
+                    .borrow()
+                    .outgoing
+                    .all()
+                    .into_iter()
+                    .map(QueueEntry::of)
+                    .collect();
+                Ok(AdminResponse::Queue { entries })
+            }
+            AdminOp::SendQueued { msg_id } => Ok(AdminResponse::Sent {
+                outcome: self.do_send_queued(msg_id),
+            }),
+            AdminOp::FlushQueue => {
+                let (mut delivered, mut kept, mut dropped) = (0, 0, 0);
+                for msg_id in self.sendable_messages() {
+                    match self.do_send_queued(msg_id) {
+                        SendOutcome::Delivered => delivered += 1,
+                        SendOutcome::Kept => kept += 1,
+                        SendOutcome::Dropped => dropped += 1,
+                    }
+                }
+                Ok(AdminResponse::Flushed {
+                    delivered,
+                    kept,
+                    dropped,
+                })
+            }
+            AdminOp::Retry {
+                msg_id,
+                credentials,
+            } => {
+                self.do_retry(msg_id, credentials)?;
+                Ok(AdminResponse::Ack)
+            }
+            AdminOp::SetRepairMode { mode } => {
+                self.core.borrow_mut().mode = mode;
+                Ok(AdminResponse::Ack)
+            }
+            AdminOp::Gc { horizon } => Ok(AdminResponse::Collected {
+                records: self.do_gc(horizon),
+            }),
+            AdminOp::Snapshot => Ok(AdminResponse::Snapshot {
+                snapshot: self.do_snapshot(),
+            }),
+            AdminOp::Restore { snapshot } => {
+                self.restore_in_place(&snapshot)
+                    .map_err(AireError::Protocol)?;
+                Ok(AdminResponse::Ack)
+            }
+            AdminOp::Stats => {
+                let core = self.core.borrow();
+                Ok(AdminResponse::Stats(Box::new(AdminStats {
+                    stats: core.stats.clone(),
+                    mode: core.mode,
+                    pending_local_repairs: core.incoming.len(),
+                    queued_messages: core.outgoing.len(),
+                    action_count: core.log.len(),
+                    db_op_count: core.log.db_op_count(),
+                })))
+            }
+            AdminOp::Digest => Ok(AdminResponse::Digest {
+                digest: self.core.borrow().store.state_digest(LogicalTime::MAX),
+            }),
+            AdminOp::LeakAudit {
+                table,
+                confidential,
+            } => Ok(AdminResponse::Leaks {
+                leaks: self.do_leak_audit(&table, &confidential),
+            }),
+            AdminOp::Notices => {
+                let core = self.core.borrow();
+                Ok(AdminResponse::Notices {
+                    notices: core.admin_notices.clone(),
+                    problems: core.notifications.clone(),
+                })
+            }
+        }
+    }
+
+    /// Serves one wire control-plane request: decode, authorize through
+    /// the §4 delegation (`App::authorize_admin`), dispatch.
+    fn handle_admin(&self, req: &HttpRequest) -> HttpResponse {
+        let op = match AdminOp::from_carrier(req) {
+            Ok(Some(op)) => op,
+            // The caller only routes here for ADMIN_PREFIX paths.
+            Ok(None) => return HttpResponse::error(Status::NOT_FOUND, "not an admin path"),
+            Err(e) => return HttpResponse::error(Status::BAD_REQUEST, e),
+        };
+        let credentials = crate::protocol::carrier_credentials(req);
+        let allowed = {
+            let core = self.core.borrow();
+            let now = SnapshotAt {
+                store: &core.store,
+                at: LogicalTime::MAX,
+            };
+            let actx = aire_web::AdminCtx {
+                op: op.name(),
+                payload: &req.body,
+                credentials: &credentials,
+                db_now: &now,
+            };
+            self.app.authorize_admin(&actx)
+        };
+        if !allowed {
+            self.core.borrow_mut().stats.admin_rejected += 1;
+            return HttpResponse::error(Status::UNAUTHORIZED, "admin operation not authorized");
+        }
+        let result = self.dispatch_admin(op);
+        // Counted *after* dispatch: a wire `restore` replaces the whole
+        // core (stats included), and the restore itself must still show
+        // up in the restored core's counters.
+        self.core.borrow_mut().stats.admin_ops += 1;
+        match result {
+            Ok(resp) => HttpResponse::ok(resp.to_jv()),
+            Err(e) => error_response(&e),
+        }
+    }
 }
 
 impl Endpoint for Controller {
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        // The control plane (served on the operator listener,
+        // `Network::deliver_admin`).
+        if req.url.path.starts_with(admin::ADMIN_PREFIX) {
+            return self.handle_admin(req);
+        }
         // Aire plumbing endpoints.
         if req.url.path == "/aire/notify" {
             return self.handle_notify(req);

@@ -36,6 +36,25 @@ pub enum RepairMode {
     Deferred,
 }
 
+impl RepairMode {
+    /// Wire name (snapshots and the admin API).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RepairMode::Immediate => "immediate",
+            RepairMode::Deferred => "deferred",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<RepairMode> {
+        match s {
+            "immediate" => Some(RepairMode::Immediate),
+            "deferred" => Some(RepairMode::Deferred),
+            _ => None,
+        }
+    }
+}
+
 /// An authorized repair seed awaiting the next local-repair pass.
 ///
 /// Seeds are the post-authorization residue of the four protocol

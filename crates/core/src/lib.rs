@@ -19,6 +19,11 @@
 //!
 //! * [`protocol`] — Table 1 as data: [`RepairOp`], wire encoding over
 //!   HTTP headers, credentials.
+//! * [`admin`] — the wire control plane: [`AdminOp`]/[`AdminResponse`]
+//!   with `Jv` encoding, served by every controller at
+//!   `/aire/v1/admin/*` so a service can be operated (repair passes,
+//!   queue flushes, retries, GC, snapshots, audits) from outside its
+//!   process.
 //! * [`queue`] — outgoing repair queues with collapsing (§3.2) and the
 //!   held-for-credentials state of §7.2.
 //! * [`incoming`] — the incoming repair queue (§3.2): deferred mode
@@ -115,6 +120,7 @@
 //! assert_eq!(after.status, Status::NOT_FOUND);
 //! ```
 
+pub mod admin;
 pub mod bare;
 pub mod controller;
 pub mod incoming;
@@ -125,9 +131,10 @@ pub mod runtime;
 pub mod stats;
 pub mod world;
 
-pub use controller::{Controller, ControllerConfig};
+pub use admin::{AdminOp, AdminResponse, AdminStats, QueueEntry};
+pub use controller::{Controller, ControllerConfig, SendOutcome};
 pub use incoming::{PendingSeed, RepairMode};
 pub use protocol::{RepairMessage, RepairOp};
 pub use queue::{QueueKey, QueuedRepair};
 pub use stats::ControllerStats;
-pub use world::World;
+pub use world::{PumpReport, SettleReport, StuckRepair, World};

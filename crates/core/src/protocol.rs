@@ -287,14 +287,23 @@ impl RepairMessage {
         // Surface the carrier's credential headers so access control can
         // inspect them uniformly (for `delete` they are the only
         // credentials carried at all).
-        let mut credentials = Headers::new();
-        for name in ["authorization", "cookie", "x-admin"] {
-            if let Some(v) = req.headers.get(name) {
-                credentials.set(name, v);
-            }
-        }
+        let credentials = carrier_credentials(req);
         Ok(Some(RepairMessage { op, credentials }))
     }
+}
+
+/// Extracts the credential-bearing headers of a carrier request — the
+/// headers §4's access-control delegation inspects. Shared between the
+/// repair protocol and the admin control plane so both planes see
+/// credentials the same way.
+pub fn carrier_credentials(req: &HttpRequest) -> Headers {
+    let mut credentials = Headers::new();
+    for name in ["authorization", "cookie", "x-admin"] {
+        if let Some(v) = req.headers.get(name) {
+            credentials.set(name, v);
+        }
+    }
+    credentials
 }
 
 /// Removes the repair marker headers, leaving the "normal" request the

@@ -9,7 +9,7 @@ use std::time::Duration;
 /// * Table 5 (repair performance) uses the repaired/total request and
 ///   model-operation counters, `repair_messages_sent`, and the wall-clock
 ///   split between normal execution and local repair.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Requests executed during normal operation.
     pub normal_requests: u64,
@@ -35,6 +35,11 @@ pub struct ControllerStats {
     pub repair_messages_rejected: u64,
     /// Compensating actions run for changed external outputs.
     pub compensations: u64,
+    /// Control-plane operations served over the wire
+    /// (`/aire/v1/admin/*`).
+    pub admin_ops: u64,
+    /// Control-plane operations rejected by `App::authorize_admin`.
+    pub admin_rejected: u64,
 }
 
 impl ControllerStats {
@@ -73,6 +78,8 @@ impl ControllerStats {
             Jv::i(self.repair_messages_rejected as i64),
         );
         m.set("compensations", Jv::i(self.compensations as i64));
+        m.set("admin_ops", Jv::i(self.admin_ops as i64));
+        m.set("admin_rejected", Jv::i(self.admin_rejected as i64));
         m
     }
 
@@ -92,6 +99,8 @@ impl ControllerStats {
             repair_messages_received: n("repair_messages_received"),
             repair_messages_rejected: n("repair_messages_rejected"),
             compensations: n("compensations"),
+            admin_ops: n("admin_ops"),
+            admin_rejected: n("admin_rejected"),
         }
     }
 

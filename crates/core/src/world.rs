@@ -7,18 +7,52 @@
 //! delivery), while cross-service messages sit in per-target queues that
 //! the pump drains — retrying when targets come back online, holding
 //! messages whose credentials were rejected, and reporting quiescence.
+//!
+//! ## Everything over the wire
+//!
+//! The harness drives controllers through the **wire control plane**
+//! ([`crate::admin`], served at `/aire/v1/admin/*` over the network's
+//! operator listener), not by calling into the controller structs: a
+//! repair-mode switch, a local-repair pass, a queue flush, a digest —
+//! each is an encoded admin carrier delivered to the service's endpoint.
+//! This is deliberately the same path a remote operator (or a future
+//! multi-process deployment) uses, so the harness exercises it
+//! constantly. The one exception: a service that is *offline* has no
+//! reachable control plane, so the harness falls back to the in-process
+//! handle for it — the omniscient debug view a simulator is allowed,
+//! used only where reality would offer nothing at all.
+//!
+//! ## Bounded pumping
+//!
+//! A pathological message cycle (service A's repair re-infects B, whose
+//! repair re-infects A, ...) would make an uncapped pump loop forever —
+//! every sweep "makes progress". [`World::pump`] and [`World::settle`]
+//! therefore cap their iteration counts; a capped run returns a
+//! non-quiescent report carrying the stuck queue contents
+//! ([`SettleReport::stuck`]) so the operator can see exactly which
+//! messages are cycling.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use aire_http::{HttpRequest, HttpResponse};
 use aire_net::Network;
-use aire_types::{AireResult, DetRng, ServiceName};
+use aire_types::{AireError, AireResult, DetRng, MsgId, ServiceName};
 use aire_web::App;
 
+use crate::admin::{AdminOp, AdminResponse, QueueEntry};
 use crate::controller::{Controller, ControllerConfig, SendOutcome};
 use crate::incoming::RepairMode;
 use crate::protocol::RepairMessage;
+
+/// Sweeps a single [`World::pump`] call may run before giving up on
+/// quiescence (each sweep attempts every sendable message once; real
+/// workloads quiesce in a handful).
+pub const DEFAULT_SWEEP_CAP: usize = 1_000;
+
+/// Rounds (local-repair pass + pump) a single [`World::settle`] call may
+/// run before giving up on quiescence.
+pub const DEFAULT_SETTLE_ROUNDS: usize = 1_000;
 
 /// Result of one [`World::pump`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,17 +65,33 @@ pub struct PumpReport {
     pub dropped: usize,
     /// Sweeps performed.
     pub sweeps: usize,
+    /// True if the pump hit its sweep cap while still making progress —
+    /// the signature of a message cycle that will never quiesce.
+    pub capped: bool,
 }
 
 impl PumpReport {
-    /// True when every queue drained.
+    /// True when every queue drained *and* the pump ran to completion —
+    /// a capped pump is never quiescent, even if the cycle happened to
+    /// park its in-flight repair as a pending incoming seed (empty
+    /// outgoing queues) at the instant the cap hit.
     pub fn quiescent(&self) -> bool {
-        self.pending == 0
+        self.pending == 0 && !self.capped
     }
 }
 
+/// One queued repair message that a capped (non-quiescent) settle left
+/// behind, with the service whose queue holds it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckRepair {
+    /// The service whose outgoing queue holds the message.
+    pub service: String,
+    /// The credential-free view of the message.
+    pub entry: QueueEntry,
+}
+
 /// Result of one [`World::settle`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SettleReport {
     /// Aggregated local-repair passes that processed at least one action.
     pub local_passes: usize,
@@ -49,6 +99,10 @@ pub struct SettleReport {
     pub repaired_actions: usize,
     /// Accumulated message-pump totals.
     pub pump: PumpReport,
+    /// The queue contents left behind when the settle did not quiesce
+    /// (iteration cap hit, offline targets, held credentials); empty on
+    /// a quiescent settle.
+    pub stuck: Vec<StuckRepair>,
 }
 
 impl SettleReport {
@@ -156,27 +210,96 @@ impl World {
         }
     }
 
+    /// Invokes one control-plane operation on a service **over the
+    /// wire**: encodes the admin carrier, delivers it to the service's
+    /// operator listener (with no credentials attached), and decodes the
+    /// typed response. Non-OK HTTP statuses (unauthorized, malformed,
+    /// dispatch failure) surface as [`AireError::Protocol`].
+    pub fn invoke_admin(&self, service: &str, op: AdminOp) -> AireResult<AdminResponse> {
+        crate::admin::invoke_wire(&self.net, service, &op, &aire_http::Headers::new())
+    }
+
+    /// Invokes `op` on a registered service for the harness's own
+    /// bookkeeping: over the wire when the service accepts it, through
+    /// the in-process dispatcher otherwise. The fallback covers offline
+    /// services (their admin listener is down with them) *and* apps
+    /// whose `authorize_admin` rejects the harness's credential-less
+    /// calls — the harness is the omniscient operator, and silently
+    /// no-oping the pump on a locked app would misreport quiescence.
+    /// Both paths funnel into the same `Controller::dispatch_admin`, so
+    /// the fallback cannot drift.
+    fn admin(&self, name: &ServiceName, op: AdminOp) -> AireResult<AdminResponse> {
+        if self.net.is_online(name.as_str()) {
+            // On a wire failure, fall through: the in-process dispatcher
+            // reports the real dispatch error, if any.
+            if let Ok(resp) = self.invoke_admin(name.as_str(), op.clone()) {
+                return Ok(resp);
+            }
+        }
+        let controller = self
+            .controllers
+            .get(name)
+            .ok_or_else(|| AireError::UnknownService(name.clone()))?;
+        controller.dispatch_admin(op)
+    }
+
     /// Total repair messages queued across all services.
     pub fn queued_messages(&self) -> usize {
         self.controllers
-            .values()
-            .map(|c| c.queued_repairs().len())
+            .keys()
+            .map(|name| match self.admin(name, AdminOp::ListQueue) {
+                Ok(AdminResponse::Queue { entries }) => entries.len(),
+                _ => 0,
+            })
             .sum()
+    }
+
+    /// The sendable (not held) message ids of one service, via its
+    /// control plane.
+    fn sendable_of(&self, name: &ServiceName) -> Vec<MsgId> {
+        match self.admin(name, AdminOp::ListQueue) {
+            Ok(AdminResponse::Queue { entries }) => entries
+                .iter()
+                .filter(|e| !e.held)
+                .map(|e| e.msg_id)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Asks one service to attempt delivery of one queued message, via
+    /// its control plane.
+    fn send_one(&self, name: &ServiceName, msg_id: MsgId) -> SendOutcome {
+        match self.admin(name, AdminOp::SendQueued { msg_id }) {
+            Ok(AdminResponse::Sent { outcome }) => outcome,
+            _ => SendOutcome::Kept,
+        }
     }
 
     /// Drains outgoing repair queues until quiescence or lack of
     /// progress: repeatedly sweeps services in name order, attempting
     /// each sendable message once per sweep. Messages to offline or
     /// rejecting targets stay queued; the pump stops when a full sweep
-    /// makes no progress.
+    /// makes no progress, or — against pathological message cycles that
+    /// progress forever — after [`DEFAULT_SWEEP_CAP`] sweeps (see
+    /// [`PumpReport::capped`]).
     pub fn pump(&self) -> PumpReport {
+        self.pump_capped(DEFAULT_SWEEP_CAP)
+    }
+
+    /// [`World::pump`] with an explicit sweep cap.
+    pub fn pump_capped(&self, max_sweeps: usize) -> PumpReport {
         let mut report = PumpReport::default();
         loop {
+            if report.sweeps >= max_sweeps {
+                report.capped = true;
+                break;
+            }
             report.sweeps += 1;
             let mut progressed = false;
-            for controller in self.controllers.values() {
-                for msg_id in controller.sendable_messages() {
-                    match controller.send_queued(msg_id) {
+            for name in self.controllers.keys() {
+                for msg_id in self.sendable_of(name) {
+                    match self.send_one(name, msg_id) {
                         SendOutcome::Delivered => {
                             report.delivered += 1;
                             progressed = true;
@@ -201,7 +324,8 @@ impl World {
     /// message across all services, shuffles the order with a seeded RNG,
     /// attempts each once, and invokes `between` after every delivery
     /// attempt (step counter included) so tests can interleave client
-    /// traffic with repair propagation.
+    /// traffic with repair propagation. Rounds are capped like
+    /// [`World::pump`].
     ///
     /// With Aire's convergence argument (§3.3), the final state must be
     /// independent of the delivery schedule; the interleaving property
@@ -216,11 +340,15 @@ impl World {
         let mut report = PumpReport::default();
         let mut step = 0;
         loop {
+            if report.sweeps >= DEFAULT_SWEEP_CAP {
+                report.capped = true;
+                break;
+            }
             report.sweeps += 1;
             // (service, msg) pairs, in deterministic order, then shuffled.
-            let mut work: Vec<(ServiceName, aire_types::MsgId)> = Vec::new();
-            for (name, controller) in &self.controllers {
-                for msg_id in controller.sendable_messages() {
+            let mut work: Vec<(ServiceName, MsgId)> = Vec::new();
+            for name in self.controllers.keys() {
+                for msg_id in self.sendable_of(name) {
                     work.push((name.clone(), msg_id));
                 }
             }
@@ -230,10 +358,7 @@ impl World {
             rng.shuffle(&mut work);
             let mut progressed = false;
             for (name, msg_id) in work {
-                let Some(controller) = self.controllers.get(&name) else {
-                    continue;
-                };
-                match controller.send_queued(msg_id) {
+                match self.send_one(&name, msg_id) {
                     SendOutcome::Delivered => {
                         report.delivered += 1;
                         progressed = true;
@@ -256,62 +381,109 @@ impl World {
     }
 
     /// Sets the repair mode of every service (§3.2's incoming aggregation
-    /// when [`RepairMode::Deferred`]).
+    /// when [`RepairMode::Deferred`]), over the wire.
     pub fn set_repair_mode_all(&self, mode: RepairMode) {
-        for controller in self.controllers.values() {
-            controller.set_repair_mode(mode);
+        for name in self.controllers.keys() {
+            let _ = self.admin(name, AdminOp::SetRepairMode { mode });
         }
     }
 
     /// Runs one deferred local-repair pass on every service that has
-    /// pending incoming seeds. Returns the total actions processed.
+    /// pending incoming seeds, over the wire. Returns the total actions
+    /// processed.
     pub fn run_local_repairs(&self) -> usize {
         self.controllers
-            .values()
-            .map(|c| c.run_local_repair())
+            .keys()
+            .map(|name| match self.admin(name, AdminOp::RunLocalRepair) {
+                Ok(AdminResponse::Repaired { actions }) => actions,
+                _ => 0,
+            })
             .sum()
     }
 
     /// Incoming seeds pending across all services.
     pub fn pending_local_repairs(&self) -> usize {
         self.controllers
-            .values()
-            .map(|c| c.pending_local_repairs())
+            .keys()
+            .map(|name| match self.admin(name, AdminOp::Stats) {
+                Ok(AdminResponse::Stats(stats)) => stats.pending_local_repairs,
+                _ => 0,
+            })
             .sum()
     }
 
     /// Drives deferred-mode repair to quiescence: alternates aggregated
     /// local-repair passes with message pumping until neither makes
     /// progress. In immediate mode this degenerates to [`World::pump`].
-    /// Returns the accumulated pump report plus the local passes run.
+    /// Returns the accumulated pump report plus the local passes run; a
+    /// non-quiescent settle (cycle cap hit, offline targets, held
+    /// credentials) carries the stuck queue contents.
     pub fn settle(&self) -> SettleReport {
+        self.settle_capped(DEFAULT_SETTLE_ROUNDS, DEFAULT_SWEEP_CAP)
+    }
+
+    /// [`World::settle`] with explicit round and sweep caps.
+    pub fn settle_capped(&self, max_rounds: usize, max_sweeps: usize) -> SettleReport {
         let mut report = SettleReport::default();
+        let mut rounds = 0;
         loop {
+            rounds += 1;
+            if rounds > max_rounds {
+                report.pump.capped = true;
+                break;
+            }
             let repaired = self.run_local_repairs();
             if repaired > 0 {
                 report.local_passes += 1;
                 report.repaired_actions += repaired;
             }
-            let pump = self.pump();
+            let pump = self.pump_capped(max_sweeps);
             report.pump.delivered += pump.delivered;
             report.pump.dropped += pump.dropped;
             report.pump.sweeps += pump.sweeps;
-            if repaired == 0 && pump.delivered == 0 && pump.dropped == 0 {
-                report.pump.pending = pump.pending;
-                return report;
+            report.pump.capped |= pump.capped;
+            if pump.capped || (repaired == 0 && pump.delivered == 0 && pump.dropped == 0) {
+                break;
             }
         }
+        // One queue sweep serves both counts: `pending` is the total of
+        // the very entries a non-quiescent report carries.
+        let stuck = self.stuck_messages();
+        report.pump.pending = stuck.len();
+        if !report.quiescent() {
+            report.stuck = stuck;
+        }
+        report
+    }
+
+    /// Every queued outgoing message across all services, as
+    /// credential-free entries tagged with the owning service.
+    pub fn stuck_messages(&self) -> Vec<StuckRepair> {
+        let mut stuck = Vec::new();
+        for name in self.controllers.keys() {
+            if let Ok(AdminResponse::Queue { entries }) = self.admin(name, AdminOp::ListQueue) {
+                stuck.extend(entries.into_iter().map(|entry| StuckRepair {
+                    service: name.to_string(),
+                    entry,
+                }));
+            }
+        }
+        stuck
     }
 
     /// Deterministic digest of every service's user-visible state, used
-    /// by the clean-world convergence oracle.
+    /// by the clean-world convergence oracle. Collected over the wire
+    /// (the digest *is* an admin operation).
     pub fn state_digest(&self) -> String {
         let mut out = String::new();
-        for (name, controller) in &self.controllers {
+        for name in self.controllers.keys() {
             out.push_str("== ");
             out.push_str(name.as_str());
             out.push('\n');
-            out.push_str(&controller.state_digest());
+            match self.admin(name, AdminOp::Digest) {
+                Ok(AdminResponse::Digest { digest }) => out.push_str(&digest),
+                _ => out.push_str("<unreachable>\n"),
+            }
         }
         out
     }

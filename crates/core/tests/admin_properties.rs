@@ -1,0 +1,321 @@
+//! Property tests on the two wire vocabularies: every [`RepairOp`] and
+//! every [`AdminOp`] variant must survive its `Jv` encoding
+//! (`from_jv(decode(encode(to_jv(x)))) == x`) and its HTTP carrier, and
+//! malformed payloads — unknown operations, missing fields — must be
+//! rejected with an error that names the problem.
+
+use aire_core::admin::{AdminOp, AdminResponse, QueueEntry};
+use aire_core::protocol::RepairOp;
+use aire_core::RepairMode;
+use aire_http::{Headers, HttpRequest, HttpResponse, Status, Url};
+use aire_types::{jv, Jv, LogicalTime, MsgId, RequestId, ResponseId};
+use aire_vdb::Filter;
+use proptest::prelude::*;
+
+//////// Generators. ////////
+
+fn arb_request_id() -> BoxedStrategy<RequestId> {
+    ("[a-z]{1,8}", 0u64..10_000)
+        .prop_map(|(svc, seq)| RequestId::new(svc, seq))
+        .boxed()
+}
+
+fn arb_response_id() -> BoxedStrategy<ResponseId> {
+    ("[a-z]{1,8}", 0u64..10_000)
+        .prop_map(|(svc, seq)| ResponseId::new(svc, seq))
+        .boxed()
+}
+
+fn arb_request() -> BoxedStrategy<HttpRequest> {
+    (
+        "[a-z]{1,8}",
+        "/[a-z0-9/]{0,12}",
+        "[ -~]{0,16}",
+        "[ -~]{0,12}",
+    )
+        .prop_map(|(host, path, text, header)| {
+            HttpRequest::post(Url::service(host, path), jv!({"text": text, "n": 7}))
+                .with_header("Cookie", format!("sessionid={header}"))
+        })
+        .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<HttpResponse> {
+    (
+        prop::sample::select(vec![200u16, 201, 400, 401, 404, 410, 503]),
+        "[ -~]{0,16}",
+    )
+        .prop_map(|(status, text)| HttpResponse::new(Status(status), jv!({"echo": text})))
+        .boxed()
+}
+
+fn arb_headers() -> BoxedStrategy<Headers> {
+    prop::collection::btree_map("[a-z-]{1,10}", "[ -~]{0,12}", 0..4)
+        .prop_map(|m| m.into_iter().collect::<Headers>())
+        .boxed()
+}
+
+fn arb_filter() -> BoxedStrategy<Filter> {
+    (
+        "[a-z]{1,8}",
+        "[ -~]{0,8}",
+        "[a-z]{1,8}",
+        -100i64..100,
+        0u8..4,
+    )
+        .prop_map(|(f1, needle, f2, bound, shape)| match shape {
+            0 => Filter::all(),
+            1 => Filter::all().eq(&f1, needle.as_str()),
+            2 => Filter::all().contains(&f1, &needle).gt(&f2, bound),
+            _ => Filter::all().lt(&f1, bound).ne(&f2, Jv::s(needle)),
+        })
+        .boxed()
+}
+
+fn arb_time() -> BoxedStrategy<LogicalTime> {
+    (1u64..1_000_000).prop_map(LogicalTime::tick).boxed()
+}
+
+/// Every [`RepairOp`] variant, uniformly.
+fn arb_repair_op() -> BoxedStrategy<RepairOp> {
+    prop_oneof![
+        (arb_request_id(), arb_request()).prop_map(|(request_id, new_request)| {
+            RepairOp::Replace {
+                request_id,
+                new_request,
+            }
+        }),
+        arb_request_id().prop_map(|request_id| RepairOp::Delete { request_id }),
+        (
+            arb_request(),
+            prop_oneof![Just(None), arb_request_id().prop_map(Some)],
+            prop_oneof![Just(None), arb_request_id().prop_map(Some)],
+        )
+            .prop_map(|(request, before_id, after_id)| RepairOp::Create {
+                request,
+                before_id,
+                after_id,
+            }),
+        (arb_response_id(), arb_response()).prop_map(|(response_id, new_response)| {
+            RepairOp::ReplaceResponse {
+                response_id,
+                new_response,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+/// Every [`AdminOp`] variant, uniformly.
+fn arb_admin_op() -> BoxedStrategy<AdminOp> {
+    prop_oneof![
+        Just(AdminOp::RunLocalRepair),
+        Just(AdminOp::ListQueue),
+        (1u64..10_000).prop_map(|id| AdminOp::SendQueued { msg_id: MsgId(id) }),
+        Just(AdminOp::FlushQueue),
+        ((1u64..10_000), arb_headers()).prop_map(|(id, credentials)| AdminOp::Retry {
+            msg_id: MsgId(id),
+            credentials,
+        }),
+        prop::sample::select(vec![RepairMode::Immediate, RepairMode::Deferred])
+            .prop_map(|mode| AdminOp::SetRepairMode { mode }),
+        arb_time().prop_map(|horizon| AdminOp::Gc { horizon }),
+        Just(AdminOp::Snapshot),
+        "[ -~]{0,12}".prop_map(|text| AdminOp::Restore {
+            snapshot: jv!({"service": text, "store": {}}),
+        }),
+        Just(AdminOp::Stats),
+        Just(AdminOp::Digest),
+        ("[a-z]{1,8}", arb_filter()).prop_map(|(table, confidential)| AdminOp::LeakAudit {
+            table,
+            confidential,
+        }),
+        Just(AdminOp::Notices),
+    ]
+    .boxed()
+}
+
+//////// Round trips. ////////
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every repair operation survives its queue-persistence encoding.
+    #[test]
+    fn prop_repair_op_jv_round_trip(op in arb_repair_op()) {
+        let text = op.to_jv().encode();
+        let back = RepairOp::from_jv(&Jv::decode(&text).expect("self-encoded"))
+            .expect("self-produced RepairOp must parse");
+        prop_assert_eq!(back, op);
+    }
+
+    /// Every admin operation survives its wire encoding.
+    #[test]
+    fn prop_admin_op_jv_round_trip(op in arb_admin_op()) {
+        let text = op.to_jv().encode();
+        let back = AdminOp::from_jv(&Jv::decode(&text).expect("self-encoded"))
+            .expect("self-produced AdminOp must parse");
+        prop_assert_eq!(back, op);
+    }
+
+    /// Every admin operation survives its full HTTP carrier: the path
+    /// names the op, the body carries the payload.
+    #[test]
+    fn prop_admin_op_carrier_round_trip(op in arb_admin_op()) {
+        let carrier = op.to_carrier("svc");
+        prop_assert!(carrier.url.path.starts_with("/aire/v1/admin/"));
+        let back = AdminOp::from_carrier(&carrier)
+            .expect("self-produced carrier must parse")
+            .expect("admin path must decode as admin");
+        prop_assert_eq!(back, op);
+    }
+
+    /// Queue entries (the list_queue / stuck-report currency) round-trip.
+    #[test]
+    fn prop_queue_entry_round_trip(
+        id in 1u64..10_000,
+        target in "[a-z]{1,8}",
+        attempts in 0u32..5,
+        held in proptest::arbitrary::any::<bool>(),
+        err in "[ -~]{0,16}",
+    ) {
+        let entry = QueueEntry {
+            msg_id: MsgId(id),
+            target,
+            kind: aire_http::aire::RepairKind::Delete,
+            summary: format!("delete x/Q{id}"),
+            attempts,
+            held,
+            last_error: if err.is_empty() { None } else { Some(err) },
+        };
+        let text = entry.to_jv().encode();
+        let back = QueueEntry::from_jv(&Jv::decode(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, entry);
+    }
+}
+
+//////// Per-variant coverage (the oneof above is probabilistic). ////////
+
+#[test]
+fn every_repair_op_variant_round_trips() {
+    let req = HttpRequest::post(Url::service("svc", "/x"), jv!({"a": 1}));
+    let ops = vec![
+        RepairOp::Replace {
+            request_id: RequestId::new("svc", 1),
+            new_request: req.clone(),
+        },
+        RepairOp::Delete {
+            request_id: RequestId::new("svc", 2),
+        },
+        RepairOp::Create {
+            request: req,
+            before_id: Some(RequestId::new("svc", 1)),
+            after_id: None,
+        },
+        RepairOp::ReplaceResponse {
+            response_id: ResponseId::new("cli", 3),
+            new_response: HttpResponse::ok(jv!({"b": 2})),
+        },
+    ];
+    for op in ops {
+        let back = RepairOp::from_jv(&Jv::decode(&op.to_jv().encode()).unwrap()).unwrap();
+        assert_eq!(back, op);
+    }
+}
+
+#[test]
+fn every_admin_op_variant_round_trips() {
+    let ops = vec![
+        AdminOp::RunLocalRepair,
+        AdminOp::ListQueue,
+        AdminOp::SendQueued { msg_id: MsgId(7) },
+        AdminOp::FlushQueue,
+        AdminOp::Retry {
+            msg_id: MsgId(9),
+            credentials: Headers::new().with("Authorization", "Bearer t"),
+        },
+        AdminOp::SetRepairMode {
+            mode: RepairMode::Deferred,
+        },
+        AdminOp::Gc {
+            horizon: LogicalTime::tick(42),
+        },
+        AdminOp::Snapshot,
+        AdminOp::Restore {
+            snapshot: jv!({"service": "svc"}),
+        },
+        AdminOp::Stats,
+        AdminOp::Digest,
+        AdminOp::LeakAudit {
+            table: "questions".into(),
+            confidential: Filter::all().contains("title", "secret"),
+        },
+        AdminOp::Notices,
+    ];
+    for op in ops {
+        let back = AdminOp::from_jv(&Jv::decode(&op.to_jv().encode()).unwrap()).unwrap();
+        assert_eq!(back, op, "jv round trip");
+        let back = AdminOp::from_carrier(&op.to_carrier("svc"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, op, "carrier round trip");
+    }
+}
+
+//////// Rejection of malformed payloads. ////////
+
+#[test]
+fn unknown_repair_kind_is_rejected_with_the_kind() {
+    let err = RepairOp::from_jv(&jv!({"kind": "undelete"})).unwrap_err();
+    assert!(err.contains("undelete"), "{err}");
+}
+
+#[test]
+fn unknown_admin_op_is_rejected_with_supported_list() {
+    let err = AdminOp::from_jv(&jv!({"op": "self_destruct"})).unwrap_err();
+    assert!(err.contains("self_destruct"), "{err}");
+    assert!(
+        err.contains("leak_audit"),
+        "error must list supported ops: {err}"
+    );
+    let err = AdminOp::from_jv(&Jv::map()).unwrap_err();
+    assert!(err.contains("op"), "{err}");
+}
+
+#[test]
+fn missing_fields_are_rejected_with_the_field_name() {
+    // RepairOp: replace without request_id / new_request.
+    let err = RepairOp::from_jv(&jv!({"kind": "replace"})).unwrap_err();
+    assert!(err.contains("request_id"), "{err}");
+    let err = RepairOp::from_jv(&jv!({"kind": "replace_response"})).unwrap_err();
+    assert!(err.contains("response_id"), "{err}");
+    // AdminOp: each parameterized op names its missing field.
+    for (op, field) in [
+        ("send_queued", "msg_id"),
+        ("retry", "msg_id"),
+        ("set_repair_mode", "mode"),
+        ("gc", "horizon"),
+        ("restore", "snapshot"),
+        ("leak_audit", "table"),
+    ] {
+        let err = AdminOp::from_jv(&jv!({"op": op})).unwrap_err();
+        assert!(
+            err.contains(field),
+            "op {op}: error {err:?} must name {field:?}"
+        );
+    }
+    // retry with msg_id but no credentials map.
+    let err = AdminOp::from_jv(&jv!({"op": "retry", "msg_id": 3})).unwrap_err();
+    assert!(err.contains("credentials"), "{err}");
+}
+
+#[test]
+fn admin_responses_reject_unknown_tags_and_bad_outcomes() {
+    let err = AdminResponse::from_jv(&jv!({"result": "victory"})).unwrap_err();
+    assert!(err.contains("victory"), "{err}");
+    let err = AdminResponse::from_jv(&Jv::map()).unwrap_err();
+    assert!(err.contains("result"), "{err}");
+    let err =
+        AdminResponse::from_jv(&jv!({"result": "sent", "outcome": "teleported"})).unwrap_err();
+    assert!(err.contains("teleported"), "{err}");
+}

@@ -65,6 +65,13 @@ pub struct NetStats {
     pub failed: u64,
     /// Total request + response bytes of successful deliveries.
     pub bytes: u64,
+    /// Successful control-plane deliveries ([`Network::deliver_admin`]).
+    /// Counted separately so admin traffic never skews the data-plane
+    /// byte accounting behind Table 4.
+    pub admin_delivered: u64,
+    /// Failed control-plane deliveries — separate from `failed` for the
+    /// same reason.
+    pub admin_failed: u64,
 }
 
 #[derive(Default)]
@@ -73,6 +80,7 @@ struct NetInner {
     online: BTreeMap<String, bool>,
     certs: BTreeMap<String, Certificate>,
     in_flight: BTreeSet<String>,
+    admin_in_flight: BTreeSet<String>,
     next_serial: u64,
     stats: NetStats,
 }
@@ -181,6 +189,45 @@ impl Network {
         inner.in_flight.remove(&host);
         inner.stats.delivered += 1;
         inner.stats.bytes += (req.wire_len() + resp.wire_len()) as u64;
+        Ok(resp)
+    }
+
+    /// Delivers a control-plane request (`/aire/v1/admin/*`) to the
+    /// service named by `req.url.host`.
+    ///
+    /// Real deployments serve the admin API on a separate operator-only
+    /// listener; this method models that listener. The key consequence:
+    /// a service can keep serving (and receiving) data-plane traffic
+    /// while its operator holds an admin connection, so an admin-driven
+    /// queue flush does not make the flushing service unreachable to the
+    /// re-executions it triggers downstream. Re-entering a host's admin
+    /// plane — or the admin plane of a host currently handling a
+    /// data-plane request — is refused, since a single-threaded endpoint
+    /// cannot serve both at once.
+    pub fn deliver_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        let host = req.url.host.clone();
+        let endpoint = {
+            let mut inner = self.inner.borrow_mut();
+            let name = ServiceName::new(host.clone());
+            let Some(ep) = inner.endpoints.get(&host).cloned() else {
+                inner.stats.admin_failed += 1;
+                return Err(AireError::UnknownService(name));
+            };
+            if !inner.online.get(&host).copied().unwrap_or(false) {
+                inner.stats.admin_failed += 1;
+                return Err(AireError::ServiceUnavailable(name));
+            }
+            if inner.admin_in_flight.contains(&host) || inner.in_flight.contains(&host) {
+                inner.stats.admin_failed += 1;
+                return Err(AireError::Reentrancy(name));
+            }
+            inner.admin_in_flight.insert(host.clone());
+            ep
+        };
+        let resp = endpoint.handle(req);
+        let mut inner = self.inner.borrow_mut();
+        inner.admin_in_flight.remove(&host);
+        inner.stats.admin_delivered += 1;
         Ok(resp)
     }
 
@@ -313,6 +360,70 @@ mod tests {
         let c1 = net.register("s", Rc::new(Echo));
         let c2 = net.register("s", Rc::new(Echo));
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn admin_deliveries_are_counted_separately() {
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        net.deliver_admin(&get("echo", "/aire/v1/admin/stats"))
+            .unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.admin_delivered, 1);
+        assert_eq!(stats.delivered, 0, "admin traffic is not data traffic");
+        assert_eq!(stats.bytes, 0, "admin bytes do not skew Table 4");
+
+        // Admin failures are likewise counted apart from data failures.
+        net.set_online("echo", false);
+        net.deliver_admin(&get("echo", "/aire/v1/admin/stats"))
+            .unwrap_err();
+        net.deliver_admin(&get("ghost", "/aire/v1/admin/stats"))
+            .unwrap_err();
+        let stats = net.stats();
+        assert_eq!(stats.admin_failed, 2);
+        assert_eq!(stats.failed, 0, "admin probes do not skew failure counts");
+    }
+
+    #[test]
+    fn admin_handler_may_make_data_calls() {
+        // The wire-pump pattern: a service handling an admin request
+        // delivers data-plane traffic to another service.
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        net.register(
+            "svc",
+            Rc::new(Proxy {
+                net: net.clone(),
+                target: "echo".into(),
+            }),
+        );
+        let resp = net
+            .deliver_admin(&get("svc", "/aire/v1/admin/flush"))
+            .unwrap();
+        assert_eq!(resp.body.str_of("path"), "/inner");
+    }
+
+    #[test]
+    fn admin_plane_refuses_busy_hosts() {
+        struct AdminLoop {
+            net: Network,
+        }
+        impl Endpoint for AdminLoop {
+            fn handle(&self, _req: &HttpRequest) -> HttpResponse {
+                match self.net.deliver_admin(&get("svc", "/again")) {
+                    Ok(r) => r,
+                    Err(e) => HttpResponse::error(Status::UNAVAILABLE, e.to_string()),
+                }
+            }
+        }
+        let net = Network::new();
+        net.register("svc", Rc::new(AdminLoop { net: net.clone() }));
+        // Re-entering one's own admin plane is refused...
+        let resp = net.deliver_admin(&get("svc", "/x")).unwrap();
+        assert!(resp.body.str_of("error").contains("re-entrant"));
+        // ...and so is the admin plane of a host handling a data request.
+        let resp = net.deliver(&get("svc", "/x")).unwrap();
+        assert!(resp.body.str_of("error").contains("re-entrant"));
     }
 
     #[test]

@@ -72,6 +72,24 @@ pub struct AuthorizeCtx<'a> {
     pub db_now: &'a dyn DbSnapshot,
 }
 
+/// The arguments of the control-plane authorization upcall: which admin
+/// operation (`/aire/v1/admin/*`) is being requested, its raw payload,
+/// and the credentials accompanying it (§4 applied to the control
+/// plane).
+pub struct AdminCtx<'a> {
+    /// The operation's wire name (`"run_local_repair"`, `"gc"`, ...).
+    pub op: &'a str,
+    /// The operation's raw body, for policies that inspect parameters
+    /// (e.g. allow `stats` to everyone but `restore` to nobody remote).
+    pub payload: &'a Jv,
+    /// Credential headers accompanying the call (§4: every repair API
+    /// call is accompanied by credentials).
+    pub credentials: &'a Headers,
+    /// The database as of now — credential freshness is a property of
+    /// the present.
+    pub db_now: &'a dyn DbSnapshot,
+}
+
 /// A problem with an outgoing repair message, reported through the
 /// `notify` upcall (Table 2): authorization failure, timeout, or a
 /// permanently unavailable remote (§9).
@@ -125,6 +143,17 @@ pub trait App {
     /// certificate (§3.1, §4), so the default accepts; applications "can
     /// require (and supply) other credentials if needed".
     fn authorize_replace_response(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+
+    /// Access control for the wire control plane (`/aire/v1/admin/*`).
+    /// The default accepts: the admin listener is modelled as reachable
+    /// only over the operator network (`Network::deliver_admin` in
+    /// `aire-net`), mirroring how [`App::authorize_replace_response`]
+    /// trusts its certificate-validated channel. Applications exposed to
+    /// less trusted operators override this to require credentials
+    /// (e.g. the `X-Admin` secret of `aire-apps::policy`).
+    fn authorize_admin(&self, _admin: &AdminCtx<'_>) -> bool {
         true
     }
 

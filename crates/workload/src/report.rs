@@ -51,7 +51,10 @@ pub fn render_table2() -> String {
     );
     out.push_str("Implemented by Aire, invoked by the web service:\n");
     out.push_str(
-        "  retry (msg_id, updated_repair_type, updated_message)      Controller::retry(msg_id, credentials)\n",
+        "  retry (msg_id, updated_repair_type, updated_message)      POST /aire/v1/admin/retry (Controller::retry)\n",
+    );
+    out.push_str(
+        "(the full admin surface is a wire API: POST /aire/v1/admin/<op>, see aire-core::admin)\n",
     );
     out
 }

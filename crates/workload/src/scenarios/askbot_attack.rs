@@ -284,11 +284,13 @@ pub fn attack_paste_exists(scenario: &AskbotScenario) -> bool {
     resp.status.is_success()
 }
 
-/// Collects Table 5's per-service metrics.
+/// Collects Table 5's per-service metrics, over the wire control plane.
 pub fn metrics(scenario: &AskbotScenario) -> Vec<ServiceRepairMetrics> {
     ["askbot", "oauth", "dpaste"]
         .iter()
-        .map(|s| ServiceRepairMetrics::from_stats(s, &scenario.world.controller(s).stats()))
+        .map(|s| {
+            ServiceRepairMetrics::from_stats(s, &crate::scenarios::wire_stats(&scenario.world, s))
+        })
         .collect()
 }
 

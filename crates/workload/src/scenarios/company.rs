@@ -350,12 +350,15 @@ impl CompanyScenario {
         assert_eq!(denied.status, Status::FORBIDDEN);
     }
 
-    /// Per-service metrics for reporting.
+    /// Per-service metrics for reporting, over the wire control plane.
     pub fn metrics(&self) -> Vec<ServiceRepairMetrics> {
         ["accessctl", "hrm", "crm"]
             .iter()
             .map(|name| {
-                ServiceRepairMetrics::from_stats(name, &self.world.controller(name).stats())
+                ServiceRepairMetrics::from_stats(
+                    name,
+                    &crate::scenarios::wire_stats(&self.world, name),
+                )
             })
             .collect()
     }
@@ -450,12 +453,21 @@ mod tests {
         // ...but hrm still carries the pushed permission.
         let perms = s.world.deliver(&get("hrm", "/perms")).unwrap();
         assert!(perms.body.encode().contains("mallory"));
-        // The application was notified with a retryable problem.
-        let problems = s.world.controller("accessctl").notifications();
+        // The application was notified with a retryable problem —
+        // visible to the operator over the wire control plane.
+        let problems = match s
+            .world
+            .invoke_admin("accessctl", aire_core::admin::AdminOp::Notices)
+            .unwrap()
+        {
+            aire_core::AdminResponse::Notices { problems, .. } => problems,
+            other => panic!("unexpected notices response {other:?}"),
+        };
         assert!(!problems.is_empty());
         assert!(problems[0].retryable);
 
-        // The administrator refreshes the token and retries.
+        // The administrator refreshes the token and retries — the retry
+        // too travels over the wire, as Table 2 intends.
         ok(
             s.world
                 .deliver(&admin_post(
@@ -467,8 +479,13 @@ mod tests {
             "token refresh",
         );
         s.world
-            .controller("accessctl")
-            .retry(problems[0].msg_id, Headers::new())
+            .invoke_admin(
+                "accessctl",
+                aire_core::admin::AdminOp::Retry {
+                    msg_id: problems[0].msg_id,
+                    credentials: Headers::new(),
+                },
+            )
             .unwrap();
         let report = s.world.settle();
         assert!(report.quiescent(), "{report:?}");

@@ -18,7 +18,8 @@ pub mod fig2;
 pub mod fig3;
 pub mod spreadsheet;
 
-use aire_core::ControllerStats;
+use aire_core::admin::AdminOp;
+use aire_core::{AdminResponse, ControllerStats, World};
 
 /// Per-service numbers for one row block of Table 5.
 #[derive(Debug, Clone)]
@@ -39,6 +40,17 @@ pub struct ServiceRepairMetrics {
     pub local_repair_secs: f64,
     /// Wall-clock seconds spent executing the normal workload.
     pub normal_exec_secs: f64,
+}
+
+/// Fetches a service's statistics **over the wire** (the control
+/// plane's `stats` op) — the path a remote evaluation harness would use.
+/// Falls back to the in-process handle only for offline services, whose
+/// control plane is unreachable.
+pub fn wire_stats(world: &World, service: &str) -> ControllerStats {
+    match world.invoke_admin(service, AdminOp::Stats) {
+        Ok(AdminResponse::Stats(stats)) => stats.stats,
+        _ => world.controller(service).stats(),
+    }
 }
 
 impl ServiceRepairMetrics {

@@ -71,13 +71,21 @@ fn main() {
         );
     }
 
-    println!("\ncompensating actions (admin notices):");
-    for n in s.world.controller("askbot").admin_notices() {
+    // The operator reads the compensation notices over the wire control
+    // plane, as remote administration would.
+    println!("\ncompensating actions (admin notices, fetched over /aire/v1/admin/notices):");
+    let (askbot_notices, _) = aire::client::AdminClient::new(s.world.net(), "askbot")
+        .notices()
+        .unwrap();
+    for n in askbot_notices {
         if n.str_of("kind") == "email-compensation" {
             println!("  daily summary email changed; new titles omit the attack");
         }
     }
-    for n in s.world.controller("dpaste").admin_notices() {
+    let (dpaste_notices, _) = aire::client::AdminClient::new(s.world.net(), "dpaste")
+        .notices()
+        .unwrap();
+    for n in dpaste_notices {
         if n.str_of("kind") == "download-notification" {
             println!(
                 "  dpaste notified downloader {:?} that the code they fetched was repaired",

@@ -145,9 +145,13 @@ fn main() {
         world.queued_messages()
     );
 
-    // Crash: serialize both controllers to text, as a deployment writing
-    // WAL snapshots to disk would.
-    let mirror_disk = world.controller("mirror").snapshot().encode();
+    // Crash preparation: a backup operator pulls both snapshots over the
+    // wire control plane (the offline service's snapshot is read from its
+    // "disk" directly — its admin listener is down with it).
+    let mirror_disk = aire::client::AdminClient::new(world.net(), "mirror")
+        .snapshot()
+        .unwrap()
+        .encode();
     let notes_disk = world.controller("notes").snapshot().encode();
     println!(
         "snapshots written: mirror {} bytes, notes {} bytes",

@@ -1,0 +1,154 @@
+//! Remote administration: a full intrusion-recovery cycle driven purely
+//! over the wire control plane, narrated.
+//!
+//! ```text
+//! cargo run --release --example remote_admin
+//! ```
+//!
+//! The §1 company scenario (access control → HRM → CRM) is attacked, and
+//! — to make recovery interesting — the access-control service's peer
+//! token at HRM has expired, so the propagated repair is held for fresh
+//! credentials (§7.2). The operator never touches a controller struct:
+//! every step is an `AdminClient` call to `/aire/v1/admin/*`:
+//!
+//! 1. **mode switch** — the repair target aggregates incoming repairs
+//!    (§3.2 deferred mode);
+//! 2. **local repair** — one wire-triggered pass applies the queued seed;
+//! 3. **queue flush** — the propagated delete bounces off HRM's expired
+//!    token and is held;
+//! 4. **retry with new credentials** — Table 2's `retry`, over the wire;
+//! 5. **audit** — queue listings, notices, stats, a §9 leak audit, and
+//!    the final state digest, all pulled remotely.
+
+use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::client::AdminClient;
+use aire::core::RepairMode;
+use aire::http::{Headers, HttpRequest, Url};
+use aire::types::jv;
+use aire::vdb::Filter;
+use aire::workload::scenarios::company::{self, CompanyWorkload};
+
+fn main() {
+    let s = company::setup(&CompanyWorkload::default());
+    println!("company attacked: accessctl grants corrupted, hrm + crm poisoned");
+
+    // The token accessctl used when pushing the grant has expired at HRM.
+    s.world
+        .deliver(
+            &HttpRequest::post(
+                Url::service("hrm", "/token"),
+                jv!({"token": "acl-svc-token", "principal": "accessctl", "valid": false}),
+            )
+            .with_header(ADMIN_HEADER, ADMIN_SECRET),
+        )
+        .unwrap();
+
+    // The operator's handles: one AdminClient per service, no in-process
+    // access to any controller.
+    let accessctl = AdminClient::new(s.world.net(), "accessctl");
+    let hrm = AdminClient::new(s.world.net(), "hrm");
+    let crm = AdminClient::new(s.world.net(), "crm");
+
+    // 1. Mode switch: the repair target defers incoming repairs.
+    accessctl.set_repair_mode(RepairMode::Deferred).unwrap();
+    println!("\n[wire] accessctl switched to deferred repair mode");
+
+    // The administrator invokes the repair (the data-plane carrier of
+    // Table 1); deferred mode queues the seed instead of applying it.
+    let mut creds = Headers::new();
+    creds.set(ADMIN_HEADER, ADMIN_SECRET);
+    let ack = s
+        .world
+        .invoke_repair(
+            "accessctl",
+            aire::core::protocol::RepairMessage::with_credentials(
+                aire::core::protocol::RepairOp::Delete {
+                    request_id: s.attack_request.clone(),
+                },
+                creds,
+            ),
+        )
+        .unwrap();
+    assert!(ack.status.is_success());
+    let pending = accessctl.stats().unwrap().pending_local_repairs;
+    println!("[wire] delete invoked; {pending} repair seed(s) queued on accessctl");
+
+    // 2. Local repair, triggered remotely.
+    let actions = accessctl.run_local_repair().unwrap();
+    println!("[wire] accessctl local repair pass processed {actions} action(s)");
+
+    // 3. Queue flush: the delete for HRM bounces off the expired token.
+    let (delivered, kept, _) = accessctl.flush_queue().unwrap();
+    println!("[wire] accessctl flush: delivered={delivered} kept={kept}");
+    let held: Vec<_> = accessctl
+        .list_queue()
+        .unwrap()
+        .into_iter()
+        .filter(|e| e.held)
+        .collect();
+    let (_, problems) = accessctl.notices().unwrap();
+    for e in &held {
+        println!(
+            "[wire]   held message {} -> {} ({}): {}",
+            e.msg_id,
+            e.target,
+            e.summary,
+            e.last_error.as_deref().unwrap_or("?"),
+        );
+    }
+    assert!(!held.is_empty(), "expired token must hold the delete");
+    assert!(problems.iter().any(|p| p.retryable));
+
+    // The administrator refreshes the peer token out of band...
+    s.world
+        .deliver(
+            &HttpRequest::post(
+                Url::service("hrm", "/token"),
+                jv!({"token": "acl-svc-token", "principal": "accessctl", "valid": true}),
+            )
+            .with_header(ADMIN_HEADER, ADMIN_SECRET),
+        )
+        .unwrap();
+
+    // 4. ...and retries the held message with (implicitly re-validated)
+    // credentials, over the wire.
+    for e in &held {
+        accessctl.retry(e.msg_id, Headers::new()).unwrap();
+    }
+    let (delivered, _, _) = accessctl.flush_queue().unwrap();
+    println!("[wire] after retry: accessctl delivered {delivered} message(s) to hrm");
+    // HRM's local repair enqueued the mirror-fix for CRM; flush it too.
+    let (delivered, _, _) = hrm.flush_queue().unwrap();
+    println!("[wire] hrm flush: delivered {delivered} message(s) to crm");
+
+    // 5. Audit, all remote: stats, a §9 leak audit, queue emptiness, and
+    // the convergence digest.
+    for admin in [&accessctl, &hrm, &crm] {
+        let stats = admin.stats().unwrap();
+        println!(
+            "[wire] {:<10} repaired {:>2}/{:<3} requests, {} admin ops served, queue empty: {}",
+            admin.target(),
+            stats.stats.repaired_requests,
+            stats.stats.normal_requests,
+            stats.stats.admin_ops,
+            stats.queued_messages == 0,
+        );
+        assert_eq!(stats.queued_messages, 0, "recovery must quiesce");
+    }
+    let leaks = hrm
+        .leak_audit("employees", &Filter::all().contains("title", "FIRED"))
+        .unwrap();
+    println!(
+        "[wire] leak audit on hrm: {} request(s) read the corrupted employee record \
+         before repair",
+        leaks.len()
+    );
+    let digest = crm.digest().unwrap();
+    println!(
+        "[wire] crm state digest pulled remotely ({} bytes)",
+        digest.len()
+    );
+
+    s.verify_recovered();
+    println!("\ncompany recovered — every step of the cycle ran over /aire/v1/admin/*.");
+}

@@ -6,6 +6,7 @@
 //! ```
 
 use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::client::AdminClient;
 use aire::http::{Headers, HttpRequest, Url};
 use aire::types::jv;
 use aire::workload::scenarios::spreadsheet::{self, Variant};
@@ -51,14 +52,18 @@ fn main() {
         !spreadsheet::acl_contains(&s.world, "sheet-a", "attacker"),
         spreadsheet::acl_contains(&s.world, "sheet-b", "attacker"),
     );
-    let dir = s.world.controller("acl-dir");
+    // The operator inspects the directory's queue over the wire control
+    // plane — no in-process access to the controller.
+    let dir = AdminClient::new(s.world.net(), "acl-dir");
     let held: Vec<_> = dir
-        .queued_repairs()
+        .list_queue()
+        .unwrap()
         .into_iter()
         .filter(|q| q.held)
         .collect();
     println!("  held repair messages at the directory: {}", held.len());
-    for p in dir.notifications() {
+    let (_, problems) = dir.notices().unwrap();
+    for p in problems {
         println!("  notify(): {} -> {} ({})", p.msg_id, p.target, p.error);
     }
 
@@ -75,6 +80,7 @@ fn main() {
     let mut creds = Headers::new();
     creds.set("Authorization", "Bearer fresh-tok");
     for q in held {
+        // Table 2's retry, invoked over /aire/v1/admin/retry.
         dir.retry(q.msg_id, creds.clone()).unwrap();
     }
     let report = s.world.pump();

@@ -58,8 +58,8 @@
 //! | [`net`] | the simulated network (availability, certificates) |
 //! | [`log`] | the repair log and its taint indexes |
 //! | [`web`] | the Django-like framework applications are written in |
-//! | [`core`] | **the paper's contribution**: the repair controller |
-//! | [`client`] | the Aire-enabled repairable client (the §2.3 gap) |
+//! | [`core`] | **the paper's contribution**: the repair controller + the `/aire/v1/admin/*` control plane |
+//! | [`client`] | the Aire-enabled repairable client (the §2.3 gap) and the `AdminClient` operator handle |
 //! | [`apps`] | Askbot, Dpaste, OAuth, spreadsheets, object store, vKV, company |
 //! | [`workload`] | attack scenarios and table/figure harnesses |
 //!

@@ -1,0 +1,457 @@
+//! The wire control plane, end to end: every admin operation reachable
+//! at `/aire/v1/admin/*`, wire dispatch and direct method calls
+//! producing identical state (no behavioral drift), §4 access control on
+//! the admin plane, and the bounded pump against pathological message
+//! cycles.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use aire::client::AdminClient;
+use aire::core::admin::{AdminOp, AdminResponse};
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::{RepairMode, SendOutcome, World};
+use aire::http::aire as headers;
+use aire::http::{Headers, HttpRequest, HttpResponse, Status, Url};
+use aire::net::{Endpoint, Network};
+use aire::types::{jv, Jv, LogicalTime, RequestId};
+use aire::vdb::{FieldDef, FieldKind, Filter, Schema};
+use aire::web::{AdminCtx, App, AuthorizeCtx, Ctx, Router, WebError};
+use aire::workload::scenarios::askbot_attack::{self, AskbotWorkload};
+
+fn small() -> AskbotWorkload {
+    AskbotWorkload {
+        legit_users: 6,
+        questions_per_user: 2,
+        oauth_signups: 2,
+    }
+}
+
+/// Drives the askbot recovery entirely through **direct Rust calls** on
+/// the controller structs (mode switch, local-repair passes, per-message
+/// sends), returning the per-service digests.
+fn recover_direct(world: &World) -> Vec<String> {
+    let services = world.service_names();
+    for s in &services {
+        world.controller(s).set_repair_mode(RepairMode::Deferred);
+    }
+    loop {
+        let repaired: usize = services
+            .iter()
+            .map(|s| world.controller(s).run_local_repair())
+            .sum();
+        let mut delivered = 0;
+        for s in &services {
+            let controller = world.controller(s);
+            for msg_id in controller.sendable_messages() {
+                if controller.send_queued(msg_id) == SendOutcome::Delivered {
+                    delivered += 1;
+                }
+            }
+        }
+        if repaired == 0 && delivered == 0 {
+            break;
+        }
+    }
+    services
+        .iter()
+        .map(|s| world.controller(s).state_digest())
+        .collect()
+}
+
+/// Drives the same recovery entirely through the **wire control plane**
+/// (`AdminClient` over `/aire/v1/admin/*`), returning the per-service
+/// digests.
+fn recover_wire(world: &World) -> Vec<String> {
+    let services = world.service_names();
+    let admin = |s: &str| AdminClient::new(world.net(), s);
+    for s in &services {
+        admin(s).set_repair_mode(RepairMode::Deferred).unwrap();
+    }
+    loop {
+        let repaired: usize = services
+            .iter()
+            .map(|s| admin(s).run_local_repair().unwrap())
+            .sum();
+        let mut delivered = 0;
+        for s in &services {
+            let client = admin(s);
+            let sendable: Vec<_> = client
+                .list_queue()
+                .unwrap()
+                .into_iter()
+                .filter(|e| !e.held)
+                .map(|e| e.msg_id)
+                .collect();
+            for msg_id in sendable {
+                if client.send_queued(msg_id).unwrap() == SendOutcome::Delivered {
+                    delivered += 1;
+                }
+            }
+        }
+        if repaired == 0 && delivered == 0 {
+            break;
+        }
+    }
+    services
+        .iter()
+        .map(|s| admin(s).digest().unwrap())
+        .collect()
+}
+
+/// The acceptance gate: direct-call and wire-call recovery produce
+/// identical `state_digest` on every service.
+#[test]
+fn wire_and_direct_dispatch_produce_identical_digests() {
+    let direct_world = askbot_attack::setup(&small());
+    let wire_world = askbot_attack::setup(&small());
+
+    let ack = askbot_attack::repair(&direct_world);
+    assert!(ack.status.is_success());
+    let ack = askbot_attack::repair(&wire_world);
+    assert!(ack.status.is_success());
+
+    let direct = recover_direct(&direct_world.world);
+    let wire = recover_wire(&wire_world.world);
+    assert_eq!(
+        direct, wire,
+        "wire dispatch must not drift from direct calls"
+    );
+
+    // Both recovered: the attack is gone from both worlds.
+    for s in [&direct_world, &wire_world] {
+        assert!(!askbot_attack::askbot_titles(&s.world)
+            .iter()
+            .any(|t| t.contains("FREE BITCOIN")));
+    }
+}
+
+/// Every admin operation answers at `/aire/v1/admin/*` with its typed
+/// response.
+#[test]
+fn every_admin_op_is_reachable_over_the_wire() {
+    let s = askbot_attack::setup(&small());
+    askbot_attack::repair(&s);
+    s.world.pump();
+    let w = &s.world;
+
+    let ops: Vec<(AdminOp, &str)> = vec![
+        (AdminOp::RunLocalRepair, "repaired"),
+        (AdminOp::ListQueue, "queue"),
+        (
+            AdminOp::SendQueued {
+                msg_id: aire::types::MsgId(999),
+            },
+            "sent",
+        ),
+        (AdminOp::FlushQueue, "flushed"),
+        (
+            AdminOp::SetRepairMode {
+                mode: RepairMode::Immediate,
+            },
+            "ack",
+        ),
+        (
+            AdminOp::Gc {
+                horizon: LogicalTime::tick(1),
+            },
+            "collected",
+        ),
+        (AdminOp::Snapshot, "snapshot"),
+        (AdminOp::Stats, "stats"),
+        (AdminOp::Digest, "digest"),
+        (
+            AdminOp::LeakAudit {
+                table: "questions".into(),
+                confidential: Filter::all().contains("title", "FREE BITCOIN"),
+            },
+            "leaks",
+        ),
+        (AdminOp::Notices, "notices"),
+    ];
+    for (op, tag) in ops {
+        let name = op.name();
+        let resp = w.invoke_admin("askbot", op).unwrap();
+        assert_eq!(resp.tag(), tag, "op {name}");
+    }
+
+    // Restore completes the set: snapshot -> restore over the wire.
+    let AdminResponse::Snapshot { snapshot } = w.invoke_admin("askbot", AdminOp::Snapshot).unwrap()
+    else {
+        panic!("snapshot response")
+    };
+    let digest_before = w.controller("askbot").state_digest();
+    let resp = w
+        .invoke_admin("askbot", AdminOp::Restore { snapshot })
+        .unwrap();
+    assert_eq!(resp.tag(), "ack");
+    assert_eq!(w.controller("askbot").state_digest(), digest_before);
+
+    // The §9 audit actually finds the leaked reads over the wire.
+    let AdminResponse::Leaks { leaks } = w
+        .invoke_admin(
+            "askbot",
+            AdminOp::LeakAudit {
+                table: "questions".into(),
+                confidential: Filter::all().contains("title", "FREE BITCOIN"),
+            },
+        )
+        .unwrap()
+    else {
+        panic!("leaks response")
+    };
+    assert!(
+        !leaks.is_empty(),
+        "question-list readers saw the attack question before repair"
+    );
+}
+
+//////// §4 access control on the admin plane. ////////
+
+/// An app that locks its control plane behind an operator secret.
+struct Locked;
+
+fn h_noop(_ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    Ok(HttpResponse::ok(Jv::Null))
+}
+
+impl App for Locked {
+    fn name(&self) -> &str {
+        "locked"
+    }
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "rows",
+            vec![FieldDef::new("v", FieldKind::Str)],
+        )]
+    }
+    fn router(&self) -> Router {
+        Router::new().get("/noop", h_noop)
+    }
+    fn authorize_admin(&self, admin: &AdminCtx<'_>) -> bool {
+        admin.credentials.get("x-admin") == Some("s3cret")
+    }
+}
+
+#[test]
+fn admin_plane_enforces_app_access_control() {
+    let mut world = World::new();
+    let controller = world.add_service(Rc::new(Locked));
+
+    // No credentials: rejected with 401, counted, nothing dispatched.
+    let anon = AdminClient::new(world.net(), "locked");
+    let err = anon.digest().unwrap_err();
+    assert!(err.to_string().contains("401"), "{err}");
+
+    // Wrong secret: still rejected.
+    let wrong = AdminClient::new(world.net(), "locked")
+        .with_credentials(Headers::new().with("X-Admin", "guess"));
+    assert!(wrong.digest().is_err());
+
+    // The operator secret opens every op.
+    let operator = AdminClient::new(world.net(), "locked")
+        .with_credentials(Headers::new().with("X-Admin", "s3cret"));
+    assert_eq!(operator.digest().unwrap(), controller.state_digest());
+    let stats = operator.stats().unwrap();
+    assert_eq!(stats.stats.admin_rejected, 2);
+    assert!(stats.stats.admin_ops >= 1);
+
+    // The harness itself stays able to operate a locked app: its wire
+    // calls are rejected (credential-less), so its oracle falls back to
+    // the in-process dispatcher instead of silently no-oping.
+    assert!(world.state_digest().contains(&controller.state_digest()));
+    assert_eq!(world.queued_messages(), 0);
+    assert!(world.pump().quiescent());
+}
+
+#[test]
+fn malformed_admin_requests_fail_loudly() {
+    let mut world = World::new();
+    world.add_service(Rc::new(Locked));
+
+    // Unknown op name under the versioned prefix: 400 naming the op.
+    let resp = world
+        .net()
+        .deliver_admin(&HttpRequest::post(
+            Url::service("locked", "/aire/v1/admin/self_destruct"),
+            Jv::map(),
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::BAD_REQUEST);
+    assert!(resp.body.str_of("error").contains("self_destruct"));
+
+    // Missing fields: 400 naming the field, before any authorization.
+    let resp = world
+        .net()
+        .deliver_admin(&HttpRequest::post(
+            Url::service("locked", "/aire/v1/admin/gc"),
+            jv!({"op": "gc"}),
+        ))
+        .unwrap();
+    assert_eq!(resp.status, Status::BAD_REQUEST);
+    assert!(resp.body.str_of("error").contains("horizon"));
+}
+
+//////// The bounded pump against a pathological message cycle. ////////
+
+/// A malicious non-Aire endpoint: every repair carrier it receives is
+/// acknowledged — and answered by immediately re-repairing the sender's
+/// seed request with alternating content, so the sender's local repair
+/// enqueues a fresh (different) repair message every round. An uncapped
+/// pump would deliver forever.
+struct Evil {
+    net: Network,
+    victim: RefCell<Option<RequestId>>,
+    flips: Cell<u64>,
+}
+
+impl Endpoint for Evil {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        if req.headers.contains(headers::REPAIR) {
+            if let Some(victim) = self.victim.borrow().clone() {
+                let n = self.flips.get() + 1;
+                self.flips.set(n);
+                let text = if n.is_multiple_of(2) { "x" } else { "y" };
+                let msg = RepairMessage::bare(RepairOp::Replace {
+                    request_id: victim,
+                    new_request: HttpRequest::post(
+                        Url::service("mirror", "/echo"),
+                        jv!({"text": text}),
+                    ),
+                });
+                let carrier = msg.to_carrier("mirror").unwrap();
+                let _ = self.net.deliver(&carrier);
+            }
+            let mut ack = HttpResponse::ok(jv!({"aire": "ok"}));
+            ack.headers.set(headers::REQUEST_ID, "evil/Q1");
+            return ack;
+        }
+        let mut resp = HttpResponse::ok(jv!({"stored": true}));
+        resp.headers.set(headers::REQUEST_ID, "evil/Q1");
+        resp
+    }
+}
+
+/// The repairable service the evil endpoint keeps re-infecting: every
+/// `/echo` cross-posts its text to `evil`.
+struct Mirror;
+
+fn h_echo(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    ctx.insert("notes", jv!({"text": text.clone()}))?;
+    ctx.call(HttpRequest::post(
+        Url::service("evil", "/store"),
+        jv!({"text": text}),
+    ));
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+impl App for Mirror {
+    fn name(&self) -> &str {
+        "mirror"
+    }
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+    fn router(&self) -> Router {
+        Router::new().post("/echo", h_echo)
+    }
+    fn authorize_repair(&self, _az: &AuthorizeCtx<'_>) -> bool {
+        true
+    }
+}
+
+fn cycling_world() -> World {
+    let mut world = World::new();
+    world.add_service(Rc::new(Mirror));
+    let evil = Rc::new(Evil {
+        net: world.net().clone(),
+        victim: RefCell::new(None),
+        flips: Cell::new(0),
+    });
+    world.net().register("evil", evil.clone());
+
+    // The seed request whose repair the evil endpoint will ping-pong.
+    let seeded = world
+        .deliver(&HttpRequest::post(
+            Url::service("mirror", "/echo"),
+            jv!({"text": "seed"}),
+        ))
+        .unwrap();
+    *evil.victim.borrow_mut() = Some(headers::response_request_id(&seeded).unwrap());
+
+    // Kick the cycle: a legitimate-looking replace re-executes the seed,
+    // whose changed cross-post enqueues a repair for evil.
+    let msg = RepairMessage::bare(RepairOp::Replace {
+        request_id: headers::response_request_id(&seeded).unwrap(),
+        new_request: HttpRequest::post(Url::service("mirror", "/echo"), jv!({"text": "fixed"})),
+    });
+    let ack = world.invoke_repair("mirror", msg).unwrap();
+    assert_eq!(ack.status, Status::OK);
+    assert_eq!(world.queued_messages(), 1, "repair for evil is queued");
+    world
+}
+
+#[test]
+fn pathological_cycle_hits_the_pump_cap_instead_of_looping_forever() {
+    let world = cycling_world();
+    let report = world.pump_capped(25);
+    assert!(report.capped, "every sweep progresses: {report:?}");
+    assert!(!report.quiescent());
+    assert_eq!(report.sweeps, 25);
+    assert!(report.delivered >= 25, "the cycle delivers every sweep");
+    assert!(report.pending >= 1, "a fresh message is always queued");
+}
+
+#[test]
+fn capped_settle_reports_the_stuck_queue_contents() {
+    let world = cycling_world();
+    let report = world.settle_capped(10, 10);
+    assert!(report.pump.capped || !report.quiescent(), "{report:?}");
+    assert!(!report.quiescent());
+    assert!(
+        !report.stuck.is_empty(),
+        "non-quiescent settle must carry the stuck messages"
+    );
+    let stuck = &report.stuck[0];
+    assert_eq!(stuck.service, "mirror");
+    assert_eq!(stuck.entry.target, "evil");
+    assert_eq!(stuck.entry.kind, aire::http::aire::RepairKind::Replace);
+    assert!(stuck.entry.summary.contains("replace"), "{stuck:?}");
+}
+
+#[test]
+fn capped_deferred_cycle_is_not_quiescent() {
+    // In deferred mode the cycle parks its in-flight repair as a
+    // *pending incoming seed* between rounds, so the outgoing queues can
+    // be empty at the instant the round cap hits. A capped settle must
+    // still report non-quiescence.
+    let world = cycling_world();
+    world
+        .invoke_admin(
+            "mirror",
+            AdminOp::SetRepairMode {
+                mode: RepairMode::Deferred,
+            },
+        )
+        .unwrap();
+    let report = world.settle_capped(6, 50);
+    assert!(report.pump.capped, "{report:?}");
+    assert!(
+        !report.quiescent(),
+        "a capped settle is never quiescent: {report:?}"
+    );
+}
+
+#[test]
+fn default_pump_terminates_on_the_cycle() {
+    // The regression this satellite fixes: before the cap, this call
+    // never returned.
+    let world = cycling_world();
+    let report = world.pump();
+    assert!(report.capped);
+    assert!(!report.quiescent());
+}

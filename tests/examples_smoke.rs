@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "crash_recovery",
     "partial_repair",
     "quickstart",
+    "remote_admin",
     "repairable_client",
     "spreadsheet_acl",
     "versioned_kv",
