@@ -28,11 +28,15 @@
 //!   same-principal rule of §7.2 plus an administrator override.
 //! * [`apis`] — the Table 3 catalogue of commercial API shapes and the
 //!   mapping onto the interface classes this crate implements.
+//! * [`noded`] — the `aire-noded` daemon: one service per OS process
+//!   behind real TCP listeners, dialling its peers over
+//!   `aire-transport` (the paper's per-service Django deployments).
 
 pub mod apis;
 pub mod askbot;
 pub mod company;
 pub mod dpaste;
+pub mod noded;
 pub mod oauth;
 pub mod objstore;
 pub mod observer;

@@ -1,0 +1,455 @@
+//! `aire-noded` — one Aire service per OS process.
+//!
+//! The paper deploys each service as its own web application; this
+//! module is that deployment unit for the Rust reproduction. A node
+//! daemon hosts exactly one application under a repair controller,
+//! serves its data plane and its operator/admin plane on two TCP
+//! listeners ([`aire_transport::NodeServer`]), and dials its peers over
+//! TCP ([`aire_transport::TcpTransport`]) — so a set of daemons is a
+//! real multi-process Aire cluster whose repair traffic, control plane,
+//! and certificate checks all cross actual sockets.
+//!
+//! ```text
+//! aire-noded --service askbot \
+//!     --data 127.0.0.1:7101 --admin 127.0.0.1:7201 \
+//!     --peer oauth=127.0.0.1:7100/127.0.0.1:7200 \
+//!     --peer dpaste=127.0.0.1:7102/127.0.0.1:7202 \
+//!     --max-runtime-secs 600
+//! ```
+//!
+//! On startup the daemon prints one machine-readable line to stdout —
+//!
+//! ```text
+//! aire-noded ready service=askbot data=127.0.0.1:7101 admin=127.0.0.1:7201
+//! ```
+//!
+//! — so a parent process (the integration test, the cluster example, an
+//! orchestrator) knows both listeners are bound before sending traffic.
+//! It exits when a `Shutdown` frame arrives on the operator listener, or
+//! when `--max-runtime-secs` elapses (the orphan guard: a daemon whose
+//! parent died cannot wedge a CI workflow).
+
+use std::net::SocketAddr;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use aire_core::{Controller, ControllerConfig};
+use aire_net::Network;
+use aire_transport::{NodeServer, ServeOutcome, TcpTransport};
+use aire_web::App;
+
+/// Every application a node can host, by service name.
+pub const SERVICES: &[&str] = &[
+    "accessctl",
+    "askbot",
+    "crm",
+    "dpaste",
+    "hrm",
+    "oauth",
+    "objstore",
+    "observer",
+    "vkv",
+];
+
+/// Instantiates the application registered under `name` (the same name
+/// the app's `App::name` reports, so routing and registration agree).
+pub fn build_app(name: &str) -> Option<Rc<dyn App>> {
+    let app: Rc<dyn App> = match name {
+        "accessctl" => Rc::new(crate::AccessCtl),
+        "askbot" => Rc::new(crate::Askbot),
+        "crm" => Rc::new(crate::Crm),
+        "dpaste" => Rc::new(crate::Dpaste),
+        "hrm" => Rc::new(crate::Hrm),
+        "oauth" => Rc::new(crate::OAuthProvider),
+        "objstore" => Rc::new(crate::ObjStore),
+        "observer" => Rc::new(crate::Observer),
+        "vkv" => Rc::new(crate::VersionedKv),
+        _ => return None,
+    };
+    debug_assert_eq!(app.name(), name);
+    Some(app)
+}
+
+/// One peer entry: where another node's two listeners live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSpec {
+    /// The peer's service name.
+    pub name: String,
+    /// Its data-plane listener.
+    pub data: SocketAddr,
+    /// Its operator-plane listener.
+    pub admin: SocketAddr,
+}
+
+/// Parsed daemon configuration.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// Which application to host (a [`SERVICES`] name).
+    pub service: String,
+    /// Data-plane bind address (port 0 picks a free port).
+    pub data: SocketAddr,
+    /// Operator-plane bind address.
+    pub admin: SocketAddr,
+    /// The other nodes of the cluster.
+    pub peers: Vec<PeerSpec>,
+    /// Hard runtime cap — the orphan guard.
+    pub max_runtime: Duration,
+}
+
+/// The usage text (`--help` and argument errors).
+pub const USAGE: &str = "\
+aire-noded: host one Aire service behind real TCP listeners
+
+usage:
+  aire-noded --service <name> [--data ADDR] [--admin ADDR]
+             [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
+
+options:
+  --service <name>        which application to host (required); one of:
+                          accessctl askbot crm dpaste hrm oauth objstore
+                          observer vkv
+  --data ADDR             data-plane bind address   [default 127.0.0.1:0]
+  --admin ADDR            operator bind address     [default 127.0.0.1:0]
+  --peer NAME=DATA/ADMIN  a peer node's service name and its two
+                          listener addresses (repeatable)
+  --max-runtime-secs N    exit after N seconds even without a shutdown
+                          frame (orphan guard)      [default 600]
+
+The daemon prints `aire-noded ready service=... data=... admin=...` once
+both listeners are bound, and exits on a shutdown frame sent to the
+operator listener (see aire_transport::shutdown_node).";
+
+fn parse_addr(s: &str, what: &str) -> Result<SocketAddr, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: {s:?} is not a socket address (host:port)"))
+}
+
+/// Parses daemon arguments. `Ok(None)` means "help requested" (or no
+/// arguments at all) — print [`USAGE`] and exit successfully.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<NodeOptions>, String> {
+    let mut args = args.into_iter().peekable();
+    if args.peek().is_none() {
+        return Ok(None);
+    }
+    let mut service = None;
+    let mut data: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let mut admin: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let mut peers = Vec::new();
+    let mut max_runtime = Duration::from_secs(600);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--service" => service = Some(value("--service")?),
+            "--data" => data = parse_addr(&value("--data")?, "--data")?,
+            "--admin" => admin = parse_addr(&value("--admin")?, "--admin")?,
+            "--peer" => {
+                let spec = value("--peer")?;
+                let (name, addrs) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--peer {spec:?}: expected NAME=DATA/ADMIN"))?;
+                let (d, a) = addrs
+                    .split_once('/')
+                    .ok_or_else(|| format!("--peer {spec:?}: expected NAME=DATA/ADMIN"))?;
+                peers.push(PeerSpec {
+                    name: name.to_string(),
+                    data: parse_addr(d, "--peer data address")?,
+                    admin: parse_addr(a, "--peer admin address")?,
+                });
+            }
+            "--max-runtime-secs" => {
+                let v = value("--max-runtime-secs")?;
+                max_runtime = Duration::from_secs(
+                    v.parse()
+                        .map_err(|_| format!("--max-runtime-secs: {v:?} is not a number"))?,
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    let service = service.ok_or_else(|| format!("--service is required\n\n{USAGE}"))?;
+    if build_app(&service).is_none() {
+        return Err(format!(
+            "unknown service {service:?} (available: {})",
+            SERVICES.join(" ")
+        ));
+    }
+    Ok(Some(NodeOptions {
+        service,
+        data,
+        admin,
+        peers,
+        max_runtime,
+    }))
+}
+
+/// Builds the node (network, peer transports, controller, listeners),
+/// prints the ready line, and serves until shutdown or the runtime cap.
+pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
+    let app =
+        build_app(&opts.service).ok_or_else(|| format!("unknown service {:?}", opts.service))?;
+    let net = Network::new();
+
+    // Peer transports first, so the controller's outgoing calls resolve.
+    // Keep handles to wire in the serve loop's pump below.
+    let mut transports = Vec::new();
+    for peer in &opts.peers {
+        let t = Rc::new(TcpTransport::new(peer.name.clone(), peer.data, peer.admin));
+        net.register_remote(peer.name.clone(), t.clone());
+        transports.push(t);
+    }
+
+    let controller = Controller::new(app, net.clone(), ControllerConfig::default());
+    let cert = net.register(opts.service.clone(), controller);
+
+    let server = NodeServer::bind(net, opts.service.clone(), cert, opts.data, opts.admin)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    // While this node waits on a peer, it keeps serving its own
+    // listeners — the cooperative scheduling that lets single-threaded
+    // daemons survive nested callbacks (see aire-transport's docs).
+    for t in &transports {
+        t.set_pump(server.pump_handle());
+    }
+
+    use std::io::Write;
+    println!(
+        "aire-noded ready service={} data={} admin={}",
+        opts.service,
+        server.data_addr(),
+        server.admin_addr()
+    );
+    let _ = std::io::stdout().flush();
+
+    Ok(server.serve(Some(Instant::now() + opts.max_runtime)))
+}
+
+/// The daemon's command-line entry point; returns the process exit code.
+pub fn cli<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    match parse_args(args) {
+        Ok(None) => {
+            println!("{USAGE}");
+            0
+        }
+        Ok(Some(opts)) => match run(opts) {
+            Ok(ServeOutcome::Shutdown) => 0,
+            Ok(ServeOutcome::DeadlineExpired) => {
+                eprintln!("aire-noded: max runtime reached without a shutdown frame");
+                2
+            }
+            Err(e) => {
+                eprintln!("aire-noded: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("aire-noded: {e}");
+            1
+        }
+    }
+}
+
+/// Parent-process helpers for spawning and supervising `aire-noded`
+/// daemons — shared by the multi-process integration tests, the
+/// `tcp_cluster` example, and any orchestration script, so the ready-line
+/// handshake and the kill-on-drop orphan guard live in exactly one place.
+pub mod spawn {
+    use std::io::{BufRead, BufReader};
+    use std::net::{SocketAddr, TcpListener};
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+
+    /// Locates a sibling example binary (e.g. `aire_noded`) in
+    /// `target/<profile>/examples`, working both from a test binary
+    /// (`target/<profile>/deps/...`) and from another example.
+    ///
+    /// Errors (with a build hint) when the binary has not been built —
+    /// `cargo test` builds every root example, but a bare
+    /// `cargo run --example` builds only its own target.
+    pub fn locate_example(name: &str) -> Result<PathBuf, String> {
+        let mut dir =
+            std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+        dir.pop();
+        if dir.ends_with("deps") {
+            dir.pop();
+        }
+        if !dir.ends_with("examples") {
+            dir.push("examples");
+        }
+        let exe = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+        if exe.is_file() {
+            Ok(exe)
+        } else {
+            Err(format!(
+                "daemon binary {exe:?} not found — build the examples first \
+                 (`cargo build --release --examples`; `cargo test` does this automatically)"
+            ))
+        }
+    }
+
+    /// A pair of (data, admin) addresses with currently free ports.
+    /// Both are bound before either is dropped, so they cannot collide
+    /// with each other (a small spawn race with other processes
+    /// remains, as with any pick-a-free-port scheme).
+    pub fn free_addrs() -> (SocketAddr, SocketAddr) {
+        let a = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let b = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        (a.local_addr().unwrap(), b.local_addr().unwrap())
+    }
+
+    /// One spawned daemon. Killed and reaped on drop, so a panicking
+    /// parent (test assertion, example unwrap) cannot leak children
+    /// that squat on their ports until `--max-runtime-secs` expires.
+    pub struct SpawnedNode {
+        /// The hosted service's name.
+        pub name: String,
+        /// Its data-plane listener address.
+        pub data: SocketAddr,
+        /// Its operator-plane listener address.
+        pub admin: SocketAddr,
+        child: Option<Child>,
+    }
+
+    impl SpawnedNode {
+        /// Waits for the daemon to exit (after a clean shutdown has
+        /// been requested) and reports whether it exited successfully.
+        pub fn wait_success(&mut self) -> Result<(), String> {
+            let Some(child) = self.child.as_mut() else {
+                return Err(format!("{} was already waited on", self.name));
+            };
+            let status = child
+                .wait()
+                .map_err(|e| format!("waiting for {}: {e}", self.name))?;
+            self.child = None;
+            if status.success() {
+                Ok(())
+            } else {
+                Err(format!("{} exited with {status:?}", self.name))
+            }
+        }
+    }
+
+    impl Drop for SpawnedNode {
+        fn drop(&mut self) {
+            if let Some(mut child) = self.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    /// Spawns one daemon process and blocks until its ready line
+    /// confirms both listeners are bound. `peers` are
+    /// `(name, data, admin)` triples for the rest of the cluster.
+    pub fn spawn_node(
+        exe: &Path,
+        service: &str,
+        data: SocketAddr,
+        admin: SocketAddr,
+        peers: &[(String, SocketAddr, SocketAddr)],
+        max_runtime_secs: u64,
+    ) -> Result<SpawnedNode, String> {
+        let mut cmd = Command::new(exe);
+        cmd.arg("--service")
+            .arg(service)
+            .arg("--data")
+            .arg(data.to_string())
+            .arg("--admin")
+            .arg(admin.to_string())
+            .arg("--max-runtime-secs")
+            .arg(max_runtime_secs.to_string());
+        for (peer, pdata, padmin) in peers {
+            cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning {service}: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        // Wrap immediately so a handshake failure still kills the child.
+        let node = SpawnedNode {
+            name: service.to_string(),
+            data,
+            admin,
+            child: Some(child),
+        };
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("reading {service}'s ready line: {e}"))?;
+        if !(line.starts_with("aire-noded ready") && line.contains(&format!("service={service}"))) {
+            return Err(format!("{service} did not come up: {line:?}"));
+        }
+        Ok(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_service_constructs_under_its_own_name() {
+        for name in SERVICES {
+            let app = build_app(name).unwrap_or_else(|| panic!("no app for {name}"));
+            assert_eq!(app.name(), *name);
+        }
+        assert!(build_app("nonsense").is_none());
+    }
+
+    #[test]
+    fn args_parse_a_full_cluster_spec() {
+        let opts = parse_args(
+            [
+                "--service",
+                "askbot",
+                "--data",
+                "127.0.0.1:7101",
+                "--admin",
+                "127.0.0.1:7201",
+                "--peer",
+                "oauth=127.0.0.1:7100/127.0.0.1:7200",
+                "--peer",
+                "dpaste=127.0.0.1:7102/127.0.0.1:7202",
+                "--max-runtime-secs",
+                "42",
+            ]
+            .map(String::from),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.service, "askbot");
+        assert_eq!(opts.data.port(), 7101);
+        assert_eq!(opts.peers.len(), 2);
+        assert_eq!(opts.peers[0].name, "oauth");
+        assert_eq!(opts.peers[0].admin.port(), 7200);
+        assert_eq!(opts.max_runtime, Duration::from_secs(42));
+    }
+
+    #[test]
+    fn no_args_and_help_mean_usage() {
+        assert!(parse_args(Vec::new()).unwrap().is_none());
+        assert!(parse_args(["--help".to_string()]).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_args_name_the_problem() {
+        let err = parse_args(["--service".into(), "ghostsvc".into()]).unwrap_err();
+        assert!(err.contains("ghostsvc"), "{err}");
+        let err = parse_args(["--peer".into(), "oauth-no-equals".into()]).unwrap_err();
+        assert!(err.contains("NAME=DATA/ADMIN"), "{err}");
+        let err = parse_args([
+            "--service".into(),
+            "askbot".into(),
+            "--data".into(),
+            "x".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("socket address"), "{err}");
+        let err = parse_args(["--frobnicate".into()]).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Transport dispatch latency: the price of a real socket.
+//!
+//! Every delivery can now take two routes: the in-process transport (a
+//! direct method call through the registry) or TCP (connect, certificate
+//! greeting, framed request, framed response — against a `NodeServer`
+//! living on this same thread, reached via the loopback interface and
+//! pumped cooperatively while the dialer waits). The deltas between each
+//! `*_inproc` / `*_tcp` pair measure exactly what multi-process
+//! deployment costs per call, for both planes:
+//!
+//! * `ping_*` — the cheapest data-plane request;
+//! * `stats_*` — the control-plane op every pump sweep pays per service;
+//! * `digest_*` — a payload-heavy control-plane response.
+
+use std::rc::Rc;
+
+use aire_core::admin::{AdminOp, AdminResponse};
+use aire_core::World;
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_net::Network;
+use aire_transport::{NodeServer, Pump, TcpTransport};
+use aire_types::jv;
+use aire_vdb::{FieldDef, FieldKind, Schema};
+use aire_web::{App, Ctx, Router, WebError};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Rows seeded into the service, so stats/digest operate on real state.
+const ROWS: usize = 500;
+
+struct Notes;
+
+fn h_add(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let text = ctx.body_str("text")?.to_string();
+    let id = ctx.insert("notes", jv!({"text": text}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
+fn h_ping(_ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    Ok(HttpResponse::ok(jv!({"pong": true})))
+}
+
+impl App for Notes {
+    fn name(&self) -> &str {
+        "notes"
+    }
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "notes",
+            vec![FieldDef::new("text", FieldKind::Str)],
+        )]
+    }
+    fn router(&self) -> Router {
+        Router::new().post("/add", h_add).get("/ping", h_ping)
+    }
+}
+
+fn build_world() -> World {
+    let mut world = World::new();
+    world.add_service(Rc::new(Notes));
+    for i in 0..ROWS {
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("notes", "/add"),
+                jv!({"text": format!("note {i}")}),
+            ))
+            .unwrap();
+    }
+    world
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    let world = build_world();
+
+    // The same controller, additionally served over loopback TCP; the
+    // dialer pumps the server while it waits, so one thread suffices.
+    let cert = world.net().certificate_of("notes").unwrap();
+    let server = NodeServer::bind(
+        world.net().clone(),
+        "notes",
+        cert,
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback listeners");
+    let pump: Rc<dyn Pump> = Rc::new(server.clone());
+    let transport = Rc::new(TcpTransport::new(
+        "notes",
+        server.data_addr(),
+        server.admin_addr(),
+    ));
+    transport.set_pump(Rc::downgrade(&pump));
+    let tcp = Network::new();
+    tcp.register_remote("notes", transport);
+
+    // Sanity: both routes reach the same controller state.
+    let wire_digest = |net: &Network| {
+        let carrier = AdminOp::Digest.to_carrier("notes");
+        let resp = net.deliver_admin(&carrier).unwrap();
+        AdminResponse::from_jv(&resp.body).unwrap()
+    };
+    assert_eq!(wire_digest(world.net()), wire_digest(&tcp));
+
+    let ping = HttpRequest::get(Url::service("notes", "/ping"));
+    group.bench_function("ping_inproc", |b| {
+        b.iter(|| world.net().deliver(black_box(&ping)).unwrap().status)
+    });
+    group.bench_function("ping_tcp", |b| {
+        b.iter(|| tcp.deliver(black_box(&ping)).unwrap().status)
+    });
+
+    let stats = AdminOp::Stats.to_carrier("notes");
+    group.bench_function("stats_wire_inproc", |b| {
+        b.iter(|| world.net().deliver_admin(black_box(&stats)).unwrap().status)
+    });
+    group.bench_function("stats_wire_tcp", |b| {
+        b.iter(|| tcp.deliver_admin(black_box(&stats)).unwrap().status)
+    });
+
+    let digest = AdminOp::Digest.to_carrier("notes");
+    group.bench_function("digest_wire_inproc", |b| {
+        b.iter(|| {
+            world
+                .net()
+                .deliver_admin(black_box(&digest))
+                .unwrap()
+                .body
+                .encoded_len()
+        })
+    });
+    group.bench_function("digest_wire_tcp", |b| {
+        b.iter(|| {
+            tcp.deliver_admin(black_box(&digest))
+                .unwrap()
+                .body
+                .encoded_len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -15,12 +15,26 @@
 //! operator listener), not by calling into the controller structs: a
 //! repair-mode switch, a local-repair pass, a queue flush, a digest —
 //! each is an encoded admin carrier delivered to the service's endpoint.
-//! This is deliberately the same path a remote operator (or a future
-//! multi-process deployment) uses, so the harness exercises it
-//! constantly. The one exception: a service that is *offline* has no
-//! reachable control plane, so the harness falls back to the in-process
-//! handle for it — the omniscient debug view a simulator is allowed,
-//! used only where reality would offer nothing at all.
+//! This is deliberately the same path a remote operator (or another
+//! process's daemon) uses, so the harness exercises it constantly. The
+//! one exception: a *local* service that is *offline* has no reachable
+//! control plane (its listener is down with it), so the harness falls
+//! back to the in-process handle for it — the omniscient debug view a
+//! simulator is allowed, used only where reality would offer nothing at
+//! all. A reachable service gets **no** fallback: operator connections
+//! are real (possibly TCP) deliveries, and a wire failure on a live
+//! service must surface, not be papered over. Apps that lock their admin
+//! plane are operated by giving the harness credentials
+//! ([`World::set_admin_credentials`]), exactly like a human operator.
+//!
+//! ## Remote services
+//!
+//! [`World::add_remote`] registers a service that lives in another OS
+//! process (reached through any [`aire_net::Transport`], typically
+//! `aire-transport`'s TCP dialer). Everything above applies unchanged —
+//! pump sweeps, settles, digests, and repair invocations flow over the
+//! wire — so the same scenario code drives an in-process simulation or
+//! a real cluster of `aire-noded` daemons.
 //!
 //! ## Bounded pumping
 //!
@@ -32,11 +46,11 @@
 //! ([`SettleReport::stuck`]) so the operator can see exactly which
 //! messages are cycling.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use aire_http::{HttpRequest, HttpResponse};
-use aire_net::Network;
+use aire_http::{Headers, HttpRequest, HttpResponse};
+use aire_net::{Network, Transport};
 use aire_types::{AireError, AireResult, DetRng, MsgId, ServiceName};
 use aire_web::App;
 
@@ -117,6 +131,11 @@ impl SettleReport {
 pub struct World {
     net: Network,
     controllers: BTreeMap<ServiceName, Rc<Controller>>,
+    /// Services living in other processes, driven purely over the wire.
+    remotes: BTreeSet<ServiceName>,
+    /// Credential headers the harness attaches to its own control-plane
+    /// calls (how it operates apps that lock their admin plane).
+    admin_credentials: Headers,
 }
 
 impl World {
@@ -159,27 +178,57 @@ impl World {
         Ok(controller)
     }
 
+    /// Registers a service that lives in another process: deliveries and
+    /// control-plane calls route through `transport` (typically
+    /// `aire-transport`'s TCP dialer pointed at an `aire-noded` daemon).
+    /// The harness drives it exactly like a local service — pump,
+    /// settle, digests, repair invocations — all over the wire; there is
+    /// no in-process handle to fall back to.
+    pub fn add_remote(&mut self, name: impl Into<String>, transport: Rc<dyn Transport>) {
+        let name = ServiceName::new(name.into());
+        self.net.register_remote(name.as_str(), transport);
+        self.remotes.insert(name);
+    }
+
+    /// Sets the credential headers the harness attaches to its own
+    /// control-plane calls (pump sweeps, digests, mode switches). An app
+    /// whose `authorize_admin` requires an operator secret is driven by
+    /// giving the harness that secret — the same way a human operator
+    /// would authenticate, rather than bypassing the check.
+    pub fn set_admin_credentials(&mut self, credentials: Headers) {
+        self.admin_credentials = credentials;
+    }
+
     /// The shared network (for clients and availability toggles).
     pub fn net(&self) -> &Network {
         &self.net
     }
 
-    /// Looks up a controller by service name.
+    /// Every service the harness drives: local controllers and remote
+    /// daemons, in sorted order.
+    fn names(&self) -> Vec<ServiceName> {
+        let mut names: BTreeSet<ServiceName> = self.controllers.keys().cloned().collect();
+        names.extend(self.remotes.iter().cloned());
+        names.into_iter().collect()
+    }
+
+    /// Looks up a *local* controller by service name.
     ///
     /// # Panics
     ///
-    /// Panics when the service is unknown — tests address services by the
-    /// names they just registered.
+    /// Panics when the service is unknown or remote — tests address
+    /// in-process services by the names they just registered; remote
+    /// services have no in-process handle and are driven over the wire.
     pub fn controller(&self, name: &str) -> Rc<Controller> {
         self.controllers
             .get(&ServiceName::new(name))
-            .unwrap_or_else(|| panic!("no service named {name}"))
+            .unwrap_or_else(|| panic!("no local service named {name}"))
             .clone()
     }
 
-    /// Registered service names.
+    /// Registered service names (local and remote).
     pub fn service_names(&self) -> Vec<String> {
-        self.controllers.keys().map(|n| n.0.clone()).collect()
+        self.names().into_iter().map(|n| n.0).collect()
     }
 
     /// Marks a service offline/online (§7.2's experiments).
@@ -211,42 +260,40 @@ impl World {
     }
 
     /// Invokes one control-plane operation on a service **over the
-    /// wire**: encodes the admin carrier, delivers it to the service's
-    /// operator listener (with no credentials attached), and decodes the
+    /// wire**: encodes the admin carrier, attaches the harness's
+    /// configured credentials ([`World::set_admin_credentials`]),
+    /// delivers it to the service's operator listener, and decodes the
     /// typed response. Non-OK HTTP statuses (unauthorized, malformed,
     /// dispatch failure) surface as [`AireError::Protocol`].
     pub fn invoke_admin(&self, service: &str, op: AdminOp) -> AireResult<AdminResponse> {
-        crate::admin::invoke_wire(&self.net, service, &op, &aire_http::Headers::new())
+        crate::admin::invoke_wire(&self.net, service, &op, &self.admin_credentials)
     }
 
     /// Invokes `op` on a registered service for the harness's own
-    /// bookkeeping: over the wire when the service accepts it, through
-    /// the in-process dispatcher otherwise. The fallback covers offline
-    /// services (their admin listener is down with them) *and* apps
-    /// whose `authorize_admin` rejects the harness's credential-less
-    /// calls — the harness is the omniscient operator, and silently
-    /// no-oping the pump on a locked app would misreport quiescence.
-    /// Both paths funnel into the same `Controller::dispatch_admin`, so
-    /// the fallback cannot drift.
+    /// bookkeeping. Reachable services — local or remote — are driven
+    /// **only** over the wire; a wire failure on a live service is a
+    /// real failure and surfaces as one (operator connections are real
+    /// sockets in a cluster deployment, and pretending otherwise here
+    /// would let simulation and deployment drift). The in-process
+    /// fallback survives solely for *offline local* services, whose
+    /// admin listener is down with them: that is the omniscient debug
+    /// view a simulator is allowed, used only where reality would offer
+    /// nothing at all.
     fn admin(&self, name: &ServiceName, op: AdminOp) -> AireResult<AdminResponse> {
         if self.net.is_online(name.as_str()) {
-            // On a wire failure, fall through: the in-process dispatcher
-            // reports the real dispatch error, if any.
-            if let Ok(resp) = self.invoke_admin(name.as_str(), op.clone()) {
-                return Ok(resp);
-            }
+            return self.invoke_admin(name.as_str(), op);
         }
         let controller = self
             .controllers
             .get(name)
-            .ok_or_else(|| AireError::UnknownService(name.clone()))?;
+            .ok_or_else(|| AireError::ServiceUnavailable(name.clone()))?;
         controller.dispatch_admin(op)
     }
 
     /// Total repair messages queued across all services.
     pub fn queued_messages(&self) -> usize {
-        self.controllers
-            .keys()
+        self.names()
+            .iter()
             .map(|name| match self.admin(name, AdminOp::ListQueue) {
                 Ok(AdminResponse::Queue { entries }) => entries.len(),
                 _ => 0,
@@ -297,9 +344,9 @@ impl World {
             }
             report.sweeps += 1;
             let mut progressed = false;
-            for name in self.controllers.keys() {
-                for msg_id in self.sendable_of(name) {
-                    match self.send_one(name, msg_id) {
+            for name in self.names() {
+                for msg_id in self.sendable_of(&name) {
+                    match self.send_one(&name, msg_id) {
                         SendOutcome::Delivered => {
                             report.delivered += 1;
                             progressed = true;
@@ -347,8 +394,8 @@ impl World {
             report.sweeps += 1;
             // (service, msg) pairs, in deterministic order, then shuffled.
             let mut work: Vec<(ServiceName, MsgId)> = Vec::new();
-            for name in self.controllers.keys() {
-                for msg_id in self.sendable_of(name) {
+            for name in self.names() {
+                for msg_id in self.sendable_of(&name) {
                     work.push((name.clone(), msg_id));
                 }
             }
@@ -383,8 +430,8 @@ impl World {
     /// Sets the repair mode of every service (§3.2's incoming aggregation
     /// when [`RepairMode::Deferred`]), over the wire.
     pub fn set_repair_mode_all(&self, mode: RepairMode) {
-        for name in self.controllers.keys() {
-            let _ = self.admin(name, AdminOp::SetRepairMode { mode });
+        for name in self.names() {
+            let _ = self.admin(&name, AdminOp::SetRepairMode { mode });
         }
     }
 
@@ -392,8 +439,8 @@ impl World {
     /// pending incoming seeds, over the wire. Returns the total actions
     /// processed.
     pub fn run_local_repairs(&self) -> usize {
-        self.controllers
-            .keys()
+        self.names()
+            .iter()
             .map(|name| match self.admin(name, AdminOp::RunLocalRepair) {
                 Ok(AdminResponse::Repaired { actions }) => actions,
                 _ => 0,
@@ -403,8 +450,8 @@ impl World {
 
     /// Incoming seeds pending across all services.
     pub fn pending_local_repairs(&self) -> usize {
-        self.controllers
-            .keys()
+        self.names()
+            .iter()
             .map(|name| match self.admin(name, AdminOp::Stats) {
                 Ok(AdminResponse::Stats(stats)) => stats.pending_local_repairs,
                 _ => 0,
@@ -460,8 +507,8 @@ impl World {
     /// credential-free entries tagged with the owning service.
     pub fn stuck_messages(&self) -> Vec<StuckRepair> {
         let mut stuck = Vec::new();
-        for name in self.controllers.keys() {
-            if let Ok(AdminResponse::Queue { entries }) = self.admin(name, AdminOp::ListQueue) {
+        for name in self.names() {
+            if let Ok(AdminResponse::Queue { entries }) = self.admin(&name, AdminOp::ListQueue) {
                 stuck.extend(entries.into_iter().map(|entry| StuckRepair {
                     service: name.to_string(),
                     entry,
@@ -476,11 +523,11 @@ impl World {
     /// (the digest *is* an admin operation).
     pub fn state_digest(&self) -> String {
         let mut out = String::new();
-        for name in self.controllers.keys() {
+        for name in self.names() {
             out.push_str("== ");
             out.push_str(name.as_str());
             out.push('\n');
-            match self.admin(name, AdminOp::Digest) {
+            match self.admin(&name, AdminOp::Digest) {
                 Ok(AdminResponse::Digest { digest }) => out.push_str(&digest),
                 _ => out.push_str("<unreachable>\n"),
             }

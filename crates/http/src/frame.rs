@@ -1,0 +1,444 @@
+//! Byte-level framing for [`HttpRequest`]/[`HttpResponse`] messages.
+//!
+//! The simulated network hands structured messages between endpoints by
+//! reference; a real deployment has to put bytes on a wire. This module
+//! defines that wire format: a length-prefixed frame whose payload is
+//! the existing [`Jv`] text encoding of the message (the same encoding
+//! the repair log and the admin carriers already use, so there is one
+//! serialization story across the whole system).
+//!
+//! ```text
+//! +--------+---------+------+-------------+------------------+
+//! | "AIRE" | version | kind | payload len | payload (Jv text)|
+//! | 4 B    | 1 B     | 1 B  | 4 B BE      | len B UTF-8      |
+//! +--------+---------+------+-------------+------------------+
+//! ```
+//!
+//! Malformed input is rejected with a [`FrameError`] that names the
+//! problem (bad magic, unknown kind, truncation with the byte counts,
+//! oversized payloads, undecodable payloads) rather than a generic
+//! failure — transport bugs across process boundaries are debugged from
+//! these messages alone.
+//!
+//! This module lives in `aire-http` (not `aire-transport`) so that
+//! `aire-net` can account delivered traffic by **actual framed byte
+//! length** with the same encoder the TCP transport uses, without a
+//! dependency cycle; `aire-transport` re-exports it.
+
+use aire_types::jv::str_encoded_len;
+use aire_types::Jv;
+use std::fmt;
+
+use crate::{Headers, HttpRequest, HttpResponse};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"AIRE";
+
+/// Wire-format version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size: magic + version + kind + payload length.
+pub const HEADER_LEN: usize = 10;
+
+/// Maximum accepted payload size. Controller snapshots are the largest
+/// legitimate payloads; 64 MiB leaves room while bounding what a
+/// malicious peer can make a server buffer.
+pub const MAX_PAYLOAD_LEN: usize = 64 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Server greeting: the toy certificate presented on connect.
+    Hello,
+    /// An [`HttpRequest`] (its [`HttpRequest::to_jv`] form).
+    Request,
+    /// An [`HttpResponse`] (its [`HttpResponse::to_jv`] form).
+    Response,
+    /// A transport-level failure (an encoded `AireError`), used when the
+    /// server cannot produce a response at all (offline target,
+    /// re-entrancy refusal, malformed request frame).
+    Error,
+    /// Graceful-shutdown control frame (operator listener only); the
+    /// server acknowledges with a `Shutdown` frame and exits its loop.
+    Shutdown,
+}
+
+impl FrameKind {
+    /// The kind's wire byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Request => 2,
+            FrameKind::Response => 3,
+            FrameKind::Error => 4,
+            FrameKind::Shutdown => 5,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn parse(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Request),
+            3 => Some(FrameKind::Response),
+            4 => Some(FrameKind::Error),
+            5 => Some(FrameKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FrameKind::Hello => "hello",
+            FrameKind::Request => "request",
+            FrameKind::Response => "response",
+            FrameKind::Error => "error",
+            FrameKind::Shutdown => "shutdown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// The structured payload.
+    pub payload: Jv,
+}
+
+/// Why a byte sequence failed to decode as a frame. Every variant names
+/// the problem concretely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the format requires at this point.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes it had.
+        got: usize,
+    },
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte was not [`VERSION`].
+    BadVersion(u8),
+    /// The kind byte named no known [`FrameKind`].
+    UnknownKind(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The accepted maximum.
+        max: usize,
+    },
+    /// The payload bytes were not valid UTF-8 `Jv` text, or decoded to
+    /// the wrong shape for the frame kind.
+    Payload(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::BadMagic(m) => {
+                write!(f, "bad frame magic {m:?} (expected {MAGIC:?})")
+            }
+            FrameError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported frame version {v} (this node speaks {VERSION})"
+                )
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind byte {k}"),
+            FrameError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: payload of {len} bytes exceeds the {max}-byte cap"
+                )
+            }
+            FrameError::Payload(why) => write!(f, "undecodable frame payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame. The sender enforces the same [`MAX_PAYLOAD_LEN`]
+/// cap the receiver does: an over-limit payload fails locally and
+/// immediately instead of burning a full transfer only to be rejected
+/// by the peer (and a payload beyond `u32` could never even declare its
+/// length honestly).
+pub fn encode_frame(kind: FrameKind, payload: &Jv) -> Result<Vec<u8>, FrameError> {
+    let body = payload.encode();
+    if body.len() > MAX_PAYLOAD_LEN {
+        return Err(FrameError::Oversized {
+            len: body.len(),
+            max: MAX_PAYLOAD_LEN,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind.as_u8());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(out)
+}
+
+/// Validates a frame header and returns `(kind, payload length)`.
+///
+/// `buf` must hold at least [`HEADER_LEN`] bytes; stream readers call
+/// this once the header has arrived to learn how much more to read.
+pub fn decode_header(buf: &[u8]) -> Result<(FrameKind, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[..4]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if buf[4] != VERSION {
+        return Err(FrameError::BadVersion(buf[4]));
+    }
+    let kind = FrameKind::parse(buf[5]).ok_or(FrameError::UnknownKind(buf[5]))?;
+    let len = u32::from_be_bytes([buf[6], buf[7], buf[8], buf[9]]) as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_PAYLOAD_LEN,
+        });
+    }
+    Ok((kind, len))
+}
+
+/// Decodes one frame from the front of `buf`, returning it and the
+/// number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    let (kind, len) = decode_header(buf)?;
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let text = std::str::from_utf8(&buf[HEADER_LEN..total])
+        .map_err(|e| FrameError::Payload(format!("payload is not UTF-8: {e}")))?;
+    let payload = Jv::decode(text).map_err(|e| FrameError::Payload(e.to_string()))?;
+    Ok((Frame { kind, payload }, total))
+}
+
+/// Frames a request.
+pub fn encode_request(req: &HttpRequest) -> Result<Vec<u8>, FrameError> {
+    encode_frame(FrameKind::Request, &req.to_jv())
+}
+
+/// Unpacks a [`FrameKind::Request`] frame.
+pub fn decode_request(frame: &Frame) -> Result<HttpRequest, FrameError> {
+    if frame.kind != FrameKind::Request {
+        return Err(FrameError::Payload(format!(
+            "expected a request frame, got a {} frame",
+            frame.kind
+        )));
+    }
+    HttpRequest::from_jv(&frame.payload).map_err(FrameError::Payload)
+}
+
+/// Frames a response.
+pub fn encode_response(resp: &HttpResponse) -> Result<Vec<u8>, FrameError> {
+    encode_frame(FrameKind::Response, &resp.to_jv())
+}
+
+/// Unpacks a [`FrameKind::Response`] frame.
+pub fn decode_response(frame: &Frame) -> Result<HttpResponse, FrameError> {
+    if frame.kind != FrameKind::Response {
+        return Err(FrameError::Payload(format!(
+            "expected a response frame, got a {} frame",
+            frame.kind
+        )));
+    }
+    HttpResponse::from_jv(&frame.payload).map_err(FrameError::Payload)
+}
+
+/// Length of a `Jv` map encoding with the given `(key, value length)`
+/// entries — braces, separators, and escaped keys included.
+fn map_encoded_len(entries: &[(&str, usize)]) -> usize {
+    2 + entries.len().saturating_sub(1)
+        + entries
+            .iter()
+            .map(|(k, v)| str_encoded_len(k) + 1 + v)
+            .sum::<usize>()
+}
+
+/// Length of the headers-map encoding inside `to_jv` forms.
+fn headers_encoded_len(headers: &Headers) -> usize {
+    2 + headers.len().saturating_sub(1)
+        + headers
+            .iter()
+            .map(|(k, v)| str_encoded_len(k) + 1 + str_encoded_len(v))
+            .sum::<usize>()
+}
+
+/// Exact framed size of a request — the byte count [`encode_request`]
+/// would put on the wire. This (plus [`framed_response_len`]) is the one
+/// source of truth for network byte accounting, whether delivery is
+/// in-process or over TCP.
+///
+/// Counted structurally (mirroring [`HttpRequest::to_jv`]'s shape)
+/// rather than by materializing the document: delivery accounting is a
+/// hot path, and cloning the whole body into a throwaway tree per
+/// message would tax every in-process scenario. The framing property
+/// tests pin this to `encode_request(..).len()` across arbitrary
+/// message shapes, so the mirror cannot drift silently.
+pub fn framed_request_len(req: &HttpRequest) -> usize {
+    HEADER_LEN
+        + map_encoded_len(&[
+            ("body", req.body.encoded_len()),
+            ("headers", headers_encoded_len(&req.headers)),
+            ("method", str_encoded_len(req.method.as_str())),
+            ("url", str_encoded_len(&req.url.to_string())),
+        ])
+}
+
+/// Exact framed size of a response (see [`framed_request_len`]).
+pub fn framed_response_len(resp: &HttpResponse) -> usize {
+    HEADER_LEN
+        + map_encoded_len(&[
+            ("body", resp.body.encoded_len()),
+            ("headers", headers_encoded_len(&resp.headers)),
+            ("status", Jv::i(resp.status.0 as i64).encoded_len()),
+        ])
+}
+
+#[cfg(test)]
+mod tests {
+    use aire_types::jv;
+
+    use super::*;
+    use crate::{Method, Status, Url};
+
+    fn sample_request() -> HttpRequest {
+        HttpRequest::post(
+            Url::service("askbot", "/questions/new"),
+            jv!({"title": "How?", "body": "Like this."}),
+        )
+        .with_header("Cookie", "sessionid=abc")
+    }
+
+    #[test]
+    fn request_frame_round_trip() {
+        let req = sample_request();
+        let bytes = encode_request(&req).unwrap();
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decode_request(&frame).unwrap(), req);
+        assert_eq!(bytes.len(), framed_request_len(&req));
+    }
+
+    #[test]
+    fn response_frame_round_trip() {
+        let resp = HttpResponse::ok(jv!({"id": 7})).with_header("Aire-Request-Id", "askbot/Q9");
+        let bytes = encode_response(&resp).unwrap();
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(decode_response(&frame).unwrap(), resp);
+        assert_eq!(bytes.len(), framed_response_len(&resp));
+    }
+
+    #[test]
+    fn truncation_names_the_byte_counts() {
+        let bytes = encode_request(&sample_request()).unwrap();
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            match err {
+                FrameError::Truncated { needed, got } => {
+                    assert_eq!(got, cut);
+                    assert!(needed > got);
+                }
+                other => panic!("cut at {cut}: expected truncation, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_kind_are_rejected() {
+        let mut bytes = encode_request(&sample_request()).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            FrameError::BadMagic(_)
+        ));
+        let mut bytes = encode_request(&sample_request()).unwrap();
+        bytes[4] = 9;
+        assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::BadVersion(9));
+        let mut bytes = encode_request(&sample_request()).unwrap();
+        bytes[5] = 77;
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            FrameError::UnknownKind(77)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_buffering() {
+        let mut bytes = encode_request(&sample_request()).unwrap();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = decode_header(&bytes).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }), "{err}");
+        assert!(err.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected_with_the_decode_error() {
+        let mut bytes = encode_frame(FrameKind::Request, &Jv::s("x")).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF; // invalid UTF-8 inside the payload
+        let err = decode_frame(&bytes).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+
+        // Valid Jv, wrong shape for the kind.
+        let frame = Frame {
+            kind: FrameKind::Request,
+            payload: Jv::Null,
+        };
+        assert!(decode_request(&frame).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_named_in_the_error() {
+        let req = sample_request();
+        let (frame, _) = decode_frame(&encode_request(&req).unwrap()).unwrap();
+        let err = decode_response(&frame).unwrap_err();
+        assert!(err.to_string().contains("request frame"), "{err}");
+    }
+
+    #[test]
+    fn sender_rejects_oversized_payloads_locally() {
+        let huge = HttpRequest::post(
+            Url::service("s", "/"),
+            Jv::s("x".repeat(MAX_PAYLOAD_LEN + 1)),
+        );
+        let err = encode_request(&huge).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn method_survives_framing() {
+        for m in [Method::Get, Method::Post, Method::Put, Method::Delete] {
+            let req = HttpRequest::new(m, Url::service("s", "/p"));
+            let (frame, _) = decode_frame(&encode_request(&req).unwrap()).unwrap();
+            assert_eq!(decode_request(&frame).unwrap().method, m);
+        }
+        let resp = HttpResponse::error(Status::NOT_FOUND, "nope");
+        let (frame, _) = decode_frame(&encode_response(&resp).unwrap()).unwrap();
+        assert_eq!(decode_response(&frame).unwrap().status, Status::NOT_FOUND);
+    }
+}

@@ -10,6 +10,8 @@
 //!   them (`Aire-Request-Id`, `Aire-Response-Id`, `Aire-Notifier-URL`,
 //!   `Aire-Repair`, ...).
 //! * [`cookie`] — a minimal cookie jar for session plumbing.
+//! * [`frame`] — the byte-level framing `aire-transport` puts on real
+//!   sockets and `aire-net` uses for exact byte accounting.
 //!
 //! Messages render to a canonical wire form (used for the log-size
 //! accounting of Table 4) and support *canonical comparison* that ignores
@@ -20,6 +22,7 @@
 
 pub mod aire;
 pub mod cookie;
+pub mod frame;
 pub mod headers;
 pub mod message;
 pub mod method;

@@ -1,33 +1,56 @@
-//! `aire-net` — the simulated network substrate.
+//! `aire-net` — the network substrate: endpoint registry and peer
+//! transports.
 //!
 //! The paper runs its services as real Django deployments talking HTTP;
 //! repair must survive services being "down, unreachable, or otherwise
 //! unavailable" (§1) and must let a client authenticate a server "by
 //! validating its X.509 certificate" during the `replace_response` token
-//! dance (§3.1). This crate provides the equivalent substrate in-process:
+//! dance (§3.1). This crate provides the equivalent substrate:
 //!
-//! * [`Network`] — a registry of named [`Endpoint`]s with synchronous
-//!   delivery, per-service online/offline switches (driving the §7.2
+//! * [`Network`] — a registry of named peers with synchronous delivery,
+//!   per-service online/offline switches (driving the §7.2
 //!   partial-repair experiments), and delivery statistics.
-//! * [`Certificate`] — a toy TLS identity per registered service. Clients
-//!   verify that the certificate's subject matches the host they dialled;
-//!   tests can install mismatched certificates to exercise rejection.
+//! * [`Transport`] — how a registered peer is actually reached. The
+//!   in-process implementation ([`InProcess`]) calls an
+//!   [`Endpoint`]'s handler directly; `aire-transport` provides a TCP
+//!   implementation that dials a peer daemon in another OS process.
+//!   Callers of [`Network::deliver`] cannot tell the difference — that
+//!   indistinguishability is what lets the same harness drive an
+//!   in-process simulation and a multi-process cluster. (The trait
+//!   lives here rather than in `aire-transport` because the registry
+//!   stores it; the TCP implementation lives there because it needs
+//!   this crate's types.)
+//! * [`Certificate`] — a toy TLS identity per registered service.
+//!   Clients verify that the certificate's subject matches the host
+//!   they dialled; tests can install mismatched certificates to
+//!   exercise rejection, and the TCP transport performs the same check
+//!   against the certificate the remote presents on connect.
 //! * Re-entrancy detection: delivery into a service that is currently
 //!   handling a request is refused (the paper's applications never call
-//!   back into their caller within a request, and allowing it would let a
-//!   single `RefCell`-holding handler deadlock the simulation).
+//!   back into their caller within a request, and allowing it would let
+//!   a single `RefCell`-holding handler deadlock the simulation — or a
+//!   single-threaded daemon deadlock itself).
 //!
 //! Delivery is synchronous and deterministic; *asynchrony* in Aire lives
 //! in the repair controller's queues, which retry delivery when services
 //! come back online — exactly the paper's split.
+//!
+//! ## Byte accounting
+//!
+//! [`NetStats::bytes`] counts the **actual framed byte length** of every
+//! delivered request and response, computed with [`aire_http::frame`] —
+//! the same encoder the TCP transport puts on real sockets. Table 4's
+//! traffic numbers therefore have one source of truth whether the
+//! deployment is in-process or multi-process.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
+use aire_http::frame;
 use aire_http::{HttpRequest, HttpResponse};
-use aire_types::{AireError, AireResult, ServiceName};
+use aire_types::{AireError, AireResult, Jv, ServiceName};
 
 /// A party that can receive HTTP requests from the network.
 pub trait Endpoint {
@@ -39,8 +62,64 @@ pub trait Endpoint {
     fn handle(&self, req: &HttpRequest) -> HttpResponse;
 }
 
+/// How a registered peer is reached: the seam between the in-process
+/// simulation and a real multi-process deployment.
+///
+/// [`Network::deliver`] / [`Network::deliver_admin`] route through this
+/// trait after applying the availability and re-entrancy checks, so a
+/// controller (or an `AdminClient`) behaves identically whether its peer
+/// is an `Rc` in this process or a daemon across a socket.
+pub trait Transport {
+    /// Delivers one data-plane request and awaits the response.
+    ///
+    /// Errors are *transport-level* failures (unreachable peer, timeout,
+    /// malformed wire traffic); application-level failures travel as
+    /// HTTP error statuses inside an `Ok` response.
+    fn call(&self, req: &HttpRequest) -> AireResult<HttpResponse>;
+
+    /// Delivers one control-plane request (`/aire/v1/admin/*`) via the
+    /// peer's operator listener.
+    fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse>;
+
+    /// The certificate the peer presents, if the transport can learn it
+    /// (the TCP transport reads it from the connection greeting). `None`
+    /// means the registry's locally installed certificate is
+    /// authoritative.
+    fn certificate(&self) -> Option<Certificate> {
+        None
+    }
+}
+
+/// The in-process [`Transport`]: delivery is a direct method call on the
+/// endpoint. Infallible at the transport level — every failure an
+/// in-process handler can produce is an HTTP-level one.
+pub struct InProcess {
+    endpoint: Rc<dyn Endpoint>,
+}
+
+impl InProcess {
+    /// Wraps an endpoint.
+    pub fn new(endpoint: Rc<dyn Endpoint>) -> InProcess {
+        InProcess { endpoint }
+    }
+}
+
+impl Transport for InProcess {
+    fn call(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        Ok(self.endpoint.handle(req))
+    }
+
+    fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        // In-process controllers serve both planes through one handler;
+        // the *registry* keeps the planes' statistics and re-entrancy
+        // states separate.
+        Ok(self.endpoint.handle(req))
+    }
+}
+
 /// A toy X.509 certificate: just enough identity for the
-/// `replace_response` authentication flow of §3.1.
+/// `replace_response` authentication flow of §3.1 and the TCP dialer's
+/// connect-time check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// The hostname this certificate asserts.
@@ -54,6 +133,28 @@ impl Certificate {
     pub fn valid_for(&self, host: &str) -> bool {
         self.subject == host
     }
+
+    /// Lossless serialization (the transport's `hello` frame payload).
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("subject", Jv::s(self.subject.clone()));
+        m.set("serial", Jv::i(self.serial as i64));
+        m
+    }
+
+    /// Parses the form produced by [`Certificate::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<Certificate, String> {
+        let subject = v
+            .get("subject")
+            .as_str()
+            .ok_or("certificate: missing subject")?
+            .to_string();
+        let serial = v
+            .get("serial")
+            .as_int()
+            .ok_or("certificate: missing serial")? as u64;
+        Ok(Certificate { subject, serial })
+    }
 }
 
 /// Delivery statistics.
@@ -61,9 +162,11 @@ impl Certificate {
 pub struct NetStats {
     /// Successful deliveries.
     pub delivered: u64,
-    /// Failed deliveries (offline, unknown, re-entrant).
+    /// Failed deliveries (offline, unknown, re-entrant, transport).
     pub failed: u64,
-    /// Total request + response bytes of successful deliveries.
+    /// Total framed request + response bytes of successful data-plane
+    /// deliveries — the exact counts [`aire_http::frame`] would put on a
+    /// socket, so in-process and TCP accounting agree (Table 4).
     pub bytes: u64,
     /// Successful control-plane deliveries ([`Network::deliver_admin`]).
     /// Counted separately so admin traffic never skews the data-plane
@@ -76,7 +179,9 @@ pub struct NetStats {
 
 #[derive(Default)]
 struct NetInner {
-    endpoints: BTreeMap<String, Rc<dyn Endpoint>>,
+    peers: BTreeMap<String, Rc<dyn Transport>>,
+    /// Hosts registered through [`Network::register_remote`].
+    remote: BTreeSet<String>,
     online: BTreeMap<String, bool>,
     certs: BTreeMap<String, Certificate>,
     in_flight: BTreeSet<String>,
@@ -85,7 +190,7 @@ struct NetInner {
     stats: NetStats,
 }
 
-/// The simulated network. Cheap to clone (shared handle).
+/// The network registry. Cheap to clone (shared handle).
 #[derive(Clone, Default)]
 pub struct Network {
     inner: Rc<RefCell<NetInner>>,
@@ -94,7 +199,12 @@ pub struct Network {
 impl fmt::Debug for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.inner.borrow();
-        write!(f, "Network({} endpoints)", inner.endpoints.len())
+        write!(
+            f,
+            "Network({} peers, {} remote)",
+            inner.peers.len(),
+            inner.remote.len()
+        )
     }
 }
 
@@ -104,13 +214,16 @@ impl Network {
         Network::default()
     }
 
-    /// Registers an endpoint under `host`, issuing its certificate. The
-    /// service starts online. Re-registering replaces the endpoint but
-    /// keeps the certificate.
+    /// Registers an in-process endpoint under `host`, issuing its
+    /// certificate. The service starts online. Re-registering replaces
+    /// the endpoint but keeps the certificate.
     pub fn register(&self, host: impl Into<String>, endpoint: Rc<dyn Endpoint>) -> Certificate {
         let host = host.into();
         let mut inner = self.inner.borrow_mut();
-        inner.endpoints.insert(host.clone(), endpoint);
+        inner
+            .peers
+            .insert(host.clone(), Rc::new(InProcess::new(endpoint)));
+        inner.remote.remove(&host);
         inner.online.entry(host.clone()).or_insert(true);
         if let Some(c) = inner.certs.get(&host) {
             return c.clone();
@@ -124,15 +237,55 @@ impl Network {
         cert
     }
 
+    /// Registers a *remote* peer under `host`: deliveries route through
+    /// `transport` (e.g. `aire-transport`'s TCP dialer) instead of an
+    /// in-process handler. No local certificate is issued — the peer
+    /// presents its own identity, surfaced via
+    /// [`Network::certificate_of`].
+    ///
+    /// The peer starts online; [`Network::set_online`] acts as a local
+    /// circuit breaker on top of whatever reachability the transport
+    /// discovers for itself (an unreachable remote fails with the same
+    /// retryable [`AireError::ServiceUnavailable`] an offline local
+    /// service does, so queue-and-retry semantics are identical).
+    pub fn register_remote(&self, host: impl Into<String>, transport: Rc<dyn Transport>) {
+        let host = host.into();
+        let mut inner = self.inner.borrow_mut();
+        inner.peers.insert(host.clone(), transport);
+        inner.remote.insert(host.clone());
+        // A certificate issued while the host was in-process is stale
+        // the moment it moves behind a transport — drop it so
+        // `certificate_of` consults the peer's *presented* identity
+        // instead of a locally fabricated one.
+        inner.certs.remove(&host);
+        inner.online.entry(host).or_insert(true);
+    }
+
+    /// True if `host` was registered through [`Network::register_remote`].
+    pub fn is_remote(&self, host: &str) -> bool {
+        self.inner.borrow().remote.contains(host)
+    }
+
     /// Installs an arbitrary certificate for `host` (tests use this to
     /// simulate impersonation).
     pub fn install_certificate(&self, host: &str, cert: Certificate) {
         self.inner.borrow_mut().certs.insert(host.to_string(), cert);
     }
 
-    /// The certificate the network would present for `host`.
+    /// The certificate `host` presents: the locally installed one if any
+    /// (in-process registrations, impersonation tests), otherwise
+    /// whatever the peer's transport reports (the TCP dialer fetches the
+    /// remote daemon's greeting).
     pub fn certificate_of(&self, host: &str) -> Option<Certificate> {
-        self.inner.borrow().certs.get(host).cloned()
+        let transport = {
+            let inner = self.inner.borrow();
+            if let Some(c) = inner.certs.get(host) {
+                return Some(c.clone());
+            }
+            inner.peers.get(host).cloned()?
+        };
+        // The borrow is released: a TCP transport dials the peer here.
+        transport.certificate()
     }
 
     /// Marks a service online or offline. Delivery to an offline service
@@ -145,90 +298,119 @@ impl Network {
             .insert(host.to_string(), online);
     }
 
-    /// True if the service is registered and online.
+    /// True if the service is registered and not locally marked offline.
+    /// (A remote peer may still be unreachable — that is discovered at
+    /// delivery time, like a real network.)
     pub fn is_online(&self, host: &str) -> bool {
         let inner = self.inner.borrow();
-        inner.endpoints.contains_key(host) && inner.online.get(host).copied().unwrap_or(false)
+        inner.peers.contains_key(host) && inner.online.get(host).copied().unwrap_or(false)
     }
 
     /// Registered hostnames, sorted.
     pub fn hosts(&self) -> Vec<String> {
-        self.inner.borrow().endpoints.keys().cloned().collect()
+        self.inner.borrow().peers.keys().cloned().collect()
+    }
+
+    /// Checks availability and re-entrancy for `host`, marks it in
+    /// flight on the chosen plane, and returns its transport.
+    fn admit(&self, host: &str, admin: bool) -> AireResult<Rc<dyn Transport>> {
+        let mut inner = self.inner.borrow_mut();
+        let name = ServiceName::new(host);
+        let fail = |inner: &mut NetInner| {
+            if admin {
+                inner.stats.admin_failed += 1;
+            } else {
+                inner.stats.failed += 1;
+            }
+        };
+        let Some(peer) = inner.peers.get(host).cloned() else {
+            fail(&mut inner);
+            return Err(AireError::UnknownService(name));
+        };
+        if !inner.online.get(host).copied().unwrap_or(false) {
+            fail(&mut inner);
+            return Err(AireError::ServiceUnavailable(name));
+        }
+        // A single-threaded service cannot serve a plane it is already
+        // serving; the admin plane additionally yields to an in-flight
+        // data request (an operator connection must not preempt one),
+        // while the data plane stays reachable during admin work — the
+        // wire-pump pattern depends on that.
+        let busy = if admin {
+            inner.admin_in_flight.contains(host) || inner.in_flight.contains(host)
+        } else {
+            inner.in_flight.contains(host)
+        };
+        if busy {
+            fail(&mut inner);
+            return Err(AireError::Reentrancy(name));
+        }
+        if admin {
+            inner.admin_in_flight.insert(host.to_string());
+        } else {
+            inner.in_flight.insert(host.to_string());
+        }
+        Ok(peer)
     }
 
     /// Delivers a request to the service named by `req.url.host`.
     ///
     /// Fails with [`AireError::UnknownService`] for unregistered hosts,
-    /// [`AireError::ServiceUnavailable`] for offline ones, and
-    /// [`AireError::Reentrancy`] when the target is already handling a
-    /// request on the current call stack.
+    /// [`AireError::ServiceUnavailable`] for offline (or unreachable
+    /// remote) ones, and [`AireError::Reentrancy`] when the target is
+    /// already handling a request on the current call stack.
     pub fn deliver(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
         let host = req.url.host.clone();
-        let endpoint = {
-            let mut inner = self.inner.borrow_mut();
-            let name = ServiceName::new(host.clone());
-            let Some(ep) = inner.endpoints.get(&host).cloned() else {
-                inner.stats.failed += 1;
-                return Err(AireError::UnknownService(name));
-            };
-            if !inner.online.get(&host).copied().unwrap_or(false) {
-                inner.stats.failed += 1;
-                return Err(AireError::ServiceUnavailable(name));
-            }
-            if inner.in_flight.contains(&host) {
-                inner.stats.failed += 1;
-                return Err(AireError::Reentrancy(name));
-            }
-            inner.in_flight.insert(host.clone());
-            ep
-        };
-        // The borrow is released; the endpoint may re-enter the network
-        // for *other* hosts.
-        let resp = endpoint.handle(req);
+        let peer = self.admit(&host, false)?;
+        // The borrow is released; the peer may re-enter the network for
+        // *other* hosts (or, for TCP peers, serve nested traffic while
+        // waiting).
+        let result = peer.call(req);
         let mut inner = self.inner.borrow_mut();
         inner.in_flight.remove(&host);
-        inner.stats.delivered += 1;
-        inner.stats.bytes += (req.wire_len() + resp.wire_len()) as u64;
-        Ok(resp)
+        match result {
+            Ok(resp) => {
+                inner.stats.delivered += 1;
+                inner.stats.bytes +=
+                    (frame::framed_request_len(req) + frame::framed_response_len(&resp)) as u64;
+                Ok(resp)
+            }
+            Err(e) => {
+                inner.stats.failed += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Delivers a control-plane request (`/aire/v1/admin/*`) to the
     /// service named by `req.url.host`.
     ///
     /// Real deployments serve the admin API on a separate operator-only
-    /// listener; this method models that listener. The key consequence:
-    /// a service can keep serving (and receiving) data-plane traffic
-    /// while its operator holds an admin connection, so an admin-driven
-    /// queue flush does not make the flushing service unreachable to the
-    /// re-executions it triggers downstream. Re-entering a host's admin
-    /// plane — or the admin plane of a host currently handling a
-    /// data-plane request — is refused, since a single-threaded endpoint
-    /// cannot serve both at once.
+    /// listener; this method models that listener (and, for remote
+    /// peers, really does dial a separate listener). The key
+    /// consequence: a service can keep serving (and receiving)
+    /// data-plane traffic while its operator holds an admin connection,
+    /// so an admin-driven queue flush does not make the flushing service
+    /// unreachable to the re-executions it triggers downstream.
+    /// Re-entering a host's admin plane — or the admin plane of a host
+    /// currently handling a data-plane request — is refused, since a
+    /// single-threaded endpoint cannot serve both at once.
     pub fn deliver_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
         let host = req.url.host.clone();
-        let endpoint = {
-            let mut inner = self.inner.borrow_mut();
-            let name = ServiceName::new(host.clone());
-            let Some(ep) = inner.endpoints.get(&host).cloned() else {
-                inner.stats.admin_failed += 1;
-                return Err(AireError::UnknownService(name));
-            };
-            if !inner.online.get(&host).copied().unwrap_or(false) {
-                inner.stats.admin_failed += 1;
-                return Err(AireError::ServiceUnavailable(name));
-            }
-            if inner.admin_in_flight.contains(&host) || inner.in_flight.contains(&host) {
-                inner.stats.admin_failed += 1;
-                return Err(AireError::Reentrancy(name));
-            }
-            inner.admin_in_flight.insert(host.clone());
-            ep
-        };
-        let resp = endpoint.handle(req);
+        let peer = self.admit(&host, true)?;
+        let result = peer.call_admin(req);
         let mut inner = self.inner.borrow_mut();
         inner.admin_in_flight.remove(&host);
-        inner.stats.admin_delivered += 1;
-        Ok(resp)
+        match result {
+            Ok(resp) => {
+                inner.stats.admin_delivered += 1;
+                Ok(resp)
+            }
+            Err(e) => {
+                inner.stats.admin_failed += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Delivery statistics so far.
@@ -355,6 +537,16 @@ mod tests {
     }
 
     #[test]
+    fn certificate_round_trips_through_jv() {
+        let cert = Certificate {
+            subject: "askbot".into(),
+            serial: 42,
+        };
+        assert_eq!(Certificate::from_jv(&cert.to_jv()).unwrap(), cert);
+        assert!(Certificate::from_jv(&Jv::Null).is_err());
+    }
+
+    #[test]
     fn reregistering_keeps_certificate() {
         let net = Network::new();
         let c1 = net.register("s", Rc::new(Echo));
@@ -427,11 +619,131 @@ mod tests {
     }
 
     #[test]
-    fn bytes_are_accounted() {
+    fn bytes_count_exact_framed_lengths() {
         let net = Network::new();
         net.register("echo", Rc::new(Echo));
-        net.deliver(&get("echo", "/a-rather-long-path-for-counting"))
+        let req = get("echo", "/a-rather-long-path-for-counting");
+        let resp = net.deliver(&req).unwrap();
+        let expected = (frame::framed_request_len(&req) + frame::framed_response_len(&resp)) as u64;
+        assert_eq!(net.stats().bytes, expected);
+        // The counted length is what the TCP encoder would ship.
+        assert_eq!(
+            frame::encode_request(&req).unwrap().len(),
+            frame::framed_request_len(&req)
+        );
+    }
+
+    //////// Remote peers (the Transport seam). ////////
+
+    /// A fake remote transport: answers from a table, fails on demand,
+    /// and records which plane each call used.
+    struct FakeRemote {
+        reachable: std::cell::Cell<bool>,
+        planes: RefCell<Vec<&'static str>>,
+        cert: Certificate,
+    }
+
+    impl Transport for FakeRemote {
+        fn call(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+            if !self.reachable.get() {
+                return Err(AireError::ServiceUnavailable(ServiceName::new(
+                    req.url.host.clone(),
+                )));
+            }
+            self.planes.borrow_mut().push("data");
+            Ok(HttpResponse::ok(jv!({"remote": true})))
+        }
+
+        fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+            if !self.reachable.get() {
+                return Err(AireError::ServiceUnavailable(ServiceName::new(
+                    req.url.host.clone(),
+                )));
+            }
+            self.planes.borrow_mut().push("admin");
+            Ok(HttpResponse::ok(jv!({"remote": "admin"})))
+        }
+
+        fn certificate(&self) -> Option<Certificate> {
+            Some(self.cert.clone())
+        }
+    }
+
+    #[test]
+    fn remote_peers_deliver_through_their_transport() {
+        let net = Network::new();
+        let remote = Rc::new(FakeRemote {
+            reachable: std::cell::Cell::new(true),
+            planes: RefCell::new(Vec::new()),
+            cert: Certificate {
+                subject: "far".into(),
+                serial: 7,
+            },
+        });
+        net.register_remote("far", remote.clone());
+        assert!(net.is_remote("far"));
+        assert!(net.is_online("far"));
+
+        let resp = net.deliver(&get("far", "/x")).unwrap();
+        assert_eq!(resp.body.get("remote"), &Jv::Bool(true));
+        net.deliver_admin(&get("far", "/aire/v1/admin/stats"))
             .unwrap();
-        assert!(net.stats().bytes > 40);
+        assert_eq!(*remote.planes.borrow(), vec!["data", "admin"]);
+        let stats = net.stats();
+        assert_eq!((stats.delivered, stats.admin_delivered), (1, 1));
+        assert!(stats.bytes > 0, "remote traffic is byte-accounted too");
+
+        // The peer's own certificate surfaces through the registry.
+        assert_eq!(net.certificate_of("far").unwrap().subject, "far");
+    }
+
+    #[test]
+    fn migrating_a_service_to_remote_drops_its_stale_local_certificate() {
+        let net = Network::new();
+        // Simulation phase: the registry issued a local certificate.
+        let local_cert = net.register("far", Rc::new(Echo));
+        assert_eq!(net.certificate_of("far").unwrap(), local_cert);
+        // Cluster phase: the same service now lives behind a transport;
+        // its *presented* identity must win over the stale local one.
+        net.register_remote(
+            "far",
+            Rc::new(FakeRemote {
+                reachable: std::cell::Cell::new(true),
+                planes: RefCell::new(Vec::new()),
+                cert: Certificate {
+                    subject: "far".into(),
+                    serial: 7_777,
+                },
+            }),
+        );
+        assert_eq!(net.certificate_of("far").unwrap().serial, 7_777);
+    }
+
+    #[test]
+    fn unreachable_remote_fails_like_an_offline_service() {
+        let net = Network::new();
+        let remote = Rc::new(FakeRemote {
+            reachable: std::cell::Cell::new(false),
+            planes: RefCell::new(Vec::new()),
+            cert: Certificate {
+                subject: "far".into(),
+                serial: 7,
+            },
+        });
+        net.register_remote("far", remote.clone());
+        // The registry thinks it is online; the transport discovers
+        // unreachability — with the same retryable error.
+        assert!(net.is_online("far"));
+        let err = net.deliver(&get("far", "/x")).unwrap_err();
+        assert!(matches!(err, AireError::ServiceUnavailable(_)));
+        assert!(err.is_retryable());
+        assert_eq!(net.stats().failed, 1);
+
+        // The local circuit breaker still works on top.
+        remote.reachable.set(true);
+        net.set_online("far", false);
+        assert!(net.deliver(&get("far", "/x")).is_err());
+        net.set_online("far", true);
+        assert!(net.deliver(&get("far", "/x")).is_ok());
     }
 }

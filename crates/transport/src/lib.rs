@@ -1,0 +1,81 @@
+//! `aire-transport` — real sockets under the Aire substrate.
+//!
+//! The paper deploys each service as a separate web application talking
+//! actual HTTP; everything before this crate simulated that with an
+//! in-process registry. This crate is the step from simulation to
+//! deployable system:
+//!
+//! * **Framing** — [`frame`] (re-exported from `aire-http` so the
+//!   registry can count bytes with the same encoder): length-prefixed
+//!   frames carrying the existing `Jv` wire encoding of
+//!   `HttpRequest`/`HttpResponse`, with malformed and truncated input
+//!   rejected by errors naming the problem.
+//! * **Dialer** — [`TcpTransport`], an implementation of
+//!   [`aire_net::Transport`] over `std::net` that connects per call,
+//!   performs the toy-`Certificate` identity check against the peer's
+//!   connection greeting (§3.1's "validating its X.509 certificate"),
+//!   and maps transport failures onto the same retryable `AireError`s
+//!   an offline in-process service produces — so the repair queues
+//!   behave identically across deployments.
+//! * **Server** — [`NodeServer`], a single-threaded serve loop hosting
+//!   any `Endpoint` behind two `TcpListener`s: a data listener and a
+//!   separate operator/admin listener, preserving the accounting and
+//!   re-entrancy split of `Network::deliver` vs
+//!   `Network::deliver_admin`.
+//!
+//! ## Single-threaded re-entrancy: the [`Pump`] trait
+//!
+//! The whole substrate is deliberately single-threaded (`Rc`/`RefCell`
+//! state, deterministic replay). That raises a real distributed-systems
+//! problem: while node A's controller waits on a response from node B,
+//! B may legitimately call *back into A's data plane* (an admin-driven
+//! queue flush on A triggers a re-execution on B that contacts A — the
+//! wire-pump pattern the in-process registry explicitly supports).
+//! A blocking wait would deadlock the pair.
+//!
+//! The solution is cooperative: [`TcpTransport`] optionally carries a
+//! [`Pump`] handle to its node's [`NodeServer`]; while an outgoing call
+//! waits for bytes, it repeatedly gives the server a chance to accept
+//! and serve incoming traffic on the same thread. Recursion replaces
+//! threads; the `Network`'s per-host in-flight guards supply exactly the
+//! same re-entrancy refusals as in-process delivery, so the semantics do
+//! not fork between the two deployments. (This also makes single-thread
+//! loopback possible — the transport benches and tests run a server and
+//! a dialer on one thread.)
+//!
+//! ## Connection protocol
+//!
+//! One request per connection, like HTTP/1.0:
+//!
+//! ```text
+//! dialer                         server
+//!   |------------ connect --------->|
+//!   |<-- Hello { certificate } -----|   (identity check happens here)
+//!   |--- Request { http request } ->|
+//!   |<-- Response { http response } |   (or Error { aire error })
+//!   |------------ close ------------|
+//! ```
+//!
+//! A `Shutdown` frame on the operator listener asks the server to exit
+//! its loop after acknowledging — the clean-stop path for daemons.
+
+#![deny(missing_docs)]
+
+pub use aire_http::frame;
+pub use aire_net::{Certificate, Endpoint, InProcess, Network, Transport};
+
+mod server;
+mod tcp;
+
+pub use server::{NodeServer, ServeOutcome};
+pub use tcp::{shutdown_node, TcpTransport};
+
+/// Something that can make progress on a node's listeners while an
+/// outgoing call waits for its peer — the cooperative-scheduling seam
+/// between [`TcpTransport`] and [`NodeServer`].
+pub trait Pump {
+    /// Accepts and advances pending connections once. Returns `true` if
+    /// any progress was made (bytes moved, a request dispatched); the
+    /// caller backs off briefly when nothing moved.
+    fn pump_once(&self) -> bool;
+}

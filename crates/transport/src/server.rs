@@ -1,0 +1,396 @@
+//! The single-threaded node server: two listeners, one serve loop.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::rc::{Rc, Weak};
+use std::time::{Duration, Instant};
+
+use aire_http::frame::{self, FrameKind, HEADER_LEN};
+use aire_http::HttpRequest;
+use aire_net::{Certificate, Network};
+use aire_types::{AireError, Jv};
+
+use crate::Pump;
+
+/// Which listener a connection arrived on. Mirrors the registry's
+/// `deliver` / `deliver_admin` split: the same service, two planes with
+/// separate accounting and re-entrancy states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plane {
+    Data,
+    Admin,
+}
+
+/// Why [`NodeServer::serve`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A `Shutdown` frame arrived on the operator listener.
+    Shutdown,
+    /// The deadline passed — the orphan guard for daemons whose parent
+    /// died without asking for a clean stop.
+    DeadlineExpired,
+}
+
+/// One in-flight connection: a tiny nonblocking state machine (greet →
+/// read one request frame → dispatch → flush the reply → close).
+struct Conn {
+    stream: TcpStream,
+    plane: Plane,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    written: usize,
+    /// Set once the reply (response, error, or shutdown ack) is queued;
+    /// the connection closes after the flush.
+    responded: bool,
+}
+
+struct NodeInner {
+    net: Network,
+    host: String,
+    cert: Certificate,
+    data: TcpListener,
+    admin: TcpListener,
+    conns: RefCell<VecDeque<Conn>>,
+    shutdown: Cell<bool>,
+}
+
+/// A single-threaded TCP server hosting one service's endpoint behind a
+/// data listener and a separate operator/admin listener.
+///
+/// Incoming request frames are dispatched through the node's local
+/// [`Network`] (`deliver` for the data listener, `deliver_admin` for the
+/// operator listener), so availability, re-entrancy, and statistics
+/// behave exactly as they do in-process — including the rule that the
+/// data plane stays reachable while an operator connection is busy.
+///
+/// Connections are handled as nonblocking state machines, which is what
+/// allows the [`Pump`] integration: an outgoing [`crate::TcpTransport`]
+/// call made *from inside a dispatch* can give this server time to serve
+/// nested incoming traffic on the same thread.
+#[derive(Clone)]
+pub struct NodeServer {
+    inner: Rc<NodeInner>,
+}
+
+impl NodeServer {
+    /// Binds both listeners and returns the server. `cert` is the
+    /// identity presented in every connection greeting — normally the
+    /// certificate `Network::register` issued for `host`.
+    pub fn bind(
+        net: Network,
+        host: impl Into<String>,
+        cert: Certificate,
+        data_addr: impl ToSocketAddrs,
+        admin_addr: impl ToSocketAddrs,
+    ) -> std::io::Result<NodeServer> {
+        let data = TcpListener::bind(data_addr)?;
+        let admin = TcpListener::bind(admin_addr)?;
+        data.set_nonblocking(true)?;
+        admin.set_nonblocking(true)?;
+        Ok(NodeServer {
+            inner: Rc::new(NodeInner {
+                net,
+                host: host.into(),
+                cert,
+                data,
+                admin,
+                conns: RefCell::new(VecDeque::new()),
+                shutdown: Cell::new(false),
+            }),
+        })
+    }
+
+    /// The bound data-plane address (useful after binding port 0).
+    pub fn data_addr(&self) -> SocketAddr {
+        self.inner.data.local_addr().expect("bound listener")
+    }
+
+    /// The bound operator-plane address.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.inner.admin.local_addr().expect("bound listener")
+    }
+
+    /// The hosted service's name.
+    pub fn host(&self) -> &str {
+        &self.inner.host
+    }
+
+    /// A weak [`Pump`] handle for wiring into this node's outgoing
+    /// [`crate::TcpTransport`]s (weak, so peer transports held by the
+    /// network never keep a dead server alive).
+    pub fn pump_handle(&self) -> Weak<dyn Pump> {
+        Rc::downgrade(&(self.inner.clone() as Rc<dyn Pump>))
+    }
+
+    /// Asks the serve loop to stop (the in-process equivalent of a
+    /// `Shutdown` frame).
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.set(true);
+    }
+
+    /// Accepts and advances connections once; see [`Pump::pump_once`].
+    pub fn pump_once(&self) -> bool {
+        self.inner.pump_once()
+    }
+
+    /// Runs the serve loop until a `Shutdown` frame arrives or
+    /// `deadline` (if any) passes, then briefly drains pending replies.
+    pub fn serve(&self, deadline: Option<Instant>) -> ServeOutcome {
+        let outcome = loop {
+            if self.inner.shutdown.get() {
+                break ServeOutcome::Shutdown;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break ServeOutcome::DeadlineExpired;
+                }
+            }
+            if !self.inner.pump_once() {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        };
+        // Flush whatever is still queued (notably the shutdown ack) for
+        // up to a second; connections that cannot drain are dropped.
+        let drain_until = Instant::now() + Duration::from_secs(1);
+        while !self.inner.conns.borrow().is_empty() && Instant::now() < drain_until {
+            if !self.inner.pump_once() {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        outcome
+    }
+}
+
+impl Pump for NodeServer {
+    fn pump_once(&self) -> bool {
+        self.inner.pump_once()
+    }
+}
+
+impl Pump for NodeInner {
+    fn pump_once(&self) -> bool {
+        let mut progressed = false;
+        // Stop accepting once a shutdown is in flight — the drain phase
+        // should converge.
+        if !self.shutdown.get() {
+            progressed |= self.accept(Plane::Data);
+            progressed |= self.accept(Plane::Admin);
+        }
+        // Advance each connection at most once per pump. A connection is
+        // taken out of the queue while it is processed: dispatching may
+        // recurse into this very method (an outgoing call pumping while
+        // it waits), and the nested pump must not touch the connection
+        // whose request is mid-dispatch.
+        let rounds = self.conns.borrow().len();
+        for _ in 0..rounds {
+            let Some(mut conn) = self.conns.borrow_mut().pop_front() else {
+                break;
+            };
+            let keep = self.advance(&mut conn, &mut progressed);
+            if keep {
+                self.conns.borrow_mut().push_back(conn);
+            }
+        }
+        progressed
+    }
+}
+
+impl NodeInner {
+    fn accept(&self, plane: Plane) -> bool {
+        let listener = match plane {
+            Plane::Data => &self.data,
+            Plane::Admin => &self.admin,
+        };
+        let mut accepted = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    // Greet immediately: the certificate goes out as the
+                    // connection's first frame (a few dozen bytes — far
+                    // below the frame cap).
+                    let hello = frame::encode_frame(FrameKind::Hello, &self.cert.to_jv())
+                        .expect("certificate greeting fits any frame cap");
+                    self.conns.borrow_mut().push_back(Conn {
+                        stream,
+                        plane,
+                        inbuf: Vec::new(),
+                        outbuf: hello,
+                        written: 0,
+                        responded: false,
+                    });
+                    accepted = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        accepted
+    }
+
+    /// Moves one connection forward. Returns `false` when the connection
+    /// is finished (reply flushed, peer gone, or unrecoverable error)
+    /// and should be dropped.
+    fn advance(&self, conn: &mut Conn, progressed: &mut bool) -> bool {
+        // 1. Flush pending output.
+        while conn.written < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.written += n;
+                    *progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if conn.responded {
+            // Keep the connection only until the reply has fully left.
+            return conn.written < conn.outbuf.len();
+        }
+
+        // 2. Read whatever arrived. EOF here may be a half-close from a
+        // client that wrote its request and shut down its write side —
+        // a complete buffered frame must still be dispatched and the
+        // reply flushed; only an EOF with no full frame pending means
+        // the peer gave up. The loop also stops as soon as one frame is
+        // complete (or its header is already known bad): the frame cap
+        // bounds what one connection can make this server buffer, and a
+        // peer streaming continuously must not starve the other
+        // connections of this single-threaded loop.
+        let mut peer_closed = false;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if conn.inbuf.len() >= HEADER_LEN {
+                match frame::decode_header(&conn.inbuf) {
+                    Err(_) => break, // answered below, no point reading on
+                    Ok((_, len)) if conn.inbuf.len() >= HEADER_LEN + len => break,
+                    Ok(_) => {}
+                }
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    peer_closed = true;
+                    *progressed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    *progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+
+        // 3. Dispatch once a complete frame is buffered. Header problems
+        // (bad magic, oversized declarations) are answered immediately —
+        // waiting for more bytes from a corrupt peer is pointless.
+        if conn.inbuf.len() >= HEADER_LEN {
+            match frame::decode_header(&conn.inbuf) {
+                Err(e) => {
+                    self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")));
+                    *progressed = true;
+                }
+                Ok((_, len)) if conn.inbuf.len() >= HEADER_LEN + len => {
+                    self.dispatch(conn);
+                    *progressed = true;
+                }
+                Ok(_) => {} // wait for the rest of the payload
+            }
+        }
+        if conn.responded {
+            // Keep the connection until the reply flushes (the peer's
+            // read side is still open even after a half-close).
+            return true;
+        }
+        !peer_closed
+    }
+
+    fn reply(&self, conn: &mut Conn, kind: FrameKind, payload: &Jv) {
+        let framed = frame::encode_frame(kind, payload).unwrap_or_else(|e| {
+            // An over-cap response (e.g. a gigantic snapshot) degrades
+            // to a small error frame naming the limit, which cannot
+            // itself fail to encode.
+            frame::encode_frame(
+                FrameKind::Error,
+                &AireError::Protocol(format!("response too large to frame: {e}")).to_jv(),
+            )
+            .expect("error frames are small")
+        });
+        conn.outbuf.extend_from_slice(&framed);
+        conn.responded = true;
+    }
+
+    fn reply_error(&self, conn: &mut Conn, err: AireError) {
+        self.reply(conn, FrameKind::Error, &err.to_jv());
+    }
+
+    fn dispatch(&self, conn: &mut Conn) {
+        let decoded = frame::decode_frame(&conn.inbuf);
+        conn.inbuf.clear();
+        let fr = match decoded {
+            Ok((fr, _)) => fr,
+            Err(e) => {
+                return self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")))
+            }
+        };
+        match fr.kind {
+            FrameKind::Request => {
+                let req = match HttpRequest::from_jv(&fr.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return self.reply_error(
+                            conn,
+                            AireError::Protocol(format!("bad request frame: {e}")),
+                        )
+                    }
+                };
+                if req.url.host != self.host {
+                    // Refuse to proxy: a misrouted frame is a deployment
+                    // bug worth a loud, named failure.
+                    return self.reply_error(
+                        conn,
+                        AireError::Protocol(format!(
+                            "this node serves {:?} but the request targets {:?}",
+                            self.host, req.url.host
+                        )),
+                    );
+                }
+                let result = match conn.plane {
+                    Plane::Data => self.net.deliver(&req),
+                    Plane::Admin => self.net.deliver_admin(&req),
+                };
+                match result {
+                    Ok(resp) => self.reply(conn, FrameKind::Response, &resp.to_jv()),
+                    Err(e) => self.reply_error(conn, e),
+                }
+            }
+            FrameKind::Shutdown => {
+                if conn.plane != Plane::Admin {
+                    return self.reply_error(
+                        conn,
+                        AireError::Protocol(
+                            "shutdown is an operator-listener frame, not a data-plane one"
+                                .to_string(),
+                        ),
+                    );
+                }
+                self.shutdown.set(true);
+                self.reply(conn, FrameKind::Shutdown, &Jv::Null);
+            }
+            other => self.reply_error(
+                conn,
+                AireError::Protocol(format!("unexpected {other} frame from a client")),
+            ),
+        }
+    }
+}

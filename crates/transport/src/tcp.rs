@@ -1,0 +1,357 @@
+//! The TCP dialer: [`aire_net::Transport`] over `std::net`.
+
+use std::cell::RefCell;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::rc::{Rc, Weak};
+use std::time::{Duration, Instant};
+
+use aire_http::frame::{self, Frame, FrameKind, HEADER_LEN};
+use aire_http::{HttpRequest, HttpResponse};
+use aire_net::{Certificate, Transport};
+use aire_types::{AireError, AireResult, Jv, ServiceName};
+
+use crate::Pump;
+
+/// Default time allowed for a TCP connect before the peer is treated as
+/// unavailable (and the repair queues hold the message for retry).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// Default time allowed for a full request/response exchange.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A dialer for one remote Aire node: connects per call, checks the
+/// peer's certificate, exchanges one framed request/response.
+///
+/// Register it on a [`aire_net::Network`] with
+/// [`Network::register_remote`](aire_net::Network::register_remote);
+/// after that, `deliver`/`deliver_admin` to the host transparently cross
+/// the process boundary.
+pub struct TcpTransport {
+    host: String,
+    data_addr: SocketAddr,
+    admin_addr: SocketAddr,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    pump: RefCell<Option<Weak<dyn Pump>>>,
+    /// The certificate observed in the last successful greeting. Filled
+    /// by every exchange, so [`Transport::certificate`] (the §3.1
+    /// notify-validation path) rarely needs its own dial — and a
+    /// transient dial failure cannot un-know an identity that was
+    /// already validated. Subjects are stable across daemon restarts;
+    /// only the serial could go stale, and nothing authenticates by
+    /// serial.
+    cert_cache: RefCell<Option<Certificate>>,
+}
+
+impl TcpTransport {
+    /// Creates a dialer for the service `host`, whose daemon listens on
+    /// `data_addr` (data plane) and `admin_addr` (operator plane).
+    pub fn new(
+        host: impl Into<String>,
+        data_addr: SocketAddr,
+        admin_addr: SocketAddr,
+    ) -> TcpTransport {
+        TcpTransport {
+            host: host.into(),
+            data_addr,
+            admin_addr,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            io_timeout: DEFAULT_IO_TIMEOUT,
+            pump: RefCell::new(None),
+            cert_cache: RefCell::new(None),
+        }
+    }
+
+    /// Overrides both timeouts (tests use short ones).
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> TcpTransport {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    /// Attaches the local node's serve loop: while this dialer waits for
+    /// a peer, it cooperatively pumps incoming connections so a peer's
+    /// nested call back into this node cannot deadlock the pair. Daemons
+    /// set this on every peer transport; pure clients (drivers, tests)
+    /// leave it unset and just block.
+    pub fn set_pump(&self, pump: Weak<dyn Pump>) {
+        *self.pump.borrow_mut() = Some(pump);
+    }
+
+    /// The service this dialer targets.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn unavailable(&self) -> AireError {
+        AireError::ServiceUnavailable(ServiceName::new(self.host.clone()))
+    }
+
+    fn timeout(&self) -> AireError {
+        AireError::Timeout(ServiceName::new(self.host.clone()))
+    }
+
+    /// Maps an I/O failure mid-exchange onto repair-queue semantics:
+    /// the peer *dying* (EOF, reset, broken pipe — e.g. its process was
+    /// killed between our connect and its reply) is the same
+    /// "temporarily down" condition as a refused connect and must stay
+    /// **retryable**, or a crash in the wrong window would permanently
+    /// drop queued repair messages. Only genuinely malformed traffic is
+    /// a non-retryable protocol error.
+    fn classify_io(&self, what: &str, e: std::io::Error) -> AireError {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => self.timeout(),
+            ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe => self.unavailable(),
+            _ => AireError::Protocol(format!("{what} {} failed: {e}", self.host)),
+        }
+    }
+
+    fn connect(&self, addr: SocketAddr) -> AireResult<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|_| self.unavailable())?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn active_pump(&self) -> Option<Rc<dyn Pump>> {
+        self.pump.borrow().as_ref().and_then(Weak::upgrade)
+    }
+
+    /// Reads exactly `buf.len()` bytes, pumping the local serve loop (if
+    /// any) while the peer keeps us waiting.
+    fn read_exact(&self, stream: &mut TcpStream, buf: &mut [u8]) -> AireResult<()> {
+        match self.active_pump() {
+            Some(pump) => {
+                stream
+                    .set_nonblocking(true)
+                    .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
+                let deadline = Instant::now() + self.io_timeout;
+                let mut done = 0;
+                while done < buf.len() {
+                    match stream.read(&mut buf[done..]) {
+                        // The peer died mid-exchange: retryable, like a
+                        // refused connect (see `classify_io`).
+                        Ok(0) => return Err(self.unavailable()),
+                        Ok(n) => done += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if Instant::now() >= deadline {
+                                return Err(self.timeout());
+                            }
+                            if !pump.pump_once() {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(self.classify_io("read from", e)),
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                stream
+                    .set_read_timeout(Some(self.io_timeout))
+                    .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
+                stream
+                    .read_exact(buf)
+                    .map_err(|e| self.classify_io("read from", e))
+            }
+        }
+    }
+
+    /// Writes all of `buf`, pumping while the socket buffer is full.
+    fn write_all(&self, stream: &mut TcpStream, buf: &[u8]) -> AireResult<()> {
+        match self.active_pump() {
+            Some(pump) => {
+                let deadline = Instant::now() + self.io_timeout;
+                let mut done = 0;
+                while done < buf.len() {
+                    match stream.write(&buf[done..]) {
+                        Ok(0) => return Err(self.unavailable()),
+                        Ok(n) => done += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if Instant::now() >= deadline {
+                                return Err(self.timeout());
+                            }
+                            if !pump.pump_once() {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(self.classify_io("write to", e)),
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                stream
+                    .set_write_timeout(Some(self.io_timeout))
+                    .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
+                stream
+                    .write_all(buf)
+                    .map_err(|e| self.classify_io("write to", e))
+            }
+        }
+    }
+
+    fn read_frame(&self, stream: &mut TcpStream) -> AireResult<Frame> {
+        let mut header = [0u8; HEADER_LEN];
+        self.read_exact(stream, &mut header)?;
+        let (kind, len) = frame::decode_header(&header)
+            .map_err(|e| AireError::Protocol(format!("bad frame from {}: {e}", self.host)))?;
+        let mut payload = vec![0u8; len];
+        self.read_exact(stream, &mut payload)?;
+        let text = String::from_utf8(payload).map_err(|e| {
+            AireError::Protocol(format!(
+                "frame payload from {} is not UTF-8: {e}",
+                self.host
+            ))
+        })?;
+        let payload = Jv::decode(&text).map_err(|e| {
+            AireError::Protocol(format!("bad frame payload from {}: {e}", self.host))
+        })?;
+        Ok(Frame { kind, payload })
+    }
+
+    /// Reads the server greeting and performs the identity check: the
+    /// presented certificate's subject must match the service name this
+    /// dialer was created for (§3.1's certificate validation, on every
+    /// connect).
+    fn expect_hello(&self, stream: &mut TcpStream) -> AireResult<Certificate> {
+        let hello = self.read_frame(stream)?;
+        if hello.kind != FrameKind::Hello {
+            return Err(AireError::Protocol(format!(
+                "{} opened with a {} frame instead of a hello",
+                self.host, hello.kind
+            )));
+        }
+        let cert = Certificate::from_jv(&hello.payload)
+            .map_err(|e| AireError::Protocol(format!("bad certificate from {}: {e}", self.host)))?;
+        if !cert.valid_for(&self.host) {
+            return Err(AireError::Protocol(format!(
+                "certificate validation failed: peer at {} presented a certificate for \
+                 {:?}, expected {:?}",
+                self.data_addr, cert.subject, self.host
+            )));
+        }
+        *self.cert_cache.borrow_mut() = Some(cert.clone());
+        Ok(cert)
+    }
+
+    fn exchange(&self, addr: SocketAddr, req: &HttpRequest) -> AireResult<HttpResponse> {
+        let mut stream = self.connect(addr)?;
+        self.expect_hello(&mut stream)?;
+        let framed = frame::encode_request(req)
+            .map_err(|e| AireError::Protocol(format!("cannot frame request: {e}")))?;
+        self.write_all(&mut stream, &framed)?;
+        let reply = self.read_frame(&mut stream)?;
+        match reply.kind {
+            FrameKind::Response => HttpResponse::from_jv(&reply.payload)
+                .map_err(|e| AireError::Protocol(format!("bad response from {}: {e}", self.host))),
+            FrameKind::Error => Err(AireError::from_jv(&reply.payload).unwrap_or_else(|e| {
+                AireError::Protocol(format!("bad error frame from {}: {e}", self.host))
+            })),
+            other => Err(AireError::Protocol(format!(
+                "{} answered a request with a {other} frame",
+                self.host
+            ))),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        self.exchange(self.data_addr, req)
+    }
+
+    fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
+        self.exchange(self.admin_addr, req)
+    }
+
+    fn certificate(&self) -> Option<Certificate> {
+        // The identity observed on any past exchange answers without a
+        // dial — so a notify-time validation (§3.1) cannot be failed by
+        // a transient blip against a peer whose certificate was already
+        // seen, and no extra connection is spent re-fetching it.
+        if let Some(cert) = self.cert_cache.borrow().clone() {
+            return Some(cert);
+        }
+        let mut stream = self.connect(self.data_addr).ok()?;
+        self.expect_hello(&mut stream).ok()
+    }
+}
+
+/// Asks the node listening on `admin_addr` to shut down cleanly: reads
+/// its greeting, sends a `Shutdown` frame, and waits for the
+/// acknowledgement (or the close that follows it).
+pub fn shutdown_node(admin_addr: SocketAddr, timeout: Duration) -> AireResult<()> {
+    let name = ServiceName::new(admin_addr.to_string());
+    let mut stream = TcpStream::connect_timeout(&admin_addr, timeout)
+        .map_err(|_| AireError::ServiceUnavailable(name.clone()))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
+    /// Reads one frame; `Ok(None)` is a clean close *at a frame
+    /// boundary* (distinguishable from a timeout, a reset, or an EOF
+    /// mid-frame, all of which are real failures).
+    fn read_frame(stream: &mut TcpStream) -> AireResult<Option<Frame>> {
+        let io_err = |what: &str, e: std::io::Error| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                AireError::Protocol(format!("{what} timed out"))
+            }
+            _ => AireError::Protocol(format!("{what} failed: {e}")),
+        };
+        let mut header = [0u8; HEADER_LEN];
+        match stream.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(io_err("shutdown ack read", e)),
+        }
+        let (kind, len) = frame::decode_header(&header)
+            .map_err(|e| AireError::Protocol(format!("bad shutdown frame: {e}")))?;
+        let mut payload = vec![0u8; len];
+        stream
+            .read_exact(&mut payload)
+            .map_err(|e| io_err("shutdown ack payload read", e))?;
+        let text = String::from_utf8(payload)
+            .map_err(|e| AireError::Protocol(format!("shutdown payload not UTF-8: {e}")))?;
+        Ok(Some(Frame {
+            kind,
+            payload: Jv::decode(&text)
+                .map_err(|e| AireError::Protocol(format!("bad shutdown payload: {e}")))?,
+        }))
+    }
+    let hello = read_frame(&mut stream)?.ok_or_else(|| {
+        AireError::Protocol("node closed the connection before greeting".to_string())
+    })?;
+    if hello.kind != FrameKind::Hello {
+        return Err(AireError::Protocol(format!(
+            "node opened with a {} frame instead of a hello",
+            hello.kind
+        )));
+    }
+    let bye = frame::encode_frame(FrameKind::Shutdown, &Jv::Null)
+        .expect("a null shutdown payload is far below the frame cap");
+    stream
+        .write_all(&bye)
+        .map_err(|e| AireError::Protocol(format!("shutdown write failed: {e}")))?;
+    match read_frame(&mut stream)? {
+        Some(ack) if ack.kind == FrameKind::Shutdown => Ok(()),
+        Some(ack) if ack.kind == FrameKind::Error => Err(AireError::from_jv(&ack.payload)
+            .unwrap_or_else(|e| {
+                AireError::Protocol(format!("bad error frame in shutdown ack: {e}"))
+            })),
+        Some(other) => Err(AireError::Protocol(format!(
+            "node acknowledged shutdown with a {} frame",
+            other.kind
+        ))),
+        // The node may exit (closing the socket cleanly) before the ack
+        // flushes; that — and only that — counts as acknowledged.
+        None => Ok(()),
+    }
+}

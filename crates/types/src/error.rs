@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::id::{RequestId, ResponseId, ServiceName};
+use crate::jv::Jv;
 
 /// Errors surfaced across crate boundaries.
 ///
@@ -71,6 +72,78 @@ impl AireError {
             AireError::ServiceUnavailable(_) | AireError::Timeout(_) | AireError::Unauthorized(_)
         )
     }
+
+    /// The variant's wire tag (see [`AireError::to_jv`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AireError::UnknownService(_) => "unknown_service",
+            AireError::ServiceUnavailable(_) => "unavailable",
+            AireError::Unauthorized(_) => "unauthorized",
+            AireError::UnknownRequest(_) => "unknown_request",
+            AireError::UnknownResponse(_) => "unknown_response",
+            AireError::HistoryCollected(_) => "history_collected",
+            AireError::BadCreatePosition(_) => "bad_create_position",
+            AireError::Timeout(_) => "timeout",
+            AireError::Reentrancy(_) => "reentrancy",
+            AireError::Protocol(_) => "protocol",
+            AireError::App(_) => "app",
+        }
+    }
+
+    /// Lossless serialization, used by the transport layer's error
+    /// frames: a delivery failure on a remote node must reconstruct as
+    /// the *same* variant on the dialling node, or queue-and-retry
+    /// classification ([`AireError::is_retryable`]) would drift between
+    /// in-process and cross-process deployments.
+    pub fn to_jv(&self) -> Jv {
+        let subject = match self {
+            AireError::UnknownService(s)
+            | AireError::ServiceUnavailable(s)
+            | AireError::Timeout(s)
+            | AireError::Reentrancy(s) => s.0.clone(),
+            AireError::UnknownRequest(id) | AireError::HistoryCollected(id) => id.wire(),
+            AireError::UnknownResponse(id) => id.wire(),
+            AireError::Unauthorized(w)
+            | AireError::BadCreatePosition(w)
+            | AireError::Protocol(w)
+            | AireError::App(w) => w.clone(),
+        };
+        let mut m = Jv::map();
+        m.set("kind", Jv::s(self.kind()));
+        m.set("subject", Jv::s(subject));
+        m
+    }
+
+    /// Parses the form produced by [`AireError::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<AireError, String> {
+        let kind = v
+            .get("kind")
+            .as_str()
+            .ok_or("aire error: missing \"kind\" field")?;
+        let subject = v.str_of("subject").to_string();
+        let svc = || ServiceName::new(subject.clone());
+        let req_id = || {
+            RequestId::parse(&subject)
+                .ok_or_else(|| format!("aire error {kind:?}: bad request id {subject:?}"))
+        };
+        Ok(match kind {
+            "unknown_service" => AireError::UnknownService(svc()),
+            "unavailable" => AireError::ServiceUnavailable(svc()),
+            "unauthorized" => AireError::Unauthorized(subject),
+            "unknown_request" => AireError::UnknownRequest(req_id()?),
+            "unknown_response" => AireError::UnknownResponse(
+                ResponseId::parse(&subject)
+                    .ok_or_else(|| format!("aire error: bad response id {subject:?}"))?,
+            ),
+            "history_collected" => AireError::HistoryCollected(req_id()?),
+            "bad_create_position" => AireError::BadCreatePosition(subject),
+            "timeout" => AireError::Timeout(svc()),
+            "reentrancy" => AireError::Reentrancy(svc()),
+            "protocol" => AireError::Protocol(subject),
+            "app" => AireError::App(subject),
+            other => return Err(format!("unknown aire error kind {other:?}")),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +164,28 @@ mod tests {
         assert!(AireError::Unauthorized("expired".into()).is_retryable());
         assert!(!AireError::HistoryCollected(RequestId::new("a", 1)).is_retryable());
         assert!(!AireError::Protocol("bad".into()).is_retryable());
+    }
+
+    #[test]
+    fn every_variant_survives_the_wire_encoding() {
+        let all = vec![
+            AireError::UnknownService(ServiceName::new("s")),
+            AireError::ServiceUnavailable(ServiceName::new("s")),
+            AireError::Unauthorized("expired token".into()),
+            AireError::UnknownRequest(RequestId::new("a", 7)),
+            AireError::UnknownResponse(ResponseId::new("b", 9)),
+            AireError::HistoryCollected(RequestId::new("c", 3)),
+            AireError::BadCreatePosition("gap".into()),
+            AireError::Timeout(ServiceName::new("t")),
+            AireError::Reentrancy(ServiceName::new("r")),
+            AireError::Protocol("why".into()),
+            AireError::App("boom".into()),
+        ];
+        for e in all {
+            let back = AireError::from_jv(&e.to_jv()).unwrap();
+            assert_eq!(back, e);
+            assert_eq!(back.is_retryable(), e.is_retryable());
+        }
+        assert!(AireError::from_jv(&Jv::map()).is_err());
     }
 }

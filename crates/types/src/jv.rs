@@ -202,10 +202,58 @@ impl Jv {
         Ok(v)
     }
 
-    /// The size in bytes of the compact encoding; used for log accounting.
+    /// The size in bytes of the compact encoding; used for log and
+    /// network-traffic accounting. Counted structurally — no
+    /// intermediate string is built, so hot paths can account without
+    /// paying an encode.
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        match self {
+            Jv::Null => 4,
+            Jv::Bool(true) => 4,
+            Jv::Bool(false) => 5,
+            Jv::Int(v) => {
+                // Digits plus sign; `ilog10` is unavailable for 0.
+                let (abs, sign) = if *v < 0 {
+                    (v.unsigned_abs(), 1)
+                } else {
+                    (*v as u64, 0)
+                };
+                let mut digits = 1;
+                let mut n = abs;
+                while n >= 10 {
+                    digits += 1;
+                    n /= 10;
+                }
+                digits + sign
+            }
+            Jv::Str(s) => str_encoded_len(s),
+            Jv::List(items) => {
+                let commas = items.len().saturating_sub(1);
+                2 + commas + items.iter().map(Jv::encoded_len).sum::<usize>()
+            }
+            Jv::Map(m) => {
+                let commas = m.len().saturating_sub(1);
+                2 + commas
+                    + m.iter()
+                        .map(|(k, v)| str_encoded_len(k) + 1 + v.encoded_len())
+                        .sum::<usize>()
+            }
+        }
     }
+}
+
+/// The size in bytes of a string's compact encoding, quotes and escapes
+/// included — the counting twin of the internal string encoder.
+pub fn str_encoded_len(s: &str) -> usize {
+    let mut len = 2; // the quotes
+    for c in s.chars() {
+        len += match c {
+            '"' | '\\' | '\n' | '\r' | '\t' => 2,
+            c if (c as u32) < 0x20 => 6, // \u00XX
+            c => c.len_utf8(),
+        };
+    }
+    len
 }
 
 impl fmt::Debug for Jv {
@@ -662,5 +710,36 @@ mod tests {
         let a = jv!({"z": 1, "a": 2});
         let b = jv!({"a": 2, "z": 1});
         assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn encoded_len_counts_exactly_what_encode_produces() {
+        let tricky = vec![
+            Jv::Null,
+            Jv::Bool(true),
+            Jv::Bool(false),
+            Jv::i(0),
+            Jv::i(-1),
+            Jv::i(i64::MAX),
+            Jv::i(i64::MIN),
+            Jv::s(""),
+            Jv::s("plain"),
+            Jv::s("quote \" slash \\ nl \n tab \t cr \r"),
+            Jv::s("control \u{01} and unicode héllo — ⚙"),
+            jv!([]),
+            jv!([1, "two", null, [3, {"k": "v"}]]),
+            jv!({}),
+            jv!({"body": {"text": "x\ny"}, "n": -42, "list": [true, false]}),
+        ];
+        for v in tricky {
+            assert_eq!(v.encoded_len(), v.encode().len(), "value {v:?}");
+        }
+        for s in ["", "a", "\"", "\\", "\u{07}", "héllo"] {
+            assert_eq!(str_encoded_len(s), {
+                let mut out = String::new();
+                encode_str(s, &mut out);
+                out.len()
+            });
+        }
     }
 }

@@ -54,10 +54,22 @@ impl Default for AskbotWorkload {
     }
 }
 
+/// The three services of the scenario, in registration order.
+pub const SERVICES: [&str; 3] = ["oauth", "askbot", "dpaste"];
+
 /// A fully set-up attacked world, ready for repair.
 pub struct AskbotScenario {
     /// The three services.
     pub world: World,
+    /// What the workload produced ([`populate`]'s output, verbatim).
+    pub facts: AttackFacts,
+}
+
+/// What [`populate`] produced: the workload's interesting artifacts,
+/// without owning the world (a cluster driver owns its own world of
+/// remote services).
+#[derive(Debug, Clone)]
+pub struct AttackFacts {
     /// Request ① — the misconfiguration to delete.
     pub misconfig_request: RequestId,
     /// The attacker's question id on Askbot.
@@ -94,7 +106,15 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
     world.add_service(Rc::new(OAuthProvider));
     world.add_service(Rc::new(Askbot));
     world.add_service(Rc::new(Dpaste));
+    let facts = populate(&world, cfg);
+    AskbotScenario { world, facts }
+}
 
+/// Runs the full attack workload against a world whose [`SERVICES`] are
+/// already registered — in-process controllers or remote `aire-noded`
+/// daemons; every request goes through [`World::deliver`], so the
+/// traffic is identical either way.
+pub fn populate(world: &World, cfg: &AskbotWorkload) -> AttackFacts {
     // The victim has an OAuth account.
     world
         .deliver(&HttpRequest::post(
@@ -115,7 +135,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
         let mut b = Browser::new();
         let grant = b
             .post(
-                &world,
+                world,
                 "oauth",
                 "/authorize",
                 jv!({"username": name.clone(), "password": "pw"}),
@@ -124,7 +144,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
         let token = grant.body.str_of("token").to_string();
         let resp = b
             .post(
-                &world,
+                world,
                 "askbot",
                 "/signup_oauth",
                 jv!({"username": name.clone(), "email": format!("{name}@example.com"), "oauth_token": token}),
@@ -150,7 +170,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
     let mut attacker = Browser::new();
     let signup = attacker
         .post(
-            &world,
+            world,
             "askbot",
             "/signup_oauth",
             jv!({"username": "victim", "email": "victim@example.com", "oauth_token": "stolen-or-fake"}),
@@ -165,7 +185,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
     // Askbot cross-posts to Dpaste.
     let post = attacker
         .post(
-            &world,
+            world,
             "askbot",
             "/questions/new",
             jv!({
@@ -183,7 +203,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
     let mut downloader = Browser::new();
     downloader
         .get_url(
-            &world,
+            world,
             Url::service("dpaste", format!("/download/{attack_paste}"))
                 .with_query("user", "curious-carl"),
         )
@@ -194,7 +214,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
     for u in 0..cfg.legit_users {
         let username = format!("user{u}");
         let mut b = Browser::new();
-        register_and_login(&world, &mut b, &username);
+        register_and_login(world, &mut b, &username);
         for q in 0..cfg.questions_per_user {
             let title = format!("{username} question {q}");
             // The last question of each user contains a code snippet, so
@@ -206,7 +226,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
             };
             let resp = b
                 .post(
-                    &world,
+                    world,
                     "askbot",
                     "/questions/new",
                     jv!({"title": title.clone(), "body": body}),
@@ -217,8 +237,8 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
         }
         // Views the question list (this is the request class that the
         // attack taints — the list includes the attacker's question).
-        b.get(&world, "askbot", "/questions").unwrap();
-        b.post(&world, "askbot", "/logout", Jv::Null).unwrap();
+        b.get(world, "askbot", "/questions").unwrap();
+        b.post(world, "askbot", "/logout", Jv::Null).unwrap();
     }
 
     // The daily summary email goes out, including the attacker's title.
@@ -227,8 +247,7 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
         .unwrap();
     assert!(summary.status.is_success());
 
-    AskbotScenario {
-        world,
+    AttackFacts {
         misconfig_request,
         attack_question,
         attack_paste,
@@ -239,15 +258,21 @@ pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
 /// Invokes recovery: the administrator deletes request ① on the OAuth
 /// service; repair then propagates asynchronously.
 pub fn repair(scenario: &AskbotScenario) -> HttpResponse {
+    repair_with(&scenario.world, &scenario.facts.misconfig_request)
+}
+
+/// [`repair`] against any world hosting the scenario's services —
+/// including a cluster of remote daemons (the delete travels as a
+/// data-plane carrier either way).
+pub fn repair_with(world: &World, misconfig_request: &RequestId) -> HttpResponse {
     let mut creds = Headers::new();
     creds.set(ADMIN_HEADER, ADMIN_SECRET);
-    scenario
-        .world
+    world
         .invoke_repair(
             "oauth",
             RepairMessage::with_credentials(
                 RepairOp::Delete {
-                    request_id: scenario.misconfig_request.clone(),
+                    request_id: misconfig_request.clone(),
                 },
                 creds,
             ),
@@ -278,7 +303,7 @@ pub fn attack_paste_exists(scenario: &AskbotScenario) -> bool {
         .world
         .deliver(&HttpRequest::new(
             Method::Get,
-            Url::service("dpaste", format!("/paste/{}", scenario.attack_paste)),
+            Url::service("dpaste", format!("/paste/{}", scenario.facts.attack_paste)),
         ))
         .unwrap();
     resp.status.is_success()
@@ -330,7 +355,7 @@ mod tests {
         assert!(!titles.iter().any(|t| t.contains("FREE BITCOIN")));
         assert!(!attack_paste_exists(&s));
         // Every legitimate title survives.
-        for t in &s.legit_titles {
+        for t in &s.facts.legit_titles {
             assert!(titles.contains(t), "lost legit question {t}");
         }
         // The attacker's session is dead: posting as the victim fails.

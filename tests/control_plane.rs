@@ -215,6 +215,12 @@ fn h_noop(_ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
     Ok(HttpResponse::ok(Jv::Null))
 }
 
+fn h_put(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let v = ctx.body_str("v")?.to_string();
+    let id = ctx.insert("rows", jv!({"v": v}))?;
+    Ok(HttpResponse::ok(jv!({"id": id as i64})))
+}
+
 impl App for Locked {
     fn name(&self) -> &str {
         "locked"
@@ -226,7 +232,7 @@ impl App for Locked {
         )]
     }
     fn router(&self) -> Router {
-        Router::new().get("/noop", h_noop)
+        Router::new().get("/noop", h_noop).post("/put", h_put)
     }
     fn authorize_admin(&self, admin: &AdminCtx<'_>) -> bool {
         admin.credentials.get("x-admin") == Some("s3cret")
@@ -237,6 +243,12 @@ impl App for Locked {
 fn admin_plane_enforces_app_access_control() {
     let mut world = World::new();
     let controller = world.add_service(Rc::new(Locked));
+    world
+        .deliver(&HttpRequest::post(
+            Url::service("locked", "/put"),
+            jv!({"v": "guarded"}),
+        ))
+        .unwrap();
 
     // No credentials: rejected with 401, counted, nothing dispatched.
     let anon = AdminClient::new(world.net(), "locked");
@@ -256,12 +268,29 @@ fn admin_plane_enforces_app_access_control() {
     assert_eq!(stats.stats.admin_rejected, 2);
     assert!(stats.stats.admin_ops >= 1);
 
-    // The harness itself stays able to operate a locked app: its wire
-    // calls are rejected (credential-less), so its oracle falls back to
-    // the in-process dispatcher instead of silently no-oping.
+    // The harness gets no special bypass for a *reachable* locked app:
+    // its credential-less wire calls are rejected like anyone else's
+    // (operator connections are real sockets in a cluster deployment,
+    // so an in-process side door would let simulation and deployment
+    // drift apart).
+    assert!(!controller.state_digest().is_empty());
+    assert!(
+        !world.state_digest().contains(&controller.state_digest()),
+        "a locked admin plane must not be silently bypassed"
+    );
+
+    // Instead the harness authenticates like any operator.
+    world.set_admin_credentials(Headers::new().with("X-Admin", "s3cret"));
     assert!(world.state_digest().contains(&controller.state_digest()));
     assert_eq!(world.queued_messages(), 0);
     assert!(world.pump().quiescent());
+
+    // The in-process fallback still exists for *offline* services,
+    // whose listener is down with them — there the omniscient debug
+    // view is the only view there is.
+    world.set_admin_credentials(Headers::new());
+    world.set_online("locked", false);
+    assert!(world.state_digest().contains(&controller.state_digest()));
 }
 
 #[test]

@@ -9,6 +9,9 @@ use std::path::PathBuf;
 use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
+    // `aire_noded` is the daemon (usage + exit 0 when run bare);
+    // `tcp_cluster` spawns it twice and recovers across processes.
+    "aire_noded",
     "askbot_attack",
     "company_intro",
     "crash_recovery",
@@ -17,6 +20,7 @@ const EXAMPLES: &[&str] = &[
     "remote_admin",
     "repairable_client",
     "spreadsheet_acl",
+    "tcp_cluster",
     "versioned_kv",
 ];
 

@@ -31,7 +31,7 @@ fn fig4_askbot_attack_full_scale_recovery() {
         before.len() - 1,
         "exactly the attack question disappears"
     );
-    for t in &s.legit_titles {
+    for t in &s.facts.legit_titles {
         assert!(after.contains(t));
     }
     assert!(!askbot_attack::attack_paste_exists(&s));

@@ -1,0 +1,362 @@
+//! The multi-process acceptance test: a real Aire cluster.
+//!
+//! Three `aire-noded` daemons (oauth, askbot, dpaste) are spawned as
+//! child processes, each hosting one service behind two TCP listeners.
+//! The driver — this test — owns a [`World`] of purely *remote*
+//! services and runs the full Figure 4 askbot attack-and-recovery cycle
+//! over actual sockets: workload traffic on the data listeners, then
+//! mode switch → local repair → flush → retry → leak audit on the
+//! operator listeners, with dpaste killed mid-recovery and resurrected
+//! from a wire-pulled snapshot (the paper's "down, unreachable, or
+//! otherwise unavailable" peer, §1). The resulting state digests must
+//! equal an in-process run of the same scenario — the byte-for-byte
+//! proof that the simulation and the deployment are the same system.
+//!
+//! Orphan protection: every daemon gets `--max-runtime-secs`, and the
+//! [`SpawnedNode`] guard kills children on drop (including panic
+//! unwinds), so a wedged daemon cannot outlive the test. All spawn
+//! scaffolding (ready-line handshake, free ports, kill-on-drop) is the
+//! shared [`aire::apps::noded::spawn`] module, the same one the
+//! `tcp_cluster` example uses.
+
+use std::net::SocketAddr;
+use std::rc::Rc;
+use std::time::Duration;
+
+use aire::apps::noded::spawn::{free_addrs, locate_example, spawn_node, SpawnedNode};
+use aire::core::admin::{AdminOp, AdminResponse};
+use aire::core::{RepairMode, World};
+use aire::http::Headers;
+use aire::transport::{shutdown_node, TcpTransport};
+use aire::vdb::Filter;
+use aire::workload::scenarios::askbot_attack::{self, AskbotWorkload};
+
+fn node(
+    name: &str,
+    data: SocketAddr,
+    admin: SocketAddr,
+    peers: &[(String, SocketAddr, SocketAddr)],
+) -> SpawnedNode {
+    let exe = locate_example("aire_noded").expect("cargo test builds the aire_noded example");
+    spawn_node(&exe, name, data, admin, peers, 180).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Spawns the full three-service cluster, every node peered with the
+/// other two.
+fn spawn_cluster() -> Vec<SpawnedNode> {
+    let addrs: Vec<(&str, (SocketAddr, SocketAddr))> = askbot_attack::SERVICES
+        .iter()
+        .map(|s| (*s, free_addrs()))
+        .collect();
+    addrs
+        .iter()
+        .map(|(name, (data, admin))| {
+            let peers: Vec<(String, SocketAddr, SocketAddr)> = addrs
+                .iter()
+                .filter(|(p, _)| p != name)
+                .map(|(p, (d, a))| (p.to_string(), *d, *a))
+                .collect();
+            node(name, *data, *admin, &peers)
+        })
+        .collect()
+}
+
+/// A driver-side world whose services all live in the given daemons.
+fn remote_world(nodes: &[SpawnedNode]) -> World {
+    let mut world = World::new();
+    for node in nodes {
+        world.add_remote(
+            node.name.clone(),
+            Rc::new(
+                TcpTransport::new(node.name.clone(), node.data, node.admin)
+                    .with_timeouts(Duration::from_millis(500), Duration::from_secs(30)),
+            ),
+        );
+    }
+    world
+}
+
+fn small() -> AskbotWorkload {
+    AskbotWorkload {
+        legit_users: 6,
+        questions_per_user: 2,
+        oauth_signups: 2,
+    }
+}
+
+fn admin(world: &World, service: &str, op: AdminOp) -> AdminResponse {
+    world
+        .invoke_admin(service, op)
+        .unwrap_or_else(|e| panic!("admin op on {service} failed: {e}"))
+}
+
+fn digests(world: &World) -> Vec<String> {
+    askbot_attack::SERVICES
+        .iter()
+        .map(|s| match admin(world, s, AdminOp::Digest) {
+            AdminResponse::Digest { digest } => digest,
+            other => panic!("digest response: {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
+    //// The in-process reference: same workload, same recovery schedule
+    //// (deferred mode, dpaste down during the first propagation wave).
+    let reference = askbot_attack::setup(&small());
+    reference.world.set_repair_mode_all(RepairMode::Deferred);
+    reference.world.set_online("dpaste", false);
+    askbot_attack::repair(&reference);
+    let partial = reference.world.settle();
+    assert!(
+        !partial.quiescent(),
+        "repairs for the offline dpaste must stay queued: {partial:?}"
+    );
+    reference.world.set_online("dpaste", true);
+    assert!(reference.world.settle().quiescent());
+    let expected = digests(&reference.world);
+
+    //// The cluster: three OS processes, driven over real sockets.
+    let mut nodes = spawn_cluster();
+    let world = remote_world(&nodes);
+
+    // The entire attack workload crosses the data listeners (askbot's
+    // cross-posts to dpaste travel daemon-to-daemon).
+    let facts = askbot_attack::populate(&world, &small());
+    let titles = askbot_attack::askbot_titles(&world);
+    assert!(
+        titles.iter().any(|t| t.contains("FREE BITCOIN")),
+        "attack must be visible over TCP before repair"
+    );
+
+    // 1. Mode switch, over every operator listener.
+    world.set_repair_mode_all(RepairMode::Deferred);
+    for s in askbot_attack::SERVICES {
+        let AdminResponse::Stats(stats) = admin(&world, s, AdminOp::Stats) else {
+            panic!("stats response");
+        };
+        assert_eq!(stats.mode, RepairMode::Deferred, "{s} must switch modes");
+    }
+
+    // Snapshot dpaste over the wire, then kill it: the peer is now
+    // genuinely down — a dead process, not a simulation flag.
+    let AdminResponse::Snapshot { snapshot } = admin(&world, "dpaste", AdminOp::Snapshot) else {
+        panic!("snapshot response");
+    };
+    let dpaste = nodes.pop().expect("dpaste is registered last");
+    assert_eq!(dpaste.name, "dpaste");
+    let (dpaste_data, dpaste_admin) = (dpaste.data, dpaste.admin);
+    drop(dpaste); // SIGKILL + reap
+
+    // 2. The administrator's delete of request ① (a data-plane carrier),
+    //    then a wire-triggered local-repair pass on oauth.
+    let ack = askbot_attack::repair_with(&world, &facts.misconfig_request);
+    assert!(ack.status.is_success(), "repair rejected: {:?}", ack.body);
+    let AdminResponse::Repaired { actions } = admin(&world, "oauth", AdminOp::RunLocalRepair)
+    else {
+        panic!("repair response");
+    };
+    assert!(actions > 0, "oauth local repair must process the delete");
+
+    // 3. Flush oauth's queue: the replace_response for askbot triggers
+    //    the §3.1 notify dance — askbot dials *back into* oauth's data
+    //    plane while oauth's operator connection is still busy, which
+    //    only works because daemons pump their listeners while waiting.
+    let AdminResponse::Flushed { delivered, .. } = admin(&world, "oauth", AdminOp::FlushQueue)
+    else {
+        panic!("flush response");
+    };
+    assert!(delivered > 0, "oauth must propagate repair to askbot");
+
+    // Askbot applies its aggregated seeds; its own propagation to the
+    // dead dpaste daemon must fail retryably and stay queued.
+    admin(&world, "askbot", AdminOp::RunLocalRepair);
+    admin(&world, "askbot", AdminOp::FlushQueue);
+    let AdminResponse::Queue { entries } = admin(&world, "askbot", AdminOp::ListQueue) else {
+        panic!("queue response");
+    };
+    let stuck: Vec<_> = entries.iter().filter(|e| e.target == "dpaste").collect();
+    assert!(
+        !stuck.is_empty(),
+        "repairs for the dead dpaste daemon must be kept queued"
+    );
+    for e in &stuck {
+        assert!(e.attempts > 0, "delivery must have been attempted: {e:?}");
+        assert!(
+            e.last_error
+                .as_deref()
+                .unwrap_or("")
+                .contains("unavailable"),
+            "the queue must record why: {e:?}"
+        );
+    }
+
+    // 4. Resurrect dpaste on the same ports, restore its state from the
+    //    wire-pulled snapshot (crash recovery over the control plane),
+    //    and retry the held-back messages — Table 2's `retry`, remote.
+    let peers: Vec<(String, SocketAddr, SocketAddr)> = nodes
+        .iter()
+        .map(|n| (n.name.clone(), n.data, n.admin))
+        .collect();
+    nodes.push(node("dpaste", dpaste_data, dpaste_admin, &peers));
+    let AdminResponse::Ack = admin(&world, "dpaste", AdminOp::Restore { snapshot }) else {
+        panic!("restore response");
+    };
+    for e in &stuck {
+        let AdminResponse::Ack = admin(
+            &world,
+            "askbot",
+            AdminOp::Retry {
+                msg_id: e.msg_id,
+                credentials: Headers::new(),
+            },
+        ) else {
+            panic!("retry response");
+        };
+    }
+    let settle = world.settle();
+    assert!(settle.quiescent(), "cluster must quiesce: {settle:?}");
+
+    // 5. The §9 leak audit, remote: who read the attack question before
+    //    repair removed it?
+    let AdminResponse::Leaks { leaks } = admin(
+        &world,
+        "askbot",
+        AdminOp::LeakAudit {
+            table: "questions".into(),
+            confidential: Filter::all().contains("title", "FREE BITCOIN"),
+        },
+    ) else {
+        panic!("leaks response");
+    };
+    assert!(
+        !leaks.is_empty(),
+        "question-list readers saw the attack question before repair"
+    );
+
+    //// The oracle: user-visible state over TCP equals the in-process
+    //// run, digest for digest.
+    assert_eq!(
+        digests(&world),
+        expected,
+        "cluster recovery must converge to the in-process state"
+    );
+    let titles = askbot_attack::askbot_titles(&world);
+    assert!(!titles.iter().any(|t| t.contains("FREE BITCOIN")));
+    for t in &facts.legit_titles {
+        assert!(titles.contains(t), "lost legit question {t}");
+    }
+    let paste = world
+        .deliver(&aire::http::HttpRequest::get(aire::http::Url::service(
+            "dpaste",
+            format!("/paste/{}", facts.attack_paste),
+        )))
+        .unwrap();
+    assert!(
+        paste.status.is_error(),
+        "the attack paste must be gone from the resurrected dpaste"
+    );
+
+    // Both listeners really were exercised, from this process alone.
+    let stats = world.net().stats();
+    assert!(stats.delivered > 50, "data-plane traffic: {stats:?}");
+    assert!(stats.admin_delivered > 20, "operator traffic: {stats:?}");
+    assert!(stats.bytes > 10_000, "framed byte accounting: {stats:?}");
+
+    //// Clean shutdown: every daemon acknowledges and exits 0.
+    for node in &mut nodes {
+        shutdown_node(node.admin, Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("shutting down {}: {e}", node.name));
+        node.wait_success().unwrap();
+    }
+}
+
+/// The dialer's identity check against a live daemon: a driver that
+/// expects service X but dials service Y's sockets must refuse to talk
+/// to it — impersonation dies at connect time, before any request.
+#[test]
+fn dialer_refuses_a_live_daemon_with_the_wrong_identity() {
+    let (data, admin_addr) = free_addrs();
+    let mut node = node("dpaste", data, admin_addr, &[]);
+
+    let mut world = World::new();
+    world.add_remote(
+        "oauth", // wrong: these sockets belong to dpaste
+        Rc::new(
+            TcpTransport::new("oauth", node.data, node.admin)
+                .with_timeouts(Duration::from_millis(500), Duration::from_secs(5)),
+        ),
+    );
+    let err = world
+        .invoke_admin("oauth", AdminOp::Stats)
+        .expect_err("identity mismatch must fail the call");
+    let msg = err.to_string();
+    assert!(msg.contains("certificate validation failed"), "{msg}");
+    assert!(msg.contains("dpaste"), "{msg}");
+
+    shutdown_node(node.admin, Duration::from_secs(5)).unwrap();
+    node.wait_success().unwrap();
+}
+
+/// A daemon answers garbage bytes with an error frame naming the
+/// problem, and keeps serving honest clients afterwards.
+#[test]
+fn daemon_survives_garbage_and_keeps_serving() {
+    use std::io::{Read, Write};
+
+    let (data, admin_addr) = free_addrs();
+    let mut node = node("dpaste", data, admin_addr, &[]);
+
+    // Raw garbage straight at the data listener.
+    let mut raw = std::net::TcpStream::connect(node.data).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"POST /paste HTTP/1.1\r\n\r\nnot a frame")
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let reply = loop {
+        match raw.read(&mut chunk) {
+            Ok(0) => panic!("daemon closed without an error frame"),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if let Ok((hello, used)) = aire::transport::frame::decode_frame(&buf) {
+                    assert_eq!(hello.kind, aire::transport::frame::FrameKind::Hello);
+                    if let Ok((reply, _)) = aire::transport::frame::decode_frame(&buf[used..]) {
+                        break reply;
+                    }
+                }
+            }
+            Err(e) => panic!("raw read failed: {e}"),
+        }
+    };
+    assert_eq!(reply.kind, aire::transport::frame::FrameKind::Error);
+    let err = aire::types::AireError::from_jv(&reply.payload).unwrap();
+    assert!(err.to_string().contains("magic"), "{err}");
+    drop(raw);
+
+    // An honest client still gets served on the same listeners.
+    let mut world = World::new();
+    world.add_remote(
+        "dpaste",
+        Rc::new(
+            TcpTransport::new("dpaste", node.data, node.admin)
+                .with_timeouts(Duration::from_millis(500), Duration::from_secs(5)),
+        ),
+    );
+    let resp = world
+        .deliver(&aire::http::HttpRequest::post(
+            aire::http::Url::service("dpaste", "/paste"),
+            aire::types::jv!({"code": "println!(\"still alive\")"}),
+        ))
+        .unwrap();
+    assert!(resp.status.is_success(), "{:?}", resp.body);
+    let AdminResponse::Stats(stats) = admin(&world, "dpaste", AdminOp::Stats) else {
+        panic!("stats response");
+    };
+    assert_eq!(stats.stats.normal_requests, 1);
+    assert_eq!(stats.action_count, 1);
+
+    shutdown_node(node.admin, Duration::from_secs(5)).unwrap();
+    node.wait_success().unwrap();
+}
