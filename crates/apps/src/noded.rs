@@ -1,13 +1,16 @@
-//! `aire-noded` — one Aire service per OS process.
+//! `aire-noded` — one Aire node per OS process, hosting one *or more*
+//! services.
 //!
 //! The paper deploys each service as its own web application; this
 //! module is that deployment unit for the Rust reproduction. A node
-//! daemon hosts exactly one application under a repair controller,
-//! serves its data plane and its operator/admin plane on two TCP
-//! listeners ([`aire_transport::NodeServer`]), and dials its peers over
-//! TCP ([`aire_transport::TcpTransport`]) — so a set of daemons is a
-//! real multi-process Aire cluster whose repair traffic, control plane,
-//! and certificate checks all cross actual sockets.
+//! daemon hosts one or more applications, each under its own repair
+//! controller, serves their shared data plane and operator/admin plane
+//! on two TCP listeners ([`aire_transport::NodeServer`] routes frames
+//! to the service named in the request), and dials its peers over TCP
+//! ([`aire_transport::TcpTransport`], which keeps pooled connections
+//! open across calls) — so a set of daemons is a real multi-process
+//! Aire cluster whose repair traffic, control plane, and certificate
+//! checks all cross actual sockets.
 //!
 //! ```text
 //! aire-noded --service askbot \
@@ -17,16 +20,29 @@
 //!     --max-runtime-secs 600
 //! ```
 //!
+//! `--service` is repeatable: one process can host a whole subgraph of
+//! the cluster behind one listener pair. Named spreadsheet instances
+//! (Figure 5) use the `spreadsheet:<name>` spec form —
+//!
+//! ```text
+//! aire-noded --service spreadsheet:acl-dir \
+//!            --service spreadsheet:sheet-a \
+//!            --service spreadsheet:sheet-b
+//! ```
+//!
+//! — which deploys the paper's spreadsheet scenario as a real cluster.
+//!
 //! On startup the daemon prints one machine-readable line to stdout —
 //!
 //! ```text
 //! aire-noded ready service=askbot data=127.0.0.1:7101 admin=127.0.0.1:7201
 //! ```
 //!
-//! — so a parent process (the integration test, the cluster example, an
-//! orchestrator) knows both listeners are bound before sending traffic.
-//! It exits when a `Shutdown` frame arrives on the operator listener, or
-//! when `--max-runtime-secs` elapses (the orphan guard: a daemon whose
+//! (comma-separated names when hosting several services) — so a parent
+//! process (the integration test, the cluster example, an orchestrator)
+//! knows both listeners are bound before sending traffic. It exits when
+//! a `Shutdown` frame arrives on the operator listener, or when
+//! `--max-runtime-secs` elapses (the orphan guard: a daemon whose
 //! parent died cannot wedge a CI workflow).
 
 use std::net::SocketAddr;
@@ -34,11 +50,13 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use aire_core::{Controller, ControllerConfig};
-use aire_net::Network;
+use aire_net::{Certificate, Network};
 use aire_transport::{NodeServer, ServeOutcome, TcpTransport};
 use aire_web::App;
 
-/// Every application a node can host, by service name.
+/// Every unit-constructible application a node can host, by service
+/// name. Named spreadsheet instances join through the
+/// `spreadsheet:<name>` spec form (see [`parse_service_spec`]).
 pub const SERVICES: &[&str] = &[
     "accessctl",
     "askbot",
@@ -70,6 +88,55 @@ pub fn build_app(name: &str) -> Option<Rc<dyn App>> {
     Some(app)
 }
 
+/// Parses one `--service` spec into `(service name, application)`.
+///
+/// Two forms:
+/// * a bare [`SERVICES`] name (`askbot`) — the service name is the spec;
+/// * `spreadsheet:<name>` — a named [`crate::Spreadsheet`] instance
+///   (Figure 5's acl-dir / sheet-a / sheet-b), registered under
+///   `<name>`.
+///
+/// Malformed specs (`spreadsheet` with no instance name,
+/// `spreadsheet:`, colons in other services, unknown names) are
+/// rejected with errors naming the problem.
+pub fn parse_service_spec(spec: &str) -> Result<(String, Rc<dyn App>), String> {
+    if let Some(instance) = spec.strip_prefix("spreadsheet:") {
+        if instance.is_empty() {
+            return Err(format!(
+                "--service {spec:?}: spreadsheet needs an instance name \
+                 (--service spreadsheet:<name>)"
+            ));
+        }
+        if instance.contains(':') {
+            return Err(format!(
+                "--service {spec:?}: instance name {instance:?} must not contain ':'"
+            ));
+        }
+        return Ok((
+            instance.to_string(),
+            Rc::new(crate::Spreadsheet::new(instance)),
+        ));
+    }
+    if spec == "spreadsheet" {
+        return Err(
+            "--service spreadsheet needs an instance name (--service spreadsheet:<name>)"
+                .to_string(),
+        );
+    }
+    if let Some((kind, _)) = spec.split_once(':') {
+        return Err(format!(
+            "--service {spec:?}: only spreadsheet takes a :<name> instance (got {kind:?})"
+        ));
+    }
+    match build_app(spec) {
+        Some(app) => Ok((spec.to_string(), app)),
+        None => Err(format!(
+            "unknown service {spec:?} (available: {} spreadsheet:<name>)",
+            SERVICES.join(" ")
+        )),
+    }
+}
+
 /// One peer entry: where another node's two listeners live.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeerSpec {
@@ -84,8 +151,9 @@ pub struct PeerSpec {
 /// Parsed daemon configuration.
 #[derive(Debug, Clone)]
 pub struct NodeOptions {
-    /// Which application to host (a [`SERVICES`] name).
-    pub service: String,
+    /// Which applications to host: each entry a `--service` spec
+    /// ([`parse_service_spec`]).
+    pub services: Vec<String>,
     /// Data-plane bind address (port 0 picks a free port).
     pub data: SocketAddr,
     /// Operator-plane bind address.
@@ -94,30 +162,44 @@ pub struct NodeOptions {
     pub peers: Vec<PeerSpec>,
     /// Hard runtime cap — the orphan guard.
     pub max_runtime: Duration,
+    /// Overrides the certificate serials this node presents (the first
+    /// hosted service gets this serial, the next `N+1`, …). A restarted
+    /// daemon given a fresh base proves to its peers — through their
+    /// on-reconnect certificate re-validation — that the identity they
+    /// pooled against is gone.
+    pub cert_serial: Option<u64>,
 }
 
 /// The usage text (`--help` and argument errors).
 pub const USAGE: &str = "\
-aire-noded: host one Aire service behind real TCP listeners
+aire-noded: host one or more Aire services behind real TCP listeners
 
 usage:
-  aire-noded --service <name> [--data ADDR] [--admin ADDR]
+  aire-noded --service <spec> [--service <spec>]...
+             [--data ADDR] [--admin ADDR]
              [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
+             [--cert-serial N]
 
 options:
-  --service <name>        which application to host (required); one of:
-                          accessctl askbot crm dpaste hrm oauth objstore
-                          observer vkv
+  --service <spec>        an application to host (repeatable; at least
+                          one). A spec is one of:
+                            accessctl askbot crm dpaste hrm oauth
+                            objstore observer vkv
+                          or spreadsheet:<name> for a named spreadsheet
+                          instance (Figure 5), registered under <name>
   --data ADDR             data-plane bind address   [default 127.0.0.1:0]
   --admin ADDR            operator bind address     [default 127.0.0.1:0]
   --peer NAME=DATA/ADMIN  a peer node's service name and its two
                           listener addresses (repeatable)
   --max-runtime-secs N    exit after N seconds even without a shutdown
                           frame (orphan guard)      [default 600]
+  --cert-serial N         base certificate serial to present (restart a
+                          daemon with a new value to rotate identity)
 
 The daemon prints `aire-noded ready service=... data=... admin=...` once
-both listeners are bound, and exits on a shutdown frame sent to the
-operator listener (see aire_transport::shutdown_node).";
+both listeners are bound (comma-separated service names when hosting
+several), and exits on a shutdown frame sent to the operator listener
+(see aire_transport::shutdown_node).";
 
 fn parse_addr(s: &str, what: &str) -> Result<SocketAddr, String> {
     s.parse()
@@ -131,11 +213,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
     if args.peek().is_none() {
         return Ok(None);
     }
-    let mut service = None;
+    let mut services: Vec<String> = Vec::new();
+    // The names the accepted specs resolved to, kept alongside so each
+    // spec is parsed (and its app constructed) exactly once here.
+    let mut names: Vec<String> = Vec::new();
     let mut data: SocketAddr = "127.0.0.1:0".parse().unwrap();
     let mut admin: SocketAddr = "127.0.0.1:0".parse().unwrap();
     let mut peers = Vec::new();
     let mut max_runtime = Duration::from_secs(600);
+    let mut cert_serial = None;
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -143,7 +229,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
         };
         match arg.as_str() {
             "--help" | "-h" => return Ok(None),
-            "--service" => service = Some(value("--service")?),
+            "--service" => {
+                let spec = value("--service")?;
+                let (name, _) = parse_service_spec(&spec)?;
+                if names.contains(&name) {
+                    return Err(format!("--service {spec:?}: {name:?} is already hosted"));
+                }
+                names.push(name);
+                services.push(spec);
+            }
             "--data" => data = parse_addr(&value("--data")?, "--data")?,
             "--admin" => admin = parse_addr(&value("--admin")?, "--admin")?,
             "--peer" => {
@@ -167,34 +261,44 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
                         .map_err(|_| format!("--max-runtime-secs: {v:?} is not a number"))?,
                 );
             }
+            "--cert-serial" => {
+                let v = value("--cert-serial")?;
+                cert_serial = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cert-serial: {v:?} is not a number"))?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
-    let service = service.ok_or_else(|| format!("--service is required\n\n{USAGE}"))?;
-    if build_app(&service).is_none() {
-        return Err(format!(
-            "unknown service {service:?} (available: {})",
-            SERVICES.join(" ")
-        ));
+    if services.is_empty() {
+        return Err(format!("--service is required\n\n{USAGE}"));
     }
     Ok(Some(NodeOptions {
-        service,
+        services,
         data,
         admin,
         peers,
         max_runtime,
+        cert_serial,
     }))
 }
 
-/// Builds the node (network, peer transports, controller, listeners),
-/// prints the ready line, and serves until shutdown or the runtime cap.
+/// Builds the node (network, peer transports, one controller per hosted
+/// service, listeners), prints the ready line, and serves until
+/// shutdown or the runtime cap.
 pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
-    let app =
-        build_app(&opts.service).ok_or_else(|| format!("unknown service {:?}", opts.service))?;
+    let apps = opts
+        .services
+        .iter()
+        .map(|spec| parse_service_spec(spec))
+        .collect::<Result<Vec<_>, _>>()?;
     let net = Network::new();
 
-    // Peer transports first, so the controller's outgoing calls resolve.
-    // Keep handles to wire in the serve loop's pump below.
+    // Peer transports first, so the controllers' outgoing calls resolve.
+    // Keep handles to wire in the serve loop's pump below. (A hosted
+    // service registered below under the same name wins over a peer
+    // entry: local always beats remote.)
     let mut transports = Vec::new();
     for peer in &opts.peers {
         let t = Rc::new(TcpTransport::new(peer.name.clone(), peer.data, peer.admin));
@@ -202,10 +306,21 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
         transports.push(t);
     }
 
-    let controller = Controller::new(app, net.clone(), ControllerConfig::default());
-    let cert = net.register(opts.service.clone(), controller);
+    let mut hosted = Vec::new();
+    for (name, app) in apps {
+        let controller = Controller::new(app, net.clone(), ControllerConfig::default());
+        let mut cert = net.register(name.clone(), controller);
+        if let Some(base) = opts.cert_serial {
+            cert = Certificate {
+                subject: name.clone(),
+                serial: base + hosted.len() as u64,
+            };
+            net.install_certificate(&name, cert.clone());
+        }
+        hosted.push((name, cert));
+    }
 
-    let server = NodeServer::bind(net, opts.service.clone(), cert, opts.data, opts.admin)
+    let server = NodeServer::bind_multi(net, hosted, opts.data, opts.admin)
         .map_err(|e| format!("bind failed: {e}"))?;
     // While this node waits on a peer, it keeps serving its own
     // listeners — the cooperative scheduling that lets single-threaded
@@ -217,7 +332,7 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
     use std::io::Write;
     println!(
         "aire-noded ready service={} data={} admin={}",
-        opts.service,
+        server.hosts().join(","),
         server.data_addr(),
         server.admin_addr()
     );
@@ -303,8 +418,10 @@ pub mod spawn {
     /// parent (test assertion, example unwrap) cannot leak children
     /// that squat on their ports until `--max-runtime-secs` expires.
     pub struct SpawnedNode {
-        /// The hosted service's name.
+        /// The primary (first) hosted service's name.
         pub name: String,
+        /// Every service spec the daemon hosts, in `--service` order.
+        pub services: Vec<String>,
         /// Its data-plane listener address.
         pub data: SocketAddr,
         /// Its operator-plane listener address.
@@ -340,26 +457,35 @@ pub mod spawn {
         }
     }
 
-    /// Spawns one daemon process and blocks until its ready line
-    /// confirms both listeners are bound. `peers` are
-    /// `(name, data, admin)` triples for the rest of the cluster.
+    /// Spawns one daemon process hosting every spec in `services`
+    /// (bare names or `spreadsheet:<name>` forms) and blocks until its
+    /// ready line confirms both listeners are bound. `peers` are
+    /// `(name, data, admin)` triples for the rest of the cluster;
+    /// `cert_serial` (if any) is forwarded as `--cert-serial` so a
+    /// restarted daemon presents a rotated identity.
     pub fn spawn_node(
         exe: &Path,
-        service: &str,
+        services: &[&str],
         data: SocketAddr,
         admin: SocketAddr,
         peers: &[(String, SocketAddr, SocketAddr)],
         max_runtime_secs: u64,
+        cert_serial: Option<u64>,
     ) -> Result<SpawnedNode, String> {
+        assert!(!services.is_empty(), "a node hosts at least one service");
         let mut cmd = Command::new(exe);
-        cmd.arg("--service")
-            .arg(service)
-            .arg("--data")
+        for service in services {
+            cmd.arg("--service").arg(service);
+        }
+        cmd.arg("--data")
             .arg(data.to_string())
             .arg("--admin")
             .arg(admin.to_string())
             .arg("--max-runtime-secs")
             .arg(max_runtime_secs.to_string());
+        if let Some(serial) = cert_serial {
+            cmd.arg("--cert-serial").arg(serial.to_string());
+        }
         for (peer, pdata, padmin) in peers {
             cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
         }
@@ -367,11 +493,18 @@ pub mod spawn {
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
-            .map_err(|e| format!("spawning {service}: {e}"))?;
+            .map_err(|e| format!("spawning {}: {e}", services[0]))?;
         let stdout = child.stdout.take().expect("piped stdout");
+        // The primary name on the ready line is the first *service
+        // name* (for spreadsheet:<name> specs, the instance name).
+        let primary = services[0]
+            .strip_prefix("spreadsheet:")
+            .unwrap_or(services[0])
+            .to_string();
         // Wrap immediately so a handshake failure still kills the child.
         let node = SpawnedNode {
-            name: service.to_string(),
+            name: primary.clone(),
+            services: services.iter().map(|s| s.to_string()).collect(),
             data,
             admin,
             child: Some(child),
@@ -379,9 +512,9 @@ pub mod spawn {
         let mut line = String::new();
         BufReader::new(stdout)
             .read_line(&mut line)
-            .map_err(|e| format!("reading {service}'s ready line: {e}"))?;
-        if !(line.starts_with("aire-noded ready") && line.contains(&format!("service={service}"))) {
-            return Err(format!("{service} did not come up: {line:?}"));
+            .map_err(|e| format!("reading {primary}'s ready line: {e}"))?;
+        if !(line.starts_with("aire-noded ready") && line.contains(&format!("service={primary}"))) {
+            return Err(format!("{primary} did not come up: {line:?}"));
         }
         Ok(node)
     }
@@ -401,6 +534,36 @@ mod tests {
     }
 
     #[test]
+    fn service_specs_cover_bare_names_and_spreadsheet_instances() {
+        let (name, app) = parse_service_spec("askbot").unwrap();
+        assert_eq!(name, "askbot");
+        assert_eq!(app.name(), "askbot");
+
+        let (name, app) = parse_service_spec("spreadsheet:sheet-a").unwrap();
+        assert_eq!(name, "sheet-a");
+        assert_eq!(app.name(), "sheet-a");
+    }
+
+    #[test]
+    fn malformed_service_specs_are_rejected_with_the_reason() {
+        let spec_err = |spec: &str| match parse_service_spec(spec) {
+            Err(e) => e,
+            Ok((name, _)) => panic!("{spec:?} parsed as {name:?}"),
+        };
+        let err = spec_err("spreadsheet");
+        assert!(err.contains("instance name"), "{err}");
+        let err = spec_err("spreadsheet:");
+        assert!(err.contains("instance name"), "{err}");
+        let err = spec_err("spreadsheet:a:b");
+        assert!(err.contains(':'), "{err}");
+        let err = spec_err("askbot:extra");
+        assert!(err.contains("only spreadsheet"), "{err}");
+        let err = spec_err("ghostsvc");
+        assert!(err.contains("ghostsvc"), "{err}");
+        assert!(err.contains("spreadsheet:<name>"), "{err}");
+    }
+
+    #[test]
     fn args_parse_a_full_cluster_spec() {
         let opts = parse_args(
             [
@@ -416,17 +579,61 @@ mod tests {
                 "dpaste=127.0.0.1:7102/127.0.0.1:7202",
                 "--max-runtime-secs",
                 "42",
+                "--cert-serial",
+                "4242",
             ]
             .map(String::from),
         )
         .unwrap()
         .unwrap();
-        assert_eq!(opts.service, "askbot");
+        assert_eq!(opts.services, vec!["askbot"]);
         assert_eq!(opts.data.port(), 7101);
         assert_eq!(opts.peers.len(), 2);
         assert_eq!(opts.peers[0].name, "oauth");
         assert_eq!(opts.peers[0].admin.port(), 7200);
         assert_eq!(opts.max_runtime, Duration::from_secs(42));
+        assert_eq!(opts.cert_serial, Some(4242));
+    }
+
+    #[test]
+    fn args_accept_multiple_services_per_node() {
+        let opts = parse_args(
+            [
+                "--service",
+                "askbot",
+                "--service",
+                "dpaste",
+                "--service",
+                "spreadsheet:sheet-a",
+            ]
+            .map(String::from),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            opts.services,
+            vec!["askbot", "dpaste", "spreadsheet:sheet-a"]
+        );
+        assert_eq!(opts.cert_serial, None);
+    }
+
+    #[test]
+    fn duplicate_hosted_names_are_rejected() {
+        let err = parse_args(["--service", "askbot", "--service", "askbot"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("already hosted"), "{err}");
+        // A spreadsheet instance clashing with itself is caught too.
+        let err = parse_args(
+            [
+                "--service",
+                "spreadsheet:sheet-a",
+                "--service",
+                "spreadsheet:sheet-a",
+            ]
+            .map(String::from),
+        )
+        .unwrap_err();
+        assert!(err.contains("already hosted"), "{err}");
     }
 
     #[test]
@@ -451,5 +658,13 @@ mod tests {
         assert!(err.contains("socket address"), "{err}");
         let err = parse_args(["--frobnicate".into()]).unwrap_err();
         assert!(err.contains("frobnicate"), "{err}");
+        let err = parse_args([
+            "--service".into(),
+            "askbot".into(),
+            "--cert-serial".into(),
+            "many".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 }

@@ -1,16 +1,25 @@
-//! Transport dispatch latency: the price of a real socket.
+//! Transport dispatch latency: the price of a real socket, and what
+//! connection pooling buys back.
 //!
-//! Every delivery can now take two routes: the in-process transport (a
-//! direct method call through the registry) or TCP (connect, certificate
-//! greeting, framed request, framed response — against a `NodeServer`
-//! living on this same thread, reached via the loopback interface and
-//! pumped cooperatively while the dialer waits). The deltas between each
-//! `*_inproc` / `*_tcp` pair measure exactly what multi-process
-//! deployment costs per call, for both planes:
+//! Every delivery can take three routes: the in-process transport (a
+//! direct method call through the registry), **per-call TCP** (connect,
+//! certificate greeting, framed request, framed response, close — the
+//! pre-pool dialer, kept via `without_pool()` as the baseline), and
+//! **pooled TCP** (the default dialer: the connect + greeting +
+//! identity check are paid once, every later call rides the warm framed
+//! connection). All TCP routes run against a `NodeServer` living on
+//! this same thread, reached via the loopback interface and pumped
+//! cooperatively while the dialer waits. The deltas measure exactly
+//! what multi-process deployment costs per call, and how much of that
+//! cost was connection setup rather than byte transport:
 //!
 //! * `ping_*` — the cheapest data-plane request;
 //! * `stats_*` — the control-plane op every pump sweep pays per service;
 //! * `digest_*` — a payload-heavy control-plane response.
+//!
+//! The paper's deployment model is long-lived services exchanging many
+//! small repair and notification messages; the pooled numbers are the
+//! ones that deployment actually pays.
 
 use std::rc::Rc;
 
@@ -70,10 +79,14 @@ fn build_world() -> World {
 
 fn bench_transport(c: &mut Criterion) {
     let mut group = c.benchmark_group("transport");
+    // Connection setup vs reuse is the whole question here; keep the
+    // sample large enough that a stray scheduler blip on one exchange
+    // cannot swing the mean (the shimmed harness reports plain means).
+    group.sample_size(200);
     let world = build_world();
 
     // The same controller, additionally served over loopback TCP; the
-    // dialer pumps the server while it waits, so one thread suffices.
+    // dialers pump the server while they wait, so one thread suffices.
     let cert = world.net().certificate_of("notes").unwrap();
     let server = NodeServer::bind(
         world.net().clone(),
@@ -84,37 +97,61 @@ fn bench_transport(c: &mut Criterion) {
     )
     .expect("bind loopback listeners");
     let pump: Rc<dyn Pump> = Rc::new(server.clone());
-    let transport = Rc::new(TcpTransport::new(
+
+    // Two registries over the same daemon: one dialling per call (the
+    // pre-pool baseline), one over the default persistent pool.
+    let percall_t =
+        Rc::new(TcpTransport::new("notes", server.data_addr(), server.admin_addr()).without_pool());
+    percall_t.set_pump(Rc::downgrade(&pump));
+    let percall = Network::new();
+    percall.register_remote("notes", percall_t);
+
+    let pooled_t = Rc::new(TcpTransport::new(
         "notes",
         server.data_addr(),
         server.admin_addr(),
     ));
-    transport.set_pump(Rc::downgrade(&pump));
-    let tcp = Network::new();
-    tcp.register_remote("notes", transport);
+    pooled_t.set_pump(Rc::downgrade(&pump));
+    let pooled = Network::new();
+    pooled.register_remote("notes", pooled_t.clone());
 
-    // Sanity: both routes reach the same controller state.
+    // Sanity: all routes reach the same controller state.
     let wire_digest = |net: &Network| {
         let carrier = AdminOp::Digest.to_carrier("notes");
         let resp = net.deliver_admin(&carrier).unwrap();
         AdminResponse::from_jv(&resp.body).unwrap()
     };
-    assert_eq!(wire_digest(world.net()), wire_digest(&tcp));
+    assert_eq!(wire_digest(world.net()), wire_digest(&percall));
+    assert_eq!(wire_digest(world.net()), wire_digest(&pooled));
 
     let ping = HttpRequest::get(Url::service("notes", "/ping"));
+    // Warm every route before timing: first-call costs (listener
+    // wakeup, pool establishment, lazy allocations) are real but are
+    // not the steady state the numbers describe.
+    for _ in 0..20 {
+        world.net().deliver(&ping).unwrap();
+        percall.deliver(&ping).unwrap();
+        pooled.deliver(&ping).unwrap();
+    }
     group.bench_function("ping_inproc", |b| {
         b.iter(|| world.net().deliver(black_box(&ping)).unwrap().status)
     });
-    group.bench_function("ping_tcp", |b| {
-        b.iter(|| tcp.deliver(black_box(&ping)).unwrap().status)
+    group.bench_function("ping_tcp_percall", |b| {
+        b.iter(|| percall.deliver(black_box(&ping)).unwrap().status)
+    });
+    group.bench_function("ping_tcp_pooled", |b| {
+        b.iter(|| pooled.deliver(black_box(&ping)).unwrap().status)
     });
 
     let stats = AdminOp::Stats.to_carrier("notes");
     group.bench_function("stats_wire_inproc", |b| {
         b.iter(|| world.net().deliver_admin(black_box(&stats)).unwrap().status)
     });
-    group.bench_function("stats_wire_tcp", |b| {
-        b.iter(|| tcp.deliver_admin(black_box(&stats)).unwrap().status)
+    group.bench_function("stats_wire_tcp_percall", |b| {
+        b.iter(|| percall.deliver_admin(black_box(&stats)).unwrap().status)
+    });
+    group.bench_function("stats_wire_tcp_pooled", |b| {
+        b.iter(|| pooled.deliver_admin(black_box(&stats)).unwrap().status)
     });
 
     let digest = AdminOp::Digest.to_carrier("notes");
@@ -128,9 +165,10 @@ fn bench_transport(c: &mut Criterion) {
                 .encoded_len()
         })
     });
-    group.bench_function("digest_wire_tcp", |b| {
+    group.bench_function("digest_wire_tcp_pooled", |b| {
         b.iter(|| {
-            tcp.deliver_admin(black_box(&digest))
+            pooled
+                .deliver_admin(black_box(&digest))
                 .unwrap()
                 .body
                 .encoded_len()
@@ -138,6 +176,15 @@ fn bench_transport(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // The pooled runs must actually have ridden the pool — a silent
+    // fall-back to per-call dialling would invalidate every number
+    // above.
+    let pool = pooled_t.pool_stats();
+    assert!(
+        pool.reuses > pool.dials,
+        "pooled bench must reuse connections: {pool:?}"
+    );
 }
 
 criterion_group!(benches, bench_transport);

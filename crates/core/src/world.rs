@@ -31,10 +31,17 @@
 //!
 //! [`World::add_remote`] registers a service that lives in another OS
 //! process (reached through any [`aire_net::Transport`], typically
-//! `aire-transport`'s TCP dialer). Everything above applies unchanged —
-//! pump sweeps, settles, digests, and repair invocations flow over the
-//! wire — so the same scenario code drives an in-process simulation or
-//! a real cluster of `aire-noded` daemons.
+//! `aire-transport`'s pooled TCP dialer, which keeps its connections
+//! open across the harness's many small control-plane calls and
+//! re-validates the peer's certificate on every reconnect). Everything
+//! above applies unchanged — pump sweeps, settles, digests, and repair
+//! invocations flow over the wire — so the same scenario code drives an
+//! in-process simulation or a real cluster of `aire-noded` daemons.
+//! Several remote names may point at one daemon's listener pair (a
+//! multi-service node): each gets its own dialer, and the node routes
+//! frames by the service name in the request — how the Figure 5
+//! spreadsheet cluster deploys as `spreadsheet:<name>` services in one
+//! process.
 //!
 //! ## Bounded pumping
 //!

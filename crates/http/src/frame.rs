@@ -25,7 +25,7 @@
 //! length** with the same encoder the TCP transport uses, without a
 //! dependency cycle; `aire-transport` re-exports it.
 
-use aire_types::jv::str_encoded_len;
+use aire_types::jv::{str_encoded_len, str_encoded_len_display};
 use aire_types::Jv;
 use std::fmt;
 
@@ -269,6 +269,44 @@ pub fn decode_response(frame: &Frame) -> Result<HttpResponse, FrameError> {
     HttpResponse::from_jv(&frame.payload).map_err(FrameError::Payload)
 }
 
+/// Builds a hello payload advertising every identity a node hosts.
+///
+/// The greeting opened the wire format as a bare certificate map when a
+/// node could host only one service; a multi-service node presents one
+/// identity *per hosted service* on the same connection, so the payload
+/// is now a map with a `certs` list. Each entry is an opaque identity
+/// document (the transport layer's `Certificate::to_jv` form — this
+/// module stays certificate-agnostic and only fixes the envelope).
+pub fn hello_payload(identities: impl IntoIterator<Item = Jv>) -> Jv {
+    let mut m = Jv::map();
+    m.set("certs", Jv::list(identities));
+    m
+}
+
+/// Extracts the identity list from a hello payload.
+///
+/// Accepts both the multi-service `{"certs": [..]}` envelope and the
+/// bare single-identity map that single-service nodes greeted with
+/// before multi-service hosting existed, so a new dialer can still
+/// validate an old node. An empty identity list is rejected: a node
+/// that asserts no identity at all cannot pass any §3.1 check, and a
+/// loud error beats a silent "no match".
+pub fn hello_identities(payload: &Jv) -> Result<Vec<Jv>, String> {
+    if let Some(list) = payload.get("certs").as_list() {
+        if list.is_empty() {
+            return Err("hello advertises no identities".to_string());
+        }
+        return Ok(list.to_vec());
+    }
+    if payload.as_map().is_some_and(|m| m.contains_key("subject")) {
+        return Ok(vec![payload.clone()]);
+    }
+    Err(format!(
+        "hello payload is neither an identity list nor a single identity: {}",
+        payload.encode()
+    ))
+}
+
 /// Length of a `Jv` map encoding with the given `(key, value length)`
 /// entries — braces, separators, and escaped keys included.
 fn map_encoded_len(entries: &[(&str, usize)]) -> usize {
@@ -305,7 +343,7 @@ pub fn framed_request_len(req: &HttpRequest) -> usize {
             ("body", req.body.encoded_len()),
             ("headers", headers_encoded_len(&req.headers)),
             ("method", str_encoded_len(req.method.as_str())),
-            ("url", str_encoded_len(&req.url.to_string())),
+            ("url", str_encoded_len_display(&req.url)),
         ])
 }
 
@@ -428,6 +466,32 @@ mod tests {
         );
         let err = encode_request(&huge).unwrap_err();
         assert!(matches!(err, FrameError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn hello_payload_round_trips_every_identity() {
+        let ids = vec![
+            jv!({"subject": "askbot", "serial": 1}),
+            jv!({"subject": "dpaste", "serial": 2}),
+        ];
+        let payload = hello_payload(ids.clone());
+        assert_eq!(hello_identities(&payload).unwrap(), ids);
+    }
+
+    #[test]
+    fn bare_single_identity_hellos_are_still_understood() {
+        let legacy = jv!({"subject": "echo", "serial": 7});
+        assert_eq!(hello_identities(&legacy).unwrap(), vec![legacy.clone()]);
+    }
+
+    #[test]
+    fn identityless_hellos_are_rejected_with_the_reason() {
+        let err = hello_identities(&hello_payload(Vec::new())).unwrap_err();
+        assert!(err.contains("no identities"), "{err}");
+        let err = hello_identities(&Jv::Null).unwrap_err();
+        assert!(err.contains("neither"), "{err}");
+        let err = hello_identities(&jv!({"who": "am i"})).unwrap_err();
+        assert!(err.contains("neither"), "{err}");
     }
 
     #[test]

@@ -155,6 +155,24 @@ impl Certificate {
             .ok_or("certificate: missing serial")? as u64;
         Ok(Certificate { subject, serial })
     }
+
+    /// Builds a connection greeting advertising every identity a node
+    /// hosts (the payload of the transport's `Hello` frame). A
+    /// single-service node advertises a one-entry list; a multi-service
+    /// node lists one certificate per hosted service.
+    pub fn hello_payload(certs: &[Certificate]) -> Jv {
+        frame::hello_payload(certs.iter().map(Certificate::to_jv))
+    }
+
+    /// Parses every identity out of a hello payload (the inverse of
+    /// [`Certificate::hello_payload`]; bare single-certificate greetings
+    /// from older single-service nodes are accepted too).
+    pub fn all_from_hello(payload: &Jv) -> Result<Vec<Certificate>, String> {
+        frame::hello_identities(payload)?
+            .iter()
+            .map(Certificate::from_jv)
+            .collect()
+    }
 }
 
 /// Delivery statistics.
@@ -315,7 +333,9 @@ impl Network {
     /// flight on the chosen plane, and returns its transport.
     fn admit(&self, host: &str, admin: bool) -> AireResult<Rc<dyn Transport>> {
         let mut inner = self.inner.borrow_mut();
-        let name = ServiceName::new(host);
+        // Built lazily: admission runs on every delivery, and the happy
+        // path should not allocate an error's service name.
+        let name = || ServiceName::new(host);
         let fail = |inner: &mut NetInner| {
             if admin {
                 inner.stats.admin_failed += 1;
@@ -325,11 +345,11 @@ impl Network {
         };
         let Some(peer) = inner.peers.get(host).cloned() else {
             fail(&mut inner);
-            return Err(AireError::UnknownService(name));
+            return Err(AireError::UnknownService(name()));
         };
         if !inner.online.get(host).copied().unwrap_or(false) {
             fail(&mut inner);
-            return Err(AireError::ServiceUnavailable(name));
+            return Err(AireError::ServiceUnavailable(name()));
         }
         // A single-threaded service cannot serve a plane it is already
         // serving; the admin plane additionally yields to an in-flight
@@ -343,7 +363,7 @@ impl Network {
         };
         if busy {
             fail(&mut inner);
-            return Err(AireError::Reentrancy(name));
+            return Err(AireError::Reentrancy(name()));
         }
         if admin {
             inner.admin_in_flight.insert(host.to_string());
@@ -544,6 +564,29 @@ mod tests {
         };
         assert_eq!(Certificate::from_jv(&cert.to_jv()).unwrap(), cert);
         assert!(Certificate::from_jv(&Jv::Null).is_err());
+    }
+
+    #[test]
+    fn hello_greetings_carry_every_hosted_identity() {
+        let certs = vec![
+            Certificate {
+                subject: "askbot".into(),
+                serial: 1,
+            },
+            Certificate {
+                subject: "dpaste".into(),
+                serial: 2,
+            },
+        ];
+        let payload = Certificate::hello_payload(&certs);
+        assert_eq!(Certificate::all_from_hello(&payload).unwrap(), certs);
+        // Legacy single-certificate greetings still parse.
+        assert_eq!(
+            Certificate::all_from_hello(&certs[0].to_jv()).unwrap(),
+            certs[..1]
+        );
+        // A greeting with no identities cannot authenticate anything.
+        assert!(Certificate::all_from_hello(&Certificate::hello_payload(&[])).is_err());
     }
 
     #[test]

@@ -11,17 +11,28 @@
 //!   `HttpRequest`/`HttpResponse`, with malformed and truncated input
 //!   rejected by errors naming the problem.
 //! * **Dialer** — [`TcpTransport`], an implementation of
-//!   [`aire_net::Transport`] over `std::net` that connects per call,
-//!   performs the toy-`Certificate` identity check against the peer's
-//!   connection greeting (§3.1's "validating its X.509 certificate"),
-//!   and maps transport failures onto the same retryable `AireError`s
-//!   an offline in-process service produces — so the repair queues
-//!   behave identically across deployments.
+//!   [`aire_net::Transport`] over `std::net` that keeps a bounded pool
+//!   of framed connections open across calls (idle reaping, stale-probe
+//!   on checkout, a single retry when a reused connection proves dead at
+//!   request-write time), performs the toy-`Certificate` identity check
+//!   against the peer's connection greeting **once per connection** —
+//!   on dial and on every reconnect (§3.1's "validating its X.509
+//!   certificate") — and maps transport failures onto the same
+//!   retryable `AireError`s an offline in-process service produces, so
+//!   the repair queues behave identically across deployments.
 //! * **Server** — [`NodeServer`], a single-threaded serve loop hosting
-//!   any `Endpoint` behind two `TcpListener`s: a data listener and a
-//!   separate operator/admin listener, preserving the accounting and
-//!   re-entrancy split of `Network::deliver` vs
-//!   `Network::deliver_admin`.
+//!   one or more `Endpoint`s behind two `TcpListener`s: a shared data
+//!   listener and a separate operator/admin listener, preserving the
+//!   accounting and re-entrancy split of `Network::deliver` vs
+//!   `Network::deliver_admin`. Frames are routed to the service named
+//!   in the request, so one OS process can host a whole subgraph of a
+//!   cluster (the Figure 5 spreadsheet deployment is three named
+//!   services in one daemon).
+//! * **Fault injection** — [`chaos`], a deterministic man-in-the-middle
+//!   proxy for the test suites: scripted mid-frame disconnects, delayed
+//!   reads, and garbage injected into idle (pooled) connections, so the
+//!   partial-failure states connection reuse creates are provoked on
+//!   demand instead of waited for.
 //!
 //! ## Single-threaded re-entrancy: the [`Pump`] trait
 //!
@@ -45,30 +56,46 @@
 //!
 //! ## Connection protocol
 //!
-//! One request per connection, like HTTP/1.0:
+//! Persistent, like HTTP/1.1 keep-alive: one greeting, then any number
+//! of request/response exchanges on the same connection:
 //!
 //! ```text
 //! dialer                         server
 //!   |------------ connect --------->|
-//!   |<-- Hello { certificate } -----|   (identity check happens here)
+//!   |<- Hello { certificates } -----|   (identity check happens here,
+//!   |                               |    once per connection)
 //!   |--- Request { http request } ->|
 //!   |<-- Response { http response } |   (or Error { aire error })
-//!   |------------ close ------------|
+//!   |--- Request { ... } ---------->|
+//!   |<-- Response { ... } ----------|
+//!   |            ...                |
+//!   |---------- close --------------|   (either side, when idle)
 //! ```
 //!
-//! A `Shutdown` frame on the operator listener asks the server to exit
-//! its loop after acknowledging — the clean-stop path for daemons.
+//! The greeting advertises one certificate per hosted service (see
+//! [`frame::hello_payload`]); requests are routed to the service named
+//! in their URL. Either side may close an idle connection: the server
+//! reaps connections idle past its timeout, and the dialer both reaps
+//! its pool and *probes* a pooled connection before reuse, so a close
+//! (or garbage) that arrived while parked is discovered before a
+//! request is risked on it. A `Shutdown` frame on the operator listener
+//! asks the server to exit its loop after acknowledging — the clean-stop
+//! path for daemons.
 
 #![deny(missing_docs)]
 
 pub use aire_http::frame;
 pub use aire_net::{Certificate, Endpoint, InProcess, Network, Transport};
 
+pub mod chaos;
 mod server;
 mod tcp;
 
-pub use server::{NodeServer, ServeOutcome};
-pub use tcp::{shutdown_node, TcpTransport};
+pub use server::{NodeServer, ServeOutcome, DEFAULT_CONN_IDLE_TIMEOUT};
+pub use tcp::{
+    shutdown_node, PoolStats, TcpTransport, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
+    DEFAULT_POOL_IDLE_TIMEOUT, DEFAULT_POOL_MAX_IDLE,
+};
 
 /// Something that can make progress on a node's listeners while an
 /// outgoing call waits for its peer — the cooperative-scheduling seam

@@ -1,4 +1,5 @@
-//! The single-threaded node server: two listeners, one serve loop.
+//! The single-threaded node server: two listeners, one serve loop,
+//! any number of hosted services.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -14,8 +15,26 @@ use aire_types::{AireError, Jv};
 
 use crate::Pump;
 
+/// How long the serve loop may go between `accept` attempts while it
+/// has live connections to advance. Nonblocking `accept` on an empty
+/// backlog is a wasted syscall, and the pump runs hot inside every
+/// request/response exchange; batching accepts to this interval keeps
+/// the steady-state (persistent connections, pooled dialers) off that
+/// cost. New connections wait at most this long to be greeted — noise
+/// against a dial's connect + validation cost — and a server with no
+/// connections at all accepts on every pump.
+const ACCEPT_INTERVAL: Duration = Duration::from_micros(25);
+
+/// Default time an accepted connection may sit idle (greeting flushed,
+/// no request in flight, nothing buffered) before the server closes it.
+/// Persistent dialers park connections too; this is the server-side
+/// bound that keeps a forgotten client from pinning a socket forever.
+/// Deliberately above the dialer's own idle timeout, so in the common
+/// case the *dialer* retires a connection before the server does.
+pub const DEFAULT_CONN_IDLE_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// Which listener a connection arrived on. Mirrors the registry's
-/// `deliver` / `deliver_admin` split: the same service, two planes with
+/// `deliver` / `deliver_admin` split: the same node, two planes with
 /// separate accounting and re-entrancy states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Plane {
@@ -33,37 +52,62 @@ pub enum ServeOutcome {
     DeadlineExpired,
 }
 
-/// One in-flight connection: a tiny nonblocking state machine (greet →
-/// read one request frame → dispatch → flush the reply → close).
+/// One in-flight connection: a nonblocking state machine that greets
+/// once, then loops read-request → dispatch → flush-reply for as long
+/// as the client keeps the connection open (persistent dialers reuse it
+/// across many calls).
 struct Conn {
     stream: TcpStream,
     plane: Plane,
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
     written: usize,
-    /// Set once the reply (response, error, or shutdown ack) is queued;
-    /// the connection closes after the flush.
+    /// Set while a reply (response, error, or shutdown ack) is queued;
+    /// cleared once it has fully flushed and the connection returns to
+    /// reading the next request.
     responded: bool,
+    /// Set when the stream can no longer be trusted to be
+    /// frame-aligned (garbage arrived) or the exchange is final (a
+    /// shutdown ack): flush the pending reply, then close instead of
+    /// waiting for more requests.
+    close_after_reply: bool,
+    /// Last time bytes moved or a request was dispatched — drives the
+    /// idle reaper.
+    last_activity: Instant,
 }
 
 struct NodeInner {
     net: Network,
-    host: String,
-    cert: Certificate,
+    /// Every service name this node hosts (frames are routed to these
+    /// and only these).
+    hosts: Vec<String>,
+    /// The precomputed greeting advertising every hosted identity.
+    hello: Vec<u8>,
+    idle_timeout: Duration,
     data: TcpListener,
     admin: TcpListener,
     conns: RefCell<VecDeque<Conn>>,
+    last_accept: Cell<Instant>,
     shutdown: Cell<bool>,
 }
 
-/// A single-threaded TCP server hosting one service's endpoint behind a
-/// data listener and a separate operator/admin listener.
+/// A single-threaded TCP server hosting one or more services' endpoints
+/// behind a shared data listener and a separate operator/admin listener.
 ///
-/// Incoming request frames are dispatched through the node's local
+/// Incoming request frames are routed by the service name already in
+/// the request (`req.url.host`) and dispatched through the node's local
 /// [`Network`] (`deliver` for the data listener, `deliver_admin` for the
 /// operator listener), so availability, re-entrancy, and statistics
 /// behave exactly as they do in-process — including the rule that the
 /// data plane stays reachable while an operator connection is busy.
+/// The connection greeting advertises one certificate per hosted
+/// service; a dialer validates the identity of the service it targets.
+///
+/// Connections are **persistent**: after a reply flushes, the state
+/// machine returns to reading the next request, so a pooled dialer pays
+/// connect + greeting + identity check once per connection instead of
+/// once per call. An idle reaper closes connections that sit quiet past
+/// the configured timeout.
 ///
 /// Connections are handled as nonblocking state machines, which is what
 /// allows the [`Pump`] integration: an outgoing [`crate::TcpTransport`]
@@ -75,9 +119,9 @@ pub struct NodeServer {
 }
 
 impl NodeServer {
-    /// Binds both listeners and returns the server. `cert` is the
-    /// identity presented in every connection greeting — normally the
-    /// certificate `Network::register` issued for `host`.
+    /// Binds both listeners for a node hosting a single service. `cert`
+    /// is the identity presented in every connection greeting —
+    /// normally the certificate `Network::register` issued for `host`.
     pub fn bind(
         net: Network,
         host: impl Into<String>,
@@ -85,18 +129,41 @@ impl NodeServer {
         data_addr: impl ToSocketAddrs,
         admin_addr: impl ToSocketAddrs,
     ) -> std::io::Result<NodeServer> {
+        NodeServer::bind_multi(net, vec![(host.into(), cert)], data_addr, admin_addr)
+    }
+
+    /// Binds both listeners for a node hosting every service in
+    /// `services` — one process, one data plus one operator listener,
+    /// frames routed to the named service. The greeting advertises all
+    /// the certificates, one per hosted service.
+    pub fn bind_multi(
+        net: Network,
+        services: Vec<(String, Certificate)>,
+        data_addr: impl ToSocketAddrs,
+        admin_addr: impl ToSocketAddrs,
+    ) -> std::io::Result<NodeServer> {
+        assert!(
+            !services.is_empty(),
+            "a node must host at least one service"
+        );
         let data = TcpListener::bind(data_addr)?;
         let admin = TcpListener::bind(admin_addr)?;
         data.set_nonblocking(true)?;
         admin.set_nonblocking(true)?;
+        let (hosts, certs): (Vec<String>, Vec<Certificate>) = services.into_iter().unzip();
+        // The greeting goes out verbatim on every accept; build it once.
+        let hello = frame::encode_frame(FrameKind::Hello, &Certificate::hello_payload(&certs))
+            .expect("certificate greetings fit any frame cap");
         Ok(NodeServer {
             inner: Rc::new(NodeInner {
                 net,
-                host: host.into(),
-                cert,
+                hosts,
+                hello,
+                idle_timeout: DEFAULT_CONN_IDLE_TIMEOUT,
                 data,
                 admin,
                 conns: RefCell::new(VecDeque::new()),
+                last_accept: Cell::new(Instant::now() - ACCEPT_INTERVAL),
                 shutdown: Cell::new(false),
             }),
         })
@@ -112,9 +179,15 @@ impl NodeServer {
         self.inner.admin.local_addr().expect("bound listener")
     }
 
-    /// The hosted service's name.
+    /// The hosted service names, in registration order.
+    pub fn hosts(&self) -> &[String] {
+        &self.inner.hosts
+    }
+
+    /// The first hosted service's name (the node's primary identity —
+    /// what single-service callers registered under).
     pub fn host(&self) -> &str {
-        &self.inner.host
+        &self.inner.hosts[0]
     }
 
     /// A weak [`Pump`] handle for wiring into this node's outgoing
@@ -128,6 +201,25 @@ impl NodeServer {
     /// `Shutdown` frame).
     pub fn request_shutdown(&self) {
         self.inner.shutdown.set(true);
+    }
+
+    /// Drops every live connection immediately, mid-exchange or idle —
+    /// clients observe an EOF or reset, exactly as if the process had
+    /// died and come back. Operators use it after rotating a node's
+    /// identity (pooled dialers must re-greet to see the new
+    /// certificate); the fault-injection suites use it to create the
+    /// peer-died-holding-a-pooled-connection states on demand. Returns
+    /// how many connections were severed.
+    pub fn sever_connections(&self) -> usize {
+        let mut conns = self.inner.conns.borrow_mut();
+        let n = conns.len();
+        conns.clear();
+        n
+    }
+
+    /// Live connections right now (greeted, not yet closed).
+    pub fn connection_count(&self) -> usize {
+        self.inner.conns.borrow().len()
     }
 
     /// Accepts and advances connections once; see [`Pump::pump_once`].
@@ -152,9 +244,18 @@ impl NodeServer {
             }
         };
         // Flush whatever is still queued (notably the shutdown ack) for
-        // up to a second; connections that cannot drain are dropped.
+        // up to a second. Idle persistent connections hold no pending
+        // bytes — they are dropped immediately, not waited on — and
+        // connections that cannot drain in time are dropped too.
         let drain_until = Instant::now() + Duration::from_secs(1);
-        while !self.inner.conns.borrow().is_empty() && Instant::now() < drain_until {
+        loop {
+            self.inner
+                .conns
+                .borrow_mut()
+                .retain(|c| c.written < c.outbuf.len());
+            if self.inner.conns.borrow().is_empty() || Instant::now() >= drain_until {
+                break;
+            }
             if !self.inner.pump_once() {
                 std::thread::sleep(Duration::from_micros(500));
             }
@@ -173,8 +274,12 @@ impl Pump for NodeInner {
     fn pump_once(&self) -> bool {
         let mut progressed = false;
         // Stop accepting once a shutdown is in flight — the drain phase
-        // should converge.
-        if !self.shutdown.get() {
+        // should converge. While live connections keep the pump hot,
+        // accept attempts are batched to ACCEPT_INTERVAL (see its docs).
+        let throttled =
+            self.last_accept.get().elapsed() < ACCEPT_INTERVAL && !self.conns.borrow().is_empty();
+        if !self.shutdown.get() && !throttled {
+            self.last_accept.set(Instant::now());
             progressed |= self.accept(Plane::Data);
             progressed |= self.accept(Plane::Admin);
         }
@@ -211,18 +316,17 @@ impl NodeInner {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    // Greet immediately: the certificate goes out as the
-                    // connection's first frame (a few dozen bytes — far
-                    // below the frame cap).
-                    let hello = frame::encode_frame(FrameKind::Hello, &self.cert.to_jv())
-                        .expect("certificate greeting fits any frame cap");
+                    // Greet immediately: every hosted identity goes out
+                    // as the connection's first frame.
                     self.conns.borrow_mut().push_back(Conn {
                         stream,
                         plane,
                         inbuf: Vec::new(),
-                        outbuf: hello,
+                        outbuf: self.hello.clone(),
                         written: 0,
                         responded: false,
+                        close_after_reply: false,
+                        last_activity: Instant::now(),
                     });
                     accepted = true;
                 }
@@ -234,16 +338,15 @@ impl NodeInner {
         accepted
     }
 
-    /// Moves one connection forward. Returns `false` when the connection
-    /// is finished (reply flushed, peer gone, or unrecoverable error)
-    /// and should be dropped.
-    fn advance(&self, conn: &mut Conn, progressed: &mut bool) -> bool {
-        // 1. Flush pending output.
+    /// Flushes whatever output is pending. Returns `false` when the
+    /// connection died mid-write and should be dropped.
+    fn flush_out(&self, conn: &mut Conn, progressed: &mut bool) -> bool {
         while conn.written < conn.outbuf.len() {
             match conn.stream.write(&conn.outbuf[conn.written..]) {
                 Ok(0) => return false,
                 Ok(n) => {
                     conn.written += n;
+                    conn.last_activity = Instant::now();
                     *progressed = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -251,20 +354,43 @@ impl NodeInner {
                 Err(_) => return false,
             }
         }
+        true
+    }
+
+    /// Moves one connection forward. Returns `false` when the connection
+    /// is finished (closing reply flushed, peer gone, idle too long, or
+    /// unrecoverable error) and should be dropped.
+    fn advance(&self, conn: &mut Conn, progressed: &mut bool) -> bool {
+        // 1. Flush pending output.
+        if !self.flush_out(conn, progressed) {
+            return false;
+        }
         if conn.responded {
-            // Keep the connection only until the reply has fully left.
-            return conn.written < conn.outbuf.len();
+            if conn.written < conn.outbuf.len() {
+                // Keep flushing next pump.
+                return true;
+            }
+            if conn.close_after_reply {
+                return false;
+            }
+            // Reply delivered: the connection is persistent — reset and
+            // go back to reading the next request.
+            conn.responded = false;
+            conn.outbuf.clear();
+            conn.written = 0;
         }
 
         // 2. Read whatever arrived. EOF here may be a half-close from a
         // client that wrote its request and shut down its write side —
         // a complete buffered frame must still be dispatched and the
         // reply flushed; only an EOF with no full frame pending means
-        // the peer gave up. The loop also stops as soon as one frame is
-        // complete (or its header is already known bad): the frame cap
-        // bounds what one connection can make this server buffer, and a
-        // peer streaming continuously must not starve the other
-        // connections of this single-threaded loop.
+        // the peer is done with the connection (for a persistent
+        // dialer, that is the normal end of the connection's life). The
+        // loop also stops as soon as one frame is complete (or its
+        // header is already known bad): the frame cap bounds what one
+        // connection can make this server buffer, and a peer streaming
+        // continuously must not starve the other connections of this
+        // single-threaded loop.
         let mut peer_closed = false;
         let mut chunk = [0u8; 4096];
         loop {
@@ -283,6 +409,7 @@ impl NodeInner {
                 }
                 Ok(n) => {
                     conn.inbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
                     *progressed = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -293,26 +420,61 @@ impl NodeInner {
 
         // 3. Dispatch once a complete frame is buffered. Header problems
         // (bad magic, oversized declarations) are answered immediately —
-        // waiting for more bytes from a corrupt peer is pointless.
+        // waiting for more bytes from a corrupt peer is pointless, and
+        // the stream can no longer be trusted to be frame-aligned, so
+        // the connection closes after the error flushes.
         if conn.inbuf.len() >= HEADER_LEN {
             match frame::decode_header(&conn.inbuf) {
                 Err(e) => {
                     self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")));
+                    conn.close_after_reply = true;
                     *progressed = true;
                 }
                 Ok((_, len)) if conn.inbuf.len() >= HEADER_LEN + len => {
                     self.dispatch(conn);
+                    conn.last_activity = Instant::now();
                     *progressed = true;
                 }
                 Ok(_) => {} // wait for the rest of the payload
             }
         }
         if conn.responded {
-            // Keep the connection until the reply flushes (the peer's
-            // read side is still open even after a half-close).
-            return true;
+            // Flush the reply *now* instead of waiting for the next
+            // pump — for a dialer blocked on this reply, that halves
+            // the pumps per exchange.
+            if !self.flush_out(conn, progressed) {
+                return false;
+            }
+            if conn.written < conn.outbuf.len() {
+                // Kernel buffer full; keep flushing next pump (the
+                // peer's read side is still open even after a
+                // half-close).
+                return true;
+            }
+            if conn.close_after_reply {
+                return false;
+            }
+            conn.responded = false;
+            conn.outbuf.clear();
+            conn.written = 0;
+            // A half-closed client got its reply and is done; a
+            // persistent one goes back to being read next pump.
+            return !peer_closed;
         }
-        !peer_closed
+        if peer_closed {
+            return false;
+        }
+        // 4. Idle reaping: a connection that has moved no bytes for the
+        // idle timeout is closed — whether it is cleanly parked between
+        // requests (pooled dialers treat the close as a stale
+        // connection and re-dial) or stalled holding a partial frame (a
+        // wedged client must not pin a socket forever; `last_activity`
+        // advances on every received byte, so only a genuine stall
+        // trips this).
+        if conn.last_activity.elapsed() > self.idle_timeout {
+            return false;
+        }
+        true
     }
 
     fn reply(&self, conn: &mut Conn, kind: FrameKind, payload: &Jv) {
@@ -336,11 +498,20 @@ impl NodeInner {
 
     fn dispatch(&self, conn: &mut Conn) {
         let decoded = frame::decode_frame(&conn.inbuf);
-        conn.inbuf.clear();
         let fr = match decoded {
-            Ok((fr, _)) => fr,
+            Ok((fr, used)) => {
+                // Consume exactly one frame; anything after it is the
+                // next request (a client may legally write ahead on a
+                // persistent connection).
+                conn.inbuf.drain(..used);
+                fr
+            }
             Err(e) => {
-                return self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")))
+                // Unframeable payload: answer, then close (the stream's
+                // alignment is gone).
+                conn.inbuf.clear();
+                conn.close_after_reply = true;
+                return self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")));
             }
         };
         match fr.kind {
@@ -354,14 +525,14 @@ impl NodeInner {
                         )
                     }
                 };
-                if req.url.host != self.host {
+                if !self.hosts.contains(&req.url.host) {
                     // Refuse to proxy: a misrouted frame is a deployment
                     // bug worth a loud, named failure.
                     return self.reply_error(
                         conn,
                         AireError::Protocol(format!(
                             "this node serves {:?} but the request targets {:?}",
-                            self.host, req.url.host
+                            self.hosts, req.url.host
                         )),
                     );
                 }
@@ -385,6 +556,7 @@ impl NodeInner {
                     );
                 }
                 self.shutdown.set(true);
+                conn.close_after_reply = true;
                 self.reply(conn, FrameKind::Shutdown, &Jv::Null);
             }
             other => self.reply_error(

@@ -1,6 +1,8 @@
-//! The TCP dialer: [`aire_net::Transport`] over `std::net`.
+//! The TCP dialer: [`aire_net::Transport`] over `std::net`, with a
+//! persistent per-peer connection pool.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::rc::{Rc, Weak};
@@ -20,33 +22,126 @@ pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
 /// Default time allowed for a full request/response exchange.
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A dialer for one remote Aire node: connects per call, checks the
-/// peer's certificate, exchanges one framed request/response.
+/// Default bound on idle pooled connections kept *per plane* (data and
+/// operator pools are separate, like the listeners they dial). The
+/// substrate is single-threaded, so one warm connection per plane covers
+/// the steady state; the second slot absorbs the certificate-fetch path
+/// parking a connection while a call holds the first.
+pub const DEFAULT_POOL_MAX_IDLE: usize = 2;
+
+/// Default time an idle pooled connection may sit parked before the
+/// dialer discards it instead of reusing it. Kept comfortably below the
+/// server's own keep-alive reaper so the common case is the dialer
+/// retiring a connection, not racing the server's close.
+pub const DEFAULT_POOL_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Which listener a pooled connection belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plane {
+    Data,
+    Admin,
+}
+
+/// One parked connection: the framed stream plus when it was returned,
+/// so the reaper can retire it after [`TcpTransport`]'s idle timeout.
+struct Parked {
+    stream: TcpStream,
+    parked_at: Instant,
+}
+
+/// Counters describing the pool's behaviour — what the fault-injection
+/// and property suites assert against, and what operators read to see
+/// whether connection reuse is actually happening.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh connections established (each one greeted and
+    /// identity-checked before any request used it).
+    pub dials: u64,
+    /// Calls served over a reused pooled connection.
+    pub reuses: u64,
+    /// Certificate validations performed against a hello greeting
+    /// (successful or not). Every dial validates exactly once —
+    /// re-validation happens on *reconnect*, never per call.
+    pub validations: u64,
+    /// Transport-level redials: a reused connection turned out stale at
+    /// request-write time and the call was retried (once) on a fresh,
+    /// re-validated connection.
+    pub retries: u64,
+    /// Pooled connections discarded by the checkout probe (peer closed
+    /// them, or unsolicited/garbage bytes arrived while parked).
+    pub stale_drops: u64,
+    /// Pooled connections retired by the idle reaper.
+    pub reaped: u64,
+    /// Connections currently parked across both planes — never more
+    /// than twice the per-plane bound.
+    pub idle: usize,
+}
+
+/// A dialer for one remote Aire node: keeps framed connections open
+/// across calls (a bounded per-plane pool with idle reaping), checks the
+/// peer's certificate **per connection** — on dial and on every
+/// reconnect, not per call — and exchanges framed request/response pairs
+/// on whichever healthy connection the pool hands back.
 ///
 /// Register it on a [`aire_net::Network`] with
 /// [`Network::register_remote`](aire_net::Network::register_remote);
 /// after that, `deliver`/`deliver_admin` to the host transparently cross
 /// the process boundary.
+///
+/// ## Failure semantics under reuse
+///
+/// A pooled connection can be dead without the dialer knowing (the peer
+/// restarted, an idle reaper fired, a middlebox dropped state). Reuse is
+/// therefore guarded twice:
+///
+/// * a **checkout probe** — a parked connection with readable bytes is
+///   stale by definition (EOF if the peer closed it, garbage if anything
+///   else arrived: the server never sends unsolicited frames) and is
+///   discarded, never reused;
+/// * a **single retry** — if the probe passed but the request *write*
+///   still hits a connection-level failure, the request provably never
+///   reached the application, so the call is retried exactly once on a
+///   freshly dialled (and freshly identity-checked) connection.
+///
+/// Failures after the request has been written are **never** retried at
+/// this layer: the peer may have executed the request, and deciding
+/// whether to resend is the repair queue's job. They classify exactly as
+/// the per-call dialer classified them — peer death is a retryable
+/// [`AireError::ServiceUnavailable`], malformed traffic a permanent
+/// protocol error — so queue semantics are unchanged by pooling.
 pub struct TcpTransport {
     host: String,
     data_addr: SocketAddr,
     admin_addr: SocketAddr,
     connect_timeout: Duration,
     io_timeout: Duration,
+    pool_max_idle: usize,
+    pool_idle_timeout: Duration,
+    data_pool: RefCell<VecDeque<Parked>>,
+    admin_pool: RefCell<VecDeque<Parked>>,
+    dials: Cell<u64>,
+    reuses: Cell<u64>,
+    validations: Cell<u64>,
+    retries: Cell<u64>,
+    stale_drops: Cell<u64>,
+    reaped: Cell<u64>,
     pump: RefCell<Option<Weak<dyn Pump>>>,
-    /// The certificate observed in the last successful greeting. Filled
-    /// by every exchange, so [`Transport::certificate`] (the §3.1
-    /// notify-validation path) rarely needs its own dial — and a
-    /// transient dial failure cannot un-know an identity that was
-    /// already validated. Subjects are stable across daemon restarts;
-    /// only the serial could go stale, and nothing authenticates by
-    /// serial.
+    /// The certificate observed in the last greeting — the identity the
+    /// peer most recently *presented*, matching or not. Filled by every
+    /// dial, so [`Transport::certificate`] (the §3.1 notify-validation
+    /// path) rarely needs its own connection, a transient dial failure
+    /// cannot un-know an identity that was already validated, and a
+    /// restarted daemon presenting a new (or wrong) certificate is
+    /// reflected here the moment the pool reconnects.
     cert_cache: RefCell<Option<Certificate>>,
 }
 
 impl TcpTransport {
     /// Creates a dialer for the service `host`, whose daemon listens on
     /// `data_addr` (data plane) and `admin_addr` (operator plane).
+    /// Pooling is on by default ([`DEFAULT_POOL_MAX_IDLE`] idle
+    /// connections per plane, reaped after
+    /// [`DEFAULT_POOL_IDLE_TIMEOUT`]).
     pub fn new(
         host: impl Into<String>,
         data_addr: SocketAddr,
@@ -58,6 +153,16 @@ impl TcpTransport {
             admin_addr,
             connect_timeout: DEFAULT_CONNECT_TIMEOUT,
             io_timeout: DEFAULT_IO_TIMEOUT,
+            pool_max_idle: DEFAULT_POOL_MAX_IDLE,
+            pool_idle_timeout: DEFAULT_POOL_IDLE_TIMEOUT,
+            data_pool: RefCell::new(VecDeque::new()),
+            admin_pool: RefCell::new(VecDeque::new()),
+            dials: Cell::new(0),
+            reuses: Cell::new(0),
+            validations: Cell::new(0),
+            retries: Cell::new(0),
+            stale_drops: Cell::new(0),
+            reaped: Cell::new(0),
             pump: RefCell::new(None),
             cert_cache: RefCell::new(None),
         }
@@ -70,18 +175,55 @@ impl TcpTransport {
         self
     }
 
+    /// Overrides the pool bound and idle timeout. `max_idle` is per
+    /// plane; `0` disables pooling entirely (every call dials, exchanges
+    /// once, and closes — the original per-call behaviour, kept for the
+    /// bench baseline and for callers that want it).
+    pub fn with_pool(mut self, max_idle: usize, idle_timeout: Duration) -> TcpTransport {
+        self.pool_max_idle = max_idle;
+        self.pool_idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Disables connection reuse: the per-call dial-greet-exchange-close
+    /// behaviour this dialer had before the pool existed.
+    pub fn without_pool(self) -> TcpTransport {
+        let timeout = self.pool_idle_timeout;
+        self.with_pool(0, timeout)
+    }
+
     /// Attaches the local node's serve loop: while this dialer waits for
     /// a peer, it cooperatively pumps incoming connections so a peer's
     /// nested call back into this node cannot deadlock the pair. Daemons
     /// set this on every peer transport; pure clients (drivers, tests)
     /// leave it unset and just block.
+    ///
+    /// Parked connections are dropped: the pool keeps every parked
+    /// stream in the I/O mode the active pump setting implies
+    /// (nonblocking with a pump, blocking without), and flipping the
+    /// setting would invalidate that invariant.
     pub fn set_pump(&self, pump: Weak<dyn Pump>) {
         *self.pump.borrow_mut() = Some(pump);
+        self.data_pool.borrow_mut().clear();
+        self.admin_pool.borrow_mut().clear();
     }
 
     /// The service this dialer targets.
     pub fn host(&self) -> &str {
         &self.host
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            dials: self.dials.get(),
+            reuses: self.reuses.get(),
+            validations: self.validations.get(),
+            retries: self.retries.get(),
+            stale_drops: self.stale_drops.get(),
+            reaped: self.reaped.get(),
+            idle: self.data_pool.borrow().len() + self.admin_pool.borrow().len(),
+        }
     }
 
     fn unavailable(&self) -> AireError {
@@ -111,6 +253,80 @@ impl TcpTransport {
         }
     }
 
+    fn pool(&self, plane: Plane) -> &RefCell<VecDeque<Parked>> {
+        match plane {
+            Plane::Data => &self.data_pool,
+            Plane::Admin => &self.admin_pool,
+        }
+    }
+
+    fn addr(&self, plane: Plane) -> SocketAddr {
+        match plane {
+            Plane::Data => self.data_addr,
+            Plane::Admin => self.admin_addr,
+        }
+    }
+
+    /// Retires parked connections that outlived the idle timeout.
+    fn reap(&self, plane: Plane) {
+        let mut pool = self.pool(plane).borrow_mut();
+        let before = pool.len();
+        pool.retain(|p| p.parked_at.elapsed() <= self.pool_idle_timeout);
+        self.reaped
+            .set(self.reaped.get() + (before - pool.len()) as u64);
+    }
+
+    /// Takes a healthy pooled connection, discarding stale ones. A
+    /// parked connection with *anything* to read is stale: `Ok(0)` means
+    /// the peer closed it, and any actual bytes are unsolicited (the
+    /// server speaks only when spoken to), i.e. garbage injected into a
+    /// reused connection — either way it must never carry a request.
+    ///
+    /// Parked streams are already in the I/O mode the pump setting
+    /// implies (see [`TcpTransport::set_pump`]); with a pump attached
+    /// they are nonblocking, so the probe is a single `peek`. Without
+    /// one they are blocking and must be flipped around the probe.
+    fn checkout(&self, plane: Plane) -> Option<TcpStream> {
+        self.reap(plane);
+        let pumped = self.active_pump().is_some();
+        loop {
+            let parked = self.pool(plane).borrow_mut().pop_front()?;
+            let stream = parked.stream;
+            if !pumped && stream.set_nonblocking(true).is_err() {
+                self.stale_drops.set(self.stale_drops.get() + 1);
+                continue;
+            }
+            let mut probe = [0u8; 1];
+            let healthy = matches!(
+                stream.peek(&mut probe),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+            );
+            if !healthy || (!pumped && stream.set_nonblocking(false).is_err()) {
+                self.stale_drops.set(self.stale_drops.get() + 1);
+                continue;
+            }
+            return Some(stream);
+        }
+    }
+
+    /// Parks a connection after a clean exchange (or drops it when the
+    /// pool is disabled or full — the oldest parked connection yields,
+    /// since the freshest one is the least likely to go stale next).
+    fn checkin(&self, plane: Plane, stream: TcpStream) {
+        if self.pool_max_idle == 0 {
+            return;
+        }
+        self.reap(plane);
+        let mut pool = self.pool(plane).borrow_mut();
+        pool.push_back(Parked {
+            stream,
+            parked_at: Instant::now(),
+        });
+        while pool.len() > self.pool_max_idle {
+            pool.pop_front();
+        }
+    }
+
     fn connect(&self, addr: SocketAddr) -> AireResult<TcpStream> {
         let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
             .map_err(|_| self.unavailable())?;
@@ -122,45 +338,15 @@ impl TcpTransport {
         self.pump.borrow().as_ref().and_then(Weak::upgrade)
     }
 
-    /// Reads exactly `buf.len()` bytes, pumping the local serve loop (if
-    /// any) while the peer keeps us waiting.
-    fn read_exact(&self, stream: &mut TcpStream, buf: &mut [u8]) -> AireResult<()> {
-        match self.active_pump() {
-            Some(pump) => {
-                stream
-                    .set_nonblocking(true)
-                    .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
-                let deadline = Instant::now() + self.io_timeout;
-                let mut done = 0;
-                while done < buf.len() {
-                    match stream.read(&mut buf[done..]) {
-                        // The peer died mid-exchange: retryable, like a
-                        // refused connect (see `classify_io`).
-                        Ok(0) => return Err(self.unavailable()),
-                        Ok(n) => done += n,
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            if Instant::now() >= deadline {
-                                return Err(self.timeout());
-                            }
-                            if !pump.pump_once() {
-                                std::thread::sleep(Duration::from_micros(200));
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                        Err(e) => return Err(self.classify_io("read from", e)),
-                    }
-                }
-                Ok(())
-            }
-            None => {
-                stream
-                    .set_read_timeout(Some(self.io_timeout))
-                    .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
-                stream
-                    .read_exact(buf)
-                    .map_err(|e| self.classify_io("read from", e))
-            }
-        }
+    /// Puts the stream into the I/O mode the read/write helpers expect:
+    /// nonblocking when a pump is attached (so waits serve the local
+    /// node), blocking with timeouts otherwise. Called once per
+    /// exchange — a pooled stream keeps whatever mode its last exchange
+    /// left, which may not match this one's.
+    fn prepare(&self, stream: &TcpStream) -> AireResult<()> {
+        stream
+            .set_nonblocking(self.active_pump().is_some())
+            .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))
     }
 
     /// Writes all of `buf`, pumping while the socket buffer is full.
@@ -178,7 +364,7 @@ impl TcpTransport {
                                 return Err(self.timeout());
                             }
                             if !pump.pump_once() {
-                                std::thread::sleep(Duration::from_micros(200));
+                                std::thread::sleep(Duration::from_micros(25));
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -198,29 +384,81 @@ impl TcpTransport {
         }
     }
 
+    /// Reads exactly one frame through a single buffered read loop —
+    /// small frames cost one `read` syscall instead of one per header
+    /// and payload. Since the server never sends unsolicited bytes,
+    /// anything arriving *beyond* the frame's declared end is a
+    /// protocol violation and is surfaced instead of silently buffered
+    /// for a later exchange to trip over.
     fn read_frame(&self, stream: &mut TcpStream) -> AireResult<Frame> {
-        let mut header = [0u8; HEADER_LEN];
-        self.read_exact(stream, &mut header)?;
-        let (kind, len) = frame::decode_header(&header)
-            .map_err(|e| AireError::Protocol(format!("bad frame from {}: {e}", self.host)))?;
-        let mut payload = vec![0u8; len];
-        self.read_exact(stream, &mut payload)?;
-        let text = String::from_utf8(payload).map_err(|e| {
-            AireError::Protocol(format!(
-                "frame payload from {} is not UTF-8: {e}",
-                self.host
-            ))
-        })?;
-        let payload = Jv::decode(&text).map_err(|e| {
-            AireError::Protocol(format!("bad frame payload from {}: {e}", self.host))
-        })?;
-        Ok(Frame { kind, payload })
+        let pump = self.active_pump();
+        if pump.is_none() {
+            stream
+                .set_read_timeout(Some(self.io_timeout))
+                .map_err(|e| AireError::Protocol(format!("socket setup failed: {e}")))?;
+        }
+        let deadline = Instant::now() + self.io_timeout;
+        let mut buf: Vec<u8> = Vec::with_capacity(4096);
+        let mut chunk = [0u8; 4096];
+        let mut kind_len: Option<(FrameKind, usize)> = None;
+        loop {
+            if kind_len.is_none() && buf.len() >= HEADER_LEN {
+                kind_len = Some(frame::decode_header(&buf).map_err(|e| {
+                    AireError::Protocol(format!("bad frame from {}: {e}", self.host))
+                })?);
+            }
+            if let Some((kind, len)) = kind_len {
+                let total = HEADER_LEN + len;
+                if buf.len() > total {
+                    return Err(AireError::Protocol(format!(
+                        "{} sent {} unsolicited byte(s) beyond a frame boundary",
+                        self.host,
+                        buf.len() - total
+                    )));
+                }
+                if buf.len() == total {
+                    let text = std::str::from_utf8(&buf[HEADER_LEN..total]).map_err(|e| {
+                        AireError::Protocol(format!(
+                            "frame payload from {} is not UTF-8: {e}",
+                            self.host
+                        ))
+                    })?;
+                    let payload = Jv::decode(text).map_err(|e| {
+                        AireError::Protocol(format!("bad frame payload from {}: {e}", self.host))
+                    })?;
+                    return Ok(Frame { kind, payload });
+                }
+            }
+            match stream.read(&mut chunk) {
+                // The peer died mid-exchange: retryable, like a refused
+                // connect (see `classify_io`).
+                Ok(0) => return Err(self.unavailable()),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && pump.is_some() => {
+                    if Instant::now() >= deadline {
+                        return Err(self.timeout());
+                    }
+                    if !pump.as_ref().expect("checked").pump_once() {
+                        std::thread::sleep(Duration::from_micros(25));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(self.classify_io("read from", e)),
+            }
+        }
     }
 
-    /// Reads the server greeting and performs the identity check: the
-    /// presented certificate's subject must match the service name this
-    /// dialer was created for (§3.1's certificate validation, on every
-    /// connect).
+    /// Reads the server greeting and performs the identity check: one of
+    /// the presented certificates' subjects must match the service name
+    /// this dialer was created for (§3.1's certificate validation — once
+    /// per connection, which with pooling means on dial and on every
+    /// reconnect rather than per call). Multi-service nodes greet with
+    /// every hosted identity; the dialer picks its peer's out.
+    ///
+    /// Whatever identity the peer presented is cached — even a
+    /// mismatched one. A daemon restarted under a different certificate
+    /// must poison [`Transport::certificate`] with the identity it now
+    /// actually presents, not let a stale cached match linger.
     fn expect_hello(&self, stream: &mut TcpStream) -> AireResult<Certificate> {
         let hello = self.read_frame(stream)?;
         if hello.kind != FrameKind::Hello {
@@ -229,59 +467,140 @@ impl TcpTransport {
                 self.host, hello.kind
             )));
         }
-        let cert = Certificate::from_jv(&hello.payload)
+        self.validations.set(self.validations.get() + 1);
+        let certs = Certificate::all_from_hello(&hello.payload)
             .map_err(|e| AireError::Protocol(format!("bad certificate from {}: {e}", self.host)))?;
-        if !cert.valid_for(&self.host) {
-            return Err(AireError::Protocol(format!(
-                "certificate validation failed: peer at {} presented a certificate for \
-                 {:?}, expected {:?}",
-                self.data_addr, cert.subject, self.host
-            )));
+        match certs.iter().find(|c| c.valid_for(&self.host)) {
+            Some(cert) => {
+                *self.cert_cache.borrow_mut() = Some(cert.clone());
+                Ok(cert.clone())
+            }
+            None => {
+                let presented: Vec<&str> = certs.iter().map(|c| c.subject.as_str()).collect();
+                *self.cert_cache.borrow_mut() = certs.first().cloned();
+                Err(AireError::Protocol(format!(
+                    "certificate validation failed: peer at {} presented certificate(s) for \
+                     {presented:?}, expected {:?}",
+                    self.data_addr, self.host
+                )))
+            }
         }
-        *self.cert_cache.borrow_mut() = Some(cert.clone());
-        Ok(cert)
     }
 
-    fn exchange(&self, addr: SocketAddr, req: &HttpRequest) -> AireResult<HttpResponse> {
-        let mut stream = self.connect(addr)?;
+    /// Dials a fresh connection to `plane`'s listener and validates the
+    /// peer's greeting before the connection may carry any request.
+    fn dial(&self, plane: Plane) -> AireResult<TcpStream> {
+        let mut stream = self.connect(self.addr(plane))?;
+        self.prepare(&stream)?;
         self.expect_hello(&mut stream)?;
+        self.dials.set(self.dials.get() + 1);
+        Ok(stream)
+    }
+
+    /// One request/response exchange with pooling: reuse a healthy
+    /// parked connection or dial (validating the greeting), write the
+    /// framed request, read the framed reply, and park the connection
+    /// again on a clean exchange. See the type docs for the retry rules.
+    fn exchange(&self, plane: Plane, req: &HttpRequest) -> AireResult<HttpResponse> {
         let framed = frame::encode_request(req)
             .map_err(|e| AireError::Protocol(format!("cannot frame request: {e}")))?;
-        self.write_all(&mut stream, &framed)?;
-        let reply = self.read_frame(&mut stream)?;
-        match reply.kind {
-            FrameKind::Response => HttpResponse::from_jv(&reply.payload)
-                .map_err(|e| AireError::Protocol(format!("bad response from {}: {e}", self.host))),
-            FrameKind::Error => Err(AireError::from_jv(&reply.payload).unwrap_or_else(|e| {
-                AireError::Protocol(format!("bad error frame from {}: {e}", self.host))
-            })),
-            other => Err(AireError::Protocol(format!(
-                "{} answered a request with a {other} frame",
-                self.host
-            ))),
+        let mut retried = false;
+        loop {
+            // A checked-out stream is already in the right I/O mode
+            // (the pool invariant — see `checkout`); only fresh dials
+            // need `prepare`. The retry iteration never consults the
+            // pool: the guarantee is a *freshly dialled, freshly
+            // identity-checked* connection, not another parked one that
+            // may be a corpse of the same peer death.
+            let (mut stream, reused) = if retried {
+                (self.dial(plane)?, false)
+            } else {
+                match self.checkout(plane) {
+                    Some(stream) => (stream, true),
+                    None => (self.dial(plane)?, false),
+                }
+            };
+            if let Err(e) = self.write_all(&mut stream, &framed) {
+                // A write failure on a *reused* connection means the
+                // peer tore it down while it was parked (the probe race:
+                // the FIN can arrive between checkout and write). The
+                // request never reached the application, so one retry on
+                // a fresh, re-validated connection is safe. Anything
+                // else — a fresh connection failing, a second failure,
+                // a timeout — surfaces with per-call semantics.
+                let conn_level = matches!(e, AireError::ServiceUnavailable(_));
+                if reused && conn_level && !retried {
+                    retried = true;
+                    self.retries.set(self.retries.get() + 1);
+                    // Whatever killed this connection (a restart, a
+                    // sever) killed its parked pool-mates too; drop
+                    // them rather than letting later calls rediscover
+                    // the same corpses one write-failure at a time.
+                    self.pool(plane).borrow_mut().clear();
+                    continue;
+                }
+                return Err(e);
+            }
+            if reused {
+                self.reuses.set(self.reuses.get() + 1);
+            }
+            // Past this point the request is on the wire: no transport
+            // retry, whatever happens — resending is the repair queue's
+            // decision, exactly as with per-call dialling.
+            let reply = self.read_frame(&mut stream)?;
+            return match reply.kind {
+                FrameKind::Response => {
+                    let resp = HttpResponse::from_jv(&reply.payload).map_err(|e| {
+                        AireError::Protocol(format!("bad response from {}: {e}", self.host))
+                    })?;
+                    self.checkin(plane, stream);
+                    Ok(resp)
+                }
+                FrameKind::Error => {
+                    // The connection is still framed and healthy — the
+                    // *application* said no; keep the connection.
+                    self.checkin(plane, stream);
+                    Err(AireError::from_jv(&reply.payload).unwrap_or_else(|e| {
+                        AireError::Protocol(format!("bad error frame from {}: {e}", self.host))
+                    }))
+                }
+                other => Err(AireError::Protocol(format!(
+                    "{} answered a request with a {other} frame",
+                    self.host
+                ))),
+            };
         }
     }
 }
 
 impl Transport for TcpTransport {
     fn call(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
-        self.exchange(self.data_addr, req)
+        self.exchange(Plane::Data, req)
     }
 
     fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
-        self.exchange(self.admin_addr, req)
+        self.exchange(Plane::Admin, req)
     }
 
     fn certificate(&self) -> Option<Certificate> {
-        // The identity observed on any past exchange answers without a
+        // The identity observed on any past greeting answers without a
         // dial — so a notify-time validation (§3.1) cannot be failed by
         // a transient blip against a peer whose certificate was already
-        // seen, and no extra connection is spent re-fetching it.
+        // seen. The cache tracks reconnects: a restarted peer's new
+        // identity replaces this entry the moment the pool re-dials.
         if let Some(cert) = self.cert_cache.borrow().clone() {
             return Some(cert);
         }
-        let mut stream = self.connect(self.data_addr).ok()?;
-        self.expect_hello(&mut stream).ok()
+        if let Ok(stream) = self.dial(Plane::Data) {
+            // The greeting answered the question; the validated
+            // connection is perfectly good — park it for the next
+            // data-plane call.
+            self.checkin(Plane::Data, stream);
+        }
+        // Even a failed dial may have learned something: a greeting
+        // whose identity did not match still fills the cache with what
+        // the peer *presented*, so validation rejects it honestly.
+        self.cert_cache.borrow().clone()
     }
 }
 

@@ -1,0 +1,190 @@
+//! Property tests on the dialer's connection pool: across arbitrary
+//! interleavings of calls, peer-side disconnects, and reconnects —
+//!
+//! * a request is **never executed twice** (the single stale-connection
+//!   retry fires only when the request provably never reached the
+//!   peer), and a non-retryable error is produced exactly once per
+//!   call that earned it — never double-retried;
+//! * the pool **never leaks slots** past its configured bound;
+//! * every reconnect **re-validates the certificate** (validations
+//!   track dials exactly — identity is checked per connection, and a
+//!   connection is never used without it).
+//!
+//! The "peer" is a real [`NodeServer`] on loopback; disconnects use its
+//! `sever_connections` chaos hook, which drops live connections exactly
+//! the way a dying daemon does (FIN mid-park). Non-retryable errors are
+//! provoked honestly: the node *advertises* a service its registry
+//! cannot resolve, so dispatch fails with the permanent
+//! `UnknownService` — and the node's own failure counter records every
+//! time that dispatch actually ran.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_transport::{Certificate, Endpoint, Network, NodeServer, Pump, TcpTransport, Transport};
+use aire_types::{jv, AireError};
+use proptest::prelude::*;
+
+const FAST: Duration = Duration::from_millis(200);
+const SLOW: Duration = Duration::from_secs(5);
+
+/// An endpoint that counts how many requests actually reached the
+/// application — the ground truth for "executed exactly once".
+struct CountingEcho {
+    hits: Rc<Cell<u64>>,
+}
+
+impl Endpoint for CountingEcho {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self.hits.set(self.hits.get() + 1);
+        HttpResponse::ok(jv!({"path": req.url.path.clone()}))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// A call that must succeed (dispatches to the counting endpoint).
+    CallOk,
+    /// A call that must fail with the non-retryable `UnknownService`
+    /// (the node advertises "ghost" but cannot dispatch to it).
+    CallGhost,
+    /// The peer drops every live connection (daemon death / restart).
+    Sever,
+}
+
+fn arb_ops() -> BoxedStrategy<Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(Op::CallOk),
+            2 => Just(Op::CallGhost),
+            2 => Just(Op::Sever),
+        ],
+        1..32,
+    )
+    .boxed()
+}
+
+struct Rig {
+    server: NodeServer,
+    /// The node's registry — its `stats().failed` counts every time the
+    /// ghost dispatch actually ran.
+    net: Network,
+    transport: Rc<TcpTransport>,
+    hits: Rc<Cell<u64>>,
+    /// Kept alive so the transport's weak pump handle keeps working.
+    _pump: Rc<dyn Pump>,
+}
+
+fn rig(max_idle: usize) -> Rig {
+    let net = Network::new();
+    let hits = Rc::new(Cell::new(0));
+    let cert = net.register("echo", Rc::new(CountingEcho { hits: hits.clone() }));
+    // The node *advertises* ghost without being able to dispatch to it:
+    // requests routed there die inside delivery with the permanent
+    // UnknownService, and net.stats().failed counts each attempt.
+    let ghost_cert = Certificate {
+        subject: "ghost".into(),
+        serial: 999,
+    };
+    let server = NodeServer::bind_multi(
+        net.clone(),
+        vec![("echo".into(), cert), ("ghost".into(), ghost_cert)],
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let transport = Rc::new(
+        TcpTransport::new("echo", server.data_addr(), server.admin_addr())
+            .with_timeouts(FAST, SLOW)
+            .with_pool(max_idle, Duration::from_secs(30)),
+    );
+    let pump: Rc<dyn Pump> = Rc::new(server.clone());
+    transport.set_pump(Rc::downgrade(&pump));
+    Rig {
+        server,
+        net,
+        transport,
+        hits,
+        _pump: pump,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn interleavings_never_double_dispatch_leak_slots_or_skip_validation(
+        ops in arb_ops(),
+        max_idle in 1usize..4,
+    ) {
+        let rig = rig(max_idle);
+        let ok_req = HttpRequest::get(Url::service("echo", "/ok"));
+        let ghost_req = HttpRequest::get(Url::service("ghost", "/boo"));
+
+        let (mut ok_calls, mut ghost_calls, mut severs) = (0u64, 0u64, 0u64);
+        for op in &ops {
+            match op {
+                Op::CallOk => {
+                    let resp = rig.transport.call(&ok_req);
+                    prop_assert!(resp.is_ok(), "healthy call failed: {resp:?}");
+                    ok_calls += 1;
+                }
+                Op::CallGhost => {
+                    let err = rig
+                        .transport
+                        .call(&ghost_req)
+                        .expect_err("ghost call must fail");
+                    prop_assert!(
+                        matches!(err, AireError::UnknownService(_)),
+                        "ghost call must surface the permanent error: {err}"
+                    );
+                    prop_assert!(!err.is_retryable());
+                    ghost_calls += 1;
+                }
+                Op::Sever => {
+                    rig.server.sever_connections();
+                    severs += 1;
+                }
+            }
+            // The pool bound holds at every step, not just at the end
+            // (only the data plane is exercised, so `idle` is exactly
+            // the data pool's depth).
+            let stats = rig.transport.pool_stats();
+            prop_assert!(
+                stats.idle <= max_idle,
+                "pool leaked past its bound: {stats:?} (max_idle {max_idle})"
+            );
+        }
+
+        let stats = rig.transport.pool_stats();
+        // Exactly-once execution: every successful call reached the
+        // application once — the stale-connection retry never re-ran a
+        // request, and no request was lost.
+        prop_assert_eq!(rig.hits.get(), ok_calls, "{:?}", stats);
+        // Exactly-once failure: each non-retryable error came from
+        // exactly one dispatch attempt — never double-retried. The
+        // node's own failure counter is the ground truth.
+        prop_assert_eq!(rig.net.stats().failed, ghost_calls, "{:?}", stats);
+        // Certificate discipline: every fresh connection was validated,
+        // and nothing was validated outside a fresh connection —
+        // identity checks happen per (re)connect, not per call.
+        prop_assert_eq!(stats.validations, stats.dials, "{:?}", stats);
+        // Exchange accounting: every call was served by exactly one
+        // exchange — a dial or a reuse — plus one extra dial per
+        // transport-level retry.
+        prop_assert_eq!(
+            stats.dials + stats.reuses,
+            ok_calls + ghost_calls + stats.retries,
+            "{:?}", stats
+        );
+        // Retries are bounded by the corpses severing could have left
+        // parked (the probe normally catches them all, making this 0;
+        // the write-race path can fire at most once per corpse).
+        prop_assert!(
+            stats.retries <= severs * max_idle as u64,
+            "{stats:?} after {severs} severs"
+        );
+    }
+}

@@ -245,15 +245,37 @@ impl Jv {
 /// The size in bytes of a string's compact encoding, quotes and escapes
 /// included — the counting twin of the internal string encoder.
 pub fn str_encoded_len(s: &str) -> usize {
-    let mut len = 2; // the quotes
-    for c in s.chars() {
-        len += match c {
+    2 + escaped_body_len(s)
+}
+
+/// The escaped length of `s` without the surrounding quotes.
+fn escaped_body_len(s: &str) -> usize {
+    s.chars()
+        .map(|c| match c {
             '"' | '\\' | '\n' | '\r' | '\t' => 2,
             c if (c as u32) < 0x20 => 6, // \u00XX
             c => c.len_utf8(),
-        };
+        })
+        .sum()
+}
+
+/// The size in bytes of the compact string encoding of a [`fmt::Display`]
+/// rendering, quotes and escapes included — [`str_encoded_len`] without
+/// materializing the rendered string. Byte accounting runs on every
+/// delivery, and values like URLs are stored structured; this counts
+/// their encoded form allocation-free.
+pub fn str_encoded_len_display(value: &impl fmt::Display) -> usize {
+    struct Counter(usize);
+    impl fmt::Write for Counter {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.0 += escaped_body_len(s);
+            Ok(())
+        }
     }
-    len
+    let mut counter = Counter(2); // the quotes
+    use fmt::Write;
+    write!(counter, "{value}").expect("counting never fails");
+    counter.0
 }
 
 impl fmt::Debug for Jv {

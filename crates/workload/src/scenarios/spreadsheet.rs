@@ -25,6 +25,11 @@ use aire_core::World;
 use aire_http::{Headers, HttpRequest, Method, Status, Url};
 use aire_types::{jv, Jv, RequestId};
 
+/// The Figure 5 services, in registration order: the ACL directory and
+/// the two spreadsheet instances it feeds. A multi-process deployment
+/// hosts them as named `spreadsheet:<name>` specs on `aire-noded`.
+pub const SERVICES: [&str; 3] = ["acl-dir", "sheet-a", "sheet-b"];
+
 /// Which Figure 5 scenario to assemble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
@@ -90,13 +95,24 @@ pub fn acl_contains(world: &World, host: &str, principal: &str) -> bool {
         .any(|e| e.str_of("principal") == principal)
 }
 
-/// Builds the Figure 5 world for `variant`.
+/// Builds the Figure 5 world for `variant`: the in-process deployment —
+/// three [`Spreadsheet`] instances under one simulated network — driven
+/// through the same [`populate`] the multi-process cluster test uses.
 pub fn setup(variant: Variant) -> SpreadsheetScenario {
     let mut world = World::new();
-    world.add_service(Rc::new(Spreadsheet::new("acl-dir")));
-    world.add_service(Rc::new(Spreadsheet::new("sheet-a")));
-    world.add_service(Rc::new(Spreadsheet::new("sheet-b")));
+    for name in SERVICES {
+        world.add_service(Rc::new(Spreadsheet::new(name)));
+    }
+    populate(world, variant)
+}
 
+/// Runs the full Figure 5 workload — tokens, ACLs, scripts, legitimate
+/// writes, the administrator's mistake, the attack, post-attack
+/// traffic — against a world whose services are already registered
+/// (locally via [`setup`], or as remote `aire-noded`-hosted instances
+/// for a cluster deployment). Every step crosses `world.deliver`, so it
+/// drives either deployment identically.
+pub fn populate(world: World, variant: Variant) -> SpreadsheetScenario {
     // Tokens: the directory's distribution script is an admin on both
     // sheets; alice is a legitimate writer everywhere; the sync script's
     // token can write on B.

@@ -1,27 +1,31 @@
-//! A real multi-process Aire cluster, narrated.
+//! A real multi-process Aire deployment, narrated.
 //!
 //! ```text
 //! cargo build --release --examples     # builds the aire_noded daemon too
 //! cargo run --release --example tcp_cluster
 //! ```
 //!
-//! Spawns two `aire-noded` daemons — askbot and dpaste — each hosting
-//! its service behind a data listener and an operator listener, then:
+//! Spawns **one** `aire-noded` daemon hosting **two** services — askbot
+//! and dpaste behind a single data listener plus a single operator
+//! listener, frames routed to the service named in each request — then:
 //!
 //! 1. drives a browser workload over actual TCP sockets (askbot
-//!    cross-posts code to dpaste daemon-to-daemon);
+//!    cross-posts code to dpaste inside the node); the driver's pooled
+//!    dialer connects and validates each service's certificate once,
+//!    and every later call reuses the warm connection;
 //! 2. recovers remotely: the administrator deletes the attacker's
 //!    question with a data-plane repair carrier and flushes askbot's
 //!    repair queue over the operator listener, which propagates the
-//!    delete to dpaste across processes;
-//! 3. shuts both daemons down cleanly with transport-level shutdown
-//!    frames and reaps the child processes.
+//!    delete to dpaste;
+//! 3. shuts the daemon down cleanly with a transport-level shutdown
+//!    frame and reaps the child process.
 //!
-//! This is the paper's deployment shape — one web application per
-//! process, repair messages on real wires — driven by the same `World`
-//! API the in-process scenarios use. The spawn scaffolding (ready-line
-//! handshake, kill-on-drop orphan guard) is the shared
-//! [`aire::apps::noded::spawn`] module.
+//! This is the paper's deployment shape — web applications behind real
+//! wires — driven by the same `World` API the in-process scenarios use.
+//! The spawn scaffolding (ready-line handshake, kill-on-drop orphan
+//! guard) is the shared [`aire::apps::noded::spawn`] module; the
+//! three-daemon variant (every service its own process) lives in
+//! `tests/transport.rs`.
 
 use std::process::exit;
 use std::rc::Rc;
@@ -45,41 +49,28 @@ fn main() {
         }
     };
 
-    let (askbot_data, askbot_admin) = free_addrs();
-    let (dpaste_data, dpaste_admin) = free_addrs();
-    let mut daemons = Vec::new();
-    for (service, data, admin, peer) in [
-        (
-            "askbot",
-            askbot_data,
-            askbot_admin,
-            ("dpaste".to_string(), dpaste_data, dpaste_admin),
-        ),
-        (
-            "dpaste",
-            dpaste_data,
-            dpaste_admin,
-            ("askbot".to_string(), askbot_data, askbot_admin),
-        ),
-    ] {
-        let node = spawn_node(&noded, service, data, admin, &[peer], 120)
-            .unwrap_or_else(|e| panic!("{e}"));
-        println!("spawned: {service} data={} admin={}", node.data, node.admin);
-        daemons.push(node);
-    }
+    // One process, two services, one listener pair.
+    let (data, admin) = free_addrs();
+    let mut daemon = spawn_node(&noded, &["askbot", "dpaste"], data, admin, &[], 120, None)
+        .unwrap_or_else(|e| panic!("{e}"));
+    println!(
+        "spawned one daemon hosting {:?}: data={} admin={}",
+        daemon.services, daemon.data, daemon.admin
+    );
 
-    // The driver's world contains only *remote* services.
+    // The driver's world contains only *remote* services: one pooled
+    // dialer per service, both pointed at the same daemon.
     let mut world = World::new();
-    for (name, data, admin) in [
-        ("askbot", askbot_data, askbot_admin),
-        ("dpaste", dpaste_data, dpaste_admin),
-    ] {
-        world.add_remote(name, Rc::new(TcpTransport::new(name, data, admin)));
+    let mut transports = Vec::new();
+    for name in ["askbot", "dpaste"] {
+        let t = Rc::new(TcpTransport::new(name, data, admin));
+        world.add_remote(name, t.clone());
+        transports.push(t);
     }
 
     // Workload over real sockets: a user registers, logs in, and posts a
-    // question whose code snippet askbot cross-posts to the dpaste
-    // daemon — service-to-service traffic between two OS processes.
+    // question whose code snippet askbot cross-posts to dpaste — two
+    // services co-hosted in the daemon, reached over the wire.
     let mut browser = aire::workload::client::Browser::new();
     browser
         .post(
@@ -105,8 +96,8 @@ fn main() {
     println!("attack posted over TCP: question spread to dpaste as paste {paste_id}");
 
     // Remote recovery: delete the question's request (data-plane repair
-    // carrier), then flush askbot's queue over its operator listener so
-    // the delete crosses to the dpaste process.
+    // carrier), then flush askbot's queue over the operator listener so
+    // the delete reaches dpaste.
     let mut creds = Headers::new();
     creds.set(ADMIN_HEADER, ADMIN_SECRET);
     let ack = world
@@ -132,20 +123,32 @@ fn main() {
         )))
         .unwrap();
     assert!(gone.status.is_error(), "paste must be deleted remotely");
-    println!("dpaste (separate process) no longer serves paste {paste_id}");
+    println!("dpaste no longer serves paste {paste_id}");
 
     let stats = world.net().stats();
     println!(
         "driver traffic: {} data deliveries ({} framed bytes), {} operator calls",
         stats.delivered, stats.bytes, stats.admin_delivered
     );
+    let mut total_reuses = 0;
+    for t in &transports {
+        let pool = t.pool_stats();
+        println!(
+            "{} pool: {} dial(s), {} reuse(s), {} certificate validation(s)",
+            t.host(),
+            pool.dials,
+            pool.reuses,
+            pool.validations
+        );
+        total_reuses += pool.reuses;
+    }
+    assert!(
+        total_reuses > 0,
+        "persistent connections must have been reused"
+    );
 
-    // Clean shutdown: transport-level frames, then reap.
-    for admin in [askbot_admin, dpaste_admin] {
-        shutdown_node(admin, Duration::from_secs(5)).unwrap();
-    }
-    for mut daemon in daemons {
-        daemon.wait_success().unwrap();
-    }
-    println!("both daemons acknowledged shutdown and exited cleanly.");
+    // Clean shutdown: a transport-level frame, then reap.
+    shutdown_node(admin, Duration::from_secs(5)).unwrap();
+    daemon.wait_success().unwrap();
+    println!("daemon acknowledged shutdown and exited cleanly.");
 }

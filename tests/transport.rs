@@ -1,4 +1,5 @@
-//! The multi-process acceptance test: a real Aire cluster.
+//! The multi-process acceptance tests: a real Aire cluster, with and
+//! without injected transport faults.
 //!
 //! Three `aire-noded` daemons (oauth, askbot, dpaste) are spawned as
 //! child processes, each hosting one service behind two TCP listeners.
@@ -7,10 +8,23 @@
 //! over actual sockets: workload traffic on the data listeners, then
 //! mode switch → local repair → flush → retry → leak audit on the
 //! operator listeners, with dpaste killed mid-recovery and resurrected
-//! from a wire-pulled snapshot (the paper's "down, unreachable, or
-//! otherwise unavailable" peer, §1). The resulting state digests must
+//! from a wire-pulled snapshot **under a rotated certificate** (the
+//! paper's "down, unreachable, or otherwise unavailable" peer, §1, plus
+//! §3.1's re-validation on reconnect). The resulting state digests must
 //! equal an in-process run of the same scenario — the byte-for-byte
 //! proof that the simulation and the deployment are the same system.
+//!
+//! A second Figure 4 run routes traffic through [`ChaosProxy`]s that
+//! deterministically inject the partial-failure states connection
+//! pooling creates — garbage bytes on a reused connection, delayed
+//! reads, connections severed while parked, and mid-frame disconnects
+//! on the repair path — and proves the digests *still* match the
+//! in-process run: queued repairs survive every fault the per-call
+//! design absorbed for free, and then some.
+//!
+//! A third test deploys Figure 5 for real: one daemon hosting all three
+//! named spreadsheet instances through `--service spreadsheet:<name>`
+//! specs, recovered over the wire, digest-checked against in-process.
 //!
 //! Orphan protection: every daemon gets `--max-runtime-secs`, and the
 //! [`SpawnedNode`] guard kills children on drop (including panic
@@ -19,6 +33,7 @@
 //! shared [`aire::apps::noded::spawn`] module, the same one the
 //! `tcp_cluster` example uses.
 
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::rc::Rc;
 use std::time::Duration;
@@ -27,18 +42,22 @@ use aire::apps::noded::spawn::{free_addrs, locate_example, spawn_node, SpawnedNo
 use aire::core::admin::{AdminOp, AdminResponse};
 use aire::core::{RepairMode, World};
 use aire::http::Headers;
+use aire::transport::chaos::{ChaosProxy, FaultPlan};
 use aire::transport::{shutdown_node, TcpTransport};
 use aire::vdb::Filter;
 use aire::workload::scenarios::askbot_attack::{self, AskbotWorkload};
+use aire::workload::scenarios::spreadsheet::{self, Variant};
 
 fn node(
-    name: &str,
+    services: &[&str],
     data: SocketAddr,
     admin: SocketAddr,
     peers: &[(String, SocketAddr, SocketAddr)],
+    cert_serial: Option<u64>,
 ) -> SpawnedNode {
     let exe = locate_example("aire_noded").expect("cargo test builds the aire_noded example");
-    spawn_node(&exe, name, data, admin, peers, 180).unwrap_or_else(|e| panic!("{e}"))
+    spawn_node(&exe, services, data, admin, peers, 180, cert_serial)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Spawns the full three-service cluster, every node peered with the
@@ -56,24 +75,26 @@ fn spawn_cluster() -> Vec<SpawnedNode> {
                 .filter(|(p, _)| p != name)
                 .map(|(p, (d, a))| (p.to_string(), *d, *a))
                 .collect();
-            node(name, *data, *admin, &peers)
+            node(&[name], *data, *admin, &peers, None)
         })
         .collect()
 }
 
-/// A driver-side world whose services all live in the given daemons.
-fn remote_world(nodes: &[SpawnedNode]) -> World {
+/// A driver-side world whose services all live in the given daemons;
+/// the pooled transports are returned too, so tests can assert against
+/// their [`aire::transport::PoolStats`].
+fn remote_world(nodes: &[SpawnedNode]) -> (World, BTreeMap<String, Rc<TcpTransport>>) {
     let mut world = World::new();
+    let mut transports = BTreeMap::new();
     for node in nodes {
-        world.add_remote(
-            node.name.clone(),
-            Rc::new(
-                TcpTransport::new(node.name.clone(), node.data, node.admin)
-                    .with_timeouts(Duration::from_millis(500), Duration::from_secs(30)),
-            ),
+        let t = Rc::new(
+            TcpTransport::new(node.name.clone(), node.data, node.admin)
+                .with_timeouts(Duration::from_millis(500), Duration::from_secs(30)),
         );
+        world.add_remote(node.name.clone(), t.clone());
+        transports.insert(node.name.clone(), t);
     }
-    world
+    (world, transports)
 }
 
 fn small() -> AskbotWorkload {
@@ -90,8 +111,8 @@ fn admin(world: &World, service: &str, op: AdminOp) -> AdminResponse {
         .unwrap_or_else(|e| panic!("admin op on {service} failed: {e}"))
 }
 
-fn digests(world: &World) -> Vec<String> {
-    askbot_attack::SERVICES
+fn digests_of(world: &World, services: &[&str]) -> Vec<String> {
+    services
         .iter()
         .map(|s| match admin(world, s, AdminOp::Digest) {
             AdminResponse::Digest { digest } => digest,
@@ -100,10 +121,14 @@ fn digests(world: &World) -> Vec<String> {
         .collect()
 }
 
-#[test]
-fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
-    //// The in-process reference: same workload, same recovery schedule
-    //// (deferred mode, dpaste down during the first propagation wave).
+fn digests(world: &World) -> Vec<String> {
+    digests_of(world, &askbot_attack::SERVICES)
+}
+
+/// The in-process Figure 4 reference: same workload, same recovery
+/// schedule (deferred mode, dpaste down during the first propagation
+/// wave, then back), shared by both cluster runs below.
+fn in_process_reference() -> Vec<String> {
     let reference = askbot_attack::setup(&small());
     reference.world.set_repair_mode_all(RepairMode::Deferred);
     reference.world.set_online("dpaste", false);
@@ -115,11 +140,17 @@ fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
     );
     reference.world.set_online("dpaste", true);
     assert!(reference.world.settle().quiescent());
-    let expected = digests(&reference.world);
+    digests(&reference.world)
+}
 
-    //// The cluster: three OS processes, driven over real sockets.
+#[test]
+fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
+    let expected = in_process_reference();
+
+    //// The cluster: three OS processes, driven over real sockets
+    //// through pooled, persistent connections.
     let mut nodes = spawn_cluster();
-    let world = remote_world(&nodes);
+    let (world, transports) = remote_world(&nodes);
 
     // The entire attack workload crosses the data listeners (askbot's
     // cross-posts to dpaste travel daemon-to-daemon).
@@ -140,7 +171,8 @@ fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
     }
 
     // Snapshot dpaste over the wire, then kill it: the peer is now
-    // genuinely down — a dead process, not a simulation flag.
+    // genuinely down — a dead process, not a simulation flag — while
+    // the driver and askbot both hold warm pooled connections to it.
     let AdminResponse::Snapshot { snapshot } = admin(&world, "dpaste", AdminOp::Snapshot) else {
         panic!("snapshot response");
     };
@@ -170,7 +202,9 @@ fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
     assert!(delivered > 0, "oauth must propagate repair to askbot");
 
     // Askbot applies its aggregated seeds; its own propagation to the
-    // dead dpaste daemon must fail retryably and stay queued.
+    // dead dpaste daemon must fail retryably and stay queued — the
+    // pooled connection it held to dpaste is a corpse, and the pool
+    // must classify that as "temporarily down", not eat the message.
     admin(&world, "askbot", AdminOp::RunLocalRepair);
     admin(&world, "askbot", AdminOp::FlushQueue);
     let AdminResponse::Queue { entries } = admin(&world, "askbot", AdminOp::ListQueue) else {
@@ -192,17 +226,38 @@ fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
         );
     }
 
-    // 4. Resurrect dpaste on the same ports, restore its state from the
+    // 4. Resurrect dpaste on the same ports — under a *rotated*
+    //    certificate (fresh serial, same subject: the §3.1 "daemon
+    //    restart with cert change" state) — restore its state from the
     //    wire-pulled snapshot (crash recovery over the control plane),
     //    and retry the held-back messages — Table 2's `retry`, remote.
+    //    Every warm pool in the system must detect the dead connection,
+    //    re-dial, and re-validate the new identity.
     let peers: Vec<(String, SocketAddr, SocketAddr)> = nodes
         .iter()
         .map(|n| (n.name.clone(), n.data, n.admin))
         .collect();
-    nodes.push(node("dpaste", dpaste_data, dpaste_admin, &peers));
+    nodes.push(node(
+        &["dpaste"],
+        dpaste_data,
+        dpaste_admin,
+        &peers,
+        Some(4242),
+    ));
     let AdminResponse::Ack = admin(&world, "dpaste", AdminOp::Restore { snapshot }) else {
         panic!("restore response");
     };
+    // The reconnect re-validated the greeting and observed the rotated
+    // identity — the pool cannot silently keep the dead one.
+    let cert = world
+        .net()
+        .certificate_of("dpaste")
+        .expect("presented identity");
+    assert!(cert.valid_for("dpaste"));
+    assert_eq!(
+        cert.serial, 4242,
+        "the pooled dialer must see the restarted daemon's rotated certificate"
+    );
     for e in &stuck {
         let AdminResponse::Ack = admin(
             &world,
@@ -258,11 +313,23 @@ fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
         "the attack paste must be gone from the resurrected dpaste"
     );
 
-    // Both listeners really were exercised, from this process alone.
+    // Both listeners really were exercised, from this process alone —
+    // and over *reused* connections: the whole recovery must not have
+    // cost anywhere near one dial per call.
     let stats = world.net().stats();
     assert!(stats.delivered > 50, "data-plane traffic: {stats:?}");
     assert!(stats.admin_delivered > 20, "operator traffic: {stats:?}");
     assert!(stats.bytes > 10_000, "framed byte accounting: {stats:?}");
+    let askbot_pool = transports["askbot"].pool_stats();
+    assert!(
+        askbot_pool.reuses > askbot_pool.dials,
+        "the recovery must ride pooled connections, not per-call dials: {askbot_pool:?}"
+    );
+    let dpaste_pool = transports["dpaste"].pool_stats();
+    assert!(
+        dpaste_pool.stale_drops > 0 || dpaste_pool.retries > 0,
+        "the dpaste kill must have been noticed by the pool: {dpaste_pool:?}"
+    );
 
     //// Clean shutdown: every daemon acknowledges and exits 0.
     for node in &mut nodes {
@@ -272,13 +339,279 @@ fn tcp_cluster_askbot_recovery_matches_the_in_process_run() {
     }
 }
 
+/// Figure 4 again, but with every fault kind the pool must survive
+/// injected deterministically along the way — and the same
+/// digest-identical oracle at the end. The faults:
+///
+/// 1. **connections severed while parked** + **garbage bytes on a
+///    reused connection** (driver→askbot, via a chaos proxy): the
+///    checkout probe must absorb both without failing a single call;
+/// 2. **delayed reads** (driver→askbot): calls slow down, nothing
+///    breaks;
+/// 3. **mid-frame disconnects** on the repair path (askbot→dpaste, via
+///    a second proxy): first cutting the greeting mid-header, then a
+///    request frame half-written — both must classify retryable, keep
+///    the repair queued with the reason recorded, and deliver cleanly
+///    once the path heals.
+#[test]
+fn figure4_recovery_stays_digest_identical_under_injected_faults() {
+    let expected = in_process_reference();
+
+    // The cluster, hand-wired so two links run through chaos proxies:
+    //   driver ──drv_proxy──▶ askbot(data)      (faults 1 & 2)
+    //   askbot ──dp_proxy───▶ dpaste(data)      (fault 3)
+    let (oauth_data, oauth_admin) = free_addrs();
+    let (askbot_data, askbot_admin) = free_addrs();
+    let (dpaste_data, dpaste_admin) = free_addrs();
+    let dp_proxy = ChaosProxy::spawn(dpaste_data).expect("spawn dpaste proxy");
+    let drv_proxy = ChaosProxy::spawn(askbot_data).expect("spawn askbot proxy");
+
+    let direct = |name: &str, d, a| (name.to_string(), d, a);
+    let _oauth = node(
+        &["oauth"],
+        oauth_data,
+        oauth_admin,
+        &[
+            direct("askbot", askbot_data, askbot_admin),
+            direct("dpaste", dpaste_data, dpaste_admin),
+        ],
+        None,
+    );
+    // askbot reaches dpaste's data plane only through the proxy.
+    let _askbot = node(
+        &["askbot"],
+        askbot_data,
+        askbot_admin,
+        &[
+            direct("oauth", oauth_data, oauth_admin),
+            direct("dpaste", dp_proxy.addr(), dpaste_admin),
+        ],
+        None,
+    );
+    let _dpaste = node(
+        &["dpaste"],
+        dpaste_data,
+        dpaste_admin,
+        &[
+            direct("oauth", oauth_data, oauth_admin),
+            direct("askbot", askbot_data, askbot_admin),
+        ],
+        None,
+    );
+
+    let mut world = World::new();
+    let timeouts = (Duration::from_millis(500), Duration::from_secs(30));
+    let askbot_t = Rc::new(
+        TcpTransport::new("askbot", drv_proxy.addr(), askbot_admin)
+            .with_timeouts(timeouts.0, timeouts.1),
+    );
+    world.add_remote("askbot", askbot_t.clone());
+    for (name, d, a) in [
+        ("oauth", oauth_data, oauth_admin),
+        ("dpaste", dpaste_data, dpaste_admin),
+    ] {
+        world.add_remote(
+            name,
+            Rc::new(TcpTransport::new(name, d, a).with_timeouts(timeouts.0, timeouts.1)),
+        );
+    }
+
+    // The attack, with every driver→askbot byte crossing the proxy and
+    // askbot's cross-posts to dpaste crossing the second one.
+    let facts = askbot_attack::populate(&world, &small());
+    assert!(
+        dp_proxy.connections() > 0,
+        "askbot's cross-posts must have crossed the repair-path proxy"
+    );
+
+    //// Fault 1a: sever every parked driver connection (the peer-died-
+    //// holding-your-pooled-connection state)...
+    assert!(drv_proxy.sever_live() > 0, "a pooled connection was parked");
+    let titles = askbot_attack::askbot_titles(&world);
+    assert!(titles.iter().any(|t| t.contains("FREE BITCOIN")));
+    //// ...and 1b: inject garbage into the (fresh) parked connection —
+    //// the probe must discard it instead of misreading it as a reply.
+    assert!(
+        drv_proxy.inject_garbage(b"\xDE\xADnot-a-frame\xBE\xEF") > 0,
+        "garbage must land on a live parked connection"
+    );
+    std::thread::sleep(Duration::from_millis(50)); // let it reach the socket
+    let titles = askbot_attack::askbot_titles(&world);
+    assert!(titles.iter().any(|t| t.contains("FREE BITCOIN")));
+    let pool = askbot_t.pool_stats();
+    assert!(
+        pool.stale_drops >= 1,
+        "the probe must have eaten the poisoned/severed connections: {pool:?}"
+    );
+
+    //// Fault 2: delayed reads on fresh driver connections.
+    drv_proxy.sever_live();
+    drv_proxy.set_default_plan(FaultPlan {
+        delay_to_client: Some(Duration::from_millis(20)),
+        ..FaultPlan::default()
+    });
+    let titles = askbot_attack::askbot_titles(&world);
+    assert!(
+        titles.iter().any(|t| t.contains("FREE BITCOIN")),
+        "delayed reads must slow calls down, not break them"
+    );
+    drv_proxy.set_default_plan(FaultPlan::default());
+
+    // Recovery begins: deferred mode everywhere, then the delete.
+    world.set_repair_mode_all(RepairMode::Deferred);
+    let ack = askbot_attack::repair_with(&world, &facts.misconfig_request);
+    assert!(ack.status.is_success(), "repair rejected: {:?}", ack.body);
+    let AdminResponse::Repaired { actions } = admin(&world, "oauth", AdminOp::RunLocalRepair)
+    else {
+        panic!("repair response");
+    };
+    assert!(actions > 0);
+    let AdminResponse::Flushed { delivered, .. } = admin(&world, "oauth", AdminOp::FlushQueue)
+    else {
+        panic!("flush response");
+    };
+    assert!(delivered > 0, "oauth must propagate repair to askbot");
+
+    //// Fault 3a: the repair path askbot→dpaste now dies mid-frame —
+    //// every fresh connection's greeting is cut 3 bytes into its
+    //// 10-byte header — and the warm connections askbot pooled during
+    //// populate are severed so it must re-dial into the fault.
+    dp_proxy.set_default_plan(FaultPlan::cut_mid_first_frame());
+    dp_proxy.sever_live();
+
+    admin(&world, "askbot", AdminOp::RunLocalRepair);
+    admin(&world, "askbot", AdminOp::FlushQueue);
+    let AdminResponse::Queue { entries } = admin(&world, "askbot", AdminOp::ListQueue) else {
+        panic!("queue response");
+    };
+    let stuck: Vec<_> = entries.iter().filter(|e| e.target == "dpaste").collect();
+    assert!(
+        !stuck.is_empty(),
+        "mid-frame disconnects must leave the repair queued, not lost"
+    );
+    for e in &stuck {
+        assert!(e.attempts > 0, "delivery must have been attempted: {e:?}");
+        assert!(
+            e.last_error
+                .as_deref()
+                .unwrap_or("")
+                .contains("unavailable"),
+            "a mid-frame cut must classify retryable: {e:?}"
+        );
+    }
+
+    //// Fault 3b: heal the greeting but cut the *request* frame
+    //// half-written (15 bytes in) — the flush must again fail
+    //// retryably, not drop or double-deliver anything.
+    dp_proxy.set_default_plan(FaultPlan {
+        cut_to_server_after: Some(15),
+        ..FaultPlan::default()
+    });
+    admin(&world, "askbot", AdminOp::FlushQueue);
+    let AdminResponse::Queue { entries } = admin(&world, "askbot", AdminOp::ListQueue) else {
+        panic!("queue response");
+    };
+    assert!(
+        entries.iter().any(|e| e.target == "dpaste"),
+        "a half-written request frame must leave the repair queued"
+    );
+
+    //// Heal the path completely; the held-back repairs drain on their
+    //// own during settle, and the cluster converges.
+    dp_proxy.set_default_plan(FaultPlan::default());
+    let settle = world.settle();
+    assert!(settle.quiescent(), "cluster must quiesce: {settle:?}");
+
+    //// The oracle, again: faults changed *when* repairs flowed, never
+    //// *what* state they produced.
+    assert_eq!(
+        digests(&world),
+        expected,
+        "fault-injected recovery must converge to the in-process state"
+    );
+    let titles = askbot_attack::askbot_titles(&world);
+    assert!(!titles.iter().any(|t| t.contains("FREE BITCOIN")));
+    for t in &facts.legit_titles {
+        assert!(titles.contains(t), "lost legit question {t}");
+    }
+
+    // The run really exercised reuse under fire.
+    let pool = askbot_t.pool_stats();
+    assert!(pool.reuses > 0, "{pool:?}");
+    assert!(pool.stale_drops > 0, "{pool:?}");
+
+    for (name, admin_addr) in [
+        ("oauth", oauth_admin),
+        ("askbot", askbot_admin),
+        ("dpaste", dpaste_admin),
+    ] {
+        shutdown_node(admin_addr, Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("shutting down {name}: {e}"));
+    }
+}
+
+/// Figure 5 deployed as a real cluster: **one** daemon hosting all
+/// three named spreadsheet instances (`--service spreadsheet:<name>`),
+/// attacked and recovered entirely over the wire, digest-checked
+/// against the in-process run.
+#[test]
+fn figure5_spreadsheet_cluster_in_one_multi_service_daemon() {
+    // In-process reference.
+    let reference = spreadsheet::setup(Variant::LaxPermissions);
+    spreadsheet::repair(&reference);
+    spreadsheet::assert_recovered(&reference);
+    let expected = digests_of(&reference.world, &spreadsheet::SERVICES);
+
+    // One process, three services, one listener pair.
+    let (data, admin_addr) = free_addrs();
+    let specs: Vec<String> = spreadsheet::SERVICES
+        .iter()
+        .map(|s| format!("spreadsheet:{s}"))
+        .collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let mut daemon = node(&spec_refs, data, admin_addr, &[], None);
+
+    let mut world = World::new();
+    for name in spreadsheet::SERVICES {
+        world.add_remote(
+            name,
+            Rc::new(
+                TcpTransport::new(name, data, admin_addr)
+                    .with_timeouts(Duration::from_millis(500), Duration::from_secs(30)),
+            ),
+        );
+    }
+
+    // The same workload code that drives the simulation drives the
+    // daemon: the ACL-distribution trigger scripts fan out *inside* the
+    // node, between co-hosted services.
+    let s = spreadsheet::populate(world, Variant::LaxPermissions);
+    assert_eq!(
+        spreadsheet::cell(&s.world, "sheet-a", "budget", "q1"),
+        "0 HACKED",
+        "attack must be visible over TCP before repair"
+    );
+    assert!(spreadsheet::acl_contains(&s.world, "sheet-b", "attacker"));
+
+    spreadsheet::repair(&s);
+    spreadsheet::assert_recovered(&s);
+    assert_eq!(
+        digests_of(&s.world, &spreadsheet::SERVICES),
+        expected,
+        "the one-daemon Figure 5 cluster must converge to the in-process state"
+    );
+
+    shutdown_node(daemon.admin, Duration::from_secs(5)).unwrap();
+    daemon.wait_success().unwrap();
+}
+
 /// The dialer's identity check against a live daemon: a driver that
 /// expects service X but dials service Y's sockets must refuse to talk
 /// to it — impersonation dies at connect time, before any request.
 #[test]
 fn dialer_refuses_a_live_daemon_with_the_wrong_identity() {
     let (data, admin_addr) = free_addrs();
-    let mut node = node("dpaste", data, admin_addr, &[]);
+    let mut node = node(&["dpaste"], data, admin_addr, &[], None);
 
     let mut world = World::new();
     world.add_remote(
@@ -299,6 +632,64 @@ fn dialer_refuses_a_live_daemon_with_the_wrong_identity() {
     node.wait_success().unwrap();
 }
 
+/// A daemon killed behind a *warm pool* and restarted on the same ports
+/// as a different service entirely: the pooled dialer must surface the
+/// §3.1 identity mismatch on its next call — and report the identity
+/// now actually presented — instead of silently reusing the dead one it
+/// validated before the restart.
+#[test]
+fn daemon_restart_with_a_different_identity_is_surfaced_not_reused() {
+    let (data, admin_addr) = free_addrs();
+    let dpaste = node(&["dpaste"], data, admin_addr, &[], None);
+
+    let mut world = World::new();
+    let t = Rc::new(
+        TcpTransport::new("dpaste", data, admin_addr)
+            .with_timeouts(Duration::from_millis(500), Duration::from_secs(5)),
+    );
+    world.add_remote("dpaste", t.clone());
+
+    // Warm the pool and cache the identity.
+    let resp = world
+        .deliver(&aire::http::HttpRequest::post(
+            aire::http::Url::service("dpaste", "/paste"),
+            aire::types::jv!({"code": "let x = 1;"}),
+        ))
+        .unwrap();
+    assert!(resp.status.is_success(), "{:?}", resp.body);
+    assert!(t.pool_stats().idle >= 1, "{:?}", t.pool_stats());
+    assert!(world
+        .net()
+        .certificate_of("dpaste")
+        .unwrap()
+        .valid_for("dpaste"));
+
+    // Kill dpaste; resurrect the *ports* as a completely different
+    // service (a misdeployment, or an attacker squatting the address).
+    drop(dpaste); // SIGKILL + reap
+    let mut imposter = node(&["oauth"], data, admin_addr, &[], None);
+
+    // The pooled connection is a corpse; the re-dial re-validates the
+    // greeting and must refuse — not resurrect — the old identity.
+    let err = world
+        .deliver(&aire::http::HttpRequest::get(aire::http::Url::service(
+            "dpaste", "/paste/1",
+        )))
+        .expect_err("the rotated identity must fail certificate validation");
+    let msg = err.to_string();
+    assert!(msg.contains("certificate validation failed"), "{msg}");
+    assert!(msg.contains("oauth"), "{msg}");
+    assert!(!err.is_retryable(), "impersonation is not a retry case");
+    // The registry now reports the identity actually presented — the
+    // dead dpaste certificate is gone, so §3.1 validation rejects.
+    let presented = world.net().certificate_of("dpaste").unwrap();
+    assert_eq!(presented.subject, "oauth");
+    assert!(!presented.valid_for("dpaste"));
+
+    shutdown_node(imposter.admin, Duration::from_secs(5)).unwrap();
+    imposter.wait_success().unwrap();
+}
+
 /// A daemon answers garbage bytes with an error frame naming the
 /// problem, and keeps serving honest clients afterwards.
 #[test]
@@ -306,7 +697,7 @@ fn daemon_survives_garbage_and_keeps_serving() {
     use std::io::{Read, Write};
 
     let (data, admin_addr) = free_addrs();
-    let mut node = node("dpaste", data, admin_addr, &[]);
+    let mut node = node(&["dpaste"], data, admin_addr, &[], None);
 
     // Raw garbage straight at the data listener.
     let mut raw = std::net::TcpStream::connect(node.data).unwrap();
