@@ -168,6 +168,11 @@ pub struct NodeOptions {
     /// on-reconnect certificate re-validation — that the identity they
     /// pooled against is gone.
     pub cert_serial: Option<u64>,
+    /// Overrides the peer dialers' pipeline depth. `Some(1)` pins every
+    /// outgoing connection to sequential v1 framing — the knob the
+    /// cluster tests use to prove recovery digests are identical under
+    /// v1 and v2 framing. `None` keeps the transport default.
+    pub pipeline_depth: Option<usize>,
 }
 
 /// The usage text (`--help` and argument errors).
@@ -178,7 +183,7 @@ usage:
   aire-noded --service <spec> [--service <spec>]...
              [--data ADDR] [--admin ADDR]
              [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
-             [--cert-serial N]
+             [--cert-serial N] [--pipeline-depth N]
 
 options:
   --service <spec>        an application to host (repeatable; at least
@@ -195,6 +200,9 @@ options:
                           frame (orphan guard)      [default 600]
   --cert-serial N         base certificate serial to present (restart a
                           daemon with a new value to rotate identity)
+  --pipeline-depth N      cap requests in flight per outgoing connection
+                          (1 pins sequential v1 framing; default is the
+                          transport's pipelined v2 framing)
 
 The daemon prints `aire-noded ready service=... data=... admin=...` once
 both listeners are bound (comma-separated service names when hosting
@@ -222,6 +230,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
     let mut peers = Vec::new();
     let mut max_runtime = Duration::from_secs(600);
     let mut cert_serial = None;
+    let mut pipeline_depth = None;
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -268,6 +277,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
                         .map_err(|_| format!("--cert-serial: {v:?} is not a number"))?,
                 );
             }
+            "--pipeline-depth" => {
+                let v = value("--pipeline-depth")?;
+                let depth: usize = v
+                    .parse()
+                    .map_err(|_| format!("--pipeline-depth: {v:?} is not a number"))?;
+                if depth == 0 {
+                    return Err("--pipeline-depth: must be at least 1".to_string());
+                }
+                pipeline_depth = Some(depth);
+            }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -281,6 +300,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
         peers,
         max_runtime,
         cert_serial,
+        pipeline_depth,
     }))
 }
 
@@ -301,7 +321,11 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
     // entry: local always beats remote.)
     let mut transports = Vec::new();
     for peer in &opts.peers {
-        let t = Rc::new(TcpTransport::new(peer.name.clone(), peer.data, peer.admin));
+        let mut t = TcpTransport::new(peer.name.clone(), peer.data, peer.admin);
+        if let Some(depth) = opts.pipeline_depth {
+            t = t.with_pipeline(depth);
+        }
+        let t = Rc::new(t);
         net.register_remote(peer.name.clone(), t.clone());
         transports.push(t);
     }
@@ -462,7 +486,10 @@ pub mod spawn {
     /// ready line confirms both listeners are bound. `peers` are
     /// `(name, data, admin)` triples for the rest of the cluster;
     /// `cert_serial` (if any) is forwarded as `--cert-serial` so a
-    /// restarted daemon presents a rotated identity.
+    /// restarted daemon presents a rotated identity; `pipeline_depth`
+    /// (if any) is forwarded as `--pipeline-depth` (1 pins the daemon's
+    /// outgoing connections to sequential v1 framing).
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn_node(
         exe: &Path,
         services: &[&str],
@@ -471,6 +498,7 @@ pub mod spawn {
         peers: &[(String, SocketAddr, SocketAddr)],
         max_runtime_secs: u64,
         cert_serial: Option<u64>,
+        pipeline_depth: Option<usize>,
     ) -> Result<SpawnedNode, String> {
         assert!(!services.is_empty(), "a node hosts at least one service");
         let mut cmd = Command::new(exe);
@@ -485,6 +513,9 @@ pub mod spawn {
             .arg(max_runtime_secs.to_string());
         if let Some(serial) = cert_serial {
             cmd.arg("--cert-serial").arg(serial.to_string());
+        }
+        if let Some(depth) = pipeline_depth {
+            cmd.arg("--pipeline-depth").arg(depth.to_string());
         }
         for (peer, pdata, padmin) in peers {
             cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
@@ -593,6 +624,21 @@ mod tests {
         assert_eq!(opts.peers[0].admin.port(), 7200);
         assert_eq!(opts.max_runtime, Duration::from_secs(42));
         assert_eq!(opts.cert_serial, Some(4242));
+        assert_eq!(opts.pipeline_depth, None);
+    }
+
+    #[test]
+    fn pipeline_depth_parses_and_rejects_zero() {
+        let opts = parse_args(["--service", "askbot", "--pipeline-depth", "1"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.pipeline_depth, Some(1));
+        let err = parse_args(["--service", "askbot", "--pipeline-depth", "0"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_args(["--service", "askbot", "--pipeline-depth", "deep"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 
     #[test]

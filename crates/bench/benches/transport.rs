@@ -22,13 +22,14 @@
 //! ones that deployment actually pays.
 
 use std::rc::Rc;
+use std::time::Instant;
 
 use aire_core::admin::{AdminOp, AdminResponse};
-use aire_core::World;
+use aire_core::{RepairBatch, RepairMessage, RepairOp, World};
 use aire_http::{HttpRequest, HttpResponse, Url};
 use aire_net::Network;
 use aire_transport::{NodeServer, Pump, TcpTransport};
-use aire_types::jv;
+use aire_types::{jv, RequestId};
 use aire_vdb::{FieldDef, FieldKind, Schema};
 use aire_web::{App, Ctx, Router, WebError};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -187,5 +188,159 @@ fn bench_transport(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_transport);
+/// How many repair carriers the queue-flush comparison pushes through
+/// each wire mode — the "thousand-entry queue" the batched flush path
+/// exists for.
+const FLUSH_ENTRIES: usize = 10_000;
+/// Messages per [`RepairBatch`] carrier (the [`aire_core::FlushStrategy`]
+/// default).
+const FLUSH_BATCH: usize = 256;
+
+/// The tentpole number: draining a 10 000-entry repair queue over real
+/// sockets, three ways — one round trip per message (sequential, the
+/// pre-pipelining flush), tagged v2 frames kept in flight
+/// (`deliver_many` → `call_many`, pipelined), and [`RepairBatch`]
+/// carriers packing [`FLUSH_BATCH`] messages per frame (batched, the
+/// default flush strategy). Every mode makes full round trips to the
+/// same live daemon; every delete names an unknown request, so each
+/// message costs a real dispatch + lookup + per-message response.
+///
+/// Besides the criterion-visible printout, the run writes
+/// `BENCH_transport.json` at the repo root (committed, and uploaded as
+/// a CI artifact) and **asserts** the batched flush beats sequential by
+/// at least 5× — the regression gate for the pipelining work.
+fn bench_repair_flush(_c: &mut Criterion) {
+    // The daemon lives on its own thread (its own Network, controller,
+    // and listeners — the substrate is single-threaded per node), so
+    // every round trip pays a real cross-thread socket wakeup, exactly
+    // like the separate-process deployment the paper describes. A
+    // same-thread cooperative server would flatter the sequential
+    // baseline by answering with zero latency.
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server_thread = std::thread::spawn(move || {
+        let mut world = World::new();
+        world.add_service(Rc::new(Notes));
+        let cert = world.net().certificate_of("notes").unwrap();
+        let server = NodeServer::bind(
+            world.net().clone(),
+            "notes",
+            cert,
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+        )
+        .expect("bind loopback listeners");
+        addr_tx
+            .send((server.data_addr(), server.admin_addr()))
+            .unwrap();
+        server.serve(Some(Instant::now() + std::time::Duration::from_secs(300)))
+    });
+    let (data_addr, admin_addr) = addr_rx.recv().expect("server thread came up");
+    let t = Rc::new(TcpTransport::new("notes", data_addr, admin_addr));
+    let net = Network::new();
+    net.register_remote("notes", t.clone());
+
+    // The queue contents: deletes of requests that never existed, so
+    // the receiver does a full dispatch and answers per message without
+    // mutating state between modes.
+    let messages: Vec<RepairMessage> = (0..FLUSH_ENTRIES)
+        .map(|i| {
+            RepairMessage::bare(RepairOp::Delete {
+                request_id: RequestId::new("notes", 1_000_000 + i as u64),
+            })
+        })
+        .collect();
+    let carriers: Vec<HttpRequest> = messages
+        .iter()
+        .map(|m| m.to_carrier("notes").unwrap())
+        .collect();
+    let batch_carriers: Vec<(usize, HttpRequest)> = messages
+        .chunks(FLUSH_BATCH)
+        .map(|chunk| {
+            let batch = RepairBatch::new(chunk.to_vec());
+            (chunk.len(), batch.to_carrier("notes").unwrap())
+        })
+        .collect();
+
+    // Warm the pooled connection so no mode pays the dial + greeting.
+    net.deliver(&carriers[0]).unwrap();
+
+    let sequential = {
+        let started = Instant::now();
+        for c in &carriers {
+            let resp = net.deliver(black_box(c)).unwrap();
+            black_box(resp.status);
+        }
+        started.elapsed()
+    };
+    let pipelined = {
+        let started = Instant::now();
+        let results = net.deliver_many(black_box(&carriers));
+        let answered = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(answered, FLUSH_ENTRIES, "every pipelined repair answers");
+        started.elapsed()
+    };
+    let batch_reqs: Vec<HttpRequest> = batch_carriers.iter().map(|(_, c)| c.clone()).collect();
+    let batched = {
+        let started = Instant::now();
+        let results = net.deliver_many(black_box(&batch_reqs));
+        let mut answered = 0;
+        for ((len, _), result) in batch_carriers.iter().zip(&results) {
+            let resp = result.as_ref().unwrap();
+            answered += aire_core::protocol::batch_results(resp, *len)
+                .unwrap()
+                .len();
+        }
+        assert_eq!(answered, FLUSH_ENTRIES, "every batched repair answers");
+        started.elapsed()
+    };
+
+    let rate = |elapsed: std::time::Duration| -> i64 {
+        (FLUSH_ENTRIES as f64 / elapsed.as_secs_f64()).round() as i64
+    };
+    let speedup =
+        |elapsed: std::time::Duration| -> f64 { sequential.as_secs_f64() / elapsed.as_secs_f64() };
+    let report = jv!({
+        "bench": "transport_repair_flush",
+        "entries": FLUSH_ENTRIES as i64,
+        "batch": FLUSH_BATCH as i64,
+        "sequential": {
+            "micros": sequential.as_micros() as i64,
+            "repairs_per_sec": rate(sequential),
+        },
+        "pipelined": {
+            "micros": pipelined.as_micros() as i64,
+            "repairs_per_sec": rate(pipelined),
+            "speedup_vs_sequential": format!("{:.1}", speedup(pipelined)),
+        },
+        "batched": {
+            "micros": batched.as_micros() as i64,
+            "repairs_per_sec": rate(batched),
+            "frames": batch_carriers.len() as i64,
+            "speedup_vs_sequential": format!("{:.1}", speedup(batched)),
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    std::fs::write(path, report.encode() + "\n").expect("write BENCH_transport.json");
+    println!("repair_flush: {}", report.encode());
+
+    // The regression gate: if batching stops paying for itself the
+    // bench fails, not just drifts.
+    assert!(
+        speedup(batched) >= 5.0,
+        "batched flush must beat sequential by >= 5x: sequential {sequential:?}, \
+         batched {batched:?}"
+    );
+    let pool = t.pool_stats();
+    assert!(
+        pool.reuses > pool.dials,
+        "flush bench must ride the pool: {pool:?}"
+    );
+
+    aire_transport::shutdown_node(admin_addr, std::time::Duration::from_secs(5))
+        .expect("daemon thread acknowledges shutdown");
+    let outcome = server_thread.join().expect("daemon thread exits");
+    assert!(matches!(outcome, aire_transport::ServeOutcome::Shutdown));
+}
+
+criterion_group!(benches, bench_transport, bench_repair_flush);
 criterion_main!(benches);

@@ -110,6 +110,14 @@ pub enum AdminOp {
     /// Admin notices (compensations, undeliverable repairs) and the
     /// repair problems reported through `notify` (Table 2).
     Notices,
+    /// Several operations in one carrier frame, executed in order. Each
+    /// sub-operation is authorized individually; the first failure aborts
+    /// the rest (their results are simply absent from the response). A
+    /// batch may not contain another batch.
+    Batch {
+        /// The operations, executed in order.
+        ops: Vec<AdminOp>,
+    },
 }
 
 /// Wire names of every operation, in declaration order.
@@ -127,6 +135,7 @@ const OP_NAMES: &[&str] = &[
     "digest",
     "leak_audit",
     "notices",
+    "batch",
 ];
 
 impl AdminOp {
@@ -147,6 +156,7 @@ impl AdminOp {
             AdminOp::Digest => "digest",
             AdminOp::LeakAudit { .. } => "leak_audit",
             AdminOp::Notices => "notices",
+            AdminOp::Batch { .. } => "batch",
         }
     }
 
@@ -180,6 +190,9 @@ impl AdminOp {
             } => {
                 m.set("table", Jv::s(table.clone()));
                 m.set("confidential", confidential.to_jv());
+            }
+            AdminOp::Batch { ops } => {
+                m.set("ops", Jv::list(ops.iter().map(|o| o.to_jv())));
             }
             AdminOp::RunLocalRepair
             | AdminOp::ListQueue
@@ -251,6 +264,19 @@ impl AdminOp {
                 }
             }
             "notices" => AdminOp::Notices,
+            "batch" => {
+                let ops = v
+                    .get("ops")
+                    .as_list()
+                    .ok_or("admin op \"batch\": missing \"ops\" list")?
+                    .iter()
+                    .map(AdminOp::from_jv)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if ops.iter().any(|o| matches!(o, AdminOp::Batch { .. })) {
+                    return Err("admin op \"batch\": batches may not nest".to_string());
+                }
+                AdminOp::Batch { ops }
+            }
             other => {
                 return Err(format!(
                     "unknown admin op {other:?} (supported: {})",
@@ -474,6 +500,12 @@ pub enum AdminResponse {
         /// Problems reported to the application via `notify` (Table 2).
         problems: Vec<RepairProblem>,
     },
+    /// `batch`: one result per completed sub-operation, in order.
+    Batch {
+        /// Results of the sub-operations that ran (a failed batch aborts
+        /// at the first error, so this may be shorter than the request).
+        results: Vec<AdminResponse>,
+    },
 }
 
 impl AdminResponse {
@@ -491,6 +523,7 @@ impl AdminResponse {
             AdminResponse::Digest { .. } => "digest",
             AdminResponse::Leaks { .. } => "leaks",
             AdminResponse::Notices { .. } => "notices",
+            AdminResponse::Batch { .. } => "batch",
         }
     }
 
@@ -545,6 +578,9 @@ impl AdminResponse {
             AdminResponse::Notices { notices, problems } => {
                 m.set("notices", Jv::list(notices.iter().cloned()));
                 m.set("problems", Jv::list(problems.iter().map(problem_to_jv)));
+            }
+            AdminResponse::Batch { results } => {
+                m.set("results", Jv::list(results.iter().map(|r| r.to_jv())));
             }
         }
         m
@@ -625,6 +661,15 @@ impl AdminResponse {
                     .unwrap_or(&[])
                     .iter()
                     .map(problem_from_jv)
+                    .collect::<Result<_, _>>()?,
+            },
+            "batch" => AdminResponse::Batch {
+                results: v
+                    .get("results")
+                    .as_list()
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(AdminResponse::from_jv)
                     .collect::<Result<_, _>>()?,
             },
             other => return Err(format!("unknown admin response tag {other:?}")),
@@ -744,6 +789,34 @@ mod tests {
         let err = AdminOp::from_carrier(&carrier).unwrap_err();
         assert!(err.contains("stats"), "{err}");
         assert!(err.contains("digest"), "{err}");
+    }
+
+    #[test]
+    fn batch_ops_round_trip_and_reject_nesting() {
+        let op = AdminOp::Batch {
+            ops: vec![
+                AdminOp::Stats,
+                AdminOp::SendQueued { msg_id: MsgId(7) },
+                AdminOp::Digest,
+            ],
+        };
+        let carrier = op.to_carrier("askbot");
+        assert_eq!(carrier.url.path, "/aire/v1/admin/batch");
+        assert_eq!(AdminOp::from_carrier(&carrier).unwrap().unwrap(), op);
+
+        let nested = AdminOp::Batch {
+            ops: vec![AdminOp::Batch { ops: vec![] }],
+        };
+        let err = AdminOp::from_jv(&nested.to_jv()).unwrap_err();
+        assert!(err.contains("nest"), "{err}");
+
+        let resp = AdminResponse::Batch {
+            results: vec![
+                AdminResponse::Ack,
+                AdminResponse::Digest { digest: "d".into() },
+            ],
+        };
+        assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
     }
 
     #[test]

@@ -18,11 +18,33 @@ use aire_web::{App, AuthorizeCtx, Ctx, DbSnapshot, RepairProblem, Router};
 
 use crate::admin::{self, AdminOp, AdminResponse, AdminStats, QueueEntry};
 use crate::incoming::{IncomingQueue, PendingSeed, RepairMode};
-use crate::protocol::{RepairMessage, RepairOp};
+use crate::protocol::{self, RepairBatch, RepairMessage, RepairOp};
 use crate::queue::{OutgoingQueues, QueueKey, QueuedRepair};
 use crate::repair::{EngineState, RepairEngine};
 use crate::runtime::{build_record, RecordingRuntime, Trace};
 use crate::stats::ControllerStats;
+
+/// How a queue flush ([`AdminOp::FlushQueue`]) moves messages to their
+/// targets. All three strategies produce identical queue outcomes and
+/// identical remote state — they differ only in how many round trips and
+/// carrier frames the flush costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStrategy {
+    /// One `deliver` round trip per message (the original behavior).
+    Sequential,
+    /// One carrier per message, but handed to the network in a single
+    /// [`aire_net::Network::deliver_many`] call so a pipelining transport
+    /// keeps many in flight per connection.
+    Pipelined,
+    /// Messages to the same target are packed into
+    /// [`crate::protocol::RepairBatch`] carriers (`batch` per frame), so a
+    /// thousand-entry queue drains in a handful of frames. Response
+    /// repairs still travel one-by-one through the notifier token flow.
+    Batched {
+        /// Messages per carrier frame.
+        batch: usize,
+    },
+}
 
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
@@ -36,6 +58,8 @@ pub struct ControllerConfig {
     /// or new value. Inflates the repaired-request count; the
     /// `ablation_predicates` bench quantifies by how much.
     pub coarse_scan_taint: bool,
+    /// How `flush_queue` delivers (per-message send paths are unaffected).
+    pub flush: FlushStrategy,
 }
 
 impl Default for ControllerConfig {
@@ -44,6 +68,7 @@ impl Default for ControllerConfig {
             rng_seed: 0xA17E,
             clock_base_millis: 1_700_000_000_000,
             coarse_scan_taint: false,
+            flush: FlushStrategy::Batched { batch: 256 },
         }
     }
 }
@@ -583,6 +608,20 @@ impl Controller {
         }
     }
 
+    /// Handles a batched repair carrier (`POST /aire/repair_batch`): each
+    /// embedded message runs through exactly the authorize-and-apply path
+    /// a singleton carrier takes — in batch order, each with its own
+    /// credentials — and the per-message acknowledgements (including
+    /// per-message failures) travel back together in one OK envelope.
+    pub fn receive_repair_batch(&self, batch: RepairBatch) -> HttpResponse {
+        let results: Vec<HttpResponse> = batch
+            .messages
+            .into_iter()
+            .map(|msg| self.receive_repair(msg))
+            .collect();
+        protocol::batch_response(&results)
+    }
+
     fn apply_repair_locked(
         &self,
         core: &mut ServiceCore,
@@ -1066,7 +1105,21 @@ impl Controller {
             Ok(c) => c,
             Err(e) => return self.permanent_failure(msg, &e.to_string()),
         };
-        match self.net.deliver(&carrier) {
+        self.absorb_send_outcome(msg, self.net.deliver(&carrier))
+    }
+
+    /// Folds the delivery result of one repair carrier into the queue:
+    /// remote-request-id bookkeeping and removal on success, hold on
+    /// `UNAUTHORIZED`, drop on permanent rejection, keep on transient
+    /// failure. One outcome path for every flush strategy — a message
+    /// delivered inside a [`RepairBatch`] frame lands in exactly the same
+    /// states as one delivered on its own round trip.
+    fn absorb_send_outcome(
+        &self,
+        msg: &QueuedRepair,
+        result: AireResult<HttpResponse>,
+    ) -> SendOutcome {
+        match result {
             Ok(resp) if resp.status == Status::OK => {
                 // For replace/create the ACK names the (re)executed
                 // request; remember it for future repair of that request.
@@ -1218,6 +1271,144 @@ impl Controller {
     /// Sendable (not held) queued message ids.
     pub fn sendable_messages(&self) -> Vec<MsgId> {
         self.core.borrow().outgoing.sendable()
+    }
+
+    /// One delivery sweep over every sendable message, shaped by
+    /// [`FlushStrategy`]. Returns `(delivered, kept, dropped)`.
+    ///
+    /// All strategies feed each message's result through
+    /// [`Controller::absorb_send_outcome`], so queue state transitions are
+    /// byte-identical regardless of how the messages traveled.
+    fn do_flush_queue(&self) -> (usize, usize, usize) {
+        let mut tally = (0usize, 0usize, 0usize);
+        fn count(tally: &mut (usize, usize, usize), outcome: SendOutcome) {
+            match outcome {
+                SendOutcome::Delivered => tally.0 += 1,
+                SendOutcome::Kept => tally.1 += 1,
+                SendOutcome::Dropped => tally.2 += 1,
+            }
+        }
+
+        if self.config.flush == FlushStrategy::Sequential {
+            for msg_id in self.sendable_messages() {
+                count(&mut tally, self.do_send_queued(msg_id));
+            }
+            return tally;
+        }
+
+        // Snapshot the sendable messages up front: delivery callbacks
+        // mutate the queue, so the sweep works over clones, exactly as
+        // `do_send_queued` does for a single message.
+        let ids = self.sendable_messages();
+        let msgs: Vec<QueuedRepair> = {
+            let core = self.core.borrow();
+            ids.iter()
+                .filter_map(|id| core.outgoing.get(*id))
+                .filter(|m| !m.held)
+                .cloned()
+                .collect()
+        };
+
+        // Response repairs travel one-by-one regardless of strategy: the
+        // notifier token dance has no carrier form to pipeline or batch.
+        let mut wired: Vec<QueuedRepair> = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            if let RepairOp::ReplaceResponse {
+                response_id,
+                new_response,
+            } = &msg.op
+            {
+                let (rid, nr) = (response_id.clone(), new_response.clone());
+                count(&mut tally, self.send_replace_response(&msg, &rid, &nr));
+            } else {
+                wired.push(msg);
+            }
+        }
+
+        match self.config.flush {
+            FlushStrategy::Sequential => unreachable!("handled above"),
+            FlushStrategy::Pipelined => {
+                // One carrier per message, delivered in a single batch so
+                // a pipelining transport keeps them in flight together.
+                let mut staged: Vec<(QueuedRepair, HttpRequest)> = Vec::with_capacity(wired.len());
+                for msg in wired {
+                    let carrier =
+                        RepairMessage::with_credentials(msg.op.clone(), msg.credentials.clone())
+                            .to_carrier(msg.target.as_str());
+                    match carrier {
+                        Ok(c) => staged.push((msg, c)),
+                        Err(e) => count(&mut tally, self.permanent_failure(&msg, &e.to_string())),
+                    }
+                }
+                let carriers: Vec<HttpRequest> = staged.iter().map(|(_, c)| c.clone()).collect();
+                for ((msg, _), result) in staged.iter().zip(self.net.deliver_many(&carriers)) {
+                    count(&mut tally, self.absorb_send_outcome(msg, result));
+                }
+            }
+            FlushStrategy::Batched { batch } => {
+                let batch = batch.max(1);
+                // Group by target preserving queue order, then chunk.
+                let mut by_target: Vec<(ServiceName, Vec<QueuedRepair>)> = Vec::new();
+                for msg in wired {
+                    match by_target.iter_mut().find(|(t, _)| *t == msg.target) {
+                        Some((_, group)) => group.push(msg),
+                        None => by_target.push((msg.target.clone(), vec![msg])),
+                    }
+                }
+                let mut staged: Vec<(Vec<QueuedRepair>, HttpRequest)> = Vec::new();
+                for (target, group) in by_target {
+                    for chunk in group.chunks(batch) {
+                        let wire_msgs = chunk
+                            .iter()
+                            .map(|m| {
+                                RepairMessage::with_credentials(m.op.clone(), m.credentials.clone())
+                            })
+                            .collect();
+                        match RepairBatch::new(wire_msgs).to_carrier(target.as_str()) {
+                            Ok(c) => staged.push((chunk.to_vec(), c)),
+                            // A message the batch carrier rejects (e.g. a
+                            // misaddressed embed) still gets its own round
+                            // trip and its own failure accounting.
+                            Err(_) => {
+                                for m in chunk {
+                                    count(&mut tally, self.send_carrier(m));
+                                }
+                            }
+                        }
+                    }
+                }
+                let carriers: Vec<HttpRequest> = staged.iter().map(|(_, c)| c.clone()).collect();
+                for ((chunk, _), result) in staged.iter().zip(self.net.deliver_many(&carriers)) {
+                    match result {
+                        Ok(resp) if resp.status == Status::OK => {
+                            match protocol::batch_results(&resp, chunk.len()) {
+                                Ok(per_msg) => {
+                                    for (m, r) in chunk.iter().zip(per_msg) {
+                                        count(&mut tally, self.absorb_send_outcome(m, Ok(r)));
+                                    }
+                                }
+                                Err(e) => {
+                                    for m in chunk {
+                                        count(
+                                            &mut tally,
+                                            self.absorb_send_outcome(m, Err(e.clone())),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        // Batch-level failure (offline target, rejected
+                        // frame): every message in the chunk shares it.
+                        other => {
+                            for m in chunk {
+                                count(&mut tally, self.absorb_send_outcome(m, other.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        tally
     }
 
     /// The §9 extension: reports *leaks* — rows matching a confidential
@@ -1379,14 +1570,7 @@ impl Controller {
                 outcome: self.do_send_queued(msg_id),
             }),
             AdminOp::FlushQueue => {
-                let (mut delivered, mut kept, mut dropped) = (0, 0, 0);
-                for msg_id in self.sendable_messages() {
-                    match self.do_send_queued(msg_id) {
-                        SendOutcome::Delivered => delivered += 1,
-                        SendOutcome::Kept => kept += 1,
-                        SendOutcome::Dropped => dropped += 1,
-                    }
-                }
+                let (delivered, kept, dropped) = self.do_flush_queue();
                 Ok(AdminResponse::Flushed {
                     delivered,
                     kept,
@@ -1442,6 +1626,25 @@ impl Controller {
                     problems: core.notifications.clone(),
                 })
             }
+            AdminOp::Batch { ops } => {
+                let total = ops.len();
+                let mut results = Vec::with_capacity(total);
+                for op in ops {
+                    // First failure aborts: the completed prefix has run
+                    // and its results are discarded with the error, so the
+                    // error message says how far the batch got.
+                    match self.dispatch_admin(op) {
+                        Ok(resp) => results.push(resp),
+                        Err(e) => {
+                            return Err(AireError::Protocol(format!(
+                                "admin batch failed at op {} of {total}: {e}",
+                                results.len() + 1,
+                            )))
+                        }
+                    }
+                }
+                Ok(AdminResponse::Batch { results })
+            }
         }
     }
 
@@ -1461,13 +1664,22 @@ impl Controller {
                 store: &core.store,
                 at: LogicalTime::MAX,
             };
-            let actx = aire_web::AdminCtx {
-                op: op.name(),
-                payload: &req.body,
-                credentials: &credentials,
-                db_now: &now,
+            let authorize = |name: &'static str, payload: &Jv| {
+                let actx = aire_web::AdminCtx {
+                    op: name,
+                    payload,
+                    credentials: &credentials,
+                    db_now: &now,
+                };
+                self.app.authorize_admin(&actx)
             };
-            self.app.authorize_admin(&actx)
+            match &op {
+                // A batch is authorized sub-op by sub-op: wrapping
+                // operations in a batch must not widen what a credential
+                // can do.
+                AdminOp::Batch { ops } => ops.iter().all(|o| authorize(o.name(), &o.to_jv())),
+                _ => authorize(op.name(), &req.body),
+            }
         };
         if !allowed {
             self.core.borrow_mut().stats.admin_rejected += 1;
@@ -1499,7 +1711,12 @@ impl Endpoint for Controller {
         if req.url.path == "/aire/fetch_repair" {
             return self.handle_fetch_repair(req);
         }
-        // Repair carriers.
+        // Repair carriers — batched first (its path is more specific).
+        match RepairBatch::from_carrier(req) {
+            Ok(Some(batch)) => return self.receive_repair_batch(batch),
+            Ok(None) => {}
+            Err(e) => return error_response(&e),
+        }
         match RepairMessage::from_carrier(req) {
             Ok(Some(msg)) => return self.receive_repair(msg),
             Ok(None) => {}

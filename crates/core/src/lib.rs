@@ -132,9 +132,9 @@ pub mod stats;
 pub mod world;
 
 pub use admin::{AdminOp, AdminResponse, AdminStats, QueueEntry};
-pub use controller::{Controller, ControllerConfig, SendOutcome};
+pub use controller::{Controller, ControllerConfig, FlushStrategy, SendOutcome};
 pub use incoming::{PendingSeed, RepairMode};
-pub use protocol::{RepairMessage, RepairOp};
+pub use protocol::{RepairBatch, RepairMessage, RepairOp};
 pub use queue::{QueueKey, QueuedRepair};
 pub use stats::ControllerStats;
 pub use world::{PumpReport, SettleReport, StuckRepair, World};

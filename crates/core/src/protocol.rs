@@ -292,6 +292,154 @@ impl RepairMessage {
     }
 }
 
+/// Path of the batched-repair carrier ([`RepairBatch`]).
+pub const REPAIR_BATCH_PATH: &str = "/aire/repair_batch";
+
+/// Many repair messages for one target, shipped as a single carrier
+/// request — the batching half of the pipelined repair plane. A queue
+/// flush that used to cost one framed round trip per [`RepairOp`] packs
+/// its messages into a few of these instead.
+///
+/// The receiver unpacks the batch and runs every message through the
+/// same authorize-and-apply path a per-op carrier takes (each message
+/// carries its own credentials), answering with one HTTP response per
+/// message, in order — so outcome handling, credential holds, and §4
+/// access control are identical to per-op delivery; only the framing
+/// overhead changes. `ReplaceResponse` never batches: it travels via
+/// the notifier token dance, which has no carrier form at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairBatch {
+    /// The batched messages, in queue order.
+    pub messages: Vec<RepairMessage>,
+}
+
+impl RepairBatch {
+    /// Wraps messages into a batch.
+    pub fn new(messages: Vec<RepairMessage>) -> RepairBatch {
+        RepairBatch { messages }
+    }
+
+    /// Encodes the batch as one `POST /aire/repair_batch` carrier to
+    /// `target`. Fails if any message has no carrier form
+    /// (`ReplaceResponse`) or embeds a request addressed elsewhere —
+    /// the same validation each message's own [`RepairMessage::to_carrier`]
+    /// would apply.
+    pub fn to_carrier(&self, target: &str) -> Result<HttpRequest, AireError> {
+        let mut encoded = Vec::with_capacity(self.messages.len());
+        for msg in &self.messages {
+            match &msg.op {
+                RepairOp::ReplaceResponse { .. } => {
+                    return Err(AireError::Protocol(
+                        "replace_response travels via the notifier token flow".to_string(),
+                    ));
+                }
+                RepairOp::Replace { new_request, .. } => check_host(target, new_request)?,
+                RepairOp::Create { request, .. } => check_host(target, request)?,
+                RepairOp::Delete { .. } => {}
+            }
+            let mut m = Jv::map();
+            m.set("op", msg.op.to_jv());
+            m.set("credentials", headers_to_jv(&msg.credentials));
+            encoded.push(m);
+        }
+        let mut body = Jv::map();
+        body.set("messages", Jv::list(encoded));
+        Ok(HttpRequest::post(
+            Url::service(target, REPAIR_BATCH_PATH),
+            body,
+        ))
+    }
+
+    /// Decodes a batch carrier (run by the receiving controller).
+    /// Returns `Ok(None)` for requests that are not batch carriers.
+    pub fn from_carrier(req: &HttpRequest) -> Result<Option<RepairBatch>, AireError> {
+        if req.url.path != REPAIR_BATCH_PATH {
+            return Ok(None);
+        }
+        let Some(list) = req.body.get("messages").as_list() else {
+            return Err(AireError::Protocol(
+                "repair batch carrier has no messages list".to_string(),
+            ));
+        };
+        let mut messages = Vec::with_capacity(list.len());
+        for (i, entry) in list.iter().enumerate() {
+            let op = RepairOp::from_jv(entry.get("op"))
+                .map_err(|e| AireError::Protocol(format!("bad repair batch entry {i}: {e}")))?;
+            if matches!(op, RepairOp::ReplaceResponse { .. }) {
+                return Err(AireError::Protocol(
+                    "replace_response must not arrive in a repair batch".to_string(),
+                ));
+            }
+            let credentials = headers_from_jv(entry.get("credentials")).map_err(|e| {
+                AireError::Protocol(format!("bad repair batch entry {i} credentials: {e}"))
+            })?;
+            messages.push(RepairMessage { op, credentials });
+        }
+        Ok(Some(RepairBatch { messages }))
+    }
+}
+
+/// Builds the batch carrier's response: one encoded [`HttpResponse`]
+/// per message, in batch order, inside an OK envelope. Per-message
+/// failures are ordinary HTTP error statuses *inside* the envelope —
+/// the envelope itself only fails when the batch could not be parsed.
+pub fn batch_response(results: &[HttpResponse]) -> HttpResponse {
+    let mut body = Jv::map();
+    body.set("results", Jv::list(results.iter().map(HttpResponse::to_jv)));
+    HttpResponse::ok(body)
+}
+
+/// Unpacks [`batch_response`]'s envelope, checking it answers exactly
+/// `expected` messages.
+pub fn batch_results(resp: &HttpResponse, expected: usize) -> Result<Vec<HttpResponse>, AireError> {
+    let Some(list) = resp.body.get("results").as_list() else {
+        return Err(AireError::Protocol(
+            "repair batch reply has no results list".to_string(),
+        ));
+    };
+    if list.len() != expected {
+        return Err(AireError::Protocol(format!(
+            "repair batch reply answers {} of {expected} messages",
+            list.len()
+        )));
+    }
+    list.iter()
+        .map(|v| {
+            HttpResponse::from_jv(v)
+                .map_err(|e| AireError::Protocol(format!("bad repair batch reply entry: {e}")))
+        })
+        .collect()
+}
+
+fn check_host(target: &str, embedded: &HttpRequest) -> Result<(), AireError> {
+    if embedded.url.host != target {
+        return Err(AireError::Protocol(format!(
+            "repair for {target} embeds a request addressed to {}",
+            embedded.url.host
+        )));
+    }
+    Ok(())
+}
+
+fn headers_to_jv(headers: &Headers) -> Jv {
+    let mut m = Jv::map();
+    for (k, v) in headers.iter() {
+        m.set(k, Jv::s(v));
+    }
+    m
+}
+
+fn headers_from_jv(v: &Jv) -> Result<Headers, String> {
+    let mut headers = Headers::new();
+    let Some(map) = v.as_map() else {
+        return Err("credentials are not a map".to_string());
+    };
+    for (k, val) in map {
+        headers.set(k, val.as_str().ok_or("credential value is not a string")?);
+    }
+    Ok(headers)
+}
+
 /// Extracts the credential-bearing headers of a carrier request — the
 /// headers §4's access-control delegation inspects. Shared between the
 /// repair protocol and the admin control plane so both planes see
@@ -474,6 +622,61 @@ mod tests {
         req.headers.set(aire::REPAIR, "delete");
         req.headers.set(aire::REQUEST_ID, "garbage");
         assert!(RepairMessage::from_carrier(&req).is_err());
+    }
+
+    #[test]
+    fn repair_batch_round_trips_every_message() {
+        let mut creds = Headers::new();
+        creds.set("authorization", "Bearer tok");
+        let batch = RepairBatch::new(vec![
+            RepairMessage::bare(RepairOp::Replace {
+                request_id: RequestId::new("askbot", 9),
+                new_request: new_request(),
+            }),
+            RepairMessage::with_credentials(
+                RepairOp::Delete {
+                    request_id: RequestId::new("askbot", 3),
+                },
+                creds,
+            ),
+            RepairMessage::bare(RepairOp::Create {
+                request: new_request(),
+                before_id: Some(RequestId::new("askbot", 1)),
+                after_id: None,
+            }),
+        ]);
+        let carrier = batch.to_carrier("askbot").unwrap();
+        assert_eq!(carrier.url.path, REPAIR_BATCH_PATH);
+        let decoded = RepairBatch::from_carrier(&carrier).unwrap().unwrap();
+        assert_eq!(decoded, batch);
+        // A normal request is not a batch carrier.
+        assert_eq!(RepairBatch::from_carrier(&new_request()).unwrap(), None);
+    }
+
+    #[test]
+    fn repair_batch_rejects_replace_response_and_misaddressed_embeds() {
+        let rr = RepairBatch::new(vec![RepairMessage::bare(RepairOp::ReplaceResponse {
+            response_id: ResponseId::new("askbot", 4),
+            new_response: HttpResponse::error(aire_http::Status::FORBIDDEN, "nope"),
+        })]);
+        assert!(rr.to_carrier("askbot").is_err());
+        let misaddressed = RepairBatch::new(vec![RepairMessage::bare(RepairOp::Replace {
+            request_id: RequestId::new("other", 1),
+            new_request: new_request(), // addressed to askbot
+        })]);
+        assert!(misaddressed.to_carrier("other").is_err());
+    }
+
+    #[test]
+    fn batch_reply_envelope_round_trips_and_checks_arity() {
+        let results = vec![
+            HttpResponse::ok(jv!({"i": 0})),
+            HttpResponse::error(aire_http::Status::NOT_FOUND, "gone"),
+        ];
+        let envelope = batch_response(&results);
+        assert_eq!(batch_results(&envelope, 2).unwrap(), results);
+        assert!(batch_results(&envelope, 3).is_err());
+        assert!(batch_results(&HttpResponse::ok(Jv::Null), 1).is_err());
     }
 
     #[test]

@@ -124,12 +124,22 @@ pub struct SettleReport {
     /// (iteration cap hit, offline targets, held credentials); empty on
     /// a quiescent settle.
     pub stuck: Vec<StuckRepair>,
+    /// Incoming repair seeds still awaiting a deferred local-repair pass
+    /// when the settle exited (the other way a capped settle can leave
+    /// work behind without any queued outgoing message).
+    pub pending_seeds: usize,
 }
 
 impl SettleReport {
-    /// True when every outgoing queue drained and no seeds are pending.
+    /// True when every outgoing queue drained and no seeds are pending
+    /// **at exit**. This is a statement about the world's final state,
+    /// not about how the settle got there: a settle whose last round
+    /// happened to drain everything just as the cap hit is quiescent
+    /// (`capped` stays true as a diagnostic), whereas
+    /// [`PumpReport::quiescent`] — a statement about one pump run —
+    /// still treats capped as never quiescent.
     pub fn quiescent(&self) -> bool {
-        self.pump.quiescent()
+        self.pump.pending == 0 && self.pending_seeds == 0
     }
 }
 
@@ -501,9 +511,13 @@ impl World {
             }
         }
         // One queue sweep serves both counts: `pending` is the total of
-        // the very entries a non-quiescent report carries.
+        // the very entries a non-quiescent report carries. Both pending
+        // figures describe the exit state, so a capped settle whose
+        // final round drained everything reports quiescent rather than
+        // "capped, nothing stuck".
         let stuck = self.stuck_messages();
         report.pump.pending = stuck.len();
+        report.pending_seeds = self.pending_local_repairs();
         if !report.quiescent() {
             report.stuck = stuck;
         }

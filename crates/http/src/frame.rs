@@ -8,11 +8,23 @@
 //! serialization story across the whole system).
 //!
 //! ```text
-//! +--------+---------+------+-------------+------------------+
-//! | "AIRE" | version | kind | payload len | payload (Jv text)|
-//! | 4 B    | 1 B     | 1 B  | 4 B BE      | len B UTF-8      |
-//! +--------+---------+------+-------------+------------------+
+//! v1 +--------+------+------+-------------+------------------+
+//!    | "AIRE" | 0x01 | kind | payload len | payload (Jv text)|
+//!    | 4 B    | 1 B  | 1 B  | 4 B BE      | len B UTF-8      |
+//!    +--------+------+------+-------------+------------------+
+//!
+//! v2 +--------+------+------+------------+-------------+------------------+
+//!    | "AIRE" | 0x02 | kind | request id | payload len | payload (Jv text)|
+//!    | 4 B    | 1 B  | 1 B  | 8 B BE     | 4 B BE      | len B UTF-8      |
+//!    +--------+------+------+------------+-------------+------------------+
 //! ```
+//!
+//! Version 2 differs from version 1 only by the **request id** field: a
+//! sender-chosen tag echoed back on the matching `Response`/`Error`
+//! frame, which is what lets a dialer keep several requests in flight on
+//! one connection and match replies out of order (pipelining). Both
+//! versions are accepted on the read side; a reply carries a tag exactly
+//! when its request did, so v1-only peers keep working unchanged.
 //!
 //! Malformed input is rejected with a [`FrameError`] that names the
 //! problem (bad magic, unknown kind, truncation with the byte counts,
@@ -34,11 +46,19 @@ use crate::{Headers, HttpRequest, HttpResponse};
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"AIRE";
 
-/// Wire-format version carried in every frame header.
+/// Wire-format version carried in every untagged frame header.
 pub const VERSION: u8 = 1;
 
-/// Fixed header size: magic + version + kind + payload length.
+/// Wire-format version of tagged (pipelined) frames: identical to
+/// [`VERSION`] plus an 8-byte request id between the kind byte and the
+/// payload length.
+pub const VERSION_2: u8 = 2;
+
+/// Fixed v1 header size: magic + version + kind + payload length.
 pub const HEADER_LEN: usize = 10;
+
+/// Fixed v2 header size: [`HEADER_LEN`] plus the 8-byte request id.
+pub const HEADER_LEN_V2: usize = 18;
 
 /// Maximum accepted payload size. Controller snapshots are the largest
 /// legitimate payloads; 64 MiB leaves room while bounding what a
@@ -106,6 +126,10 @@ impl fmt::Display for FrameKind {
 pub struct Frame {
     /// What the payload is.
     pub kind: FrameKind,
+    /// The pipelining tag: `Some` for a v2 frame, `None` for v1. A
+    /// server echoes a request's tag on its reply; an untagged request
+    /// gets an untagged reply.
+    pub request_id: Option<u64>,
     /// The structured payload.
     pub payload: Jv,
 }
@@ -151,7 +175,7 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(v) => {
                 write!(
                     f,
-                    "unsupported frame version {v} (this node speaks {VERSION})"
+                    "unsupported frame version {v} (this node speaks {VERSION} and {VERSION_2})"
                 )
             }
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind byte {k}"),
@@ -174,6 +198,25 @@ impl std::error::Error for FrameError {}
 /// by the peer (and a payload beyond `u32` could never even declare its
 /// length honestly).
 pub fn encode_frame(kind: FrameKind, payload: &Jv) -> Result<Vec<u8>, FrameError> {
+    encode_frame_inner(kind, None, payload)
+}
+
+/// Encodes one tagged (version-2) frame. Same caps as [`encode_frame`];
+/// the only difference on the wire is the version byte and the 8-byte
+/// request id the peer will echo on its reply.
+pub fn encode_frame_v2(
+    kind: FrameKind,
+    request_id: u64,
+    payload: &Jv,
+) -> Result<Vec<u8>, FrameError> {
+    encode_frame_inner(kind, Some(request_id), payload)
+}
+
+fn encode_frame_inner(
+    kind: FrameKind,
+    request_id: Option<u64>,
+    payload: &Jv,
+) -> Result<Vec<u8>, FrameError> {
     let body = payload.encode();
     if body.len() > MAX_PAYLOAD_LEN {
         return Err(FrameError::Oversized {
@@ -181,20 +224,65 @@ pub fn encode_frame(kind: FrameKind, payload: &Jv) -> Result<Vec<u8>, FrameError
             max: MAX_PAYLOAD_LEN,
         });
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    let header_len = if request_id.is_some() {
+        HEADER_LEN_V2
+    } else {
+        HEADER_LEN
+    };
+    let mut out = Vec::with_capacity(header_len + body.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(if request_id.is_some() {
+        VERSION_2
+    } else {
+        VERSION
+    });
     out.push(kind.as_u8());
+    if let Some(id) = request_id {
+        out.extend_from_slice(&id.to_be_bytes());
+    }
     out.extend_from_slice(&(body.len() as u32).to_be_bytes());
     out.extend_from_slice(body.as_bytes());
     Ok(out)
 }
 
-/// Validates a frame header and returns `(kind, payload length)`.
+/// A validated frame header: everything known before the payload bytes
+/// arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The wire version ([`VERSION`] or [`VERSION_2`]).
+    pub version: u8,
+    /// What the payload will be.
+    pub kind: FrameKind,
+    /// The pipelining tag (`Some` iff `version` is [`VERSION_2`]).
+    pub request_id: Option<u64>,
+    /// Declared payload byte count.
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Size of this header on the wire.
+    pub fn header_len(&self) -> usize {
+        if self.request_id.is_some() {
+            HEADER_LEN_V2
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    /// Total size of the frame (header plus payload).
+    pub fn frame_len(&self) -> usize {
+        self.header_len() + self.payload_len
+    }
+}
+
+/// Validates a frame header (either version) and returns its decoded
+/// fields, including how many bytes the whole frame will occupy.
 ///
-/// `buf` must hold at least [`HEADER_LEN`] bytes; stream readers call
-/// this once the header has arrived to learn how much more to read.
-pub fn decode_header(buf: &[u8]) -> Result<(FrameKind, usize), FrameError> {
+/// `buf` must hold the complete header — [`HEADER_LEN`] bytes for v1,
+/// [`HEADER_LEN_V2`] for v2 (the version byte at offset 4 says which);
+/// stream readers call this once enough bytes have arrived to learn how
+/// much more to read.
+pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
     if buf.len() < HEADER_LEN {
         return Err(FrameError::Truncated {
             needed: HEADER_LEN,
@@ -206,35 +294,66 @@ pub fn decode_header(buf: &[u8]) -> Result<(FrameKind, usize), FrameError> {
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
-    if buf[4] != VERSION {
-        return Err(FrameError::BadVersion(buf[4]));
+    let version = buf[4];
+    if version != VERSION && version != VERSION_2 {
+        return Err(FrameError::BadVersion(version));
     }
     let kind = FrameKind::parse(buf[5]).ok_or(FrameError::UnknownKind(buf[5]))?;
-    let len = u32::from_be_bytes([buf[6], buf[7], buf[8], buf[9]]) as usize;
+    let (request_id, len_at) = if version == VERSION_2 {
+        if buf.len() < HEADER_LEN_V2 {
+            return Err(FrameError::Truncated {
+                needed: HEADER_LEN_V2,
+                got: buf.len(),
+            });
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&buf[6..14]);
+        (Some(u64::from_be_bytes(id)), 14)
+    } else {
+        (None, 6)
+    };
+    let len = u32::from_be_bytes([
+        buf[len_at],
+        buf[len_at + 1],
+        buf[len_at + 2],
+        buf[len_at + 3],
+    ]) as usize;
     if len > MAX_PAYLOAD_LEN {
         return Err(FrameError::Oversized {
             len,
             max: MAX_PAYLOAD_LEN,
         });
     }
-    Ok((kind, len))
+    Ok(FrameHeader {
+        version,
+        kind,
+        request_id,
+        payload_len: len,
+    })
 }
 
-/// Decodes one frame from the front of `buf`, returning it and the
-/// number of bytes consumed.
+/// Decodes one frame (either version) from the front of `buf`,
+/// returning it and the number of bytes consumed.
 pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
-    let (kind, len) = decode_header(buf)?;
-    let total = HEADER_LEN + len;
+    let header = decode_header(buf)?;
+    let total = header.frame_len();
     if buf.len() < total {
         return Err(FrameError::Truncated {
             needed: total,
             got: buf.len(),
         });
     }
-    let text = std::str::from_utf8(&buf[HEADER_LEN..total])
+    let text = std::str::from_utf8(&buf[header.header_len()..total])
         .map_err(|e| FrameError::Payload(format!("payload is not UTF-8: {e}")))?;
     let payload = Jv::decode(text).map_err(|e| FrameError::Payload(e.to_string()))?;
-    Ok((Frame { kind, payload }, total))
+    Ok((
+        Frame {
+            kind: header.kind,
+            request_id: header.request_id,
+            payload,
+        },
+        total,
+    ))
 }
 
 /// Frames a request.
@@ -445,6 +564,7 @@ mod tests {
         // Valid Jv, wrong shape for the kind.
         let frame = Frame {
             kind: FrameKind::Request,
+            request_id: None,
             payload: Jv::Null,
         };
         assert!(decode_request(&frame).is_err());
@@ -492,6 +612,69 @@ mod tests {
         assert!(err.contains("neither"), "{err}");
         let err = hello_identities(&jv!({"who": "am i"})).unwrap_err();
         assert!(err.contains("neither"), "{err}");
+    }
+
+    #[test]
+    fn tagged_frames_round_trip_with_their_request_id() {
+        let req = sample_request();
+        let bytes = encode_frame_v2(FrameKind::Request, 0xDEAD_BEEF_0042, &req.to_jv()).unwrap();
+        assert_eq!(bytes[4], VERSION_2);
+        assert_eq!(
+            bytes.len(),
+            framed_request_len(&req) + (HEADER_LEN_V2 - HEADER_LEN)
+        );
+        let header = decode_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION_2);
+        assert_eq!(header.request_id, Some(0xDEAD_BEEF_0042));
+        assert_eq!(header.header_len(), HEADER_LEN_V2);
+        assert_eq!(header.frame_len(), bytes.len());
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame.request_id, Some(0xDEAD_BEEF_0042));
+        assert_eq!(decode_request(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn untagged_frames_decode_with_no_request_id() {
+        let bytes = encode_request(&sample_request()).unwrap();
+        assert_eq!(bytes[4], VERSION);
+        let header = decode_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert_eq!(header.request_id, None);
+        assert_eq!(header.header_len(), HEADER_LEN);
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.request_id, None);
+    }
+
+    #[test]
+    fn truncated_v2_headers_name_the_longer_header() {
+        let bytes = encode_frame_v2(FrameKind::Response, 7, &Jv::Null).unwrap();
+        for cut in [HEADER_LEN, HEADER_LEN_V2 - 1] {
+            assert_eq!(
+                decode_header(&bytes[..cut]).unwrap_err(),
+                FrameError::Truncated {
+                    needed: HEADER_LEN_V2,
+                    got: cut
+                }
+            );
+        }
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            match err {
+                FrameError::Truncated { needed, got } => {
+                    assert_eq!(got, cut);
+                    assert!(needed > got && needed <= bytes.len());
+                }
+                other => panic!("cut at {cut}: expected truncation, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn versions_past_two_are_still_rejected() {
+        let mut bytes = encode_frame_v2(FrameKind::Request, 1, &Jv::Null).unwrap();
+        bytes[4] = 3;
+        assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::BadVersion(3));
     }
 
     #[test]

@@ -81,6 +81,16 @@ pub trait Transport {
     /// peer's operator listener.
     fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse>;
 
+    /// Delivers a batch of data-plane requests (all to the same peer)
+    /// and returns one result per request, in order.
+    ///
+    /// The default is the obvious sequential loop, so every transport is
+    /// batch-capable; transports with a cheaper shape override it (the
+    /// TCP dialer pipelines the batch over one pooled connection).
+    fn call_many(&self, reqs: &[HttpRequest]) -> Vec<AireResult<HttpResponse>> {
+        reqs.iter().map(|r| self.call(r)).collect()
+    }
+
     /// The certificate the peer presents, if the transport can learn it
     /// (the TCP transport reads it from the connection greeting). `None`
     /// means the registry's locally installed certificate is
@@ -402,6 +412,67 @@ impl Network {
         }
     }
 
+    /// Delivers a batch of requests, all to the same service, through
+    /// one admission: availability and re-entrancy are checked once, the
+    /// peer's [`Transport::call_many`] carries the whole batch (the TCP
+    /// transport pipelines it over one pooled connection), and each
+    /// result is accounted individually — delivered/failed counts and
+    /// byte totals come out exactly as if [`Network::deliver`] had been
+    /// called per request. Bytes are counted with the canonical v1
+    /// framed lengths, the same single source of truth as sequential
+    /// delivery, so Table 4 accounting does not depend on whether a
+    /// transport happened to use tagged (v2) frames on the wire.
+    ///
+    /// A batch naming more than one host falls back to per-request
+    /// delivery — no single connection could carry it anyway.
+    pub fn deliver_many(&self, reqs: &[HttpRequest]) -> Vec<AireResult<HttpResponse>> {
+        let Some(first) = reqs.first() else {
+            return Vec::new();
+        };
+        let host = first.url.host.clone();
+        if reqs.len() == 1 || reqs.iter().any(|r| r.url.host != host) {
+            return reqs.iter().map(|r| self.deliver(r)).collect();
+        }
+        let peer = match self.admit(&host, false) {
+            Ok(peer) => peer,
+            Err(e) => {
+                // `admit` counted one failure; the rest of the batch
+                // failed for the same reason.
+                self.inner.borrow_mut().stats.failed += (reqs.len() - 1) as u64;
+                return reqs.iter().map(|_| Err(e.clone())).collect();
+            }
+        };
+        // The borrow is released for the duration, exactly as in
+        // `deliver`: a TCP peer may serve nested traffic while waiting.
+        let results = peer.call_many(reqs);
+        let mut inner = self.inner.borrow_mut();
+        inner.in_flight.remove(&host);
+        let mut out = Vec::with_capacity(reqs.len());
+        for (req, result) in reqs.iter().zip(results) {
+            match result {
+                Ok(resp) => {
+                    inner.stats.delivered += 1;
+                    inner.stats.bytes +=
+                        (frame::framed_request_len(req) + frame::framed_response_len(&resp)) as u64;
+                    out.push(Ok(resp));
+                }
+                Err(e) => {
+                    inner.stats.failed += 1;
+                    out.push(Err(e));
+                }
+            }
+        }
+        // A transport returning fewer results than requests is broken;
+        // surface the shortfall as failures rather than panicking.
+        while out.len() < reqs.len() {
+            inner.stats.failed += 1;
+            out.push(Err(AireError::ServiceUnavailable(ServiceName::new(
+                host.clone(),
+            ))));
+        }
+        out
+    }
+
     /// Delivers a control-plane request (`/aire/v1/admin/*`) to the
     /// service named by `req.url.host`.
     ///
@@ -674,6 +745,51 @@ mod tests {
             frame::encode_request(&req).unwrap().len(),
             frame::framed_request_len(&req)
         );
+    }
+
+    #[test]
+    fn batched_delivery_accounts_exactly_like_sequential_delivery() {
+        let seq = Network::new();
+        seq.register("echo", Rc::new(Echo));
+        let batch = Network::new();
+        batch.register("echo", Rc::new(Echo));
+        let reqs: Vec<HttpRequest> = (0..5).map(|i| get("echo", &format!("/p{i}"))).collect();
+        for r in &reqs {
+            seq.deliver(r).unwrap();
+        }
+        let results = batch.deliver_many(&reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(results[3].as_ref().unwrap().body.str_of("path"), "/p3");
+        assert_eq!(seq.stats(), batch.stats());
+    }
+
+    #[test]
+    fn batched_delivery_to_an_offline_service_fails_every_request() {
+        let net = Network::new();
+        net.register("echo", Rc::new(Echo));
+        net.set_online("echo", false);
+        let reqs: Vec<HttpRequest> = (0..3).map(|i| get("echo", &format!("/p{i}"))).collect();
+        let results = net.deliver_many(&reqs);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(matches!(r, Err(AireError::ServiceUnavailable(_))));
+        }
+        assert_eq!(
+            net.stats().failed,
+            3,
+            "one failure per request, as sequential"
+        );
+    }
+
+    #[test]
+    fn batched_delivery_with_mixed_hosts_falls_back_per_request() {
+        let net = Network::new();
+        net.register("a", Rc::new(Echo));
+        net.register("b", Rc::new(Echo));
+        let reqs = vec![get("a", "/1"), get("b", "/2")];
+        let results = net.deliver_many(&reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(net.stats().delivered, 2);
     }
 
     //////// Remote peers (the Transport seam). ////////

@@ -16,7 +16,9 @@
 //! * **scripted per connection** — a [`FaultPlan`] keyed by accept
 //!   index (or installed as the default for all future connections)
 //!   cuts a direction after an exact byte count — *mid-frame* when the
-//!   count lands inside a frame — or delays every forwarded chunk;
+//!   count lands inside a frame — delays every forwarded chunk, or
+//!   swaps two adjacent reply frames (the out-of-order state pipelined
+//!   dialers must survive);
 //! * **live** — [`ChaosProxy::sever_live`] drops every open connection
 //!   at once (the peer-died-holding-your-pooled-connection state), and
 //!   [`ChaosProxy::inject_garbage`] writes raw bytes toward the clients
@@ -52,6 +54,16 @@ pub struct FaultPlan {
     /// Sleep this long before forwarding each server→client chunk
     /// (delayed reads as seen by the client).
     pub delay_to_client: Option<Duration>,
+    /// Frame-aware reorder of the server→client stream: forward this
+    /// many frames verbatim (the transport greeting is frame 0), hold
+    /// the next frame back, and emit it right after the one that
+    /// follows — swapping two adjacent replies on the wire. The exact
+    /// out-of-order state a pipelined dialer must survive and a v1
+    /// in-order dialer must reject. EOF flushes the held frame so no
+    /// bytes are ever lost; a stream that stops parsing as frames falls
+    /// back to raw forwarding. Ignored when `cut_to_client_after` is
+    /// also set.
+    pub swap_replies_after: Option<usize>,
 }
 
 impl FaultPlan {
@@ -234,7 +246,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     up_shared.drop_live(index);
                 });
                 std::thread::spawn(move || {
-                    pump(s3, c3, plan.cut_to_client_after, plan.delay_to_client);
+                    match (plan.swap_replies_after, plan.cut_to_client_after) {
+                        (Some(swap), None) => pump_swap(s3, c3, swap, plan.delay_to_client),
+                        _ => pump(s3, c3, plan.cut_to_client_after, plan.delay_to_client),
+                    }
                     down_shared.drop_live(index);
                 });
             }
@@ -249,6 +264,95 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Forwards `from` → `to` until EOF, error, or the scripted cut fires;
 /// then severs both directions so the fault is a full disconnect, not a
 /// half-close.
+/// Forwards `from` → `to` like [`pump`], but *frame-aware*: after
+/// `swap_after` forwarded frames, the next frame is held back and
+/// emitted right after the one that follows it (two adjacent frames
+/// swap places on the wire). Used to hand a pipelined dialer its
+/// replies out of order without corrupting a single byte of them.
+fn pump_swap(mut from: TcpStream, mut to: TcpStream, swap_after: usize, delay: Option<Duration>) {
+    use aire_http::frame::{decode_header, FrameError};
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut forwarded_frames = 0usize;
+    let mut held: Option<Vec<u8>> = None;
+    let mut raw_fallback = false;
+    'outer: loop {
+        match from.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                if raw_fallback {
+                    if to.write_all(&buf).is_err() {
+                        break;
+                    }
+                    buf.clear();
+                    continue;
+                }
+                // Carve complete frames off the front of the buffer.
+                loop {
+                    let frame_len = match decode_header(&buf) {
+                        Ok(h) => h.frame_len(),
+                        Err(FrameError::Truncated { .. }) => break,
+                        Err(_) => {
+                            // The stream stopped parsing as frames
+                            // (garbage injection, foreign protocol):
+                            // give up on reordering and forward raw.
+                            raw_fallback = true;
+                            if let Some(h) = held.take() {
+                                if to.write_all(&h).is_err() {
+                                    break 'outer;
+                                }
+                            }
+                            if to.write_all(&buf).is_err() {
+                                break 'outer;
+                            }
+                            buf.clear();
+                            break;
+                        }
+                    };
+                    if buf.len() < frame_len {
+                        break;
+                    }
+                    let frame: Vec<u8> = buf.drain(..frame_len).collect();
+                    if held.is_none() && forwarded_frames == swap_after {
+                        held = Some(frame);
+                        continue;
+                    }
+                    if to.write_all(&frame).is_err() {
+                        break 'outer;
+                    }
+                    forwarded_frames += 1;
+                    if let Some(h) = held.take() {
+                        if to.write_all(&h).is_err() {
+                            break 'outer;
+                        }
+                        forwarded_frames += 1;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // EOF: flush the held frame and any residue — the fault is a
+    // reorder, never a loss.
+    if let Some(h) = held.take() {
+        let _ = to.write_all(&h);
+    }
+    if !buf.is_empty() {
+        let _ = to.write_all(&buf);
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
 fn pump(mut from: TcpStream, mut to: TcpStream, cut_after: Option<usize>, delay: Option<Duration>) {
     let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
     let mut forwarded = 0usize;

@@ -81,6 +81,28 @@
 //! request is risked on it. A `Shutdown` frame on the operator listener
 //! asks the server to exit its loop after acknowledging — the clean-stop
 //! path for daemons.
+//!
+//! ## Pipelining (protocol v2)
+//!
+//! A batch of calls ([`aire_net::Transport::call_many`]) no longer pays
+//! one full round trip per request. The dialer tags each request frame
+//! with a **request id** (the 8-byte field frame v2 adds to the header),
+//! writes up to [`DEFAULT_PIPELINE_DEPTH`] of them before the first
+//! reply arrives, and matches replies to requests by their echoed tag —
+//! so replies may legally arrive out of order. Untagged (v1) frames
+//! remain fully supported in both directions: a v1 peer answers in
+//! order, one at a time, and its replies are attributed to the oldest
+//! outstanding request; [`TcpTransport::with_pipeline`] with depth 1
+//! pins a dialer to sequential v1 framing (the cluster tests use this
+//! to prove recovery digests are identical under both framings).
+//!
+//! The single-retry invariant is re-proven per pipelined request: when
+//! a connection dies mid-batch, only requests with **zero bytes handed
+//! to the kernel** are retried (once, on one freshly dialled and
+//! identity-checked connection) — any request with any byte possibly on
+//! the wire fails with a retryable error instead, because the peer may
+//! have executed it, and resending is the repair queue's decision, not
+//! the transport's.
 
 #![deny(missing_docs)]
 
@@ -94,7 +116,7 @@ mod tcp;
 pub use server::{NodeServer, ServeOutcome, DEFAULT_CONN_IDLE_TIMEOUT};
 pub use tcp::{
     shutdown_node, PoolStats, TcpTransport, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
-    DEFAULT_POOL_IDLE_TIMEOUT, DEFAULT_POOL_MAX_IDLE,
+    DEFAULT_PIPELINE_DEPTH, DEFAULT_POOL_IDLE_TIMEOUT, DEFAULT_POOL_MAX_IDLE,
 };
 
 /// Something that can make progress on a node's listeners while an

@@ -71,6 +71,11 @@ struct Conn {
     /// shutdown ack): flush the pending reply, then close instead of
     /// waiting for more requests.
     close_after_reply: bool,
+    /// The pipelining tag of the request currently being answered: a v2
+    /// request's id, echoed on its reply so the dialer can match
+    /// out-of-order completions. `None` for v1 requests — their replies
+    /// stay untagged v1 frames.
+    reply_tag: Option<u64>,
     /// Last time bytes moved or a request was dispatched — drives the
     /// idle reaper.
     last_activity: Instant,
@@ -326,6 +331,7 @@ impl NodeInner {
                         written: 0,
                         responded: false,
                         close_after_reply: false,
+                        reply_tag: None,
                         last_activity: Instant::now(),
                     });
                     accepted = true;
@@ -396,8 +402,11 @@ impl NodeInner {
         loop {
             if conn.inbuf.len() >= HEADER_LEN {
                 match frame::decode_header(&conn.inbuf) {
+                    // A v2 header longer than the bytes so far: keep
+                    // reading until it is complete.
+                    Err(frame::FrameError::Truncated { .. }) => {}
                     Err(_) => break, // answered below, no point reading on
-                    Ok((_, len)) if conn.inbuf.len() >= HEADER_LEN + len => break,
+                    Ok(h) if conn.inbuf.len() >= h.frame_len() => break,
                     Ok(_) => {}
                 }
             }
@@ -418,24 +427,29 @@ impl NodeInner {
             }
         }
 
-        // 3. Dispatch once a complete frame is buffered. Header problems
-        // (bad magic, oversized declarations) are answered immediately —
-        // waiting for more bytes from a corrupt peer is pointless, and
-        // the stream can no longer be trusted to be frame-aligned, so
-        // the connection closes after the error flushes.
-        if conn.inbuf.len() >= HEADER_LEN {
+        // 3. Dispatch *every* complete buffered frame — a pipelining
+        // dialer writes ahead, and each request is answered (with its
+        // tag echoed) as it completes, replies accumulating in the
+        // output buffer. Header problems (bad magic, oversized
+        // declarations) are answered immediately — waiting for more
+        // bytes from a corrupt peer is pointless, and the stream can no
+        // longer be trusted to be frame-aligned, so the connection
+        // closes after the error flushes.
+        while conn.inbuf.len() >= HEADER_LEN && !conn.close_after_reply {
             match frame::decode_header(&conn.inbuf) {
+                Err(frame::FrameError::Truncated { .. }) => break,
                 Err(e) => {
                     self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")));
                     conn.close_after_reply = true;
                     *progressed = true;
+                    break;
                 }
-                Ok((_, len)) if conn.inbuf.len() >= HEADER_LEN + len => {
+                Ok(h) if conn.inbuf.len() >= h.frame_len() => {
                     self.dispatch(conn);
                     conn.last_activity = Instant::now();
                     *progressed = true;
                 }
-                Ok(_) => {} // wait for the rest of the payload
+                Ok(_) => break, // wait for the rest of the payload
             }
         }
         if conn.responded {
@@ -477,12 +491,20 @@ impl NodeInner {
         true
     }
 
+    /// Queues a reply frame, tagged iff the request being answered was
+    /// (the tag was parked in `conn.reply_tag` by `dispatch`).
     fn reply(&self, conn: &mut Conn, kind: FrameKind, payload: &Jv) {
-        let framed = frame::encode_frame(kind, payload).unwrap_or_else(|e| {
+        let tag = conn.reply_tag.take();
+        let encode = |kind: FrameKind, payload: &Jv| match tag {
+            Some(t) => frame::encode_frame_v2(kind, t, payload),
+            None => frame::encode_frame(kind, payload),
+        };
+        let framed = encode(kind, payload).unwrap_or_else(|e| {
             // An over-cap response (e.g. a gigantic snapshot) degrades
             // to a small error frame naming the limit, which cannot
-            // itself fail to encode.
-            frame::encode_frame(
+            // itself fail to encode — still carrying the tag, or the
+            // dialer could not attribute the failure.
+            encode(
                 FrameKind::Error,
                 &AireError::Protocol(format!("response too large to frame: {e}")).to_jv(),
             )
@@ -514,6 +536,9 @@ impl NodeInner {
                 return self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")));
             }
         };
+        // Park the request's tag so whatever reply this dispatch
+        // produces — response, error, shutdown ack — echoes it.
+        conn.reply_tag = fr.request_id;
         match fr.kind {
             FrameKind::Request => {
                 let req = match HttpRequest::from_jv(&fr.payload) {

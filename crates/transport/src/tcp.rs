@@ -8,7 +8,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::rc::{Rc, Weak};
 use std::time::{Duration, Instant};
 
-use aire_http::frame::{self, Frame, FrameKind, HEADER_LEN};
+use aire_http::frame::{self, Frame, FrameHeader, FrameKind, HEADER_LEN};
 use aire_http::{HttpRequest, HttpResponse};
 use aire_net::{Certificate, Transport};
 use aire_types::{AireError, AireResult, Jv, ServiceName};
@@ -21,6 +21,21 @@ pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
 
 /// Default time allowed for a full request/response exchange.
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default bound on requests kept in flight per connection by
+/// [`TcpTransport::call_many`]. Deep enough to hide the round trip on a
+/// long queue flush, shallow enough that a connection death re-queues a
+/// bounded amount of work.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 32;
+
+/// First reconnect backoff after a failed dial; doubles per consecutive
+/// failure up to [`DIAL_BACKOFF_CAP`], ±25% jitter.
+pub const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(2);
+
+/// Ceiling on the reconnect backoff. Kept small relative to daemon
+/// restart times so a resurrected peer is re-tried promptly; the point
+/// is to stop *hot-loop* dialling, not to delay recovery.
+pub const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(100);
 
 /// Default bound on idle pooled connections kept *per plane* (data and
 /// operator pools are separate, like the listeners they dial). The
@@ -72,8 +87,15 @@ pub struct PoolStats {
     pub stale_drops: u64,
     /// Pooled connections retired by the idle reaper.
     pub reaped: u64,
+    /// Connect attempts that failed (refused, unreachable, timed out).
+    /// Calls arriving inside the backoff window fail without a dial and
+    /// are *not* counted here — this is the number of syscall-level
+    /// attempts a dead peer actually cost.
+    pub failed_dials: u64,
     /// Connections currently parked across both planes — never more
-    /// than twice the per-plane bound.
+    /// than twice the per-plane bound. Reaped before counting, so a
+    /// connection past the idle timeout is never reported as live
+    /// capacity.
     pub idle: usize,
 }
 
@@ -117,6 +139,7 @@ pub struct TcpTransport {
     io_timeout: Duration,
     pool_max_idle: usize,
     pool_idle_timeout: Duration,
+    pipeline_depth: usize,
     data_pool: RefCell<VecDeque<Parked>>,
     admin_pool: RefCell<VecDeque<Parked>>,
     dials: Cell<u64>,
@@ -125,6 +148,13 @@ pub struct TcpTransport {
     retries: Cell<u64>,
     stale_drops: Cell<u64>,
     reaped: Cell<u64>,
+    failed_dials: Cell<u64>,
+    /// Consecutive connect failures — drives the exponential backoff.
+    dial_fails: Cell<u32>,
+    /// Until when dialling is suppressed after a failed connect. Shared
+    /// across planes: both listeners live in the one daemon process, so
+    /// a dead data plane is a dead admin plane too.
+    next_dial_after: Cell<Option<Instant>>,
     pump: RefCell<Option<Weak<dyn Pump>>>,
     /// The certificate observed in the last greeting — the identity the
     /// peer most recently *presented*, matching or not. Filled by every
@@ -155,6 +185,7 @@ impl TcpTransport {
             io_timeout: DEFAULT_IO_TIMEOUT,
             pool_max_idle: DEFAULT_POOL_MAX_IDLE,
             pool_idle_timeout: DEFAULT_POOL_IDLE_TIMEOUT,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             data_pool: RefCell::new(VecDeque::new()),
             admin_pool: RefCell::new(VecDeque::new()),
             dials: Cell::new(0),
@@ -163,6 +194,9 @@ impl TcpTransport {
             retries: Cell::new(0),
             stale_drops: Cell::new(0),
             reaped: Cell::new(0),
+            failed_dials: Cell::new(0),
+            dial_fails: Cell::new(0),
+            next_dial_after: Cell::new(None),
             pump: RefCell::new(None),
             cert_cache: RefCell::new(None),
         }
@@ -192,6 +226,17 @@ impl TcpTransport {
         self.with_pool(0, timeout)
     }
 
+    /// Overrides how many requests [`Transport::call_many`] keeps in
+    /// flight per connection. `depth <= 1` disables pipelining entirely:
+    /// batched calls degrade to sequential [`Transport::call`]s and the
+    /// dialer emits only v1 (untagged) frames — the switch the cluster
+    /// tests use to prove recovery digests are identical under both
+    /// framings.
+    pub fn with_pipeline(mut self, depth: usize) -> TcpTransport {
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// Attaches the local node's serve loop: while this dialer waits for
     /// a peer, it cooperatively pumps incoming connections so a peer's
     /// nested call back into this node cannot deadlock the pair. Daemons
@@ -213,8 +258,13 @@ impl TcpTransport {
         &self.host
     }
 
-    /// A snapshot of the pool's counters.
+    /// A snapshot of the pool's counters. Both planes are reaped first:
+    /// `idle` is the number of connections the next checkout could
+    /// actually reuse, not a count that silently includes corpses past
+    /// the idle timeout.
     pub fn pool_stats(&self) -> PoolStats {
+        self.reap(Plane::Data);
+        self.reap(Plane::Admin);
         PoolStats {
             dials: self.dials.get(),
             reuses: self.reuses.get(),
@@ -222,6 +272,7 @@ impl TcpTransport {
             retries: self.retries.get(),
             stale_drops: self.stale_drops.get(),
             reaped: self.reaped.get(),
+            failed_dials: self.failed_dials.get(),
             idle: self.data_pool.borrow().len() + self.admin_pool.borrow().len(),
         }
     }
@@ -327,11 +378,49 @@ impl TcpTransport {
         }
     }
 
+    /// Connects with exponential reconnect backoff: after a failed dial,
+    /// further dials are suppressed for a window that doubles per
+    /// consecutive failure ([`DIAL_BACKOFF_BASE`] up to
+    /// [`DIAL_BACKOFF_CAP`], ±25% jitter so a fleet of dialers does not
+    /// re-dial a resurrected daemon in lockstep). A call landing inside
+    /// the window fails immediately with the same retryable
+    /// `ServiceUnavailable` a refused connect produces — no syscall, no
+    /// sleep — so a dead peer costs a bounded number of actual dials no
+    /// matter how hot the caller's loop is. Any successful connect
+    /// resets the backoff.
     fn connect(&self, addr: SocketAddr) -> AireResult<TcpStream> {
-        let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
-            .map_err(|_| self.unavailable())?;
-        let _ = stream.set_nodelay(true);
-        Ok(stream)
+        if let Some(after) = self.next_dial_after.get() {
+            if Instant::now() < after {
+                return Err(self.unavailable());
+            }
+        }
+        match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+            Ok(stream) => {
+                self.dial_fails.set(0);
+                self.next_dial_after.set(None);
+                let _ = stream.set_nodelay(true);
+                Ok(stream)
+            }
+            Err(_) => {
+                self.failed_dials.set(self.failed_dials.get() + 1);
+                let n = self.dial_fails.get().saturating_add(1);
+                self.dial_fails.set(n);
+                let backoff = DIAL_BACKOFF_BASE
+                    .saturating_mul(1u32 << (n - 1).min(16))
+                    .min(DIAL_BACKOFF_CAP);
+                // ±25% jitter from the clock's subsecond nanos — enough
+                // spread to break lockstep without a rand dependency.
+                let span = (backoff.as_nanos() as u64) / 2;
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| u64::from(d.subsec_nanos()))
+                    .unwrap_or(0);
+                let wait = backoff - Duration::from_nanos(span / 2)
+                    + Duration::from_nanos(if span == 0 { 0 } else { nanos % span });
+                self.next_dial_after.set(Some(Instant::now() + wait));
+                Err(self.unavailable())
+            }
+        }
     }
 
     fn active_pump(&self) -> Option<Rc<dyn Pump>> {
@@ -400,15 +489,24 @@ impl TcpTransport {
         let deadline = Instant::now() + self.io_timeout;
         let mut buf: Vec<u8> = Vec::with_capacity(4096);
         let mut chunk = [0u8; 4096];
-        let mut kind_len: Option<(FrameKind, usize)> = None;
+        let mut header: Option<FrameHeader> = None;
         loop {
-            if kind_len.is_none() && buf.len() >= HEADER_LEN {
-                kind_len = Some(frame::decode_header(&buf).map_err(|e| {
-                    AireError::Protocol(format!("bad frame from {}: {e}", self.host))
-                })?);
+            if header.is_none() && buf.len() >= HEADER_LEN {
+                match frame::decode_header(&buf) {
+                    Ok(h) => header = Some(h),
+                    // A v2 header is longer than v1's minimum; keep
+                    // reading until it is complete.
+                    Err(frame::FrameError::Truncated { .. }) => {}
+                    Err(e) => {
+                        return Err(AireError::Protocol(format!(
+                            "bad frame from {}: {e}",
+                            self.host
+                        )))
+                    }
+                }
             }
-            if let Some((kind, len)) = kind_len {
-                let total = HEADER_LEN + len;
+            if let Some(h) = header {
+                let total = h.frame_len();
                 if buf.len() > total {
                     return Err(AireError::Protocol(format!(
                         "{} sent {} unsolicited byte(s) beyond a frame boundary",
@@ -417,7 +515,7 @@ impl TcpTransport {
                     )));
                 }
                 if buf.len() == total {
-                    let text = std::str::from_utf8(&buf[HEADER_LEN..total]).map_err(|e| {
+                    let text = std::str::from_utf8(&buf[h.header_len()..total]).map_err(|e| {
                         AireError::Protocol(format!(
                             "frame payload from {} is not UTF-8: {e}",
                             self.host
@@ -426,7 +524,11 @@ impl TcpTransport {
                     let payload = Jv::decode(text).map_err(|e| {
                         AireError::Protocol(format!("bad frame payload from {}: {e}", self.host))
                     })?;
-                    return Ok(Frame { kind, payload });
+                    return Ok(Frame {
+                        kind: h.kind,
+                        request_id: h.request_id,
+                        payload,
+                    });
                 }
             }
             match stream.read(&mut chunk) {
@@ -571,6 +673,276 @@ impl TcpTransport {
             };
         }
     }
+
+    /// Many request/response exchanges with pipelining: up to
+    /// `pipeline_depth` tagged (v2) request frames are kept in flight on
+    /// one connection, and replies are matched to requests by their
+    /// echoed tag — in whatever order the peer finishes them.
+    ///
+    /// ## The retry window, per pipelined request
+    ///
+    /// [`TcpTransport::exchange`]'s single-retry rule — retry only a
+    /// request that provably never reached the peer, and only once — is
+    /// re-proven here *per request*. When the connection dies mid-batch,
+    /// every request with **any** byte handed to the kernel is failed
+    /// with the same retryable error a peer death produces (the peer may
+    /// have executed it; resending is the repair queue's decision — a
+    /// partially-flushed frame could not have executed, but it is failed
+    /// too rather than argued about). Requests whose frames had **zero**
+    /// bytes written are provably unknown to the peer, so they — and
+    /// only they — continue on one freshly dialled, freshly
+    /// identity-checked connection. A second connection death fails
+    /// everything still outstanding: one redial total, exactly as in the
+    /// sequential path.
+    fn exchange_many(&self, plane: Plane, reqs: &[HttpRequest]) -> Vec<AireResult<HttpResponse>> {
+        if self.pipeline_depth <= 1 || reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.exchange(plane, r)).collect();
+        }
+        let mut results: Vec<Option<AireResult<HttpResponse>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        // Frame everything up front, tagged with its index: a request
+        // that cannot even be framed fails alone, before any connection
+        // is risked on the batch.
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(reqs.len());
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (i, req) in reqs.iter().enumerate() {
+            match frame::encode_frame_v2(FrameKind::Request, i as u64, &req.to_jv()) {
+                Ok(f) => {
+                    frames.push(f);
+                    queue.push_back(i);
+                }
+                Err(e) => {
+                    frames.push(Vec::new());
+                    results[i] = Some(Err(AireError::Protocol(format!(
+                        "cannot frame request: {e}"
+                    ))));
+                }
+            }
+        }
+        let mut retried = false;
+        while !queue.is_empty() {
+            let acquired = if retried {
+                self.dial(plane).map(|s| (s, false))
+            } else {
+                match self.checkout(plane) {
+                    Some(s) => Ok((s, true)),
+                    None => self.dial(plane).map(|s| (s, false)),
+                }
+            };
+            let (stream, reused) = match acquired {
+                Ok(pair) => pair,
+                Err(e) => {
+                    for i in queue.drain(..) {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                    break;
+                }
+            };
+            match self.run_pipeline(plane, stream, reused, &frames, &mut queue, &mut results) {
+                None => break,
+                Some(e) => {
+                    // `run_pipeline` already failed every request that
+                    // touched the wire; `queue` holds only the provably
+                    // unwritten remainder.
+                    let conn_level = matches!(e, AireError::ServiceUnavailable(_));
+                    if retried || !conn_level {
+                        for i in queue.drain(..) {
+                            results[i] = Some(Err(e.clone()));
+                        }
+                        break;
+                    }
+                    retried = true;
+                    self.retries.set(self.retries.get() + 1);
+                    // Same reasoning as the sequential retry: whatever
+                    // killed this connection killed its pool-mates.
+                    self.pool(plane).borrow_mut().clear();
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(self.unavailable())))
+            .collect()
+    }
+
+    /// Drives one connection's pipeline: keeps the in-flight window
+    /// full, interleaves nonblocking writes and reads, and matches
+    /// replies to requests by tag. Returns `None` when every queued
+    /// request was answered, `Some(err)` when the connection failed —
+    /// in which case requests with bytes on the wire have been failed
+    /// in `results` and `queue` has been rebuilt (in order) with the
+    /// provably unwritten ones.
+    fn run_pipeline(
+        &self,
+        plane: Plane,
+        mut stream: TcpStream,
+        reused: bool,
+        frames: &[Vec<u8>],
+        queue: &mut VecDeque<usize>,
+        results: &mut [Option<AireResult<HttpResponse>>],
+    ) -> Option<AireError> {
+        // Pipelining interleaves reads and writes, so the stream runs
+        // nonblocking regardless of the pump setting; checkin restores
+        // the mode the pool invariant expects.
+        if stream.set_nonblocking(true).is_err() {
+            return Some(self.unavailable());
+        }
+        let pump = self.active_pump();
+        let mut wire: Vec<u8> = Vec::new();
+        let mut flushed = 0usize;
+        // Outstanding requests: (index, frame's byte range within `wire`).
+        let mut staged: VecDeque<(usize, usize, usize)> = VecDeque::new();
+        let mut inbuf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut counted_reuse = false;
+        let mut last_progress = Instant::now();
+        let died: Option<AireError> = 'conn: loop {
+            while staged.len() < self.pipeline_depth {
+                match queue.pop_front() {
+                    Some(i) => {
+                        let start = wire.len();
+                        wire.extend_from_slice(&frames[i]);
+                        staged.push_back((i, start, wire.len()));
+                    }
+                    None => break,
+                }
+            }
+            if staged.is_empty() {
+                break 'conn None;
+            }
+            let mut progress = false;
+            if flushed < wire.len() {
+                match stream.write(&wire[flushed..]) {
+                    Ok(0) => break 'conn Some(self.unavailable()),
+                    Ok(n) => {
+                        flushed += n;
+                        progress = true;
+                        if reused && !counted_reuse {
+                            counted_reuse = true;
+                            self.reuses.set(self.reuses.get() + 1);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => break 'conn Some(self.classify_io("write to", e)),
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break 'conn Some(self.unavailable()),
+                Ok(n) => {
+                    inbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break 'conn Some(self.classify_io("read from", e)),
+            }
+            // Consume every complete reply buffered so far.
+            while !inbuf.is_empty() {
+                let header = match frame::decode_header(&inbuf) {
+                    Ok(h) => h,
+                    Err(frame::FrameError::Truncated { .. }) => break,
+                    // Garbage between replies: frame alignment is lost,
+                    // so nothing further on this connection can be
+                    // trusted or attributed. Permanent protocol error —
+                    // these replies were *sent*, retrying is not ours.
+                    Err(e) => {
+                        break 'conn Some(AireError::Protocol(format!(
+                            "bad frame from {}: {e}",
+                            self.host
+                        )))
+                    }
+                };
+                if inbuf.len() < header.frame_len() {
+                    break;
+                }
+                let (reply, used) = match frame::decode_frame(&inbuf) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        break 'conn Some(AireError::Protocol(format!(
+                            "bad frame from {}: {e}",
+                            self.host
+                        )))
+                    }
+                };
+                inbuf.drain(..used);
+                if !matches!(reply.kind, FrameKind::Response | FrameKind::Error) {
+                    break 'conn Some(AireError::Protocol(format!(
+                        "{} answered a request with a {} frame",
+                        self.host, reply.kind
+                    )));
+                }
+                let pos = match reply.request_id {
+                    Some(tag) => staged.iter().position(|&(i, _, _)| i as u64 == tag),
+                    // An untagged reply from a peer that answers one
+                    // request at a time, in order: it belongs to the
+                    // oldest outstanding request.
+                    None => {
+                        if staged.is_empty() {
+                            None
+                        } else {
+                            Some(0)
+                        }
+                    }
+                };
+                let Some(pos) = pos else {
+                    break 'conn Some(AireError::Protocol(format!(
+                        "{} sent a reply tagged {:?} matching no request in flight",
+                        self.host, reply.request_id
+                    )));
+                };
+                let (idx, _, _) = staged.remove(pos).expect("position came from staged");
+                results[idx] = Some(match reply.kind {
+                    FrameKind::Response => HttpResponse::from_jv(&reply.payload).map_err(|e| {
+                        AireError::Protocol(format!("bad response from {}: {e}", self.host))
+                    }),
+                    _ => Err(AireError::from_jv(&reply.payload).unwrap_or_else(|e| {
+                        AireError::Protocol(format!("bad error frame from {}: {e}", self.host))
+                    })),
+                });
+                progress = true;
+            }
+            if progress {
+                last_progress = Instant::now();
+            } else {
+                if last_progress.elapsed() >= self.io_timeout {
+                    break 'conn Some(self.timeout());
+                }
+                match &pump {
+                    Some(p) => {
+                        if !p.pump_once() {
+                            std::thread::sleep(Duration::from_micros(25));
+                        }
+                    }
+                    None => std::thread::sleep(Duration::from_micros(25)),
+                }
+            }
+        };
+        match died {
+            None => {
+                // Leftover bytes after the last reply are unsolicited;
+                // such a connection must never be parked (see
+                // `checkout`). Otherwise restore the pool's I/O-mode
+                // invariant and park it.
+                if inbuf.is_empty() && (pump.is_some() || stream.set_nonblocking(false).is_ok()) {
+                    self.checkin(plane, stream);
+                }
+                None
+            }
+            Some(e) => {
+                // The retry-window partition. Popping youngest-first and
+                // pushing to the queue's front rebuilds original order.
+                while let Some((idx, start, _end)) = staged.pop_back() {
+                    if start >= flushed {
+                        queue.push_front(idx);
+                    } else {
+                        results[idx] = Some(Err(e.clone()));
+                    }
+                }
+                Some(e)
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport {
@@ -580,6 +952,10 @@ impl Transport for TcpTransport {
 
     fn call_admin(&self, req: &HttpRequest) -> AireResult<HttpResponse> {
         self.exchange(Plane::Admin, req)
+    }
+
+    fn call_many(&self, reqs: &[HttpRequest]) -> Vec<AireResult<HttpResponse>> {
+        self.exchange_many(Plane::Data, reqs)
     }
 
     fn certificate(&self) -> Option<Certificate> {
@@ -631,16 +1007,19 @@ pub fn shutdown_node(admin_addr: SocketAddr, timeout: Duration) -> AireResult<()
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(io_err("shutdown ack read", e)),
         }
-        let (kind, len) = frame::decode_header(&header)
+        // The shutdown conversation is untagged, so the node's frames
+        // are v1 and the fixed-size header read above is complete.
+        let h = frame::decode_header(&header)
             .map_err(|e| AireError::Protocol(format!("bad shutdown frame: {e}")))?;
-        let mut payload = vec![0u8; len];
+        let mut payload = vec![0u8; h.payload_len];
         stream
             .read_exact(&mut payload)
             .map_err(|e| io_err("shutdown ack payload read", e))?;
         let text = String::from_utf8(payload)
             .map_err(|e| AireError::Protocol(format!("shutdown payload not UTF-8: {e}")))?;
         Ok(Some(Frame {
-            kind,
+            kind: h.kind,
+            request_id: h.request_id,
             payload: Jv::decode(&text)
                 .map_err(|e| AireError::Protocol(format!("bad shutdown payload: {e}")))?,
         }))

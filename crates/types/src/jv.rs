@@ -544,21 +544,69 @@ impl<'a> Parser<'a> {
 
     fn int(&mut self) -> Result<Jv, JvParseError> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
+        // Accumulate digits directly; fall back to the std parser only
+        // on overflow so the error cases stay identical.
+        let mut value: i64 = 0;
+        let digits = self.pos;
+        while let Some(d @ b'0'..=b'9') = self.peek() {
             self.pos += 1;
+            value = match value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((d - b'0') as i64))
+            {
+                Some(v) => v,
+                None => {
+                    // i64::MIN overflows the positive accumulator by one;
+                    // let the std parser decide instead of special-casing.
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                    return text
+                        .parse::<i64>()
+                        .map(Jv::Int)
+                        .map_err(|_| self.err("bad integer"));
+                }
+            };
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<i64>()
-            .map(Jv::Int)
-            .map_err(|_| self.err("bad integer"))
+        if self.pos == digits {
+            return Err(self.err("bad integer"));
+        }
+        Ok(Jv::Int(if negative { -value } else { value }))
     }
 
     fn string(&mut self) -> Result<String, JvParseError> {
         self.expect(b'"')?;
+        // Fast path: most strings contain no escapes, so scan straight
+        // to the first quote or backslash (a byte-wise search the
+        // compiler vectorizes; UTF-8 continuation bytes are all >= 0x80
+        // and can't collide with either delimiter) and copy the clean
+        // run as one validated slice.
+        let start = self.pos;
+        match self.bytes[start..]
+            .iter()
+            .position(|&b| b == b'"' || b == b'\\')
+        {
+            Some(run) if self.bytes[start + run] == b'"' => {
+                let s = std::str::from_utf8(&self.bytes[start..start + run])
+                    .map_err(|_| self.err("invalid UTF-8"))?;
+                self.pos = start + run + 1;
+                return Ok(s.to_string());
+            }
+            Some(run) => self.pos = start + run,
+            None => self.pos = self.bytes.len(),
+        }
+        // Slow path (an escape or unterminated input): keep the clean
+        // prefix, then decode the remainder escape by escape.
         let mut out = String::new();
+        out.push_str(
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8"))?,
+        );
         loop {
             match self.bump() {
                 None => return Err(self.err("unterminated string")),

@@ -51,8 +51,17 @@ fn main() {
 
     // One process, two services, one listener pair.
     let (data, admin) = free_addrs();
-    let mut daemon = spawn_node(&noded, &["askbot", "dpaste"], data, admin, &[], 120, None)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let mut daemon = spawn_node(
+        &noded,
+        &["askbot", "dpaste"],
+        data,
+        admin,
+        &[],
+        120,
+        None,
+        None,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
     println!(
         "spawned one daemon hosting {:?}: data={} admin={}",
         daemon.services, daemon.data, daemon.admin

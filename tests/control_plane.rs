@@ -10,7 +10,7 @@ use std::rc::Rc;
 use aire::client::AdminClient;
 use aire::core::admin::{AdminOp, AdminResponse};
 use aire::core::protocol::{RepairMessage, RepairOp};
-use aire::core::{RepairMode, SendOutcome, World};
+use aire::core::{ControllerConfig, FlushStrategy, RepairMode, SendOutcome, World};
 use aire::http::aire as headers;
 use aire::http::{Headers, HttpRequest, HttpResponse, Status, Url};
 use aire::net::{Endpoint, Network};
@@ -471,7 +471,12 @@ fn capped_deferred_cycle_is_not_quiescent() {
     assert!(report.pump.capped, "{report:?}");
     assert!(
         !report.quiescent(),
-        "a capped settle is never quiescent: {report:?}"
+        "the cycle always leaves work pending at exit \
+         (a queued message or a parked seed): {report:?}"
+    );
+    assert!(
+        !report.stuck.is_empty() || report.pending_seeds > 0,
+        "the non-quiescent report must say *what* is left: {report:?}"
     );
 }
 
@@ -483,4 +488,129 @@ fn default_pump_terminates_on_the_cycle() {
     let report = world.pump();
     assert!(report.capped);
     assert!(!report.quiescent());
+}
+
+/// A benign non-Aire endpoint that just acknowledges repair carriers —
+/// no counter-repair, so the queue genuinely drains.
+struct Sink;
+
+impl Endpoint for Sink {
+    fn handle(&self, _req: &HttpRequest) -> HttpResponse {
+        let mut resp = HttpResponse::ok(jv!({"aire": "ok"}));
+        resp.headers.set(headers::REQUEST_ID, "evil/Q1");
+        resp
+    }
+}
+
+#[test]
+fn capped_settle_whose_final_round_drained_everything_is_quiescent() {
+    // Boundary case: the round cap fires *after* the final pump round
+    // delivered the last message. The exit state is fully drained, so
+    // the settle is quiescent — `capped` stays true as a diagnostic —
+    // rather than the contradictory "capped, non-quiescent, nothing
+    // stuck" it used to report.
+    let mut world = World::new();
+    world.add_service(Rc::new(Mirror));
+    world.net().register("evil", Rc::new(Sink));
+    let seeded = world
+        .deliver(&HttpRequest::post(
+            Url::service("mirror", "/echo"),
+            jv!({"text": "seed"}),
+        ))
+        .unwrap();
+    let msg = RepairMessage::bare(RepairOp::Replace {
+        request_id: headers::response_request_id(&seeded).unwrap(),
+        new_request: HttpRequest::post(Url::service("mirror", "/echo"), jv!({"text": "fixed"})),
+    });
+    let ack = world.invoke_repair("mirror", msg).unwrap();
+    assert_eq!(ack.status, Status::OK);
+    assert_eq!(world.queued_messages(), 1, "one deliverable repair queued");
+
+    // One round is enough to deliver the message and too few to observe
+    // the now-empty world, so the cap fires on a drained exit state.
+    let report = world.settle_capped(1, 50);
+    assert!(report.pump.capped, "the round cap fired: {report:?}");
+    assert_eq!(report.pump.delivered, 1);
+    assert_eq!(report.pump.pending, 0);
+    assert_eq!(report.pending_seeds, 0);
+    assert!(
+        report.quiescent(),
+        "a drained exit state is quiescent even when capped: {report:?}"
+    );
+    assert!(report.stuck.is_empty());
+}
+
+/// One full deferred recovery driven through `FlushQueue`, with every
+/// controller configured to the given flush strategy; returns the
+/// per-service digests and the total delivered count.
+fn recovery_with_flush(flush: FlushStrategy) -> (Vec<String>, usize) {
+    let mut world = World::new();
+    let cfg = ControllerConfig {
+        flush,
+        ..ControllerConfig::default()
+    };
+    world.add_service_with(Rc::new(aire::apps::OAuthProvider), cfg.clone());
+    world.add_service_with(Rc::new(aire::apps::Askbot), cfg.clone());
+    world.add_service_with(Rc::new(aire::apps::Dpaste), cfg);
+    let facts = askbot_attack::populate(&world, &small());
+    world.set_repair_mode_all(RepairMode::Deferred);
+    let ack = askbot_attack::repair_with(&world, &facts.misconfig_request);
+    assert!(ack.status.is_success(), "repair rejected: {:?}", ack.body);
+
+    let services = world.service_names();
+    let mut total_delivered = 0;
+    loop {
+        let mut progressed = 0;
+        for s in &services {
+            let AdminResponse::Repaired { actions } =
+                world.invoke_admin(s, AdminOp::RunLocalRepair).unwrap()
+            else {
+                panic!("repair response");
+            };
+            progressed += actions;
+        }
+        for s in &services {
+            let AdminResponse::Flushed {
+                delivered, dropped, ..
+            } = world.invoke_admin(s, AdminOp::FlushQueue).unwrap()
+            else {
+                panic!("flush response");
+            };
+            assert_eq!(dropped, 0, "{s}: no repair is undeliverable here");
+            progressed += delivered;
+            total_delivered += delivered;
+        }
+        if progressed == 0 {
+            break;
+        }
+    }
+    let digests = services
+        .iter()
+        .map(|s| match world.invoke_admin(s, AdminOp::Digest).unwrap() {
+            AdminResponse::Digest { digest } => digest,
+            other => panic!("digest response: {other:?}"),
+        })
+        .collect();
+    (digests, total_delivered)
+}
+
+/// The [`FlushStrategy`] equivalence oracle: sequential, pipelined, and
+/// batched flushes (including a batch size small enough to force
+/// multi-chunk flushes) must deliver the same number of messages and
+/// converge every service to identical digests. Strategies change how
+/// many carriers and round trips a flush costs — never what state it
+/// produces.
+#[test]
+fn flush_strategies_produce_identical_recovery() {
+    let (seq, seq_n) = recovery_with_flush(FlushStrategy::Sequential);
+    let (pip, pip_n) = recovery_with_flush(FlushStrategy::Pipelined);
+    let (small_batch, small_n) = recovery_with_flush(FlushStrategy::Batched { batch: 2 });
+    let (big_batch, big_n) = recovery_with_flush(FlushStrategy::Batched { batch: 256 });
+    assert_eq!(seq, pip, "pipelined flush must not drift from sequential");
+    assert_eq!(seq, small_batch, "chunked batches must not drift");
+    assert_eq!(seq, big_batch, "single-carrier batches must not drift");
+    assert_eq!(seq_n, pip_n);
+    assert_eq!(seq_n, small_n);
+    assert_eq!(seq_n, big_n);
+    assert!(seq_n > 0, "the recovery must actually deliver repairs");
 }
