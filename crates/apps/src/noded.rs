@@ -47,11 +47,12 @@
 
 use std::net::SocketAddr;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aire_core::{Controller, ControllerConfig};
+use aire_core::{Controller, ControllerConfig, ShardSpec, ShardedRuntime, WorkerPump, WorkerSetup};
 use aire_net::{Certificate, Network};
-use aire_transport::{NodeServer, ServeOutcome, TcpTransport};
+use aire_transport::{NodeServer, Pump, ServeOutcome, TcpTransport};
 use aire_web::App;
 
 /// Every unit-constructible application a node can host, by service
@@ -173,6 +174,12 @@ pub struct NodeOptions {
     /// cluster tests use to prove recovery digests are identical under
     /// v1 and v2 framing. `None` keeps the transport default.
     pub pipeline_depth: Option<usize>,
+    /// Shard workers. `1` (the default) is the classic single-threaded
+    /// daemon; `N > 1` runs the shard-per-core runtime
+    /// ([`aire_core::ShardedRuntime`]): N worker threads, each owning
+    /// its slice of every hosted service's state, with requests routed
+    /// by shard key and repair by request-seq stripe.
+    pub workers: usize,
 }
 
 /// The usage text (`--help` and argument errors).
@@ -183,7 +190,7 @@ usage:
   aire-noded --service <spec> [--service <spec>]...
              [--data ADDR] [--admin ADDR]
              [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
-             [--cert-serial N] [--pipeline-depth N]
+             [--cert-serial N] [--pipeline-depth N] [--workers N]
 
 options:
   --service <spec>        an application to host (repeatable; at least
@@ -203,6 +210,12 @@ options:
   --pipeline-depth N      cap requests in flight per outgoing connection
                           (1 pins sequential v1 framing; default is the
                           transport's pipelined v2 framing)
+  --workers N             shard workers [default 1]. N > 1 runs the
+                          shard-per-core runtime: N threads, each owning
+                          a key-range slice of every hosted service's
+                          state, with admin operations fanned out and
+                          merged; recovery results are byte-identical at
+                          every worker count
 
 The daemon prints `aire-noded ready service=... data=... admin=...` once
 both listeners are bound (comma-separated service names when hosting
@@ -231,6 +244,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
     let mut max_runtime = Duration::from_secs(600);
     let mut cert_serial = None;
     let mut pipeline_depth = None;
+    let mut workers = 1usize;
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -287,6 +301,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
                 }
                 pipeline_depth = Some(depth);
             }
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| format!("--workers: {v:?} is not a number"))?;
+                if workers == 0 {
+                    return Err("--workers: must be at least 1".to_string());
+                }
+            }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -301,18 +324,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
         max_runtime,
         cert_serial,
         pipeline_depth,
+        workers,
     }))
 }
 
 /// Builds the node (network, peer transports, one controller per hosted
 /// service, listeners), prints the ready line, and serves until
-/// shutdown or the runtime cap.
+/// shutdown or the runtime cap. `--workers N > 1` takes the sharded
+/// path (`run_sharded`) instead.
 pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
     let apps = opts
         .services
         .iter()
         .map(|spec| parse_service_spec(spec))
         .collect::<Result<Vec<_>, _>>()?;
+    if opts.workers > 1 {
+        return run_sharded(opts, apps);
+    }
     let net = Network::new();
 
     // Peer transports first, so the controllers' outgoing calls resolve.
@@ -363,6 +391,117 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
     let _ = std::io::stdout().flush();
 
     Ok(server.serve(Some(Instant::now() + opts.max_runtime)))
+}
+
+/// Adapts a shard worker's job pump to the transport [`Pump`] seam: a
+/// worker blocked on an outgoing peer call keeps draining the jobs
+/// routed to its own shard — the cooperative discipline of the
+/// single-threaded daemon, scoped to one worker.
+struct WorkerJobPump(WorkerPump);
+
+impl Pump for WorkerJobPump {
+    fn pump_once(&self) -> bool {
+        self.0.pump_once()
+    }
+}
+
+/// The `--workers N > 1` deployment: launches the shard-per-core
+/// runtime (N worker threads, each building its own network, peer
+/// dialers, and controllers on its own thread) and binds the listeners
+/// in sharded mode, where the serve loop routes frames to workers
+/// through tickets and never blocks on one.
+fn run_sharded(
+    opts: NodeOptions,
+    apps: Vec<(String, Rc<dyn App>)>,
+) -> Result<ServeOutcome, String> {
+    // The certificates this daemon presents: the same serials the
+    // unsharded daemon's registry would issue in registration order
+    // (1, 2, ...), with the --cert-serial override applied identically.
+    // Workers pre-seed these into their own registries below, so every
+    // shard presents exactly what the greeting advertises.
+    let hosted: Vec<(String, Certificate)> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            let serial = opts
+                .cert_serial
+                .map_or(i as u64 + 1, |base| base + i as u64);
+            let cert = Certificate {
+                subject: name.clone(),
+                serial,
+            };
+            (name.clone(), cert)
+        })
+        .collect();
+
+    // The app factory re-parses the validated spec strings: specs are
+    // `Send`, apps (`Rc`-based) are not, and each worker must build its
+    // own copies on its own thread.
+    let specs = opts.services.clone();
+    let app_factory: aire_core::AppFactory = Arc::new(move || {
+        specs
+            .iter()
+            .map(|s| parse_service_spec(s).expect("specs were validated at startup"))
+            .collect()
+    });
+
+    let peers = opts.peers.clone();
+    let pipeline_depth = opts.pipeline_depth;
+    let certs = hosted.clone();
+    let setup: aire_core::SetupHook = Arc::new(move |ws: WorkerSetup| {
+        // Each worker dials its own peer connections, pumped by the
+        // worker's own job queue while calls wait.
+        let pump: Rc<dyn Pump> = Rc::new(WorkerJobPump(ws.pump));
+        let mut transports = Vec::new();
+        for peer in &peers {
+            let mut t = TcpTransport::new(peer.name.clone(), peer.data, peer.admin);
+            if let Some(depth) = pipeline_depth {
+                t = t.with_pipeline(depth);
+            }
+            t.set_pump(Rc::downgrade(&pump));
+            let t = Rc::new(t);
+            ws.net.register_remote(peer.name.clone(), t.clone());
+            transports.push(t);
+        }
+        // Pre-seed the hosted certificates (registration keeps a
+        // certificate installed beforehand), so worker-local
+        // cross-service validation agrees with the greeting.
+        for (name, cert) in &certs {
+            ws.net.install_certificate(name, cert.clone());
+        }
+        Box::new((pump, transports))
+    });
+
+    let runtime = ShardedRuntime::launch(ShardSpec {
+        workers: opts.workers,
+        config: ControllerConfig::default(),
+        apps: app_factory,
+        setup,
+    });
+
+    // The serving thread's own network stays empty: every request is
+    // submitted to the shard front, which owns routing and merging.
+    let server = NodeServer::bind_sharded(
+        Network::new(),
+        hosted,
+        opts.data,
+        opts.admin,
+        runtime.front(),
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+
+    use std::io::Write;
+    println!(
+        "aire-noded ready service={} data={} admin={}",
+        server.hosts().join(","),
+        server.data_addr(),
+        server.admin_addr()
+    );
+    let _ = std::io::stdout().flush();
+
+    let outcome = server.serve(Some(Instant::now() + opts.max_runtime));
+    runtime.shutdown();
+    Ok(outcome)
 }
 
 /// The daemon's command-line entry point; returns the process exit code.
@@ -488,7 +627,11 @@ pub mod spawn {
     /// `cert_serial` (if any) is forwarded as `--cert-serial` so a
     /// restarted daemon presents a rotated identity; `pipeline_depth`
     /// (if any) is forwarded as `--pipeline-depth` (1 pins the daemon's
-    /// outgoing connections to sequential v1 framing).
+    /// outgoing connections to sequential v1 framing); `workers` (if
+    /// any) is forwarded as `--workers`. When `workers` is `None`, the
+    /// `AIRE_NODED_WORKERS` environment variable supplies the worker
+    /// count instead — the hook that lets a CI matrix run the whole
+    /// existing cluster suite sharded without touching the tests.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn_node(
         exe: &Path,
@@ -499,8 +642,14 @@ pub mod spawn {
         max_runtime_secs: u64,
         cert_serial: Option<u64>,
         pipeline_depth: Option<usize>,
+        workers: Option<usize>,
     ) -> Result<SpawnedNode, String> {
         assert!(!services.is_empty(), "a node hosts at least one service");
+        let workers = workers.or_else(|| {
+            std::env::var("AIRE_NODED_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
         let mut cmd = Command::new(exe);
         for service in services {
             cmd.arg("--service").arg(service);
@@ -516,6 +665,9 @@ pub mod spawn {
         }
         if let Some(depth) = pipeline_depth {
             cmd.arg("--pipeline-depth").arg(depth.to_string());
+        }
+        if let Some(w) = workers {
+            cmd.arg("--workers").arg(w.to_string());
         }
         for (peer, pdata, padmin) in peers {
             cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
@@ -638,6 +790,23 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         let err = parse_args(["--service", "askbot", "--pipeline-depth", "deep"].map(String::from))
             .unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn workers_parse_and_reject_zero() {
+        let opts = parse_args(["--service", "vkv", "--workers", "4"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.workers, 4);
+        let opts = parse_args(["--service", "vkv"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.workers, 1);
+        let err = parse_args(["--service", "vkv", "--workers", "0"].map(String::from)).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err =
+            parse_args(["--service", "vkv", "--workers", "many"].map(String::from)).unwrap_err();
         assert!(err.contains("not a number"), "{err}");
     }
 

@@ -16,7 +16,7 @@
 //! we render them as `v<row-id>`, so a freshly repaired branch shows up
 //! as `v5`, `v6`, ... exactly as in Figure 3.
 
-use aire_http::{HttpResponse, Status};
+use aire_http::{HttpRequest, HttpResponse, Status};
 use aire_types::{jv, Jv};
 use aire_vdb::{FieldDef, FieldKind, Filter, Schema};
 use aire_web::{App, AuthorizeCtx, Ctx, Router, WebError};
@@ -207,6 +207,22 @@ impl App for VersionedKv {
 
     fn authorize_repair(&self, az: &AuthorizeCtx<'_>) -> bool {
         policy::same_principal(az)
+    }
+
+    /// Keys are independent of each other (there is no cross-key
+    /// operation in the API), so the store shards cleanly by key name.
+    fn sharded(&self) -> bool {
+        true
+    }
+
+    /// Every route operates on exactly one key: `POST`s carry it in the
+    /// body, `GET`s in the query string.
+    fn shard_key(&self, req: &HttpRequest) -> Option<String> {
+        req.body
+            .get("key")
+            .as_str()
+            .map(str::to_string)
+            .or_else(|| req.url.query.get("key").cloned())
     }
 }
 

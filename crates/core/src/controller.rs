@@ -60,6 +60,13 @@ pub struct ControllerConfig {
     pub coarse_scan_taint: bool,
     /// How `flush_queue` delivers (per-message send paths are unaffected).
     pub flush: FlushStrategy,
+    /// This controller's slot in a sharded daemon: `(index, count)`.
+    /// Shard `index` of `count` allocates interleaved request seqs
+    /// `index+1, index+1+count, index+1+2*count, ...` so request ids stay
+    /// unique across the daemon's workers and a repair of seq `s` can be
+    /// routed back to shard `(s-1) % count` without a lookup. The default
+    /// `(0, 1)` reproduces the unsharded sequence `1, 2, 3, ...` exactly.
+    pub shard: (u32, u32),
 }
 
 impl Default for ControllerConfig {
@@ -69,6 +76,7 @@ impl Default for ControllerConfig {
             clock_base_millis: 1_700_000_000_000,
             coarse_scan_taint: false,
             flush: FlushStrategy::Batched { batch: 256 },
+            shard: (0, 1),
         }
     }
 }
@@ -94,6 +102,33 @@ pub(crate) struct ServiceCore {
     pub stats: ControllerStats,
     pub admin_notices: Vec<Jv>,
     pub notifications: Vec<RepairProblem>,
+    /// Striped request-id allocation slot ([`ControllerConfig::shard`]).
+    pub shard_index: u64,
+    pub shard_count: u64,
+}
+
+impl ServiceCore {
+    /// Allocates the next request seq. `next_request_seq` stores the
+    /// *allocation count* `n`; the seq handed out is
+    /// `n * shard_count + shard_index + 1`, so the unsharded `(0, 1)`
+    /// slot yields `1, 2, 3, ...` (seq == count, as before) and shard
+    /// `s` of `W` yields the `s`-stripe. Keeping the counter as a count
+    /// also keeps snapshots identical across worker counts.
+    pub(crate) fn alloc_request_seq(&mut self) -> u64 {
+        let n = self.next_request_seq;
+        self.next_request_seq += 1;
+        n * self.shard_count.max(1) + self.shard_index + 1
+    }
+
+    /// Whether `seq` lies in this shard's stripe and below its
+    /// allocation watermark — i.e. this controller has already handed it
+    /// out. Used to distinguish GONE (collected history) from NOT_FOUND.
+    pub(crate) fn request_seq_allocated(&self, seq: u64) -> bool {
+        let count = self.shard_count.max(1);
+        seq >= 1
+            && (seq - 1) % count == self.shard_index
+            && (seq - 1) / count < self.next_request_seq
+    }
 }
 
 /// Outcome of attempting to send one queued repair message.
@@ -189,6 +224,8 @@ impl Controller {
                 stats: ControllerStats::default(),
                 admin_notices: Vec::new(),
                 notifications: Vec::new(),
+                shard_index: u64::from(config.shard.0),
+                shard_count: u64::from(config.shard.1).max(1),
             }),
             app,
             router,
@@ -254,8 +291,16 @@ impl Controller {
         m
     }
 
-    /// Rebuilds a [`ServiceCore`] from a snapshot taken for `app`.
-    fn core_from_snapshot(app: &dyn App, snap: &Jv) -> Result<ServiceCore, String> {
+    /// Rebuilds a [`ServiceCore`] from a snapshot taken for `app`. The
+    /// shard slot comes from the restoring controller's config, not the
+    /// snapshot: `next_request_seq` is an allocation count, so a
+    /// snapshot is portable across worker counts as long as the daemon
+    /// restores every shard's snapshot into the matching slot.
+    fn core_from_snapshot(
+        app: &dyn App,
+        snap: &Jv,
+        shard: (u32, u32),
+    ) -> Result<ServiceCore, String> {
         let name = ServiceName::new(app.name());
         if snap.str_of("service") != name.as_str() {
             return Err(format!(
@@ -309,6 +354,8 @@ impl Controller {
                 .map(|l| l.to_vec())
                 .unwrap_or_default(),
             notifications,
+            shard_index: u64::from(shard.0),
+            shard_count: u64::from(shard.1).max(1),
         })
     }
 
@@ -321,7 +368,7 @@ impl Controller {
         config: ControllerConfig,
         snap: &Jv,
     ) -> Result<Rc<Controller>, String> {
-        let core = Self::core_from_snapshot(app.as_ref(), snap)?;
+        let core = Self::core_from_snapshot(app.as_ref(), snap, config.shard)?;
         let router = app.router();
         Ok(Rc::new(Controller {
             core: RefCell::new(core),
@@ -337,7 +384,7 @@ impl Controller {
     ///
     /// Wire equivalent: [`AdminOp::Restore`].
     pub fn restore_in_place(&self, snap: &Jv) -> Result<(), String> {
-        let core = Self::core_from_snapshot(self.app.as_ref(), snap)?;
+        let core = Self::core_from_snapshot(self.app.as_ref(), snap, self.config.shard)?;
         *self.core.borrow_mut() = core;
         Ok(())
     }
@@ -545,8 +592,8 @@ impl Controller {
         let started = Instant::now();
         let mut core = self.core.borrow_mut();
         let time = core.time.next();
-        core.next_request_seq += 1;
-        let request_id = RequestId::new(core.name.clone(), core.next_request_seq);
+        let seq = core.alloc_request_seq();
+        let request_id = RequestId::new(core.name.clone(), seq);
 
         let dispatch = self.router.dispatch(req.method, &req.url.path);
         let ServiceCore {
@@ -747,8 +794,8 @@ impl Controller {
                     None,
                     &credentials,
                 )?;
-                core.next_request_seq += 1;
-                let id = RequestId::new(core.name.clone(), core.next_request_seq);
+                let seq = core.alloc_request_seq();
+                let id = RequestId::new(core.name.clone(), seq);
                 core.time.observe(time);
                 Seed::Create(time, id, request.clone())
             }
@@ -859,7 +906,7 @@ impl Controller {
         }
         match core.log.by_request_id(request_id) {
             Some(record) => Ok(record),
-            None if request_id.seq <= core.next_request_seq
+            None if core.request_seq_allocated(request_id.seq)
                 && core.log.gc_horizon() > LogicalTime::ZERO =>
             {
                 // The request existed but its history was collected (§9).

@@ -128,6 +128,7 @@ pub mod protocol;
 pub mod queue;
 pub mod repair;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod world;
 
@@ -136,5 +137,9 @@ pub use controller::{Controller, ControllerConfig, FlushStrategy, SendOutcome};
 pub use incoming::{PendingSeed, RepairMode};
 pub use protocol::{RepairBatch, RepairMessage, RepairOp};
 pub use queue::{QueueKey, QueuedRepair};
+pub use shard::{
+    AppFactory, SetupHook, ShardFront, ShardSpec, ShardSubmitter, ShardedRuntime, WorkerPump,
+    WorkerSetup,
+};
 pub use stats::ControllerStats;
 pub use world::{PumpReport, SettleReport, StuckRepair, World};

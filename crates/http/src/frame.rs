@@ -17,14 +17,25 @@
 //!    | "AIRE" | 0x02 | kind | request id | payload len | payload (Jv text)|
 //!    | 4 B    | 1 B  | 1 B  | 8 B BE     | 4 B BE      | len B UTF-8      |
 //!    +--------+------+------+------------+-------------+------------------+
+//!
+//! v3 +--------+------+------+------------+-------+-------------+---------+
+//!    | "AIRE" | 0x03 | kind | request id | shard | payload len | payload |
+//!    | 4 B    | 1 B  | 1 B  | 8 B BE     | 2 B BE| 4 B BE      | len B   |
+//!    +--------+------+------+------------+-------+-------------+---------+
 //! ```
 //!
 //! Version 2 differs from version 1 only by the **request id** field: a
 //! sender-chosen tag echoed back on the matching `Response`/`Error`
 //! frame, which is what lets a dialer keep several requests in flight on
-//! one connection and match replies out of order (pipelining). Both
-//! versions are accepted on the read side; a reply carries a tag exactly
-//! when its request did, so v1-only peers keep working unchanged.
+//! one connection and match replies out of order (pipelining). Version 3
+//! adds a 2-byte **shard hint** after the request id: a dialer that
+//! knows the receiving daemon runs `--workers N` shard workers names the
+//! worker its request belongs to, so the server can hand the raw bytes
+//! straight to that worker without decoding the payload centrally. The
+//! sentinel `0xFFFF` ([`NO_SHARD_HINT`]) means "no hint" — the server
+//! decodes and routes as if the frame were v2. All three versions are
+//! accepted on the read side; a reply carries a tag exactly when its
+//! request did, so v1-only peers keep working unchanged.
 //!
 //! Malformed input is rejected with a [`FrameError`] that names the
 //! problem (bad magic, unknown kind, truncation with the byte counts,
@@ -54,11 +65,23 @@ pub const VERSION: u8 = 1;
 /// payload length.
 pub const VERSION_2: u8 = 2;
 
+/// Wire-format version of shard-hinted frames: identical to
+/// [`VERSION_2`] plus a 2-byte shard hint between the request id and
+/// the payload length.
+pub const VERSION_3: u8 = 3;
+
+/// The v3 shard-hint value meaning "no hint": the server decodes and
+/// routes the payload itself, exactly as for a v2 frame.
+pub const NO_SHARD_HINT: u16 = 0xFFFF;
+
 /// Fixed v1 header size: magic + version + kind + payload length.
 pub const HEADER_LEN: usize = 10;
 
 /// Fixed v2 header size: [`HEADER_LEN`] plus the 8-byte request id.
 pub const HEADER_LEN_V2: usize = 18;
+
+/// Fixed v3 header size: [`HEADER_LEN_V2`] plus the 2-byte shard hint.
+pub const HEADER_LEN_V3: usize = 20;
 
 /// Maximum accepted payload size. Controller snapshots are the largest
 /// legitimate payloads; 64 MiB leaves room while bounding what a
@@ -126,10 +149,13 @@ impl fmt::Display for FrameKind {
 pub struct Frame {
     /// What the payload is.
     pub kind: FrameKind,
-    /// The pipelining tag: `Some` for a v2 frame, `None` for v1. A
+    /// The pipelining tag: `Some` for a v2/v3 frame, `None` for v1. A
     /// server echoes a request's tag on its reply; an untagged request
     /// gets an untagged reply.
     pub request_id: Option<u64>,
+    /// The v3 shard hint (`Some` iff the frame was v3; the sender's
+    /// [`NO_SHARD_HINT`] arrives as `Some(NO_SHARD_HINT)`).
+    pub shard_hint: Option<u16>,
     /// The structured payload.
     pub payload: Jv,
 }
@@ -175,7 +201,7 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(v) => {
                 write!(
                     f,
-                    "unsupported frame version {v} (this node speaks {VERSION} and {VERSION_2})"
+                    "unsupported frame version {v} (this node speaks {VERSION}, {VERSION_2}, and {VERSION_3})"
                 )
             }
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind byte {k}"),
@@ -198,7 +224,7 @@ impl std::error::Error for FrameError {}
 /// by the peer (and a payload beyond `u32` could never even declare its
 /// length honestly).
 pub fn encode_frame(kind: FrameKind, payload: &Jv) -> Result<Vec<u8>, FrameError> {
-    encode_frame_inner(kind, None, payload)
+    encode_frame_inner(kind, None, None, payload)
 }
 
 /// Encodes one tagged (version-2) frame. Same caps as [`encode_frame`];
@@ -209,12 +235,25 @@ pub fn encode_frame_v2(
     request_id: u64,
     payload: &Jv,
 ) -> Result<Vec<u8>, FrameError> {
-    encode_frame_inner(kind, Some(request_id), payload)
+    encode_frame_inner(kind, Some(request_id), None, payload)
+}
+
+/// Encodes one shard-hinted (version-3) frame: [`encode_frame_v2`] plus
+/// the 2-byte shard hint. A hint of [`NO_SHARD_HINT`] is legal and
+/// means "route centrally".
+pub fn encode_frame_v3(
+    kind: FrameKind,
+    request_id: u64,
+    shard_hint: u16,
+    payload: &Jv,
+) -> Result<Vec<u8>, FrameError> {
+    encode_frame_inner(kind, Some(request_id), Some(shard_hint), payload)
 }
 
 fn encode_frame_inner(
     kind: FrameKind,
     request_id: Option<u64>,
+    shard_hint: Option<u16>,
     payload: &Jv,
 ) -> Result<Vec<u8>, FrameError> {
     let body = payload.encode();
@@ -224,21 +263,20 @@ fn encode_frame_inner(
             max: MAX_PAYLOAD_LEN,
         });
     }
-    let header_len = if request_id.is_some() {
-        HEADER_LEN_V2
-    } else {
-        HEADER_LEN
+    let (version, header_len) = match (request_id.is_some(), shard_hint.is_some()) {
+        (true, true) => (VERSION_3, HEADER_LEN_V3),
+        (true, false) => (VERSION_2, HEADER_LEN_V2),
+        _ => (VERSION, HEADER_LEN),
     };
     let mut out = Vec::with_capacity(header_len + body.len());
     out.extend_from_slice(&MAGIC);
-    out.push(if request_id.is_some() {
-        VERSION_2
-    } else {
-        VERSION
-    });
+    out.push(version);
     out.push(kind.as_u8());
     if let Some(id) = request_id {
         out.extend_from_slice(&id.to_be_bytes());
+    }
+    if let Some(hint) = shard_hint {
+        out.extend_from_slice(&hint.to_be_bytes());
     }
     out.extend_from_slice(&(body.len() as u32).to_be_bytes());
     out.extend_from_slice(body.as_bytes());
@@ -249,12 +287,15 @@ fn encode_frame_inner(
 /// arrive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
-    /// The wire version ([`VERSION`] or [`VERSION_2`]).
+    /// The wire version ([`VERSION`], [`VERSION_2`], or [`VERSION_3`]).
     pub version: u8,
     /// What the payload will be.
     pub kind: FrameKind,
-    /// The pipelining tag (`Some` iff `version` is [`VERSION_2`]).
+    /// The pipelining tag (`Some` iff `version` is at least
+    /// [`VERSION_2`]).
     pub request_id: Option<u64>,
+    /// The shard hint (`Some` iff `version` is [`VERSION_3`]).
+    pub shard_hint: Option<u16>,
     /// Declared payload byte count.
     pub payload_len: usize,
 }
@@ -262,7 +303,9 @@ pub struct FrameHeader {
 impl FrameHeader {
     /// Size of this header on the wire.
     pub fn header_len(&self) -> usize {
-        if self.request_id.is_some() {
+        if self.shard_hint.is_some() {
+            HEADER_LEN_V3
+        } else if self.request_id.is_some() {
             HEADER_LEN_V2
         } else {
             HEADER_LEN
@@ -295,22 +338,32 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
         return Err(FrameError::BadMagic(magic));
     }
     let version = buf[4];
-    if version != VERSION && version != VERSION_2 {
+    if version != VERSION && version != VERSION_2 && version != VERSION_3 {
         return Err(FrameError::BadVersion(version));
     }
     let kind = FrameKind::parse(buf[5]).ok_or(FrameError::UnknownKind(buf[5]))?;
-    let (request_id, len_at) = if version == VERSION_2 {
-        if buf.len() < HEADER_LEN_V2 {
+    let (request_id, shard_hint, len_at) = if version == VERSION {
+        (None, None, 6)
+    } else {
+        let header_len = if version == VERSION_3 {
+            HEADER_LEN_V3
+        } else {
+            HEADER_LEN_V2
+        };
+        if buf.len() < header_len {
             return Err(FrameError::Truncated {
-                needed: HEADER_LEN_V2,
+                needed: header_len,
                 got: buf.len(),
             });
         }
         let mut id = [0u8; 8];
         id.copy_from_slice(&buf[6..14]);
-        (Some(u64::from_be_bytes(id)), 14)
-    } else {
-        (None, 6)
+        let hint = (version == VERSION_3).then(|| u16::from_be_bytes([buf[14], buf[15]]));
+        (
+            Some(u64::from_be_bytes(id)),
+            hint,
+            if version == VERSION_3 { 16 } else { 14 },
+        )
     };
     let len = u32::from_be_bytes([
         buf[len_at],
@@ -328,6 +381,7 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
         version,
         kind,
         request_id,
+        shard_hint,
         payload_len: len,
     })
 }
@@ -350,6 +404,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         Frame {
             kind: header.kind,
             request_id: header.request_id,
+            shard_hint: header.shard_hint,
             payload,
         },
         total,
@@ -565,6 +620,7 @@ mod tests {
         let frame = Frame {
             kind: FrameKind::Request,
             request_id: None,
+            shard_hint: None,
             payload: Jv::Null,
         };
         assert!(decode_request(&frame).is_err());
@@ -671,10 +727,63 @@ mod tests {
     }
 
     #[test]
-    fn versions_past_two_are_still_rejected() {
-        let mut bytes = encode_frame_v2(FrameKind::Request, 1, &Jv::Null).unwrap();
-        bytes[4] = 3;
-        assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::BadVersion(3));
+    fn versions_past_three_are_still_rejected() {
+        let mut bytes = encode_frame_v3(FrameKind::Request, 1, 0, &Jv::Null).unwrap();
+        bytes[4] = 4;
+        assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::BadVersion(4));
+    }
+
+    #[test]
+    fn hinted_frames_round_trip_with_hint_and_tag() {
+        let req = sample_request();
+        let bytes = encode_frame_v3(FrameKind::Request, 0x51, 2, &req.to_jv()).unwrap();
+        assert_eq!(bytes[4], VERSION_3);
+        assert_eq!(
+            bytes.len(),
+            framed_request_len(&req) + (HEADER_LEN_V3 - HEADER_LEN)
+        );
+        let header = decode_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION_3);
+        assert_eq!(header.request_id, Some(0x51));
+        assert_eq!(header.shard_hint, Some(2));
+        assert_eq!(header.header_len(), HEADER_LEN_V3);
+        assert_eq!(header.frame_len(), bytes.len());
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame.request_id, Some(0x51));
+        assert_eq!(frame.shard_hint, Some(2));
+        assert_eq!(decode_request(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn the_no_hint_sentinel_survives_the_wire() {
+        let bytes = encode_frame_v3(FrameKind::Request, 9, NO_SHARD_HINT, &Jv::Null).unwrap();
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.shard_hint, Some(NO_SHARD_HINT));
+    }
+
+    #[test]
+    fn truncated_v3_headers_name_the_longer_header() {
+        let bytes = encode_frame_v3(FrameKind::Response, 7, 1, &Jv::Null).unwrap();
+        for cut in [HEADER_LEN, HEADER_LEN_V2, HEADER_LEN_V3 - 1] {
+            assert_eq!(
+                decode_header(&bytes[..cut]).unwrap_err(),
+                FrameError::Truncated {
+                    needed: HEADER_LEN_V3,
+                    got: cut
+                }
+            );
+        }
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            match err {
+                FrameError::Truncated { needed, got } => {
+                    assert_eq!(got, cut);
+                    assert!(needed > got && needed <= bytes.len());
+                }
+                other => panic!("cut at {cut}: expected truncation, got {other}"),
+            }
+        }
     }
 
     #[test]

@@ -100,6 +100,45 @@ pub trait Transport {
     }
 }
 
+/// Asynchronous submission into a sharded (`--workers N`) daemon
+/// runtime: the seam between the socket server (`aire-transport`) and
+/// the shard workers (`aire-core`), defined here so neither crate needs
+/// to depend on the other.
+///
+/// The contract is ticket-based and non-blocking: the server [`submit`]s
+/// a request with a caller-chosen ticket and later collects
+/// `(ticket, result)` pairs from [`poll`] — the serving thread never
+/// blocks on a worker, because a worker may itself be mid-call to a
+/// service co-hosted behind the same listener.
+///
+/// [`submit`]: NodeDispatch::submit
+/// [`poll`]: NodeDispatch::poll
+pub trait NodeDispatch {
+    /// Number of shard workers.
+    fn workers(&self) -> usize;
+
+    /// Hostnames of the services that are actually sharded (spread
+    /// across workers). Advertised in the connection greeting so dialers
+    /// only attach shard hints for traffic that benefits.
+    fn sharded_hosts(&self) -> Vec<String>;
+
+    /// Routes one request to its owning shard. `admin` selects the
+    /// control plane (admin ops fan out to every worker and the merged
+    /// response completes the ticket).
+    fn submit(&self, admin: bool, req: HttpRequest, ticket: u64);
+
+    /// Fast path for a frame that arrived with a shard hint: hand the
+    /// still-encoded request payload straight to worker `shard`, which
+    /// decodes it on its own core. Returns `false` — without consuming
+    /// the ticket — if `shard` is out of range, in which case the caller
+    /// must decode and [`submit`](NodeDispatch::submit) centrally.
+    fn submit_raw(&self, shard: usize, payload: Vec<u8>, ticket: u64) -> bool;
+
+    /// Collects every completed submission: `(ticket, result)` pairs,
+    /// at most one per submitted ticket, in completion order.
+    fn poll(&self) -> Vec<(u64, AireResult<HttpResponse>)>;
+}
+
 /// The in-process [`Transport`]: delivery is a direct method call on the
 /// endpoint. Infallible at the transport level — every failure an
 /// in-process handler can produce is an HTTP-level one.

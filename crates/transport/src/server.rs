@@ -2,15 +2,15 @@
 //! any number of hosted services.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::rc::{Rc, Weak};
 use std::time::{Duration, Instant};
 
-use aire_http::frame::{self, FrameKind, HEADER_LEN};
+use aire_http::frame::{self, FrameKind, HEADER_LEN, NO_SHARD_HINT};
 use aire_http::HttpRequest;
-use aire_net::{Certificate, Network};
+use aire_net::{Certificate, Network, NodeDispatch};
 use aire_types::{AireError, Jv};
 
 use crate::Pump;
@@ -59,6 +59,9 @@ pub enum ServeOutcome {
 struct Conn {
     stream: TcpStream,
     plane: Plane,
+    /// Stable identity for matching asynchronously completed dispatches
+    /// back to their connection (the deque reorders on every pump).
+    id: u64,
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
     written: usize,
@@ -79,6 +82,18 @@ struct Conn {
     /// Last time bytes moved or a request was dispatched — drives the
     /// idle reaper.
     last_activity: Instant,
+    /// Sharded mode only: an *untagged* (v1) request is being executed
+    /// by a worker. Untagged replies carry no tag to match on, so the
+    /// server keeps at most one untagged request per connection in
+    /// flight — further v1 frames wait buffered until the reply goes
+    /// out, preserving the in-order contract v1 dialers rely on.
+    untagged_inflight: bool,
+}
+
+/// Where an asynchronously dispatched request's reply must go.
+struct Ticket {
+    conn: u64,
+    tag: Option<u64>,
 }
 
 struct NodeInner {
@@ -94,6 +109,14 @@ struct NodeInner {
     conns: RefCell<VecDeque<Conn>>,
     last_accept: Cell<Instant>,
     shutdown: Cell<bool>,
+    /// Sharded mode: the shard-worker runtime request frames are handed
+    /// to instead of the local `net`. `None` — the default — keeps the
+    /// synchronous in-place dispatch byte-for-byte as it always was.
+    dispatch: Option<Rc<dyn NodeDispatch>>,
+    /// Outstanding async dispatches: ticket → where the reply goes.
+    tickets: RefCell<HashMap<u64, Ticket>>,
+    next_ticket: Cell<u64>,
+    next_conn_id: Cell<u64>,
 }
 
 /// A single-threaded TCP server hosting one or more services' endpoints
@@ -147,6 +170,33 @@ impl NodeServer {
         data_addr: impl ToSocketAddrs,
         admin_addr: impl ToSocketAddrs,
     ) -> std::io::Result<NodeServer> {
+        NodeServer::bind_inner(net, services, data_addr, admin_addr, None)
+    }
+
+    /// Binds both listeners for a **sharded** node: request frames are
+    /// not dispatched through `net` in place but submitted to
+    /// `dispatch` — the shard-worker runtime — with a ticket, and
+    /// replies are collected from [`NodeDispatch::poll`] on every pump.
+    /// The serve loop itself never blocks on a worker. The greeting
+    /// additionally advertises the worker count and the sharded service
+    /// names, which is what lets dialing peers attach v3 shard hints.
+    pub fn bind_sharded(
+        net: Network,
+        services: Vec<(String, Certificate)>,
+        data_addr: impl ToSocketAddrs,
+        admin_addr: impl ToSocketAddrs,
+        dispatch: Rc<dyn NodeDispatch>,
+    ) -> std::io::Result<NodeServer> {
+        NodeServer::bind_inner(net, services, data_addr, admin_addr, Some(dispatch))
+    }
+
+    fn bind_inner(
+        net: Network,
+        services: Vec<(String, Certificate)>,
+        data_addr: impl ToSocketAddrs,
+        admin_addr: impl ToSocketAddrs,
+        dispatch: Option<Rc<dyn NodeDispatch>>,
+    ) -> std::io::Result<NodeServer> {
         assert!(
             !services.is_empty(),
             "a node must host at least one service"
@@ -157,7 +207,15 @@ impl NodeServer {
         admin.set_nonblocking(true)?;
         let (hosts, certs): (Vec<String>, Vec<Certificate>) = services.into_iter().unzip();
         // The greeting goes out verbatim on every accept; build it once.
-        let hello = frame::encode_frame(FrameKind::Hello, &Certificate::hello_payload(&certs))
+        let mut hello_payload = Certificate::hello_payload(&certs);
+        if let Some(d) = &dispatch {
+            hello_payload.set("workers", Jv::i(d.workers() as i64));
+            hello_payload.set(
+                "sharded",
+                Jv::list(d.sharded_hosts().into_iter().map(Jv::s)),
+            );
+        }
+        let hello = frame::encode_frame(FrameKind::Hello, &hello_payload)
             .expect("certificate greetings fit any frame cap");
         Ok(NodeServer {
             inner: Rc::new(NodeInner {
@@ -170,6 +228,10 @@ impl NodeServer {
                 conns: RefCell::new(VecDeque::new()),
                 last_accept: Cell::new(Instant::now() - ACCEPT_INTERVAL),
                 shutdown: Cell::new(false),
+                dispatch,
+                tickets: RefCell::new(HashMap::new()),
+                next_ticket: Cell::new(1),
+                next_conn_id: Cell::new(1),
             }),
         })
     }
@@ -278,6 +340,10 @@ impl Pump for NodeServer {
 impl Pump for NodeInner {
     fn pump_once(&self) -> bool {
         let mut progressed = false;
+        // Collect finished shard-worker dispatches *before* advancing
+        // connections, so a reply completed since the last pump flushes
+        // on this one.
+        progressed |= self.drain_dispatch();
         // Stop accepting once a shutdown is in flight — the drain phase
         // should converge. While live connections keep the pump hot,
         // accept attempts are batched to ACCEPT_INTERVAL (see its docs).
@@ -308,6 +374,39 @@ impl Pump for NodeInner {
 }
 
 impl NodeInner {
+    /// Collects every dispatch the shard workers have completed and
+    /// queues each reply on its connection — tagged iff the request was.
+    /// Replies whose connection died while the worker ran are dropped,
+    /// exactly as a synchronous dispatch's reply dies with its
+    /// connection.
+    fn drain_dispatch(&self) -> bool {
+        let Some(d) = &self.dispatch else {
+            return false;
+        };
+        let done = d.poll();
+        if done.is_empty() {
+            return false;
+        }
+        let mut conns = self.conns.borrow_mut();
+        for (ticket, result) in done {
+            let Some(t) = self.tickets.borrow_mut().remove(&ticket) else {
+                continue;
+            };
+            let Some(conn) = conns.iter_mut().find(|c| c.id == t.conn) else {
+                continue;
+            };
+            conn.reply_tag = t.tag;
+            if t.tag.is_none() {
+                conn.untagged_inflight = false;
+            }
+            match result {
+                Ok(resp) => self.reply(conn, FrameKind::Response, &resp.to_jv()),
+                Err(e) => self.reply_error(conn, e),
+            }
+        }
+        true
+    }
+
     fn accept(&self, plane: Plane) -> bool {
         let listener = match plane {
             Plane::Data => &self.data,
@@ -323,9 +422,12 @@ impl NodeInner {
                     let _ = stream.set_nodelay(true);
                     // Greet immediately: every hosted identity goes out
                     // as the connection's first frame.
+                    let id = self.next_conn_id.get();
+                    self.next_conn_id.set(id + 1);
                     self.conns.borrow_mut().push_back(Conn {
                         stream,
                         plane,
+                        id,
                         inbuf: Vec::new(),
                         outbuf: self.hello.clone(),
                         written: 0,
@@ -333,6 +435,7 @@ impl NodeInner {
                         close_after_reply: false,
                         reply_tag: None,
                         last_activity: Instant::now(),
+                        untagged_inflight: false,
                     });
                     accepted = true;
                 }
@@ -445,6 +548,17 @@ impl NodeInner {
                     break;
                 }
                 Ok(h) if conn.inbuf.len() >= h.frame_len() => {
+                    // Sharded mode: a second untagged request cannot
+                    // start while one is in flight (see
+                    // `Conn::untagged_inflight`) — it stays buffered
+                    // until the worker's reply flushes.
+                    if self.dispatch.is_some()
+                        && h.kind == FrameKind::Request
+                        && h.request_id.is_none()
+                        && conn.untagged_inflight
+                    {
+                        break;
+                    }
                     self.dispatch(conn);
                     conn.last_activity = Instant::now();
                     *progressed = true;
@@ -518,7 +632,97 @@ impl NodeInner {
         self.reply(conn, FrameKind::Error, &err.to_jv());
     }
 
+    /// Sharded mode: hands one complete `Request` frame to the shard
+    /// runtime instead of dispatching it in place. Returns `true` when
+    /// the frame was consumed (submitted, or answered with an error);
+    /// `false` means the frame is not a request and the synchronous path
+    /// should handle it (hello, shutdown, unknown kinds).
+    ///
+    /// A frame carrying a valid v3 shard hint skips the central decode
+    /// entirely: the still-encoded payload goes straight to the hinted
+    /// worker, which parses it on its own core — the point of the hint.
+    /// Unhinted (or mis-hinted) frames are decoded here and routed by
+    /// [`NodeDispatch::submit`].
+    fn dispatch_async(&self, d: &Rc<dyn NodeDispatch>, conn: &mut Conn) -> bool {
+        let Ok(h) = frame::decode_header(&conn.inbuf) else {
+            return false; // the sync path answers malformed headers
+        };
+        if h.kind != FrameKind::Request {
+            return false;
+        }
+        let ticket = self.next_ticket.get();
+        self.next_ticket.set(ticket + 1);
+        if conn.plane == Plane::Data {
+            if let Some(hint) = h.shard_hint.filter(|&hint| hint != NO_SHARD_HINT) {
+                let payload = conn.inbuf[h.header_len()..h.frame_len()].to_vec();
+                if d.submit_raw(hint as usize, payload, ticket) {
+                    conn.inbuf.drain(..h.frame_len());
+                    self.tickets.borrow_mut().insert(
+                        ticket,
+                        Ticket {
+                            conn: conn.id,
+                            tag: h.request_id,
+                        },
+                    );
+                    if h.request_id.is_none() {
+                        conn.untagged_inflight = true;
+                    }
+                    return true;
+                }
+                // Out-of-range hint: fall through to the central route,
+                // which computes the true shard itself.
+            }
+        }
+        let (fr, used) = match frame::decode_frame(&conn.inbuf) {
+            Ok(pair) => pair,
+            Err(e) => {
+                conn.inbuf.clear();
+                conn.close_after_reply = true;
+                conn.reply_tag = h.request_id;
+                self.reply_error(conn, AireError::Protocol(format!("bad frame: {e}")));
+                return true;
+            }
+        };
+        conn.inbuf.drain(..used);
+        let req = match HttpRequest::from_jv(&fr.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                conn.reply_tag = fr.request_id;
+                self.reply_error(conn, AireError::Protocol(format!("bad request frame: {e}")));
+                return true;
+            }
+        };
+        if !self.hosts.contains(&req.url.host) {
+            conn.reply_tag = fr.request_id;
+            self.reply_error(
+                conn,
+                AireError::Protocol(format!(
+                    "this node serves {:?} but the request targets {:?}",
+                    self.hosts, req.url.host
+                )),
+            );
+            return true;
+        }
+        self.tickets.borrow_mut().insert(
+            ticket,
+            Ticket {
+                conn: conn.id,
+                tag: fr.request_id,
+            },
+        );
+        if fr.request_id.is_none() {
+            conn.untagged_inflight = true;
+        }
+        d.submit(conn.plane == Plane::Admin, req, ticket);
+        true
+    }
+
     fn dispatch(&self, conn: &mut Conn) {
+        if let Some(d) = self.dispatch.clone() {
+            if self.dispatch_async(&d, conn) {
+                return;
+            }
+        }
         let decoded = frame::decode_frame(&conn.inbuf);
         let fr = match decoded {
             Ok((fr, used)) => {

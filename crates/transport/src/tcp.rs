@@ -9,9 +9,9 @@ use std::rc::{Rc, Weak};
 use std::time::{Duration, Instant};
 
 use aire_http::frame::{self, Frame, FrameHeader, FrameKind, HEADER_LEN};
-use aire_http::{HttpRequest, HttpResponse};
+use aire_http::{aire, HttpRequest, HttpResponse};
 use aire_net::{Certificate, Transport};
-use aire_types::{AireError, AireResult, Jv, ServiceName};
+use aire_types::{AireError, AireResult, Jv, RequestId, ServiceName};
 
 use crate::Pump;
 
@@ -164,6 +164,14 @@ pub struct TcpTransport {
     /// restarted daemon presenting a new (or wrong) certificate is
     /// reflected here the moment the pool reconnects.
     cert_cache: RefCell<Option<Certificate>>,
+    /// Shard-worker count the peer advertised in its last greeting
+    /// (1 when the peer is unsharded or predates the advertisement).
+    /// Drives the v3 shard hints on pipelined repair frames.
+    peer_workers: Cell<usize>,
+    /// Service names the peer's greeting declared sharded — only their
+    /// repair traffic is worth hinting (everything else pins to shard 0
+    /// server-side regardless).
+    peer_sharded: RefCell<Vec<String>>,
 }
 
 impl TcpTransport {
@@ -199,6 +207,8 @@ impl TcpTransport {
             next_dial_after: Cell::new(None),
             pump: RefCell::new(None),
             cert_cache: RefCell::new(None),
+            peer_workers: Cell::new(1),
+            peer_sharded: RefCell::new(Vec::new()),
         }
     }
 
@@ -256,6 +266,39 @@ impl TcpTransport {
     /// The service this dialer targets.
     pub fn host(&self) -> &str {
         &self.host
+    }
+
+    /// Shard-worker count the peer advertised in its last greeting — 1
+    /// until a connection has been dialled, or when the peer is
+    /// unsharded.
+    pub fn peer_workers(&self) -> usize {
+        self.peer_workers.get()
+    }
+
+    /// The v3 shard hint for a request, or `None` when the frame should
+    /// stay v2/v1. Only `replace`/`delete` repair carriers to a service
+    /// the peer declared sharded are hinted: their target shard is fully
+    /// determined by the repaired request's striped seq
+    /// (`(seq - 1) % workers`), which the dialer can compute without
+    /// knowing anything about the application. Every other request needs
+    /// the application's shard key, so the server routes it centrally.
+    fn shard_hint_for(&self, req: &HttpRequest) -> Option<u16> {
+        let workers = self.peer_workers.get();
+        if workers <= 1 || !self.peer_sharded.borrow().iter().any(|s| s == &self.host) {
+            return None;
+        }
+        match req.headers.get(aire::REPAIR) {
+            Some("replace") | Some("delete") => {}
+            _ => return None,
+        }
+        let rid = req
+            .headers
+            .get(aire::REQUEST_ID)
+            .and_then(RequestId::parse)?;
+        if rid.service.as_str() != self.host || rid.seq == 0 {
+            return None;
+        }
+        Some(((rid.seq - 1) % workers as u64) as u16)
     }
 
     /// A snapshot of the pool's counters. Both planes are reaped first:
@@ -527,6 +570,7 @@ impl TcpTransport {
                     return Ok(Frame {
                         kind: h.kind,
                         request_id: h.request_id,
+                        shard_hint: h.shard_hint,
                         payload,
                     });
                 }
@@ -570,6 +614,26 @@ impl TcpTransport {
             )));
         }
         self.validations.set(self.validations.get() + 1);
+        // A sharded daemon advertises its worker count and which hosted
+        // services are actually split across workers; both default to
+        // the unsharded reading when absent (older peers).
+        let workers = hello
+            .payload
+            .get("workers")
+            .as_int()
+            .map_or(1, |w| w.max(1) as usize);
+        let sharded: Vec<String> = hello
+            .payload
+            .get("sharded")
+            .as_list()
+            .map(|l| {
+                l.iter()
+                    .filter_map(|s| s.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.peer_workers.set(workers);
+        *self.peer_sharded.borrow_mut() = sharded;
         let certs = Certificate::all_from_hello(&hello.payload)
             .map_err(|e| AireError::Protocol(format!("bad certificate from {}: {e}", self.host)))?;
         match certs.iter().find(|c| c.valid_for(&self.host)) {
@@ -706,7 +770,13 @@ impl TcpTransport {
         let mut frames: Vec<Vec<u8>> = Vec::with_capacity(reqs.len());
         let mut queue: VecDeque<usize> = VecDeque::new();
         for (i, req) in reqs.iter().enumerate() {
-            match frame::encode_frame_v2(FrameKind::Request, i as u64, &req.to_jv()) {
+            let framed = match self.shard_hint_for(req) {
+                Some(hint) => {
+                    frame::encode_frame_v3(FrameKind::Request, i as u64, hint, &req.to_jv())
+                }
+                None => frame::encode_frame_v2(FrameKind::Request, i as u64, &req.to_jv()),
+            };
+            match framed {
                 Ok(f) => {
                     frames.push(f);
                     queue.push_back(i);
@@ -1020,6 +1090,7 @@ pub fn shutdown_node(admin_addr: SocketAddr, timeout: Duration) -> AireResult<()
         Ok(Some(Frame {
             kind: h.kind,
             request_id: h.request_id,
+            shard_hint: h.shard_hint,
             payload: Jv::decode(&text)
                 .map_err(|e| AireError::Protocol(format!("bad shutdown payload: {e}")))?,
         }))

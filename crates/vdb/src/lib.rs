@@ -36,6 +36,7 @@
 pub mod filter;
 pub mod index;
 pub mod schema;
+pub mod shard;
 pub mod store;
 pub mod version;
 

@@ -1,0 +1,147 @@
+//! Deterministic shard routing for the sharded (`--workers N`) runtime.
+//!
+//! A sharded daemon runs N workers, each owning a complete slice of
+//! controller state — its own [`VersionedStore`], repair log, and queues.
+//! Everything here is pure arithmetic so that any party (the dialing
+//! transport, the accepting server, the admin front) can compute the same
+//! shard for the same request without coordination:
+//!
+//! * normal requests route by the application's *shard key* (e.g. the kv
+//!   key name) through [`route_key`] / [`shard_of_affinity`];
+//! * repair messages route by the request id they target through
+//!   [`shard_of_seq`], which inverts the striped id allocation (shard `s`
+//!   of `W` allocates seqs `s+1, s+1+W, s+1+2W, ...`);
+//! * admin digests are taken per shard and combined with
+//!   [`merge_digests`], a stable k-way merge that yields exactly the
+//!   digest an unsharded store holding the union of the rows would
+//!   produce.
+//!
+//! [`VersionedStore`]: crate::VersionedStore
+
+/// FNV-1a 64-bit hash of a routing key. Stable across platforms,
+/// processes, and restarts — the routing contract depends on this never
+/// changing.
+pub fn route_key(key: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Shard owning an affinity key, for a daemon running `workers` shards.
+/// `workers == 0` is treated as 1 (everything on shard 0).
+pub fn shard_of_key(key: &str, workers: usize) -> usize {
+    shard_of_affinity(route_key(key), workers)
+}
+
+/// Shard owning a pre-hashed affinity value.
+pub fn shard_of_affinity(affinity: u64, workers: usize) -> usize {
+    if workers <= 1 {
+        0
+    } else {
+        (affinity % workers as u64) as usize
+    }
+}
+
+/// Shard that allocated request seq `seq` under striped allocation
+/// (shard `s` allocates `s+1, s+1+W, ...`). Seq 0 is never allocated;
+/// route it to shard 0.
+pub fn shard_of_seq(seq: u64, workers: usize) -> usize {
+    if workers <= 1 || seq == 0 {
+        0
+    } else {
+        ((seq - 1) % workers as u64) as usize
+    }
+}
+
+/// Merge per-shard state digests (each as produced by
+/// [`VersionedStore::state_digest`]: `table#id=data` lines in
+/// `(table, numeric id)` order) into the digest the union store would
+/// produce.
+///
+/// The merge is a stable k-way merge on the parsed `(table, id)` line
+/// key — the same order the store's own `BTreeMap` walk emits — with
+/// ties between shards resolved in shard order, so the output is
+/// deterministic even when shards hold byte-identical lines.
+///
+/// [`VersionedStore::state_digest`]: crate::VersionedStore::state_digest
+pub fn merge_digests(digests: &[String]) -> String {
+    // `table#id=data` → (table, id); lines that don't parse sort last,
+    // in input order, so foreign text degrades to concatenation.
+    fn line_key(line: &str) -> (&str, u64) {
+        let Some(eq) = line.find('=') else {
+            return ("\u{10FFFF}", u64::MAX);
+        };
+        let Some(hash) = line[..eq].rfind('#') else {
+            return ("\u{10FFFF}", u64::MAX);
+        };
+        let id = line[hash + 1..eq].parse::<u64>().unwrap_or(u64::MAX);
+        (&line[..hash], id)
+    }
+    let mut cursors: Vec<std::str::Lines<'_>> = digests.iter().map(|d| d.lines()).collect();
+    let mut heads: Vec<Option<&str>> = cursors.iter_mut().map(|c| c.next()).collect();
+    let mut out = String::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(line) = head {
+                match best {
+                    Some(b) if line_key(heads[b].unwrap()) <= line_key(line) => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let Some(b) = best else { break };
+        out.push_str(heads[b].unwrap());
+        out.push('\n');
+        heads[b] = cursors[b].next();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_pinned() {
+        // Reference FNV-1a 64 values; the routing contract depends on
+        // these never changing.
+        assert_eq!(route_key(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(route_key("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(route_key("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seq_routing_inverts_striping() {
+        // Shard s of 4 allocates s+1, s+5, s+9, ...
+        for s in 0..4usize {
+            for n in 0..8u64 {
+                let seq = n * 4 + s as u64 + 1;
+                assert_eq!(shard_of_seq(seq, 4), s);
+            }
+        }
+        assert_eq!(shard_of_seq(0, 4), 0);
+        assert_eq!(shard_of_seq(7, 1), 0);
+    }
+
+    #[test]
+    fn merge_is_a_sorted_union() {
+        let a = "t#1=x\nt#3=z\n".to_string();
+        let b = "t#2=y\n".to_string();
+        let c = String::new();
+        assert_eq!(merge_digests(&[a, b, c]), "t#1=x\nt#2=y\nt#3=z\n");
+        assert_eq!(merge_digests(&[]), "");
+    }
+
+    #[test]
+    fn merge_keeps_duplicate_lines_in_shard_order() {
+        let a = "t#1=x\n".to_string();
+        let b = "t#1=x\n".to_string();
+        assert_eq!(merge_digests(&[a, b]), "t#1=x\nt#1=x\n");
+    }
+}

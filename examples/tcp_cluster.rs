@@ -60,6 +60,7 @@ fn main() {
         120,
         None,
         None,
+        None,
     )
     .unwrap_or_else(|e| panic!("{e}"));
     println!(

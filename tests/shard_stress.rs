@@ -1,0 +1,310 @@
+//! Concurrency stress for the shard-per-core runtime, in process: real
+//! OS threads drive a 4-worker [`ShardedRuntime`] hosting the sharded
+//! vkv store through seeded, randomized interleavings, and every
+//! invariant the router and the consistent-cut machinery promise is
+//! checked under fire.
+//!
+//! * **Seeded interleavings** (satellite of the shard runtime): one
+//!   submitter thread per shard issues its shard's puts and
+//!   repair-deletes in an LCG-shuffled order while the main thread
+//!   interleaves admin fan-outs. Every submission completes exactly
+//!   once, per-key history preserves submission order (no cross-shard
+//!   ordering violations), the controller's request count equals the
+//!   number of dispatches, and re-running the same seed reproduces the
+//!   merged digest byte for byte.
+//! * **Torn-read regression**: pairs of puts to keys on *different*
+//!   shards enter the worker FIFOs atomically
+//!   ([`ShardSubmitter::call_group`] holds the submission gate), so a
+//!   concurrent `digest` fan-out — a barrier snapshot — must see both
+//!   halves of every pair or neither, never one. This is the regression
+//!   test for torn aggregate reads under concurrent repair traffic.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::apps::VersionedKv;
+use aire::core::admin::{AdminOp, AdminResponse};
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::{ControllerConfig, ShardSpec, ShardedRuntime};
+use aire::http::aire::response_request_id;
+use aire::http::{Headers, HttpRequest, Url};
+use aire::net::Endpoint;
+use aire::types::jv;
+use aire::vdb::shard::shard_of_key;
+use aire::web::App;
+
+const WORKERS: usize = 4;
+
+fn runtime() -> ShardedRuntime {
+    ShardedRuntime::launch(ShardSpec {
+        workers: WORKERS,
+        config: ControllerConfig::default(),
+        apps: Arc::new(|| vec![("vkv".to_string(), Rc::new(VersionedKv) as Rc<dyn App>)]),
+        setup: Arc::new(|_| Box::new(())),
+    })
+}
+
+fn put_req(key: &str, value: &str) -> HttpRequest {
+    HttpRequest::post(
+        Url::service("vkv", "/put"),
+        jv!({"key": key, "value": value}),
+    )
+}
+
+fn front_admin(front: &dyn Endpoint, op: AdminOp) -> AdminResponse {
+    let mut carrier = op.to_carrier("vkv");
+    carrier.headers.set(ADMIN_HEADER, ADMIN_SECRET);
+    let resp = front.handle(&carrier);
+    assert!(resp.status.is_success(), "{op:?} failed: {:?}", resp.body);
+    AdminResponse::from_jv(&resp.body).expect("admin response body")
+}
+
+/// A tiny deterministic LCG (we only need repeatable shuffles).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, (self.next() % (i as u64 + 1)) as usize);
+        }
+    }
+}
+
+/// Keys for shard `s`, guaranteed to route there at [`WORKERS`].
+fn keys_of_shard(shard: usize, count: usize) -> Vec<String> {
+    (0..)
+        .map(|i| format!("key-{i:03}"))
+        .filter(|k| shard_of_key(k, WORKERS) == shard)
+        .take(count)
+        .collect()
+}
+
+/// One seeded run: per-shard submitter threads issue shuffled puts
+/// (several versions per key) and then repair-delete a seeded subset of
+/// their own puts, while the main thread fires admin fan-outs into the
+/// interleaving. Returns (merged final digest, per-key final history).
+fn seeded_run(seed: u64) -> (String, BTreeMap<String, Vec<String>>) {
+    let rt = runtime();
+    let front = rt.front();
+
+    let mut threads = Vec::new();
+    for shard in 0..WORKERS {
+        let submitter = rt.submitter();
+        threads.push(std::thread::spawn(move || {
+            let mut rng = Lcg(seed ^ ((shard as u64 + 1) * 0x9E37_79B9));
+            let keys = keys_of_shard(shard, 4);
+            // Three versions per key, shuffled across the shard's keys:
+            // per-key suffix order (-0, -1, -2) must survive, cross-key
+            // order is free.
+            let mut plan: Vec<(usize, usize)> = (0..keys.len())
+                .flat_map(|k| (0..3).map(move |v| (k, v)))
+                .collect();
+            plan.sort_by_key(|&(k, v)| (v, k));
+            rng.shuffle(&mut plan);
+            plan.sort_by_key(|&(_, v)| v); // stable: v-order kept, key order shuffled
+            let mut rids = Vec::new();
+            for (k, v) in plan {
+                let resp = submitter
+                    .call(shard, put_req(&keys[k], &format!("{}-{v}", keys[k])))
+                    .expect("put delivers");
+                assert!(resp.status.is_success(), "put: {:?}", resp.body);
+                // Exactly-once dispatch: the response is tagged with a
+                // fresh request id from this shard's own seq stripe.
+                let rid = response_request_id(&resp).expect("tagged response");
+                assert_eq!(
+                    (rid.seq - 1) % WORKERS as u64,
+                    shard as u64,
+                    "seq {} allocated off-stripe",
+                    rid.seq
+                );
+                rids.push((k, v, rid));
+            }
+            // Repair-delete every key's middle put (-1), in shuffled
+            // order: history must collapse to -0, -2 on a new branch.
+            let mut deletes: Vec<_> = rids.into_iter().filter(|(_, v, _)| *v == 1).collect();
+            rng.shuffle(&mut deletes);
+            let mut creds = Headers::new();
+            creds.set(ADMIN_HEADER, ADMIN_SECRET);
+            for (_, _, rid) in deletes {
+                let carrier = RepairMessage::with_credentials(
+                    RepairOp::Delete { request_id: rid },
+                    creds.clone(),
+                )
+                .to_carrier("vkv")
+                .expect("delete carrier");
+                let resp = submitter.call(shard, carrier).expect("repair delivers");
+                assert!(resp.status.is_success(), "delete: {:?}", resp.body);
+            }
+            keys
+        }));
+    }
+
+    // Admin fan-outs land in the middle of the interleaving: every one
+    // must merge cleanly (a consistent cut, never an error or a torn
+    // partial) while the workers churn.
+    let mut last_requests = 0u64;
+    for _ in 0..24 {
+        let AdminResponse::Stats(stats) = front_admin(front.as_ref(), AdminOp::Stats) else {
+            panic!("stats response");
+        };
+        let requests = stats.stats.normal_requests;
+        assert!(requests >= last_requests, "request counter went backwards");
+        last_requests = requests;
+        let AdminResponse::Digest { digest } = front_admin(front.as_ref(), AdminOp::Digest) else {
+            panic!("digest response");
+        };
+        // The merge walks `(table, numeric id)` order — an out-of-order
+        // line would mean a torn or misordered k-way merge.
+        let key_of = |line: &str| -> (String, u64) {
+            let eq = line.find('=').expect("digest line has '='");
+            let hash = line[..eq].rfind('#').expect("digest line has '#'");
+            (
+                line[..hash].to_string(),
+                line[hash + 1..eq].parse().unwrap(),
+            )
+        };
+        let keys: Vec<_> = digest.lines().map(key_of).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "merged digest must stay in (table, id) order"
+        );
+    }
+
+    let mut keys = Vec::new();
+    for t in threads {
+        keys.extend(t.join().expect("submitter thread"));
+    }
+
+    // Exactly-once, end to end: 3 puts and 1 delete carrier per key,
+    // dispatched once each, no more, no less.
+    let AdminResponse::Stats(stats) = front_admin(front.as_ref(), AdminOp::Stats) else {
+        panic!("stats response");
+    };
+    assert_eq!(
+        stats.stats.normal_requests,
+        keys.len() as u64 * 3,
+        "every put must be dispatched exactly once"
+    );
+
+    // Per-key ordering: the surviving branch holds -0 then -2 — each
+    // key's submissions applied in its thread's order, with the middle
+    // version repaired away.
+    let mut histories = BTreeMap::new();
+    for key in &keys {
+        let resp = front.handle(&HttpRequest::get(
+            Url::service("vkv", "/history").with_query("key", key.as_str()),
+        ));
+        assert!(resp.status.is_success(), "history: {:?}", resp.body);
+        let chain: Vec<String> = resp
+            .body
+            .get("chain")
+            .as_list()
+            .unwrap_or(&[])
+            .iter()
+            .map(|v| v.str_of("value").to_string())
+            .collect();
+        assert_eq!(
+            chain,
+            vec![format!("{key}-0"), format!("{key}-2")],
+            "{key}: per-key submission order must survive sharding + repair"
+        );
+        histories.insert(key.clone(), chain);
+    }
+
+    let AdminResponse::Digest { digest } = front_admin(front.as_ref(), AdminOp::Digest) else {
+        panic!("digest response");
+    };
+    rt.shutdown();
+    (digest, histories)
+}
+
+#[test]
+fn seeded_interleavings_dispatch_exactly_once_in_order() {
+    for seed in [1u64, 0xC0FFEE, 9_871_234_567] {
+        let (digest_a, histories_a) = seeded_run(seed);
+        let (digest_b, histories_b) = seeded_run(seed);
+        assert_eq!(
+            digest_a, digest_b,
+            "seed {seed}: identical schedules must reproduce the digest byte for byte"
+        );
+        assert_eq!(histories_a, histories_b);
+    }
+}
+
+/// The satellite-4 regression: aggregate admin reads are barrier
+/// snapshots, not racy per-shard sweeps. A gate-atomic *pair* of puts
+/// to two different shards must appear in a concurrent digest either
+/// completely or not at all — a digest holding one half is exactly the
+/// torn read the old racy aggregation would produce.
+#[test]
+fn digests_never_tear_gate_atomic_cross_shard_pairs() {
+    // Two keys pinned to different shards (checked, not assumed).
+    let left = "tornleft";
+    let right = "tornright";
+    let (ls, rs) = (shard_of_key(left, WORKERS), shard_of_key(right, WORKERS));
+    assert_ne!(ls, rs, "pick keys on different shards");
+
+    let rt = runtime();
+    let front = rt.front();
+    let submitter = rt.submitter();
+
+    const PAIRS: usize = 200;
+    let writer = std::thread::spawn(move || {
+        for i in 0..PAIRS {
+            let results = submitter.call_group(vec![
+                (ls, put_req(left, &format!("L{i}"))),
+                (rs, put_req(right, &format!("R{i}"))),
+            ]);
+            for r in results {
+                assert!(r.expect("pair delivers").status.is_success());
+            }
+        }
+    });
+
+    // Digest continuously while the pairs stream in. Every row holding
+    // either key name sits in the `versions`/`keys` tables of its own
+    // shard; equal counts mean every snapshot caught whole pairs.
+    let rows_of =
+        |digest: &str, key: &str| -> usize { digest.lines().filter(|l| l.contains(key)).count() };
+    let mut observed_midway = false;
+    loop {
+        let AdminResponse::Digest { digest } = front_admin(front.as_ref(), AdminOp::Digest) else {
+            panic!("digest response");
+        };
+        let (l, r) = (rows_of(&digest, left), rows_of(&digest, right));
+        assert_eq!(
+            l, r,
+            "torn read: a barrier snapshot saw half of a gate-atomic pair"
+        );
+        if l > 0 && l < PAIRS {
+            observed_midway = true;
+        }
+        if writer.is_finished() {
+            break;
+        }
+    }
+    writer.join().expect("writer thread");
+    assert!(
+        observed_midway,
+        "the digests must actually interleave with the writes (raise PAIRS?)"
+    );
+
+    // Final count: every pair landed — 200 version rows + 1 pointer row
+    // per key — and one last snapshot agrees.
+    let AdminResponse::Digest { digest } = front_admin(front.as_ref(), AdminOp::Digest) else {
+        panic!("digest response");
+    };
+    assert_eq!(rows_of(&digest, left), PAIRS + 1);
+    assert_eq!(rows_of(&digest, right), PAIRS + 1);
+    rt.shutdown();
+}

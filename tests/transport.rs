@@ -56,8 +56,18 @@ fn node(
     cert_serial: Option<u64>,
 ) -> SpawnedNode {
     let exe = locate_example("aire_noded").expect("cargo test builds the aire_noded example");
-    spawn_node(&exe, services, data, admin, peers, 180, cert_serial, None)
-        .unwrap_or_else(|e| panic!("{e}"))
+    spawn_node(
+        &exe,
+        services,
+        data,
+        admin,
+        peers,
+        180,
+        cert_serial,
+        None,
+        None,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Spawns the full three-service cluster, every node peered with the
@@ -87,6 +97,7 @@ fn spawn_cluster_with(pipeline_depth: Option<usize>) -> Vec<SpawnedNode> {
                 180,
                 None,
                 pipeline_depth,
+                None,
             )
             .unwrap_or_else(|e| panic!("{e}"))
         })
