@@ -50,7 +50,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aire_core::{Controller, ControllerConfig, ShardSpec, ShardedRuntime, WorkerPump, WorkerSetup};
+use aire_core::{
+    Controller, ControllerConfig, RepairScope, ShardSpec, ShardedRuntime, WorkerPump, WorkerSetup,
+};
 use aire_net::{Certificate, Network};
 use aire_transport::{NodeServer, Pump, ServeOutcome, TcpTransport};
 use aire_web::App;
@@ -180,6 +182,11 @@ pub struct NodeOptions {
     /// its slice of every hosted service's state, with requests routed
     /// by shard key and repair by request-seq stripe.
     pub workers: usize,
+    /// How every hosted controller expands its local-repair agenda:
+    /// `reactive` (the paper's rollback-discovered default), `full`
+    /// (re-execute everything after the intrusion point), or
+    /// `selective` (pre-schedule the taint-graph closure).
+    pub repair_scope: RepairScope,
 }
 
 /// The usage text (`--help` and argument errors).
@@ -191,6 +198,7 @@ usage:
              [--data ADDR] [--admin ADDR]
              [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
              [--cert-serial N] [--pipeline-depth N] [--workers N]
+             [--repair-scope reactive|full|selective]
 
 options:
   --service <spec>        an application to host (repeatable; at least
@@ -216,6 +224,12 @@ options:
                           state, with admin operations fanned out and
                           merged; recovery results are byte-identical at
                           every worker count
+  --repair-scope S        how local repair expands its agenda
+                          [default reactive]. reactive discovers work as
+                          rollback exposes it (the paper's behavior);
+                          full re-executes everything after the
+                          intrusion point; selective pre-schedules the
+                          taint-graph closure and skips the rest
 
 The daemon prints `aire-noded ready service=... data=... admin=...` once
 both listeners are bound (comma-separated service names when hosting
@@ -245,6 +259,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
     let mut cert_serial = None;
     let mut pipeline_depth = None;
     let mut workers = 1usize;
+    let mut repair_scope = RepairScope::default();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -310,6 +325,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
                     return Err("--workers: must be at least 1".to_string());
                 }
             }
+            "--repair-scope" => {
+                let v = value("--repair-scope")?;
+                repair_scope = RepairScope::parse(&v).ok_or_else(|| {
+                    format!(
+                        "--repair-scope: {v:?} is not a scope \
+                         (expected reactive, full, or selective)"
+                    )
+                })?;
+            }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -325,6 +349,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
         cert_serial,
         pipeline_depth,
         workers,
+        repair_scope,
     }))
 }
 
@@ -358,9 +383,13 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
         transports.push(t);
     }
 
+    let config = ControllerConfig {
+        repair_scope: opts.repair_scope,
+        ..ControllerConfig::default()
+    };
     let mut hosted = Vec::new();
     for (name, app) in apps {
-        let controller = Controller::new(app, net.clone(), ControllerConfig::default());
+        let controller = Controller::new(app, net.clone(), config.clone());
         let mut cert = net.register(name.clone(), controller);
         if let Some(base) = opts.cert_serial {
             cert = Certificate {
@@ -474,7 +503,10 @@ fn run_sharded(
 
     let runtime = ShardedRuntime::launch(ShardSpec {
         workers: opts.workers,
-        config: ControllerConfig::default(),
+        config: ControllerConfig {
+            repair_scope: opts.repair_scope,
+            ..ControllerConfig::default()
+        },
         apps: app_factory,
         setup,
     });
@@ -538,6 +570,8 @@ pub mod spawn {
     use std::net::{SocketAddr, TcpListener};
     use std::path::{Path, PathBuf};
     use std::process::{Child, Command, Stdio};
+
+    use aire_core::RepairScope;
 
     /// Locates a sibling example binary (e.g. `aire_noded`) in
     /// `target/<profile>/examples`, working both from a test binary
@@ -628,10 +662,13 @@ pub mod spawn {
     /// restarted daemon presents a rotated identity; `pipeline_depth`
     /// (if any) is forwarded as `--pipeline-depth` (1 pins the daemon's
     /// outgoing connections to sequential v1 framing); `workers` (if
-    /// any) is forwarded as `--workers`. When `workers` is `None`, the
+    /// any) is forwarded as `--workers`; `repair_scope` (if any) is
+    /// forwarded as `--repair-scope`. When `workers` is `None`, the
     /// `AIRE_NODED_WORKERS` environment variable supplies the worker
     /// count instead — the hook that lets a CI matrix run the whole
     /// existing cluster suite sharded without touching the tests.
+    /// `AIRE_NODED_REPAIR_SCOPE` likewise backs `repair_scope`, so the
+    /// same matrix can run the suite under selective repair.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn_node(
         exe: &Path,
@@ -643,12 +680,18 @@ pub mod spawn {
         cert_serial: Option<u64>,
         pipeline_depth: Option<usize>,
         workers: Option<usize>,
+        repair_scope: Option<RepairScope>,
     ) -> Result<SpawnedNode, String> {
         assert!(!services.is_empty(), "a node hosts at least one service");
         let workers = workers.or_else(|| {
             std::env::var("AIRE_NODED_WORKERS")
                 .ok()
                 .and_then(|v| v.parse().ok())
+        });
+        let repair_scope = repair_scope.or_else(|| {
+            std::env::var("AIRE_NODED_REPAIR_SCOPE")
+                .ok()
+                .and_then(|v| RepairScope::parse(&v))
         });
         let mut cmd = Command::new(exe);
         for service in services {
@@ -668,6 +711,9 @@ pub mod spawn {
         }
         if let Some(w) = workers {
             cmd.arg("--workers").arg(w.to_string());
+        }
+        if let Some(scope) = repair_scope {
+            cmd.arg("--repair-scope").arg(scope.name());
         }
         for (peer, pdata, padmin) in peers {
             cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
@@ -808,6 +854,22 @@ mod tests {
         let err =
             parse_args(["--service", "vkv", "--workers", "many"].map(String::from)).unwrap_err();
         assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn repair_scope_parse_and_reject_unknown() {
+        let opts =
+            parse_args(["--service", "vkv", "--repair-scope", "selective"].map(String::from))
+                .unwrap()
+                .unwrap();
+        assert_eq!(opts.repair_scope, RepairScope::Selective);
+        let opts = parse_args(["--service", "vkv"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.repair_scope, RepairScope::Reactive);
+        let err = parse_args(["--service", "vkv", "--repair-scope", "eager"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("not a scope"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Selective re-execution scaling: what the taint graph buys on repair.
+//!
+//! The scenario is the paper's motivating case for dependency tracking:
+//! a large store in which an intrusion touched a tiny fraction of state.
+//! [`KEYS`] independent objstore keys each receive [`VERSIONS`]
+//! last-writer-wins puts; one attack put lands on a single key early in
+//! the workload, so ~1% of all recorded actions (that key's later
+//! chain) are downstream of the intrusion point.
+//!
+//! The same repair — delete the attack put — then runs under two
+//! controller configurations:
+//!
+//! * `--repair-scope full`: every live action at or after the intrusion
+//!   point is re-executed (the history-proportional baseline);
+//! * `--repair-scope selective`: only the taint closure computed from
+//!   the request→row access graph is re-executed.
+//!
+//! Both must land on **byte-identical** state digests (Warp
+//! equivalence: re-executing an untainted action rewrites the same
+//! values, so the store is untouched). The run writes
+//! `BENCH_taint.json` at the repo root (committed, and uploaded as a CI
+//! artifact) with both wall times, the re-executed action counts, and
+//! the measured full/selective ratio — and **asserts** the ratio is at
+//! least 5x, on any core count: both configurations are
+//! single-threaded, so the comparison is fair even on a one-core box.
+//!
+//! (The substrate is objstore, not vkv: vkv's version table is
+//! app-versioned — §6's immutable version objects — so re-executing
+//! even an *untainted* put deliberately branches a new version row.
+//! Full scope is not digest-transparent over such tables; selective
+//! scope never visits them unless tainted.)
+
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use aire_apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire_apps::ObjStore;
+use aire_core::admin::{AdminOp, AdminResponse};
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::{ControllerConfig, RepairScope, World};
+use aire_http::aire::response_request_id;
+use aire_http::{Headers, HttpRequest, Url};
+use aire_types::{jv, RequestId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Independent keys in the store.
+const KEYS: usize = 100;
+/// Writes per key. Key 0 also absorbs the attack put between versions
+/// 0 and 1, so its later chain (and nothing else) is downstream of the
+/// intrusion: (VERSIONS - 1) + 1 of the KEYS * VERSIONS + 1 actions,
+/// ~1% at the default sizes.
+const VERSIONS: usize = 6;
+
+/// Builds a world holding one objstore service at `scope`, runs the
+/// populate-then-attack workload, and returns the attack's request id.
+fn populate(scope: RepairScope) -> (World, RequestId) {
+    let mut world = World::new();
+    world.add_service_with(
+        Rc::new(ObjStore),
+        ControllerConfig {
+            repair_scope: scope,
+            ..ControllerConfig::default()
+        },
+    );
+    let put = |key: String, value: String| {
+        world
+            .deliver(&HttpRequest::post(
+                Url::service("objstore", "/put"),
+                jv!({"key": key, "value": value}),
+            ))
+            .expect("put delivers")
+    };
+    // Version 0 of every key, then the intrusion, then the bulk of the
+    // workload — so a full-scope repair must wade through every write
+    // that follows the intrusion point, while the taint closure holds
+    // only the attacked key's later chain.
+    for k in 0..KEYS {
+        put(format!("acct-{k:04}"), format!("acct-{k:04}-v0"));
+    }
+    let attack = put("acct-0000".to_string(), "EVIL".to_string());
+    assert!(attack.status.is_success());
+    let rid = response_request_id(&attack).expect("tagged response");
+    for v in 1..VERSIONS {
+        for k in 0..KEYS {
+            put(format!("acct-{k:04}"), format!("acct-{k:04}-v{v}"));
+        }
+    }
+    (world, rid)
+}
+
+fn admin(world: &World, op: AdminOp) -> AdminResponse {
+    world
+        .invoke_admin("objstore", op)
+        .unwrap_or_else(|e| panic!("admin op failed: {e}"))
+}
+
+fn repaired_requests(world: &World) -> u64 {
+    match admin(world, AdminOp::Stats) {
+        AdminResponse::Stats(stats) => stats.stats.repaired_requests,
+        other => panic!("stats response: {other:?}"),
+    }
+}
+
+/// Deletes the attack put under `scope` and returns the repair wall
+/// time, the number of re-executed actions, and the final state digest.
+fn run_config(scope: RepairScope) -> (Duration, u64, String) {
+    let (world, rid) = populate(scope);
+    let before = repaired_requests(&world);
+
+    let mut creds = Headers::new();
+    creds.set(ADMIN_HEADER, ADMIN_SECRET);
+    let carrier = RepairMessage::with_credentials(RepairOp::Delete { request_id: rid }, creds);
+    let started = Instant::now();
+    let resp = world
+        .invoke_repair("objstore", carrier)
+        .expect("repair delivers");
+    let elapsed = started.elapsed();
+    assert!(resp.status.is_success(), "repair: {:?}", resp.body);
+
+    let reexecuted = repaired_requests(&world) - before;
+    let AdminResponse::Digest { digest } = admin(&world, AdminOp::Digest) else {
+        panic!("digest response");
+    };
+    // The final version survived the repair.
+    let check = world
+        .deliver(&HttpRequest::new(
+            aire_http::Method::Get,
+            Url::service("objstore", "/get").with_query("key", "acct-0000"),
+        ))
+        .expect("get delivers");
+    assert_eq!(
+        check.body.str_of("value"),
+        format!("acct-0000-v{}", VERSIONS - 1)
+    );
+    (elapsed, reexecuted, digest)
+}
+
+fn bench_taint_scaling(_c: &mut Criterion) {
+    let total_actions = (KEYS * VERSIONS + 1) as i64;
+
+    let (full_wall, full_reexec, full_digest) = run_config(RepairScope::Full);
+    let (sel_wall, sel_reexec, sel_digest) = run_config(RepairScope::Selective);
+
+    assert_eq!(
+        full_digest, sel_digest,
+        "full and selective repair must converge to identical state"
+    );
+    assert!(
+        sel_reexec < full_reexec,
+        "selective must re-execute strictly fewer actions \
+         ({sel_reexec} vs {full_reexec})"
+    );
+
+    let ratio = full_wall.as_secs_f64() / sel_wall.as_secs_f64();
+    let tainted_pct = 100.0 * sel_reexec as f64 / total_actions as f64;
+    let report = jv!({
+        "bench": "taint_selective_repair_scaling",
+        "actions": total_actions,
+        "tainted_pct": format!("{tainted_pct:.2}"),
+        "full": {
+            "micros": full_wall.as_micros() as i64,
+            "reexecuted": full_reexec as i64,
+        },
+        "selective": {
+            "micros": sel_wall.as_micros() as i64,
+            "reexecuted": sel_reexec as i64,
+        },
+        "speedup_selective_vs_full": format!("{ratio:.2}"),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_taint.json");
+    std::fs::write(path, report.encode() + "\n").expect("write BENCH_taint.json");
+    println!("taint_scaling: {}", report.encode());
+
+    // The regression gate: single-threaded vs single-threaded, so it
+    // holds on any machine. The re-execution counts differ by ~100x;
+    // 5x wall clock leaves generous room for fixed repair overheads.
+    assert!(
+        ratio >= 5.0,
+        "selective repair must beat full re-execution by >= 5x on a ~1%-tainted \
+         store (got {ratio:.2}x: full {full_wall:?}/{full_reexec} actions, \
+         selective {sel_wall:?}/{sel_reexec} actions)"
+    );
+}
+
+criterion_group!(benches, bench_taint_scaling);
+criterion_main!(benches);

@@ -8,13 +8,26 @@
 //! pass `--small` to shrink the Table 5 workload for quick runs.
 //! Extension sections beyond the paper: `intro` (the §1 company
 //! scenario), `aggregation` (§3.2's incoming queue), `scaling` (Table 5
-//! vs. user count), `leaks` (the §9 leak audit), and `persistence`
-//! (snapshot/restore).
+//! vs. user count), `leaks` (the §9 leak audit), `persistence`
+//! (snapshot/restore), and `taint` (selective vs. full re-execution on
+//! the request→row access graph).
+//!
+//! A full run (no section filter) also writes the headline numbers of
+//! every section as machine-readable JSON to `BENCH_report.json` at the
+//! repo root — the committed summary that CI regenerates and uploads.
 
 use std::env;
+use std::rc::Rc;
+use std::time::Instant;
 
+use aire_apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire_apps::ObjStore;
 use aire_core::admin::AdminOp;
-use aire_core::{AdminResponse, RepairMode};
+use aire_core::protocol::{RepairMessage, RepairOp};
+use aire_core::{AdminResponse, ControllerConfig, RepairMode, RepairScope, World};
+use aire_http::aire::response_request_id;
+use aire_http::{Headers, HttpRequest, Url};
+use aire_types::{jv, Jv};
 use aire_workload::overhead::{self, Workload};
 use aire_workload::report as render;
 use aire_workload::scenarios::askbot_attack::{self, AskbotWorkload};
@@ -30,6 +43,7 @@ fn main() {
         .filter(|s| *s != "--small")
         .collect();
     let want = |name: &str| sections.is_empty() || sections.contains(&name);
+    let mut summary = Jv::map();
 
     println!("Aire reproduction report");
     println!("========================\n");
@@ -50,6 +64,18 @@ fn main() {
             overhead::measure(Workload::Writing, requests, seed),
         ];
         println!("{}", render::render_table4(&results));
+        summary.set(
+            "table4_overhead",
+            Jv::list(results.iter().map(|r| {
+                jv!({
+                    "workload": format!("{:?}", r.workload),
+                    "requests": r.requests as i64,
+                    "cpu_overhead_pct": format!("{:.1}", r.cpu_overhead_percent()),
+                    "log_bytes_per_request": format!("{:.1}", r.log_bytes_per_request),
+                    "db_bytes_per_request": format!("{:.1}", r.db_bytes_per_request),
+                })
+            })),
+        );
     }
     if want("table5") || want("fig4") {
         let cfg = if small {
@@ -84,7 +110,19 @@ fn main() {
             pump.delivered,
             pump.quiescent()
         );
-        println!("{}", render::render_table5(&askbot_attack::metrics(&s)));
+        let metrics = askbot_attack::metrics(&s);
+        println!("{}", render::render_table5(&metrics));
+        summary.set(
+            "table5_repair",
+            Jv::list(metrics.iter().map(|m| {
+                jv!({
+                    "service": m.service.clone(),
+                    "repaired_requests": m.repaired_requests as i64,
+                    "total_requests": m.total_requests as i64,
+                    "repair_messages_sent": m.repair_messages_sent as i64,
+                })
+            })),
+        );
     }
     if want("fig2") {
         let s = fig2::setup();
@@ -211,9 +249,18 @@ fn main() {
             deferred.repaired_requests
         );
         println!();
+        summary.set(
+            "aggregation",
+            jv!({
+                "immediate_passes": immediate.repair_passes as i64,
+                "deferred_passes": deferred.repair_passes as i64,
+                "repaired_requests": immediate.repaired_requests as i64,
+            }),
+        );
     }
     if want("scaling") {
         println!("Repair scaling (Table 5 shape vs. workload size):");
+        let mut rows = Vec::new();
         for users in [10usize, 25, 50, 100] {
             let cfg = AskbotWorkload {
                 legit_users: users,
@@ -232,8 +279,14 @@ fn main() {
                 100.0 * stats.repaired_request_fraction(),
                 stats.repair_wall
             );
+            rows.push(jv!({
+                "users": users as i64,
+                "repaired_requests": stats.repaired_requests as i64,
+                "normal_requests": stats.normal_requests as i64,
+            }));
         }
         println!();
+        summary.set("scaling", Jv::list(rows));
     }
     if want("leaks") {
         // §9's leak-audit extension, on the Figure 4 scenario: which
@@ -264,6 +317,7 @@ fn main() {
             leaks.len()
         );
         println!();
+        summary.set("leaks", jv!({"leaked_readers": leaks.len() as i64}));
     }
     if want("persistence") {
         let cfg = AskbotWorkload {
@@ -286,5 +340,96 @@ fn main() {
             compressed,
             s.world.controller("askbot").action_count()
         );
+        summary.set(
+            "persistence",
+            jv!({
+                "snapshot_bytes": snap.len() as i64,
+                "compressed_bytes": compressed as i64,
+                "actions": s.world.controller("askbot").action_count() as i64,
+            }),
+        );
+    }
+    if want("taint") {
+        // The tentpole's headline: on a mostly-clean store, the taint
+        // closure re-executes a fraction of what full history replay
+        // does, to the identical digest. A compact cousin of
+        // `benches/taint_scaling.rs` (which owns the committed 5x gate
+        // in BENCH_taint.json); here the numbers feed the report.
+        let (keys, versions) = if small { (20, 3) } else { (60, 5) };
+        let run = |scope: RepairScope| {
+            let mut world = World::new();
+            world.add_service_with(
+                Rc::new(ObjStore),
+                ControllerConfig {
+                    repair_scope: scope,
+                    ..ControllerConfig::default()
+                },
+            );
+            let put = |k: usize, v: String| {
+                world
+                    .deliver(&HttpRequest::post(
+                        Url::service("objstore", "/put"),
+                        jv!({"key": format!("acct-{k:04}"), "value": v}),
+                    ))
+                    .expect("put delivers")
+            };
+            for k in 0..keys {
+                put(k, "v0".to_string());
+            }
+            let rid = response_request_id(&put(0, "EVIL".into())).expect("tagged");
+            for v in 1..versions {
+                for k in 0..keys {
+                    put(k, format!("v{v}"));
+                }
+            }
+            let stats_of = |world: &World| match world.invoke_admin("objstore", AdminOp::Stats) {
+                Ok(AdminResponse::Stats(s)) => s.stats.repaired_requests,
+                other => panic!("stats over the wire failed: {other:?}"),
+            };
+            let before = stats_of(&world);
+            let mut creds = Headers::new();
+            creds.set(ADMIN_HEADER, ADMIN_SECRET);
+            let started = Instant::now();
+            let ack = world
+                .invoke_repair(
+                    "objstore",
+                    RepairMessage::with_credentials(RepairOp::Delete { request_id: rid }, creds),
+                )
+                .expect("repair delivers");
+            assert!(ack.status.is_success());
+            let wall = started.elapsed();
+            let digest = match world.invoke_admin("objstore", AdminOp::Digest) {
+                Ok(AdminResponse::Digest { digest }) => digest,
+                other => panic!("digest over the wire failed: {other:?}"),
+            };
+            (wall, stats_of(&world) - before, digest)
+        };
+        let (full_wall, full_reexec, full_digest) = run(RepairScope::Full);
+        let (sel_wall, sel_reexec, sel_digest) = run(RepairScope::Selective);
+        assert_eq!(full_digest, sel_digest, "scopes must agree on final state");
+        let actions = keys * versions + 1;
+        println!(
+            "Taint graph (selective re-execution): {actions} actions, \
+             full re-executed {full_reexec} in {full_wall:?}, \
+             selective re-executed {sel_reexec} in {sel_wall:?} \
+             (identical digests)\n"
+        );
+        summary.set(
+            "taint",
+            jv!({
+                "actions": actions as i64,
+                "full_reexecuted": full_reexec as i64,
+                "selective_reexecuted": sel_reexec as i64,
+                "speedup": format!("{:.2}", full_wall.as_secs_f64() / sel_wall.as_secs_f64()),
+            }),
+        );
+    }
+
+    // Only a full run covers every section, so only a full run may
+    // overwrite the committed summary.
+    if sections.is_empty() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+        std::fs::write(path, summary.encode() + "\n").expect("write BENCH_report.json");
+        println!("machine-readable summary written to BENCH_report.json");
     }
 }

@@ -110,6 +110,16 @@ pub enum AdminOp {
     /// Admin notices (compensations, undeliverable repairs) and the
     /// repair problems reported through `notify` (Table 2).
     Notices,
+    /// Summary of the request→row access graph (the Ancora-style taint
+    /// graph behind `--repair-scope selective`) plus the configured
+    /// scope.
+    TaintStats,
+    /// The transitive tainted closure seeded at one past request: every
+    /// request a selective repair of it would re-execute.
+    TaintClosure {
+        /// The intrusion point (a past request on this service).
+        request_id: RequestId,
+    },
     /// Several operations in one carrier frame, executed in order. Each
     /// sub-operation is authorized individually; the first failure aborts
     /// the rest (their results are simply absent from the response). A
@@ -135,6 +145,8 @@ const OP_NAMES: &[&str] = &[
     "digest",
     "leak_audit",
     "notices",
+    "taint_stats",
+    "taint_closure",
     "batch",
 ];
 
@@ -156,6 +168,8 @@ impl AdminOp {
             AdminOp::Digest => "digest",
             AdminOp::LeakAudit { .. } => "leak_audit",
             AdminOp::Notices => "notices",
+            AdminOp::TaintStats => "taint_stats",
+            AdminOp::TaintClosure { .. } => "taint_closure",
             AdminOp::Batch { .. } => "batch",
         }
     }
@@ -191,6 +205,9 @@ impl AdminOp {
                 m.set("table", Jv::s(table.clone()));
                 m.set("confidential", confidential.to_jv());
             }
+            AdminOp::TaintClosure { request_id } => {
+                m.set("request_id", Jv::s(request_id.wire()));
+            }
             AdminOp::Batch { ops } => {
                 m.set("ops", Jv::list(ops.iter().map(|o| o.to_jv())));
             }
@@ -200,7 +217,8 @@ impl AdminOp {
             | AdminOp::Snapshot
             | AdminOp::Stats
             | AdminOp::Digest
-            | AdminOp::Notices => {}
+            | AdminOp::Notices
+            | AdminOp::TaintStats => {}
         }
         m
     }
@@ -264,6 +282,11 @@ impl AdminOp {
                 }
             }
             "notices" => AdminOp::Notices,
+            "taint_stats" => AdminOp::TaintStats,
+            "taint_closure" => AdminOp::TaintClosure {
+                request_id: RequestId::parse(v.str_of("request_id"))
+                    .ok_or("admin op \"taint_closure\": missing or malformed \"request_id\"")?,
+            },
             "batch" => {
                 let ops = v
                     .get("ops")
@@ -500,6 +523,28 @@ pub enum AdminResponse {
         /// Problems reported to the application via `notify` (Table 2).
         problems: Vec<RepairProblem>,
     },
+    /// `taint_stats`: the access-graph summary.
+    TaintStats {
+        /// Live actions in the repair log.
+        actions: usize,
+        /// Distinct rows with at least one recorded access edge.
+        rows: usize,
+        /// Distinct (request, row) read edges.
+        read_edges: usize,
+        /// Distinct (request, row) write edges.
+        write_edges: usize,
+        /// The controller's configured repair scope
+        /// (`reactive`/`full`/`selective`).
+        scope: String,
+    },
+    /// `taint_closure`: the selective-repair footprint of one request.
+    TaintClosure {
+        /// Live actions in the repair log (the denominator).
+        total: usize,
+        /// Requests in the closure, in execution order (includes the
+        /// seed).
+        tainted: Vec<RequestId>,
+    },
     /// `batch`: one result per completed sub-operation, in order.
     Batch {
         /// Results of the sub-operations that ran (a failed batch aborts
@@ -523,6 +568,8 @@ impl AdminResponse {
             AdminResponse::Digest { .. } => "digest",
             AdminResponse::Leaks { .. } => "leaks",
             AdminResponse::Notices { .. } => "notices",
+            AdminResponse::TaintStats { .. } => "taint_stats",
+            AdminResponse::TaintClosure { .. } => "taint_closure",
             AdminResponse::Batch { .. } => "batch",
         }
     }
@@ -578,6 +625,26 @@ impl AdminResponse {
             AdminResponse::Notices { notices, problems } => {
                 m.set("notices", Jv::list(notices.iter().cloned()));
                 m.set("problems", Jv::list(problems.iter().map(problem_to_jv)));
+            }
+            AdminResponse::TaintStats {
+                actions,
+                rows,
+                read_edges,
+                write_edges,
+                scope,
+            } => {
+                m.set("actions", Jv::i(*actions as i64));
+                m.set("rows", Jv::i(*rows as i64));
+                m.set("read_edges", Jv::i(*read_edges as i64));
+                m.set("write_edges", Jv::i(*write_edges as i64));
+                m.set("scope", Jv::s(scope.clone()));
+            }
+            AdminResponse::TaintClosure { total, tainted } => {
+                m.set("total", Jv::i(*total as i64));
+                m.set(
+                    "tainted",
+                    Jv::list(tainted.iter().map(|rid| Jv::s(rid.wire()))),
+                );
             }
             AdminResponse::Batch { results } => {
                 m.set("results", Jv::list(results.iter().map(|r| r.to_jv())));
@@ -661,6 +728,26 @@ impl AdminResponse {
                     .unwrap_or(&[])
                     .iter()
                     .map(problem_from_jv)
+                    .collect::<Result<_, _>>()?,
+            },
+            "taint_stats" => AdminResponse::TaintStats {
+                actions: count("actions")?,
+                rows: count("rows")?,
+                read_edges: count("read_edges")?,
+                write_edges: count("write_edges")?,
+                scope: v.str_of("scope").to_string(),
+            },
+            "taint_closure" => AdminResponse::TaintClosure {
+                total: count("total")?,
+                tainted: v
+                    .get("tainted")
+                    .as_list()
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|r| {
+                        RequestId::parse(r.as_str().unwrap_or(""))
+                            .ok_or("admin response: bad tainted request_id")
+                    })
                     .collect::<Result<_, _>>()?,
             },
             "batch" => AdminResponse::Batch {
@@ -820,6 +907,34 @@ mod tests {
     }
 
     #[test]
+    fn taint_ops_round_trip() {
+        let op = AdminOp::TaintClosure {
+            request_id: RequestId::new("askbot", 7),
+        };
+        let carrier = op.to_carrier("askbot");
+        assert_eq!(carrier.url.path, "/aire/v1/admin/taint_closure");
+        assert_eq!(AdminOp::from_carrier(&carrier).unwrap().unwrap(), op);
+        assert_eq!(
+            AdminOp::from_jv(&AdminOp::TaintStats.to_jv()).unwrap(),
+            AdminOp::TaintStats
+        );
+
+        let resp = AdminResponse::TaintStats {
+            actions: 12,
+            rows: 5,
+            read_edges: 9,
+            write_edges: 4,
+            scope: "selective".into(),
+        };
+        assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
+        let resp = AdminResponse::TaintClosure {
+            total: 12,
+            tainted: vec![RequestId::new("askbot", 3), RequestId::new("askbot", 7)],
+        };
+        assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
+    }
+
+    #[test]
     fn missing_fields_name_the_field() {
         let mut body = Jv::map();
         body.set("op", Jv::s("send_queued"));
@@ -830,5 +945,10 @@ mod tests {
         body.set("op", Jv::s("gc"));
         let err = AdminOp::from_jv(&body).unwrap_err();
         assert!(err.contains("horizon"), "{err}");
+
+        let mut body = Jv::map();
+        body.set("op", Jv::s("taint_closure"));
+        let err = AdminOp::from_jv(&body).unwrap_err();
+        assert!(err.contains("request_id"), "{err}");
     }
 }

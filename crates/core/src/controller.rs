@@ -21,8 +21,9 @@ use crate::incoming::{IncomingQueue, PendingSeed, RepairMode};
 use crate::protocol::{self, RepairBatch, RepairMessage, RepairOp};
 use crate::queue::{OutgoingQueues, QueueKey, QueuedRepair};
 use crate::repair::{EngineState, RepairEngine};
-use crate::runtime::{build_record, RecordingRuntime, Trace};
+use crate::runtime::{build_record, RecordingRuntime, ResponseSeqs, Trace};
 use crate::stats::ControllerStats;
+use crate::taint::RepairScope;
 
 /// How a queue flush ([`AdminOp::FlushQueue`]) moves messages to their
 /// targets. All three strategies produce identical queue outcomes and
@@ -67,6 +68,12 @@ pub struct ControllerConfig {
     /// routed back to shard `(s-1) % count` without a lookup. The default
     /// `(0, 1)` reproduces the unsharded sequence `1, 2, 3, ...` exactly.
     pub shard: (u32, u32),
+    /// How local-repair passes build their agenda: `Reactive` (the
+    /// paper's rollback-discovers-dependents default), `Full`
+    /// (re-execute everything after the intrusion point), or
+    /// `Selective` (pre-schedule the taint-graph closure and skip the
+    /// rest). See [`crate::taint`].
+    pub repair_scope: RepairScope,
 }
 
 impl Default for ControllerConfig {
@@ -77,6 +84,7 @@ impl Default for ControllerConfig {
             coarse_scan_taint: false,
             flush: FlushStrategy::Batched { batch: 256 },
             shard: (0, 1),
+            repair_scope: RepairScope::default(),
         }
     }
 }
@@ -511,6 +519,8 @@ impl Controller {
             stats,
             admin_notices,
             notifications,
+            shard_index,
+            shard_count,
             ..
         } = &mut *core;
         let state = EngineState {
@@ -518,7 +528,7 @@ impl Controller {
             store,
             log,
             outgoing,
-            next_response_seq,
+            next_response_seq: ResponseSeqs::new(next_response_seq, *shard_index, *shard_count),
             stats,
             admin_notices,
             notifications,
@@ -537,6 +547,7 @@ impl Controller {
                 PendingSeed::FixResponse { time } => engine.schedule_reexec(time, None),
             }
         }
+        engine.expand_scope(self.config.repair_scope);
         engine.run()
     }
 
@@ -602,6 +613,8 @@ impl Controller {
             next_response_seq,
             clock_millis,
             rng,
+            shard_index,
+            shard_count,
             ..
         } = &mut *core;
         let mut rt = RecordingRuntime {
@@ -609,7 +622,7 @@ impl Controller {
             store,
             net: &self.net,
             time,
-            next_response_seq,
+            next_response_seq: ResponseSeqs::new(next_response_seq, *shard_index, *shard_count),
             clock_millis,
             rng,
             trace: Trace::default(),
@@ -838,6 +851,8 @@ impl Controller {
             stats,
             admin_notices,
             notifications,
+            shard_index,
+            shard_count,
             ..
         } = &mut *core;
         let state = EngineState {
@@ -845,7 +860,7 @@ impl Controller {
             store,
             log,
             outgoing,
-            next_response_seq,
+            next_response_seq: ResponseSeqs::new(next_response_seq, *shard_index, *shard_count),
             stats,
             admin_notices,
             notifications,
@@ -866,6 +881,7 @@ impl Controller {
                 id
             }
         };
+        engine.expand_scope(self.config.repair_scope);
         engine.run();
 
         let mut ack = HttpResponse::ok(jv!({"aire": "ok"}));
@@ -1034,6 +1050,8 @@ impl Controller {
             stats,
             admin_notices,
             notifications,
+            shard_index,
+            shard_count,
             ..
         } = &mut *core;
         let state = EngineState {
@@ -1041,7 +1059,7 @@ impl Controller {
             store,
             log,
             outgoing,
-            next_response_seq,
+            next_response_seq: ResponseSeqs::new(next_response_seq, *shard_index, *shard_count),
             stats,
             admin_notices,
             notifications,
@@ -1049,6 +1067,7 @@ impl Controller {
         };
         let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
         engine.schedule_reexec(time, None);
+        engine.expand_scope(self.config.repair_scope);
         engine.run();
         Ok(HttpResponse::ok(jv!({"aire": "ok"})))
     }
@@ -1566,6 +1585,8 @@ impl Controller {
             stats,
             admin_notices,
             notifications,
+            shard_index,
+            shard_count,
             ..
         } = &mut *core;
         let state = EngineState {
@@ -1573,7 +1594,7 @@ impl Controller {
             store,
             log,
             outgoing,
-            next_response_seq,
+            next_response_seq: ResponseSeqs::new(next_response_seq, *shard_index, *shard_count),
             stats,
             admin_notices,
             notifications,
@@ -1671,6 +1692,41 @@ impl Controller {
                 Ok(AdminResponse::Notices {
                     notices: core.admin_notices.clone(),
                     problems: core.notifications.clone(),
+                })
+            }
+            AdminOp::TaintStats => {
+                let core = self.core.borrow();
+                let graph = core.log.access().stats();
+                Ok(AdminResponse::TaintStats {
+                    actions: core.log.len(),
+                    rows: graph.rows as usize,
+                    read_edges: graph.read_edges as usize,
+                    write_edges: graph.write_edges as usize,
+                    scope: self.config.repair_scope.name().to_string(),
+                })
+            }
+            AdminOp::TaintClosure { request_id } => {
+                let core = self.core.borrow();
+                let seed = core
+                    .log
+                    .by_request_id(&request_id)
+                    .filter(|a| !a.is_deleted())
+                    .map(|a| a.time)
+                    .ok_or_else(|| {
+                        AireError::Protocol(format!(
+                            "taint_closure: no live request {}",
+                            request_id.wire()
+                        ))
+                    })?;
+                let closure =
+                    crate::taint::tainted_closure(&core.log, [seed], self.config.coarse_scan_taint);
+                Ok(AdminResponse::TaintClosure {
+                    total: core.log.len(),
+                    tainted: closure
+                        .iter()
+                        .filter_map(|t| core.log.at(*t))
+                        .map(|a| a.id.clone())
+                        .collect(),
                 })
             }
             AdminOp::Batch { ops } => {

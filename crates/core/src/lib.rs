@@ -130,6 +130,7 @@ pub mod repair;
 pub mod runtime;
 pub mod shard;
 pub mod stats;
+pub mod taint;
 pub mod world;
 
 pub use admin::{AdminOp, AdminResponse, AdminStats, QueueEntry};
@@ -142,4 +143,5 @@ pub use shard::{
     WorkerSetup,
 };
 pub use stats::ControllerStats;
+pub use taint::{tainted_closure, RepairScope};
 pub use world::{PumpReport, SettleReport, StuckRepair, World};

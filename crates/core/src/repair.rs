@@ -34,8 +34,9 @@ use aire_web::{App, Compensation, Ctx, RepairProblem, Router};
 
 use crate::protocol::RepairOp;
 use crate::queue::{OutgoingQueues, QueueKey};
-use crate::runtime::{build_record, final_writes, CallPlan, ReplayRuntime, Trace};
+use crate::runtime::{build_record, final_writes, CallPlan, ReplayRuntime, ResponseSeqs, Trace};
 use crate::stats::ControllerStats;
+use crate::taint::{tainted_closure, RepairScope};
 
 /// What to do with an action on the agenda.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,7 +88,7 @@ pub struct EngineState<'a> {
     /// Outgoing repair queues.
     pub outgoing: &'a mut OutgoingQueues,
     /// Response-id allocator (for new calls discovered during replay).
-    pub next_response_seq: &'a mut u64,
+    pub next_response_seq: ResponseSeqs<'a>,
     /// Statistics.
     pub stats: &'a mut ControllerStats,
     /// Admin notices (compensations, unpropagatable repairs).
@@ -146,6 +147,53 @@ impl<'a> RepairEngine<'a> {
     /// True if anything is scheduled.
     pub fn has_work(&self) -> bool {
         !self.agenda.is_empty()
+    }
+
+    /// Expands the seeded agenda according to the configured
+    /// [`RepairScope`] before the pass runs:
+    ///
+    /// * `Reactive` — nothing; rollback discovers dependents (the
+    ///   paper's behavior, and the default).
+    /// * `Full` — every live action from the earliest seed onward is
+    ///   scheduled for re-execution: the history-proportional baseline.
+    /// * `Selective` — the tainted closure of the seeds (over the
+    ///   access graph recorded at normal-execution time) is scheduled;
+    ///   everything outside it is skipped up front. Dynamic taint stays
+    ///   armed during the pass, so the static closure is a
+    ///   pre-scheduling optimization, never a soundness dependency.
+    ///
+    /// Seed plans always win over the expansion's plain re-execs
+    /// (`Plan::merge`: `Skip` and overrides dominate).
+    pub fn expand_scope(&mut self, scope: RepairScope) {
+        let Some(&earliest) = self.agenda.keys().next() else {
+            return;
+        };
+        match scope {
+            RepairScope::Reactive => {}
+            RepairScope::Full => {
+                let times: Vec<LogicalTime> = self
+                    .state
+                    .log
+                    .actions()
+                    .filter(|a| a.time >= earliest && !a.is_deleted())
+                    .map(|a| a.time)
+                    .collect();
+                for t in times {
+                    self.schedule_reexec(t, None);
+                }
+            }
+            RepairScope::Selective => {
+                let seeds: Vec<LogicalTime> = self.agenda.keys().copied().collect();
+                let closure = tainted_closure(self.state.log, seeds, self.state.coarse_scan_taint);
+                for t in closure {
+                    // Spliced create times are not in the log yet; their
+                    // agenda entries already carry the right plan.
+                    if self.state.log.at(t).is_some_and(|a| !a.is_deleted()) {
+                        self.schedule_reexec(t, None);
+                    }
+                }
+            }
+        }
     }
 
     /// Runs the pass to completion. Returns the number of actions
@@ -262,7 +310,7 @@ impl<'a> RepairEngine<'a> {
                 self.state.store,
                 time,
                 original,
-                self.state.next_response_seq,
+                self.state.next_response_seq.reborrow(),
                 &mut self.fresh_ids,
             );
             let response = match self.router.dispatch(request.method, &request.url.path) {

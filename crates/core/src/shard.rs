@@ -53,7 +53,7 @@ use aire_vdb::shard::{merge_digests, shard_of_key, shard_of_seq};
 use aire_web::App;
 
 use crate::admin::{AdminOp, AdminResponse, AdminStats, ADMIN_PREFIX};
-use crate::controller::{Controller, ControllerConfig};
+use crate::controller::{Controller, ControllerConfig, SendOutcome};
 use crate::protocol::REPAIR_BATCH_PATH;
 use crate::protocol::{batch_response, batch_results, RepairBatch, RepairMessage, RepairOp};
 
@@ -455,9 +455,10 @@ impl ShardFront {
     }
 
     /// The shard owning a repair operation: `replace`/`delete` invert
-    /// the striped seq allocation; `create` routes by the embedded
-    /// request's shard key; `replace_response` (response seqs are not
-    /// striped) pins to shard 0.
+    /// the striped request-seq allocation; `create` routes by the
+    /// embedded request's shard key; `replace_response` inverts the
+    /// striped *response*-seq allocation — the worker whose runtime
+    /// assigned the response id holds the action that made the call.
     fn shard_of_op(&self, host: &str, op: &RepairOp) -> usize {
         match op {
             RepairOp::Replace { request_id, .. } | RepairOp::Delete { request_id } => {
@@ -469,7 +470,9 @@ impl ShardFront {
                 .and_then(|app| app.shard_key(request))
                 .map(|k| shard_of_key(&k, self.workers))
                 .unwrap_or(0),
-            RepairOp::ReplaceResponse { .. } => 0,
+            RepairOp::ReplaceResponse { response_id, .. } => {
+                shard_of_seq(response_id.seq, self.workers)
+            }
         }
     }
 
@@ -483,9 +486,6 @@ impl ShardFront {
             // A malformed repair carrier: any shard produces the same
             // error; use 0.
             Err(_) => return 0,
-        }
-        if req.url.path == "/aire/notify" || req.url.path == "/aire/fetch_repair" {
-            return 0;
         }
         self.apps
             .get(host)
@@ -736,9 +736,37 @@ impl ShardFront {
         if responses.len() == 1 {
             return Ok(responses.pop().expect("one part"));
         }
+        // `send_queued` targets one shard's queue, but a shard that does
+        // not hold the message *succeeds* with `Sent { Kept }` — so the
+        // owner's decisive outcome (delivered/dropped) must win over the
+        // non-owners' keeps, not merely the first success in shard order.
+        if matches!(op, AdminOp::SendQueued { .. }) {
+            let mut kept: Option<HttpResponse> = None;
+            for r in &responses {
+                if !r.status.is_success() {
+                    continue;
+                }
+                match AdminResponse::from_jv(&r.body) {
+                    Ok(AdminResponse::Sent {
+                        outcome: SendOutcome::Kept,
+                    }) => {
+                        kept.get_or_insert_with(|| r.clone());
+                    }
+                    Ok(_) => return Ok(r.clone()),
+                    Err(_) => {}
+                }
+            }
+            if let Some(k) = kept {
+                return Ok(k);
+            }
+            return Ok(responses.swap_remove(0));
+        }
         // Per-message ops target one shard's queue; the others answer
-        // "unknown message". Any success wins.
-        if matches!(op, AdminOp::SendQueued { .. } | AdminOp::Retry { .. }) {
+        // "unknown message". Likewise a taint closure is seeded at a
+        // request exactly one shard executed, and the `shard_key`
+        // contract confines its footprint to that shard's rows. Any
+        // success wins.
+        if matches!(op, AdminOp::Retry { .. } | AdminOp::TaintClosure { .. }) {
             if let Some(hit) = responses.iter().find(|r| r.status.is_success()) {
                 return Ok(hit.clone());
             }
@@ -1013,6 +1041,40 @@ fn merge_admin(op: &AdminOp, parts: Vec<AdminResponse>) -> Option<AdminResponse>
             }
             AdminResponse::Notices { notices, problems }
         }
+        AdminOp::TaintStats => {
+            let (mut actions, mut rows, mut read_edges, mut write_edges) = (0, 0, 0, 0);
+            let mut scope = String::new();
+            for p in &parts {
+                let AdminResponse::TaintStats {
+                    actions: a,
+                    rows: r,
+                    read_edges: re,
+                    write_edges: we,
+                    scope: s,
+                } = p
+                else {
+                    return None;
+                };
+                actions += a;
+                rows += r;
+                read_edges += re;
+                write_edges += we;
+                if scope.is_empty() {
+                    scope = s.clone();
+                }
+            }
+            AdminResponse::TaintStats {
+                actions,
+                rows,
+                read_edges,
+                write_edges,
+                scope,
+            }
+        }
+        // Handled before decoding (any-success-wins on raw responses):
+        // the seed request lives on exactly one shard and the
+        // `shard_key` contract keeps its closure on that shard.
+        AdminOp::TaintClosure { .. } => return None,
         AdminOp::Batch { ops } => {
             let mut per_part: Vec<Vec<AdminResponse>> = Vec::with_capacity(parts.len());
             for p in parts {

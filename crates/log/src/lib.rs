@@ -23,7 +23,7 @@ pub mod record;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use aire_types::{compress, LogicalTime, RequestId, ResponseId};
-use aire_vdb::RowKey;
+use aire_vdb::{AccessGraph, AccessKind, RowKey};
 
 pub use record::{ActionRecord, ActionStatus, CallRecord, DbOp, ExternalOutput, NondetLog};
 
@@ -45,6 +45,11 @@ pub struct RepairLog {
     archive: Vec<ActionRecord>,
     /// Everything before this time was garbage collected.
     gc_horizon: LogicalTime,
+    /// The request→row dependency graph: one read|write edge per
+    /// recorded db op, maintained in lockstep with the indexes above
+    /// (so replace, GC, and restore keep it exact). `aire-core::taint`
+    /// computes the tainted closure over it.
+    access: AccessGraph,
 }
 
 impl RepairLog {
@@ -281,14 +286,29 @@ impl RepairLog {
         Ok(log)
     }
 
+    /// The request→row access graph over the live actions. Derived data:
+    /// record/replace/GC/restore keep it consistent, so readers never
+    /// need to rebuild it.
+    pub fn access(&self) -> &AccessGraph {
+        &self.access
+    }
+
     fn index(&mut self, action: &ActionRecord) {
         for op in &action.db_ops {
             match op {
-                DbOp::Read { key, .. } | DbOp::Write { key, .. } => {
+                DbOp::Read { key, .. } => {
                     self.row_index
                         .entry(key.clone())
                         .or_default()
                         .insert(action.time);
+                    self.access.record(action.time, key, AccessKind::Read);
+                }
+                DbOp::Write { key, .. } => {
+                    self.row_index
+                        .entry(key.clone())
+                        .or_default()
+                        .insert(action.time);
+                    self.access.record(action.time, key, AccessKind::Write);
                 }
                 DbOp::Scan { table, hits, .. } => {
                     self.scan_index
@@ -297,10 +317,9 @@ impl RepairLog {
                         .insert(action.time);
                     // Scans also point-read their hits.
                     for &id in hits {
-                        self.row_index
-                            .entry(RowKey::new(table.clone(), id))
-                            .or_default()
-                            .insert(action.time);
+                        let key = RowKey::new(table.clone(), id);
+                        self.access.record(action.time, &key, AccessKind::Read);
+                        self.row_index.entry(key).or_default().insert(action.time);
                     }
                 }
             }
@@ -314,10 +333,17 @@ impl RepairLog {
     fn unindex(&mut self, action: &ActionRecord) {
         for op in &action.db_ops {
             match op {
-                DbOp::Read { key, .. } | DbOp::Write { key, .. } => {
+                DbOp::Read { key, .. } => {
                     if let Some(set) = self.row_index.get_mut(key) {
                         set.remove(&action.time);
                     }
+                    self.access.forget(action.time, key, AccessKind::Read);
+                }
+                DbOp::Write { key, .. } => {
+                    if let Some(set) = self.row_index.get_mut(key) {
+                        set.remove(&action.time);
+                    }
+                    self.access.forget(action.time, key, AccessKind::Write);
                 }
                 DbOp::Scan { table, hits, .. } => {
                     if let Some(set) = self.scan_index.get_mut(table) {
@@ -328,6 +354,7 @@ impl RepairLog {
                         if let Some(set) = self.row_index.get_mut(&key) {
                             set.remove(&action.time);
                         }
+                        self.access.forget(action.time, &key, AccessKind::Read);
                     }
                 }
             }
@@ -510,6 +537,68 @@ mod tests {
             log.actions_touching_row(&RowKey::new("users", 1), LogicalTime::ZERO),
             vec![t(3)]
         );
+    }
+
+    #[test]
+    fn access_graph_tracks_read_write_kinds() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![write("users", 7)]));
+        log.record(action(2, vec![read("users", 7)]));
+        log.record(action(
+            3,
+            vec![scan("users", Filter::all().eq("v", 1), vec![7])],
+        ));
+
+        let key = RowKey::new("users", 7);
+        assert_eq!(log.access().writers_since(&key, t(1)), vec![t(1)]);
+        assert_eq!(
+            log.access().touchers_since(&key, t(1)),
+            vec![t(1), t(2), t(3)],
+            "scan hits count as reads"
+        );
+        let stats = log.access().stats();
+        assert_eq!((stats.read_edges, stats.write_edges), (2, 1));
+        log.access().check_integrity().unwrap();
+    }
+
+    #[test]
+    fn access_graph_survives_replace_gc_and_restore() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![write("users", 1)]));
+        log.record(action(2, vec![read("users", 1), write("posts", 5)]));
+        log.record(action(3, vec![read("posts", 5)]));
+
+        // Replace re-points action 2's edges at a different row.
+        log.replace(action(2, vec![read("users", 2)]));
+        assert!(log
+            .access()
+            .touchers_since(&RowKey::new("posts", 5), t(2))
+            .iter()
+            .all(|&x| x != t(2)));
+        assert_eq!(
+            log.access().touchers_since(&RowKey::new("users", 2), t(0)),
+            vec![t(2)]
+        );
+        log.access().check_integrity().unwrap();
+
+        // GC drops collected actions' edges.
+        log.gc(t(3));
+        assert!(log
+            .access()
+            .touchers_since(&RowKey::new("users", 1), t(0))
+            .is_empty());
+        log.access().check_integrity().unwrap();
+
+        // Restore rebuilds the graph exactly (derived data).
+        let restored = RepairLog::restore(&log.snapshot()).unwrap();
+        assert_eq!(restored.access().stats(), log.access().stats());
+        assert_eq!(
+            restored
+                .access()
+                .touchers_since(&RowKey::new("posts", 5), t(0)),
+            log.access().touchers_since(&RowKey::new("posts", 5), t(0))
+        );
+        restored.access().check_integrity().unwrap();
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   predicates down to the index (falling back to the full walk) and
 //!   the recovery mutations — rollback, GC, restore — keep the index
 //!   consistent, so filtered reads stay fast *during* repair.
+//! * [`access`](mod@access) — the request→row access graph: every
+//!   database operation recorded as a `(request, table, row-id,
+//!   read|write)` edge, the substrate for Ancora-style taint closure
+//!   and selective re-execution (`aire-core::taint`).
 //!
 //! The store itself is deliberately policy-free: it does not know about
 //! requests or repair. The repair controller drives it through rollback
@@ -33,6 +37,7 @@
 
 #![deny(missing_docs)]
 
+pub mod access;
 pub mod filter;
 pub mod index;
 pub mod schema;
@@ -40,6 +45,7 @@ pub mod shard;
 pub mod store;
 pub mod version;
 
+pub use access::{AccessGraph, AccessKind, AccessStats};
 pub use filter::Filter;
 pub use index::{ScanPlan, TableIndexes};
 pub use schema::{FieldDef, FieldKind, Schema};

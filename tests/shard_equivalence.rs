@@ -8,13 +8,19 @@
 //!    queue flushes, dpaste killed mid-recovery and resurrected from a
 //!    wire-pulled snapshot under a rotated certificate, retries, the §9
 //!    leak audit — runs once against a `--workers 1` cluster and once
-//!    against a `--workers 4` cluster. State digests, leak-audit rows,
-//!    and delivered counts must be **byte-identical** across the two
-//!    runs and equal to the in-process reference. (Figure 4's services
-//!    are unsharded, so every shard runtime pins them to worker 0 with
-//!    the unsharded controller configuration — the run proves the
-//!    sharded plumbing is transparent: ticket dispatch, admin fan-out
-//!    and merge, the sharded greeting, snapshot wrapping/unwrapping.)
+//!    against a `--workers 4` cluster. State digests, leak-audit rows
+//!    (request seqs normalized to allocation ordinals — the striped
+//!    allocator hands out different raw seqs per worker count by
+//!    design), and delivered counts must be **byte-identical** across
+//!    the two runs and equal to the in-process reference. Figure 4's
+//!    services shard by the constant [`SHARD_AFFINITY`] key, so at four
+//!    workers every request really flows through the striped allocator
+//!    and the shard router — the run proves ticket dispatch, admin
+//!    fan-out and merge, repair routing by request *and* response seq
+//!    stripe, the sharded greeting, and snapshot wrapping/unwrapping
+//!    are all digest-transparent. A second variant repeats the cycle
+//!    under `--repair-scope selective` (re-execution confined to the
+//!    taint closure) and must land on the same digests and leak rows.
 //!
 //! 2. **vkv, value for value.** The versioned kv store *is* sharded, so
 //!    four workers really spread its keys (and their repair traffic,
@@ -32,13 +38,14 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use aire::apps::noded::spawn::{free_addrs, locate_example, spawn_node, SpawnedNode};
-use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET, SHARD_AFFINITY};
 use aire::core::admin::{AdminOp, AdminResponse};
 use aire::core::protocol::{RepairMessage, RepairOp};
-use aire::core::{RepairMode, World};
+use aire::core::{RepairMode, RepairScope, World};
 use aire::http::{Headers, HttpRequest, Url};
 use aire::transport::{shutdown_node, TcpTransport};
 use aire::types::jv;
+use aire::vdb::shard::{shard_of_key, shard_of_seq};
 use aire::vdb::Filter;
 use aire::workload::scenarios::askbot_attack::{self, AskbotWorkload};
 
@@ -53,6 +60,7 @@ fn node(
     peers: &[(String, SocketAddr, SocketAddr)],
     cert_serial: Option<u64>,
     workers: usize,
+    scope: RepairScope,
 ) -> SpawnedNode {
     spawn_node(
         &exe(),
@@ -64,6 +72,7 @@ fn node(
         cert_serial,
         None,
         Some(workers),
+        Some(scope),
     )
     .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -102,8 +111,9 @@ struct RecoveryOutcome {
 }
 
 /// One full Figure 4 cluster recovery — including the dpaste
-/// kill/snapshot/resurrect arc — with every daemon at `workers`.
-fn figure4_recovery(workers: usize) -> RecoveryOutcome {
+/// kill/snapshot/resurrect arc — with every daemon at `workers`,
+/// repairing under `scope`.
+fn figure4_recovery(workers: usize, scope: RepairScope) -> RecoveryOutcome {
     let addrs: Vec<(&str, (SocketAddr, SocketAddr))> = askbot_attack::SERVICES
         .iter()
         .map(|s| (*s, free_addrs()))
@@ -116,7 +126,7 @@ fn figure4_recovery(workers: usize) -> RecoveryOutcome {
                 .filter(|(p, _)| p != name)
                 .map(|(p, (d, a))| (p.to_string(), *d, *a))
                 .collect();
-            node(&[name], *data, *admin, &peers, None, workers)
+            node(&[name], *data, *admin, &peers, None, workers, scope)
         })
         .collect();
 
@@ -184,6 +194,7 @@ fn figure4_recovery(workers: usize) -> RecoveryOutcome {
         &peers,
         Some(4242),
         workers,
+        scope,
     ));
     let AdminResponse::Ack = admin(&world, "dpaste", AdminOp::Restore { snapshot }) else {
         panic!("restore response");
@@ -225,11 +236,37 @@ fn figure4_recovery(workers: usize) -> RecoveryOutcome {
     };
     assert!(!leaks.is_empty(), "the audit must name the readers");
 
+    // Askbot shards by the constant affinity key, so at `workers > 1`
+    // every request id the audit names must sit on that one shard's seq
+    // stripe — the proof that the striped allocator really engaged.
+    if workers > 1 {
+        let home = shard_of_key(SHARD_AFFINITY, workers);
+        for (rid, _) in &leaks {
+            assert_eq!(
+                shard_of_seq(rid.seq, workers),
+                home,
+                "leaked reader {} off the affinity stripe",
+                rid.wire()
+            );
+        }
+    }
+
     let outcome = RecoveryOutcome {
         digests: digests(&world),
+        // Normalize each request seq to its allocation ordinal: shard
+        // `s` of `W` allocates `s+1, s+1+W, ...`, so `(seq-1)/W` is the
+        // worker-count-independent position in the allocation order.
         leaks: leaks
             .iter()
-            .map(|(rid, key)| format!("{} {}#{}", rid.wire(), key.table, key.id))
+            .map(|(rid, key)| {
+                format!(
+                    "{}/Q#{} {}#{}",
+                    rid.service,
+                    (rid.seq - 1) / workers as u64,
+                    key.table,
+                    key.id
+                )
+            })
             .collect(),
         delivered: (delivered, retries),
     };
@@ -244,10 +281,9 @@ fn figure4_recovery(workers: usize) -> RecoveryOutcome {
     outcome
 }
 
-/// Oracle 1: the full Figure 4 recovery is byte-identical at
-/// `--workers 1` and `--workers 4`, and equal to the in-process run.
-#[test]
-fn figure4_recovery_is_byte_identical_at_one_and_four_workers() {
+/// Digests of the in-process (unsharded, reactive) reference run — the
+/// state every cluster variant must converge to.
+fn reference_digests() -> Vec<String> {
     let reference = askbot_attack::setup(&small());
     reference.world.set_repair_mode_all(RepairMode::Deferred);
     reference.world.set_online("dpaste", false);
@@ -255,17 +291,42 @@ fn figure4_recovery_is_byte_identical_at_one_and_four_workers() {
     assert!(!reference.world.settle().quiescent());
     reference.world.set_online("dpaste", true);
     assert!(reference.world.settle().quiescent());
-    let expected = digests(&reference.world);
+    digests(&reference.world)
+}
 
-    let one = figure4_recovery(1);
+/// Oracle 1: the full Figure 4 recovery is byte-identical at
+/// `--workers 1` and `--workers 4`, and equal to the in-process run.
+#[test]
+fn figure4_recovery_is_byte_identical_at_one_and_four_workers() {
+    let expected = reference_digests();
+    let one = figure4_recovery(1, RepairScope::Reactive);
     assert_eq!(
         one.digests, expected,
         "the single-worker cluster must converge to the in-process state"
     );
-    let four = figure4_recovery(4);
+    let four = figure4_recovery(4, RepairScope::Reactive);
     assert_eq!(
         four, one,
         "a 4-worker cluster must be observably identical to a 1-worker cluster"
+    );
+}
+
+/// Oracle 1 under `--repair-scope selective`: confining re-execution to
+/// the taint closure changes *what gets scheduled*, not what an operator
+/// observes — digests and leak-audit rows stay byte-identical across
+/// worker counts and equal to the reactive in-process reference.
+#[test]
+fn figure4_selective_recovery_is_byte_identical_at_one_and_four_workers() {
+    let expected = reference_digests();
+    let one = figure4_recovery(1, RepairScope::Selective);
+    assert_eq!(
+        one.digests, expected,
+        "selective repair must converge to the same state as reactive"
+    );
+    let four = figure4_recovery(4, RepairScope::Selective);
+    assert_eq!(
+        four, one,
+        "a 4-worker selective cluster must match the 1-worker run"
     );
 }
 
@@ -292,7 +353,15 @@ struct VkvOutcome {
 /// client sees.
 fn vkv_recovery(workers: usize) -> VkvOutcome {
     let (data, admin_addr) = free_addrs();
-    let mut daemon = node(&["vkv"], data, admin_addr, &[], None, workers);
+    let mut daemon = node(
+        &["vkv"],
+        data,
+        admin_addr,
+        &[],
+        None,
+        workers,
+        RepairScope::Reactive,
+    );
 
     let mut world = World::new();
     world.add_remote(

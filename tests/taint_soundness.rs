@@ -1,0 +1,269 @@
+//! Seeded property suite: soundness of the taint closure.
+//!
+//! The taint graph exists to let `--repair-scope selective` re-execute
+//! *less* than full history replay without changing the answer. This
+//! suite generates randomized objstore workloads (SplitMix64-seeded, so
+//! every run is reproducible from the seed printed on failure), picks a
+//! random intrusion point, and checks the two halves of soundness:
+//!
+//! * **agreement** — repairing the intrusion under `Full` and under
+//!   `Selective` scope lands on byte-identical state digests, which in
+//!   turn equal the digest of a *gold* world that executed the same
+//!   workload with the attack removed (the paper's definition of
+//!   correct recovery);
+//! * **closure shape** — `AdminOp::TaintClosure` seeded at the attack
+//!   contains exactly the requests that touched the attacked key at or
+//!   after the intrusion (no misses: anything it omits would go
+//!   unrepaired; no false positives on rows the attack never reached —
+//!   that precision is where the 5x of `BENCH_taint.json` comes from),
+//!   and selective repair re-executes no more than that closure.
+//!
+//! Workloads are pure last-writer-wins puts/gets over pre-initialized
+//! keys, so row allocation is identical across all three worlds and the
+//! digest comparison is exact. (vkv would not do here: its version
+//! table is app-versioned, so even full-scope replay intentionally
+//! branches fresh version rows — see `benches/taint_scaling.rs`.)
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use aire::apps::policy::{ADMIN_HEADER, ADMIN_SECRET};
+use aire::apps::ObjStore;
+use aire::core::admin::{AdminOp, AdminResponse};
+use aire::core::protocol::{RepairMessage, RepairOp};
+use aire::core::{ControllerConfig, RepairScope, World};
+use aire::http::aire::response_request_id;
+use aire::http::{Headers, HttpRequest, Url};
+use aire::types::{jv, DetRng, RequestId};
+
+//////// Workload generation. ////////
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    Put { key: String, value: String },
+    Get { key: String },
+}
+
+impl Op {
+    fn key(&self) -> &str {
+        match self {
+            Op::Put { key, .. } | Op::Get { key } => key,
+        }
+    }
+}
+
+/// A reproducible workload: every key is initialized first (so later
+/// puts are pure updates and row allocation is workload-independent),
+/// then a random mix of puts and gets. Returns the op list plus the
+/// indices eligible as intrusion points (post-init puts).
+fn gen_workload(seed: u64) -> (Vec<Op>, Vec<usize>) {
+    let mut rng = DetRng::new(seed);
+    let keys: Vec<String> = (0..4 + rng.below(8)).map(|k| format!("k{k:02}")).collect();
+    let mut ops: Vec<Op> = keys
+        .iter()
+        .map(|k| Op::Put {
+            key: k.clone(),
+            value: format!("{k}-init"),
+        })
+        .collect();
+    let mut attackable = Vec::new();
+    for step in 0..40 + rng.below(60) {
+        let key = keys[rng.below(keys.len() as u64) as usize].clone();
+        if rng.below(10) < 7 {
+            attackable.push(ops.len());
+            ops.push(Op::Put {
+                key,
+                value: format!("s{step}-r{:x}", rng.below(1 << 20)),
+            });
+        } else {
+            ops.push(Op::Get { key });
+        }
+    }
+    (ops, attackable)
+}
+
+/// What the store must hold after the workload ran with op `skip`
+/// excised: last write wins per key.
+fn model(ops: &[Op], skip: usize) -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        if let Op::Put { key, value } = op {
+            m.insert(key.clone(), value.clone());
+        }
+    }
+    m
+}
+
+//////// Driving a world. ////////
+
+/// Runs the ops against a fresh single-service world configured at
+/// `scope`, skipping index `skip` if given (the gold world's "attack
+/// never happened"). Returns the world and each executed op's request
+/// id.
+fn run_world(
+    scope: RepairScope,
+    ops: &[Op],
+    skip: Option<usize>,
+) -> (World, Vec<Option<RequestId>>) {
+    let mut world = World::new();
+    world.add_service_with(
+        Rc::new(ObjStore),
+        ControllerConfig {
+            repair_scope: scope,
+            ..ControllerConfig::default()
+        },
+    );
+    let mut rids = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        if Some(i) == skip {
+            rids.push(None);
+            continue;
+        }
+        let req = match op {
+            Op::Put { key, value } => HttpRequest::post(
+                Url::service("objstore", "/put"),
+                jv!({"key": key.clone(), "value": value.clone()}),
+            ),
+            Op::Get { key } => {
+                HttpRequest::get(Url::service("objstore", "/get").with_query("key", key.clone()))
+            }
+        };
+        let resp = world.deliver(&req).expect("workload delivers");
+        assert!(resp.status.is_success(), "op {i} failed: {:?}", resp.body);
+        rids.push(response_request_id(&resp));
+    }
+    (world, rids)
+}
+
+fn admin(world: &World, op: AdminOp) -> AdminResponse {
+    world
+        .invoke_admin("objstore", op)
+        .unwrap_or_else(|e| panic!("admin op failed: {e}"))
+}
+
+fn digest(world: &World) -> String {
+    match admin(world, AdminOp::Digest) {
+        AdminResponse::Digest { digest } => digest,
+        other => panic!("digest response: {other:?}"),
+    }
+}
+
+fn repaired_requests(world: &World) -> u64 {
+    match admin(world, AdminOp::Stats) {
+        AdminResponse::Stats(stats) => stats.stats.repaired_requests,
+        other => panic!("stats response: {other:?}"),
+    }
+}
+
+/// Deletes `rid` with operator credentials; returns re-executed count.
+fn repair(world: &World, rid: RequestId) -> u64 {
+    let before = repaired_requests(world);
+    let mut creds = Headers::new();
+    creds.set(ADMIN_HEADER, ADMIN_SECRET);
+    let resp = world
+        .invoke_repair(
+            "objstore",
+            RepairMessage::with_credentials(RepairOp::Delete { request_id: rid }, creds),
+        )
+        .expect("repair delivers");
+    assert!(resp.status.is_success(), "repair: {:?}", resp.body);
+    repaired_requests(world) - before
+}
+
+//////// The property. ////////
+
+fn check_seed(seed: u64) {
+    let (ops, attackable) = gen_workload(seed);
+    let mut rng = DetRng::new(seed ^ 0xA77AC4); // independent intrusion choice
+    let attack = attackable[rng.below(attackable.len() as u64) as usize];
+    let attacked_key = ops[attack].key().to_string();
+
+    let (full_world, rids) = run_world(RepairScope::Full, &ops, None);
+    let (sel_world, sel_rids) = run_world(RepairScope::Selective, &ops, None);
+    let (gold_world, _) = run_world(RepairScope::Reactive, &ops, Some(attack));
+    assert_eq!(
+        rids, sel_rids,
+        "seed {seed}: identical workloads must get identical ids"
+    );
+    let attack_rid = rids[attack].clone().expect("attack op was executed");
+
+    // Closure shape: exactly the ops touching the attacked key at or
+    // after the intrusion. Earlier ops on the key (its init write) are
+    // upstream of the attack, not downstream, and must stay out.
+    let AdminResponse::TaintClosure { total, tainted } = admin(
+        &sel_world,
+        AdminOp::TaintClosure {
+            request_id: attack_rid.clone(),
+        },
+    ) else {
+        panic!("taint_closure response");
+    };
+    assert_eq!(total, ops.len(), "seed {seed}: every op is a live action");
+    let expected: Vec<RequestId> = (attack..ops.len())
+        .filter(|&i| ops[i].key() == attacked_key)
+        .map(|i| rids[i].clone().unwrap())
+        .collect();
+    assert_eq!(
+        tainted, expected,
+        "seed {seed}: closure at op {attack} ({attacked_key})"
+    );
+
+    // The graph recorded both directions of access.
+    let AdminResponse::TaintStats {
+        actions,
+        rows,
+        read_edges,
+        write_edges,
+        scope,
+    } = admin(&sel_world, AdminOp::TaintStats)
+    else {
+        panic!("taint_stats response");
+    };
+    assert_eq!(
+        (actions, scope.as_str()),
+        (ops.len(), "selective"),
+        "seed {seed}"
+    );
+    assert!(rows > 0 && read_edges > 0 && write_edges > 0, "seed {seed}");
+
+    // Agreement: both scopes repair to the gold world's digest, and
+    // selective visits no more than its closure.
+    let full_reexec = repair(&full_world, attack_rid.clone());
+    let sel_reexec = repair(&sel_world, attack_rid);
+    assert!(
+        sel_reexec <= expected.len() as u64 && sel_reexec <= full_reexec,
+        "seed {seed}: selective re-executed {sel_reexec} (closure {}, full {full_reexec})",
+        expected.len()
+    );
+    let gold = digest(&gold_world);
+    assert_eq!(
+        digest(&full_world),
+        gold,
+        "seed {seed}: full repair vs gold"
+    );
+    assert_eq!(
+        digest(&sel_world),
+        gold,
+        "seed {seed}: selective repair vs gold"
+    );
+
+    // And the application-level view agrees with the naive model.
+    for (key, want) in model(&ops, attack) {
+        let got = sel_world
+            .deliver(&HttpRequest::get(
+                Url::service("objstore", "/get").with_query("key", key.clone()),
+            ))
+            .expect("get delivers");
+        assert_eq!(got.body.str_of("value"), want, "seed {seed}: key {key}");
+    }
+}
+
+#[test]
+fn selective_repair_agrees_with_full_and_gold_across_random_workloads() {
+    for seed in 0..24u64 {
+        check_seed(seed);
+    }
+}

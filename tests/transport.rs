@@ -66,6 +66,7 @@ fn node(
         cert_serial,
         None,
         None,
+        None,
     )
     .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -97,6 +98,7 @@ fn spawn_cluster_with(pipeline_depth: Option<usize>) -> Vec<SpawnedNode> {
                 180,
                 None,
                 pipeline_depth,
+                None,
                 None,
             )
             .unwrap_or_else(|e| panic!("{e}"))
