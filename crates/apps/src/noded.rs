@@ -50,10 +50,12 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use aire_client::AdminClient;
 use aire_core::{
     Controller, ControllerConfig, RepairScope, ShardSpec, ShardedRuntime, WorkerPump, WorkerSetup,
 };
 use aire_net::{Certificate, Network};
+use aire_obs::{render_prometheus, MetricsSnapshot};
 use aire_transport::{NodeServer, Pump, ServeOutcome, TcpTransport};
 use aire_web::App;
 
@@ -187,6 +189,14 @@ pub struct NodeOptions {
     /// (re-execute everything after the intrusion point), or
     /// `selective` (pre-schedule the taint-graph closure).
     pub repair_scope: RepairScope,
+    /// Record causal trace spans and stamp `Aire-Trace` headers on
+    /// repair carriers. Off by default; recovery digests are identical
+    /// either way.
+    pub tracing: bool,
+    /// Scrape mode: instead of serving, dial the operator listener at
+    /// this address, fetch each `--service`'s merged metrics snapshot,
+    /// print one Prometheus-style exposition, and exit.
+    pub metrics: Option<SocketAddr>,
 }
 
 /// The usage text (`--help` and argument errors).
@@ -198,7 +208,8 @@ usage:
              [--data ADDR] [--admin ADDR]
              [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
              [--cert-serial N] [--pipeline-depth N] [--workers N]
-             [--repair-scope reactive|full|selective]
+             [--repair-scope reactive|full|selective] [--trace]
+  aire-noded --metrics ADDR --service <spec> [--service <spec>]...
 
 options:
   --service <spec>        an application to host (repeatable; at least
@@ -230,6 +241,14 @@ options:
                           full re-executes everything after the
                           intrusion point; selective pre-schedules the
                           taint-graph closure and skips the rest
+  --trace                 record causal trace spans and stamp Aire-Trace
+                          headers on repair carriers (recovery digests
+                          are identical with and without)
+  --metrics ADDR          scrape mode: dial the operator listener at
+                          ADDR, fetch the named services' merged metrics
+                          snapshot, print a Prometheus-style text
+                          exposition to stdout, and exit — a curl-free
+                          scraper for any running daemon
 
 The daemon prints `aire-noded ready service=... data=... admin=...` once
 both listeners are bound (comma-separated service names when hosting
@@ -260,6 +279,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
     let mut pipeline_depth = None;
     let mut workers = 1usize;
     let mut repair_scope = RepairScope::default();
+    let mut tracing = false;
+    let mut metrics = None;
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -334,6 +355,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
                     )
                 })?;
             }
+            "--trace" => tracing = true,
+            "--metrics" => metrics = Some(parse_addr(&value("--metrics")?, "--metrics")?),
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -350,6 +373,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
         pipeline_depth,
         workers,
         repair_scope,
+        tracing,
+        metrics,
     }))
 }
 
@@ -363,6 +388,11 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
         .iter()
         .map(|spec| parse_service_spec(spec))
         .collect::<Result<Vec<_>, _>>()?;
+    if let Some(addr) = opts.metrics {
+        let names: Vec<String> = apps.iter().map(|(name, _)| name.clone()).collect();
+        scrape_metrics(addr, &names)?;
+        return Ok(ServeOutcome::Shutdown);
+    }
     if opts.workers > 1 {
         return run_sharded(opts, apps);
     }
@@ -385,11 +415,16 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
 
     let config = ControllerConfig {
         repair_scope: opts.repair_scope,
+        tracing: opts.tracing,
         ..ControllerConfig::default()
     };
     let mut hosted = Vec::new();
+    let mut primary_obs = None;
     for (name, app) in apps {
         let controller = Controller::new(app, net.clone(), config.clone());
+        if primary_obs.is_none() {
+            primary_obs = Some(controller.obs().clone());
+        }
         let mut cert = net.register(name.clone(), controller);
         if let Some(base) = opts.cert_serial {
             cert = Certificate {
@@ -408,6 +443,11 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
     // daemons survive nested callbacks (see aire-transport's docs).
     for t in &transports {
         t.set_pump(server.pump_handle());
+        // Pool dials/reuses/retries land in the primary service's
+        // registry, so `--metrics` scrapes see transport health too.
+        if let Some(obs) = &primary_obs {
+            t.set_metrics_registry(obs.registry().clone());
+        }
     }
 
     use std::io::Write;
@@ -488,6 +528,10 @@ fn run_sharded(
                 t = t.with_pipeline(depth);
             }
             t.set_pump(Rc::downgrade(&pump));
+            // Each worker's pool counters merge into its primary
+            // service's registry; the admin fan-out sums them across
+            // shards, so a scrape sees the whole daemon's pool health.
+            t.set_metrics_registry(ws.registry.clone());
             let t = Rc::new(t);
             ws.net.register_remote(peer.name.clone(), t.clone());
             transports.push(t);
@@ -505,6 +549,7 @@ fn run_sharded(
         workers: opts.workers,
         config: ControllerConfig {
             repair_scope: opts.repair_scope,
+            tracing: opts.tracing,
             ..ControllerConfig::default()
         },
         apps: app_factory,
@@ -534,6 +579,27 @@ fn run_sharded(
     let outcome = server.serve(Some(Instant::now() + opts.max_runtime));
     runtime.shutdown();
     Ok(outcome)
+}
+
+/// The `--metrics ADDR` scrape mode: dials the operator listener at
+/// `addr`, fetches every named service's metrics snapshot (a sharded
+/// daemon answers with the barrier-merged sum over its workers), merges
+/// them into one node-wide snapshot, and prints the Prometheus-style
+/// text exposition to stdout — `aire-noded --metrics` is the scraper,
+/// no curl or HTTP stack required.
+fn scrape_metrics(addr: SocketAddr, services: &[String]) -> Result<(), String> {
+    let net = Network::new();
+    let mut merged = MetricsSnapshot::default();
+    for name in services {
+        let t = Rc::new(TcpTransport::new(name.clone(), addr, addr));
+        net.register_remote(name.clone(), t);
+        let snapshot = AdminClient::new(&net, name.clone())
+            .metrics_snapshot()
+            .map_err(|e| format!("scraping {name} at {addr}: {e}"))?;
+        merged.merge(&snapshot);
+    }
+    print!("{}", render_prometheus(&merged));
+    Ok(())
 }
 
 /// The daemon's command-line entry point; returns the process exit code.
@@ -667,8 +733,10 @@ pub mod spawn {
     /// `AIRE_NODED_WORKERS` environment variable supplies the worker
     /// count instead — the hook that lets a CI matrix run the whole
     /// existing cluster suite sharded without touching the tests.
-    /// `AIRE_NODED_REPAIR_SCOPE` likewise backs `repair_scope`, so the
-    /// same matrix can run the suite under selective repair.
+    /// `AIRE_NODED_REPAIR_SCOPE` likewise backs `repair_scope`, and
+    /// `AIRE_NODED_TRACE=1` backs `trace` (forwarded as `--trace`) — so
+    /// the matrix can also run the whole suite with causal tracing on,
+    /// proving recovery digests don't change.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn_node(
         exe: &Path,
@@ -681,6 +749,7 @@ pub mod spawn {
         pipeline_depth: Option<usize>,
         workers: Option<usize>,
         repair_scope: Option<RepairScope>,
+        trace: Option<bool>,
     ) -> Result<SpawnedNode, String> {
         assert!(!services.is_empty(), "a node hosts at least one service");
         let workers = workers.or_else(|| {
@@ -692,6 +761,11 @@ pub mod spawn {
             std::env::var("AIRE_NODED_REPAIR_SCOPE")
                 .ok()
                 .and_then(|v| RepairScope::parse(&v))
+        });
+        let trace = trace.or_else(|| {
+            std::env::var("AIRE_NODED_TRACE")
+                .ok()
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         });
         let mut cmd = Command::new(exe);
         for service in services {
@@ -714,6 +788,9 @@ pub mod spawn {
         }
         if let Some(scope) = repair_scope {
             cmd.arg("--repair-scope").arg(scope.name());
+        }
+        if trace == Some(true) {
+            cmd.arg("--trace");
         }
         for (peer, pdata, padmin) in peers {
             cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
@@ -870,6 +947,27 @@ mod tests {
         let err = parse_args(["--service", "vkv", "--repair-scope", "eager"].map(String::from))
             .unwrap_err();
         assert!(err.contains("not a scope"), "{err}");
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        let opts = parse_args(["--service", "vkv", "--trace"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert!(opts.tracing);
+        let opts = parse_args(["--service", "vkv"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert!(!opts.tracing);
+        assert_eq!(opts.metrics, None);
+        let opts =
+            parse_args(["--service", "vkv", "--metrics", "127.0.0.1:7201"].map(String::from))
+                .unwrap()
+                .unwrap();
+        assert_eq!(opts.metrics.unwrap().port(), 7201);
+        let err =
+            parse_args(["--service", "vkv", "--metrics", "nope"].map(String::from)).unwrap_err();
+        assert!(err.contains("socket address"), "{err}");
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! Extension sections beyond the paper: `intro` (the §1 company
 //! scenario), `aggregation` (§3.2's incoming queue), `scaling` (Table 5
 //! vs. user count), `leaks` (the §9 leak audit), `persistence`
-//! (snapshot/restore), and `taint` (selective vs. full re-execution on
-//! the request→row access graph).
+//! (snapshot/restore), `taint` (selective vs. full re-execution on
+//! the request→row access graph), and `obs` (the traced Figure 4
+//! recovery: digest-identical to untraced, with the merged metrics
+//! rendered as a Prometheus text exposition).
 //!
 //! A full run (no section filter) also writes the headline numbers of
 //! every section as machine-readable JSON to `BENCH_report.json` at the
@@ -421,6 +423,83 @@ fn main() {
                 "full_reexecuted": full_reexec as i64,
                 "selective_reexecuted": sel_reexec as i64,
                 "speedup": format!("{:.2}", full_wall.as_secs_f64() / sel_wall.as_secs_f64()),
+            }),
+        );
+    }
+
+    if want("obs") {
+        // The observability plane on the Figure 4 recovery: the same
+        // scenario run twice — causal tracing on and off — must land on
+        // identical digests, and the traced run's merged metrics render
+        // as a Prometheus text exposition (what `aire-noded --metrics`
+        // scrapes from a live daemon).
+        let cfg = AskbotWorkload {
+            legit_users: 10,
+            questions_per_user: 2,
+            oauth_signups: 2,
+        };
+        let traced = askbot_attack::setup_with(
+            &cfg,
+            ControllerConfig {
+                tracing: true,
+                ..ControllerConfig::default()
+            },
+        );
+        askbot_attack::repair(&traced);
+        traced.world.settle();
+        let plain = askbot_attack::setup(&cfg);
+        askbot_attack::repair(&plain);
+        plain.world.settle();
+        let digest = |world: &World, s: &str| match world.invoke_admin(s, AdminOp::Digest) {
+            Ok(AdminResponse::Digest { digest }) => digest,
+            other => panic!("digest over the wire failed: {other:?}"),
+        };
+        for s in askbot_attack::SERVICES {
+            assert_eq!(
+                digest(&traced.world, s),
+                digest(&plain.world, s),
+                "tracing must not change what {s} recovers to"
+            );
+        }
+        let mut merged = aire_obs::MetricsSnapshot::default();
+        let mut spans = 0usize;
+        let mut dropped = 0u64;
+        for s in askbot_attack::SERVICES {
+            match traced.world.invoke_admin(s, AdminOp::MetricsSnapshot) {
+                Ok(AdminResponse::Metrics { snapshot }) => merged.merge(&snapshot),
+                other => panic!("metrics_snapshot over the wire failed: {other:?}"),
+            }
+            match traced.world.invoke_admin(s, AdminOp::TraceDump) {
+                Ok(AdminResponse::Trace {
+                    spans: s,
+                    dropped: d,
+                }) => {
+                    spans += s.len();
+                    dropped += d;
+                }
+                other => panic!("trace_dump over the wire failed: {other:?}"),
+            }
+        }
+        let exposition = aire_obs::render_prometheus(&merged);
+        println!(
+            "Observability: Figure 4 traced recovery digests identical to untraced; \
+             {spans} spans retained ({dropped} dropped), {} counter / {} gauge / {} \
+             histogram series merged across services:\n",
+            merged.counters.len(),
+            merged.gauges.len(),
+            merged.histograms.len()
+        );
+        println!("{exposition}");
+        summary.set(
+            "obs",
+            jv!({
+                "spans": spans as i64,
+                "spans_dropped": dropped as i64,
+                "counter_series": merged.counters.len() as i64,
+                "gauge_series": merged.gauges.len() as i64,
+                "histogram_series": merged.histograms.len() as i64,
+                "requests_total": merged.counters["aire_requests_total"] as i64,
+                "repair_msgs_sent_total": merged.counters["aire_repair_msgs_sent_total"] as i64,
             }),
         );
     }

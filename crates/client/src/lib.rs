@@ -579,6 +579,24 @@ impl AdminClient {
             other => self.unexpected("notices", other),
         }
     }
+
+    /// The merged metrics snapshot (counters, gauges, histograms). On a
+    /// sharded daemon this is the sum over every worker's registry.
+    pub fn metrics_snapshot(&self) -> AireResult<aire_obs::MetricsSnapshot> {
+        match self.invoke(AdminOp::MetricsSnapshot)? {
+            AdminResponse::Metrics { snapshot } => Ok(snapshot),
+            other => self.unexpected("metrics_snapshot", other),
+        }
+    }
+
+    /// The retained trace spans and how many were evicted from the span
+    /// ring. Spans from a sharded daemon arrive sorted by (trace, span).
+    pub fn trace_dump(&self) -> AireResult<(Vec<aire_obs::Span>, u64)> {
+        match self.invoke(AdminOp::TraceDump)? {
+            AdminResponse::Trace { spans, dropped } => Ok((spans, dropped)),
+            other => self.unexpected("trace_dump", other),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 use aire_http::aire::RepairKind;
 use aire_http::{Headers, HttpRequest, Method, Status, Url};
 use aire_net::Network;
+use aire_obs::{MetricsSnapshot, Span};
 use aire_types::{AireError, AireResult, Jv, LogicalTime, MsgId, RequestId};
 use aire_vdb::{Filter, RowKey};
 use aire_web::RepairProblem;
@@ -120,6 +121,13 @@ pub enum AdminOp {
         /// The intrusion point (a past request on this service).
         request_id: RequestId,
     },
+    /// A merged image of the metrics registry — counters, gauges and
+    /// histograms, shard-merged under the barrier front. Renders as
+    /// Prometheus text via `aire_obs::render_prometheus`.
+    MetricsSnapshot,
+    /// The retained span ring plus its drop counter, for assembling
+    /// cross-service trace trees after a flush.
+    TraceDump,
     /// Several operations in one carrier frame, executed in order. Each
     /// sub-operation is authorized individually; the first failure aborts
     /// the rest (their results are simply absent from the response). A
@@ -147,6 +155,8 @@ const OP_NAMES: &[&str] = &[
     "notices",
     "taint_stats",
     "taint_closure",
+    "metrics_snapshot",
+    "trace_dump",
     "batch",
 ];
 
@@ -170,6 +180,8 @@ impl AdminOp {
             AdminOp::Notices => "notices",
             AdminOp::TaintStats => "taint_stats",
             AdminOp::TaintClosure { .. } => "taint_closure",
+            AdminOp::MetricsSnapshot => "metrics_snapshot",
+            AdminOp::TraceDump => "trace_dump",
             AdminOp::Batch { .. } => "batch",
         }
     }
@@ -218,7 +230,9 @@ impl AdminOp {
             | AdminOp::Stats
             | AdminOp::Digest
             | AdminOp::Notices
-            | AdminOp::TaintStats => {}
+            | AdminOp::TaintStats
+            | AdminOp::MetricsSnapshot
+            | AdminOp::TraceDump => {}
         }
         m
     }
@@ -287,6 +301,8 @@ impl AdminOp {
                 request_id: RequestId::parse(v.str_of("request_id"))
                     .ok_or("admin op \"taint_closure\": missing or malformed \"request_id\"")?,
             },
+            "metrics_snapshot" => AdminOp::MetricsSnapshot,
+            "trace_dump" => AdminOp::TraceDump,
             "batch" => {
                 let ops = v
                     .get("ops")
@@ -461,6 +477,51 @@ impl AdminStats {
     }
 }
 
+/// Per-shard attribution inside a merged `taint_stats` response: the
+/// same four graph counts, but for one worker's log slice, so a skewed
+/// closure (one shard holding most of the taint) is visible instead of
+/// being averaged away by the summed totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTaint {
+    /// The worker index (0 for an unsharded controller).
+    pub shard: u32,
+    /// Live actions in this shard's log slice.
+    pub actions: usize,
+    /// Distinct rows with a recorded access edge on this shard.
+    pub rows: usize,
+    /// Distinct (request, row) read edges on this shard.
+    pub read_edges: usize,
+    /// Distinct (request, row) write edges on this shard.
+    pub write_edges: usize,
+}
+
+impl ShardTaint {
+    /// Lossless serialization.
+    pub fn to_jv(&self) -> Jv {
+        let mut m = Jv::map();
+        m.set("shard", Jv::i(self.shard as i64));
+        m.set("actions", Jv::i(self.actions as i64));
+        m.set("rows", Jv::i(self.rows as i64));
+        m.set("read_edges", Jv::i(self.read_edges as i64));
+        m.set("write_edges", Jv::i(self.write_edges as i64));
+        m
+    }
+
+    /// Parses the form produced by [`ShardTaint::to_jv`].
+    pub fn from_jv(v: &Jv) -> Result<ShardTaint, String> {
+        Ok(ShardTaint {
+            shard: v
+                .get("shard")
+                .as_int()
+                .ok_or("shard taint entry: missing \"shard\"")? as u32,
+            actions: v.int_of("actions") as usize,
+            rows: v.int_of("rows") as usize,
+            read_edges: v.int_of("read_edges") as usize,
+            write_edges: v.int_of("write_edges") as usize,
+        })
+    }
+}
+
 /// The typed result of one [`AdminOp`], carried back as the HTTP
 /// response body. Failures travel as HTTP error statuses, not as a
 /// variant — a non-OK response never decodes as an `AdminResponse`.
@@ -536,6 +597,10 @@ pub enum AdminResponse {
         /// The controller's configured repair scope
         /// (`reactive`/`full`/`selective`).
         scope: String,
+        /// Per-shard attribution (one entry per worker, ascending shard
+        /// index; a single entry for an unsharded controller), so the
+        /// summed totals above cannot hide a skewed closure.
+        shards: Vec<ShardTaint>,
     },
     /// `taint_closure`: the selective-repair footprint of one request.
     TaintClosure {
@@ -544,6 +609,19 @@ pub enum AdminResponse {
         /// Requests in the closure, in execution order (includes the
         /// seed).
         tainted: Vec<RequestId>,
+    },
+    /// `metrics_snapshot`: the merged metrics-registry image.
+    Metrics {
+        /// Counters, gauges and histograms; render with
+        /// `aire_obs::render_prometheus`.
+        snapshot: MetricsSnapshot,
+    },
+    /// `trace_dump`: the retained span ring.
+    Trace {
+        /// Retained spans, oldest first (shard-merged in sharded mode).
+        spans: Vec<Span>,
+        /// Spans evicted from the ring(s) since tracing began.
+        dropped: u64,
     },
     /// `batch`: one result per completed sub-operation, in order.
     Batch {
@@ -570,6 +648,8 @@ impl AdminResponse {
             AdminResponse::Notices { .. } => "notices",
             AdminResponse::TaintStats { .. } => "taint_stats",
             AdminResponse::TaintClosure { .. } => "taint_closure",
+            AdminResponse::Metrics { .. } => "metrics",
+            AdminResponse::Trace { .. } => "trace",
             AdminResponse::Batch { .. } => "batch",
         }
     }
@@ -632,12 +712,14 @@ impl AdminResponse {
                 read_edges,
                 write_edges,
                 scope,
+                shards,
             } => {
                 m.set("actions", Jv::i(*actions as i64));
                 m.set("rows", Jv::i(*rows as i64));
                 m.set("read_edges", Jv::i(*read_edges as i64));
                 m.set("write_edges", Jv::i(*write_edges as i64));
                 m.set("scope", Jv::s(scope.clone()));
+                m.set("shards", Jv::list(shards.iter().map(|s| s.to_jv())));
             }
             AdminResponse::TaintClosure { total, tainted } => {
                 m.set("total", Jv::i(*total as i64));
@@ -645,6 +727,13 @@ impl AdminResponse {
                     "tainted",
                     Jv::list(tainted.iter().map(|rid| Jv::s(rid.wire()))),
                 );
+            }
+            AdminResponse::Metrics { snapshot } => {
+                m.set("snapshot", snapshot.to_jv());
+            }
+            AdminResponse::Trace { spans, dropped } => {
+                m.set("spans", Jv::list(spans.iter().map(|s| s.to_jv())));
+                m.set("dropped", Jv::i(*dropped as i64));
             }
             AdminResponse::Batch { results } => {
                 m.set("results", Jv::list(results.iter().map(|r| r.to_jv())));
@@ -736,6 +825,14 @@ impl AdminResponse {
                 read_edges: count("read_edges")?,
                 write_edges: count("write_edges")?,
                 scope: v.str_of("scope").to_string(),
+                // Tolerant of pre-breakdown peers: missing list → empty.
+                shards: v
+                    .get("shards")
+                    .as_list()
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(ShardTaint::from_jv)
+                    .collect::<Result<_, _>>()?,
             },
             "taint_closure" => AdminResponse::TaintClosure {
                 total: count("total")?,
@@ -749,6 +846,19 @@ impl AdminResponse {
                             .ok_or("admin response: bad tainted request_id")
                     })
                     .collect::<Result<_, _>>()?,
+            },
+            "metrics" => AdminResponse::Metrics {
+                snapshot: MetricsSnapshot::from_jv(v.get("snapshot")),
+            },
+            "trace" => AdminResponse::Trace {
+                spans: v
+                    .get("spans")
+                    .as_list()
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|s| Span::from_jv(s).ok_or("admin response: bad span entry"))
+                    .collect::<Result<_, _>>()?,
+                dropped: v.int_of("dropped") as u64,
             },
             "batch" => AdminResponse::Batch {
                 results: v
@@ -925,11 +1035,65 @@ mod tests {
             read_edges: 9,
             write_edges: 4,
             scope: "selective".into(),
+            shards: vec![
+                ShardTaint {
+                    shard: 0,
+                    actions: 7,
+                    rows: 3,
+                    read_edges: 5,
+                    write_edges: 2,
+                },
+                ShardTaint {
+                    shard: 1,
+                    actions: 5,
+                    rows: 2,
+                    read_edges: 4,
+                    write_edges: 2,
+                },
+            ],
         };
         assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
+        // A pre-breakdown peer's response (no "shards") still decodes.
+        let mut legacy = resp.to_jv();
+        legacy.set("shards", Jv::Null);
+        match AdminResponse::from_jv(&legacy).unwrap() {
+            AdminResponse::TaintStats { shards, .. } => assert!(shards.is_empty()),
+            other => panic!("expected taint_stats, got {other:?}"),
+        }
         let resp = AdminResponse::TaintClosure {
             total: 12,
             tainted: vec![RequestId::new("askbot", 3), RequestId::new("askbot", 7)],
+        };
+        assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
+    }
+
+    #[test]
+    fn telemetry_ops_round_trip() {
+        for op in [AdminOp::MetricsSnapshot, AdminOp::TraceDump] {
+            let carrier = op.to_carrier("askbot");
+            assert_eq!(carrier.url.path, format!("/aire/v1/admin/{}", op.name()));
+            assert_eq!(AdminOp::from_carrier(&carrier).unwrap().unwrap(), op);
+        }
+
+        let reg = aire_obs::MetricsRegistry::new();
+        reg.requests_total.add(4);
+        reg.queue_depth.set(2);
+        reg.dispatch_latency_micros.observe(120);
+        let resp = AdminResponse::Metrics {
+            snapshot: reg.snapshot(),
+        };
+        assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
+
+        let resp = AdminResponse::Trace {
+            spans: vec![Span {
+                trace_id: 5,
+                span_id: 6,
+                parent_span: 0,
+                service: "askbot".into(),
+                shard: Some(1),
+                name: "flush_queue".into(),
+            }],
+            dropped: 3,
         };
         assert_eq!(AdminResponse::from_jv(&resp.to_jv()).unwrap(), resp);
     }

@@ -9,6 +9,7 @@ use aire_http::aire::{self, RepairKind};
 use aire_http::{Headers, HttpRequest, HttpResponse, Status, Url};
 use aire_log::{ActionStatus, RepairLog};
 use aire_net::{Endpoint, Network};
+use aire_obs::{Obs, TraceContext, TRACE_HEADER};
 use aire_types::time::TimeSource;
 use aire_types::{
     jv, AireError, AireResult, DetRng, Jv, LogicalTime, MsgId, RequestId, ResponseId, ServiceName,
@@ -74,6 +75,11 @@ pub struct ControllerConfig {
     /// `Selective` (pre-schedule the taint-graph closure and skip the
     /// rest). See [`crate::taint`].
     pub repair_scope: RepairScope,
+    /// Record causal trace spans and stamp `Aire-Trace` headers on repair
+    /// carriers. Tracing never touches recorded history or responses, so
+    /// state digests are byte-identical with it on or off; the metrics
+    /// registry runs regardless of this knob.
+    pub tracing: bool,
 }
 
 impl Default for ControllerConfig {
@@ -85,6 +91,7 @@ impl Default for ControllerConfig {
             flush: FlushStrategy::Batched { batch: 256 },
             shard: (0, 1),
             repair_scope: RepairScope::default(),
+            tracing: false,
         }
     }
 }
@@ -198,12 +205,26 @@ pub struct Controller {
     router: Router,
     net: Network,
     config: ControllerConfig,
+    obs: Rc<Obs>,
 }
 
 impl Controller {
     /// Creates a controller for `app`, initializing its tables, and
     /// returns it ready for registration on the network.
     pub fn new(app: Rc<dyn App>, net: Network, config: ControllerConfig) -> Rc<Controller> {
+        let obs = Self::make_obs(app.name(), &config);
+        Self::new_with_obs(app, net, config, obs)
+    }
+
+    /// Like [`Controller::new`], but sharing an existing observability
+    /// plane — a sharded daemon hands each worker a per-shard [`Obs`] so
+    /// its transport and controller write into the same registry.
+    pub fn new_with_obs(
+        app: Rc<dyn App>,
+        net: Network,
+        config: ControllerConfig,
+        obs: Rc<Obs>,
+    ) -> Rc<Controller> {
         let name = ServiceName::new(app.name());
         let mut store = VersionedStore::new();
         for schema in app.schemas() {
@@ -238,12 +259,27 @@ impl Controller {
             app,
             router,
             net,
+            obs,
         })
+    }
+
+    /// Builds the per-(service, shard) observability plane a controller
+    /// at `config` would own — shared with the sharded runtime so a
+    /// worker can hand the same registry to its outgoing transports.
+    pub(crate) fn make_obs(service: &str, config: &ControllerConfig) -> Rc<Obs> {
+        let shard = (config.shard.1 > 1).then_some(config.shard.0);
+        Rc::new(Obs::new(service, shard, config.tracing))
     }
 
     /// The service's name.
     pub fn name(&self) -> ServiceName {
         self.core.borrow().name.clone()
+    }
+
+    /// This controller's observability plane: trace-span ring buffer and
+    /// lock-free metrics registry.
+    pub fn obs(&self) -> &Rc<Obs> {
+        &self.obs
     }
 
     /// Serializes the controller's entire durable state — versioned store,
@@ -378,12 +414,14 @@ impl Controller {
     ) -> Result<Rc<Controller>, String> {
         let core = Self::core_from_snapshot(app.as_ref(), snap, config.shard)?;
         let router = app.router();
+        let obs = Self::make_obs(app.name(), &config);
         Ok(Rc::new(Controller {
             core: RefCell::new(core),
             app,
             router,
             net,
             config,
+            obs,
         }))
     }
 
@@ -533,6 +571,7 @@ impl Controller {
             admin_notices,
             notifications,
             coarse_scan_taint: self.config.coarse_scan_taint,
+            obs: Some(&self.obs),
         };
         let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
         for seed in seeds {
@@ -564,7 +603,10 @@ impl Controller {
 
     fn do_gc(&self, horizon: LogicalTime) -> usize {
         let mut core = self.core.borrow_mut();
-        core.store.gc(horizon);
+        let versions = core.store.gc(horizon);
+        let reg = self.obs.registry();
+        reg.gc_runs_total.incr();
+        reg.gc_versions_dropped_total.add(versions as u64);
         core.log.gc(horizon)
     }
 
@@ -650,7 +692,12 @@ impl Controller {
         );
         core.log.record(record);
         core.stats.normal_requests += 1;
-        core.stats.normal_wall += started.elapsed();
+        let elapsed = started.elapsed();
+        core.stats.normal_wall += elapsed;
+        let reg = self.obs.registry();
+        reg.requests_total.incr();
+        reg.dispatch_latency_micros
+            .observe(elapsed.as_micros() as u64);
         response
     }
 
@@ -661,6 +708,8 @@ impl Controller {
     /// the local repair engine, runs it to completion, and returns the
     /// protocol-level acknowledgement.
     pub fn receive_repair(&self, msg: RepairMessage) -> HttpResponse {
+        self.obs.start("apply_repair");
+        self.obs.registry().repair_msgs_received_total.incr();
         let mut core = self.core.borrow_mut();
         match self.apply_repair_locked(&mut core, msg) {
             Ok(ack) => ack,
@@ -865,6 +914,7 @@ impl Controller {
             admin_notices,
             notifications,
             coarse_scan_taint: self.config.coarse_scan_taint,
+            obs: Some(&self.obs),
         };
         let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
         let acked_id = match seed {
@@ -1064,6 +1114,7 @@ impl Controller {
             admin_notices,
             notifications,
             coarse_scan_taint: self.config.coarse_scan_taint,
+            obs: Some(&self.obs),
         };
         let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
         engine.schedule_reexec(time, None);
@@ -1165,13 +1216,32 @@ impl Controller {
     }
 
     fn send_carrier(&self, msg: &QueuedRepair) -> SendOutcome {
-        let carrier = match RepairMessage::with_credentials(msg.op.clone(), msg.credentials.clone())
-            .to_carrier(msg.target.as_str())
-        {
-            Ok(c) => c,
-            Err(e) => return self.permanent_failure(msg, &e.to_string()),
-        };
+        let mut carrier =
+            match RepairMessage::with_credentials(msg.op.clone(), msg.credentials.clone())
+                .to_carrier(msg.target.as_str())
+            {
+                Ok(c) => c,
+                Err(e) => return self.permanent_failure(msg, &e.to_string()),
+            };
+        self.stamp_trace_from(&mut carrier, "send_repair", msg.trace);
         self.absorb_send_outcome(msg, self.net.deliver(&carrier))
+    }
+
+    /// Records a send span and stamps its context onto `carrier` so the
+    /// receiving controller can parent its own spans under it. The span
+    /// parents under `cause` — the queued message's enqueue-time context
+    /// — when one exists; the ambient context is the fallback, so a
+    /// message whose repair pass ran untraced still joins the flush
+    /// delivering it, while a message enqueued inside a traced receive
+    /// stays in the originating request's tree even when the pump (no
+    /// ambient) or a later flush drives the send. A no-op when tracing
+    /// is off: the carrier bytes are then identical to the pre-tracing
+    /// wire format.
+    fn stamp_trace_from(&self, carrier: &mut HttpRequest, name: &str, cause: Option<TraceContext>) {
+        let parent = cause.or_else(|| self.obs.current());
+        if let Some(ctx) = self.obs.start_from(parent, name) {
+            carrier.headers.set(TRACE_HEADER, ctx.wire());
+        }
     }
 
     /// Folds the delivery result of one repair carrier into the queue:
@@ -1240,10 +1310,11 @@ impl Controller {
             (notifier, token)
         };
         let name = self.core.borrow().name.clone();
-        let notify = HttpRequest::post(
+        let mut notify = HttpRequest::post(
             notifier,
             jv!({"token": token.clone(), "server": name.as_str()}),
         );
+        self.stamp_trace_from(&mut notify, "notify_repair", msg.trace);
         let outcome = match self.net.deliver(&notify) {
             Ok(resp) if resp.status == Status::OK => self.delivered(msg),
             Ok(resp) if resp.status == Status::UNAUTHORIZED => self.hold_for_credentials(msg),
@@ -1262,6 +1333,7 @@ impl Controller {
         let mut core = self.core.borrow_mut();
         core.outgoing.remove(msg.msg_id);
         core.stats.repair_messages_sent += 1;
+        self.obs.registry().repair_msgs_sent_total.incr();
         SendOutcome::Delivered
     }
 
@@ -1346,6 +1418,20 @@ impl Controller {
     /// [`Controller::absorb_send_outcome`], so queue state transitions are
     /// byte-identical regardless of how the messages traveled.
     fn do_flush_queue(&self) -> (usize, usize, usize) {
+        // The flush span is the root of a repair trace tree (or a child,
+        // when the flush itself was triggered by a traced admin carrier):
+        // every carrier this sweep stamps parents under it, and every
+        // receiving controller's spans parent under those.
+        let flush_span = self.obs.start("flush_queue");
+        let prev = flush_span.map(|ctx| self.obs.set_current(Some(ctx)));
+        let tally = self.flush_queue_inner();
+        if let Some(p) = prev {
+            self.obs.set_current(p);
+        }
+        tally
+    }
+
+    fn flush_queue_inner(&self) -> (usize, usize, usize) {
         let mut tally = (0usize, 0usize, 0usize);
         fn count(tally: &mut (usize, usize, usize), outcome: SendOutcome) {
             match outcome {
@@ -1402,7 +1488,10 @@ impl Controller {
                         RepairMessage::with_credentials(msg.op.clone(), msg.credentials.clone())
                             .to_carrier(msg.target.as_str());
                     match carrier {
-                        Ok(c) => staged.push((msg, c)),
+                        Ok(mut c) => {
+                            self.stamp_trace_from(&mut c, "send_repair", msg.trace);
+                            staged.push((msg, c));
+                        }
                         Err(e) => count(&mut tally, self.permanent_failure(&msg, &e.to_string())),
                     }
                 }
@@ -1431,7 +1520,15 @@ impl Controller {
                             })
                             .collect();
                         match RepairBatch::new(wire_msgs).to_carrier(target.as_str()) {
-                            Ok(c) => staged.push((chunk.to_vec(), c)),
+                            Ok(mut c) => {
+                                // A batch carrier has one wire slot for a
+                                // context; the oldest annotated member's
+                                // tree claims the batch.
+                                let cause = chunk.iter().find_map(|m| m.trace);
+                                self.stamp_trace_from(&mut c, "send_repair_batch", cause);
+                                self.obs.registry().repair_batches_sent_total.incr();
+                                staged.push((chunk.to_vec(), c));
+                            }
                             // A message the batch carrier rejects (e.g. a
                             // misaddressed embed) still gets its own round
                             // trip and its own failure accounting.
@@ -1599,6 +1696,7 @@ impl Controller {
             admin_notices,
             notifications,
             coarse_scan_taint: self.config.coarse_scan_taint,
+            obs: Some(&self.obs),
         };
         let mut engine = RepairEngine::new(state, self.app.as_ref(), &self.router);
         for t in times {
@@ -1703,6 +1801,16 @@ impl Controller {
                     read_edges: graph.read_edges as usize,
                     write_edges: graph.write_edges as usize,
                     scope: self.config.repair_scope.name().to_string(),
+                    // An unsharded controller reports itself as shard 0 of
+                    // 1; the shard front concatenates these so per-shard
+                    // attribution survives the merge.
+                    shards: vec![admin::ShardTaint {
+                        shard: self.config.shard.0,
+                        actions: core.log.len(),
+                        rows: graph.rows as usize,
+                        read_edges: graph.read_edges as usize,
+                        write_edges: graph.write_edges as usize,
+                    }],
                 })
             }
             AdminOp::TaintClosure { request_id } => {
@@ -1729,6 +1837,37 @@ impl Controller {
                         .collect(),
                 })
             }
+            AdminOp::MetricsSnapshot => {
+                // Gauges describe *current* state, so they are refreshed
+                // from the core at snapshot time rather than maintained
+                // incrementally on every mutation.
+                {
+                    let core = self.core.borrow();
+                    let graph = core.log.access().stats();
+                    let reg = self.obs.registry();
+                    reg.queue_depth.set(core.outgoing.len() as i64);
+                    reg.log_actions.set(core.log.len() as i64);
+                    reg.taint_rows.set(graph.rows as i64);
+                    reg.taint_read_edges.set(graph.read_edges as i64);
+                    reg.taint_write_edges.set(graph.write_edges as i64);
+                    // How far GC trails the newest observed logical time,
+                    // in major ticks.
+                    reg.gc_horizon_lag.set(
+                        core.time
+                            .now()
+                            .major
+                            .saturating_sub(core.log.gc_horizon().major)
+                            as i64,
+                    );
+                }
+                Ok(AdminResponse::Metrics {
+                    snapshot: self.obs.metrics_snapshot(),
+                })
+            }
+            AdminOp::TraceDump => Ok(AdminResponse::Trace {
+                spans: self.obs.spans(),
+                dropped: self.obs.spans_dropped(),
+            }),
             AdminOp::Batch { ops } => {
                 let total = ops.len();
                 let mut results = Vec::with_capacity(total);
@@ -1802,6 +1941,27 @@ impl Controller {
 
 impl Endpoint for Controller {
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        // Trace plumbing runs before any routing: the inbound context is
+        // captured for span parentage, and the header never reaches
+        // recorded state — a traced run stays byte-identical to an
+        // untraced one. The capture is read-only; the strip happens in
+        // `route`, on the one arm that records the raw request, so a
+        // repair carrier (whose embedded requests shed the header in
+        // `from_carrier`) is not deep-cloned just to drop one header.
+        if let Some(raw) = req.headers.get(TRACE_HEADER) {
+            let parent = TraceContext::parse(raw);
+            let received = self.obs.start_from(parent, "receive");
+            let prev = self.obs.set_current(received);
+            let resp = self.route(req);
+            self.obs.set_current(prev);
+            return resp;
+        }
+        self.route(req)
+    }
+}
+
+impl Controller {
+    fn route(&self, req: &HttpRequest) -> HttpResponse {
         // The control plane (served on the operator listener,
         // `Network::deliver_admin`).
         if req.url.path.starts_with(admin::ADMIN_PREFIX) {
@@ -1825,7 +1985,19 @@ impl Endpoint for Controller {
             Ok(None) => {}
             Err(e) => return error_response(&e),
         }
-        // Normal requests.
+        // Normal requests. Only this arm records the raw request into
+        // history, so only it pays a clone to shed an inbound trace
+        // header (unconditional on header presence: a traced peer may
+        // call an untraced controller, and the header must not enter
+        // recorded history either way). The plumbing endpoints above
+        // read nothing but body and query from the outer request, and
+        // carrier payloads strip their embedded copies in
+        // `from_carrier`.
+        if req.headers.get(TRACE_HEADER).is_some() {
+            let mut clean = req.clone();
+            clean.headers.remove(TRACE_HEADER);
+            return self.execute_normal(&clean);
+        }
         self.execute_normal(req)
     }
 }

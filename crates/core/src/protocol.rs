@@ -463,6 +463,11 @@ fn strip_marker_headers(req: &mut HttpRequest) {
     req.headers.remove(aire::REQUEST_ID);
     req.headers.remove(aire::BEFORE_ID);
     req.headers.remove(aire::AFTER_ID);
+    // Trace contexts ride carriers for span parentage only; the endpoint
+    // strips them before decoding, and this second strip keeps a stamped
+    // carrier handed straight to `receive_repair` from leaking the header
+    // into recorded history.
+    req.headers.remove(aire_obs::TRACE_HEADER);
 }
 
 fn required_request_id(req: &HttpRequest) -> Result<RequestId, AireError> {

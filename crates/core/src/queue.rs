@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 
 use aire_http::Headers;
+use aire_obs::TraceContext;
 use aire_types::{MsgId, RequestId, ResponseId, ServiceName};
 
 use crate::protocol::RepairOp;
@@ -56,6 +57,13 @@ pub struct QueuedRepair {
     /// Whether the application has already been notified about the
     /// current failure episode (avoids duplicate notifications).
     pub notified: bool,
+    /// Causal trace context of the repair pass that enqueued the message,
+    /// when that pass ran with tracing on. Delivery parents its send span
+    /// here even when the pump (which has no ambient context) drives the
+    /// send, keeping one repair's fan-out a single trace tree. In-memory
+    /// only: excluded from [`OutgoingQueues::snapshot`] so queue bytes —
+    /// and therefore digests — are identical with tracing on or off.
+    pub trace: Option<TraceContext>,
 }
 
 /// The per-service set of outgoing queues.
@@ -105,6 +113,7 @@ impl OutgoingQueues {
             last_error: None,
             held: false,
             notified: false,
+            trace: None,
         });
         msg_id
     }
@@ -254,6 +263,7 @@ impl OutgoingQueues {
                 last_error: q.get("last_error").as_str().map(|s| s.to_string()),
                 held: q.get("held").as_bool().unwrap_or(false),
                 notified: q.get("notified").as_bool().unwrap_or(false),
+                trace: None,
             };
             queues.queues.entry(target).or_default().push(msg);
         }

@@ -97,6 +97,11 @@ pub struct EngineState<'a> {
     pub notifications: &'a mut Vec<RepairProblem>,
     /// Ablation knob: taint every scan of a changed row's table.
     pub coarse_scan_taint: bool,
+    /// Observability plane, when the owning controller has one: repair
+    /// passes record a span and the re-executed/skipped counters and
+    /// taint-closure histogram. `None` leaves the engine silent (tests
+    /// that drive it directly).
+    pub obs: Option<&'a aire_obs::Obs>,
 }
 
 /// The local-repair engine for one pass.
@@ -185,6 +190,11 @@ impl<'a> RepairEngine<'a> {
             RepairScope::Selective => {
                 let seeds: Vec<LogicalTime> = self.agenda.keys().copied().collect();
                 let closure = tainted_closure(self.state.log, seeds, self.state.coarse_scan_taint);
+                if let Some(obs) = self.state.obs {
+                    obs.registry()
+                        .taint_closure_size
+                        .observe(closure.len() as u64);
+                }
                 for t in closure {
                     // Spliced create times are not in the log yet; their
                     // agenda entries already carry the right plan.
@@ -200,6 +210,13 @@ impl<'a> RepairEngine<'a> {
     /// processed.
     pub fn run(mut self) -> usize {
         let started = Instant::now();
+        if let Some(obs) = self.state.obs {
+            obs.start("repair_pass");
+        }
+        // Everything live in the log was a *candidate* for this pass;
+        // whatever the agenda never touches was skipped — the savings
+        // selective re-execution exists to create.
+        let candidates = self.state.log.actions().filter(|a| !a.is_deleted()).count();
         let mut processed = 0;
         let mut last_time = LogicalTime::ZERO;
         while let Some((&time, _)) = self.agenda.iter().next() {
@@ -208,6 +225,12 @@ impl<'a> RepairEngine<'a> {
             last_time = time;
             self.process(time, plan);
             processed += 1;
+        }
+        if let Some(obs) = self.state.obs {
+            let reg = obs.registry();
+            reg.repair_ops_reexecuted_total.add(processed as u64);
+            reg.repair_ops_skipped_total
+                .add(candidates.saturating_sub(processed) as u64);
         }
         self.state.stats.repaired_requests += processed as u64;
         self.state.stats.repair_wall += started.elapsed();
@@ -523,6 +546,26 @@ impl<'a> RepairEngine<'a> {
 
     //////// Repair-message planning. ////////
 
+    /// Enqueues an outgoing repair message and annotates it with the
+    /// ambient trace context, so a later pump- or flush-driven delivery
+    /// can parent its send span under the repair pass that caused the
+    /// message (the annotation never reaches snapshots or digests).
+    fn enqueue_outgoing(
+        &mut self,
+        target: ServiceName,
+        key: QueueKey,
+        op: RepairOp,
+        credentials: aire_http::Headers,
+    ) -> MsgId {
+        let msg_id = self.state.outgoing.enqueue(target, key, op, credentials);
+        if let Some(ctx) = self.state.obs.and_then(|obs| obs.current()) {
+            if let Some(queued) = self.state.outgoing.get_mut(msg_id) {
+                queued.trace = Some(ctx);
+            }
+        }
+        msg_id
+    }
+
     fn credentials_of(request: &HttpRequest) -> aire_http::Headers {
         let mut creds = aire_http::Headers::new();
         for name in ["authorization", "cookie"] {
@@ -541,7 +584,7 @@ impl<'a> RepairEngine<'a> {
                     request_id: remote_id.clone(),
                     new_request: call.request.clone(),
                 };
-                self.state.outgoing.enqueue(
+                self.enqueue_outgoing(
                     ServiceName::new(call.target()),
                     key,
                     op,
@@ -578,7 +621,7 @@ impl<'a> RepairEngine<'a> {
             before_id,
             after_id,
         };
-        self.state.outgoing.enqueue(
+        self.enqueue_outgoing(
             ServiceName::new(target),
             QueueKey::ByCall(call.response_id.clone()),
             op,
@@ -593,7 +636,7 @@ impl<'a> RepairEngine<'a> {
                 let op = RepairOp::Delete {
                     request_id: remote_id.clone(),
                 };
-                self.state.outgoing.enqueue(
+                self.enqueue_outgoing(
                     ServiceName::new(call.target()),
                     key,
                     op,
@@ -622,7 +665,7 @@ impl<'a> RepairEngine<'a> {
             response_id,
             new_response: record.response.clone(),
         };
-        self.state.outgoing.enqueue(
+        self.enqueue_outgoing(
             ServiceName::new(notifier.host.clone()),
             QueueKey::ByAction(record.id.clone()),
             op,

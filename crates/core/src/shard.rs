@@ -182,6 +182,10 @@ pub struct WorkerSetup {
     pub workers: usize,
     /// The worker's job pump, for wiring into outgoing transports.
     pub pump: WorkerPump,
+    /// The first hosted service's per-shard metrics registry — hand it
+    /// to outgoing transports (`set_metrics_registry`) so this worker's
+    /// connection-pool counters surface in `metrics_snapshot` merges.
+    pub registry: Arc<aire_obs::MetricsRegistry>,
 }
 
 /// Everything needed to spawn the shard workers. The factories are
@@ -359,6 +363,27 @@ fn worker_main(
         jobs,
         stopped: Cell::new(false),
     });
+    // Build each hosted service's observability plane up front: the
+    // setup hook (which runs before the controllers exist) gets the
+    // primary service's registry, so the worker's peer transports can
+    // account pool dials/reuses/retries into the same snapshot the
+    // controller's admin plane serves.
+    let apps_list = apps();
+    let shard_config = |app: &Rc<dyn App>| {
+        let mut config = config.clone();
+        if app.sharded() {
+            config.shard = (shard as u32, workers as u32);
+        }
+        config
+    };
+    let obs_list: Vec<_> = apps_list
+        .iter()
+        .map(|(name, app)| Controller::make_obs(name, &shard_config(app)))
+        .collect();
+    let registry = obs_list
+        .first()
+        .map(|obs| obs.registry().clone())
+        .unwrap_or_else(|| Arc::new(aire_obs::MetricsRegistry::new()));
     // Peers first (hosted services registered below override same-name
     // peer entries — local beats remote, as in the unsharded daemon).
     let _keep = setup(WorkerSetup {
@@ -368,13 +393,11 @@ fn worker_main(
         pump: WorkerPump {
             shared: shared.clone(),
         },
+        registry,
     });
-    for (name, app) in apps() {
-        let mut config = config.clone();
-        if app.sharded() {
-            config.shard = (shard as u32, workers as u32);
-        }
-        let controller = Controller::new(app, net.clone(), config);
+    for ((name, app), obs) in apps_list.into_iter().zip(obs_list) {
+        let config = shard_config(&app);
+        let controller = Controller::new_with_obs(app, net.clone(), config, obs);
         net.register(name, controller);
     }
     while !shared.stopped.get() {
@@ -1044,6 +1067,7 @@ fn merge_admin(op: &AdminOp, parts: Vec<AdminResponse>) -> Option<AdminResponse>
         AdminOp::TaintStats => {
             let (mut actions, mut rows, mut read_edges, mut write_edges) = (0, 0, 0, 0);
             let mut scope = String::new();
+            let mut shards = Vec::new();
             for p in &parts {
                 let AdminResponse::TaintStats {
                     actions: a,
@@ -1051,6 +1075,7 @@ fn merge_admin(op: &AdminOp, parts: Vec<AdminResponse>) -> Option<AdminResponse>
                     read_edges: re,
                     write_edges: we,
                     scope: s,
+                    shards: sh,
                 } = p
                 else {
                     return None;
@@ -1062,14 +1087,51 @@ fn merge_admin(op: &AdminOp, parts: Vec<AdminResponse>) -> Option<AdminResponse>
                 if scope.is_empty() {
                     scope = s.clone();
                 }
+                // Keep per-shard attribution across the merge: totals
+                // alone cannot say *which* worker owns a hot taint graph.
+                shards.extend(sh.iter().cloned());
             }
+            shards.sort_by_key(|s| s.shard);
             AdminResponse::TaintStats {
                 actions,
                 rows,
                 read_edges,
                 write_edges,
                 scope,
+                shards,
             }
+        }
+        AdminOp::MetricsSnapshot => {
+            // Snapshot merge is elementwise and commutative
+            // (`MetricsSnapshot::merge`), so worker order cannot change
+            // the merged exposition.
+            let mut merged = aire_obs::MetricsSnapshot::default();
+            for p in &parts {
+                let AdminResponse::Metrics { snapshot } = p else {
+                    return None;
+                };
+                merged.merge(snapshot);
+            }
+            AdminResponse::Metrics { snapshot: merged }
+        }
+        AdminOp::TraceDump => {
+            let mut spans = Vec::new();
+            let mut dropped = 0;
+            for p in parts {
+                let AdminResponse::Trace {
+                    spans: s,
+                    dropped: d,
+                } = p
+                else {
+                    return None;
+                };
+                spans.extend(s);
+                dropped += d;
+            }
+            // Deterministic order regardless of worker count: by trace,
+            // then span id (ids are unique per service seed).
+            spans.sort_by_key(|s| (s.trace_id, s.span_id));
+            AdminResponse::Trace { spans, dropped }
         }
         // Handled before decoding (any-success-wins on raw responses):
         // the seed request lives on exactly one shard and the

@@ -22,6 +22,11 @@
 //!    | "AIRE" | 0x03 | kind | request id | shard | payload len | payload |
 //!    | 4 B    | 1 B  | 1 B  | 8 B BE     | 2 B BE| 4 B BE      | len B   |
 //!    +--------+------+------+------------+-------+-------------+---------+
+//!
+//! v4 +--------+------+------+------------+-------+----------+-------------+-------------+---------+
+//!    | "AIRE" | 0x04 | kind | request id | shard | trace id | parent span | payload len | payload |
+//!    | 4 B    | 1 B  | 1 B  | 8 B BE     | 2 B BE| 8 B BE   | 8 B BE      | 4 B BE      | len B   |
+//!    +--------+------+------+------------+-------+----------+-------------+-------------+---------+
 //! ```
 //!
 //! Version 2 differs from version 1 only by the **request id** field: a
@@ -33,9 +38,14 @@
 //! worker its request belongs to, so the server can hand the raw bytes
 //! straight to that worker without decoding the payload centrally. The
 //! sentinel `0xFFFF` ([`NO_SHARD_HINT`]) means "no hint" — the server
-//! decodes and routes as if the frame were v2. All three versions are
-//! accepted on the read side; a reply carries a tag exactly when its
-//! request did, so v1-only peers keep working unchanged.
+//! decodes and routes as if the frame were v2. Version 4 adds a 16-byte
+//! **trace field** (trace id + parent span, both 8 B BE) after the shard
+//! hint, mirroring the `Aire-Trace` header so the observability plane
+//! survives even senders that strip unknown headers; a trace id of 0
+//! means "untraced" (the encoder only emits v4 when a real context is
+//! attached). All four versions are accepted on the read side; a reply
+//! carries a tag exactly when its request did, so v1-only peers keep
+//! working unchanged.
 //!
 //! Malformed input is rejected with a [`FrameError`] that names the
 //! problem (bad magic, unknown kind, truncation with the byte counts,
@@ -70,6 +80,11 @@ pub const VERSION_2: u8 = 2;
 /// the payload length.
 pub const VERSION_3: u8 = 3;
 
+/// Wire-format version of traced frames: identical to [`VERSION_3`]
+/// plus a 16-byte trace field (trace id + parent span) between the
+/// shard hint and the payload length.
+pub const VERSION_4: u8 = 4;
+
 /// The v3 shard-hint value meaning "no hint": the server decodes and
 /// routes the payload itself, exactly as for a v2 frame.
 pub const NO_SHARD_HINT: u16 = 0xFFFF;
@@ -82,6 +97,10 @@ pub const HEADER_LEN_V2: usize = 18;
 
 /// Fixed v3 header size: [`HEADER_LEN_V2`] plus the 2-byte shard hint.
 pub const HEADER_LEN_V3: usize = 20;
+
+/// Fixed v4 header size: [`HEADER_LEN_V3`] plus the 16-byte trace
+/// field.
+pub const HEADER_LEN_V4: usize = 36;
 
 /// Maximum accepted payload size. Controller snapshots are the largest
 /// legitimate payloads; 64 MiB leaves room while bounding what a
@@ -153,9 +172,12 @@ pub struct Frame {
     /// server echoes a request's tag on its reply; an untagged request
     /// gets an untagged reply.
     pub request_id: Option<u64>,
-    /// The v3 shard hint (`Some` iff the frame was v3; the sender's
-    /// [`NO_SHARD_HINT`] arrives as `Some(NO_SHARD_HINT)`).
+    /// The v3/v4 shard hint (`Some` iff the frame was v3 or v4; the
+    /// sender's [`NO_SHARD_HINT`] arrives as `Some(NO_SHARD_HINT)`).
     pub shard_hint: Option<u16>,
+    /// The v4 trace field: `(trace_id, parent_span)`, `Some` iff the
+    /// frame was v4.
+    pub trace: Option<(u64, u64)>,
     /// The structured payload.
     pub payload: Jv,
 }
@@ -201,7 +223,7 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(v) => {
                 write!(
                     f,
-                    "unsupported frame version {v} (this node speaks {VERSION}, {VERSION_2}, and {VERSION_3})"
+                    "unsupported frame version {v} (this node speaks {VERSION}, {VERSION_2}, {VERSION_3}, and {VERSION_4})"
                 )
             }
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind byte {k}"),
@@ -224,7 +246,7 @@ impl std::error::Error for FrameError {}
 /// by the peer (and a payload beyond `u32` could never even declare its
 /// length honestly).
 pub fn encode_frame(kind: FrameKind, payload: &Jv) -> Result<Vec<u8>, FrameError> {
-    encode_frame_inner(kind, None, None, payload)
+    encode_frame_inner(kind, None, None, None, payload)
 }
 
 /// Encodes one tagged (version-2) frame. Same caps as [`encode_frame`];
@@ -235,7 +257,7 @@ pub fn encode_frame_v2(
     request_id: u64,
     payload: &Jv,
 ) -> Result<Vec<u8>, FrameError> {
-    encode_frame_inner(kind, Some(request_id), None, payload)
+    encode_frame_inner(kind, Some(request_id), None, None, payload)
 }
 
 /// Encodes one shard-hinted (version-3) frame: [`encode_frame_v2`] plus
@@ -247,13 +269,33 @@ pub fn encode_frame_v3(
     shard_hint: u16,
     payload: &Jv,
 ) -> Result<Vec<u8>, FrameError> {
-    encode_frame_inner(kind, Some(request_id), Some(shard_hint), payload)
+    encode_frame_inner(kind, Some(request_id), Some(shard_hint), None, payload)
+}
+
+/// Encodes one traced (version-4) frame: [`encode_frame_v3`] plus the
+/// 16-byte trace field `(trace_id, parent_span)`. A sender with a trace
+/// context but no shard hint passes [`NO_SHARD_HINT`].
+pub fn encode_frame_v4(
+    kind: FrameKind,
+    request_id: u64,
+    shard_hint: u16,
+    trace: (u64, u64),
+    payload: &Jv,
+) -> Result<Vec<u8>, FrameError> {
+    encode_frame_inner(
+        kind,
+        Some(request_id),
+        Some(shard_hint),
+        Some(trace),
+        payload,
+    )
 }
 
 fn encode_frame_inner(
     kind: FrameKind,
     request_id: Option<u64>,
     shard_hint: Option<u16>,
+    trace: Option<(u64, u64)>,
     payload: &Jv,
 ) -> Result<Vec<u8>, FrameError> {
     let body = payload.encode();
@@ -263,9 +305,11 @@ fn encode_frame_inner(
             max: MAX_PAYLOAD_LEN,
         });
     }
-    let (version, header_len) = match (request_id.is_some(), shard_hint.is_some()) {
-        (true, true) => (VERSION_3, HEADER_LEN_V3),
-        (true, false) => (VERSION_2, HEADER_LEN_V2),
+    let (version, header_len) = match (request_id.is_some(), shard_hint.is_some(), trace.is_some())
+    {
+        (true, true, true) => (VERSION_4, HEADER_LEN_V4),
+        (true, true, false) => (VERSION_3, HEADER_LEN_V3),
+        (true, false, _) => (VERSION_2, HEADER_LEN_V2),
         _ => (VERSION, HEADER_LEN),
     };
     let mut out = Vec::with_capacity(header_len + body.len());
@@ -277,6 +321,10 @@ fn encode_frame_inner(
     }
     if let Some(hint) = shard_hint {
         out.extend_from_slice(&hint.to_be_bytes());
+    }
+    if let Some((trace_id, parent_span)) = trace {
+        out.extend_from_slice(&trace_id.to_be_bytes());
+        out.extend_from_slice(&parent_span.to_be_bytes());
     }
     out.extend_from_slice(&(body.len() as u32).to_be_bytes());
     out.extend_from_slice(body.as_bytes());
@@ -294,8 +342,10 @@ pub struct FrameHeader {
     /// The pipelining tag (`Some` iff `version` is at least
     /// [`VERSION_2`]).
     pub request_id: Option<u64>,
-    /// The shard hint (`Some` iff `version` is [`VERSION_3`]).
+    /// The shard hint (`Some` iff `version` is at least [`VERSION_3`]).
     pub shard_hint: Option<u16>,
+    /// The trace field (`Some` iff `version` is [`VERSION_4`]).
+    pub trace: Option<(u64, u64)>,
     /// Declared payload byte count.
     pub payload_len: usize,
 }
@@ -303,7 +353,9 @@ pub struct FrameHeader {
 impl FrameHeader {
     /// Size of this header on the wire.
     pub fn header_len(&self) -> usize {
-        if self.shard_hint.is_some() {
+        if self.trace.is_some() {
+            HEADER_LEN_V4
+        } else if self.shard_hint.is_some() {
             HEADER_LEN_V3
         } else if self.request_id.is_some() {
             HEADER_LEN_V2
@@ -338,17 +390,17 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
         return Err(FrameError::BadMagic(magic));
     }
     let version = buf[4];
-    if version != VERSION && version != VERSION_2 && version != VERSION_3 {
+    if version != VERSION && version != VERSION_2 && version != VERSION_3 && version != VERSION_4 {
         return Err(FrameError::BadVersion(version));
     }
     let kind = FrameKind::parse(buf[5]).ok_or(FrameError::UnknownKind(buf[5]))?;
-    let (request_id, shard_hint, len_at) = if version == VERSION {
-        (None, None, 6)
+    let (request_id, shard_hint, trace, len_at) = if version == VERSION {
+        (None, None, None, 6)
     } else {
-        let header_len = if version == VERSION_3 {
-            HEADER_LEN_V3
-        } else {
-            HEADER_LEN_V2
+        let header_len = match version {
+            VERSION_4 => HEADER_LEN_V4,
+            VERSION_3 => HEADER_LEN_V3,
+            _ => HEADER_LEN_V2,
         };
         if buf.len() < header_len {
             return Err(FrameError::Truncated {
@@ -356,14 +408,14 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
                 got: buf.len(),
             });
         }
-        let mut id = [0u8; 8];
-        id.copy_from_slice(&buf[6..14]);
-        let hint = (version == VERSION_3).then(|| u16::from_be_bytes([buf[14], buf[15]]));
-        (
-            Some(u64::from_be_bytes(id)),
-            hint,
-            if version == VERSION_3 { 16 } else { 14 },
-        )
+        let be64 = |at: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[at..at + 8]);
+            u64::from_be_bytes(b)
+        };
+        let hint = (version >= VERSION_3).then(|| u16::from_be_bytes([buf[14], buf[15]]));
+        let trace = (version == VERSION_4).then(|| (be64(16), be64(24)));
+        (Some(be64(6)), hint, trace, header_len - 4)
     };
     let len = u32::from_be_bytes([
         buf[len_at],
@@ -382,6 +434,7 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
         kind,
         request_id,
         shard_hint,
+        trace,
         payload_len: len,
     })
 }
@@ -405,6 +458,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
             kind: header.kind,
             request_id: header.request_id,
             shard_hint: header.shard_hint,
+            trace: header.trace,
             payload,
         },
         total,
@@ -621,6 +675,7 @@ mod tests {
             kind: FrameKind::Request,
             request_id: None,
             shard_hint: None,
+            trace: None,
             payload: Jv::Null,
         };
         assert!(decode_request(&frame).is_err());
@@ -727,10 +782,68 @@ mod tests {
     }
 
     #[test]
-    fn versions_past_three_are_still_rejected() {
-        let mut bytes = encode_frame_v3(FrameKind::Request, 1, 0, &Jv::Null).unwrap();
-        bytes[4] = 4;
-        assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::BadVersion(4));
+    fn versions_past_four_are_still_rejected() {
+        let mut bytes = encode_frame_v4(FrameKind::Request, 1, 0, (1, 0), &Jv::Null).unwrap();
+        bytes[4] = 5;
+        assert_eq!(decode_frame(&bytes).unwrap_err(), FrameError::BadVersion(5));
+    }
+
+    #[test]
+    fn traced_frames_round_trip_with_trace_hint_and_tag() {
+        let req = sample_request();
+        let trace = (0x1234_5678_9ABC_DEF0u64, 0x0FED_CBA9_8765_4321u64);
+        let bytes = encode_frame_v4(FrameKind::Request, 0x51, 2, trace, &req.to_jv()).unwrap();
+        assert_eq!(bytes[4], VERSION_4);
+        assert_eq!(
+            bytes.len(),
+            framed_request_len(&req) + (HEADER_LEN_V4 - HEADER_LEN)
+        );
+        let header = decode_header(&bytes).unwrap();
+        assert_eq!(header.version, VERSION_4);
+        assert_eq!(header.request_id, Some(0x51));
+        assert_eq!(header.shard_hint, Some(2));
+        assert_eq!(header.trace, Some(trace));
+        assert_eq!(header.header_len(), HEADER_LEN_V4);
+        assert_eq!(header.frame_len(), bytes.len());
+        let (frame, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame.request_id, Some(0x51));
+        assert_eq!(frame.shard_hint, Some(2));
+        assert_eq!(frame.trace, Some(trace));
+        assert_eq!(decode_request(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn traced_frames_accept_the_no_hint_sentinel() {
+        let bytes =
+            encode_frame_v4(FrameKind::Request, 9, NO_SHARD_HINT, (7, 3), &Jv::Null).unwrap();
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.shard_hint, Some(NO_SHARD_HINT));
+        assert_eq!(frame.trace, Some((7, 3)));
+    }
+
+    #[test]
+    fn truncated_v4_headers_name_the_longer_header() {
+        let bytes = encode_frame_v4(FrameKind::Response, 7, 1, (11, 12), &Jv::Null).unwrap();
+        for cut in [HEADER_LEN, HEADER_LEN_V2, HEADER_LEN_V3, HEADER_LEN_V4 - 1] {
+            assert_eq!(
+                decode_header(&bytes[..cut]).unwrap_err(),
+                FrameError::Truncated {
+                    needed: HEADER_LEN_V4,
+                    got: cut
+                }
+            );
+        }
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            match err {
+                FrameError::Truncated { needed, got } => {
+                    assert_eq!(got, cut);
+                    assert!(needed > got && needed <= bytes.len());
+                }
+                other => panic!("cut at {cut}: expected truncation, got {other}"),
+            }
+        }
     }
 
     #[test]

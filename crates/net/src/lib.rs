@@ -242,6 +242,11 @@ pub struct NetStats {
     /// Failed control-plane deliveries — separate from `failed` for the
     /// same reason.
     pub admin_failed: u64,
+    /// Successful data-plane deliveries that carried a trace context
+    /// (the `Aire-Trace` header). A subset of `delivered`; lets an
+    /// operator confirm trace propagation is actually happening without
+    /// dumping spans.
+    pub traced_delivered: u64,
 }
 
 #[derive(Default)]
@@ -440,6 +445,9 @@ impl Network {
         match result {
             Ok(resp) => {
                 inner.stats.delivered += 1;
+                if req.headers.get(aire_obs::TRACE_HEADER).is_some() {
+                    inner.stats.traced_delivered += 1;
+                }
                 inner.stats.bytes +=
                     (frame::framed_request_len(req) + frame::framed_response_len(&resp)) as u64;
                 Ok(resp)
@@ -491,6 +499,9 @@ impl Network {
             match result {
                 Ok(resp) => {
                     inner.stats.delivered += 1;
+                    if req.headers.get(aire_obs::TRACE_HEADER).is_some() {
+                        inner.stats.traced_delivered += 1;
+                    }
                     inner.stats.bytes +=
                         (frame::framed_request_len(req) + frame::framed_response_len(&resp)) as u64;
                     out.push(Ok(resp));

@@ -172,6 +172,10 @@ pub struct TcpTransport {
     /// repair traffic is worth hinting (everything else pins to shard 0
     /// server-side regardless).
     peer_sharded: RefCell<Vec<String>>,
+    /// When set, pool activity (dials, reuses, retries) is mirrored into
+    /// this metrics registry so `metrics_snapshot` exposes it alongside
+    /// the controller's counters.
+    registry: RefCell<Option<std::sync::Arc<aire_obs::MetricsRegistry>>>,
 }
 
 impl TcpTransport {
@@ -209,6 +213,20 @@ impl TcpTransport {
             cert_cache: RefCell::new(None),
             peer_workers: Cell::new(1),
             peer_sharded: RefCell::new(Vec::new()),
+            registry: RefCell::new(None),
+        }
+    }
+
+    /// Mirrors this dialer's pool counters into `registry` from now on.
+    /// A daemon passes each worker's registry so one `metrics_snapshot`
+    /// covers both the controller and its transports.
+    pub fn set_metrics_registry(&self, registry: std::sync::Arc<aire_obs::MetricsRegistry>) {
+        *self.registry.borrow_mut() = Some(registry);
+    }
+
+    fn metric(&self, f: impl FnOnce(&aire_obs::MetricsRegistry)) {
+        if let Some(reg) = self.registry.borrow().as_ref() {
+            f(reg);
         }
     }
 
@@ -571,6 +589,7 @@ impl TcpTransport {
                         kind: h.kind,
                         request_id: h.request_id,
                         shard_hint: h.shard_hint,
+                        trace: h.trace,
                         payload,
                     });
                 }
@@ -660,6 +679,7 @@ impl TcpTransport {
         self.prepare(&stream)?;
         self.expect_hello(&mut stream)?;
         self.dials.set(self.dials.get() + 1);
+        self.metric(|r| r.pool_dials_total.incr());
         Ok(stream)
     }
 
@@ -698,6 +718,7 @@ impl TcpTransport {
                 if reused && conn_level && !retried {
                     retried = true;
                     self.retries.set(self.retries.get() + 1);
+                    self.metric(|r| r.pool_retries_total.incr());
                     // Whatever killed this connection (a restart, a
                     // sever) killed its parked pool-mates too; drop
                     // them rather than letting later calls rediscover
@@ -709,6 +730,7 @@ impl TcpTransport {
             }
             if reused {
                 self.reuses.set(self.reuses.get() + 1);
+                self.metric(|r| r.pool_reuses_total.incr());
             }
             // Past this point the request is on the wire: no transport
             // retry, whatever happens — resending is the repair queue's
@@ -770,11 +792,30 @@ impl TcpTransport {
         let mut frames: Vec<Vec<u8>> = Vec::with_capacity(reqs.len());
         let mut queue: VecDeque<usize> = VecDeque::new();
         for (i, req) in reqs.iter().enumerate() {
-            let framed = match self.shard_hint_for(req) {
-                Some(hint) => {
+            // A request stamped with a trace context gets a v4 frame: the
+            // context rides the fixed header alongside the shard hint, so
+            // hint-routing servers can attribute a frame to its trace
+            // without decoding the payload.
+            let trace = req
+                .headers
+                .get(aire_obs::TRACE_HEADER)
+                .and_then(aire_obs::TraceContext::parse)
+                .map(|c| (c.trace_id, c.span_id));
+            let framed = match (self.shard_hint_for(req), trace) {
+                (Some(hint), Some(t)) => {
+                    frame::encode_frame_v4(FrameKind::Request, i as u64, hint, t, &req.to_jv())
+                }
+                (None, Some(t)) => frame::encode_frame_v4(
+                    FrameKind::Request,
+                    i as u64,
+                    frame::NO_SHARD_HINT,
+                    t,
+                    &req.to_jv(),
+                ),
+                (Some(hint), None) => {
                     frame::encode_frame_v3(FrameKind::Request, i as u64, hint, &req.to_jv())
                 }
-                None => frame::encode_frame_v2(FrameKind::Request, i as u64, &req.to_jv()),
+                (None, None) => frame::encode_frame_v2(FrameKind::Request, i as u64, &req.to_jv()),
             };
             match framed {
                 Ok(f) => {
@@ -823,6 +864,7 @@ impl TcpTransport {
                     }
                     retried = true;
                     self.retries.set(self.retries.get() + 1);
+                    self.metric(|r| r.pool_retries_total.incr());
                     // Same reasoning as the sequential retry: whatever
                     // killed this connection killed its pool-mates.
                     self.pool(plane).borrow_mut().clear();
@@ -890,6 +932,8 @@ impl TcpTransport {
                         if reused && !counted_reuse {
                             counted_reuse = true;
                             self.reuses.set(self.reuses.get() + 1);
+                            self.metric(|r| r.pool_reuses_total.incr());
+                            self.metric(|r| r.pool_reuses_total.incr());
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
@@ -1091,6 +1135,7 @@ pub fn shutdown_node(admin_addr: SocketAddr, timeout: Duration) -> AireResult<()
             kind: h.kind,
             request_id: h.request_id,
             shard_hint: h.shard_hint,
+            trace: h.trace,
             payload: Jv::decode(&text)
                 .map_err(|e| AireError::Protocol(format!("bad shutdown payload: {e}")))?,
         }))

@@ -502,8 +502,10 @@ impl VersionedStore {
     /// target), earlier versions are dropped, and archived audit versions
     /// older than `horizon` are dropped. After collection, operations
     /// that need pre-horizon history fail with
-    /// [`StoreError::HistoryCollected`].
-    pub fn gc(&mut self, horizon: LogicalTime) {
+    /// [`StoreError::HistoryCollected`]. Returns the number of versions
+    /// dropped (live and archived together).
+    pub fn gc(&mut self, horizon: LogicalTime) -> usize {
+        let mut dropped = 0;
         for td in self.tables.values_mut() {
             let mut dead_rows = Vec::new();
             for (&id, chain) in td.rows.iter_mut() {
@@ -511,6 +513,7 @@ impl VersionedStore {
                 if split > 1 {
                     for v in chain.drain(..split - 1) {
                         td.index.forget_version(id, &v);
+                        dropped += 1;
                     }
                 }
                 // A chain whose only remaining pre-horizon version is a
@@ -521,15 +524,19 @@ impl VersionedStore {
             }
             for id in dead_rows {
                 td.rows.remove(&id);
+                dropped += 1;
             }
             for chain in td.archived.values_mut() {
+                let before = chain.len();
                 chain.retain(|v| v.time >= horizon);
+                dropped += before - chain.len();
             }
             td.archived.retain(|_, c| !c.is_empty());
         }
         if horizon > self.gc_horizon {
             self.gc_horizon = horizon;
         }
+        dropped
     }
 
     /// The current GC horizon.

@@ -102,10 +102,17 @@ fn register_and_login(world: &World, browser: &mut Browser, username: &str) {
 /// Builds the attacked world: services, pre-attack traffic, the
 /// misconfiguration, the attack, and post-attack legitimate traffic.
 pub fn setup(cfg: &AskbotWorkload) -> AskbotScenario {
+    setup_with(cfg, aire_core::ControllerConfig::default())
+}
+
+/// [`setup`] with every controller at `config` — the hook for running
+/// the scenario under non-default knobs (causal tracing, selective
+/// repair scope, a shard slice).
+pub fn setup_with(cfg: &AskbotWorkload, config: aire_core::ControllerConfig) -> AskbotScenario {
     let mut world = World::new();
-    world.add_service(Rc::new(OAuthProvider));
-    world.add_service(Rc::new(Askbot));
-    world.add_service(Rc::new(Dpaste));
+    world.add_service_with(Rc::new(OAuthProvider), config.clone());
+    world.add_service_with(Rc::new(Askbot), config.clone());
+    world.add_service_with(Rc::new(Dpaste), config);
     let facts = populate(&world, cfg);
     AskbotScenario { world, facts }
 }

@@ -62,6 +62,7 @@ fn main() {
         None,
         None,
         None,
+        None,
     )
     .unwrap_or_else(|e| panic!("{e}"));
     println!(

@@ -58,6 +58,7 @@
 //! | [`net`] | the network registry (availability, certificates, peer transports) |
 //! | [`transport`] | real sockets: framing, the TCP dialer, the node server |
 //! | [`log`] | the repair log and its taint indexes |
+//! | [`obs`] | the observability plane: trace contexts, span ring, metrics registry |
 //! | [`web`] | the Django-like framework applications are written in |
 //! | [`core`] | **the paper's contribution**: the repair controller + the `/aire/v1/admin/*` control plane |
 //! | [`client`] | the Aire-enabled repairable client (the §2.3 gap) and the `AdminClient` operator handle |
@@ -73,6 +74,7 @@ pub use aire_core as core;
 pub use aire_http as http;
 pub use aire_log as log;
 pub use aire_net as net;
+pub use aire_obs as obs;
 pub use aire_transport as transport;
 pub use aire_types as types;
 pub use aire_vdb as vdb;

@@ -53,6 +53,7 @@ fn exe() -> PathBuf {
     locate_example("aire_noded").expect("cargo test builds the aire_noded example")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn node(
     services: &[&str],
     data: SocketAddr,
@@ -61,6 +62,7 @@ fn node(
     cert_serial: Option<u64>,
     workers: usize,
     scope: RepairScope,
+    trace: Option<bool>,
 ) -> SpawnedNode {
     spawn_node(
         &exe(),
@@ -73,6 +75,7 @@ fn node(
         None,
         Some(workers),
         Some(scope),
+        trace,
     )
     .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -113,7 +116,7 @@ struct RecoveryOutcome {
 /// One full Figure 4 cluster recovery — including the dpaste
 /// kill/snapshot/resurrect arc — with every daemon at `workers`,
 /// repairing under `scope`.
-fn figure4_recovery(workers: usize, scope: RepairScope) -> RecoveryOutcome {
+fn figure4_recovery(workers: usize, scope: RepairScope, trace: Option<bool>) -> RecoveryOutcome {
     let addrs: Vec<(&str, (SocketAddr, SocketAddr))> = askbot_attack::SERVICES
         .iter()
         .map(|s| (*s, free_addrs()))
@@ -126,7 +129,7 @@ fn figure4_recovery(workers: usize, scope: RepairScope) -> RecoveryOutcome {
                 .filter(|(p, _)| p != name)
                 .map(|(p, (d, a))| (p.to_string(), *d, *a))
                 .collect();
-            node(&[name], *data, *admin, &peers, None, workers, scope)
+            node(&[name], *data, *admin, &peers, None, workers, scope, trace)
         })
         .collect();
 
@@ -195,6 +198,7 @@ fn figure4_recovery(workers: usize, scope: RepairScope) -> RecoveryOutcome {
         Some(4242),
         workers,
         scope,
+        trace,
     ));
     let AdminResponse::Ack = admin(&world, "dpaste", AdminOp::Restore { snapshot }) else {
         panic!("restore response");
@@ -299,12 +303,12 @@ fn reference_digests() -> Vec<String> {
 #[test]
 fn figure4_recovery_is_byte_identical_at_one_and_four_workers() {
     let expected = reference_digests();
-    let one = figure4_recovery(1, RepairScope::Reactive);
+    let one = figure4_recovery(1, RepairScope::Reactive, None);
     assert_eq!(
         one.digests, expected,
         "the single-worker cluster must converge to the in-process state"
     );
-    let four = figure4_recovery(4, RepairScope::Reactive);
+    let four = figure4_recovery(4, RepairScope::Reactive, None);
     assert_eq!(
         four, one,
         "a 4-worker cluster must be observably identical to a 1-worker cluster"
@@ -318,15 +322,36 @@ fn figure4_recovery_is_byte_identical_at_one_and_four_workers() {
 #[test]
 fn figure4_selective_recovery_is_byte_identical_at_one_and_four_workers() {
     let expected = reference_digests();
-    let one = figure4_recovery(1, RepairScope::Selective);
+    let one = figure4_recovery(1, RepairScope::Selective, None);
     assert_eq!(
         one.digests, expected,
         "selective repair must converge to the same state as reactive"
     );
-    let four = figure4_recovery(4, RepairScope::Selective);
+    let four = figure4_recovery(4, RepairScope::Selective, None);
     assert_eq!(
         four, one,
         "a 4-worker selective cluster must match the 1-worker run"
+    );
+}
+
+/// The observability oracle: `--trace` must be *invisible* to recovery.
+/// The same Figure 4 cycle with causal tracing enabled on every daemon
+/// lands on digests byte-identical to the untraced in-process reference
+/// at `--workers 1`, and the 4-worker traced run is observably identical
+/// to the 1-worker traced run. Trace spans and Aire-Trace headers ride
+/// the repair plane without ever entering recorded history.
+#[test]
+fn figure4_recovery_with_tracing_is_digest_identical_to_untraced() {
+    let expected = reference_digests();
+    let one = figure4_recovery(1, RepairScope::Reactive, Some(true));
+    assert_eq!(
+        one.digests, expected,
+        "tracing must not change what recovery produces"
+    );
+    let four = figure4_recovery(4, RepairScope::Reactive, Some(true));
+    assert_eq!(
+        four, one,
+        "a traced 4-worker cluster must match the traced 1-worker run"
     );
 }
 
@@ -361,6 +386,7 @@ fn vkv_recovery(workers: usize) -> VkvOutcome {
         None,
         workers,
         RepairScope::Reactive,
+        None,
     );
 
     let mut world = World::new();

@@ -218,6 +218,7 @@ fn check_seed(seed: u64) {
         read_edges,
         write_edges,
         scope,
+        shards,
     } = admin(&sel_world, AdminOp::TaintStats)
     else {
         panic!("taint_stats response");
@@ -228,6 +229,14 @@ fn check_seed(seed: u64) {
         "seed {seed}"
     );
     assert!(rows > 0 && read_edges > 0 && write_edges > 0, "seed {seed}");
+    // The per-shard breakdown of an unsharded controller is itself,
+    // and accounts for the totals exactly.
+    assert_eq!(shards.len(), 1, "seed {seed}");
+    assert_eq!(
+        (shards[0].shard, shards[0].actions, shards[0].rows),
+        (0, actions, rows),
+        "seed {seed}"
+    );
 
     // Agreement: both scopes repair to the gold world's digest, and
     // selective visits no more than its closure.

@@ -67,6 +67,7 @@ fn node(
         None,
         None,
         None,
+        None,
     )
     .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -98,6 +99,7 @@ fn spawn_cluster_with(pipeline_depth: Option<usize>) -> Vec<SpawnedNode> {
                 180,
                 None,
                 pipeline_depth,
+                None,
                 None,
                 None,
             )
