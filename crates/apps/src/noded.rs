@@ -52,7 +52,8 @@ use std::time::{Duration, Instant};
 
 use aire_client::AdminClient;
 use aire_core::{
-    Controller, ControllerConfig, RepairScope, ShardSpec, ShardedRuntime, WorkerPump, WorkerSetup,
+    Controller, ControllerConfig, RepairScope, ShardSpec, ShardedRuntime, StoreBudget, WorkerPump,
+    WorkerSetup,
 };
 use aire_net::{Certificate, Network};
 use aire_obs::{render_prometheus, MetricsSnapshot};
@@ -197,6 +198,10 @@ pub struct NodeOptions {
     /// this address, fetch each `--service`'s merged metrics snapshot,
     /// print one Prometheus-style exposition, and exit.
     pub metrics: Option<SocketAddr>,
+    /// Resident-byte budget for every hosted controller's store
+    /// (`--store-budget-bytes`). Crossing it triggers compaction;
+    /// repairable history above the GC horizon is never evicted.
+    pub store_budget: StoreBudget,
 }
 
 /// The usage text (`--help` and argument errors).
@@ -209,6 +214,7 @@ usage:
              [--peer NAME=DATA_ADDR/ADMIN_ADDR]... [--max-runtime-secs N]
              [--cert-serial N] [--pipeline-depth N] [--workers N]
              [--repair-scope reactive|full|selective] [--trace]
+             [--store-budget-bytes N]
   aire-noded --metrics ADDR --service <spec> [--service <spec>]...
 
 options:
@@ -244,6 +250,12 @@ options:
   --trace                 record causal trace spans and stamp Aire-Trace
                           headers on repair carriers (recovery digests
                           are identical with and without)
+  --store-budget-bytes N  resident-byte budget per hosted store (live +
+                          archived version bytes). Crossing it triggers a
+                          compaction pass (collapse below the GC horizon);
+                          if still over, the store stays over and raises
+                          an admin notice — repairable history above the
+                          horizon is never evicted  [default unbounded]
   --metrics ADDR          scrape mode: dial the operator listener at
                           ADDR, fetch the named services' merged metrics
                           snapshot, print a Prometheus-style text
@@ -281,6 +293,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
     let mut repair_scope = RepairScope::default();
     let mut tracing = false;
     let mut metrics = None;
+    let mut store_budget = StoreBudget::Unbounded;
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -357,6 +370,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
             }
             "--trace" => tracing = true,
             "--metrics" => metrics = Some(parse_addr(&value("--metrics")?, "--metrics")?),
+            "--store-budget-bytes" => {
+                let v = value("--store-budget-bytes")?;
+                let bytes: usize = v
+                    .parse()
+                    .map_err(|_| format!("--store-budget-bytes: {v:?} is not a number"))?;
+                if bytes == 0 {
+                    return Err("--store-budget-bytes: must be at least 1".to_string());
+                }
+                store_budget = StoreBudget::Bytes(bytes);
+            }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -375,6 +398,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Node
         repair_scope,
         tracing,
         metrics,
+        store_budget,
     }))
 }
 
@@ -416,6 +440,7 @@ pub fn run(opts: NodeOptions) -> Result<ServeOutcome, String> {
     let config = ControllerConfig {
         repair_scope: opts.repair_scope,
         tracing: opts.tracing,
+        store_budget: opts.store_budget,
         ..ControllerConfig::default()
     };
     let mut hosted = Vec::new();
@@ -550,6 +575,7 @@ fn run_sharded(
         config: ControllerConfig {
             repair_scope: opts.repair_scope,
             tracing: opts.tracing,
+            store_budget: opts.store_budget,
             ..ControllerConfig::default()
         },
         apps: app_factory,
@@ -737,6 +763,9 @@ pub mod spawn {
     /// `AIRE_NODED_TRACE=1` backs `trace` (forwarded as `--trace`) — so
     /// the matrix can also run the whole suite with causal tracing on,
     /// proving recovery digests don't change.
+    /// `AIRE_NODED_STORE_BUDGET` (a byte count, forwarded as
+    /// `--store-budget-bytes`) runs the suite under a resident-store
+    /// budget, proving compaction pressure doesn't change digests either.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn_node(
         exe: &Path,
@@ -767,6 +796,10 @@ pub mod spawn {
                 .ok()
                 .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         });
+        let store_budget = std::env::var("AIRE_NODED_STORE_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&b| b > 0);
         let mut cmd = Command::new(exe);
         for service in services {
             cmd.arg("--service").arg(service);
@@ -791,6 +824,9 @@ pub mod spawn {
         }
         if trace == Some(true) {
             cmd.arg("--trace");
+        }
+        if let Some(bytes) = store_budget {
+            cmd.arg("--store-budget-bytes").arg(bytes.to_string());
         }
         for (peer, pdata, padmin) in peers {
             cmd.arg("--peer").arg(format!("{peer}={pdata}/{padmin}"));
@@ -930,6 +966,26 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         let err =
             parse_args(["--service", "vkv", "--workers", "many"].map(String::from)).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn store_budget_parses_and_rejects_zero() {
+        let opts =
+            parse_args(["--service", "vkv", "--store-budget-bytes", "65536"].map(String::from))
+                .unwrap()
+                .unwrap();
+        assert_eq!(opts.store_budget, StoreBudget::Bytes(65536));
+        let opts = parse_args(["--service", "vkv"].map(String::from))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.store_budget, StoreBudget::Unbounded);
+        let err = parse_args(["--service", "vkv", "--store-budget-bytes", "0"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err =
+            parse_args(["--service", "vkv", "--store-budget-bytes", "lots"].map(String::from))
+                .unwrap_err();
         assert!(err.contains("not a number"), "{err}");
     }
 

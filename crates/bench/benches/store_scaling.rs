@@ -1,0 +1,337 @@
+//! Storage at scale: the Figure 4 recovery on a version-bloated store.
+//!
+//! The same attack-and-recovery scenario runs three times:
+//!
+//! * **baseline** — light pre-attack traffic (churn 1), unbounded;
+//! * **unbounded** — `CHURN`× the pre-attack write volume (every bulk
+//!   user logs in and out every round, one question's score is voted up
+//!   every round), history never collected;
+//! * **budgeted** — the same bloated workload under
+//!   `StoreBudget::Bytes` with a periodic operator retention pass
+//!   (`gc` at the current write frontier, always *before* the
+//!   misconfiguration request, so the attack stays fully repairable).
+//!
+//! The run writes `BENCH_store.json` (committed, uploaded as a CI
+//! artifact) and **asserts** the storage-at-scale contract:
+//!
+//! 1. recovery digests are byte-identical between the unbounded and
+//!    budgeted runs — compaction and GC never change what repair
+//!    produces above the horizon;
+//! 2. the budgeted run's resident bytes (`stats().bytes +
+//!    archived_bytes`, summed over the three services) stay under the
+//!    budget even though the write volume was `CHURN`× the baseline;
+//! 3. an incremental checkpoint (`snapshot_delta`) of the recovered
+//!    askbot store is at least 5× smaller than the full `snapshot()`,
+//!    and applying it to the previous checkpoint reproduces the live
+//!    store digest exactly.
+
+use aire_apps::{Askbot, Dpaste, OAuthProvider};
+use aire_core::{ControllerConfig, StoreBudget, World};
+use aire_types::{jv, Jv, LogicalTime};
+use aire_vdb::VersionedStore;
+use aire_web::App;
+use aire_workload::client::Browser;
+use aire_workload::scenarios::askbot_attack::{
+    attack_paste_exists, populate, repair, AskbotScenario, AskbotWorkload, SERVICES,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+/// Pre-attack bulk users (they churn sessions; user 0 also churns one
+/// question's version chain through votes).
+const USERS: usize = 6;
+/// Rounds of pre-attack churn in the scaled runs — the "100× store".
+const CHURN: usize = 100;
+/// Operator retention cadence (rounds between `gc` passes) in the
+/// budgeted run.
+const RETAIN_EVERY: usize = 25;
+/// Budget headroom over the baseline store: room for the live data the
+/// churn legitimately accretes (votes), the post-retention tail, and
+/// the rollback archive that recovery itself appends.
+const BUDGET_FACTOR: usize = 3;
+
+fn attack_cfg() -> AskbotWorkload {
+    AskbotWorkload {
+        legit_users: 4,
+        questions_per_user: 2,
+        oauth_signups: 2,
+    }
+}
+
+fn new_world(config: ControllerConfig) -> World {
+    let mut world = World::new();
+    world.add_service_with(Rc::new(OAuthProvider), config.clone());
+    world.add_service_with(Rc::new(Askbot), config.clone());
+    world.add_service_with(Rc::new(Dpaste), config);
+    world
+}
+
+/// Latest version time in a store snapshot (live + archived chains).
+fn max_version_time(store: &Jv) -> Option<LogicalTime> {
+    let mut max = None;
+    let tables = store.get("tables").as_map()?;
+    for tjv in tables.values() {
+        for key in ["rows", "archived"] {
+            for row in tjv.get(key).as_list().unwrap_or(&[]) {
+                for v in row.get("versions").as_list().unwrap_or(&[]) {
+                    if let Some(t) = LogicalTime::parse_wire(v.str_of("t")) {
+                        if max.is_none_or(|m| t > m) {
+                            max = Some(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    max
+}
+
+/// The operator's retention pass: every service collects history up to
+/// its current write frontier. Returns records collected.
+fn retention(world: &World) -> usize {
+    let mut collected = 0;
+    for name in SERVICES {
+        let snap = world.controller(name).snapshot();
+        if let Some(max) = max_version_time(snap.get("store")) {
+            collected += world.controller(name).gc(max.next_tick());
+        }
+    }
+    collected
+}
+
+fn resident_bytes(world: &World) -> usize {
+    SERVICES
+        .iter()
+        .map(|name| {
+            world
+                .controller(name)
+                .storage_footprint()
+                .2
+                .resident_bytes()
+        })
+        .sum()
+}
+
+struct RunResult {
+    digest: String,
+    resident: usize,
+    collected: usize,
+    overruns: usize,
+    scenario: AskbotScenario,
+}
+
+/// Bulk churn → (optional periodic retention) → Figure 4 attack →
+/// recovery → digest + footprint.
+fn run(churn: usize, budget: StoreBudget, retain: bool) -> RunResult {
+    let world = new_world(ControllerConfig {
+        store_budget: budget,
+        ..ControllerConfig::default()
+    });
+
+    // Pre-attack bulk: register, post one question per user, then churn.
+    let mut browsers: Vec<Browser> = (0..USERS).map(|_| Browser::new()).collect();
+    let mut questions = Vec::new();
+    for (u, b) in browsers.iter_mut().enumerate() {
+        let name = format!("bulk{u}");
+        b.post(
+            &world,
+            "askbot",
+            "/register",
+            jv!({"username": name.clone(), "email": format!("{name}@example.com")}),
+        )
+        .unwrap();
+        b.post(&world, "askbot", "/login", jv!({"username": name.clone()}))
+            .unwrap();
+        let resp = b
+            .post(
+                &world,
+                "askbot",
+                "/questions/new",
+                jv!({"title": format!("{name} asks"), "body": format!("body from {name}")}),
+            )
+            .unwrap();
+        questions.push(resp.body.int_of("question_id") as u64);
+        b.post(&world, "askbot", "/logout", Jv::Null).unwrap();
+    }
+    let mut collected = 0;
+    for round in 0..churn {
+        for (u, b) in browsers.iter_mut().enumerate() {
+            let name = format!("bulk{u}");
+            b.post(&world, "askbot", "/login", jv!({"username": name}))
+                .unwrap();
+            if u == 0 {
+                // One hot row: this question's chain grows every round.
+                let resp = b
+                    .post(
+                        &world,
+                        "askbot",
+                        &format!("/questions/{}/vote", questions[0]),
+                        jv!({"delta": 1}),
+                    )
+                    .unwrap();
+                assert!(resp.status.is_success(), "vote: {:?}", resp.body);
+            }
+            b.post(&world, "askbot", "/logout", Jv::Null).unwrap();
+        }
+        if retain && (round + 1) % RETAIN_EVERY == 0 {
+            collected += retention(&world);
+        }
+    }
+    if retain {
+        collected += retention(&world);
+    }
+
+    // The attack arrives strictly after every retention horizon, so the
+    // budgeted store keeps all the history recovery needs.
+    let facts = populate(&world, &attack_cfg());
+    let scenario = AskbotScenario { world, facts };
+    let resp = repair(&scenario);
+    assert!(resp.status.is_success(), "recovery: {:?}", resp.body);
+    scenario.world.pump();
+    assert!(
+        !attack_paste_exists(&scenario),
+        "recovery must remove the attack paste"
+    );
+
+    let overruns = scenario
+        .world
+        .controller("askbot")
+        .admin_notices()
+        .iter()
+        .filter(|n| n.str_of("kind") == "store_over_budget")
+        .count();
+    RunResult {
+        digest: scenario.world.state_digest(),
+        resident: resident_bytes(&scenario.world),
+        collected,
+        overruns,
+        scenario,
+    }
+}
+
+/// The incremental-checkpoint measurement on the recovered world:
+/// full checkpoint → a little more traffic → delta vs next full.
+/// Returns (full store bytes, delta store bytes) after proving the
+/// delta actually reproduces the live store.
+fn measure_delta(scenario: &AskbotScenario) -> (usize, usize) {
+    let askbot = scenario.world.controller("askbot");
+    let checkpoint = askbot.snapshot();
+    let watermark = LogicalTime::parse_wire(checkpoint.get("store").str_of("watermark"))
+        .expect("snapshot carries its watermark");
+
+    // The increment: one user session and one new question.
+    let mut b = Browser::new();
+    b.post(
+        &scenario.world,
+        "askbot",
+        "/login",
+        jv!({"username": "bulk1"}),
+    )
+    .unwrap();
+    let resp = b
+        .post(
+            &scenario.world,
+            "askbot",
+            "/questions/new",
+            jv!({"title": "post-checkpoint question", "body": "written after the checkpoint"}),
+        )
+        .unwrap();
+    assert!(resp.status.is_success());
+    b.post(&scenario.world, "askbot", "/logout", Jv::Null)
+        .unwrap();
+
+    let delta = askbot.snapshot_delta(watermark);
+    let full = askbot.snapshot();
+
+    // The delta is sufficient, not just small: checkpoint + delta
+    // reproduces the live store digest byte-for-byte.
+    let mut mirror = VersionedStore::restore(Askbot.schemas(), checkpoint.get("store"))
+        .expect("checkpoint restores");
+    mirror
+        .restore_delta(delta.get("store"))
+        .expect("delta continues the checkpoint");
+    assert_eq!(
+        mirror.state_digest(LogicalTime::MAX),
+        askbot.state_digest(),
+        "checkpoint + delta must reproduce the live store"
+    );
+
+    (
+        full.get("store").encode().len(),
+        delta.get("store").encode().len(),
+    )
+}
+
+fn bench_store_scaling(_c: &mut Criterion) {
+    let base = run(1, StoreBudget::Unbounded, false);
+    let unbounded = run(CHURN, StoreBudget::Unbounded, false);
+    let budget_bytes = base.resident * BUDGET_FACTOR;
+    let budgeted = run(CHURN, StoreBudget::Bytes(budget_bytes), true);
+
+    // Gate 1: recovery is digest-identical on the compacted store.
+    assert_eq!(
+        budgeted.digest, unbounded.digest,
+        "recovery digest must not depend on compaction or the budget"
+    );
+
+    // Gate 2: resident bytes stayed under the budget despite CHURN×
+    // the baseline write volume.
+    assert!(
+        budgeted.resident <= budget_bytes,
+        "budgeted run must end under its {budget_bytes}-byte budget \
+         (resident {} bytes)",
+        budgeted.resident
+    );
+    assert!(
+        budgeted.collected > 0,
+        "retention must actually collect bloated history"
+    );
+    assert!(
+        budgeted.overruns > 0,
+        "the tight budget must engage (and notice) between retention passes"
+    );
+    let scale = unbounded.resident as f64 / base.resident as f64;
+    let reclaim = unbounded.resident as f64 / budgeted.resident as f64;
+    assert!(
+        reclaim >= 3.0,
+        "compaction must reclaim the bulk of the bloat \
+         (unbounded {} vs budgeted {} bytes, {reclaim:.2}x)",
+        unbounded.resident,
+        budgeted.resident
+    );
+
+    // Gate 3: the incremental checkpoint is >= 5x smaller than a full
+    // one, and provably sufficient.
+    let (full_bytes, delta_bytes) = measure_delta(&budgeted.scenario);
+    let reduction = full_bytes as f64 / delta_bytes as f64;
+    assert!(
+        reduction >= 5.0,
+        "snapshot_delta must be at least 5x smaller than snapshot() \
+         (full {full_bytes} vs delta {delta_bytes} bytes)"
+    );
+
+    let report = jv!({
+        "bench": "store_scaling",
+        "churn": CHURN as i64,
+        "baseline_resident_bytes": base.resident as i64,
+        "unbounded_resident_bytes": unbounded.resident as i64,
+        "budget_bytes": budget_bytes as i64,
+        "budgeted_resident_bytes": budgeted.resident as i64,
+        "scale_vs_baseline": format!("{scale:.2}"),
+        "reclaim_ratio": format!("{reclaim:.2}"),
+        "records_collected": budgeted.collected as i64,
+        "budget_overruns_noticed": budgeted.overruns as i64,
+        "digest_identical": true,
+        "delta": {
+            "store_full_bytes": full_bytes as i64,
+            "store_delta_bytes": delta_bytes as i64,
+            "reduction": format!("{reduction:.2}"),
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, report.encode() + "\n").expect("write BENCH_store.json");
+    println!("store_scaling: {}", report.encode());
+}
+
+criterion_group!(benches, bench_store_scaling);
+criterion_main!(benches);

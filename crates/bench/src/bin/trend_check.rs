@@ -40,6 +40,7 @@ const GATES: &[(&str, &[&str])] = &[
     ),
     ("BENCH_shard.json", &["speedup_4_vs_1"]),
     ("BENCH_taint.json", &["speedup_selective_vs_full"]),
+    ("BENCH_store.json", &["reclaim_ratio", "delta.reduction"]),
 ];
 
 /// Context-only series printed beside each gated file.
@@ -57,6 +58,14 @@ const CONTEXT: &[(&str, &[&str])] = &[
         &["workers_1.repairs_per_sec", "workers_4.repairs_per_sec"],
     ),
     ("BENCH_taint.json", &["full.micros", "selective.micros"]),
+    (
+        "BENCH_store.json",
+        &[
+            "unbounded_resident_bytes",
+            "budgeted_resident_bytes",
+            "delta.store_delta_bytes",
+        ],
+    ),
 ];
 
 /// Walks a dotted path through a decoded report and coerces the leaf to

@@ -88,6 +88,17 @@ pub enum AdminOp {
     },
     /// Serialize the controller's entire durable state.
     Snapshot,
+    /// Serialize only the store state touched strictly after a delta
+    /// watermark (a `watermark` value carried by an earlier snapshot or
+    /// delta) — the daemon's incremental checkpoint stream.
+    SnapshotDelta {
+        /// The watermark the delta continues from.
+        since: LogicalTime,
+    },
+    /// Collapse version-chain history below the current GC horizon
+    /// without advancing it (the memory-pressure release valve: frees
+    /// bytes, never gives up repairable history).
+    Compact,
     /// Replace the controller's state from a snapshot (crash recovery /
     /// migration, performed on the live endpoint).
     Restore {
@@ -148,6 +159,8 @@ const OP_NAMES: &[&str] = &[
     "set_repair_mode",
     "gc",
     "snapshot",
+    "snapshot_delta",
+    "compact",
     "restore",
     "stats",
     "digest",
@@ -173,6 +186,8 @@ impl AdminOp {
             AdminOp::SetRepairMode { .. } => "set_repair_mode",
             AdminOp::Gc { .. } => "gc",
             AdminOp::Snapshot => "snapshot",
+            AdminOp::SnapshotDelta { .. } => "snapshot_delta",
+            AdminOp::Compact => "compact",
             AdminOp::Restore { .. } => "restore",
             AdminOp::Stats => "stats",
             AdminOp::Digest => "digest",
@@ -207,6 +222,9 @@ impl AdminOp {
             AdminOp::Gc { horizon } => {
                 m.set("horizon", Jv::s(horizon.wire()));
             }
+            AdminOp::SnapshotDelta { since } => {
+                m.set("since", Jv::s(since.wire()));
+            }
             AdminOp::Restore { snapshot } => {
                 m.set("snapshot", snapshot.clone());
             }
@@ -227,6 +245,7 @@ impl AdminOp {
             | AdminOp::ListQueue
             | AdminOp::FlushQueue
             | AdminOp::Snapshot
+            | AdminOp::Compact
             | AdminOp::Stats
             | AdminOp::Digest
             | AdminOp::Notices
@@ -274,6 +293,11 @@ impl AdminOp {
                     .ok_or("admin op \"gc\": missing or malformed \"horizon\"")?,
             },
             "snapshot" => AdminOp::Snapshot,
+            "snapshot_delta" => AdminOp::SnapshotDelta {
+                since: LogicalTime::parse_wire(v.str_of("since"))
+                    .ok_or("admin op \"snapshot_delta\": missing or malformed \"since\"")?,
+            },
+            "compact" => AdminOp::Compact,
             "restore" => {
                 let snapshot = v.get("snapshot").clone();
                 if snapshot.as_map().is_none() {
@@ -1099,6 +1123,21 @@ mod tests {
     }
 
     #[test]
+    fn storage_ops_round_trip() {
+        let op = AdminOp::SnapshotDelta {
+            since: LogicalTime::tick(42),
+        };
+        let carrier = op.to_carrier("askbot");
+        assert_eq!(carrier.url.path, "/aire/v1/admin/snapshot_delta");
+        assert_eq!(AdminOp::from_carrier(&carrier).unwrap().unwrap(), op);
+
+        let op = AdminOp::Compact;
+        let carrier = op.to_carrier("askbot");
+        assert_eq!(carrier.url.path, "/aire/v1/admin/compact");
+        assert_eq!(AdminOp::from_carrier(&carrier).unwrap().unwrap(), op);
+    }
+
+    #[test]
     fn missing_fields_name_the_field() {
         let mut body = Jv::map();
         body.set("op", Jv::s("send_queued"));
@@ -1114,5 +1153,10 @@ mod tests {
         body.set("op", Jv::s("taint_closure"));
         let err = AdminOp::from_jv(&body).unwrap_err();
         assert!(err.contains("request_id"), "{err}");
+
+        let mut body = Jv::map();
+        body.set("op", Jv::s("snapshot_delta"));
+        let err = AdminOp::from_jv(&body).unwrap_err();
+        assert!(err.contains("since"), "{err}");
     }
 }

@@ -1,6 +1,6 @@
 //! The per-service Aire repair controller (Figure 1).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Instant;
@@ -48,6 +48,35 @@ pub enum FlushStrategy {
     },
 }
 
+/// A resident-byte budget for the versioned store.
+///
+/// Enforcement is *compaction pressure*, not eviction: crossing the
+/// budget triggers a compaction pass (collapse below the current GC
+/// horizon), and if the store is still over afterwards it stays over —
+/// repairable history above the horizon is never given up. Operations
+/// needing collected history keep failing with `HistoryCollected`
+/// exactly as after any other GC; nothing new becomes refusable because
+/// of the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBudget {
+    /// No limit (the default): history is bounded by GC policy alone.
+    #[default]
+    Unbounded,
+    /// Compact whenever `stats().resident_bytes()` (live + archived)
+    /// exceeds this many bytes.
+    Bytes(usize),
+}
+
+impl StoreBudget {
+    /// The byte limit, if any.
+    pub fn limit(&self) -> Option<usize> {
+        match self {
+            StoreBudget::Unbounded => None,
+            StoreBudget::Bytes(b) => Some(*b),
+        }
+    }
+}
+
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {
@@ -80,6 +109,9 @@ pub struct ControllerConfig {
     /// state digests are byte-identical with it on or off; the metrics
     /// registry runs regardless of this knob.
     pub tracing: bool,
+    /// Resident-byte budget for the versioned store
+    /// (`--store-budget-bytes` on `aire-noded`).
+    pub store_budget: StoreBudget,
 }
 
 impl Default for ControllerConfig {
@@ -92,6 +124,7 @@ impl Default for ControllerConfig {
             shard: (0, 1),
             repair_scope: RepairScope::default(),
             tracing: false,
+            store_budget: StoreBudget::Unbounded,
         }
     }
 }
@@ -206,6 +239,10 @@ pub struct Controller {
     net: Network,
     config: ControllerConfig,
     obs: Rc<Obs>,
+    /// Whether the store was over its byte budget after the last
+    /// enforcement pass — edge-detects budget crossings so the admin
+    /// notice fires once per crossing, not once per request.
+    over_budget: Cell<bool>,
 }
 
 impl Controller {
@@ -260,6 +297,7 @@ impl Controller {
             router,
             net,
             obs,
+            over_budget: Cell::new(false),
         })
     }
 
@@ -422,6 +460,7 @@ impl Controller {
             net,
             config,
             obs,
+            over_budget: Cell::new(false),
         }))
     }
 
@@ -603,11 +642,115 @@ impl Controller {
 
     fn do_gc(&self, horizon: LogicalTime) -> usize {
         let mut core = self.core.borrow_mut();
-        let versions = core.store.gc(horizon);
+        let report = core.store.gc_with_report(horizon);
+        // Rows whose entire history fell below the horizon no longer
+        // exist; prune their taint postings and access-graph edges in
+        // lockstep so closure walks can't reach them.
+        core.log.forget_rows(&report.reaped);
         let reg = self.obs.registry();
         reg.gc_runs_total.incr();
-        reg.gc_versions_dropped_total.add(versions as u64);
+        reg.gc_versions_dropped_total.add(report.dropped as u64);
         core.log.gc(horizon)
+    }
+
+    /// Collapses version-chain history below the *current* GC horizon
+    /// without advancing it. Returns the number of versions collapsed.
+    ///
+    /// Wire equivalent: [`AdminOp::Compact`].
+    pub fn compact(&self) -> usize {
+        match self.dispatch_admin(AdminOp::Compact) {
+            Ok(AdminResponse::Collected { records }) => records,
+            other => unreachable!("compact dispatch: {other:?}"),
+        }
+    }
+
+    fn do_compact(&self) -> usize {
+        let mut core = self.core.borrow_mut();
+        let horizon = core.store.gc_horizon();
+        let report = core.store.gc_with_report(horizon);
+        core.log.forget_rows(&report.reaped);
+        let reg = self.obs.registry();
+        reg.compaction_runs_total.incr();
+        reg.compaction_versions_collapsed_total
+            .add(report.dropped as u64);
+        report.dropped
+    }
+
+    /// An incremental store checkpoint: only chains touched strictly
+    /// after `since`, wrapped with the service name like a full
+    /// snapshot. Apply with [`Controller::apply_snapshot_delta`].
+    ///
+    /// Wire equivalent: [`AdminOp::SnapshotDelta`].
+    pub fn snapshot_delta(&self, since: LogicalTime) -> Jv {
+        match self.dispatch_admin(AdminOp::SnapshotDelta { since }) {
+            Ok(AdminResponse::Snapshot { snapshot }) => snapshot,
+            other => unreachable!("snapshot_delta dispatch: {other:?}"),
+        }
+    }
+
+    fn do_snapshot_delta(&self, since: LogicalTime) -> Jv {
+        let core = self.core.borrow();
+        let mut m = Jv::map();
+        m.set("service", Jv::s(core.name.as_str()));
+        m.set("store", core.store.snapshot_since(since));
+        m
+    }
+
+    /// Applies a [`Controller::snapshot_delta`] document to the live
+    /// store. The delta must continue this store's watermark (typically:
+    /// restore a full snapshot, then apply the deltas taken since it, in
+    /// order).
+    pub fn apply_snapshot_delta(&self, delta: &Jv) -> Result<(), String> {
+        let mut core = self.core.borrow_mut();
+        if delta.str_of("service") != core.name.as_str() {
+            return Err(format!(
+                "snapshot delta is for {:?}, this service is {:?}",
+                delta.str_of("service"),
+                core.name.as_str()
+            ));
+        }
+        core.store.restore_delta(delta.get("store"))
+    }
+
+    /// The store-budget enforcement hook, run after request execution
+    /// (outside the core borrow): over budget → compact; still over →
+    /// raise an admin notice once per crossing and count the overrun.
+    fn enforce_store_budget(&self) {
+        let Some(limit) = self.config.store_budget.limit() else {
+            return;
+        };
+        let resident = self.core.borrow().store.stats().resident_bytes();
+        if resident <= limit {
+            self.over_budget.set(false);
+            return;
+        }
+        let reg = self.obs.registry();
+        reg.store_budget_compactions_total.incr();
+        self.do_compact();
+        let still = self.core.borrow().store.stats().resident_bytes();
+        if still <= limit {
+            self.over_budget.set(false);
+            return;
+        }
+        reg.store_budget_overruns_total.incr();
+        if !self.over_budget.replace(true) {
+            let mut core = self.core.borrow_mut();
+            core.admin_notices.push({
+                let mut n = Jv::map();
+                n.set("kind", Jv::s("store_over_budget"));
+                n.set("budget_bytes", Jv::i(limit as i64));
+                n.set("resident_bytes", Jv::i(still as i64));
+                n.set(
+                    "detail",
+                    Jv::s(
+                        "store exceeds its byte budget even after compaction; \
+                         repairable history above the GC horizon is never \
+                         evicted — advance the horizon (gc) to free more",
+                    ),
+                );
+                n
+            });
+        }
     }
 
     /// Re-sends a held repair message with fresh credentials (Table 2's
@@ -1760,6 +1903,12 @@ impl Controller {
             AdminOp::Snapshot => Ok(AdminResponse::Snapshot {
                 snapshot: self.do_snapshot(),
             }),
+            AdminOp::SnapshotDelta { since } => Ok(AdminResponse::Snapshot {
+                snapshot: self.do_snapshot_delta(since),
+            }),
+            AdminOp::Compact => Ok(AdminResponse::Collected {
+                records: self.do_compact(),
+            }),
             AdminOp::Restore { snapshot } => {
                 self.restore_in_place(&snapshot)
                     .map_err(AireError::Protocol)?;
@@ -1847,6 +1996,9 @@ impl Controller {
                     let reg = self.obs.registry();
                     reg.queue_depth.set(core.outgoing.len() as i64);
                     reg.log_actions.set(core.log.len() as i64);
+                    let st = core.store.stats();
+                    reg.store_bytes.set(st.bytes as i64);
+                    reg.store_archived_bytes.set(st.archived_bytes as i64);
                     reg.taint_rows.set(graph.rows as i64);
                     reg.taint_read_edges.set(graph.read_edges as i64);
                     reg.taint_write_edges.set(graph.write_edges as i64);
@@ -1996,9 +2148,13 @@ impl Controller {
         if req.headers.get(TRACE_HEADER).is_some() {
             let mut clean = req.clone();
             clean.headers.remove(TRACE_HEADER);
-            return self.execute_normal(&clean);
+            let response = self.execute_normal(&clean);
+            self.enforce_store_budget();
+            return response;
         }
-        self.execute_normal(req)
+        let response = self.execute_normal(req);
+        self.enforce_store_budget();
+        response
     }
 }
 

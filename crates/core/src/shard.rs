@@ -982,7 +982,10 @@ fn merge_admin(op: &AdminOp, parts: Vec<AdminResponse>) -> Option<AdminResponse>
                 })
                 .sum(),
         },
-        AdminOp::Snapshot => {
+        AdminOp::Snapshot | AdminOp::SnapshotDelta { .. } => {
+            // Full and delta snapshots merge identically: one document
+            // per shard under a sharded wrapper, restored (or
+            // delta-applied) shard-by-shard into matching slots.
             let mut shards = Vec::with_capacity(parts.len());
             for p in parts {
                 match p {
@@ -995,6 +998,15 @@ fn merge_admin(op: &AdminOp, parts: Vec<AdminResponse>) -> Option<AdminResponse>
             wrapper.set("shards", Jv::list(shards));
             AdminResponse::Snapshot { snapshot: wrapper }
         }
+        AdminOp::Compact => AdminResponse::Collected {
+            records: parts
+                .iter()
+                .map(|p| match p {
+                    AdminResponse::Collected { records } => *records,
+                    _ => 0,
+                })
+                .sum(),
+        },
         AdminOp::Restore { .. } => AdminResponse::Ack,
         AdminOp::Stats => {
             let mut sum = AdminStats::default();

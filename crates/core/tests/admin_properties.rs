@@ -121,6 +121,8 @@ fn arb_admin_op() -> BoxedStrategy<AdminOp> {
             .prop_map(|mode| AdminOp::SetRepairMode { mode }),
         arb_time().prop_map(|horizon| AdminOp::Gc { horizon }),
         Just(AdminOp::Snapshot),
+        arb_time().prop_map(|since| AdminOp::SnapshotDelta { since }),
+        Just(AdminOp::Compact),
         "[ -~]{0,12}".prop_map(|text| AdminOp::Restore {
             snapshot: jv!({"service": text, "store": {}}),
         }),
@@ -241,6 +243,10 @@ fn every_admin_op_variant_round_trips() {
             horizon: LogicalTime::tick(42),
         },
         AdminOp::Snapshot,
+        AdminOp::SnapshotDelta {
+            since: LogicalTime::tick(9),
+        },
+        AdminOp::Compact,
         AdminOp::Restore {
             snapshot: jv!({"service": "svc"}),
         },
@@ -295,6 +301,7 @@ fn missing_fields_are_rejected_with_the_field_name() {
         ("retry", "msg_id"),
         ("set_repair_mode", "mode"),
         ("gc", "horizon"),
+        ("snapshot_delta", "since"),
         ("restore", "snapshot"),
         ("leak_audit", "table"),
     ] {
@@ -318,4 +325,164 @@ fn admin_responses_reject_unknown_tags_and_bad_outcomes() {
     let err =
         AdminResponse::from_jv(&jv!({"result": "sent", "outcome": "teleported"})).unwrap_err();
     assert!(err.contains("teleported"), "{err}");
+}
+
+//////// Malformed snapshots: restore validates before it trusts. ////////
+//
+// The restore path is the one place a store accepts bulk state it did
+// not produce itself (an operator hands it a file). These properties
+// pin the contract: a corrupted snapshot — unsorted chains, an
+// allocator behind the rows it must clear, duplicated ids, empty live
+// chains — is rejected with an error naming the table, and a pristine
+// snapshot restores digest-identically.
+
+use std::collections::BTreeMap;
+
+use aire_vdb::{FieldDef, FieldKind, Schema, VersionedStore};
+
+fn users_schema() -> Schema {
+    Schema::new("users", vec![FieldDef::new("n", FieldKind::Int)])
+}
+
+/// Builds a store whose `users` table holds `rows` (row id → number of
+/// updates after the insert), written at strictly increasing times.
+fn seeded_store(rows: &BTreeMap<u64, usize>) -> VersionedStore {
+    let mut s = VersionedStore::new();
+    s.create_table(users_schema()).unwrap();
+    let mut tick = 1u64;
+    for (&id, &updates) in rows {
+        s.insert(
+            "users",
+            id,
+            jv!({"n": tick as i64}),
+            LogicalTime::tick(tick),
+        )
+        .unwrap();
+        tick += 1;
+        for _ in 0..updates {
+            s.update(
+                "users",
+                id,
+                jv!({"n": tick as i64}),
+                LogicalTime::tick(tick),
+            )
+            .unwrap();
+            tick += 1;
+        }
+    }
+    s
+}
+
+/// Rewrites one key of one table inside an encoded snapshot.
+fn corrupt_table(snap: &mut Jv, table: &str, key: &str, value: Jv) {
+    let mut t = snap.get("tables").get(table).clone();
+    t.set(key, value);
+    let mut tables = snap.get("tables").clone();
+    tables.set(table, t);
+    snap.set("tables", tables);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Positive control: an untouched snapshot restores to the same
+    /// digest through the textual codec.
+    #[test]
+    fn prop_pristine_snapshot_restores_digest_identically(
+        rows in prop::collection::btree_map(1u64..8, 0usize..3, 1..6),
+    ) {
+        let s = seeded_store(&rows);
+        let snap = Jv::decode(&s.snapshot().encode()).expect("codec round trip");
+        let r = VersionedStore::restore(vec![users_schema()], &snap).unwrap();
+        let at = LogicalTime::tick(1_000);
+        prop_assert_eq!(r.state_digest(at), s.state_digest(at));
+    }
+
+    /// Every corruption class is rejected, and the error names the
+    /// table so the operator knows which file section to inspect.
+    #[test]
+    fn prop_corrupted_snapshots_are_rejected_naming_the_table(
+        rows in prop::collection::btree_map(1u64..8, 0usize..3, 1..6),
+        kind in 0u8..4,
+    ) {
+        let s = seeded_store(&rows);
+        let mut snap = s.snapshot();
+        match kind {
+            0 => {
+                // Reverse a multi-version chain so times decrease.
+                let rows_jv = snap.get("tables").get("users").get("rows");
+                let list = rows_jv.as_list().map(|l| l.to_vec()).unwrap_or_default();
+                let victim = list.iter().position(|row| {
+                    row.get("versions").as_list().is_some_and(|v| v.len() > 1)
+                });
+                prop_assume!(victim.is_some());
+                let mut list = list;
+                let mut row = list[victim.unwrap()].clone();
+                let mut versions = row.get("versions").as_list().unwrap().to_vec();
+                versions.reverse();
+                row.set("versions", Jv::list(versions));
+                list[victim.unwrap()] = row;
+                corrupt_table(&mut snap, "users", "rows", Jv::list(list));
+            }
+            1 => {
+                // Allocator no longer clears the max row id.
+                let max = *rows.keys().max().unwrap();
+                corrupt_table(&mut snap, "users", "next_id", Jv::i(max as i64));
+            }
+            2 => {
+                // Duplicate the first row entry.
+                let mut list = snap
+                    .get("tables")
+                    .get("users")
+                    .get("rows")
+                    .as_list()
+                    .unwrap()
+                    .to_vec();
+                list.push(list[0].clone());
+                corrupt_table(&mut snap, "users", "rows", Jv::list(list));
+            }
+            _ => {
+                // Empty a live chain (rows never hold empty chains).
+                let mut list = snap
+                    .get("tables")
+                    .get("users")
+                    .get("rows")
+                    .as_list()
+                    .unwrap()
+                    .to_vec();
+                let mut row = list[0].clone();
+                row.set("versions", Jv::list(Vec::new()));
+                list[0] = row;
+                corrupt_table(&mut snap, "users", "rows", Jv::list(list));
+            }
+        }
+        let err = VersionedStore::restore(vec![users_schema()], &snap).unwrap_err();
+        prop_assert!(err.contains("users"), "error must name the table: {}", err);
+    }
+
+    /// A delta whose `since` does not match the receiver's watermark is
+    /// refused — applying it would silently skip or replay mutations.
+    #[test]
+    fn prop_delta_against_wrong_watermark_is_rejected(
+        rows in prop::collection::btree_map(1u64..8, 0usize..3, 1..6),
+        skew in 1u64..50,
+    ) {
+        let s = seeded_store(&rows);
+        let mut mirror = VersionedStore::restore(vec![users_schema()], &s.snapshot()).unwrap();
+        let wrong = LogicalTime::tick(skew);
+        prop_assume!(wrong != s.touch_watermark());
+        let delta = s.snapshot_since(wrong);
+        let err = mirror.restore_delta(&delta).unwrap_err();
+        prop_assert!(err.contains("watermark"), "{}", err);
+    }
+}
+
+#[test]
+fn restore_delta_refuses_a_full_snapshot() {
+    let mut rows = BTreeMap::new();
+    rows.insert(1u64, 1usize);
+    let s = seeded_store(&rows);
+    let mut mirror = VersionedStore::restore(vec![users_schema()], &s.snapshot()).unwrap();
+    let err = mirror.restore_delta(&s.snapshot()).unwrap_err();
+    assert!(err.contains("delta"), "{err}");
 }

@@ -1,0 +1,352 @@
+//! The storage-at-scale pipeline, end to end and seeded: after a
+//! workload, `gc → compact → snapshot_since → restore_delta` must
+//! leave a mirror whose state digest matches the **uncompacted** store
+//! at every probed [`LogicalTime`] at or above the GC horizon — the
+//! compaction invariant an operator relies on when a budgeted node
+//! collapses history while its checkpoints keep flowing.
+//!
+//! The property runs the same seeded workload through a
+//! [`ShardedRuntime`] at 1 worker and at 4, exercising the sharded
+//! fan-out of the storage admin ops (`gc`, `compact`, `snapshot`,
+//! `snapshot_delta`) and the shard-by-shard delta apply.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use aire_core::admin::{AdminOp, AdminResponse};
+use aire_core::{ControllerConfig, ShardSpec, ShardSubmitter, ShardedRuntime};
+use aire_http::{HttpRequest, HttpResponse, Url};
+use aire_net::Endpoint;
+use aire_types::{jv, Jv, LogicalTime};
+use aire_vdb::shard::shard_of_key;
+use aire_vdb::{FieldDef, FieldKind, Filter, Schema, VersionedStore};
+use aire_web::{App, Ctx, Router, WebError};
+use proptest::prelude::*;
+
+/// Key-routing buckets; also the worker count of the sharded run.
+const STRIPES: usize = 4;
+
+//////// A minimal keyed application (no aire-apps: that crate sits ////
+//////// above aire-core). ////////
+
+struct Slots;
+
+fn h_put(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.body_str("key")?.to_string();
+    let value = ctx.body_str("value")?.to_string();
+    let row = ctx.find("slots", &Filter::all().eq("key", key.as_str()))?;
+    let data = jv!({"key": key, "value": value});
+    match row {
+        Some((id, _)) => ctx.update("slots", id, data)?,
+        None => {
+            ctx.insert("slots", data)?;
+        }
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+fn h_del(ctx: &mut Ctx<'_>) -> Result<HttpResponse, WebError> {
+    let key = ctx.body_str("key")?.to_string();
+    if let Some((id, _)) = ctx.find("slots", &Filter::all().eq("key", key.as_str()))? {
+        ctx.delete("slots", id)?;
+    }
+    Ok(HttpResponse::ok(jv!({"ok": true})))
+}
+
+impl App for Slots {
+    fn name(&self) -> &str {
+        "slots"
+    }
+    fn schemas(&self) -> Vec<Schema> {
+        vec![Schema::new(
+            "slots",
+            vec![
+                FieldDef::new("key", FieldKind::Str),
+                FieldDef::new("value", FieldKind::Str),
+            ],
+        )]
+    }
+    fn router(&self) -> Router {
+        Router::new().post("/put", h_put).post("/del", h_del)
+    }
+}
+
+//////// Harness. ////////
+
+fn launch(workers: usize) -> ShardedRuntime {
+    ShardedRuntime::launch(ShardSpec {
+        workers,
+        config: ControllerConfig::default(),
+        apps: Arc::new(|| vec![("slots".to_string(), Rc::new(Slots) as Rc<dyn App>)]),
+        setup: Arc::new(|_| Box::new(())),
+    })
+}
+
+fn admin(rt: &ShardedRuntime, op: AdminOp) -> AdminResponse {
+    let carrier = op.to_carrier("slots");
+    let resp = Endpoint::handle(rt.front().as_ref(), &carrier);
+    assert!(resp.status.is_success(), "admin: {:?}", resp.body);
+    AdminResponse::from_jv(&resp.body).expect("admin response decodes")
+}
+
+/// Store sections of an admin snapshot (full or delta), one per shard
+/// whether or not the response used the sharded wrapper.
+fn shard_stores(snapshot: &Jv) -> Vec<Jv> {
+    if snapshot.get("sharded").as_int().is_some() {
+        snapshot
+            .get("shards")
+            .as_list()
+            .expect("sharded wrapper lists shards")
+            .iter()
+            .map(|s| s.get("store").clone())
+            .collect()
+    } else {
+        vec![snapshot.get("store").clone()]
+    }
+}
+
+fn restore_store(store: &Jv) -> VersionedStore {
+    VersionedStore::restore(Slots.schemas(), store).expect("snapshot restores")
+}
+
+/// Every distinct version time in a store snapshot (live + archived).
+fn version_times(store: &Jv, out: &mut BTreeSet<LogicalTime>) {
+    let Some(tables) = store.get("tables").as_map() else {
+        return;
+    };
+    for tjv in tables.values() {
+        for key in ["rows", "archived"] {
+            for row in tjv.get(key).as_list().unwrap_or(&[]) {
+                for v in row.get("versions").as_list().unwrap_or(&[]) {
+                    if let Some(t) = LogicalTime::parse_wire(v.str_of("t")) {
+                        out.insert(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn put(submitter: &ShardSubmitter, shard: usize, key: &str, value: String) {
+    let resp = submitter
+        .call(
+            shard,
+            HttpRequest::post(
+                Url::service("slots", "/put"),
+                jv!({"key": key, "value": value}),
+            ),
+        )
+        .expect("put delivers");
+    assert!(resp.status.is_success(), "put: {:?}", resp.body);
+}
+
+fn del(submitter: &ShardSubmitter, shard: usize, key: &str) {
+    let resp = submitter
+        .call(
+            shard,
+            HttpRequest::post(Url::service("slots", "/del"), jv!({"key": key})),
+        )
+        .expect("del delivers");
+    assert!(resp.status.is_success(), "del: {:?}", resp.body);
+}
+
+/// `STRIPES` buckets of `per_stripe` keys, bucket `s` holding only keys
+/// routing to shard `s` — so the checkpoint watermark is identical on
+/// every shard after the (balanced) seeding phase, which is what lets a
+/// single cluster-wide `snapshot_delta{since}` continue it.
+fn key_buckets(per_stripe: usize) -> Vec<Vec<String>> {
+    let mut buckets: Vec<Vec<String>> = (0..STRIPES).map(|_| Vec::new()).collect();
+    let mut i = 0usize;
+    while buckets.iter().any(|b| b.len() < per_stripe) {
+        let key = format!("slot-{i:04}");
+        let s = shard_of_key(&key, STRIPES);
+        if buckets[s].len() < per_stripe {
+            buckets[s].push(key);
+        }
+        i += 1;
+    }
+    buckets
+}
+
+/// One seeded edit in the post-checkpoint phase.
+#[derive(Debug, Clone)]
+enum Edit {
+    /// Rewrite `keys[i % len]` with a fresh value.
+    Put(usize),
+    /// Delete `keys[i % len]` (tombstone; a later Put re-creates it).
+    Del(usize),
+}
+
+fn arb_edits() -> BoxedStrategy<Vec<Edit>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(Edit::Put),
+            (0usize..64).prop_map(Edit::Del),
+        ],
+        0..24,
+    )
+    .boxed()
+}
+
+/// Runs the full pipeline at one worker count; all assertions inside.
+fn check_round_trip(workers: usize, per_stripe: usize, versions: usize, edits: &[Edit]) {
+    let rt = launch(workers);
+    let submitter = rt.submitter();
+    let buckets = key_buckets(per_stripe);
+
+    // Phase 1 (balanced): every shard gets per_stripe × versions writes.
+    for (s, bucket) in buckets.iter().enumerate() {
+        for key in bucket {
+            for v in 0..versions {
+                put(&submitter, s, key, format!("{key}-v{v}"));
+            }
+        }
+    }
+
+    // Checkpoint: full snapshot → per-shard mirrors + the watermark the
+    // later delta must continue. Balanced seeding ⇒ one shared value.
+    let AdminResponse::Snapshot { snapshot: full } = admin(&rt, AdminOp::Snapshot) else {
+        panic!("snapshot response shape");
+    };
+    let checkpoint_stores = shard_stores(&full);
+    let mut mirrors: Vec<VersionedStore> = checkpoint_stores.iter().map(restore_store).collect();
+    let since = mirrors[0].touch_watermark();
+    for m in &mirrors {
+        assert_eq!(
+            m.touch_watermark(),
+            since,
+            "balanced seeding must leave every shard at the same watermark"
+        );
+    }
+
+    // Phase 2 (seeded, unbalanced): edits spread over buckets by index.
+    let all_keys: Vec<(usize, String)> = buckets
+        .iter()
+        .enumerate()
+        .flat_map(|(s, b)| b.iter().map(move |k| (s, k.clone())))
+        .collect();
+    for (n, edit) in edits.iter().enumerate() {
+        match edit {
+            Edit::Put(i) => {
+                let (s, key) = &all_keys[i % all_keys.len()];
+                put(&submitter, *s, key, format!("{key}-edit{n}"));
+            }
+            Edit::Del(i) => {
+                let (s, key) = &all_keys[i % all_keys.len()];
+                del(&submitter, *s, key);
+            }
+        }
+    }
+
+    // The uncompacted reference: a full snapshot taken *before* any GC.
+    let AdminResponse::Snapshot {
+        snapshot: reference,
+    } = admin(&rt, AdminOp::Snapshot)
+    else {
+        panic!("snapshot response shape");
+    };
+    let reference_stores: Vec<VersionedStore> =
+        shard_stores(&reference).iter().map(restore_store).collect();
+
+    // Horizon: the median of all version times — deep enough that the
+    // phase-1 chains compact, low enough that probes span both sides'
+    // survivors. Probes: every distinct time at/above it, plus "now".
+    let mut times = BTreeSet::new();
+    for store in shard_stores(&reference) {
+        version_times(&store, &mut times);
+    }
+    let times: Vec<LogicalTime> = times.into_iter().collect();
+    assert!(!times.is_empty(), "the workload wrote something");
+    let horizon = times[times.len() / 2];
+    let mut probes: Vec<LogicalTime> = times.iter().copied().filter(|&t| t >= horizon).collect();
+    probes.push(LogicalTime::new(u64::MAX, u64::MAX));
+
+    // gc → compact on the live cluster.
+    let AdminResponse::Collected { .. } = admin(&rt, AdminOp::Gc { horizon }) else {
+        panic!("gc response shape");
+    };
+    let AdminResponse::Collected { .. } = admin(&rt, AdminOp::Compact) else {
+        panic!("compact response shape");
+    };
+
+    // snapshot_since → restore_delta, shard by shard into the mirrors.
+    let AdminResponse::Snapshot { snapshot: delta } = admin(&rt, AdminOp::SnapshotDelta { since })
+    else {
+        panic!("snapshot_delta response shape");
+    };
+    let delta_stores = shard_stores(&delta);
+    assert_eq!(delta_stores.len(), mirrors.len());
+    for (m, d) in mirrors.iter_mut().zip(&delta_stores) {
+        m.restore_delta(d).expect("delta continues the checkpoint");
+    }
+
+    // The invariant: at every probe at/above the horizon the mirror
+    // (checkpoint + delta, compacted) digests identically to the
+    // uncompacted reference.
+    for (s, (m, r)) in mirrors.iter().zip(&reference_stores).enumerate() {
+        for &at in &probes {
+            assert_eq!(
+                m.state_digest(at),
+                r.state_digest(at),
+                "shard {s} of {workers}: digest diverged at {at:?} (horizon {horizon:?})"
+            );
+        }
+    }
+
+    // And the mirror *is* the live store: a post-compaction snapshot
+    // restores to the same digests everywhere, not just above the
+    // horizon.
+    let AdminResponse::Snapshot { snapshot: after } = admin(&rt, AdminOp::Snapshot) else {
+        panic!("snapshot response shape");
+    };
+    for (s, (m, live)) in mirrors
+        .iter()
+        .zip(shard_stores(&after).iter().map(restore_store))
+        .enumerate()
+    {
+        for &at in &probes {
+            assert_eq!(
+                m.state_digest(at),
+                live.state_digest(at),
+                "shard {s} of {workers}: mirror drifted from the live store at {at:?}"
+            );
+        }
+    }
+
+    rt.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The pipeline round-trips at 1 worker and at 4, on the same
+    /// seeded workload.
+    #[test]
+    fn prop_gc_compact_delta_round_trips_digest_identically(
+        per_stripe in 1usize..4,
+        versions in 2usize..5,
+        edits in arb_edits(),
+    ) {
+        check_round_trip(1, per_stripe, versions, &edits);
+        check_round_trip(STRIPES, per_stripe, versions, &edits);
+    }
+}
+
+/// A fixed deep case pinned outside the property loop: many versions
+/// per key, deletions included, so the suite keeps covering heavy
+/// compaction even at low proptest case counts.
+#[test]
+fn deep_chains_round_trip_after_compaction() {
+    let edits: Vec<Edit> = (0..16)
+        .map(|i| {
+            if i % 5 == 4 {
+                Edit::Del(i)
+            } else {
+                Edit::Put(i)
+            }
+        })
+        .collect();
+    check_round_trip(1, 2, 6, &edits);
+    check_round_trip(STRIPES, 2, 6, &edits);
+}

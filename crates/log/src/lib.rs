@@ -293,6 +293,32 @@ impl RepairLog {
         &self.access
     }
 
+    /// Rows with at least one live taint-index posting.
+    pub fn indexed_rows(&self) -> usize {
+        self.row_index.len()
+    }
+
+    /// Verifies the derived taint indexes hold no leaked state: no empty
+    /// posting sets (an emptied set pins its row key forever and shows a
+    /// phantom row to index walkers) and an internally consistent access
+    /// graph. Same self-check idiom as the store's
+    /// `check_index_integrity`.
+    pub fn check_taint_integrity(&self) -> Result<(), String> {
+        for (key, set) in &self.row_index {
+            if set.is_empty() {
+                return Err(format!("row index keeps empty posting set for {key}"));
+            }
+        }
+        for (table, set) in &self.scan_index {
+            if set.is_empty() {
+                return Err(format!(
+                    "scan index keeps empty posting set for table {table}"
+                ));
+            }
+        }
+        self.access.check_integrity()
+    }
+
     fn index(&mut self, action: &ActionRecord) {
         for op in &action.db_ops {
             match op {
@@ -331,29 +357,38 @@ impl RepairLog {
     }
 
     fn unindex(&mut self, action: &ActionRecord) {
+        // Emptied postings are removed outright (not left as empty sets):
+        // the maps are keyed by row/table, so a leaked empty entry pins
+        // the key's memory forever and shows up as a phantom row to
+        // anything that iterates the index — exactly what GC exists to
+        // prevent. `AccessGraph::forget` already removes emptied rows.
+        fn drop_time<K: std::hash::Hash + Eq>(
+            index: &mut HashMap<K, BTreeSet<LogicalTime>>,
+            key: &K,
+            time: LogicalTime,
+        ) {
+            if let Some(set) = index.get_mut(key) {
+                set.remove(&time);
+                if set.is_empty() {
+                    index.remove(key);
+                }
+            }
+        }
         for op in &action.db_ops {
             match op {
                 DbOp::Read { key, .. } => {
-                    if let Some(set) = self.row_index.get_mut(key) {
-                        set.remove(&action.time);
-                    }
+                    drop_time(&mut self.row_index, key, action.time);
                     self.access.forget(action.time, key, AccessKind::Read);
                 }
                 DbOp::Write { key, .. } => {
-                    if let Some(set) = self.row_index.get_mut(key) {
-                        set.remove(&action.time);
-                    }
+                    drop_time(&mut self.row_index, key, action.time);
                     self.access.forget(action.time, key, AccessKind::Write);
                 }
                 DbOp::Scan { table, hits, .. } => {
-                    if let Some(set) = self.scan_index.get_mut(table) {
-                        set.remove(&action.time);
-                    }
+                    drop_time(&mut self.scan_index, table, action.time);
                     for &id in hits {
                         let key = RowKey::new(table.clone(), id);
-                        if let Some(set) = self.row_index.get_mut(&key) {
-                            set.remove(&action.time);
-                        }
+                        drop_time(&mut self.row_index, &key, action.time);
                         self.access.forget(action.time, &key, AccessKind::Read);
                     }
                 }
@@ -361,6 +396,25 @@ impl RepairLog {
         }
         for call in &action.calls {
             self.call_index.remove(&call.response_id);
+        }
+    }
+
+    /// Forgets every posting and access-graph edge for rows that no
+    /// longer exist — the store's GC reaps rows whose entire history
+    /// (down to the dead tombstone) fell below the horizon, and the
+    /// taint indexes must be pruned in lockstep or closure walks see
+    /// edges into rows nothing can ever read or repair again.
+    ///
+    /// Safe because a reaped row is terminally dead: its id is never
+    /// re-issued (the allocator only moves forward), and any write that
+    /// could resurrect it would need a pre-horizon time, which
+    /// `HistoryCollected` refuses. The surviving postings being removed
+    /// here are therefore reads/scans of history that GC already made
+    /// unreachable.
+    pub fn forget_rows(&mut self, rows: &[RowKey]) {
+        for key in rows {
+            self.row_index.remove(key);
+            self.access.forget_row(key);
         }
     }
 }
@@ -537,6 +591,47 @@ mod tests {
             log.actions_touching_row(&RowKey::new("users", 1), LogicalTime::ZERO),
             vec![t(3)]
         );
+    }
+
+    /// Regression: unindexing the last action touching a row used to
+    /// leave an empty posting set behind, pinning the row key forever.
+    #[test]
+    fn gc_and_replace_remove_emptied_postings() {
+        let mut log = RepairLog::new();
+        log.record(action(1, vec![write("users", 1)]));
+        log.record(action(2, vec![scan("users", Filter::all(), vec![1])]));
+        assert_eq!(log.indexed_rows(), 1);
+
+        // Replace re-points action 2 elsewhere; row 1 keeps action 1.
+        log.replace(action(2, vec![read("posts", 9)]));
+        log.check_taint_integrity().unwrap();
+
+        // Collecting everything must empty the indexes outright.
+        log.gc(t(3));
+        assert_eq!(log.indexed_rows(), 0);
+        log.check_taint_integrity().unwrap();
+        assert!(log.access().is_empty());
+    }
+
+    /// When the store reaps a row (its whole history fell below the GC
+    /// horizon), the log prunes that row's postings and graph edges in
+    /// lockstep so taint-closure walks can't reach it.
+    #[test]
+    fn forget_rows_prunes_postings_and_graph_edges() {
+        let mut log = RepairLog::new();
+        log.record(action(5, vec![read("users", 1), write("users", 2)]));
+        let dead = RowKey::new("users", 1);
+        assert_eq!(log.actions_touching_row(&dead, t(0)), vec![t(5)]);
+
+        log.forget_rows(std::slice::from_ref(&dead));
+        assert!(log.actions_touching_row(&dead, t(0)).is_empty());
+        assert!(log.access().touchers_since(&dead, t(0)).is_empty());
+        // The surviving row's edges are untouched.
+        let alive = RowKey::new("users", 2);
+        assert_eq!(log.access().writers_since(&alive, t(0)), vec![t(5)]);
+        let stats = log.access().stats();
+        assert_eq!((stats.read_edges, stats.write_edges), (0, 1));
+        log.check_taint_integrity().unwrap();
     }
 
     #[test]

@@ -374,6 +374,17 @@ pub struct MetricsRegistry {
     pub gc_runs_total: Counter,
     /// Store versions dropped by GC.
     pub gc_versions_dropped_total: Counter,
+    /// Compaction passes run (explicit `compact` ops plus budget-triggered
+    /// ones; eager per-write collapsing is not counted here).
+    pub compaction_runs_total: Counter,
+    /// Store versions collapsed by compaction passes.
+    pub compaction_versions_collapsed_total: Counter,
+    /// Compactions triggered by the store-byte budget.
+    pub store_budget_compactions_total: Counter,
+    /// Times the store stayed over budget even after compacting — the
+    /// graceful-degradation path (history above the horizon is never
+    /// evicted).
+    pub store_budget_overruns_total: Counter,
     /// Spans evicted from the ring (mirrored at snapshot time).
     pub spans_dropped_total: Counter,
     /// Current repair-queue depth.
@@ -389,6 +400,10 @@ pub struct MetricsRegistry {
     pub gc_horizon_lag: Gauge,
     /// Actions currently in the repair log.
     pub log_actions: Gauge,
+    /// Bytes resident in live version chains.
+    pub store_bytes: Gauge,
+    /// Bytes resident in archived (rolled-back audit) versions.
+    pub store_archived_bytes: Gauge,
     /// Wall-clock latency of normal request dispatch, µs.
     pub dispatch_latency_micros: Histogram,
     /// Taint-closure sizes computed by selective repair, rows.
@@ -410,6 +425,10 @@ impl MetricsRegistry {
             pool_retries_total: Counter::default(),
             gc_runs_total: Counter::default(),
             gc_versions_dropped_total: Counter::default(),
+            compaction_runs_total: Counter::default(),
+            compaction_versions_collapsed_total: Counter::default(),
+            store_budget_compactions_total: Counter::default(),
+            store_budget_overruns_total: Counter::default(),
             spans_dropped_total: Counter::default(),
             queue_depth: Gauge::default(),
             taint_rows: Gauge::default(),
@@ -417,6 +436,8 @@ impl MetricsRegistry {
             taint_write_edges: Gauge::default(),
             gc_horizon_lag: Gauge::default(),
             log_actions: Gauge::default(),
+            store_bytes: Gauge::default(),
+            store_archived_bytes: Gauge::default(),
             dispatch_latency_micros: Histogram::new(LATENCY_BOUNDS_MICROS),
             taint_closure_size: Histogram::new(CLOSURE_BOUNDS),
         }
@@ -462,6 +483,22 @@ impl MetricsRegistry {
             self.gc_versions_dropped_total.get(),
         );
         c.insert(
+            "aire_compaction_runs_total".into(),
+            self.compaction_runs_total.get(),
+        );
+        c.insert(
+            "aire_compaction_versions_collapsed_total".into(),
+            self.compaction_versions_collapsed_total.get(),
+        );
+        c.insert(
+            "aire_store_budget_compactions_total".into(),
+            self.store_budget_compactions_total.get(),
+        );
+        c.insert(
+            "aire_store_budget_overruns_total".into(),
+            self.store_budget_overruns_total.get(),
+        );
+        c.insert(
             "aire_trace_spans_dropped_total".into(),
             self.spans_dropped_total.get(),
         );
@@ -475,6 +512,11 @@ impl MetricsRegistry {
         );
         g.insert("aire_gc_horizon_lag".into(), self.gc_horizon_lag.get());
         g.insert("aire_log_actions".into(), self.log_actions.get());
+        g.insert("aire_store_bytes".into(), self.store_bytes.get());
+        g.insert(
+            "aire_store_archived_bytes".into(),
+            self.store_archived_bytes.get(),
+        );
         s.histograms.insert(
             "aire_dispatch_latency_micros".into(),
             self.dispatch_latency_micros.snapshot(),

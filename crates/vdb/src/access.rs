@@ -115,6 +115,17 @@ impl AccessGraph {
         }
     }
 
+    /// Drops every edge touching `key` at once — the lockstep prune for
+    /// rows the store's GC reaped (their whole history fell below the
+    /// horizon, so no closure walk can legitimately reach them again).
+    /// Unknown rows are ignored.
+    pub fn forget_row(&mut self, key: &RowKey) {
+        if let Some(edges) = self.rows.remove(key) {
+            self.read_edges -= edges.readers.len() as u64;
+            self.write_edges -= edges.writers.len() as u64;
+        }
+    }
+
     /// Times of requests that read **or** wrote `key` at or after
     /// `since`, ascending and deduplicated — the closure's frontier
     /// expansion (a later writer is tainted too: re-executing the
@@ -258,6 +269,30 @@ mod tests {
         // Forgetting what was never recorded is a no-op.
         g.forget(t(9), &k(9), AccessKind::Write);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn forget_row_drops_all_edges_and_keeps_counters_exact() {
+        let mut g = AccessGraph::new();
+        g.record(t(1), &k(1), AccessKind::Write);
+        g.record(t(2), &k(1), AccessKind::Read);
+        g.record(t(3), &k(1), AccessKind::Read);
+        g.record(t(4), &k(2), AccessKind::Write);
+
+        g.forget_row(&k(1));
+        assert!(g.touchers_since(&k(1), t(0)).is_empty());
+        assert_eq!(
+            g.stats(),
+            AccessStats {
+                rows: 1,
+                read_edges: 0,
+                write_edges: 1
+            }
+        );
+        g.check_integrity().unwrap();
+        // Unknown rows are a no-op.
+        g.forget_row(&k(9));
+        g.check_integrity().unwrap();
     }
 
     #[test]
